@@ -1,0 +1,91 @@
+//! ClaimBuster-FM: fact-matching verification.
+//!
+//! The input claim sentence is matched against the fact repository; the
+//! verdict is taken from the most similar statement (`Max`) or from a
+//! similarity-weighted majority vote over the top matches (`MV`) — the two
+//! aggregation variants compared in Table 5 of the paper.
+
+use crate::fact_repo::FactRepository;
+
+/// Verdict aggregation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmMode {
+    /// Truth value of the most similar statement.
+    Max,
+    /// Similarity-weighted majority vote over the top-k statements.
+    MajorityVote,
+}
+
+/// Check one claim sentence. Returns `Some(verdict)` where `true` means
+/// "claim judged correct", or `None` when nothing in the repository is
+/// similar enough to borrow a verdict from.
+pub fn check_with_fm(
+    repo: &FactRepository,
+    sentence: &str,
+    mode: FmMode,
+    k: usize,
+    min_similarity: f32,
+) -> Option<bool> {
+    let hits = repo.search(sentence, k.max(1));
+    let usable: Vec<_> = hits
+        .into_iter()
+        .filter(|h| h.similarity >= min_similarity)
+        .collect();
+    if usable.is_empty() {
+        return None;
+    }
+    match mode {
+        FmMode::Max => Some(usable[0].truth),
+        FmMode::MajorityVote => {
+            let mut yes = 0.0f32;
+            let mut no = 0.0f32;
+            for h in &usable {
+                if h.truth {
+                    yes += h.similarity;
+                } else {
+                    no += h.similarity;
+                }
+            }
+            Some(yes >= no)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> FactRepository {
+        FactRepository::build(vec![
+            ("the unemployment rate fell below five percent".into(), true),
+            ("the unemployment rate doubled in a year".into(), false),
+            ("unemployment among graduates is rising quickly".into(), false),
+        ])
+    }
+
+    #[test]
+    fn max_mode_borrows_top_verdict() {
+        let r = repo();
+        let v = check_with_fm(&r, "the unemployment rate fell below five percent", FmMode::Max, 3, 0.0);
+        assert_eq!(v, Some(true));
+    }
+
+    #[test]
+    fn majority_vote_can_flip_the_top_hit() {
+        let r = repo();
+        // Two false statements about unemployment outweigh the single true
+        // one for a generic query.
+        let v = check_with_fm(&r, "unemployment rate rising", FmMode::MajorityVote, 3, 0.0);
+        assert_eq!(v, Some(false));
+    }
+
+    #[test]
+    fn no_match_yields_none() {
+        let r = repo();
+        let v = check_with_fm(&r, "zebras stripes quagga", FmMode::Max, 3, 0.0);
+        assert_eq!(v, None);
+        // A similarity floor also filters weak spurious matches.
+        let v = check_with_fm(&r, "the rate of zebras", FmMode::Max, 3, 100.0);
+        assert_eq!(v, None);
+    }
+}

@@ -1,0 +1,124 @@
+//! ClaimBuster-KB: verify claims by querying a knowledge base with
+//! generated questions.
+//!
+//! The paper substitutes a NaLIR interface over the article's own database
+//! for the generic knowledge bases (which lack the required data): claims
+//! become questions, questions become SQL, and the claim is verified if
+//! *any* translated query's result matches the claimed value.
+
+use crate::nalir::NalirTranslator;
+use crate::question_gen::generate_questions;
+use agg_nlp::numbers::NumberMention;
+use agg_nlp::rounding::matches_claim;
+use agg_relational::{execute_query, Database};
+
+/// Outcome of one KB check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KbOutcome {
+    /// At least one question translated and a result matched the claim.
+    VerifiedCorrect,
+    /// At least one question translated; no result matched.
+    VerifiedWrong,
+    /// No question could be translated into an evaluable query.
+    NotTranslated,
+}
+
+/// Check one claim: `sentence` is its sentence text, `mention` the parsed
+/// claimed number.
+pub fn check_with_kb(db: &Database, sentence: &str, mention: &NumberMention) -> KbOutcome {
+    let translator = NalirTranslator::new(db);
+    let mut translated_any = false;
+    for question in generate_questions(sentence, mention.value) {
+        let Ok(query) = translator.translate(&question) else {
+            continue;
+        };
+        let Ok(result) = execute_query(db, &query) else {
+            continue;
+        };
+        let Some(value) = result else {
+            continue;
+        };
+        translated_any = true;
+        if matches_claim(value, mention) {
+            return KbOutcome::VerifiedCorrect;
+        }
+    }
+    if translated_any {
+        KbOutcome::VerifiedWrong
+    } else {
+        KbOutcome::NotTranslated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_nlp::numbers::parse_number_mentions;
+    use agg_nlp::tokenize::tokenize;
+    use agg_relational::Table;
+
+    fn db() -> Database {
+        let t = Table::from_columns(
+            "suspensions",
+            vec![(
+                "category",
+                vec![
+                    "gambling".into(),
+                    "gambling".into(),
+                    "peds".into(),
+                    "conduct".into(),
+                ],
+            )],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    fn mention(text: &str, value: f64) -> NumberMention {
+        parse_number_mentions(&tokenize(text))
+            .into_iter()
+            .find(|m| m.value == value)
+            .expect("mention")
+    }
+
+    #[test]
+    fn verifies_simple_correct_claim() {
+        let d = db();
+        let sentence = "There were 2 gambling suspensions.";
+        let m = mention(sentence, 2.0);
+        // Question generation produces "How many gambling suspensions?",
+        // which translates and evaluates to 2.
+        assert_eq!(check_with_kb(&d, sentence, &m), KbOutcome::VerifiedCorrect);
+    }
+
+    #[test]
+    fn flags_simple_wrong_claim() {
+        let d = db();
+        let sentence = "There were 3 gambling suspensions.";
+        let m = mention(sentence, 3.0);
+        assert_eq!(check_with_kb(&d, sentence, &m), KbOutcome::VerifiedWrong);
+    }
+
+    #[test]
+    fn question_rewriting_can_rescue_complex_sentences_with_wrong_queries() {
+        let d = db();
+        // The "How many such suspensions?" rewrite strips the clutter but
+        // loses the predicates — the translated query is Count(*) = 4 ≠ 2.
+        let sentence =
+            "Remarkably, considering the era, whereas discipline was rare, the data shows 2 such suspensions.";
+        let m = mention(sentence, 2.0);
+        assert_eq!(check_with_kb(&d, sentence, &m), KbOutcome::VerifiedWrong);
+    }
+
+    #[test]
+    fn markerless_sentences_fail_to_translate() {
+        let d = db();
+        // The number sits at the end, so no "How many …?" question forms,
+        // and no question carries an explicit aggregation marker.
+        let sentence = "The final tally in the report came to 2.";
+        let m = mention(sentence, 2.0);
+        assert_eq!(check_with_kb(&d, sentence, &m), KbOutcome::NotTranslated);
+    }
+}

@@ -1,0 +1,181 @@
+//! A repository of previously fact-checked statements.
+//!
+//! ClaimBuster-FM matches input text against statements that human fact
+//! checkers have already labelled. Such repositories (PolitiFact et al.)
+//! cover *popular* claims — political statements, viral statistics — not
+//! the long-tail numbers of a one-off data journalism piece. The synthetic
+//! repository reproduces exactly that coverage gap.
+
+use agg_ir::{Index, IndexBuilder, Scorer};
+use agg_nlp::stem::stem;
+use agg_nlp::tokenize::{tokenize, TokenKind};
+
+/// A labelled, searchable statement repository.
+pub struct FactRepository {
+    index: Index,
+    statements: Vec<String>,
+    truths: Vec<bool>,
+}
+
+/// One retrieved statement.
+#[derive(Debug, Clone)]
+pub struct RepoHit {
+    pub statement: String,
+    pub truth: bool,
+    pub similarity: f32,
+}
+
+impl FactRepository {
+    /// Build a repository from `(statement, verdict)` pairs.
+    pub fn build(entries: Vec<(String, bool)>) -> FactRepository {
+        let mut builder = IndexBuilder::new();
+        let mut statements = Vec::with_capacity(entries.len());
+        let mut truths = Vec::with_capacity(entries.len());
+        for (text, truth) in entries {
+            builder.add_document(
+                terms_of(&text)
+                    .iter()
+                    .map(|t| (t.as_str(), 1.0f32))
+                    .collect::<Vec<_>>(),
+            );
+            statements.push(text);
+            truths.push(truth);
+        }
+        FactRepository {
+            index: builder.build(),
+            statements,
+            truths,
+        }
+    }
+
+    /// The canned "popular claims" repository: political and viral
+    /// statements with verified labels, plus a sprinkling of sports and
+    /// economy factoids. None of them concern the corpus's data sets —
+    /// the coverage gap the paper describes.
+    pub fn popular() -> FactRepository {
+        let entries = POPULAR_CLAIMS
+            .iter()
+            .map(|(s, t)| (s.to_string(), *t))
+            .collect();
+        Self::build(entries)
+    }
+
+    /// The popular-claims entries, for callers that merge them with their
+    /// own statements before building a combined repository.
+    pub fn popular_entries() -> Vec<(String, bool)> {
+        POPULAR_CLAIMS
+            .iter()
+            .map(|(s, t)| (s.to_string(), *t))
+            .collect()
+    }
+
+    /// Retrieve the `k` most similar statements.
+    pub fn search(&self, text: &str, k: usize) -> Vec<RepoHit> {
+        let terms = terms_of(text);
+        let query: Vec<(&str, f32)> = terms.iter().map(|t| (t.as_str(), 1.0f32)).collect();
+        self.index
+            .search(query, k, Scorer::default())
+            .into_iter()
+            .map(|hit| RepoHit {
+                statement: self.statements[hit.doc as usize].clone(),
+                truth: self.truths[hit.doc as usize],
+                similarity: hit.score,
+            })
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+}
+
+fn terms_of(text: &str) -> Vec<String> {
+    tokenize(text)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Word && t.text.len() > 2)
+        .map(|t| stem(&t.lower()))
+        .collect()
+}
+
+/// Statements in the style of public fact-check archives.
+const POPULAR_CLAIMS: &[(&str, bool)] = &[
+    ("The unemployment rate fell below five percent last year", true),
+    ("Crime in major cities has doubled over the past decade", false),
+    ("The federal budget deficit tripled under the previous administration", false),
+    ("More than a million jobs were added to the economy this year", true),
+    ("The average family pays more in taxes than ever before", false),
+    ("Millions of undocumented votes were cast in the election", false),
+    ("The president signed more executive orders than any predecessor", false),
+    ("Wages for middle class workers have stagnated for twenty years", true),
+    ("The trade deficit with China reached a record high", true),
+    ("Violent crime is at a fifty year low nationwide", true),
+    ("The country spends more on defense than the next ten nations combined", true),
+    ("Immigrants commit crimes at higher rates than native born citizens", false),
+    ("The top one percent own half of the nation's wealth", false),
+    ("Renewable energy employs more people than coal mining", true),
+    ("The average temperature has risen two degrees since 1900", false),
+    ("Vaccines cause more injuries than the diseases they prevent", false),
+    ("The national debt exceeds the size of the entire economy", true),
+    ("School test scores have declined every year for a decade", false),
+    ("The league suspended more players last season than ever before", false),
+    ("Ticket prices have doubled since the new stadium opened", false),
+    ("The team's payroll is the highest in the division", true),
+    ("Home prices in the region rose faster than anywhere else", false),
+    ("The state's population grew by a million people in ten years", true),
+    ("Gas prices hit their highest level in seven years", true),
+    ("The company laid off a quarter of its workforce", false),
+    ("Retail sales collapsed during the holiday season", false),
+    ("The survey shows most developers learned to code in college", false),
+    ("A majority of respondents favor remote work arrangements", true),
+    ("The average salary in the industry exceeds six figures", false),
+    ("Most donations to the campaign came from out of state", false),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popular_repository_builds() {
+        let repo = FactRepository::popular();
+        assert_eq!(repo.len(), POPULAR_CLAIMS.len());
+        assert!(!repo.is_empty());
+    }
+
+    #[test]
+    fn search_returns_similar_statements() {
+        let repo = FactRepository::popular();
+        let hits = repo.search("the unemployment rate fell below five percent", 3);
+        assert!(!hits.is_empty());
+        assert!(hits[0].statement.contains("unemployment"));
+        assert!(hits[0].truth);
+        assert!(hits[0].similarity > 0.0);
+    }
+
+    #[test]
+    fn unrelated_queries_hit_spuriously_or_not_at_all() {
+        let repo = FactRepository::popular();
+        // A long-tail claim about an ad-hoc data set: any hit is spurious.
+        let hits = repo.search("three lifetime bans were for repeated substance abuse", 3);
+        for h in &hits {
+            assert!(
+                !h.statement.contains("lifetime"),
+                "repository cannot contain the long-tail claim"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_repository() {
+        let repo = FactRepository::build(vec![
+            ("the sky is blue".into(), true),
+            ("the sky is green".into(), false),
+        ]);
+        let hits = repo.search("what color is the sky", 2);
+        assert_eq!(hits.len(), 2);
+    }
+}

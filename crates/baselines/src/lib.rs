@@ -1,0 +1,32 @@
+//! # agg-baselines
+//!
+//! The baseline systems of the paper's evaluation (Table 5):
+//!
+//! * **ClaimBuster-FM** ([`claimbuster_fm`]) — fact matching: an input
+//!   claim is compared against a repository of previously fact-checked
+//!   statements; the verdict is borrowed from the most similar statement
+//!   (`Max`) or a similarity-weighted majority vote (`MV`). The paper finds
+//!   this fails on "long tail" claims about ad-hoc data sets — its hits are
+//!   spurious.
+//! * **ClaimBuster-KB + NaLIR** ([`question_gen`], [`nalir`],
+//!   [`claimbuster_kb`]) — claims are transformed into natural-language
+//!   questions, which a NaLIR-style single-sentence NL→SQL translator
+//!   answers over the database. Without document context, holistic priors,
+//!   or result feedback, most claims fail to translate (the paper reports
+//!   a 42.1% translation ratio and 2.4% recall end-to-end).
+//!
+//! The third baseline of the paper — naive query evaluation for Table 6 —
+//! lives in `agg_core::evaluate::evaluate_naive` / `EvalStrategy::Naive`,
+//! since it is a strategy of the main system rather than a separate tool.
+
+pub mod claimbuster_fm;
+pub mod claimbuster_kb;
+pub mod fact_repo;
+pub mod nalir;
+pub mod question_gen;
+
+pub use claimbuster_fm::{check_with_fm, FmMode};
+pub use claimbuster_kb::check_with_kb;
+pub use fact_repo::FactRepository;
+pub use nalir::NalirTranslator;
+pub use question_gen::generate_questions;

@@ -1,0 +1,282 @@
+//! A NaLIR-style natural-language query translator.
+//!
+//! NaLIR maps a *single* natural-language question to SQL by aligning the
+//! sentence parse tree with a query tree — no document context, no
+//! training, no result feedback. The paper found that claim sentences defeat
+//! this approach: they are long, contain multiple claims, rarely state the
+//! aggregation function, and their parse trees are far from the query
+//! trees. This reimplementation reproduces those failure modes:
+//!
+//! * an **explicit** aggregation marker is required ("how many",
+//!   "average", "total", …) — absent in ≈30% of claims;
+//! * aggregation columns and predicate values must match the schema
+//!   **verbatim** (after stemming) — no synonyms, no context, no
+//!   probabilistic matching;
+//! * long or multi-clause questions fail outright, mirroring the parse
+//!   failures the paper observed.
+
+use agg_nlp::stem::stem;
+use agg_nlp::tokenize::{tokenize, Token, TokenKind};
+use agg_nlp::wordbreak::decompose_identifier;
+use agg_relational::{
+    AggColumn, AggFunction, ColumnRef, Database, Predicate, SimpleAggregateQuery, Value,
+};
+
+/// Why a translation attempt failed (diagnostics for the experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationFailure {
+    /// No explicit aggregation marker in the question.
+    NoAggregationMarker,
+    /// The aggregate needs a column but none matched verbatim.
+    NoAggregationColumn,
+    /// The question is too long / multi-clause to parse.
+    TooComplex,
+}
+
+/// Single-question NL→SQL translator over a fixed database.
+pub struct NalirTranslator<'a> {
+    db: &'a Database,
+    /// Stemmed words of the table names (the relation a count question
+    /// must name).
+    table_words: Vec<String>,
+    /// Per (table, column): stemmed name words.
+    column_words: Vec<(ColumnRef, Vec<String>)>,
+    /// String-literal index: (column, literal value, stemmed words).
+    literals: Vec<(ColumnRef, Value, Vec<String>)>,
+}
+
+impl<'a> NalirTranslator<'a> {
+    pub fn new(db: &'a Database) -> NalirTranslator<'a> {
+        let table_words: Vec<String> = db
+            .tables()
+            .iter()
+            .flat_map(|t| decompose_identifier(t.name()))
+            .map(|w| stem(&w))
+            .collect();
+        let mut column_words = Vec::new();
+        let mut literals = Vec::new();
+        for col in db.all_columns() {
+            let name = db.short_column_name(col);
+            let words: Vec<String> = decompose_identifier(name)
+                .into_iter()
+                .map(|w| stem(&w))
+                .collect();
+            column_words.push((col, words));
+            if let Some(dict) = db.column(col).dictionary() {
+                for (_, s) in dict.iter() {
+                    let words: Vec<String> = s
+                        .split_whitespace()
+                        .map(|w| stem(&w.to_lowercase()))
+                        .collect();
+                    if !words.is_empty() {
+                        literals.push((col, Value::Str(s.to_string()), words));
+                    }
+                }
+            }
+        }
+        NalirTranslator {
+            db,
+            table_words,
+            column_words,
+            literals,
+        }
+    }
+
+    /// Translate one question. `Err` carries the failure mode.
+    pub fn translate(
+        &self,
+        question: &str,
+    ) -> Result<SimpleAggregateQuery, TranslationFailure> {
+        let tokens = tokenize(question);
+        let words: Vec<String> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Word)
+            .map(|t| stem(&t.lower()))
+            .collect();
+        if words.len() > 22 || clause_breaks(&tokens) > 1 {
+            return Err(TranslationFailure::TooComplex);
+        }
+
+        let function = explicit_function(&words).ok_or(TranslationFailure::NoAggregationMarker)?;
+
+        // Count-like questions must name the relation being counted
+        // ("How many *suspensions* …"); a paraphrased noun ("punishments")
+        // finds no parse-tree mapping — one of NaLIR's failure modes the
+        // paper highlights.
+        if matches!(
+            function,
+            AggFunction::Count | AggFunction::Percentage | AggFunction::ConditionalProbability
+        ) && !self.table_words.iter().any(|w| words.contains(w))
+        {
+            return Err(TranslationFailure::NoAggregationColumn);
+        }
+
+        // Aggregation column (for value aggregates): a schema column whose
+        // name appears verbatim.
+        let column = if function.requires_numeric_column()
+            || function == AggFunction::CountDistinct
+        {
+            let found = self
+                .column_words
+                .iter()
+                .find(|(col, cw)| {
+                    let numeric_ok =
+                        !function.requires_numeric_column() || self.db.column(*col).is_numeric();
+                    numeric_ok && cw.iter().any(|w| words.contains(w))
+                })
+                .map(|(col, _)| *col);
+            match found {
+                Some(col) => AggColumn::Column(col),
+                None => return Err(TranslationFailure::NoAggregationColumn),
+            }
+        } else {
+            AggColumn::Star
+        };
+
+        // Predicates: literals whose every word occurs in the question.
+        let mut predicates: Vec<Predicate> = Vec::new();
+        for (col, value, lit_words) in &self.literals {
+            if predicates.len() >= 2 {
+                break;
+            }
+            if predicates.iter().any(|p| p.column == *col) {
+                continue;
+            }
+            if !lit_words.is_empty() && lit_words.iter().all(|w| words.contains(w)) {
+                predicates.push(Predicate::new(*col, value.clone()));
+            }
+        }
+
+        if function == AggFunction::ConditionalProbability && predicates.is_empty() {
+            return Err(TranslationFailure::NoAggregationColumn);
+        }
+        Ok(SimpleAggregateQuery::new(function, column, predicates))
+    }
+}
+
+/// Count clause separators — NaLIR-style parsers choke on multi-clause
+/// sentences.
+fn clause_breaks(tokens: &[Token]) -> usize {
+    tokens
+        .iter()
+        .filter(|t| {
+            (t.kind == TokenKind::Punct && matches!(t.text.as_str(), "," | ";" | ":"))
+                || (t.kind == TokenKind::Word
+                    && matches!(
+                        t.lower().as_str(),
+                        "which" | "while" | "whereas" | "although"
+                    ))
+        })
+        .count()
+}
+
+/// Only *explicit* aggregation markers translate — no implicit counts.
+fn explicit_function(stemmed_words: &[String]) -> Option<AggFunction> {
+    let has = |w: &str| stemmed_words.contains(&stem(w));
+    if has("many") || (has("number") && has("how")) {
+        return Some(AggFunction::Count);
+    }
+    if has("distinct") || has("different") || has("unique") {
+        return Some(AggFunction::CountDistinct);
+    }
+    if has("average") || has("mean") {
+        return Some(AggFunction::Avg);
+    }
+    if has("total") || has("sum") || has("combined") {
+        return Some(AggFunction::Sum);
+    }
+    if has("highest") || has("maximum") || has("largest") {
+        return Some(AggFunction::Max);
+    }
+    if has("lowest") || has("minimum") || has("smallest") {
+        return Some(AggFunction::Min);
+    }
+    if has("percent") || has("percentage") || has("share") {
+        return Some(AggFunction::Percentage);
+    }
+    if has("number") {
+        return Some(AggFunction::Count);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_relational::Table;
+
+    fn db() -> Database {
+        let t = Table::from_columns(
+            "suspensions",
+            vec![
+                (
+                    "category",
+                    vec!["gambling".into(), "peds".into(), "gambling".into()],
+                ),
+                (
+                    "games",
+                    vec![Value::Int(4), Value::Int(8), Value::Int(16)],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    #[test]
+    fn translates_simple_how_many_question() {
+        let d = db();
+        let t = NalirTranslator::new(&d);
+        let q = t.translate("How many gambling suspensions?").unwrap();
+        assert_eq!(q.function, AggFunction::Count);
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.predicates[0].value, Value::Str("gambling".into()));
+    }
+
+    #[test]
+    fn translates_average_with_column() {
+        let d = db();
+        let t = NalirTranslator::new(&d);
+        let q = t.translate("What is the average games for gambling?").unwrap();
+        assert_eq!(q.function, AggFunction::Avg);
+        assert!(matches!(q.column, AggColumn::Column(_)));
+    }
+
+    #[test]
+    fn fails_without_explicit_marker() {
+        let d = db();
+        let t = NalirTranslator::new(&d);
+        // "There were four gambling suspensions" has no marker.
+        let err = t.translate("There were gambling suspensions").unwrap_err();
+        assert_eq!(err, TranslationFailure::NoAggregationMarker);
+    }
+
+    #[test]
+    fn fails_on_multiclause_sentences() {
+        let d = db();
+        let t = NalirTranslator::new(&d);
+        let err = t
+            .translate("How many suspensions, which were for gambling, and others, were upheld?")
+            .unwrap_err();
+        assert_eq!(err, TranslationFailure::TooComplex);
+    }
+
+    #[test]
+    fn fails_when_column_is_paraphrased() {
+        let d = db();
+        let t = NalirTranslator::new(&d);
+        // "matches" is a synonym of "games" — NaLIR does not know that.
+        let err = t.translate("What is the average matches played?").unwrap_err();
+        assert_eq!(err, TranslationFailure::NoAggregationColumn);
+    }
+
+    #[test]
+    fn no_spurious_predicates() {
+        let d = db();
+        let t = NalirTranslator::new(&d);
+        let q = t.translate("How many suspensions in the league?").unwrap();
+        assert!(q.predicates.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Question generation from claim sentences.
+//!
+//! ClaimBuster-KB transforms statements into questions via the
+//! Heilman-Smith overgenerate-and-rank tool; the questions are then sent to
+//! a knowledge base or NL interface. This reimplementation applies the same
+//! idea with rule templates: the claimed number is replaced by an
+//! interrogative, yielding one or more candidate questions per claim.
+
+use agg_nlp::numbers::parse_number_mentions;
+use agg_nlp::tokenize::tokenize;
+
+/// Generate candidate questions for a claim sentence. The `claim_value`
+/// selects which number mention is questioned when the sentence contains
+/// several.
+pub fn generate_questions(sentence: &str, claim_value: f64) -> Vec<String> {
+    let tokens = tokenize(sentence);
+    let mentions = parse_number_mentions(&tokens);
+    let Some(mention) = mentions
+        .iter()
+        .find(|m| (m.value - claim_value).abs() < 1e-9)
+        .or_else(|| mentions.first())
+    else {
+        return Vec::new();
+    };
+    // Split the sentence around the number mention.
+    let start_tok = &tokens[mention.token_start];
+    let end_tok = &tokens[mention.token_end - 1];
+    let before = sentence[..start_tok.start].trim();
+    let after = sentence[end_tok.end..]
+        .trim()
+        .trim_end_matches(['.', '!', '?'])
+        .trim();
+
+    let mut questions = Vec::new();
+    // "How many X ...?" — the dominant form for counts.
+    if !after.is_empty() {
+        questions.push(format!("How many {after}?"));
+    }
+    // "What is/was ... ?" — keep the leading context as a clause.
+    if !before.is_empty() && !after.is_empty() {
+        questions.push(format!("What number of {after} {before}?"));
+    }
+    if !before.is_empty() {
+        questions.push(format!("What was the value such that {before}?"));
+    }
+    // The original sentence is also sent (the paper's setup forwards it).
+    questions.push(sentence.trim().to_string());
+    questions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaces_number_with_interrogative() {
+        let qs = generate_questions("There were four previous lifetime bans.", 4.0);
+        assert!(qs.iter().any(|q| q.starts_with("How many")));
+        assert!(qs.iter().any(|q| q.contains("previous lifetime bans")));
+        // Original sentence is forwarded too.
+        assert!(qs.iter().any(|q| q.contains("four")));
+    }
+
+    #[test]
+    fn selects_the_right_mention_in_multiclaim_sentences() {
+        let qs = generate_questions(
+            "Three were for substance abuse, one was for gambling.",
+            1.0,
+        );
+        assert!(
+            qs.iter().any(|q| q.contains("was for gambling")),
+            "{qs:?}"
+        );
+    }
+
+    #[test]
+    fn sentences_without_numbers_yield_nothing() {
+        assert!(generate_questions("No numbers here.", 1.0).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Meso-benchmark backing Table 6: one article verified under each of the
+//! three evaluation strategies (naive, merged, merged + cached).
+
+use agg_core::{AggChecker, CheckerConfig, EvalStrategy};
+use agg_corpus::{generate_test_case, CorpusSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_strategies(c: &mut Criterion) {
+    let spec = CorpusSpec::small(1, 1234);
+    let tc = generate_test_case(&spec, 0);
+    let mut group = c.benchmark_group("eval_strategies");
+    group.sample_size(10);
+
+    for (label, strategy) in [
+        ("naive", EvalStrategy::Naive),
+        ("merged", EvalStrategy::Merged),
+        ("merged_cached", EvalStrategy::MergedCached),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = CheckerConfig::default();
+                cfg.strategy = strategy;
+                // A smaller hit budget keeps the naive arm affordable.
+                cfg.lucene_hits = 8;
+                let checker = AggChecker::new(tc.db.clone(), cfg).unwrap();
+                checker.check_text(&tc.article_html).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmark: IR retrieval over fragment keyword bags (the Lucene
+//! substitute on the hot path of keyword matching).
+
+use agg_ir::{IndexBuilder, Scorer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build an index shaped like a predicate-fragment index: many documents,
+/// a handful of weighted terms each, drawn from a Zipf-ish vocabulary.
+fn fragment_like_index(n_docs: usize, vocab: usize) -> agg_ir::Index {
+    let mut rng = StdRng::seed_from_u64(7);
+    let words: Vec<String> = (0..vocab).map(|i| format!("term{i}")).collect();
+    let mut builder = IndexBuilder::new();
+    for _ in 0..n_docs {
+        let n_terms = rng.gen_range(3..9);
+        let terms: Vec<(usize, f32)> = (0..n_terms)
+            .map(|_| {
+                // Zipf-ish: low ids much more frequent.
+                let r: f64 = rng.gen::<f64>();
+                let id = ((vocab as f64).powf(r) as usize).min(vocab - 1);
+                (id, 1.0f32)
+            })
+            .collect();
+        builder.add_document(terms.iter().map(|(id, w)| (words[*id].as_str(), *w)));
+    }
+    builder.build()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ir_search");
+    for n_docs in [1_000usize, 20_000] {
+        let index = fragment_like_index(n_docs, 2_000);
+        let query: Vec<(String, f32)> = (0..12)
+            .map(|i| (format!("term{}", i * 37 % 2000), 1.0 / (i + 1) as f32))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("top20", n_docs), &n_docs, |b, _| {
+            b.iter(|| {
+                index.search(
+                    query.iter().map(|(t, w)| (t.as_str(), *w)),
+                    20,
+                    Scorer::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

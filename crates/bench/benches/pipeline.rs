@@ -1,0 +1,43 @@
+//! End-to-end benchmark: full verification of one article (parse → match →
+//! EM with cube evaluation → report), with and without a warm cache.
+
+use agg_core::{AggChecker, CheckerConfig};
+use agg_corpus::builtin::nfl_suspensions;
+use agg_corpus::{generate_test_case, CorpusSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    // The paper's running example (tiny database, three claims).
+    let nfl = nfl_suspensions();
+    group.bench_function("nfl_running_example", |b| {
+        b.iter(|| {
+            let checker = AggChecker::new(nfl.db.clone(), CheckerConfig::default()).unwrap();
+            checker.check_text(&nfl.article_html).unwrap()
+        });
+    });
+
+    // A generated article over a few hundred rows.
+    let tc = generate_test_case(&CorpusSpec::default(), 1);
+    group.bench_function("generated_article_cold", |b| {
+        b.iter(|| {
+            let checker = AggChecker::new(tc.db.clone(), CheckerConfig::default()).unwrap();
+            checker.check_text(&tc.article_html).unwrap()
+        });
+    });
+
+    // Warm cache: the same checker re-verifies the document (the paper's
+    // across-iterations / across-runs reuse).
+    let warm = AggChecker::new(tc.db.clone(), CheckerConfig::default()).unwrap();
+    warm.check_text(&tc.article_html).unwrap();
+    group.bench_function("generated_article_warm_cache", |b| {
+        b.iter(|| warm.check_text(&tc.article_html).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

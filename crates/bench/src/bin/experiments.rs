@@ -1,0 +1,72 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p agg-bench --bin experiments -- all
+//! cargo run --release -p agg-bench --bin experiments -- table5 fig10
+//! cargo run --release -p agg-bench --bin experiments -- --quick all
+//! cargo run --release -p agg-bench --bin experiments -- --seed 7 table6
+//! ```
+
+use agg_bench::experiments::{experiment_names, run_experiment, ExpContext, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut seed = agg_corpus::CorpusSpec::default().seed;
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage("no experiment selected");
+    }
+    if names.iter().any(|n| n == "all") {
+        names = experiment_names().iter().map(|s| s.to_string()).collect();
+    }
+
+    let ctx = ExpContext::new(scale, seed);
+    eprintln!(
+        "# corpus: {} articles, {} claims (seed {seed}, {:?} scale)",
+        ctx.corpus.len(),
+        ctx.total_claims(),
+        scale
+    );
+    for name in names {
+        match run_experiment(&name, &ctx) {
+            Some(output) => {
+                println!("{:=<78}", format!("== {name} "));
+                println!("{output}");
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{name}'; available: {}",
+                    experiment_names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: experiments [--quick] [--seed N] <name...|all>\n\
+         experiments: {}",
+        experiment_names().join(", ")
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

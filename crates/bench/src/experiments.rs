@@ -1,0 +1,122 @@
+//! One module per table/figure of the paper, plus the shared experiment
+//! context. See DESIGN.md §3 for the experiment index.
+//!
+//! Every experiment is a function `fn(&ExpContext) -> String` returning the
+//! formatted table; the `experiments` binary dispatches by name and the
+//! integration tests assert on the shapes.
+
+pub mod ablations;
+pub mod accuracy;
+pub mod corpusfigs;
+pub mod study;
+pub mod table6;
+
+use crate::runner::{run_corpus, CorpusRun};
+use agg_core::CheckerConfig;
+use agg_corpus::{generate_corpus, CorpusSpec, TestCase};
+use std::sync::OnceLock;
+
+/// Corpus scale for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's scale: 53 articles.
+    Full,
+    /// A fast smoke-scale corpus for CI and iteration.
+    Quick,
+}
+
+/// Shared state across experiments: the corpus and the default checker run.
+pub struct ExpContext {
+    pub spec: CorpusSpec,
+    pub corpus: Vec<TestCase>,
+    pub scale: Scale,
+    default_run: OnceLock<CorpusRun>,
+}
+
+impl ExpContext {
+    pub fn new(scale: Scale, seed: u64) -> ExpContext {
+        let mut spec = CorpusSpec {
+            seed,
+            ..CorpusSpec::default()
+        };
+        if scale == Scale::Quick {
+            spec.n_articles = 10;
+            spec.max_claims = 8;
+            spec.max_rows = 200;
+        }
+        let corpus = generate_corpus(&spec);
+        ExpContext {
+            spec,
+            corpus,
+            scale,
+            default_run: OnceLock::new(),
+        }
+    }
+
+    /// The run with the paper's default configuration (cached).
+    pub fn default_run(&self) -> &CorpusRun {
+        self.default_run
+            .get_or_init(|| run_corpus(&self.corpus, &CheckerConfig::default()))
+    }
+
+    /// Total ground-truth claims.
+    pub fn total_claims(&self) -> usize {
+        self.corpus.iter().map(|t| t.ground_truth.len()).sum()
+    }
+}
+
+/// All experiments, by paper artifact id.
+pub const EXPERIMENTS: &[(&str, fn(&ExpContext) -> String)] = &[
+    ("table3", study::table3),
+    ("table4", study::table4),
+    ("table5", accuracy::table5),
+    ("table6", table6::table6),
+    ("table8", study::table8),
+    ("table10", accuracy::table10),
+    ("table11", study::table11),
+    ("fig6", study::fig6),
+    ("fig7", study::fig7),
+    ("fig8", corpusfigs::fig8),
+    ("fig9a", corpusfigs::fig9a),
+    ("fig9b", corpusfigs::fig9b),
+    ("fig9c", corpusfigs::fig9c),
+    ("fig10", accuracy::fig10),
+    ("fig11", accuracy::fig11),
+    ("fig12", accuracy::fig12),
+    ("fig13", accuracy::fig13),
+    ("ablations", ablations::ablations),
+];
+
+/// Run one experiment by name.
+pub fn run_experiment(name: &str, ctx: &ExpContext) -> Option<String> {
+    EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| f(ctx))
+}
+
+/// Names of all experiments, in paper order.
+pub fn experiment_names() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let names = experiment_names();
+        assert!(names.len() >= 17, "all tables and figures registered");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        let ctx = ExpContext::new(Scale::Quick, 3);
+        assert!(run_experiment("table99", &ctx).is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//! prior smoothing, the `(1 − p_r)` unrestricted-column factor, the
+//! unrestricted pseudo-score factor, and EM iteration limits.
+
+use super::ExpContext;
+use crate::metrics::pct;
+use crate::runner::run_corpus;
+use agg_core::CheckerConfig;
+use std::fmt::Write;
+
+/// Run all ablations and report top-k coverage plus F1 for each variant.
+pub fn ablations(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablations: design decisions beyond the paper's own ladders");
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>8} {:>8} {:>8}",
+        "Variant", "Top-1", "Top-5", "Recall", "F1"
+    );
+
+    let row = |label: &str, cfg: CheckerConfig, out: &mut String| {
+        let run = run_corpus(&ctx.corpus, &cfg);
+        let cov = run.coverage();
+        let c = run.confusion();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>8} {:>8} {:>8}",
+            label,
+            pct(cov.at(1)),
+            pct(cov.at(5)),
+            pct(c.recall()),
+            pct(c.f1())
+        );
+    };
+
+    row("default configuration", CheckerConfig::default(), &mut out);
+
+    // The (1 - p_r) factor the paper's Eq. (5) omits.
+    let mut cfg = CheckerConfig::default();
+    cfg.penalize_unrestricted = true;
+    row("+ penalize unrestricted columns (1 - p_r)", cfg, &mut out);
+
+    // Prior smoothing sweep.
+    for lambda in [0.0, 0.01, 0.2, 0.5] {
+        let mut cfg = CheckerConfig::default();
+        cfg.prior_smoothing = lambda;
+        row(&format!("prior smoothing lambda = {lambda}"), cfg, &mut out);
+    }
+
+    // Unrestricted pseudo-score factor.
+    for factor in [0.4, 0.6, 1.0] {
+        let mut cfg = CheckerConfig::default();
+        cfg.unrestricted_factor = factor;
+        row(&format!("unrestricted score factor = {factor}"), cfg, &mut out);
+    }
+
+    // EM iteration budget.
+    for iters in [1usize, 2, 4] {
+        let mut cfg = CheckerConfig::default();
+        cfg.max_em_iterations = iters;
+        row(&format!("max EM iterations = {iters}"), cfg, &mut out);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn ablations_produce_a_row_per_variant() {
+        let ctx = ExpContext::new(Scale::Quick, 37);
+        let small = ExpContext {
+            spec: ctx.spec.clone(),
+            corpus: ctx.corpus.into_iter().take(3).collect(),
+            scale: Scale::Quick,
+            default_run: Default::default(),
+        };
+        let out = ablations(&small);
+        // Header (2) + 1 default + 1 penalize + 4 lambda + 3 factor + 3 EM.
+        assert_eq!(out.lines().count(), 2 + 1 + 1 + 4 + 3 + 3, "{out}");
+    }
+}

@@ -1,0 +1,496 @@
+//! Automated-checking accuracy experiments: Table 5, Table 10, Figures
+//! 10–13.
+
+use super::ExpContext;
+use crate::metrics::{pct, Confusion};
+use crate::runner::{run_corpus, run_corpus_with};
+use agg_baselines::{check_with_fm, check_with_kb, FactRepository, FmMode};
+use agg_corpus::stats::align_claims;
+use agg_corpus::TestCase;
+use agg_nlp::claims::{detect_claims, ClaimDetectorConfig};
+use agg_nlp::structure::parse_document;
+use agg_nlp::synonyms::SynonymDict;
+use agg_core::{CheckerConfig, ContextConfig, ModelConfig};
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Table 5: AggChecker variants versus the baselines.
+pub fn table5(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5: Comparison of AggChecker with baselines");
+    let _ = writeln!(out, "{:<44} {:>8} {:>10} {:>8} {:>8}", "Tool", "Recall", "Precision", "F1", "Time");
+
+    // --- Keyword-context ablation (also Figure 11's data) ----------------
+    let _ = writeln!(out, "-- AggChecker - Keyword Context (Figure 11)");
+    for (label, ctx_cfg, synonyms) in context_ladder() {
+        let mut cfg = CheckerConfig::default();
+        cfg.context = ctx_cfg;
+        let t0 = Instant::now();
+        let run = run_corpus_with(&ctx.corpus, &cfg, synonyms);
+        let c = run.confusion();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>10} {:>8} {:>7.1}s",
+            label,
+            pct(c.recall()),
+            pct(c.precision()),
+            pct(c.f1()),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    // --- Probabilistic-model ablation (also Table 10's data) -------------
+    let _ = writeln!(out, "-- AggChecker - Probabilistic Model (Table 10)");
+    for (label, model) in model_ladder() {
+        let mut cfg = CheckerConfig::default();
+        cfg.model = model;
+        let t0 = Instant::now();
+        let run = run_corpus(&ctx.corpus, &cfg);
+        let c = run.confusion();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>10} {:>8} {:>7.1}s",
+            label,
+            pct(c.recall()),
+            pct(c.precision()),
+            pct(c.f1()),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    // --- Time budget by retrieval hits (also Figure 13's data) -----------
+    let _ = writeln!(out, "-- AggChecker - Time Budget by IR Hits (Figure 13)");
+    for hits in [1usize, 10, 20, 30] {
+        let mut cfg = CheckerConfig::default();
+        cfg.lucene_hits = hits;
+        let t0 = Instant::now();
+        let run = run_corpus(&ctx.corpus, &cfg);
+        let c = run.confusion();
+        let marker = if hits == 20 { " (current version)" } else { "" };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>10} {:>8} {:>7.1}s",
+            format!("# Hits = {hits}{marker}"),
+            pct(c.recall()),
+            pct(c.precision()),
+            pct(c.f1()),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    // --- Baselines --------------------------------------------------------
+    let _ = writeln!(out, "-- Baselines");
+    for (label, mode) in [
+        ("ClaimBuster-FM (Max)", FmMode::Max),
+        ("ClaimBuster-FM (MV)", FmMode::MajorityVote),
+    ] {
+        let t0 = Instant::now();
+        let c = run_claimbuster_fm(&ctx.corpus, mode);
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>10} {:>8} {:>7.1}s",
+            label,
+            pct(c.recall()),
+            pct(c.precision()),
+            pct(c.f1()),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    {
+        let t0 = Instant::now();
+        let (c, translated, total) = run_claimbuster_kb(&ctx.corpus);
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>10} {:>8} {:>7.1}s   (translated {}/{} claims)",
+            "ClaimBuster-KB + NaLIR",
+            pct(c.recall()),
+            pct(c.precision()),
+            pct(c.f1()),
+            t0.elapsed().as_secs_f64(),
+            translated,
+            total
+        );
+    }
+    {
+        let run = ctx.default_run();
+        let c = run.confusion();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>10} {:>8} {:>7.1}s",
+            "AggChecker Automatic",
+            pct(c.recall()),
+            pct(c.precision()),
+            pct(c.f1()),
+            run.elapsed.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Table 10: top-k coverage versus probabilistic-model variant.
+pub fn table10(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 10: Top-k coverage versus probabilistic model");
+    let _ = writeln!(out, "{:<36} {:>8} {:>8} {:>8}", "Version", "Top-1", "Top-5", "Top-10");
+    for (label, model) in model_ladder() {
+        let mut cfg = CheckerConfig::default();
+        cfg.model = model;
+        let run = run_corpus(&ctx.corpus, &cfg);
+        let cov = run.coverage();
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>8} {:>8}",
+            label,
+            pct(cov.at(1)),
+            pct(cov.at(5)),
+            pct(cov.at(10))
+        );
+    }
+    out
+}
+
+/// Figure 10: top-k coverage, total and split by claim correctness.
+pub fn fig10(ctx: &ExpContext) -> String {
+    let run = ctx.default_run();
+    let cov = run.coverage();
+    let (correct, incorrect) = run.coverage_split();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10: Top-k coverage (total / correct / incorrect claims)");
+    let _ = writeln!(out, "{:>5} {:>9} {:>9} {:>10}", "k", "Total", "Correct", "Incorrect");
+    for k in [1usize, 2, 3, 5, 10, 15, 20] {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>9} {:>9} {:>10}",
+            k,
+            pct(cov.at(k)),
+            pct(correct.at(k)),
+            pct(incorrect.at(k))
+        );
+    }
+    out
+}
+
+/// Figure 11: top-k coverage as a function of keyword context.
+pub fn fig11(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 11: Top-k coverage versus keyword context");
+    let _ = writeln!(out, "{:<28} {:>8} {:>8} {:>8}", "Context", "Top-1", "Top-5", "Top-10");
+    for (label, ctx_cfg, synonyms) in context_ladder() {
+        let mut cfg = CheckerConfig::default();
+        cfg.context = ctx_cfg;
+        let run = run_corpus_with(&ctx.corpus, &cfg, synonyms);
+        let cov = run.coverage();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>8}",
+            label,
+            pct(cov.at(1)),
+            pct(cov.at(5)),
+            pct(cov.at(10))
+        );
+    }
+    out
+}
+
+/// Figure 12: parameter p_T versus recall / precision / F1.
+pub fn fig12(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 12: p_T versus recall and precision");
+    let _ = writeln!(out, "{:>9} {:>8} {:>10} {:>8}", "p_T", "Recall", "Precision", "F1");
+    for p_t in [0.6, 0.8, 0.9, 0.99, 0.999, 0.9999] {
+        let mut cfg = CheckerConfig::default();
+        cfg.p_true = p_t;
+        let run = run_corpus(&ctx.corpus, &cfg);
+        let c = run.confusion();
+        let _ = writeln!(
+            out,
+            "{:>9} {:>8} {:>10} {:>8}",
+            p_t,
+            pct(c.recall()),
+            pct(c.precision()),
+            pct(c.f1())
+        );
+    }
+    out
+}
+
+/// Figure 13: top-k coverage versus processing overheads (IR hits budget
+/// and aggregation-column budget).
+pub fn fig13(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 13: Top-k coverage versus processing overheads");
+    let _ = writeln!(out, "-- varying the IR hit budget");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>9} {:>8} {:>8} {:>12}",
+        "# Hits", "Time", "Top-1", "Top-10", "#Candidates"
+    );
+    for hits in [1usize, 10, 20, 30] {
+        let mut cfg = CheckerConfig::default();
+        cfg.lucene_hits = hits;
+        let t0 = Instant::now();
+        let run = run_corpus(&ctx.corpus, &cfg);
+        let cov = run.coverage();
+        let _ = writeln!(
+            out,
+            "{:>7} {:>8.1}s {:>8} {:>8} {:>12}",
+            hits,
+            t0.elapsed().as_secs_f64(),
+            pct(cov.at(1)),
+            pct(cov.at(10)),
+            run.candidates_evaluated
+        );
+    }
+    let _ = writeln!(out, "-- varying the aggregation-column budget");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>9} {:>8} {:>8} {:>12}",
+        "# Aggs", "Time", "Top-1", "Top-10", "#Candidates"
+    );
+    for max_aggs in [1usize, 2, 4, 8] {
+        let mut cfg = CheckerConfig::default();
+        cfg.scope.max_agg_columns = max_aggs;
+        let t0 = Instant::now();
+        let run = run_corpus(&ctx.corpus, &cfg);
+        let cov = run.coverage();
+        let _ = writeln!(
+            out,
+            "{:>7} {:>8.1}s {:>8} {:>8} {:>12}",
+            max_aggs,
+            t0.elapsed().as_secs_f64(),
+            pct(cov.at(1)),
+            pct(cov.at(10)),
+            run.candidates_evaluated
+        );
+    }
+    out
+}
+
+/// The keyword-context ladder of Table 5 / Figure 11: each row adds one
+/// context source. Synonyms are toggled via the dictionary override.
+fn context_ladder() -> Vec<(&'static str, ContextConfig, Option<SynonymDict>)> {
+    let empty = Some(SynonymDict::empty());
+    vec![
+        (
+            "Claim sentence",
+            ContextConfig {
+                use_previous_sentence: false,
+                use_paragraph_start: false,
+                use_synonyms: false,
+                use_headlines: false,
+            },
+            empty.clone(),
+        ),
+        (
+            "+ Previous sentence",
+            ContextConfig {
+                use_previous_sentence: true,
+                use_paragraph_start: false,
+                use_synonyms: false,
+                use_headlines: false,
+            },
+            empty.clone(),
+        ),
+        (
+            "+ Paragraph start",
+            ContextConfig {
+                use_previous_sentence: true,
+                use_paragraph_start: true,
+                use_synonyms: false,
+                use_headlines: false,
+            },
+            empty,
+        ),
+        (
+            "+ Synonyms",
+            ContextConfig {
+                use_previous_sentence: true,
+                use_paragraph_start: true,
+                use_synonyms: true,
+                use_headlines: false,
+            },
+            None,
+        ),
+        (
+            "+ Headlines (current version)",
+            ContextConfig::default(),
+            None,
+        ),
+    ]
+}
+
+/// The model ladder of Table 5 / Table 10.
+fn model_ladder() -> Vec<(&'static str, ModelConfig)> {
+    vec![
+        (
+            "Relevance scores S_c",
+            ModelConfig {
+                use_evaluation: false,
+                use_priors: false,
+            },
+        ),
+        (
+            "+ Evaluation results E_c",
+            ModelConfig {
+                use_evaluation: true,
+                use_priors: false,
+            },
+        ),
+        (
+            "+ Learning priors Theta (current)",
+            ModelConfig {
+                use_evaluation: true,
+                use_priors: true,
+            },
+        ),
+    ]
+}
+
+/// Claim sentences per test case, aligned with ground truth (for the
+/// text-only baselines).
+fn claim_sentences(tc: &TestCase) -> Vec<Option<(String, agg_nlp::numbers::NumberMention)>> {
+    let doc = parse_document(&tc.article_html);
+    let detected = detect_claims(&doc, &ClaimDetectorConfig::default());
+    let values: Vec<f64> = detected.iter().map(|c| c.number.value).collect();
+    let aligned = align_claims(&values, &tc.ground_truth);
+    aligned
+        .into_iter()
+        .map(|slot| {
+            slot.map(|idx| {
+                let claim = &detected[idx];
+                let sentence = doc
+                    .section(&claim.section)
+                    .and_then(|s| s.paragraphs.get(claim.paragraph))
+                    .and_then(|p| p.sentences.get(claim.sentence))
+                    .map(|s| s.text.clone())
+                    .unwrap_or_default();
+                (sentence, claim.number.clone())
+            })
+        })
+        .collect()
+}
+
+/// ClaimBuster-FM over the corpus: repository = popular claims + the
+/// claims of every *other* article (with their ground-truth labels).
+fn run_claimbuster_fm(corpus: &[TestCase], mode: FmMode) -> Confusion {
+    // Pre-compute claim sentences per article.
+    let sentences: Vec<Vec<Option<(String, agg_nlp::numbers::NumberMention)>>> =
+        corpus.iter().map(claim_sentences).collect();
+    let mut confusion = Confusion::default();
+    for (i, tc) in corpus.iter().enumerate() {
+        // Repository: popular claims + other articles' claims.
+        let mut entries: Vec<(String, bool)> = Vec::new();
+        for (j, others) in sentences.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for (slot, g) in others.iter().zip(&corpus[j].ground_truth) {
+                if let Some((sentence, _)) = slot {
+                    entries.push((sentence.clone(), g.is_correct));
+                }
+            }
+        }
+        let mut all = entries;
+        all.extend(FactRepository::popular_entries());
+        let repo = FactRepository::build(all);
+        for (slot, g) in sentences[i].iter().zip(&tc.ground_truth) {
+            let flagged = match slot {
+                None => false,
+                Some((sentence, _)) => {
+                    match check_with_fm(&repo, sentence, mode, 5, 0.1) {
+                        Some(verdict_correct) => !verdict_correct,
+                        None => false,
+                    }
+                }
+            };
+            confusion.record(!g.is_correct, flagged);
+        }
+    }
+    confusion
+}
+
+/// ClaimBuster-KB + NaLIR over the corpus. Returns the confusion matrix,
+/// the number of claims with at least one translated query, and the total.
+fn run_claimbuster_kb(corpus: &[TestCase]) -> (Confusion, usize, usize) {
+    let mut confusion = Confusion::default();
+    let mut translated = 0usize;
+    let mut total = 0usize;
+    for tc in corpus {
+        for (slot, g) in claim_sentences(tc).iter().zip(&tc.ground_truth) {
+            total += 1;
+            let flagged = match slot {
+                None => false,
+                Some((sentence, mention)) => {
+                    match check_with_kb(&tc.db, sentence, mention) {
+                        agg_baselines::claimbuster_kb::KbOutcome::VerifiedCorrect => {
+                            translated += 1;
+                            false
+                        }
+                        agg_baselines::claimbuster_kb::KbOutcome::VerifiedWrong => {
+                            translated += 1;
+                            true
+                        }
+                        agg_baselines::claimbuster_kb::KbOutcome::NotTranslated => false,
+                    }
+                }
+            };
+            confusion.record(!g.is_correct, flagged);
+        }
+    }
+    (confusion, translated, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    fn quick_ctx() -> ExpContext {
+        ExpContext::new(Scale::Quick, 17)
+    }
+
+    #[test]
+    fn table10_shows_model_ladder_improvement() {
+        let ctx = quick_ctx();
+        let out = table10(&ctx);
+        assert!(out.contains("Relevance scores"));
+        assert!(out.contains("current"));
+        // Three data rows.
+        assert_eq!(out.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn fig10_is_monotone_in_k() {
+        let ctx = quick_ctx();
+        let out = fig10(&ctx);
+        let rows: Vec<f64> = out
+            .lines()
+            .skip(2)
+            .map(|l| {
+                let total = l.split_whitespace().nth(1).unwrap();
+                total.trim_end_matches('%').parse::<f64>().unwrap()
+            })
+            .collect();
+        for pair in rows.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-9, "coverage must grow with k: {rows:?}");
+        }
+    }
+
+    #[test]
+    fn claimbuster_kb_translates_some_but_not_all() {
+        let ctx = quick_ctx();
+        let (_, translated, total) = run_claimbuster_kb(&ctx.corpus);
+        assert!(total > 0);
+        assert!(translated < total, "NaLIR must fail on some claims");
+    }
+
+    #[test]
+    fn claim_sentences_align() {
+        let ctx = quick_ctx();
+        for tc in &ctx.corpus {
+            let sentences = claim_sentences(tc);
+            assert_eq!(sentences.len(), tc.ground_truth.len());
+            assert!(sentences.iter().all(|s| s.is_some()));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Corpus-analysis figures: Figure 8 (candidate-space sizes) and
+//! Figure 9 (claim distribution, theme coverage, predicate breakdown).
+
+use super::ExpContext;
+use crate::metrics::pct;
+use agg_core::{CatalogConfig, FragmentCatalog};
+use agg_corpus::corpus_stats;
+use std::fmt::Write;
+
+/// Figure 8: number of possible query candidates per data set.
+pub fn fig8(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 8: Number of possible query candidates per data set");
+    let _ = writeln!(out, "{:<16} {:>8} {:>14}", "test case", "rows", "log10(#queries)");
+    let mut logs: Vec<(String, usize, f64)> = ctx
+        .corpus
+        .iter()
+        .map(|tc| {
+            let catalog = FragmentCatalog::build(&tc.db, &CatalogConfig::default());
+            (
+                tc.name.clone(),
+                tc.db.total_rows(),
+                catalog.candidate_space_log10(),
+            )
+        })
+        .collect();
+    logs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    for (name, rows, log) in &logs {
+        let _ = writeln!(out, "{:<16} {:>8} {:>14.1}", name, rows, log);
+    }
+    let max = logs.last().map(|(_, _, l)| *l).unwrap_or(0.0);
+    let min = logs.first().map(|(_, _, l)| *l).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "candidate spaces span 10^{min:.1} to 10^{max:.1} queries (paper: up to >10^12)"
+    );
+    out
+}
+
+/// Figure 9(a): distribution of claims over test cases, total and
+/// erroneous.
+pub fn fig9a(ctx: &ExpContext) -> String {
+    let stats = corpus_stats(&ctx.corpus, 5);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9(a): Distribution of claims over test cases");
+    let _ = writeln!(out, "{:<16} {:>8} {:>10}", "test case", "claims", "incorrect");
+    let mut rows: Vec<(&str, usize, usize)> = ctx
+        .corpus
+        .iter()
+        .map(|tc| {
+            (
+                tc.name.as_str(),
+                tc.ground_truth.len(),
+                tc.erroneous_count(),
+            )
+        })
+        .collect();
+    rows.sort_by_key(|(_, claims, _)| std::cmp::Reverse(*claims));
+    for (name, claims, wrong) in &rows {
+        let _ = writeln!(out, "{:<16} {:>8} {:>10}", name, claims, wrong);
+    }
+    let _ = writeln!(
+        out,
+        "total: {} claims, {} erroneous ({}); {}/{} articles contain at least one error",
+        stats.claims,
+        stats.erroneous_claims,
+        pct(stats.erroneous_claims as f64 / stats.claims.max(1) as f64),
+        stats.articles_with_errors,
+        stats.articles
+    );
+    let _ = writeln!(
+        out,
+        "(paper: 12% of claims erroneous; 17 of 53 articles with at least one error)"
+    );
+    out
+}
+
+/// Figure 9(b): per-document coverage of the N most frequent query
+/// characteristics.
+pub fn fig9b(ctx: &ExpContext) -> String {
+    let stats = corpus_stats(&ctx.corpus, 5);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 9(b): Claims covered per document by the top-N query characteristics"
+    );
+    let _ = writeln!(out, "{:>5} {:>10}", "N", "coverage");
+    for (i, cov) in stats.topn_coverage.iter().enumerate() {
+        let _ = writeln!(out, "{:>5} {:>10}", i + 1, pct(*cov));
+    }
+    let _ = writeln!(
+        out,
+        "(paper: the top-3 characteristics cover 90.8% of claims in average)"
+    );
+    out
+}
+
+/// Figure 9(c): breakdown of claim queries by predicate count.
+pub fn fig9c(ctx: &ExpContext) -> String {
+    let stats = corpus_stats(&ctx.corpus, 3);
+    let total: usize = stats.by_predicate_count.iter().sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9(c): Claim queries by number of predicates");
+    for (n, label) in [(0usize, "Zero"), (1, "One"), (2, "Two"), (3, "Three+")] {
+        let share = stats.by_predicate_count[n] as f64 / total.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<7} {:>6} claims {:>7}",
+            label,
+            stats.by_predicate_count[n],
+            pct(share)
+        );
+    }
+    let _ = writeln!(out, "(paper: 17% zero, 61% one, 23% two)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    fn quick_ctx() -> ExpContext {
+        ExpContext::new(Scale::Quick, 31)
+    }
+
+    #[test]
+    fn fig8_lists_every_test_case() {
+        let ctx = quick_ctx();
+        let out = fig8(&ctx);
+        for tc in &ctx.corpus {
+            assert!(out.contains(&tc.name), "missing {}", tc.name);
+        }
+    }
+
+    #[test]
+    fn fig9a_totals_are_consistent() {
+        let ctx = quick_ctx();
+        let out = fig9a(&ctx);
+        let expected: usize = ctx.corpus.iter().map(|t| t.ground_truth.len()).sum();
+        assert!(out.contains(&format!("total: {expected} claims")));
+    }
+
+    #[test]
+    fn fig9b_coverage_is_monotone() {
+        let ctx = quick_ctx();
+        let out = fig9b(&ctx);
+        let values: Vec<f64> = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .map(|l| {
+                l.split_whitespace()
+                    .last()
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .unwrap()
+            })
+            .collect();
+        for pair in values.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig9c_shares_sum_to_one() {
+        let ctx = quick_ctx();
+        let out = fig9c(&ctx);
+        let sum: f64 = out
+            .lines()
+            .filter(|l| l.contains("claims"))
+            .map(|l| {
+                l.split_whitespace()
+                    .last()
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .unwrap()
+            })
+            .sum();
+        assert!((sum - 100.0).abs() < 0.5, "{out}");
+    }
+}

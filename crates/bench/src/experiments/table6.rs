@@ -1,0 +1,116 @@
+//! Table 6: run time by evaluation strategy — naive per-candidate
+//! execution, cube merging, and merging plus the shared result cache.
+
+use super::{ExpContext, Scale};
+use crate::runner::run_corpus;
+use agg_core::{CheckerConfig, EvalStrategy};
+use std::fmt::Write;
+
+/// Table 6. The naive strategy executes every candidate separately; on the
+/// full corpus that is millions of scans, so the naive row runs on a
+/// subset and is scaled up (reported explicitly), exactly because that is
+/// the point of the experiment.
+pub fn table6(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 6: Run time for all test cases by evaluation strategy");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>9}  {}",
+        "Version", "Total (s)", "Query (s)", "Speedup", "notes"
+    );
+
+    // Naive: subset of articles when at full scale.
+    let naive_subset = if ctx.scale == Scale::Full {
+        8.min(ctx.corpus.len())
+    } else {
+        ctx.corpus.len()
+    };
+    let scale_factor = ctx.corpus.len() as f64 / naive_subset as f64;
+    let mut cfg = CheckerConfig::default();
+    cfg.strategy = EvalStrategy::Naive;
+    let naive_run = run_corpus(&ctx.corpus[..naive_subset], &cfg);
+    let naive_total = naive_run.elapsed.as_secs_f64() * scale_factor;
+    let naive_query = naive_run.query_time.as_secs_f64() * scale_factor;
+    let note = if scale_factor > 1.0 {
+        format!("(measured on {naive_subset}/{} articles, scaled)", ctx.corpus.len())
+    } else {
+        String::new()
+    };
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10.1} {:>10.1} {:>9}  {note}",
+        "Naive", naive_total, naive_query, "-"
+    );
+
+    let mut cfg = CheckerConfig::default();
+    cfg.strategy = EvalStrategy::Merged;
+    let merged_run = run_corpus(&ctx.corpus, &cfg);
+    let merged_query = merged_run.query_time.as_secs_f64();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10.1} {:>10.1} {:>8.1}x",
+        "+Merging",
+        merged_run.elapsed.as_secs_f64(),
+        merged_query,
+        naive_query / merged_query.max(1e-9)
+    );
+
+    let mut cfg = CheckerConfig::default();
+    cfg.strategy = EvalStrategy::MergedCached;
+    let cached_run = run_corpus(&ctx.corpus, &cfg);
+    let cached_query = cached_run.query_time.as_secs_f64();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10.1} {:>10.1} {:>8.1}x",
+        "+Caching",
+        cached_run.elapsed.as_secs_f64(),
+        cached_query,
+        merged_query / cached_query.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "accumulated query-time speedup: {:.1}x (paper: 129.9x over its testbed)",
+        naive_query / cached_query.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "cubes executed {} / served from cache {}",
+        cached_run.cubes_executed, cached_run.cubes_cached
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_rank_as_in_the_paper() {
+        // A tiny corpus keeps the naive run affordable in tests.
+        let ctx = ExpContext::new(Scale::Quick, 29);
+        let small = ExpContext {
+            spec: ctx.spec.clone(),
+            corpus: ctx.corpus.into_iter().take(3).collect(),
+            scale: Scale::Quick,
+            default_run: Default::default(),
+        };
+        let out = table6(&small);
+        // Extract query seconds per row.
+        let secs: Vec<f64> = out
+            .lines()
+            .skip(2)
+            .take(3)
+            .map(|l| l.split_whitespace().nth(2).unwrap_or("x"))
+            .filter_map(|x| x.parse::<f64>().ok())
+            .collect();
+        assert_eq!(secs.len(), 3, "{out}");
+        assert!(
+            secs[0] > secs[1],
+            "merging must beat naive: {secs:?}\n{out}"
+        );
+        assert!(
+            secs[1] >= secs[2] * 0.8,
+            "caching should not be much slower than merging: {secs:?}"
+        );
+    }
+}

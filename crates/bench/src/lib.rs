@@ -1,0 +1,12 @@
+//! # agg-bench
+//!
+//! Benchmark harness for the AggChecker reproduction: shared corpus
+//! runners and metrics ([`runner`], [`metrics`]), the user-study simulator
+//! ([`usersim`]), and one module per table/figure of the paper
+//! ([`experiments`]). The `experiments` binary regenerates every table and
+//! figure; the Criterion benches cover the timing-sensitive results.
+
+pub mod experiments;
+pub mod metrics;
+pub mod runner;
+pub mod usersim;

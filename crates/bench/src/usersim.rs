@@ -1,0 +1,376 @@
+//! User-study simulation (§7.2, Appendix A and D of the paper).
+//!
+//! Live user studies cannot ship inside a library, so the studies are
+//! reproduced with a seeded behavioural model (DESIGN.md §2, substitution
+//! 6). Users verify claims one by one under a time budget:
+//!
+//! * **AggChecker users** review the tentative markup; when the right query
+//!   is the top suggestion they confirm with one click, within the top-5
+//!   with two clicks, within the top-10 with three; otherwise they assemble
+//!   the query from high-probability fragments (slower, occasionally
+//!   failing). Action latencies follow the paper's interface design
+//!   (Figure 3).
+//! * **SQL users** compose each query by hand: slow, with a skill-dependent
+//!   success rate — the paper's participants were mostly CS majors and
+//!   still verified at one sixth of the AggChecker rate.
+//! * **Crowd workers** (Appendix D) are slower and less skilled; the
+//!   spreadsheet (G-Sheet) condition at document scope almost never
+//!   identifies an erroneous claim.
+
+use crate::metrics::Confusion;
+use crate::runner::ClaimOutcome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Verification tool under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    AggChecker,
+    Sql,
+    /// Spreadsheet condition of the crowd study (Table 11).
+    Spreadsheet,
+}
+
+/// How a claim got verified in the AggChecker interface (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Confirmed the top suggestion (1 click).
+    Top1,
+    /// Picked from the top-5 list (2 clicks).
+    Top5,
+    /// Picked from the top-10 list (3 clicks).
+    Top10,
+    /// Assembled a custom query from fragments.
+    Custom,
+    /// Composed a query by hand (SQL / spreadsheet formula).
+    Manual,
+}
+
+/// One verified claim in a session.
+#[derive(Debug, Clone)]
+pub struct VerifyEvent {
+    /// Seconds from session start at which verification completed.
+    pub at: f64,
+    /// Index of the claim in the article's ground truth.
+    pub claim: usize,
+    pub action: Action,
+}
+
+/// One user × article × tool session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub events: Vec<VerifyEvent>,
+    /// Per ground-truth claim: the final verdict "flagged erroneous" after
+    /// user interaction (claims never reached keep the tool's tentative
+    /// verdict for AggChecker, and no flag for manual tools).
+    pub flagged: Vec<bool>,
+    pub budget: f64,
+}
+
+impl Session {
+    /// Number of correctly verified claims at time `t` (for Figure 6).
+    pub fn verified_at(&self, t: f64) -> usize {
+        self.events.iter().filter(|e| e.at <= t).count()
+    }
+
+    /// Claims verified per minute (Figure 7).
+    pub fn throughput(&self) -> f64 {
+        let end = self
+            .events
+            .last()
+            .map(|e| e.at)
+            .unwrap_or(self.budget)
+            .max(1.0);
+        self.events.len() as f64 / (end / 60.0)
+    }
+}
+
+/// A simulated participant.
+#[derive(Debug, Clone, Copy)]
+pub struct User {
+    /// Latency multiplier (1.0 = nominal; higher = slower).
+    pub pace: f64,
+    /// Probability of successfully composing a manual query.
+    pub sql_skill: f64,
+    /// Probability of successfully assembling a custom query in the
+    /// AggChecker UI.
+    pub custom_skill: f64,
+    /// Probability that a manually composed query is subtly wrong, so the
+    /// user reaches a wrong verdict without noticing (§7.2: SQL users'
+    /// precision was only 56.7%).
+    pub misjudge: f64,
+}
+
+impl User {
+    /// The on-site panel: eight participants, seven CS majors (§7.2).
+    pub fn onsite_panel(seed: u64) -> Vec<User> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..8)
+            .map(|i| User {
+                pace: 0.8 + 0.5 * rng.gen::<f64>(),
+                // One participant (the non-CS major) is markedly weaker.
+                sql_skill: if i == 7 {
+                    0.25
+                } else {
+                    0.55 + 0.25 * rng.gen::<f64>()
+                },
+                custom_skill: 0.9,
+                misjudge: 0.2 + 0.15 * rng.gen::<f64>(),
+            })
+            .collect()
+    }
+
+    /// Crowd workers: no IT background assumed, no training (Appendix D).
+    pub fn crowd_panel(seed: u64, n: usize) -> Vec<User> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FD);
+        (0..n)
+            .map(|_| User {
+                pace: 1.3 + 1.2 * rng.gen::<f64>(),
+                sql_skill: 0.02 + 0.08 * rng.gen::<f64>(),
+                custom_skill: 0.6,
+                misjudge: 0.4,
+            })
+            .collect()
+    }
+}
+
+/// Simulate one session.
+///
+/// `outcomes` are the aligned automated results for the article's claims
+/// (from [`crate::runner::run_corpus`]); `budget` in seconds.
+pub fn simulate_session(
+    outcomes: &[ClaimOutcome],
+    user: &User,
+    tool: Tool,
+    budget: f64,
+    rng: &mut StdRng,
+) -> Session {
+    let mut t = 0.0f64;
+    let mut events = Vec::new();
+    // Tentative flags from the automated stage (AggChecker only).
+    let mut flagged: Vec<bool> = outcomes
+        .iter()
+        .map(|o| tool == Tool::AggChecker && o.detected && o.flagged_erroneous)
+        .collect();
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if t >= budget {
+            break;
+        }
+        match tool {
+            Tool::AggChecker => {
+                // Review the tentative result.
+                t += user.pace * (6.0 + 6.0 * rng.gen::<f64>());
+                let (action, extra, success) = match outcome.truth_rank {
+                    Some(0) => (Action::Top1, 2.0 + 2.0 * rng.gen::<f64>(), true),
+                    Some(r) if r < 5 => (Action::Top5, 8.0 + 6.0 * rng.gen::<f64>(), true),
+                    Some(r) if r < 10 => (Action::Top10, 14.0 + 8.0 * rng.gen::<f64>(), true),
+                    _ => (
+                        Action::Custom,
+                        45.0 + 45.0 * rng.gen::<f64>(),
+                        rng.gen_bool(user.custom_skill),
+                    ),
+                };
+                t += user.pace * extra;
+                if t > budget {
+                    break;
+                }
+                if success {
+                    events.push(VerifyEvent {
+                        at: t,
+                        claim: i,
+                        action,
+                    });
+                    // Picking from the suggestion list shows the true
+                    // query's result, so the verdict is exact; a custom
+                    // assembly can still go subtly wrong.
+                    let wrong = action == Action::Custom && rng.gen_bool(user.misjudge * 0.25);
+                    flagged[i] = (!outcome.truly_correct) ^ wrong;
+                }
+            }
+            Tool::Sql | Tool::Spreadsheet => {
+                let base = if tool == Tool::Sql { 60.0 } else { 75.0 };
+                t += user.pace * (base + 60.0 * rng.gen::<f64>());
+                if t > budget {
+                    break;
+                }
+                let mut success = rng.gen_bool(user.sql_skill);
+                if !success && t + user.pace * 60.0 <= budget {
+                    // One retry.
+                    t += user.pace * 60.0;
+                    success = rng.gen_bool(user.sql_skill * 0.6);
+                }
+                if success {
+                    events.push(VerifyEvent {
+                        at: t,
+                        claim: i,
+                        action: Action::Manual,
+                    });
+                    // A hand-written query may be subtly wrong (wrong
+                    // predicate, wrong aggregate) without the user
+                    // noticing — the verdict flips.
+                    let wrong = rng.gen_bool(user.misjudge);
+                    flagged[i] = (!outcome.truly_correct) ^ wrong;
+                }
+            }
+        }
+    }
+    Session {
+        events,
+        flagged,
+        budget,
+    }
+}
+
+/// Confusion matrix of a session's final verdicts against ground truth.
+pub fn session_confusion(session: &Session, outcomes: &[ClaimOutcome]) -> Confusion {
+    let mut c = Confusion::default();
+    for (o, flag) in outcomes.iter().zip(&session.flagged) {
+        c.record(!o.truly_correct, *flag);
+    }
+    c
+}
+
+/// Tally of verification actions across sessions (Table 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActionTally {
+    pub top1: usize,
+    pub top5: usize,
+    pub top10: usize,
+    pub custom: usize,
+}
+
+impl ActionTally {
+    pub fn add(&mut self, session: &Session) {
+        for e in &session.events {
+            match e.action {
+                Action::Top1 => self.top1 += 1,
+                Action::Top5 => self.top5 += 1,
+                Action::Top10 => self.top10 += 1,
+                Action::Custom => self.custom += 1,
+                Action::Manual => {}
+            }
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.top1 + self.top5 + self.top10 + self.custom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcomes(ranks: &[Option<usize>], correct: &[bool]) -> Vec<ClaimOutcome> {
+        ranks
+            .iter()
+            .zip(correct)
+            .map(|(r, c)| ClaimOutcome {
+                truly_correct: *c,
+                detected: true,
+                flagged_erroneous: !*c, // perfect automated stage for tests
+                truth_rank: *r,
+                correctness_probability: if *c { 0.9 } else { 0.1 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggchecker_user_is_faster_than_sql_user() {
+        let os = outcomes(
+            &[Some(0), Some(0), Some(2), Some(0), Some(7), Some(0)],
+            &[true, true, true, false, true, true],
+        );
+        let user = User {
+            pace: 1.0,
+            sql_skill: 0.6,
+            custom_skill: 0.9,
+            misjudge: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let ac = simulate_session(&os, &user, Tool::AggChecker, 1200.0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sql = simulate_session(&os, &user, Tool::Sql, 1200.0, &mut rng);
+        assert!(ac.events.len() >= sql.events.len());
+        assert!(ac.throughput() > sql.throughput());
+    }
+
+    #[test]
+    fn budget_cuts_sessions_short() {
+        let os = outcomes(&[Some(0); 30], &[true; 30]);
+        let user = User {
+            pace: 1.0,
+            sql_skill: 0.6,
+            custom_skill: 0.9,
+            misjudge: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = simulate_session(&os, &user, Tool::AggChecker, 60.0, &mut rng);
+        assert!(s.events.len() < 30);
+        assert!(s.events.iter().all(|e| e.at <= 60.0));
+    }
+
+    #[test]
+    fn processed_claims_get_perfect_verdicts() {
+        let os = outcomes(&[Some(0), Some(0)], &[false, true]);
+        let user = User {
+            pace: 0.5,
+            sql_skill: 0.9,
+            custom_skill: 0.9,
+            misjudge: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = simulate_session(&os, &user, Tool::AggChecker, 3600.0, &mut rng);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.flagged, vec![true, false]);
+        let c = session_confusion(&s, &os);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn action_tally_tracks_click_depth() {
+        let os = outcomes(&[Some(0), Some(3), Some(8), None], &[true; 4]);
+        let user = User {
+            pace: 0.2,
+            sql_skill: 0.9,
+            custom_skill: 1.0,
+            misjudge: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = simulate_session(&os, &user, Tool::AggChecker, 3600.0, &mut rng);
+        let mut tally = ActionTally::default();
+        tally.add(&s);
+        assert_eq!(tally.top1, 1);
+        assert_eq!(tally.top5, 1);
+        assert_eq!(tally.top10, 1);
+        assert_eq!(tally.custom, 1);
+        assert_eq!(tally.total(), 4);
+    }
+
+    #[test]
+    fn crowd_spreadsheet_users_rarely_succeed() {
+        let os = outcomes(&[Some(0); 8], &[false; 8]);
+        let users = User::crowd_panel(7, 10);
+        let mut verified = 0usize;
+        for (i, u) in users.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            let s = simulate_session(&os, u, Tool::Spreadsheet, 600.0, &mut rng);
+            verified += s.events.len();
+        }
+        // 10 workers × 8 claims: spreadsheet success stays in single digits.
+        assert!(verified < 8, "spreadsheet verified {verified}");
+    }
+
+    #[test]
+    fn panels_are_deterministic() {
+        let a = User::onsite_panel(5);
+        let b = User::onsite_panel(5);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pace, y.pace);
+            assert_eq!(x.sql_skill, y.sql_skill);
+        }
+    }
+}

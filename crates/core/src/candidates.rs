@@ -1,0 +1,315 @@
+//! Candidate query enumeration (§4.4).
+//!
+//! Candidates are formed by *"combining all returned query fragments in all
+//! possible ways (within the boundaries of the query model)"*: one
+//! aggregation function, one aggregation column, and a conjunction of at
+//! most `m` equality predicates over distinct columns.
+//!
+//! A candidate is factored into a **predicate combination** (shared across
+//! aggregate choices) and an **aggregate pair** (function × column) — the
+//! probabilistic model and the evaluator both exploit this factorization,
+//! so the cross product is never materialized.
+
+use crate::fragments::FragmentCatalog;
+use crate::scope::Scope;
+use agg_relational::{AggColumn, AggFunction, Predicate, SimpleAggregateQuery};
+
+/// One predicate combination: `(catalog predicate column, literal)` pairs
+/// over distinct columns, ordered by descending relevance (the first pair
+/// is the condition of a conditional-probability candidate).
+pub type PredCombo = Vec<(u16, u16)>;
+
+/// A compact reference to one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// Index into [`CandidateSet::combos`].
+    pub combo: u32,
+    /// Index into [`CandidateSet::agg_pairs`].
+    pub pair: u32,
+}
+
+/// All candidates of one claim, factored form.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Predicate combinations, including the empty combination at index 0.
+    pub combos: Vec<PredCombo>,
+    /// Valid `(function, aggregation column)` pairs, as catalog positions.
+    pub agg_pairs: Vec<(u16, u16)>,
+}
+
+impl CandidateSet {
+    /// Enumerate candidates within a scope.
+    ///
+    /// * `max_predicates` — the paper's `m` (3).
+    /// * `max_combos` — hard cap; enumeration order prefers combinations of
+    ///   high-relevance pairs, so truncation drops the least likely ones.
+    pub fn enumerate(
+        catalog: &FragmentCatalog,
+        scope: &Scope,
+        max_predicates: usize,
+        max_combos: usize,
+    ) -> CandidateSet {
+        // Predicate combinations: DFS over scope pairs (already sorted by
+        // descending marginal probability), keeping columns distinct.
+        let pairs: Vec<(u16, u16)> = scope
+            .predicate_pairs
+            .iter()
+            .map(|(c, l)| (*c as u16, *l as u16))
+            .collect();
+        let mut combos: Vec<PredCombo> = vec![Vec::new()];
+        let mut current: PredCombo = Vec::new();
+        fn dfs(
+            pairs: &[(u16, u16)],
+            start: usize,
+            current: &mut PredCombo,
+            combos: &mut Vec<PredCombo>,
+            max_len: usize,
+            max_combos: usize,
+        ) {
+            if current.len() >= max_len {
+                return;
+            }
+            for i in start..pairs.len() {
+                if combos.len() >= max_combos {
+                    return;
+                }
+                let (c, _) = pairs[i];
+                if current.iter().any(|(pc, _)| *pc == c) {
+                    continue;
+                }
+                current.push(pairs[i]);
+                combos.push(current.clone());
+                dfs(pairs, i + 1, current, combos, max_len, max_combos);
+                current.pop();
+            }
+        }
+        dfs(
+            &pairs,
+            0,
+            &mut current,
+            &mut combos,
+            max_predicates,
+            max_combos,
+        );
+
+        // Aggregate pairs: every function × every scoped aggregation column
+        // that satisfies the function's typing rule (§4.2: `*` is "the
+        // argument for count aggregates"):
+        //
+        // * `Count`, `Percentage`, `ConditionalProbability` — `*` only.
+        //   A `Count(col)` candidate per column would evaluate identically
+        //   on NULL-free columns and only split probability mass.
+        // * `CountDistinct` — any concrete column (Table 9 of the paper
+        //   counts distinct values of a *string* column).
+        // * `Sum`/`Avg`/`Min`/`Max` — numeric columns.
+        let mut agg_pairs = Vec::new();
+        for (fi, f) in catalog.functions.iter().enumerate() {
+            for &ai in &scope.agg_columns {
+                let col = catalog.agg_columns[ai];
+                let ok = match f {
+                    AggFunction::Count
+                    | AggFunction::Percentage
+                    | AggFunction::ConditionalProbability => col == AggColumn::Star,
+                    AggFunction::CountDistinct => col != AggColumn::Star,
+                    _ => catalog.agg_col_numeric[ai],
+                };
+                if ok {
+                    agg_pairs.push((fi as u16, ai as u16));
+                }
+            }
+        }
+
+        CandidateSet { combos, agg_pairs }
+    }
+
+    /// Total candidate count (the evaluated-candidates figure of §6).
+    pub fn len(&self) -> usize {
+        self.combos.len() * self.agg_pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is a candidate structurally valid? (Conditional probability needs at
+    /// least one predicate.)
+    pub fn is_valid(&self, catalog: &FragmentCatalog, cand: Candidate) -> bool {
+        let (fi, _) = self.agg_pairs[cand.pair as usize];
+        if catalog.functions[fi as usize] == AggFunction::ConditionalProbability {
+            return !self.combos[cand.combo as usize].is_empty();
+        }
+        true
+    }
+
+    /// Materialize a candidate as an executable query.
+    pub fn to_query(&self, catalog: &FragmentCatalog, cand: Candidate) -> SimpleAggregateQuery {
+        let (fi, ai) = self.agg_pairs[cand.pair as usize];
+        let combo = &self.combos[cand.combo as usize];
+        let predicates = combo
+            .iter()
+            .map(|(c, l)| {
+                Predicate::new(
+                    catalog.predicate_columns[*c as usize],
+                    catalog.literals[*c as usize][*l as usize].clone(),
+                )
+            })
+            .collect();
+        SimpleAggregateQuery::new(
+            catalog.functions[fi as usize],
+            catalog.agg_columns[ai as usize],
+            predicates,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::CatalogConfig;
+    use agg_relational::{Database, Table, Value};
+
+    fn setup() -> (Database, FragmentCatalog) {
+        let t = Table::from_columns(
+            "t",
+            vec![
+                ("a", vec!["a1".into(), "a2".into()]),
+                ("b", vec!["b1".into(), "b2".into()]),
+                ("c", vec!["c1".into(), "c2".into()]),
+                ("n", vec![Value::Int(1), Value::Int(2)]),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t);
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        (db, cat)
+    }
+
+    fn scope_with(cat: &FragmentCatalog, pairs: Vec<(usize, usize)>) -> Scope {
+        Scope {
+            agg_columns: (0..cat.agg_columns.len()).collect(),
+            predicate_pairs: pairs,
+        }
+    }
+
+    #[test]
+    fn empty_combo_is_always_present() {
+        let (_, cat) = setup();
+        let scope = scope_with(&cat, vec![]);
+        let set = CandidateSet::enumerate(&cat, &scope, 3, 1000);
+        assert_eq!(set.combos.len(), 1);
+        assert!(set.combos[0].is_empty());
+    }
+
+    #[test]
+    fn combos_respect_distinct_columns_and_max_len() {
+        let (_, cat) = setup();
+        // Two literals of column 0, one of column 1.
+        let scope = scope_with(&cat, vec![(0, 0), (0, 1), (1, 0)]);
+        let set = CandidateSet::enumerate(&cat, &scope, 2, 1000);
+        // {}, {00}, {01}, {10}, {00,10}, {01,10} = 6.
+        assert_eq!(set.combos.len(), 6);
+        for combo in &set.combos {
+            assert!(combo.len() <= 2);
+            let mut cols: Vec<u16> = combo.iter().map(|(c, _)| *c).collect();
+            cols.dedup();
+            assert_eq!(cols.len(), combo.len(), "duplicate column in {combo:?}");
+        }
+    }
+
+    #[test]
+    fn three_way_combos() {
+        let (_, cat) = setup();
+        let scope = scope_with(&cat, vec![(0, 0), (1, 0), (2, 0)]);
+        let set = CandidateSet::enumerate(&cat, &scope, 3, 1000);
+        // {} + 3 singles + 3 pairs + 1 triple = 8.
+        assert_eq!(set.combos.len(), 8);
+    }
+
+    #[test]
+    fn cap_truncates_enumeration() {
+        let (_, cat) = setup();
+        let scope = scope_with(&cat, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+        let set = CandidateSet::enumerate(&cat, &scope, 3, 10);
+        assert!(set.combos.len() <= 10);
+        assert!(set.combos[0].is_empty(), "empty combo survives truncation");
+    }
+
+    #[test]
+    fn agg_pairs_respect_typing() {
+        let (_, cat) = setup();
+        let scope = scope_with(&cat, vec![]);
+        let set = CandidateSet::enumerate(&cat, &scope, 3, 1000);
+        for &(fi, ai) in &set.agg_pairs {
+            let f = cat.functions[fi as usize];
+            let col = cat.agg_columns[ai as usize];
+            if f.requires_numeric_column() {
+                assert_ne!(col, AggColumn::Star, "{f} over *");
+            }
+            if matches!(
+                f,
+                AggFunction::Count | AggFunction::Percentage | AggFunction::ConditionalProbability
+            ) {
+                assert_eq!(col, AggColumn::Star, "{f} must use *");
+            }
+        }
+        // Star + 4 columns (a, b, c, n); n is the only numeric one.
+        // Count/Percentage/CondProb: `*` each (3); CountDistinct: 4
+        // concrete columns; Sum/Avg/Min/Max/Median: 1 numeric column each.
+        assert_eq!(set.agg_pairs.len(), 3 + 4 + 5);
+    }
+
+    #[test]
+    fn cond_prob_requires_predicates() {
+        let (_, cat) = setup();
+        let scope = scope_with(&cat, vec![(0, 0)]);
+        let set = CandidateSet::enumerate(&cat, &scope, 3, 1000);
+        let cp_pair = set
+            .agg_pairs
+            .iter()
+            .position(|(fi, _)| {
+                cat.functions[*fi as usize] == AggFunction::ConditionalProbability
+            })
+            .unwrap() as u32;
+        let empty = Candidate {
+            combo: 0,
+            pair: cp_pair,
+        };
+        let restricted = Candidate {
+            combo: 1,
+            pair: cp_pair,
+        };
+        assert!(!set.is_valid(&cat, empty));
+        assert!(set.is_valid(&cat, restricted));
+    }
+
+    #[test]
+    fn to_query_round_trips(){
+        let (db, cat) = setup();
+        let scope = scope_with(&cat, vec![(0, 0), (1, 1)]);
+        let set = CandidateSet::enumerate(&cat, &scope, 3, 1000);
+        let combo_idx = set
+            .combos
+            .iter()
+            .position(|c| c.len() == 2)
+            .expect("two-predicate combo") as u32;
+        let cand = Candidate {
+            combo: combo_idx,
+            pair: 0,
+        };
+        let q = set.to_query(&cat, cand);
+        assert_eq!(q.predicates.len(), 2);
+        q.validate(&db).unwrap();
+        let sql = q.to_sql(&db);
+        assert!(sql.contains("WHERE"), "{sql}");
+    }
+
+    #[test]
+    fn candidate_count_is_product() {
+        let (_, cat) = setup();
+        let scope = scope_with(&cat, vec![(0, 0), (1, 0)]);
+        let set = CandidateSet::enumerate(&cat, &scope, 3, 1000);
+        assert_eq!(set.len(), set.combos.len() * set.agg_pairs.len());
+        assert!(!set.is_empty());
+    }
+}

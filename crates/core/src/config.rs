@@ -1,0 +1,226 @@
+//! Configuration of the checker.
+//!
+//! Every knob the paper's evaluation varies is explicit here, so the
+//! experiment harness can reproduce each ablation row of Table 5, Table 10,
+//! and Figures 11–13 by toggling one field.
+
+use agg_nlp::claims::ClaimDetectorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which keyword sources feed a claim's context (Figure 11 ablation).
+/// The claim sentence itself is always used.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ContextConfig {
+    /// Keywords of the sentence preceding the claim sentence (weight 0.4·m).
+    pub use_previous_sentence: bool,
+    /// Keywords of the first sentence of the claim's paragraph (0.4·m).
+    pub use_paragraph_start: bool,
+    /// Expand keywords with synonyms (WordNet substitute).
+    pub use_synonyms: bool,
+    /// Keywords of all enclosing headlines, walking up the section tree
+    /// (0.7·m).
+    pub use_headlines: bool,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        Self {
+            use_previous_sentence: true,
+            use_paragraph_start: true,
+            use_synonyms: true,
+            use_headlines: true,
+        }
+    }
+}
+
+impl ContextConfig {
+    /// The "claim sentence only" ablation (first row of Figure 11).
+    pub fn sentence_only() -> Self {
+        Self {
+            use_previous_sentence: false,
+            use_paragraph_start: false,
+            use_synonyms: false,
+            use_headlines: false,
+        }
+    }
+}
+
+/// Which random variables the probabilistic model uses (Table 10 ablation).
+/// Relevance scores `S_c` are always on — without them there is no signal.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Integrate query evaluation results `E_c` (the `p_T` factor).
+    pub use_evaluation: bool,
+    /// Learn document priors Θ via expectation maximization.
+    pub use_priors: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            use_evaluation: true,
+            use_priors: true,
+        }
+    }
+}
+
+/// Evaluation-scope limits for `PickScope` (§6.1, Figure 13).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScopeConfig {
+    /// Abstract work units allowed per claim (cost model input).
+    pub budget_per_claim: f64,
+    /// Hard cap on aggregation columns admitted per claim.
+    pub max_agg_columns: usize,
+    /// Hard cap on predicate columns admitted per claim.
+    pub max_predicate_columns: usize,
+    /// Hard cap on literals admitted per predicate column.
+    pub max_literals_per_column: usize,
+}
+
+impl Default for ScopeConfig {
+    fn default() -> Self {
+        Self {
+            budget_per_claim: 2e6,
+            max_agg_columns: 6,
+            max_predicate_columns: 8,
+            max_literals_per_column: 10,
+        }
+    }
+}
+
+/// Full checker configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckerConfig {
+    /// Number of fragment hits retrieved per claim and fragment category
+    /// ("# Hits" in Table 5 / Figure 13; the paper's default is 20).
+    pub lucene_hits: usize,
+    /// Assumed a-priori probability of a claim being correct
+    /// (`p_T`; the paper empirically chose 0.999, Figure 12).
+    pub p_true: f64,
+    /// Maximum number of equality predicates per candidate query
+    /// (`m` in §6.3; the paper uses 3).
+    pub max_predicates: usize,
+    /// Maximum number of EM iterations (Algorithm 3).
+    pub max_em_iterations: usize,
+    /// EM converges when no component of Θ moves more than this.
+    pub em_epsilon: f64,
+    /// Additive smoothing for the M-step (keeps priors non-zero).
+    pub prior_smoothing: f64,
+    /// Relevance score assigned to leaving a predicate column
+    /// unrestricted, as a fraction of the claim's best predicate score.
+    pub unrestricted_factor: f64,
+    /// Multiply the prior of a candidate by `(1 - p_r)` for every column it
+    /// leaves unrestricted. The paper's Eq. (5) omits this factor; it is
+    /// kept as an ablation (DESIGN.md §4).
+    pub penalize_unrestricted: bool,
+    /// Keyword-context sources.
+    pub context: ContextConfig,
+    /// Probabilistic-model ablations.
+    pub model: ModelConfig,
+    /// Evaluation-scope limits.
+    pub scope: ScopeConfig,
+    /// Claim detection heuristics.
+    pub claim_detector: ClaimDetectorConfig,
+    /// Weight multiplier for synonym-expanded keywords.
+    pub synonym_weight: f64,
+    /// Number of worker threads for per-claim scoring (1 = sequential).
+    pub threads: usize,
+    /// Hard cap on predicate combinations enumerated per claim.
+    pub max_combos_per_claim: usize,
+    /// Query evaluation strategy (Table 6 of the paper).
+    pub strategy: EvalStrategy,
+}
+
+/// The three evaluation strategies of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalStrategy {
+    /// One query execution per candidate — no merging, no caching.
+    Naive,
+    /// Cube-merged execution, recomputed every time.
+    Merged,
+    /// Cube-merged execution with the shared result cache (the full system).
+    MergedCached,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        Self {
+            lucene_hits: 20,
+            p_true: 0.999,
+            max_predicates: 3,
+            max_em_iterations: 8,
+            em_epsilon: 1e-3,
+            prior_smoothing: 0.15,
+            unrestricted_factor: 0.5,
+            penalize_unrestricted: false,
+            context: ContextConfig::default(),
+            model: ModelConfig::default(),
+            scope: ScopeConfig::default(),
+            claim_detector: ClaimDetectorConfig::default(),
+            synonym_weight: 0.7,
+            threads: 1,
+            max_combos_per_claim: 20_000,
+            strategy: EvalStrategy::MergedCached,
+        }
+    }
+}
+
+impl CheckerConfig {
+    /// Sanity-check configuration values.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.5..1.0).contains(&self.p_true) {
+            return Err(format!("p_true must be in [0.5, 1.0), got {}", self.p_true));
+        }
+        if self.lucene_hits == 0 {
+            return Err("lucene_hits must be positive".into());
+        }
+        if self.max_predicates == 0 || self.max_predicates > 8 {
+            return Err("max_predicates must be in 1..=8".into());
+        }
+        if self.max_em_iterations == 0 {
+            return Err("max_em_iterations must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.prior_smoothing) {
+            return Err("prior_smoothing must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = CheckerConfig::default();
+        assert_eq!(c.lucene_hits, 20);
+        assert_eq!(c.p_true, 0.999);
+        assert_eq!(c.max_predicates, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = CheckerConfig::default();
+        c.p_true = 1.5;
+        assert!(c.validate().is_err());
+        c = CheckerConfig::default();
+        c.lucene_hits = 0;
+        assert!(c.validate().is_err());
+        c = CheckerConfig::default();
+        c.max_predicates = 9;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_presets() {
+        let ctx = ContextConfig::sentence_only();
+        assert!(!ctx.use_headlines && !ctx.use_synonyms);
+        let m = ModelConfig {
+            use_evaluation: false,
+            use_priors: false,
+        };
+        assert!(!m.use_evaluation);
+    }
+}

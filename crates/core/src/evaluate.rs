@@ -1,0 +1,549 @@
+//! Massive-scale candidate evaluation — `RefineByEval`, Algorithm 4 (§6).
+//!
+//! Evaluating each candidate separately would be hopeless (Table 6 of the
+//! paper: >40 minutes of query time on the full test set). Instead:
+//!
+//! * candidates of one claim are grouped by their **predicate column set**;
+//!   each group becomes one cube query covering every literal combination
+//!   (§6.2, query merging);
+//! * the relevant literals of each cube are the **document-wide** sets, so
+//!   cube slices are reusable across claims and EM iterations (§6.3);
+//! * slices are stored in the shared [`EvalCache`] keyed by (aggregation
+//!   function, aggregation column, dimension set) — the cache granularity
+//!   the paper found to perform best;
+//! * ratio aggregates (`Percentage`, `ConditionalProbability`) are derived
+//!   from `Count` slices per footnote 1.
+
+use crate::candidates::CandidateSet;
+use crate::fragments::FragmentCatalog;
+use agg_relational::{
+    ratio_from_counts, AggColumn, AggFunction, CacheKey, CachedSlice, ColumnRef, CubeQuery,
+    Database, EvalCache, Result, Value,
+};
+use std::collections::BTreeMap;
+
+/// Per-run evaluation statistics (feeds Table 6 and `RunStats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Candidate (query, claim) evaluations resolved.
+    pub candidates_evaluated: u64,
+    /// Cube queries actually executed.
+    pub cubes_executed: u64,
+    /// Cube slice requests served from the cache.
+    pub cubes_cached: u64,
+    /// Rows scanned by executed cubes.
+    pub rows_scanned: u64,
+}
+
+impl EvalStats {
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.cubes_executed += other.cubes_executed;
+        self.cubes_cached += other.cubes_cached;
+        self.rows_scanned += other.rows_scanned;
+    }
+}
+
+/// Dense result matrix: one `Option<f64>` per (combo, aggregate pair).
+#[derive(Debug, Clone)]
+pub struct ResultsMatrix {
+    n_pairs: usize,
+    data: Vec<Option<f64>>,
+}
+
+impl ResultsMatrix {
+    fn new(n_combos: usize, n_pairs: usize) -> ResultsMatrix {
+        ResultsMatrix {
+            n_pairs,
+            data: vec![None; n_combos * n_pairs],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, combo: usize, pair: usize) -> Option<f64> {
+        self.data[combo * self.n_pairs + pair]
+    }
+
+    #[inline]
+    fn set(&mut self, combo: usize, pair: usize, value: Option<f64>) {
+        self.data[combo * self.n_pairs + pair] = value;
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// How one aggregate pair reads its value from a cube slice.
+#[derive(Debug, Clone, Copy)]
+enum PairPlan {
+    /// Read the value aggregate at `slice` directly.
+    Direct { slice: usize },
+    /// `100 · count(assignment) / count(all-unrestricted)`.
+    Percentage { count_slice: usize },
+    /// `100 · count(assignment) / count(condition only)`.
+    CondProb { count_slice: usize },
+}
+
+/// Evaluates candidate sets against the database with merging and caching.
+pub struct Evaluator<'a> {
+    db: &'a Database,
+    catalog: &'a FragmentCatalog,
+    cache: Option<EvalCache>,
+    /// Document-wide relevant literals per catalog predicate column
+    /// (literal positions) — §6.3's cache-friendly literal sets.
+    document_literals: Vec<Vec<usize>>,
+    pub stats: EvalStats,
+}
+
+impl<'a> Evaluator<'a> {
+    /// `cache = None` gives the "+ Query Merging" row of Table 6 (merged
+    /// cubes, no reuse); `Some` adds "+ Caching".
+    pub fn new(
+        db: &'a Database,
+        catalog: &'a FragmentCatalog,
+        cache: Option<EvalCache>,
+    ) -> Evaluator<'a> {
+        Evaluator {
+            db,
+            catalog,
+            cache,
+            document_literals: vec![Vec::new(); catalog.predicate_columns.len()],
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Declare the document-wide literal sets: the union of scoped literal
+    /// positions per predicate column over *all* claims of the document.
+    pub fn set_document_literals(&mut self, literals: Vec<Vec<usize>>) {
+        assert_eq!(literals.len(), self.catalog.predicate_columns.len());
+        self.document_literals = literals;
+    }
+
+    /// Evaluate every candidate of one claim.
+    pub fn evaluate(&mut self, candidates: &CandidateSet) -> Result<ResultsMatrix> {
+        let n_pairs = candidates.agg_pairs.len();
+        let mut matrix = ResultsMatrix::new(candidates.combos.len(), n_pairs);
+
+        // Map each aggregate pair to the value aggregate it needs.
+        let mut value_aggs: Vec<(AggFunction, AggColumn)> = Vec::new();
+        let agg_slot = |aggs: &mut Vec<(AggFunction, AggColumn)>,
+                            f: AggFunction,
+                            c: AggColumn| {
+            aggs.iter()
+                .position(|(af, ac)| *af == f && *ac == c)
+                .unwrap_or_else(|| {
+                    aggs.push((f, c));
+                    aggs.len() - 1
+                })
+        };
+        let plans: Vec<PairPlan> = candidates
+            .agg_pairs
+            .iter()
+            .map(|&(fi, ai)| {
+                let f = self.catalog.functions[fi as usize];
+                let col = self.catalog.agg_columns[ai as usize];
+                match f {
+                    AggFunction::Percentage => PairPlan::Percentage {
+                        count_slice: agg_slot(&mut value_aggs, AggFunction::Count, col),
+                    },
+                    AggFunction::ConditionalProbability => PairPlan::CondProb {
+                        count_slice: agg_slot(&mut value_aggs, AggFunction::Count, col),
+                    },
+                    _ => PairPlan::Direct {
+                        slice: agg_slot(&mut value_aggs, f, col),
+                    },
+                }
+            })
+            .collect();
+
+        // Group combos by (sorted) predicate column set.
+        let mut groups: BTreeMap<Vec<u16>, Vec<u32>> = BTreeMap::new();
+        for (ci, combo) in candidates.combos.iter().enumerate() {
+            let mut cols: Vec<u16> = combo.iter().map(|(c, _)| *c).collect();
+            cols.sort_unstable();
+            groups.entry(cols).or_default().push(ci as u32);
+        }
+
+        for (cols, combo_ids) in groups {
+            let dims: Vec<ColumnRef> = cols
+                .iter()
+                .map(|&c| self.catalog.predicate_columns[c as usize])
+                .collect();
+            // Document-wide literals per dimension (falling back to the
+            // literals used by this claim when none were declared).
+            let relevant: Vec<Vec<Value>> = cols
+                .iter()
+                .map(|&c| {
+                    let doc_lits = &self.document_literals[c as usize];
+                    let positions: Vec<usize> = if doc_lits.is_empty() {
+                        candidates
+                            .combos
+                            .iter()
+                            .flat_map(|combo| combo.iter())
+                            .filter(|(cc, _)| *cc == c)
+                            .map(|(_, l)| *l as usize)
+                            .collect::<std::collections::BTreeSet<_>>()
+                            .into_iter()
+                            .collect()
+                    } else {
+                        doc_lits.clone()
+                    };
+                    positions
+                        .into_iter()
+                        .map(|l| self.catalog.literals[c as usize][l].clone())
+                        .collect()
+                })
+                .collect();
+
+            let slices = self.slices_for(&dims, &relevant, &value_aggs)?;
+
+            // Resolve every combo × pair in this group.
+            for &ci in &combo_ids {
+                let combo = &candidates.combos[ci as usize];
+                // Assignment by value, aligned with `dims`.
+                let mut assignment: Vec<Option<Value>> = vec![None; dims.len()];
+                // Condition position (first = highest-relevance pair).
+                let mut condition_dim: Option<usize> = None;
+                for (rank, &(c, l)) in combo.iter().enumerate() {
+                    let d = cols.iter().position(|cc| *cc == c).expect("dim present");
+                    assignment[d] =
+                        Some(self.catalog.literals[c as usize][l as usize].clone());
+                    if rank == 0 {
+                        condition_dim = Some(d);
+                    }
+                }
+                for (pi, plan) in plans.iter().enumerate() {
+                    let value = match plan {
+                        PairPlan::Direct { slice } => {
+                            slices[*slice].lookup(&assignment).ok().flatten()
+                        }
+                        PairPlan::Percentage { count_slice } => {
+                            let s = &slices[*count_slice];
+                            let num = s.lookup_count(&assignment).ok();
+                            let all: Vec<Option<Value>> = vec![None; dims.len()];
+                            let den = s.lookup_count(&all).ok();
+                            match (num, den) {
+                                (Some(n), Some(d)) => ratio_from_counts(n, d),
+                                _ => None,
+                            }
+                        }
+                        PairPlan::CondProb { count_slice } => match condition_dim {
+                            None => None, // invalid: no condition predicate
+                            Some(cd) => {
+                                let s = &slices[*count_slice];
+                                let num = s.lookup_count(&assignment).ok();
+                                let mut cond: Vec<Option<Value>> = vec![None; dims.len()];
+                                cond[cd] = assignment[cd].clone();
+                                let den = s.lookup_count(&cond).ok();
+                                match (num, den) {
+                                    (Some(n), Some(d)) => ratio_from_counts(n, d),
+                                    _ => None,
+                                }
+                            }
+                        },
+                    };
+                    matrix.set(ci as usize, pi, value);
+                }
+            }
+            self.stats.candidates_evaluated += combo_ids.len() as u64 * n_pairs as u64;
+        }
+        Ok(matrix)
+    }
+
+    /// Obtain one slice per value aggregate over the given dimensions,
+    /// from the cache where possible.
+    fn slices_for(
+        &mut self,
+        dims: &[ColumnRef],
+        relevant: &[Vec<Value>],
+        value_aggs: &[(AggFunction, AggColumn)],
+    ) -> Result<Vec<CachedSlice>> {
+        let mut out: Vec<Option<CachedSlice>> = vec![None; value_aggs.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        if let Some(cache) = &self.cache {
+            for (i, (f, c)) in value_aggs.iter().enumerate() {
+                let key = CacheKey::new(*f, *c, dims.to_vec());
+                match cache.get(&key, relevant) {
+                    Some(s) => {
+                        self.stats.cubes_cached += 1;
+                        out[i] = Some(s);
+                    }
+                    None => missing.push(i),
+                }
+            }
+        } else {
+            missing = (0..value_aggs.len()).collect();
+        }
+        if !missing.is_empty() {
+            let cube = CubeQuery {
+                dims: dims.to_vec(),
+                relevant: relevant.to_vec(),
+                aggregates: missing.iter().map(|&i| value_aggs[i]).collect(),
+            };
+            let result = std::sync::Arc::new(cube.execute(self.db)?);
+            self.stats.cubes_executed += 1;
+            self.stats.rows_scanned += result.stats.rows_scanned;
+            for (pos, &i) in missing.iter().enumerate() {
+                let (f, c) = value_aggs[i];
+                let slice = CachedSlice::new(result.clone(), pos, f);
+                if let Some(cache) = &self.cache {
+                    cache.put(CacheKey::new(f, c, dims.to_vec()), slice.clone());
+                }
+                out[i] = Some(slice);
+            }
+        }
+        Ok(out.into_iter().map(|s| s.expect("slice filled")).collect())
+    }
+}
+
+/// The naive evaluation strategy of Table 6: every candidate becomes its
+/// own query, executed separately — no merging, no caching.
+pub fn evaluate_naive(
+    db: &Database,
+    catalog: &FragmentCatalog,
+    candidates: &CandidateSet,
+    stats: &mut EvalStats,
+) -> Result<ResultsMatrix> {
+    let n_pairs = candidates.agg_pairs.len();
+    let mut matrix = ResultsMatrix::new(candidates.combos.len(), n_pairs);
+    for ci in 0..candidates.combos.len() {
+        for pi in 0..n_pairs {
+            let cand = crate::candidates::Candidate {
+                combo: ci as u32,
+                pair: pi as u32,
+            };
+            if !candidates.is_valid(catalog, cand) {
+                continue;
+            }
+            let query = candidates.to_query(catalog, cand);
+            let value = agg_relational::execute_query(db, &query)?;
+            matrix.set(ci, pi, value);
+            stats.candidates_evaluated += 1;
+            stats.rows_scanned += db.total_rows() as u64;
+        }
+    }
+    Ok(matrix)
+}
+
+/// A `HashMap`-free helper for collecting document-wide literal sets from
+/// scopes: merge per-claim scoped pairs into per-column sorted positions.
+pub fn document_literal_union(
+    n_pred_cols: usize,
+    scoped_pairs: impl IntoIterator<Item = (usize, usize)>,
+) -> Vec<Vec<usize>> {
+    let mut sets: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n_pred_cols];
+    for (c, l) in scoped_pairs {
+        sets[c].insert(l);
+    }
+    sets.into_iter().map(|s| s.into_iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::Candidate;
+    use crate::fragments::CatalogConfig;
+    use crate::scope::Scope;
+    use agg_relational::{execute_query, Table};
+
+    fn nfl_db() -> Database {
+        let t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "games",
+                    vec![
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "10".into(),
+                        "4".into(),
+                    ],
+                ),
+                (
+                    "category",
+                    vec![
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "gambling".into(),
+                        "peds".into(),
+                        "personal conduct".into(),
+                    ],
+                ),
+                (
+                    "year",
+                    vec![
+                        Value::Int(1989),
+                        Value::Int(1995),
+                        Value::Int(2014),
+                        Value::Int(1983),
+                        Value::Int(2014),
+                        Value::Int(2014),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    fn full_scope(cat: &FragmentCatalog) -> Scope {
+        let mut pairs = Vec::new();
+        for (c, lits) in cat.literals.iter().enumerate() {
+            for l in 0..lits.len() {
+                pairs.push((c, l));
+            }
+        }
+        Scope {
+            agg_columns: (0..cat.agg_columns.len()).collect(),
+            predicate_pairs: pairs,
+        }
+    }
+
+    #[test]
+    fn merged_results_agree_with_naive_execution() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scope = full_scope(&cat);
+        let set = CandidateSet::enumerate(&cat, &scope, 2, 100_000);
+
+        let mut evaluator = Evaluator::new(&db, &cat, Some(EvalCache::new()));
+        let merged = evaluator.evaluate(&set).unwrap();
+
+        for ci in 0..set.combos.len() {
+            for pi in 0..set.agg_pairs.len() {
+                let cand = Candidate {
+                    combo: ci as u32,
+                    pair: pi as u32,
+                };
+                if !set.is_valid(&cat, cand) {
+                    continue;
+                }
+                let q = set.to_query(&cat, cand);
+                let naive = execute_query(&db, &q).unwrap();
+                assert_eq!(
+                    merged.get(ci, pi),
+                    naive,
+                    "mismatch for {}",
+                    q.to_sql(&db)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn caching_eliminates_cube_executions_on_rerun() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scope = full_scope(&cat);
+        let set = CandidateSet::enumerate(&cat, &scope, 2, 100_000);
+        let cache = EvalCache::new();
+
+        let mut e1 = Evaluator::new(&db, &cat, Some(cache.clone()));
+        let m1 = e1.evaluate(&set).unwrap();
+        assert!(e1.stats.cubes_executed > 0);
+
+        let mut e2 = Evaluator::new(&db, &cat, Some(cache));
+        let m2 = e2.evaluate(&set).unwrap();
+        assert_eq!(e2.stats.cubes_executed, 0, "everything cached");
+        assert!(e2.stats.cubes_cached > 0);
+        assert_eq!(m1.len(), m2.len());
+        for ci in 0..set.combos.len() {
+            for pi in 0..set.agg_pairs.len() {
+                assert_eq!(m1.get(ci, pi), m2.get(ci, pi));
+            }
+        }
+    }
+
+    #[test]
+    fn merging_without_cache_still_works() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scope = full_scope(&cat);
+        let set = CandidateSet::enumerate(&cat, &scope, 2, 100_000);
+        let mut e = Evaluator::new(&db, &cat, None);
+        let m = e.evaluate(&set).unwrap();
+        assert!(!m.is_empty());
+        assert!(e.stats.cubes_executed > 0);
+        assert_eq!(e.stats.cubes_cached, 0);
+    }
+
+    #[test]
+    fn naive_strategy_matches_merged() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scope = Scope {
+            agg_columns: vec![0, 1],
+            predicate_pairs: vec![(0, 0), (1, 0)],
+        };
+        let set = CandidateSet::enumerate(&cat, &scope, 2, 1000);
+        let mut stats = EvalStats::default();
+        let naive = evaluate_naive(&db, &cat, &set, &mut stats).unwrap();
+        let mut e = Evaluator::new(&db, &cat, None);
+        let merged = e.evaluate(&set).unwrap();
+        for ci in 0..set.combos.len() {
+            for pi in 0..set.agg_pairs.len() {
+                let cand = Candidate {
+                    combo: ci as u32,
+                    pair: pi as u32,
+                };
+                if !set.is_valid(&cat, cand) {
+                    continue;
+                }
+                assert_eq!(naive.get(ci, pi), merged.get(ci, pi));
+            }
+        }
+        assert!(stats.candidates_evaluated > 0);
+        // Merging needs far fewer row scans than naive evaluation.
+        assert!(e.stats.rows_scanned < stats.rows_scanned);
+    }
+
+    #[test]
+    fn document_literal_union_merges_and_sorts() {
+        let union = document_literal_union(3, vec![(0, 2), (0, 1), (2, 0), (0, 2)]);
+        assert_eq!(union[0], vec![1, 2]);
+        assert!(union[1].is_empty());
+        assert_eq!(union[2], vec![0]);
+    }
+
+    #[test]
+    fn document_literals_widen_cube_coverage() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        // Claim A only uses literal 0 of column 0; with document literals
+        // covering all of column 0, a second claim using literal 1 hits the
+        // same cached slice.
+        let scope_a = Scope {
+            agg_columns: vec![0],
+            predicate_pairs: vec![(0, 0)],
+        };
+        let scope_b = Scope {
+            agg_columns: vec![0],
+            predicate_pairs: vec![(0, 1)],
+        };
+        let set_a = CandidateSet::enumerate(&cat, &scope_a, 1, 100);
+        let set_b = CandidateSet::enumerate(&cat, &scope_b, 1, 100);
+        let cache = EvalCache::new();
+        let doc_lits = document_literal_union(
+            cat.predicate_columns.len(),
+            vec![(0usize, 0usize), (0, 1)],
+        );
+        let mut e = Evaluator::new(&db, &cat, Some(cache));
+        e.set_document_literals(doc_lits);
+        e.evaluate(&set_a).unwrap();
+        let executed_after_a = e.stats.cubes_executed;
+        e.evaluate(&set_b).unwrap();
+        // Claim B's cubes were already computed by claim A (same dims,
+        // document-wide literals).
+        assert_eq!(e.stats.cubes_executed, executed_after_a);
+    }
+}

@@ -1,0 +1,331 @@
+//! Claim keyword-context extraction — Algorithm 2 of the paper.
+//!
+//! For a claim (a number mention in a sentence), the keyword context is:
+//!
+//! * every word of the **claim sentence**, weighted `1 / TreeDistance` from
+//!   the claimed value in the (pseudo-)dependency tree — so in a sentence
+//!   with several claims, each claim pulls the words nearest to it;
+//! * with `m` the minimum claim-sentence weight: the words of the
+//!   **previous sentence** and the **first sentence of the paragraph** at
+//!   weight `0.4·m`;
+//! * the words of all **enclosing headlines** (walking up the section
+//!   hierarchy, including the document title) at weight `0.7·m`;
+//! * optionally, **synonyms** of every collected word at a configured
+//!   fraction of its weight.
+//!
+//! Keywords are returned as stemmed terms ready for the IR engine.
+
+use crate::config::ContextConfig;
+use crate::textutil::{is_stopword, token_term};
+use agg_nlp::claims::ClaimMention;
+use agg_nlp::deptree::DependencyTree;
+use agg_nlp::numbers::parse_number_mentions;
+use agg_nlp::stem::stem;
+use agg_nlp::structure::{Document, Sentence};
+use agg_nlp::synonyms::SynonymDict;
+use agg_nlp::tokenize::TokenKind;
+use std::collections::HashMap;
+
+/// Where a keyword came from (diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeywordSource {
+    ClaimSentence,
+    PreviousSentence,
+    ParagraphStart,
+    Headline,
+    Synonym,
+}
+
+/// One stemmed keyword with its context weight.
+#[derive(Debug, Clone)]
+pub struct WeightedKeyword {
+    pub term: String,
+    pub weight: f64,
+    pub source: KeywordSource,
+}
+
+/// Extract the weighted keyword context of a claim (Algorithm 2).
+pub fn claim_keywords(
+    doc: &Document,
+    claim: &ClaimMention,
+    synonyms: &SynonymDict,
+    context: &ContextConfig,
+    synonym_weight: f64,
+) -> Vec<WeightedKeyword> {
+    // Surface words with weights, before stemming/synonym expansion.
+    let mut collected: Vec<(String, f64, KeywordSource)> = Vec::new();
+
+    let section = doc.section(&claim.section);
+    let paragraph = section.and_then(|s| s.paragraphs.get(claim.paragraph));
+    let sentence = paragraph.and_then(|p| p.sentences.get(claim.sentence));
+
+    // --- Claim sentence, weighted by tree distance ----------------------
+    let mut m = 1.0 / 3.0; // fallback: the maximum tree distance
+    if let Some(sentence) = sentence {
+        let tree = DependencyTree::build(&sentence.tokens);
+        // Token spans of *other* spelled-out numbers: those are competing
+        // claims, not context keywords.
+        let other_numbers: Vec<(usize, usize)> = parse_number_mentions(&sentence.tokens)
+            .into_iter()
+            .filter(|nm| nm.token_start != claim.number.token_start)
+            .filter(|nm| nm.spelled_out)
+            .map(|nm| (nm.token_start, nm.token_end))
+            .collect();
+        let mut min_weight = f64::MAX;
+        for (i, token) in sentence.tokens.iter().enumerate() {
+            if (claim.number.token_start..claim.number.token_end).contains(&i) {
+                continue;
+            }
+            if other_numbers.iter().any(|(s, e)| (*s..*e).contains(&i)) {
+                continue;
+            }
+            if token.kind == TokenKind::Punct || token.kind == TokenKind::Ordinal {
+                continue;
+            }
+            let Some(surface) = surface_word(token) else {
+                continue;
+            };
+            let dist = tree.distance(i, claim.number.token_start).max(1);
+            let weight = 1.0 / dist as f64;
+            min_weight = min_weight.min(weight);
+            collected.push((surface, weight, KeywordSource::ClaimSentence));
+        }
+        if min_weight < f64::MAX {
+            m = min_weight;
+        }
+    }
+
+    // --- Neighbouring sentences at 0.4·m ---------------------------------
+    if let Some(paragraph) = paragraph {
+        if context.use_previous_sentence && claim.sentence > 0 {
+            if let Some(prev) = paragraph.sentences.get(claim.sentence - 1) {
+                add_sentence(&mut collected, prev, 0.4 * m, KeywordSource::PreviousSentence);
+            }
+        }
+        if context.use_paragraph_start && claim.sentence > 0 {
+            // Skip when it coincides with the previous sentence (already
+            // added) — same words, same weight.
+            let first_is_prev = claim.sentence == 1 && context.use_previous_sentence;
+            if !first_is_prev {
+                if let Some(first) = paragraph.sentences.first() {
+                    add_sentence(&mut collected, first, 0.4 * m, KeywordSource::ParagraphStart);
+                }
+            }
+        }
+    }
+
+    // --- Enclosing headlines at 0.7·m -------------------------------------
+    if context.use_headlines {
+        for headline in doc.enclosing_headlines(&claim.section) {
+            add_sentence(&mut collected, headline, 0.7 * m, KeywordSource::Headline);
+        }
+    }
+
+    // --- Synonym expansion ------------------------------------------------
+    let mut expanded: Vec<(String, f64, KeywordSource)> = Vec::new();
+    if context.use_synonyms {
+        for (word, weight, _) in &collected {
+            if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            for syn in synonyms.synonyms(word) {
+                expanded.push((syn, weight * synonym_weight, KeywordSource::Synonym));
+            }
+        }
+    }
+    collected.extend(expanded);
+
+    // --- Stem and deduplicate (max weight per term) -----------------------
+    let mut best: HashMap<String, (f64, KeywordSource)> = HashMap::new();
+    for (word, weight, source) in collected {
+        let term = if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            word
+        } else {
+            stem(&word)
+        };
+        match best.get_mut(&term) {
+            Some(entry) if entry.0 >= weight => {}
+            Some(entry) => *entry = (weight, source),
+            None => {
+                best.insert(term, (weight, source));
+            }
+        }
+    }
+    let mut keywords: Vec<WeightedKeyword> = best
+        .into_iter()
+        .map(|(term, (weight, source))| WeightedKeyword {
+            term,
+            weight,
+            source,
+        })
+        .collect();
+    keywords.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.term.cmp(&b.term))
+    });
+    keywords
+}
+
+/// Add every indexable word of a sentence at a fixed weight.
+fn add_sentence(
+    out: &mut Vec<(String, f64, KeywordSource)>,
+    sentence: &Sentence,
+    weight: f64,
+    source: KeywordSource,
+) {
+    for token in &sentence.tokens {
+        if let Some(surface) = surface_word(token) {
+            out.push((surface, weight, source));
+        }
+    }
+}
+
+/// The surface form used for synonym lookup (lowercased word) or the digit
+/// string for numbers; `None` for tokens that are not keywords.
+fn surface_word(token: &agg_nlp::tokenize::Token) -> Option<String> {
+    match token.kind {
+        TokenKind::Word => {
+            let lower = token.lower();
+            if lower.len() < 2 || is_stopword(&lower) {
+                None
+            } else {
+                Some(lower)
+            }
+        }
+        TokenKind::Number | TokenKind::Percent | TokenKind::Currency => {
+            // Reuse token_term's digit normalization.
+            token_term(token)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_nlp::claims::{detect_claims, ClaimDetectorConfig};
+    use agg_nlp::structure::parse_document;
+
+    const ARTICLE: &str = r#"
+<title>The NFL's Uneven History Of Punishing Domestic Violence</title>
+<h1>Lifetime bans</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+
+    fn keywords_for(claim_value: f64, ctx: &ContextConfig) -> Vec<WeightedKeyword> {
+        let doc = parse_document(ARTICLE);
+        let claims = detect_claims(&doc, &ClaimDetectorConfig::default());
+        let claim = claims
+            .iter()
+            .find(|c| c.number.value == claim_value)
+            .expect("claim present");
+        claim_keywords(&doc, claim, &SynonymDict::embedded(), ctx, 0.7)
+    }
+
+    fn weight_of(kws: &[WeightedKeyword], term: &str) -> Option<f64> {
+        let stemmed = stem(term);
+        kws.iter().find(|k| k.term == stemmed).map(|k| k.weight)
+    }
+
+    #[test]
+    fn gambling_weighs_more_for_one_than_for_three() {
+        let ctx = ContextConfig::default();
+        let for_one = keywords_for(1.0, &ctx);
+        let for_three = keywords_for(3.0, &ctx);
+        let w1 = weight_of(&for_one, "gambling").expect("gambling in context of 'one'");
+        let w3 = weight_of(&for_three, "gambling").expect("gambling in context of 'three'");
+        assert!(w1 > w3, "paper Example 3: {w1} vs {w3}");
+    }
+
+    #[test]
+    fn competing_spelled_numbers_are_excluded() {
+        let ctx = ContextConfig::default();
+        let for_one = keywords_for(1.0, &ctx);
+        assert!(weight_of(&for_one, "three").is_none(), "'three' is a rival claim");
+    }
+
+    #[test]
+    fn previous_sentence_supplies_missing_context() {
+        // "lifetime bans" appears only in the first sentence; the claims
+        // 'three' and 'one' live in the second.
+        let ctx = ContextConfig::default();
+        let kws = keywords_for(1.0, &ctx);
+        assert!(weight_of(&kws, "lifetime").is_some());
+        assert!(weight_of(&kws, "bans").is_some());
+
+        let no_ctx = ContextConfig::sentence_only();
+        let kws = keywords_for(1.0, &no_ctx);
+        assert!(weight_of(&kws, "lifetime").is_none());
+    }
+
+    #[test]
+    fn context_weights_are_scaled_by_m() {
+        let ctx = ContextConfig::default();
+        let kws = keywords_for(1.0, &ctx);
+        let in_sentence = weight_of(&kws, "gambling").unwrap();
+        let prev = kws
+            .iter()
+            .find(|k| k.source == KeywordSource::PreviousSentence)
+            .expect("previous-sentence keywords present");
+        assert!(prev.weight < in_sentence);
+    }
+
+    #[test]
+    fn headlines_walk_up_to_title() {
+        let ctx = ContextConfig::default();
+        let kws = keywords_for(4.0, &ctx);
+        // "history" occurs only in the document title (and has no synonym
+        // group that any claim-sentence word belongs to).
+        assert!(weight_of(&kws, "history").is_some(), "{kws:?}");
+
+        let mut no_headlines = ContextConfig::default();
+        no_headlines.use_headlines = false;
+        let kws = keywords_for(4.0, &no_headlines);
+        assert!(weight_of(&kws, "history").is_none());
+    }
+
+    #[test]
+    fn synonyms_expand_with_reduced_weight() {
+        let ctx = ContextConfig::default();
+        let kws = keywords_for(4.0, &ctx);
+        // "bans" (claim sentence) has "suspension" as an embedded synonym.
+        let direct = weight_of(&kws, "bans").unwrap();
+        let syn = weight_of(&kws, "suspension").expect("synonym of 'ban'");
+        assert!(syn < direct, "synonym weight {syn} < direct {direct}");
+
+        let mut no_syn = ContextConfig::default();
+        no_syn.use_synonyms = false;
+        let kws = keywords_for(4.0, &no_syn);
+        assert!(weight_of(&kws, "suspension").is_none());
+    }
+
+    #[test]
+    fn terms_are_deduplicated_with_max_weight() {
+        let ctx = ContextConfig::default();
+        let kws = keywords_for(4.0, &ctx);
+        let mut terms: Vec<&str> = kws.iter().map(|k| k.term.as_str()).collect();
+        terms.sort_unstable();
+        let before = terms.len();
+        terms.dedup();
+        assert_eq!(before, terms.len(), "duplicate stemmed terms");
+    }
+
+    #[test]
+    fn keywords_sorted_by_weight() {
+        let ctx = ContextConfig::default();
+        let kws = keywords_for(4.0, &ctx);
+        for pair in kws.windows(2) {
+            assert!(pair[0].weight >= pair[1].weight);
+        }
+    }
+
+    #[test]
+    fn claims_own_tokens_are_excluded() {
+        let ctx = ContextConfig::default();
+        let kws = keywords_for(4.0, &ctx);
+        assert!(weight_of(&kws, "four").is_none());
+    }
+}

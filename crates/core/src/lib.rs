@@ -1,0 +1,58 @@
+//! # agg-core
+//!
+//! The AggChecker itself: *Verifying Text Summaries of Relational Data Sets*
+//! (Jo, Trummer, Yu, Liu, Wang, Yu, Mehta — SIGMOD 2019).
+//!
+//! Given a relational database and a text document summarizing it, the
+//! checker maps every numerical claim in the text to a probability
+//! distribution over *simple aggregate queries*, evaluates large numbers of
+//! candidate queries efficiently, and marks up claims whose most likely
+//! query does not evaluate (after rounding) to the claimed value — a spell
+//! checker for numbers.
+//!
+//! The pipeline (Figure 1 of the paper):
+//!
+//! 1. **Fragment generation** ([`fragments`]) — aggregation functions,
+//!    aggregation columns, and equality predicates derived from the data,
+//!    each associated with keywords (§4.2).
+//! 2. **Claim detection and keyword context** ([`keywords`]) — Algorithm 2:
+//!    claim-sentence keywords weighted by tree distance, plus the preceding
+//!    sentence, paragraph start, synonyms, and enclosing headlines (§4.3).
+//! 3. **Keyword matching** ([`matching`]) — Algorithm 1: relevance scores
+//!    for (claim, fragment) pairs via the IR engine (§4.1).
+//! 4. **Scope selection** ([`scope`]) — `PickScope`: which fragments enter
+//!    candidate enumeration, under a cost-model budget (§6.1).
+//! 5. **Candidate enumeration** ([`candidates`]) — all fragment
+//!    combinations within the query model (§4.4).
+//! 6. **Probabilistic reasoning** ([`model`]) — document priors Θ, keyword
+//!    likelihoods, evaluation likelihoods with parameter `p_T`, iterated
+//!    via expectation maximization (Algorithm 3, §5).
+//! 7. **Massive-scale evaluation** ([`evaluate`]) — cube-merged, cached
+//!    query evaluation (Algorithm 4, §6).
+//! 8. **Verification** ([`pipeline`], [`report`]) — per-claim top-k
+//!    queries, correctness probabilities, and document markup.
+
+pub mod candidates;
+pub mod config;
+pub mod evaluate;
+pub mod fragments;
+pub mod keywords;
+pub mod matching;
+pub mod model;
+pub mod pipeline;
+pub mod report;
+pub mod rounding;
+pub mod scope;
+pub mod textutil;
+
+pub use candidates::{Candidate, CandidateSet};
+pub use config::{CheckerConfig, ContextConfig, EvalStrategy, ModelConfig, ScopeConfig};
+pub use fragments::{CatalogConfig, FragmentCatalog};
+pub use keywords::{claim_keywords, WeightedKeyword};
+pub use matching::{match_claim, ClaimScores};
+pub use model::Theta;
+pub use pipeline::{
+    AggChecker, CheckedClaim, CheckerError, RankedQuery, RunStats, VerificationReport, Verdict,
+};
+pub use rounding::matches_claim;
+pub use scope::Scope;

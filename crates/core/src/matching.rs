@@ -1,0 +1,278 @@
+//! Keyword matching — Algorithm 1 of the paper.
+//!
+//! For each claim, the weighted keyword context queries the three fragment
+//! indexes (functions, aggregation columns, predicates), yielding relevance
+//! scores for the fragments most similar to the claim's keywords. These
+//! scores are the observable variable `S_c` of the probabilistic model.
+
+use crate::fragments::FragmentCatalog;
+use crate::keywords::WeightedKeyword;
+use agg_ir::Scorer;
+
+/// Fraction of the best score granted to fragments without keyword hits in
+/// the function / aggregation-column categories. Roughly 30% of real claims
+/// never name their aggregation function ("There were four bans" is a
+/// count), so unmatched fragments must stay viable — priors and evaluation
+/// results then disambiguate.
+const SCORE_FLOOR: f64 = 0.15;
+
+/// Raised floor for the `*` aggregation column, as a fraction of the best
+/// column score (see `match_claim_with_form`).
+const STAR_FLOOR: f64 = 0.4;
+
+/// Relevance scores of one claim against every fragment category.
+#[derive(Debug, Clone)]
+pub struct ClaimScores {
+    /// Per [`FragmentCatalog::functions`] position.
+    pub functions: Vec<f64>,
+    /// Per [`FragmentCatalog::agg_columns`] position.
+    pub agg_columns: Vec<f64>,
+    /// `predicates[col][lit]` per catalog predicate column / literal
+    /// position; zero when the fragment was not retrieved.
+    pub predicates: Vec<Vec<f64>>,
+    /// The highest predicate score (input to the unrestricted-column
+    /// pseudo-score, see `model`).
+    pub max_predicate_score: f64,
+}
+
+impl ClaimScores {
+    /// Scored `(column, literal)` pairs, descending by score.
+    pub fn scored_predicates(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for (c, lits) in self.predicates.iter().enumerate() {
+            for (l, s) in lits.iter().enumerate() {
+                if *s > 0.0 {
+                    out.push((c, l, *s));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+/// Score one claim's keyword context against the catalog.
+///
+/// `hits` is the paper's "# Hits" budget: the number of fragments retrieved
+/// per category (Table 5 / Figure 13 vary it from 1 to 30).
+pub fn match_claim(
+    catalog: &FragmentCatalog,
+    keywords: &[WeightedKeyword],
+    hits: usize,
+) -> ClaimScores {
+    match_claim_with_form(catalog, keywords, hits, false)
+}
+
+/// Like [`match_claim`], additionally exploiting the *form* of the claimed
+/// value: a number written as "13%" or "13 percent" announces a ratio
+/// aggregate even when no function keyword appears in the text, so the
+/// `Percentage` and `ConditionalProbability` fragments get a score boost.
+pub fn match_claim_with_form(
+    catalog: &FragmentCatalog,
+    keywords: &[WeightedKeyword],
+    hits: usize,
+    is_percentage: bool,
+) -> ClaimScores {
+    let scorer = Scorer::default();
+    let query: Vec<(&str, f32)> = keywords
+        .iter()
+        .map(|k| (k.term.as_str(), k.weight as f32))
+        .collect();
+
+    // Functions: retrieve all (there are only eight), then floor.
+    let mut functions = vec![0.0f64; catalog.functions.len()];
+    for hit in catalog
+        .fn_index()
+        .search(query.iter().copied(), catalog.functions.len(), scorer)
+    {
+        functions[hit.doc as usize] = hit.score as f64;
+    }
+    if is_percentage {
+        let max = functions.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+        let pct = crate::fragments::fn_position(catalog, agg_relational::AggFunction::Percentage);
+        let cp = crate::fragments::fn_position(
+            catalog,
+            agg_relational::AggFunction::ConditionalProbability,
+        );
+        if let Some(i) = pct {
+            functions[i] = functions[i].max(max * 1.2);
+        }
+        if let Some(i) = cp {
+            functions[i] = functions[i].max(max * 0.5);
+        }
+    }
+    apply_floor(&mut functions);
+
+    // Aggregation columns: top `hits`. The `*` column (position 0) gets a
+    // raised floor: it is the *default* argument of the dominant count-like
+    // functions, while concrete columns often absorb keyword mass that
+    // actually belongs to predicates on them (e.g. a data-dictionary
+    // description mentioning the predicate value).
+    let mut agg_columns = vec![0.0f64; catalog.agg_columns.len()];
+    for hit in catalog.col_index().search(query.iter().copied(), hits, scorer) {
+        agg_columns[hit.doc as usize] = hit.score as f64;
+    }
+    let max_col = agg_columns.iter().cloned().fold(0.0f64, f64::max);
+    apply_floor(&mut agg_columns);
+    if max_col > 0.0 {
+        agg_columns[0] = agg_columns[0].max(max_col * STAR_FLOOR);
+    }
+
+    // Predicates: top `hits` across all (column, literal) fragments.
+    let mut predicates: Vec<Vec<f64>> = catalog
+        .literals
+        .iter()
+        .map(|lits| vec![0.0f64; lits.len()])
+        .collect();
+    let mut max_predicate_score = 0.0f64;
+    for hit in catalog.pred_index().search(query.iter().copied(), hits, scorer) {
+        let (c, l) = catalog.pred_doc(hit.doc);
+        let s = hit.score as f64;
+        predicates[c][l] = s;
+        max_predicate_score = max_predicate_score.max(s);
+    }
+
+    ClaimScores {
+        functions,
+        agg_columns,
+        predicates,
+        max_predicate_score,
+    }
+}
+
+/// Raise unscored entries to `SCORE_FLOOR ×` the category's best score, so
+/// fragments the text never names stay in play.
+fn apply_floor(scores: &mut [f64]) {
+    let max = scores.iter().cloned().fold(0.0f64, f64::max);
+    let floor = if max > 0.0 { max * SCORE_FLOOR } else { 1.0 };
+    for s in scores.iter_mut() {
+        if *s < floor {
+            *s = floor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::CatalogConfig;
+    use crate::keywords::KeywordSource;
+    use agg_nlp::stem::stem;
+    use agg_relational::{AggFunction, Database, Table, Value};
+
+    fn nfl_db() -> Database {
+        let t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "games",
+                    vec!["indef".into(), "indef".into(), "10".into(), "4".into()],
+                ),
+                (
+                    "category",
+                    vec![
+                        "gambling".into(),
+                        "substance abuse".into(),
+                        "peds".into(),
+                        "personal conduct".into(),
+                    ],
+                ),
+                (
+                    "year",
+                    vec![
+                        Value::Int(1983),
+                        Value::Int(1989),
+                        Value::Int(2014),
+                        Value::Int(2014),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    fn kw(term: &str, weight: f64) -> WeightedKeyword {
+        WeightedKeyword {
+            term: stem(term),
+            weight,
+            source: KeywordSource::ClaimSentence,
+        }
+    }
+
+    #[test]
+    fn gambling_keyword_scores_the_right_predicate() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scores = match_claim(&cat, &[kw("gambling", 1.0)], 20);
+        let ranked = scores.scored_predicates();
+        assert!(!ranked.is_empty());
+        let (c, l, _) = ranked[0];
+        assert_eq!(db.short_column_name(cat.predicate_columns[c]), "category");
+        assert_eq!(cat.literals[c][l], Value::Str("gambling".into()));
+    }
+
+    #[test]
+    fn average_keyword_boosts_avg_function() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scores = match_claim(&cat, &[kw("average", 1.0)], 20);
+        let avg = scores.functions[AggFunction::Avg.index()];
+        let count = scores.functions[AggFunction::Count.index()];
+        assert!(avg > count);
+    }
+
+    #[test]
+    fn floor_keeps_unmatched_functions_viable() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scores = match_claim(&cat, &[kw("gambling", 1.0)], 20);
+        for (i, s) in scores.functions.iter().enumerate() {
+            assert!(*s > 0.0, "function {i} must keep a floor score");
+        }
+        for s in &scores.agg_columns {
+            assert!(*s > 0.0);
+        }
+    }
+
+    #[test]
+    fn hits_budget_limits_predicates() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let keywords = [
+            kw("gambling", 1.0),
+            kw("substance", 0.9),
+            kw("peds", 0.8),
+            kw("conduct", 0.7),
+            kw("year", 0.6),
+        ];
+        let one = match_claim(&cat, &keywords, 1);
+        assert_eq!(one.scored_predicates().len(), 1);
+        let many = match_claim(&cat, &keywords, 20);
+        assert!(many.scored_predicates().len() > 1);
+    }
+
+    #[test]
+    fn numeric_literal_keywords_match_year_predicates() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scores = match_claim(&cat, &[kw("2014", 1.0)], 20);
+        let ranked = scores.scored_predicates();
+        assert!(ranked.iter().any(|(c, l, _)| {
+            db.short_column_name(cat.predicate_columns[*c]) == "year"
+                && cat.literals[*c][*l] == Value::Int(2014)
+        }));
+    }
+
+    #[test]
+    fn empty_keywords_yield_floor_scores_only() {
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let scores = match_claim(&cat, &[], 20);
+        assert!(scores.scored_predicates().is_empty());
+        assert!(scores.functions.iter().all(|s| *s == 1.0));
+        assert_eq!(scores.max_predicate_score, 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Rendering verification results — the visual markup of Figure 3.
+//!
+//! Claims are colored by verdict: correct claims green, suspected errors
+//! red, unverifiable claims yellow. Two renderers are provided: ANSI
+//! (terminal) and HTML (the original tool's medium).
+
+use crate::pipeline::{CheckedClaim, VerificationReport, Verdict};
+use agg_nlp::structure::Document;
+use std::fmt::Write as _;
+
+/// Render the document with ANSI-colored claim markup plus a per-claim
+/// explanation block (most likely query, its result, the verdict).
+pub fn render_ansi(doc: &Document, report: &VerificationReport) -> String {
+    let mut out = String::new();
+    if let Some(title) = &doc.title {
+        let _ = writeln!(out, "\x1b[1m{}\x1b[0m\n", title.text);
+    }
+    let mut claim_idx = 0usize;
+    doc.for_each_paragraph(|path, para_idx, paragraph| {
+        for (si, sentence) in paragraph.sentences.iter().enumerate() {
+            let sentence_claims: Vec<&CheckedClaim> = report
+                .claims
+                .iter()
+                .filter(|c| {
+                    c.mention.section == *path
+                        && c.mention.paragraph == para_idx
+                        && c.mention.sentence == si
+                })
+                .collect();
+            if sentence_claims.is_empty() {
+                let _ = writeln!(out, "{}", sentence.text);
+                continue;
+            }
+            let _ = writeln!(out, "{}", colorize_sentence(sentence, &sentence_claims));
+            for claim in sentence_claims {
+                claim_idx += 1;
+                let marker = match claim.verdict {
+                    Verdict::Correct => "\x1b[32m✓\x1b[0m",
+                    Verdict::Erroneous => "\x1b[31m✗\x1b[0m",
+                    Verdict::Unverifiable => "\x1b[33m?\x1b[0m",
+                };
+                let _ = write!(
+                    out,
+                    "  {marker} claim #{claim_idx} «{}» (P(correct) = {:.3})",
+                    claim.claimed_value, claim.correctness_probability
+                );
+                if let Some(ml) = claim.ml_query() {
+                    let result = ml
+                        .result
+                        .map(|r| format!("{r:.4}"))
+                        .unwrap_or_else(|| "NULL".to_string());
+                    let _ = write!(out, "\n      → {} = {result}", ml.description);
+                }
+                let _ = writeln!(out);
+            }
+        }
+        let _ = writeln!(out);
+    });
+    out
+}
+
+/// Render the document as standalone HTML with claim spans colored by
+/// verdict and hover titles describing the most likely query.
+pub fn render_html(doc: &Document, report: &VerificationReport) -> String {
+    let mut out = String::from(
+        "<!doctype html><meta charset=\"utf-8\">\n<style>\n\
+         .claim-correct { background: #c8f7c5; }\n\
+         .claim-erroneous { background: #f7c5c5; }\n\
+         .claim-unverifiable { background: #f7f3c5; }\n\
+         </style>\n",
+    );
+    if let Some(title) = &doc.title {
+        let _ = writeln!(out, "<h1>{}</h1>", escape(&title.text));
+    }
+    doc.for_each_paragraph(|path, para_idx, paragraph| {
+        out.push_str("<p>");
+        for (si, sentence) in paragraph.sentences.iter().enumerate() {
+            let sentence_claims: Vec<&CheckedClaim> = report
+                .claims
+                .iter()
+                .filter(|c| {
+                    c.mention.section == *path
+                        && c.mention.paragraph == para_idx
+                        && c.mention.sentence == si
+                })
+                .collect();
+            out.push_str(&html_sentence(sentence, &sentence_claims));
+            out.push(' ');
+        }
+        out.push_str("</p>\n");
+    });
+    out
+}
+
+/// A short plain-text summary: one line per claim.
+pub fn render_summary(report: &VerificationReport) -> String {
+    let mut out = String::new();
+    for (i, claim) in report.claims.iter().enumerate() {
+        let verdict = match claim.verdict {
+            Verdict::Correct => "OK ",
+            Verdict::Erroneous => "ERR",
+            Verdict::Unverifiable => "???",
+        };
+        let ml = claim
+            .ml_query()
+            .map(|q| {
+                format!(
+                    "{} = {}",
+                    q.description,
+                    q.result
+                        .map(|r| format!("{r:.4}"))
+                        .unwrap_or_else(|| "NULL".into())
+                )
+            })
+            .unwrap_or_else(|| "no candidate query".into());
+        let _ = writeln!(
+            out,
+            "[{verdict}] #{i} claimed {} | P(correct)={:.3} | {ml}",
+            claim.claimed_value, claim.correctness_probability
+        );
+    }
+    out
+}
+
+fn colorize_sentence(
+    sentence: &agg_nlp::structure::Sentence,
+    claims: &[&CheckedClaim],
+) -> String {
+    // Color each claim's token span within the sentence text.
+    let mut spans: Vec<(usize, usize, &str)> = claims
+        .iter()
+        .filter_map(|c| {
+            let start = sentence.tokens.get(c.mention.number.token_start)?.start;
+            let end = sentence
+                .tokens
+                .get(c.mention.number.token_end.saturating_sub(1))?
+                .end;
+            let color = match c.verdict {
+                Verdict::Correct => "\x1b[42;30m",
+                Verdict::Erroneous => "\x1b[41;37m",
+                Verdict::Unverifiable => "\x1b[43;30m",
+            };
+            Some((start, end, color))
+        })
+        .collect();
+    spans.sort_by_key(|(s, _, _)| *s);
+    let mut out = String::new();
+    let mut pos = 0;
+    for (start, end, color) in spans {
+        if start < pos {
+            continue;
+        }
+        out.push_str(&sentence.text[pos..start]);
+        let _ = write!(out, "{color}{}\x1b[0m", &sentence.text[start..end]);
+        pos = end;
+    }
+    out.push_str(&sentence.text[pos..]);
+    out
+}
+
+fn html_sentence(sentence: &agg_nlp::structure::Sentence, claims: &[&CheckedClaim]) -> String {
+    let mut spans: Vec<(usize, usize, String)> = claims
+        .iter()
+        .filter_map(|c| {
+            let start = sentence.tokens.get(c.mention.number.token_start)?.start;
+            let end = sentence
+                .tokens
+                .get(c.mention.number.token_end.saturating_sub(1))?
+                .end;
+            let class = match c.verdict {
+                Verdict::Correct => "claim-correct",
+                Verdict::Erroneous => "claim-erroneous",
+                Verdict::Unverifiable => "claim-unverifiable",
+            };
+            let title = c
+                .ml_query()
+                .map(|q| {
+                    format!(
+                        "{} = {}",
+                        q.description,
+                        q.result
+                            .map(|r| format!("{r:.4}"))
+                            .unwrap_or_else(|| "NULL".into())
+                    )
+                })
+                .unwrap_or_default();
+            Some((
+                start,
+                end,
+                format!(
+                    "<span class=\"{class}\" title=\"{}\">",
+                    escape(&title)
+                ),
+            ))
+        })
+        .collect();
+    spans.sort_by_key(|(s, _, _)| *s);
+    let mut out = String::new();
+    let mut pos = 0;
+    for (start, end, open) in spans {
+        if start < pos {
+            continue;
+        }
+        out.push_str(&escape(&sentence.text[pos..start]));
+        out.push_str(&open);
+        out.push_str(&escape(&sentence.text[start..end]));
+        out.push_str("</span>");
+        pos = end;
+    }
+    out.push_str(&escape(&sentence.text[pos..]));
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckerConfig;
+    use crate::pipeline::AggChecker;
+    use agg_nlp::structure::parse_document;
+    use agg_relational::{Database, Table};
+
+    fn setup() -> (AggChecker, Document, VerificationReport) {
+        let t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "games",
+                    vec![
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "10".into(),
+                    ],
+                ),
+                (
+                    "category",
+                    vec![
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "gambling".into(),
+                        "peds".into(),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        let checker = AggChecker::new(db, CheckerConfig::default()).unwrap();
+        let text = "<h1>Lifetime bans</h1><p>There were four previous lifetime bans. One was for gambling.</p>";
+        let doc = parse_document(text);
+        let report = checker.check_document(&doc).unwrap();
+        (checker, doc, report)
+    }
+
+    #[test]
+    fn ansi_rendering_marks_claims() {
+        let (_, doc, report) = setup();
+        let out = render_ansi(&doc, &report);
+        assert!(out.contains("\x1b[42;30m") || out.contains("\x1b[41;37m"), "{out}");
+        assert!(out.contains("P(correct)"));
+        assert!(out.contains("→"), "most likely query shown");
+    }
+
+    #[test]
+    fn html_rendering_is_well_formed() {
+        let (_, doc, report) = setup();
+        let out = render_html(&doc, &report);
+        assert_eq!(out.matches("<span").count(), out.matches("</span>").count());
+        assert!(out.contains("claim-"));
+        assert!(out.contains("title="));
+    }
+
+    #[test]
+    fn summary_lists_every_claim() {
+        let (_, doc, report) = setup();
+        let _ = doc;
+        let out = render_summary(&report);
+        assert_eq!(out.lines().count(), report.claims.len());
+    }
+
+    #[test]
+    fn html_escapes_content() {
+        assert_eq!(escape("a<b&c\"d"), "a&lt;b&amp;c&quot;d");
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared text utilities: stopwords and keyword-term extraction.
+
+use agg_nlp::stem::stem;
+use agg_nlp::tokenize::{tokenize, Token, TokenKind};
+
+/// Function words that carry no matching signal. Kept deliberately small —
+/// aggressive stopword lists hurt recall on terse column names.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "with", "by", "from", "as", "is",
+    "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has",
+    "had", "and", "or", "but", "nor", "not", "no", "yes", "it", "its", "this", "that", "these",
+    "those", "there", "here", "he", "she", "they", "we", "you", "i", "his", "her", "their",
+    "our", "your", "my", "me", "him", "them", "us", "which", "who", "whom", "whose", "what",
+    "when", "where", "why", "how", "than", "then", "so", "such", "very", "just", "only",
+    "also", "too", "about", "into", "over", "under", "again", "more", "most", "some", "any",
+    "each", "few", "both", "all", "per", "via", "will", "would", "can", "could", "should",
+    "may", "might", "must", "shall", "if", "while", "during", "before", "after", "since",
+    "until", "up", "down", "out", "off", "own", "same", "other", "another",
+];
+
+/// Is `word` (any case) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    let lower = word.to_lowercase();
+    STOPWORDS.contains(&lower.as_str())
+}
+
+/// Extract stemmed keyword terms from free text: tokenize, keep words and
+/// numbers, drop stopwords and single letters, stem words.
+pub fn keyword_terms(text: &str) -> Vec<String> {
+    tokenize(text)
+        .iter()
+        .filter_map(token_term)
+        .collect()
+}
+
+/// The indexable term of one token, if any: stemmed word or normalized
+/// number (digits only, separators stripped).
+pub fn token_term(token: &Token) -> Option<String> {
+    match token.kind {
+        TokenKind::Word => {
+            let lower = token.lower();
+            if lower.len() < 2 || is_stopword(&lower) {
+                return None;
+            }
+            Some(stem(&lower))
+        }
+        TokenKind::Number | TokenKind::Percent | TokenKind::Currency => {
+            let digits: String = token
+                .text
+                .chars()
+                .filter(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            (!digits.is_empty()).then_some(digits)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwords_filtered_and_terms_stemmed() {
+        let terms = keyword_terms("There were only four previous lifetime bans in my database");
+        assert!(!terms.iter().any(|t| t == "the" || t == "in" || t == "my"));
+        assert!(terms.contains(&stem("lifetime")));
+        assert!(terms.contains(&stem("bans")));
+        assert!(terms.contains(&stem("database")));
+    }
+
+    #[test]
+    fn numbers_keep_digits() {
+        let terms = keyword_terms("spent $1,200 or 13% in 2014");
+        assert!(terms.contains(&"1200".to_string()));
+        assert!(terms.contains(&"13".to_string()));
+        assert!(terms.contains(&"2014".to_string()));
+    }
+
+    #[test]
+    fn single_letters_dropped() {
+        assert!(keyword_terms("a b c").is_empty());
+    }
+
+    #[test]
+    fn stopword_check_is_case_insensitive() {
+        assert!(is_stopword("The"));
+        assert!(is_stopword("WHILE"));
+        assert!(!is_stopword("gambling"));
+    }
+}

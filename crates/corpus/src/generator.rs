@@ -1,0 +1,882 @@
+//! The synthetic test-case generator.
+//!
+//! Everything is deterministic in the spec's seed. Each test case gets a
+//! single-table data set drawn from a [`crate::vocab::Domain`], a document
+//! theme (concentrated distributions over aggregation functions, the
+//! aggregation column, and the predicate columns — the property Figure 9(b)
+//! of the paper measures), and an HTML article whose claims are rendered
+//! from templates with context spread, multi-claim sentences, paraphrase
+//! via synonyms, and a controlled share of erroneous values.
+
+use crate::spec::{CorpusSpec, GroundTruthClaim};
+use crate::vocab::{Domain, DOMAINS};
+use agg_nlp::numbers::parse_number_mentions;
+use agg_nlp::rounding::{matches_claim, round_significant};
+use agg_nlp::synonyms::SynonymDict;
+use agg_nlp::tokenize::tokenize;
+use agg_relational::{
+    execute_query, AggColumn, AggFunction, ColumnRef, Database, Predicate, SimpleAggregateQuery,
+    Table, Value,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One generated test case: data set + article + ground truth.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    pub name: String,
+    pub domain_key: &'static str,
+    pub db: Database,
+    pub article_html: String,
+    /// Ground truth, in document order of the claims.
+    pub ground_truth: Vec<GroundTruthClaim>,
+}
+
+impl TestCase {
+    /// Number of erroneous claims.
+    pub fn erroneous_count(&self) -> usize {
+        self.ground_truth.iter().filter(|g| !g.is_correct).count()
+    }
+}
+
+/// Generate the whole corpus. Every 13th article (starting at index 4) is
+/// a two-table join case (see [`crate::joincase`]); the rest cycle through
+/// the single-table domains.
+pub fn generate_corpus(spec: &CorpusSpec) -> Vec<TestCase> {
+    (0..spec.n_articles)
+        .map(|i| {
+            if i % 13 == 4 {
+                crate::joincase::generate_join_case(spec, i)
+            } else {
+                generate_test_case(spec, i)
+            }
+        })
+        .collect()
+}
+
+/// Generate the `index`-th test case of a corpus (deterministic).
+pub fn generate_test_case(spec: &CorpusSpec, index: usize) -> TestCase {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)));
+    let domain = &DOMAINS[index % DOMAINS.len()];
+    let db = generate_database(&mut rng, spec, domain, index);
+    let theme = Theme::sample(&mut rng, domain, &db);
+    let sloppy = rng.gen_bool(spec.sloppy_article_rate);
+    let error_rate = if sloppy {
+        spec.sloppy_error_rate
+    } else {
+        spec.careful_error_rate
+    };
+    let n_claims = rng.gen_range(spec.min_claims..=spec.max_claims);
+
+    // Draw claims from the theme.
+    let mut drafts: Vec<ClaimDraft> = Vec::new();
+    let mut attempts = 0;
+    while drafts.len() < n_claims && attempts < n_claims * 30 {
+        attempts += 1;
+        if let Some(draft) = draw_claim(&mut rng, spec, domain, &db, &theme, error_rate) {
+            drafts.push(draft);
+        }
+    }
+
+    let (article_html, ground_truth) = render_article(&mut rng, spec, domain, &theme, drafts);
+    TestCase {
+        name: format!("{}-{index:02}", domain.key),
+        domain_key: domain.key,
+        db,
+        article_html,
+        ground_truth,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data generation
+// ---------------------------------------------------------------------------
+
+fn generate_database(
+    rng: &mut StdRng,
+    spec: &CorpusSpec,
+    domain: &Domain,
+    index: usize,
+) -> Database {
+    let rows = rng.gen_range(spec.min_rows..=spec.max_rows);
+    let mut columns: Vec<(&str, Vec<Value>)> = Vec::new();
+    for cat in domain.categorical {
+        // Zipf-ish skew over the value pool.
+        let weights: Vec<f64> = (0..cat.values.len()).map(|k| 1.0 / (k as f64 + 1.2)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut data = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut x = rng.gen_range(0.0..total);
+            let mut chosen = 0;
+            for (k, w) in weights.iter().enumerate() {
+                if x < *w {
+                    chosen = k;
+                    break;
+                }
+                x -= w;
+            }
+            data.push(Value::Str(cat.values[chosen].to_string()));
+        }
+        columns.push((cat.name, data));
+    }
+    for num in domain.numeric {
+        let data = (0..rows)
+            .map(|_| Value::Int(rng.gen_range(num.min..=num.max)))
+            .collect();
+        columns.push((num.name, data));
+    }
+    for name in domain.extra_bool {
+        let p = 0.15 + 0.7 * rng.gen::<f64>();
+        let data = (0..rows)
+            .map(|_| Value::Str(if rng.gen_bool(p) { "yes" } else { "no" }.into()))
+            .collect();
+        columns.push((name, data));
+    }
+    let table = Table::from_columns(format!("{}{index:02}", domain.table_name), columns)
+        .expect("rectangular generated table");
+    let mut db = Database::new(format!("{}-{index:02}", domain.key));
+    db.add_table(table);
+    db
+}
+
+// ---------------------------------------------------------------------------
+// Theme
+// ---------------------------------------------------------------------------
+
+/// A document theme: concentrated distributions over query characteristics.
+struct Theme {
+    /// `(function, weight)` — first entries dominate.
+    fn_weights: Vec<(AggFunction, f64)>,
+    /// The main numeric column for value aggregates.
+    main_numeric: ColumnRef,
+    /// Primary and secondary predicate columns (categorical).
+    primary_cat: usize,
+    secondary_cat: usize,
+    /// Section values: the primary-column values the article is organized
+    /// around.
+    section_values: Vec<String>,
+}
+
+impl Theme {
+    fn sample(rng: &mut StdRng, domain: &Domain, db: &Database) -> Theme {
+        let fn_weights = vec![
+            (AggFunction::Count, 0.50),
+            (AggFunction::Percentage, 0.18),
+            (AggFunction::Avg, 0.10),
+            (AggFunction::Sum, 0.07),
+            (AggFunction::Max, 0.05),
+            (AggFunction::Min, 0.03),
+            (AggFunction::CountDistinct, 0.04),
+            (AggFunction::ConditionalProbability, 0.01),
+            (AggFunction::Median, 0.02),
+        ];
+        // Main numeric column: avoid year-like columns for Min/Max realism.
+        let year_like = ["season", "cycle", "opened", "year"];
+        let numeric_choices: Vec<usize> = domain
+            .numeric
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !year_like.contains(&n.name))
+            .map(|(i, _)| i)
+            .collect();
+        let ni = *numeric_choices.choose(rng).expect("numeric column");
+        let table = 0usize;
+        let main_numeric = db
+            .resolve(db.table(table).name(), domain.numeric[ni].name)
+            .expect("numeric column resolves");
+        let primary_cat = rng.gen_range(0..domain.categorical.len());
+        let secondary_cat = (primary_cat + 1 + rng.gen_range(0..domain.categorical.len() - 1))
+            % domain.categorical.len();
+        // Sections: the 2-3 most frequent primary values (most frequent
+        // first thanks to the Zipf skew in data generation).
+        let max_sections = 3.min(domain.categorical[primary_cat].values.len());
+        let n_sections = rng.gen_range(2..=max_sections);
+        let section_values: Vec<String> = domain.categorical[primary_cat]
+            .values
+            .iter()
+            .take(n_sections)
+            .map(|v| v.to_string())
+            .collect();
+        Theme {
+            fn_weights,
+            main_numeric,
+            primary_cat,
+            secondary_cat,
+            section_values,
+        }
+    }
+
+    fn sample_function(&self, rng: &mut StdRng) -> AggFunction {
+        let total: f64 = self.fn_weights.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (f, w) in &self.fn_weights {
+            if x < *w {
+                return *f;
+            }
+            x -= w;
+        }
+        AggFunction::Count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Claim drawing
+// ---------------------------------------------------------------------------
+
+/// A claim before rendering.
+struct ClaimDraft {
+    query: SimpleAggregateQuery,
+    true_value: f64,
+    claimed_value: f64,
+    /// Text of the claimed value, exactly as it will appear.
+    claimed_text: String,
+    is_correct: bool,
+    spelled_out: bool,
+    /// Section assignment: index into theme.section_values, or `None` for
+    /// the overview section.
+    section: Option<usize>,
+    /// Whether the primary predicate's value words are omitted from the
+    /// claim sentence (context spread).
+    spread: bool,
+    /// Function used (for template choice).
+    function: AggFunction,
+    /// Aggregation column noun, if any.
+    agg_noun: Option<String>,
+    /// Rendered predicate value phrases (primary first).
+    pred_phrases: Vec<String>,
+}
+
+fn draw_claim(
+    rng: &mut StdRng,
+    spec: &CorpusSpec,
+    domain: &Domain,
+    db: &Database,
+    theme: &Theme,
+    error_rate: f64,
+) -> Option<ClaimDraft> {
+    let table_name = db.table(0).name().to_string();
+    // Predicate count from the spec's 0/1/2 distribution.
+    let r: f64 = rng.gen();
+    let n_preds = if r < spec.predicates_dist[0] {
+        0
+    } else if r < spec.predicates_dist[0] + spec.predicates_dist[1] {
+        1
+    } else {
+        2
+    };
+    let mut function = theme.sample_function(rng);
+    if n_preds == 0
+        && matches!(
+            function,
+            AggFunction::Percentage | AggFunction::ConditionalProbability
+        )
+    {
+        function = AggFunction::Count;
+    }
+    if n_preds < 2 && function == AggFunction::ConditionalProbability {
+        function = AggFunction::Percentage;
+    }
+
+    // Aggregation column.
+    let (column, agg_noun) = match function {
+        AggFunction::Count | AggFunction::Percentage | AggFunction::ConditionalProbability => {
+            (AggColumn::Star, None)
+        }
+        AggFunction::CountDistinct => {
+            // Count distinct values of a categorical column (not the
+            // predicate columns used below).
+            let ci = (theme.secondary_cat + 1) % domain.categorical.len();
+            let col = db.resolve(&table_name, domain.categorical[ci].name).ok()?;
+            (
+                AggColumn::Column(col),
+                Some(domain.categorical[ci].noun.to_string()),
+            )
+        }
+        _ => {
+            let noun = domain
+                .numeric
+                .iter()
+                .find(|n| {
+                    db.resolve(&table_name, n.name)
+                        .is_ok_and(|c| c == theme.main_numeric)
+                })
+                .map(|n| n.noun.to_string());
+            (AggColumn::Column(theme.main_numeric), noun)
+        }
+    };
+
+    // Predicates: primary section value first, then a secondary value.
+    let mut predicates = Vec::new();
+    let mut pred_phrases = Vec::new();
+    let mut section = None;
+    if n_preds >= 1 {
+        let si = rng.gen_range(0..theme.section_values.len());
+        let value = theme.section_values[si].clone();
+        let col = db
+            .resolve(&table_name, domain.categorical[theme.primary_cat].name)
+            .ok()?;
+        predicates.push(Predicate::new(col, value.as_str()));
+        pred_phrases.push(value);
+        section = Some(si);
+    }
+    if n_preds >= 2 {
+        let pool = domain.categorical[theme.secondary_cat].values;
+        // Take a frequent value so conjunctive counts stay non-trivial.
+        let value = pool[rng.gen_range(0..pool.len().min(3))].to_string();
+        let col = db
+            .resolve(&table_name, domain.categorical[theme.secondary_cat].name)
+            .ok()?;
+        predicates.push(Predicate::new(col, value.as_str()));
+        pred_phrases.push(value);
+    }
+
+    let query = SimpleAggregateQuery::new(function, column, predicates);
+    let true_value = execute_query(db, &query).ok()??;
+    if !true_value.is_finite() {
+        return None;
+    }
+    // Counts of zero or one-row averages make for unnatural claims.
+    if matches!(function, AggFunction::Count | AggFunction::CountDistinct) && true_value < 1.0 {
+        return None;
+    }
+
+    // Render the claimed value.
+    let is_correct = !rng.gen_bool(error_rate);
+    let sig = rng.gen_range(2..=3u32);
+    let rounded = if true_value.fract() == 0.0 && true_value.abs() < 1000.0 {
+        true_value
+    } else {
+        round_significant(true_value, sig)
+    };
+    let claimed_value = if is_correct {
+        rounded
+    } else {
+        perturb(rng, rounded, true_value)?
+    };
+    if claimed_value < 0.0 {
+        return None;
+    }
+    let is_percentage = matches!(
+        function,
+        AggFunction::Percentage | AggFunction::ConditionalProbability
+    );
+    let spelled_out =
+        claimed_value.fract() == 0.0 && claimed_value <= 12.0 && !is_percentage && rng.gen_bool(0.6);
+    let claimed_text = render_number(claimed_value, spelled_out, is_percentage);
+
+    // Verify the label against the checker's own matcher by parsing the
+    // rendered text back — guarantees label consistency.
+    let probe = format!("x {claimed_text} y");
+    let mentions = parse_number_mentions(&tokenize(&probe));
+    let mention = mentions.first()?;
+    let parsed_matches = matches_claim(true_value, mention);
+    if parsed_matches != is_correct {
+        return None; // rendering/rounding edge: drop and redraw
+    }
+    // Claimed value must not look like a bare year (the detector skips
+    // those).
+    if !mention.is_percentage
+        && !mention.spelled_out
+        && !mention.had_separator
+        && mention.decimal_places == 0
+        && (1000.0..=2100.0).contains(&mention.value)
+    {
+        return None;
+    }
+
+    let spread = n_preds >= 1 && rng.gen_bool(spec.context_spread_rate);
+    Some(ClaimDraft {
+        query,
+        true_value,
+        claimed_value: mention.value,
+        claimed_text,
+        is_correct,
+        spelled_out,
+        section,
+        spread,
+        function,
+        agg_noun,
+        pred_phrases,
+    })
+}
+
+/// Shift a rounded value so that no admissible rounding of `true_value`
+/// reaches it.
+fn perturb(rng: &mut StdRng, rounded: f64, true_value: f64) -> Option<f64> {
+    // One unit at the value's last significant digit.
+    let unit = if rounded == 0.0 {
+        1.0
+    } else {
+        let magnitude = rounded.abs().log10().floor();
+        10f64.powf(magnitude - 1.0).max(1.0)
+    };
+    for step in [1.0, 2.0, -1.0, -2.0, 3.0] {
+        let candidate = rounded + step * unit;
+        if candidate < 0.0 {
+            continue;
+        }
+        // Quick screen before the authoritative re-parse in the caller.
+        if (candidate - true_value).abs() > unit * 0.6 {
+            let _ = rng;
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Format a claimed value as article text.
+fn render_number(value: f64, spelled: bool, percentage: bool) -> String {
+    const WORDS: [&str; 13] = [
+        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+        "eleven", "twelve",
+    ];
+    if percentage {
+        return format!("{}%", trim_float(value));
+    }
+    if spelled && value.fract() == 0.0 && (0.0..=12.0).contains(&value) {
+        return WORDS[value as usize].to_string();
+    }
+    if value.fract() == 0.0 && value.abs() >= 1000.0 {
+        return with_separators(value as i64);
+    }
+    trim_float(value)
+}
+
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+fn with_separators(mut v: i64) -> String {
+    let negative = v < 0;
+    v = v.abs();
+    let mut groups = Vec::new();
+    loop {
+        groups.push(format!("{:03}", v % 1000));
+        v /= 1000;
+        if v == 0 {
+            break;
+        }
+    }
+    let mut s = groups
+        .iter()
+        .rev()
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(",")
+        .trim_start_matches('0')
+        .to_string();
+    if s.starts_with(',') {
+        s = format!("0{s}");
+    }
+    if s.is_empty() {
+        s = "0".into();
+    }
+    if negative {
+        format!("-{s}")
+    } else {
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Article rendering
+// ---------------------------------------------------------------------------
+
+/// Filler sentences (strictly number-free).
+const FILLERS: &[&str] = &[
+    "The picture is more nuanced than the league office admits.",
+    "Observers have long suspected as much.",
+    "The pattern holds across the whole data set.",
+    "Critics see this as evidence of a deeper problem.",
+    "That figure surprised nearly everybody we asked.",
+    "The trend shows little sign of slowing down.",
+];
+
+fn render_article(
+    rng: &mut StdRng,
+    spec: &CorpusSpec,
+    domain: &Domain,
+    theme: &Theme,
+    drafts: Vec<ClaimDraft>,
+) -> (String, Vec<GroundTruthClaim>) {
+    let synonyms = SynonymDict::embedded();
+    let mut html = String::new();
+    html.push_str(&format!("<title>{}</title>\n", domain.title));
+    let mut ground_truth = Vec::new();
+
+    // Group drafts: overview (no section) then one section per value.
+    let mut overview: Vec<ClaimDraft> = Vec::new();
+    let mut sections: Vec<Vec<ClaimDraft>> = (0..theme.section_values.len())
+        .map(|_| Vec::new())
+        .collect();
+    for d in drafts {
+        match d.section {
+            None => overview.push(d),
+            Some(si) => sections[si].push(d),
+        }
+    }
+
+    html.push_str("<h1>Overview</h1>\n");
+    render_section(rng, spec, domain, &synonyms, &mut html, &mut ground_truth, overview, None);
+    for (si, bucket) in sections.into_iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        let value = &theme.section_values[si];
+        html.push_str(&format!(
+            "<h1>The {} {}</h1>\n",
+            value, domain.row_noun
+        ));
+        render_section(
+            rng,
+            spec,
+            domain,
+            &synonyms,
+            &mut html,
+            &mut ground_truth,
+            bucket,
+            Some(value.clone()),
+        );
+    }
+    (html, ground_truth)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_section(
+    rng: &mut StdRng,
+    spec: &CorpusSpec,
+    domain: &Domain,
+    synonyms: &SynonymDict,
+    html: &mut String,
+    ground_truth: &mut Vec<GroundTruthClaim>,
+    drafts: Vec<ClaimDraft>,
+    section_value: Option<String>,
+) {
+    let mut sentences: Vec<String> = Vec::new();
+    if let Some(filler) = FILLERS.choose(rng) {
+        sentences.push(filler.to_string());
+    }
+    let mut i = 0;
+    while i < drafts.len() {
+        let d = &drafts[i];
+        // Multi-claim sentence: merge with the next claim when both are
+        // simple counts in this section.
+        let mergeable = i + 1 < drafts.len()
+            && rng.gen_bool(spec.multi_claim_rate)
+            && d.function == AggFunction::Count
+            && drafts[i + 1].function == AggFunction::Count
+            && !d.pred_phrases.is_empty()
+            && !drafts[i + 1].pred_phrases.is_empty();
+        if mergeable {
+            let e = &drafts[i + 1];
+            let first = clause_for(rng, domain, synonyms, d, section_value.as_deref(), true);
+            let second = clause_for(rng, domain, synonyms, e, section_value.as_deref(), true);
+            sentences.push(format!(
+                "{}, {}.",
+                capitalize(&first),
+                second
+            ));
+            push_truth(ground_truth, d);
+            push_truth(ground_truth, e);
+            i += 2;
+            continue;
+        }
+        let clause = clause_for(rng, domain, synonyms, d, section_value.as_deref(), false);
+        sentences.push(format!("{}.", capitalize(&clause)));
+        push_truth(ground_truth, d);
+        i += 1;
+    }
+    if sentences.len() > 1 && rng.gen_bool(0.5) {
+        if let Some(filler) = FILLERS.choose(rng) {
+            sentences.push(filler.to_string());
+        }
+    }
+    // Two paragraphs when long.
+    if sentences.len() > 4 {
+        let mid = sentences.len() / 2;
+        html.push_str(&format!("<p>{}</p>\n", sentences[..mid].join(" ")));
+        html.push_str(&format!("<p>{}</p>\n", sentences[mid..].join(" ")));
+    } else {
+        html.push_str(&format!("<p>{}</p>\n", sentences.join(" ")));
+    }
+}
+
+fn push_truth(ground_truth: &mut Vec<GroundTruthClaim>, d: &ClaimDraft) {
+    ground_truth.push(GroundTruthClaim {
+        claimed_value: d.claimed_value,
+        true_value: d.true_value,
+        query: d.query.clone(),
+        is_correct: d.is_correct,
+        spelled_out: d.spelled_out,
+    });
+}
+
+/// Render one claim as a clause (no final period, not capitalized).
+fn clause_for(
+    rng: &mut StdRng,
+    domain: &Domain,
+    synonyms: &SynonymDict,
+    d: &ClaimDraft,
+    section_value: Option<&str>,
+    compact: bool,
+) -> String {
+    let rows = maybe_synonym(rng, synonyms, domain.row_noun, 0.25);
+    let n = &d.claimed_text;
+    // The primary predicate phrase is omitted under context spread (the
+    // enclosing headline carries it) unless this claim sits outside its
+    // value's section.
+    let primary = d.pred_phrases.first().cloned();
+    let in_own_section = section_value.is_some()
+        && primary.as_deref() == section_value;
+    let show_primary = match &primary {
+        None => None,
+        Some(p) => {
+            if d.spread && in_own_section {
+                None
+            } else {
+                Some(maybe_synonym(rng, synonyms, p, 0.2))
+            }
+        }
+    };
+    let secondary = d.pred_phrases.get(1).map(|p| maybe_synonym(rng, synonyms, p, 0.2));
+    let subject = match (&show_primary, &secondary) {
+        (Some(p), Some(s)) => format!("{p} {rows} marked {s}"),
+        (Some(p), None) => format!("{p} {rows}"),
+        (None, Some(s)) => format!("such {rows} marked {s}"),
+        (None, None) => {
+            if d.pred_phrases.is_empty() {
+                rows.clone()
+            } else {
+                format!("such {rows}")
+            }
+        }
+    };
+    match d.function {
+        AggFunction::Count => {
+            if compact {
+                format!("{n} were {subject}")
+            } else {
+                match rng.gen_range(0..3) {
+                    0 => format!("there were {n} {subject}"),
+                    1 => format!("the data shows {n} {subject}"),
+                    _ => format!("in total, {n} {subject} appear in the records"),
+                }
+            }
+        }
+        AggFunction::CountDistinct => {
+            let noun = d.agg_noun.clone().unwrap_or_else(|| "value".into());
+            format!("the {subject} span {n} different {noun} groups")
+        }
+        AggFunction::Sum => {
+            let noun = d.agg_noun.clone().unwrap_or_else(|| "value".into());
+            format!("the {subject} add up to a combined {noun} of {n}")
+        }
+        AggFunction::Avg => {
+            let noun = maybe_synonym(
+                rng,
+                synonyms,
+                &d.agg_noun.clone().unwrap_or_else(|| "value".into()),
+                0.3,
+            );
+            format!("the average {noun} across {subject} was {n}")
+        }
+        AggFunction::Median => {
+            let noun = d.agg_noun.clone().unwrap_or_else(|| "value".into());
+            format!("the median {noun} across {subject} was {n}")
+        }
+        AggFunction::Min => {
+            let noun = d.agg_noun.clone().unwrap_or_else(|| "value".into());
+            format!("the lowest {noun} among {subject} was {n}")
+        }
+        AggFunction::Max => {
+            let noun = d.agg_noun.clone().unwrap_or_else(|| "value".into());
+            format!("the highest {noun} among {subject} was {n}")
+        }
+        AggFunction::Percentage => {
+            format!("{n} of all {rows} were {subject}")
+        }
+        AggFunction::ConditionalProbability => {
+            let p = show_primary.clone().unwrap_or_else(|| "such".into());
+            let s = secondary.clone().unwrap_or_else(|| "flagged".into());
+            format!("among {p} {rows}, the chance of being marked {s} was {n}")
+        }
+    }
+}
+
+fn maybe_synonym(rng: &mut StdRng, synonyms: &SynonymDict, word: &str, rate: f64) -> String {
+    if rng.gen_bool(rate) {
+        // Only single-word phrases paraphrase cleanly.
+        if !word.contains(' ') {
+            let options = synonyms.synonyms(word);
+            if let Some(s) = options.first() {
+                return s.clone();
+            }
+        }
+    }
+    word.to_string()
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_nlp::claims::{detect_claims, ClaimDetectorConfig};
+    use agg_nlp::structure::parse_document;
+
+    fn small() -> CorpusSpec {
+        CorpusSpec::small(8, 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_test_case(&small(), 0);
+        let b = generate_test_case(&small(), 0);
+        assert_eq!(a.article_html, b.article_html);
+        assert_eq!(a.ground_truth.len(), b.ground_truth.len());
+        assert_eq!(a.db.table(0).row_count(), b.db.table(0).row_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_test_case(&CorpusSpec::small(1, 1), 0);
+        let b = generate_test_case(&CorpusSpec::small(1, 2), 0);
+        assert_ne!(a.article_html, b.article_html);
+    }
+
+    #[test]
+    fn claims_match_detector_in_order() {
+        for i in 0..8 {
+            let tc = generate_test_case(&small(), i);
+            let doc = parse_document(&tc.article_html);
+            let detected = detect_claims(&doc, &ClaimDetectorConfig::default());
+            assert_eq!(
+                detected.len(),
+                tc.ground_truth.len(),
+                "case {i}: detector sees exactly the generated claims\n{}",
+                tc.article_html
+            );
+            for (d, g) in detected.iter().zip(&tc.ground_truth) {
+                assert!(
+                    (d.number.value - g.claimed_value).abs() < 1e-9,
+                    "case {i}: claim order/value mismatch: {} vs {}",
+                    d.number.value,
+                    g.claimed_value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_queries_evaluate_to_true_values() {
+        for i in 0..4 {
+            let tc = generate_test_case(&small(), i);
+            for g in &tc.ground_truth {
+                let v = execute_query(&tc.db, &g.query).unwrap().unwrap();
+                assert!((v - g.true_value).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn correctness_labels_agree_with_matcher() {
+        for i in 0..8 {
+            let tc = generate_test_case(&small(), i);
+            let doc = parse_document(&tc.article_html);
+            let detected = detect_claims(&doc, &ClaimDetectorConfig::default());
+            for (d, g) in detected.iter().zip(&tc.ground_truth) {
+                assert_eq!(
+                    matches_claim(g.true_value, &d.number),
+                    g.is_correct,
+                    "case {i}: label inconsistent for claimed {} (true {})",
+                    g.claimed_value,
+                    g.true_value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_error_rate_is_plausible() {
+        let spec = CorpusSpec {
+            n_articles: 40,
+            ..CorpusSpec::default()
+        };
+        let corpus = generate_corpus(&spec);
+        let total: usize = corpus.iter().map(|t| t.ground_truth.len()).sum();
+        let wrong: usize = corpus.iter().map(TestCase::erroneous_count).sum();
+        let rate = wrong as f64 / total as f64;
+        assert!(
+            (0.04..0.25).contains(&rate),
+            "erroneous rate {rate} out of plausible band ({wrong}/{total})"
+        );
+        // Errors cluster: some articles have none.
+        assert!(corpus.iter().any(|t| t.erroneous_count() == 0));
+    }
+
+    #[test]
+    fn predicate_distribution_tracks_spec() {
+        let spec = CorpusSpec {
+            n_articles: 30,
+            ..CorpusSpec::default()
+        };
+        let corpus = generate_corpus(&spec);
+        let mut by_count = [0usize; 4];
+        let mut total = 0usize;
+        for tc in &corpus {
+            for g in &tc.ground_truth {
+                by_count[g.query.predicates.len().min(3)] += 1;
+                total += 1;
+            }
+        }
+        let share = |k: usize| by_count[k] as f64 / total as f64;
+        assert!(share(1) > share(0), "one predicate dominates: {by_count:?}");
+        assert!(share(1) > share(2), "{by_count:?}");
+        assert!(share(0) > 0.05 && share(2) > 0.05, "{by_count:?}");
+    }
+
+    #[test]
+    fn articles_are_valid_html_with_headlines() {
+        let tc = generate_test_case(&small(), 1);
+        assert!(tc.article_html.contains("<title>"));
+        assert!(tc.article_html.contains("<h1>"));
+        assert!(tc.article_html.contains("<p>"));
+        let doc = parse_document(&tc.article_html);
+        assert!(doc.root.subsections.len() >= 2, "overview + value sections");
+    }
+
+    #[test]
+    fn domains_rotate() {
+        let spec = small();
+        let keys: Vec<&str> = (0..4)
+            .map(|i| generate_test_case(&spec, i).domain_key)
+            .collect();
+        assert_eq!(keys.len(), 4);
+        let mut unique = keys.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "{keys:?}");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(with_separators(1234567), "1,234,567");
+        assert_eq!(with_separators(1000), "1,000");
+        assert_eq!(with_separators(12), "012".trim_start_matches('0'));
+        assert_eq!(render_number(4.0, true, false), "four");
+        assert_eq!(render_number(13.0, false, true), "13%");
+        assert_eq!(render_number(97000.0, false, false), "97,000");
+        assert_eq!(render_number(3.5, false, false), "3.5");
+    }
+}

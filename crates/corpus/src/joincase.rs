@@ -1,0 +1,266 @@
+//! Multi-table test cases: a star schema with a PK-FK join.
+//!
+//! The paper's query model spans *"an equi-join between tables connected
+//! via primary key-foreign key constraints"* (Definition 2); most public
+//! data sets are single CSVs, but the engine must handle joins. These cases
+//! generate a `teams` dimension table and a `players` fact table; claims
+//! with a predicate on the dimension attribute (`division`) force the
+//! checker to discover the join path.
+
+use crate::generator::TestCase;
+use crate::spec::{CorpusSpec, GroundTruthClaim};
+use agg_nlp::numbers::parse_number_mentions;
+use agg_nlp::rounding::{matches_claim, round_significant};
+use agg_nlp::tokenize::tokenize;
+use agg_relational::{
+    execute_query, AggColumn, AggFunction, Database, ForeignKey, Predicate,
+    SimpleAggregateQuery, Table, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIVISIONS: [&str; 3] = ["atlantic", "pacific", "central"];
+const POSITIONS: [&str; 3] = ["goalie", "defender", "forward"];
+const TEAM_NAMES: [&str; 9] = [
+    "ravens", "sharks", "wolves", "bears", "eagles", "comets", "pilots", "miners", "giants",
+];
+
+/// Generate one join test case (deterministic in the spec seed and index).
+pub fn generate_join_case(spec: &CorpusSpec, index: usize) -> TestCase {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x10A1 ^ (index as u64) << 7);
+    let n_teams = rng.gen_range(6..=9usize);
+    let n_players = rng.gen_range(spec.min_rows..=spec.max_rows);
+
+    // Dimension table: teams(team_id PK, team, division).
+    let team_divisions: Vec<&str> = (0..n_teams)
+        .map(|_| DIVISIONS[rng.gen_range(0..DIVISIONS.len())])
+        .collect();
+    let teams = Table::from_columns(
+        "teams",
+        vec![
+            (
+                "team_id",
+                (0..n_teams).map(|i| Value::Int(i as i64)).collect(),
+            ),
+            (
+                "team",
+                (0..n_teams)
+                    .map(|i| Value::Str(TEAM_NAMES[i].to_string()))
+                    .collect(),
+            ),
+            (
+                "division",
+                team_divisions
+                    .iter()
+                    .map(|d| Value::Str(d.to_string()))
+                    .collect(),
+            ),
+        ],
+    )
+    .expect("teams table");
+
+    // Fact table: players(team_id FK, position, goals).
+    let mut team_col = Vec::with_capacity(n_players);
+    let mut position_col = Vec::with_capacity(n_players);
+    let mut goals_col = Vec::with_capacity(n_players);
+    for _ in 0..n_players {
+        team_col.push(Value::Int(rng.gen_range(0..n_teams) as i64));
+        position_col.push(Value::Str(
+            POSITIONS[rng.gen_range(0..POSITIONS.len())].to_string(),
+        ));
+        goals_col.push(Value::Int(rng.gen_range(0..40)));
+    }
+    let players = Table::from_columns(
+        "players",
+        vec![
+            ("team_id", team_col),
+            ("position", position_col),
+            ("goals", goals_col),
+        ],
+    )
+    .expect("players table");
+
+    let mut db = Database::new(format!("league-{index:02}"));
+    let teams_idx = db.add_table(teams);
+    let players_idx = db.add_table(players);
+    db.add_foreign_key(ForeignKey {
+        from_table: players_idx,
+        from_column: 0,
+        to_table: teams_idx,
+        to_column: 0,
+    })
+    .expect("valid FK");
+
+    let division_col = db.resolve("teams", "division").expect("division");
+    let position_col_ref = db.resolve("players", "position").expect("position");
+    let goals_col_ref = db.resolve("players", "goals").expect("goals");
+
+    let sloppy = rng.gen_bool(spec.sloppy_article_rate);
+    let error_rate = if sloppy {
+        spec.sloppy_error_rate
+    } else {
+        spec.careful_error_rate
+    };
+
+    // Claims: total, one per division (join!), one per position, and one
+    // average-goals-per-division (join + numeric aggregate).
+    let mut queries: Vec<(SimpleAggregateQuery, String)> = Vec::new();
+    queries.push((
+        SimpleAggregateQuery::count_star(vec![]),
+        "the league database lists {n} players overall".into(),
+    ));
+    let used_divisions: Vec<&str> = DIVISIONS
+        .iter()
+        .filter(|d| team_divisions.contains(d))
+        .copied()
+        .take(2)
+        .collect();
+    for d in &used_divisions {
+        queries.push((
+            SimpleAggregateQuery::count_star(vec![Predicate::new(division_col, *d)]),
+            format!("{{n}} players skate for {d} division teams"),
+        ));
+    }
+    queries.push((
+        SimpleAggregateQuery::count_star(vec![Predicate::new(position_col_ref, "goalie")]),
+        "{n} of them are goalie players".into(),
+    ));
+    if let Some(d) = used_divisions.first() {
+        queries.push((
+            SimpleAggregateQuery::count_star(vec![
+                Predicate::new(division_col, *d),
+                Predicate::new(position_col_ref, "defender"),
+            ]),
+            format!("the {d} division ices {{n}} defender players"),
+        ));
+        queries.push((
+            SimpleAggregateQuery::new(
+                AggFunction::Avg,
+                AggColumn::Column(goals_col_ref),
+                vec![Predicate::new(division_col, *d)],
+            ),
+            format!("the average goals across {d} division players was {{n}}"),
+        ));
+    }
+
+    // Render the article + ground truth.
+    let mut html = String::from("<title>Around the League: Divisions by the Numbers</title>\n");
+    html.push_str("<h1>League overview</h1>\n<p>");
+    let mut ground_truth = Vec::new();
+    let mut sentences = Vec::new();
+    for (query, template) in queries {
+        let Some(true_value) = execute_query(&db, &query).ok().flatten() else {
+            continue;
+        };
+        if true_value < 1.0 {
+            continue;
+        }
+        let is_correct = !rng.gen_bool(error_rate);
+        let rounded = if true_value.fract() == 0.0 {
+            true_value
+        } else {
+            round_significant(true_value, 3)
+        };
+        let claimed = if is_correct {
+            rounded
+        } else {
+            rounded + if rng.gen_bool(0.5) { 1.0 } else { 2.0 }
+        };
+        let text = if claimed.fract() == 0.0 {
+            format!("{}", claimed as i64)
+        } else {
+            format!("{claimed:.1}")
+        };
+        // Verify the label through the checker's own parser/matcher.
+        let probe = format!("x {text} y");
+        let mentions = parse_number_mentions(&tokenize(&probe));
+        let Some(mention) = mentions.first() else {
+            continue;
+        };
+        if matches_claim(true_value, mention) != is_correct {
+            continue;
+        }
+        sentences.push(capitalize(&template.replace("{n}", &text)) + ".");
+        ground_truth.push(GroundTruthClaim {
+            claimed_value: mention.value,
+            true_value,
+            query,
+            is_correct,
+            spelled_out: false,
+        });
+    }
+    html.push_str(&sentences.join(" "));
+    html.push_str("</p>\n");
+
+    TestCase {
+        name: format!("league-{index:02}"),
+        domain_key: "league",
+        db,
+        article_html: html,
+        ground_truth,
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_nlp::claims::{detect_claims, ClaimDetectorConfig};
+    use agg_nlp::structure::parse_document;
+
+    #[test]
+    fn join_case_is_well_formed() {
+        let tc = generate_join_case(&CorpusSpec::small(1, 77), 0);
+        assert_eq!(tc.db.table_count(), 2);
+        assert_eq!(tc.db.foreign_keys().len(), 1);
+        tc.db.validate().unwrap();
+        assert!(tc.ground_truth.len() >= 3, "{}", tc.article_html);
+    }
+
+    #[test]
+    fn join_claims_need_the_join_path() {
+        let tc = generate_join_case(&CorpusSpec::small(1, 77), 0);
+        let crosses = tc
+            .ground_truth
+            .iter()
+            .filter(|g| g.query.tables_referenced().len() > 1)
+            .count();
+        assert!(crosses >= 1, "at least one claim spans both tables");
+    }
+
+    #[test]
+    fn detector_alignment_holds() {
+        for i in 0..3 {
+            let tc = generate_join_case(&CorpusSpec::small(1, 13), i);
+            let doc = parse_document(&tc.article_html);
+            let detected = detect_claims(&doc, &ClaimDetectorConfig::default());
+            assert_eq!(detected.len(), tc.ground_truth.len(), "{}", tc.article_html);
+            for (d, g) in detected.iter().zip(&tc.ground_truth) {
+                assert!((d.number.value - g.claimed_value).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_evaluates_via_join() {
+        let tc = generate_join_case(&CorpusSpec::small(1, 21), 1);
+        for g in &tc.ground_truth {
+            let v = execute_query(&tc.db, &g.query).unwrap().unwrap();
+            assert!((v - g.true_value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_join_case(&CorpusSpec::small(1, 5), 2);
+        let b = generate_join_case(&CorpusSpec::small(1, 5), 2);
+        assert_eq!(a.article_html, b.article_html);
+    }
+}

@@ -1,0 +1,35 @@
+//! # agg-corpus
+//!
+//! Test-case substrate for the AggChecker reproduction. The paper evaluates
+//! on 53 public articles (New York Times, FiveThirtyEight, Vox, Stack
+//! Overflow surveys, Wikipedia) with 392 hand-labelled claims; those
+//! articles and labels are not redistributable, so this crate generates
+//! synthetic test cases that reproduce the corpus's *measured statistical
+//! properties* (Appendix B of the paper):
+//!
+//! * ~7.4 claims per article, 12% of claims erroneous, clustered so that
+//!   roughly a third of articles contain at least one error (Fig. 9(a));
+//! * claim queries with 0/1/2 predicates in a ≈17/61/23 split (Fig. 9(c));
+//! * a strong per-document theme: the top-3 instances of each query
+//!   characteristic cover ≈90% of a document's claims (Fig. 9(b));
+//! * context spread: predicate keywords often live in headlines or
+//!   preceding sentences rather than the claim sentence itself;
+//! * multi-claim sentences (≈29%) and implicit aggregation functions
+//!   (≈30%);
+//! * paraphrase via synonyms, exercising the WordNet substitute.
+//!
+//! [`builtin`] additionally provides hand-built miniatures of the paper's
+//! own examples (the NFL-suspensions running example of Figure 2, the
+//! campaign-donations and Stack Overflow rows of Table 9).
+
+pub mod builtin;
+pub mod generator;
+pub mod joincase;
+pub mod spec;
+pub mod stats;
+pub mod vocab;
+
+pub use generator::{generate_corpus, generate_test_case, TestCase};
+pub use joincase::generate_join_case;
+pub use spec::{CorpusSpec, GroundTruthClaim};
+pub use stats::{corpus_stats, CorpusStats};

@@ -1,0 +1,115 @@
+//! Corpus specification and ground-truth records.
+
+use agg_relational::SimpleAggregateQuery;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic corpus. Defaults mirror the statistics the
+/// paper reports for its 53-article test set (Appendix B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Number of articles (the paper has 53).
+    pub n_articles: usize,
+    /// RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Data set row-count range.
+    pub min_rows: usize,
+    pub max_rows: usize,
+    /// Claims per article (the paper averages 392/53 ≈ 7.4, with two long
+    /// articles above 15).
+    pub min_claims: usize,
+    pub max_claims: usize,
+    /// Probability that an article is "sloppy"; sloppy articles draw
+    /// erroneous claims at `sloppy_error_rate`, the rest at
+    /// `careful_error_rate`. Defaults yield ≈12% erroneous claims overall
+    /// with errors clustered in about a third of articles.
+    pub sloppy_article_rate: f64,
+    pub sloppy_error_rate: f64,
+    pub careful_error_rate: f64,
+    /// Probability that a claim's primary predicate keyword is *omitted*
+    /// from the claim sentence and only appears in the enclosing headline
+    /// (context spread, §4.3).
+    pub context_spread_rate: f64,
+    /// Probability that two consecutive claims share one sentence (the
+    /// paper measures 29%).
+    pub multi_claim_rate: f64,
+    /// Probability that a column/value word is replaced by a synonym in
+    /// text (exercises the WordNet substitute).
+    pub synonym_rate: f64,
+    /// Predicate-count distribution (must sum to 1): probabilities of
+    /// 0, 1, and 2 predicates (the paper measures 17/61/23, Fig. 9(c)).
+    pub predicates_dist: [f64; 3],
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        Self {
+            n_articles: 53,
+            seed: 0x5EED_A66C,
+            min_rows: 60,
+            max_rows: 600,
+            min_claims: 4,
+            max_claims: 12,
+            sloppy_article_rate: 0.34,
+            sloppy_error_rate: 0.32,
+            careful_error_rate: 0.015,
+            context_spread_rate: 0.45,
+            multi_claim_rate: 0.29,
+            synonym_rate: 0.25,
+            predicates_dist: [0.17, 0.61, 0.22],
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// A small, fast corpus for unit tests and smoke runs.
+    pub fn small(n_articles: usize, seed: u64) -> CorpusSpec {
+        CorpusSpec {
+            n_articles,
+            seed,
+            min_rows: 40,
+            max_rows: 120,
+            min_claims: 3,
+            max_claims: 7,
+            ..Default::default()
+        }
+    }
+}
+
+/// The ground truth for one generated claim, in document order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruthClaim {
+    /// The value as written in the text (possibly rounded, possibly wrong).
+    pub claimed_value: f64,
+    /// The exact query result on the data.
+    pub true_value: f64,
+    /// The matching query (Definition 1's ground-truth query).
+    pub query: SimpleAggregateQuery,
+    /// Whether the claim is correct under admissible rounding.
+    pub is_correct: bool,
+    /// Whether the claimed value was spelled out in words.
+    pub spelled_out: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_matches_paper_statistics() {
+        let s = CorpusSpec::default();
+        assert_eq!(s.n_articles, 53);
+        let sum: f64 = s.predicates_dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Expected error rate ≈ 0.34·0.32 + 0.66·0.015 ≈ 0.12.
+        let expected = s.sloppy_article_rate * s.sloppy_error_rate
+            + (1.0 - s.sloppy_article_rate) * s.careful_error_rate;
+        assert!((expected - 0.12).abs() < 0.01, "{expected}");
+    }
+
+    #[test]
+    fn small_spec_shrinks_work() {
+        let s = CorpusSpec::small(3, 42);
+        assert_eq!(s.n_articles, 3);
+        assert!(s.max_rows <= 120);
+    }
+}

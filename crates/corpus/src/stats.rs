@@ -1,0 +1,202 @@
+//! Corpus statistics and claim alignment — inputs to Figure 9 and the
+//! accuracy experiments.
+
+use crate::generator::TestCase;
+use crate::spec::GroundTruthClaim;
+use agg_relational::{AggColumn, ColumnRef};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Aggregate statistics over a corpus (Appendix B of the paper).
+#[derive(Debug, Clone, Serialize)]
+pub struct CorpusStats {
+    pub articles: usize,
+    pub claims: usize,
+    pub erroneous_claims: usize,
+    pub articles_with_errors: usize,
+    /// Claims per predicate count 0/1/2/3+ (Figure 9(c)).
+    pub by_predicate_count: [usize; 4],
+    /// Mean per-document coverage of the top-N instances per query
+    /// characteristic, for N = 1..=max_n (Figure 9(b)): index 0 is top-1.
+    pub topn_coverage: Vec<f64>,
+}
+
+/// Compute corpus statistics.
+pub fn corpus_stats(corpus: &[TestCase], max_n: usize) -> CorpusStats {
+    let mut claims = 0;
+    let mut erroneous = 0;
+    let mut articles_with_errors = 0;
+    let mut by_pred = [0usize; 4];
+    let mut coverage_sums = vec![0.0f64; max_n];
+    let mut coverage_docs = 0usize;
+
+    for tc in corpus {
+        claims += tc.ground_truth.len();
+        let wrong = tc.erroneous_count();
+        erroneous += wrong;
+        if wrong > 0 {
+            articles_with_errors += 1;
+        }
+        for g in &tc.ground_truth {
+            by_pred[g.query.predicates.len().min(3)] += 1;
+        }
+        if !tc.ground_truth.is_empty() {
+            coverage_docs += 1;
+            let cov = document_topn_coverage(&tc.ground_truth, max_n);
+            for (i, c) in cov.iter().enumerate() {
+                coverage_sums[i] += c;
+            }
+        }
+    }
+    CorpusStats {
+        articles: corpus.len(),
+        claims,
+        erroneous_claims: erroneous,
+        articles_with_errors,
+        by_predicate_count: by_pred,
+        topn_coverage: coverage_sums
+            .iter()
+            .map(|s| s / coverage_docs.max(1) as f64)
+            .collect(),
+    }
+}
+
+/// Per-document top-N coverage averaged over the three query
+/// characteristics (aggregation function, aggregation column, predicate
+/// column set) — Figure 9(b) of the paper.
+pub fn document_topn_coverage(truth: &[GroundTruthClaim], max_n: usize) -> Vec<f64> {
+    let n = truth.len() as f64;
+    // Frequency tables per characteristic.
+    let mut fns: HashMap<&'static str, usize> = HashMap::new();
+    let mut cols: HashMap<String, usize> = HashMap::new();
+    let mut pred_sets: HashMap<Vec<ColumnRef>, usize> = HashMap::new();
+    for g in truth {
+        *fns.entry(g.query.function.sql_name()).or_default() += 1;
+        let col_key = match g.query.column {
+            AggColumn::Star => "*".to_string(),
+            AggColumn::Column(c) => format!("{}:{}", c.table, c.column),
+        };
+        *cols.entry(col_key).or_default() += 1;
+        let mut set = g.query.predicate_columns();
+        set.sort_unstable();
+        set.dedup();
+        *pred_sets.entry(set).or_default() += 1;
+    }
+    let coverage_of = |counts: Vec<usize>, top: usize| -> f64 {
+        let mut sorted = counts;
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.iter().take(top).sum::<usize>() as f64 / n
+    };
+    (1..=max_n)
+        .map(|top| {
+            let f = coverage_of(fns.values().copied().collect(), top);
+            let c = coverage_of(cols.values().copied().collect(), top);
+            let p = coverage_of(pred_sets.values().copied().collect(), top);
+            (f + c + p) / 3.0
+        })
+        .collect()
+}
+
+/// Align detected claim values (document order) with ground truth
+/// (document order): greedy two-pointer matching on the claimed value.
+/// Returns, per ground-truth claim, the index of the matching detected
+/// claim, or `None` if detection missed it.
+pub fn align_claims(detected_values: &[f64], truth: &[GroundTruthClaim]) -> Vec<Option<usize>> {
+    let mut out = Vec::with_capacity(truth.len());
+    let mut next = 0usize;
+    for g in truth {
+        let mut found = None;
+        let mut j = next;
+        while j < detected_values.len() {
+            if (detected_values[j] - g.claimed_value).abs() < 1e-9 {
+                found = Some(j);
+                next = j + 1;
+                break;
+            }
+            j += 1;
+        }
+        out.push(found);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_corpus;
+    use crate::spec::CorpusSpec;
+    use agg_relational::{AggFunction, SimpleAggregateQuery};
+
+    fn toy_truth(fns: &[AggFunction]) -> Vec<GroundTruthClaim> {
+        fns.iter()
+            .map(|f| GroundTruthClaim {
+                claimed_value: 1.0,
+                true_value: 1.0,
+                query: SimpleAggregateQuery::new(*f, AggColumn::Star, vec![]),
+                is_correct: true,
+                spelled_out: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn topn_coverage_is_monotone_and_bounded() {
+        let truth = toy_truth(&[
+            AggFunction::Count,
+            AggFunction::Count,
+            AggFunction::Count,
+            AggFunction::Avg,
+        ]);
+        let cov = document_topn_coverage(&truth, 3);
+        assert!(cov[0] <= cov[1] && cov[1] <= cov[2]);
+        assert!(cov[2] <= 1.0 + 1e-12);
+        // Top-1: fn covers 3/4, col 4/4, pred set 4/4 → (0.75+1+1)/3.
+        assert!((cov[0] - (0.75 + 1.0 + 1.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corpus_stats_counts() {
+        let corpus = generate_corpus(&CorpusSpec::small(6, 11));
+        let stats = corpus_stats(&corpus, 5);
+        assert_eq!(stats.articles, 6);
+        assert!(stats.claims > 0);
+        assert!(stats.by_predicate_count[1] > 0);
+        assert_eq!(stats.topn_coverage.len(), 5);
+        // Strong themes: top-3 coverage should be high, echoing Fig. 9(b).
+        assert!(
+            stats.topn_coverage[2] > 0.75,
+            "top-3 coverage {:.3}",
+            stats.topn_coverage[2]
+        );
+    }
+
+    #[test]
+    fn align_handles_misses_and_duplicates() {
+        let truth = vec![
+            GroundTruthClaim {
+                claimed_value: 4.0,
+                true_value: 4.0,
+                query: SimpleAggregateQuery::count_star(vec![]),
+                is_correct: true,
+                spelled_out: true,
+            },
+            GroundTruthClaim {
+                claimed_value: 4.0,
+                true_value: 4.0,
+                query: SimpleAggregateQuery::count_star(vec![]),
+                is_correct: true,
+                spelled_out: true,
+            },
+            GroundTruthClaim {
+                claimed_value: 9.0,
+                true_value: 9.0,
+                query: SimpleAggregateQuery::count_star(vec![]),
+                is_correct: true,
+                spelled_out: true,
+            },
+        ];
+        let detected = [4.0, 4.0, 7.0];
+        let aligned = align_claims(&detected, &truth);
+        assert_eq!(aligned, vec![Some(0), Some(1), None]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Domain vocabularies for the synthetic corpus.
+//!
+//! The paper's articles span sports, politics, economy, and developer
+//! surveys; each [`Domain`] here provides a realistic table name, row noun,
+//! categorical columns with value pools, and numeric columns with ranges,
+//! so generated data sets and articles read like their real counterparts.
+
+/// One categorical column: name, text noun, and its value pool.
+#[derive(Debug, Clone, Copy)]
+pub struct CatColumn {
+    pub name: &'static str,
+    /// How text refers to the column ("reason", "state", …).
+    pub noun: &'static str,
+    pub values: &'static [&'static str],
+}
+
+/// One numeric column: name, text noun, and sampling range.
+#[derive(Debug, Clone, Copy)]
+pub struct NumColumn {
+    pub name: &'static str,
+    pub noun: &'static str,
+    pub min: i64,
+    pub max: i64,
+}
+
+/// A topical domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    pub key: &'static str,
+    pub table_name: &'static str,
+    /// Plural noun for rows ("suspensions", "respondents", …).
+    pub row_noun: &'static str,
+    pub title: &'static str,
+    pub categorical: &'static [CatColumn],
+    pub numeric: &'static [NumColumn],
+    /// Extra yes/no columns (wide-survey style). They inflate the candidate
+    /// query space like the paper's 154-column Stack Overflow data set but
+    /// never become a document theme.
+    pub extra_bool: &'static [&'static str],
+}
+
+/// The four domains, cycled over articles.
+pub const DOMAINS: &[Domain] = &[
+    Domain {
+        key: "sports",
+        table_name: "suspensions",
+        row_noun: "suspensions",
+        title: "A League's Uneven History of Punishing Misconduct",
+        categorical: &[
+            CatColumn {
+                name: "category",
+                noun: "reason",
+                values: &[
+                    "gambling",
+                    "substance abuse",
+                    "peds",
+                    "personal conduct",
+                    "domestic violence",
+                    "deflating footballs",
+                    "bounty program",
+                ],
+            },
+            CatColumn {
+                name: "team",
+                noun: "team",
+                values: &[
+                    "ravens", "browns", "cowboys", "patriots", "saints", "raiders", "packers",
+                    "steelers",
+                ],
+            },
+            CatColumn {
+                name: "outcome",
+                noun: "outcome",
+                values: &["upheld", "reduced", "overturned", "settled"],
+            },
+        ],
+        numeric: &[
+            NumColumn {
+                name: "games",
+                noun: "games",
+                min: 0,
+                max: 16,
+            },
+            NumColumn {
+                name: "fine",
+                noun: "fine",
+                min: 0,
+                max: 500_000,
+            },
+            NumColumn {
+                name: "season",
+                noun: "season",
+                min: 2005,
+                max: 2016,
+            },
+        ],
+        extra_bool: &[],
+    },
+    Domain {
+        key: "survey",
+        table_name: "respondents",
+        row_noun: "respondents",
+        title: "What Our Annual Developer Survey Says",
+        categorical: &[
+            CatColumn {
+                name: "education",
+                noun: "education",
+                values: &[
+                    "self-taught",
+                    "bachelor degree",
+                    "master degree",
+                    "bootcamp",
+                    "doctorate",
+                    "some college",
+                ],
+            },
+            CatColumn {
+                name: "occupation",
+                noun: "occupation",
+                values: &[
+                    "developer",
+                    "manager",
+                    "designer",
+                    "analyst",
+                    "student",
+                    "administrator",
+                ],
+            },
+            CatColumn {
+                name: "country",
+                noun: "country",
+                values: &[
+                    "germany", "india", "brazil", "canada", "france", "japan", "australia",
+                ],
+            },
+        ],
+        numeric: &[
+            NumColumn {
+                name: "salary",
+                noun: "salary",
+                min: 20_000,
+                max: 180_000,
+            },
+            NumColumn {
+                name: "experience",
+                noun: "experience",
+                min: 0,
+                max: 30,
+            },
+            NumColumn {
+                name: "age",
+                noun: "age",
+                min: 18,
+                max: 65,
+            },
+        ],
+        extra_bool: &[
+            "uses_python", "uses_java", "uses_rust", "uses_javascript", "uses_go",
+            "uses_sql", "uses_cloud", "uses_linux", "uses_windows", "uses_docker",
+            "wants_remote", "open_source_contributor", "has_degree", "job_hunting",
+            "attends_meetups", "writes_tests", "on_call", "manages_people",
+        ],
+    },
+    Domain {
+        key: "politics",
+        table_name: "donations",
+        row_noun: "donations",
+        title: "Money in the Primary: Who Gave and Who Got",
+        categorical: &[
+            CatColumn {
+                name: "party",
+                noun: "party",
+                values: &["democratic", "republican", "independent", "libertarian"],
+            },
+            CatColumn {
+                name: "state",
+                noun: "state",
+                values: &[
+                    "california", "texas", "ohio", "florida", "virginia", "iowa", "nevada",
+                ],
+            },
+            CatColumn {
+                name: "recipient",
+                noun: "recipient",
+                values: &[
+                    "senate campaign",
+                    "house campaign",
+                    "governor race",
+                    "action committee",
+                    "party fund",
+                ],
+            },
+        ],
+        numeric: &[
+            NumColumn {
+                name: "amount",
+                noun: "amount",
+                min: 50,
+                max: 10_000,
+            },
+            NumColumn {
+                name: "donors",
+                noun: "donors",
+                min: 1,
+                max: 400,
+            },
+            NumColumn {
+                name: "cycle",
+                noun: "cycle",
+                min: 2008,
+                max: 2016,
+            },
+        ],
+        extra_bool: &[],
+    },
+    Domain {
+        key: "economy",
+        table_name: "stores",
+        row_noun: "stores",
+        title: "Retail Winners and Losers, by the Numbers",
+        categorical: &[
+            CatColumn {
+                name: "sector",
+                noun: "sector",
+                values: &[
+                    "grocery",
+                    "clothing",
+                    "electronics",
+                    "furniture",
+                    "pharmacy",
+                    "hardware",
+                ],
+            },
+            CatColumn {
+                name: "region",
+                noun: "region",
+                values: &["northeast", "midwest", "south", "west", "pacific"],
+            },
+            CatColumn {
+                name: "status",
+                noun: "status",
+                values: &["open", "closed", "relocated"],
+            },
+        ],
+        numeric: &[
+            NumColumn {
+                name: "revenue",
+                noun: "revenue",
+                min: 100_000,
+                max: 5_000_000,
+            },
+            NumColumn {
+                name: "employees",
+                noun: "employees",
+                min: 3,
+                max: 250,
+            },
+            NumColumn {
+                name: "opened",
+                noun: "opened",
+                min: 1995,
+                max: 2016,
+            },
+        ],
+        extra_bool: &[],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_are_well_formed() {
+        assert_eq!(DOMAINS.len(), 4);
+        for d in DOMAINS {
+            assert!(d.categorical.len() >= 3, "{}", d.key);
+            assert!(d.numeric.len() >= 3, "{}", d.key);
+            for c in d.categorical {
+                assert!(c.values.len() >= 3, "{}.{}", d.key, c.name);
+            }
+            for n in d.numeric {
+                assert!(n.min < n.max, "{}.{}", d.key, n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn column_names_are_distinct_within_domain() {
+        for d in DOMAINS {
+            let mut names: Vec<&str> = d
+                .categorical
+                .iter()
+                .map(|c| c.name)
+                .chain(d.numeric.iter().map(|n| n.name))
+                .collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(before, names.len(), "{}", d.key);
+        }
+    }
+}

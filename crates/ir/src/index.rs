@@ -1,0 +1,294 @@
+//! Inverted index with weighted terms and top-k search.
+
+use crate::score::Scorer;
+use std::collections::HashMap;
+
+/// Document identifier (caller-assigned meaning, e.g. a fragment id).
+pub type DocId = u32;
+
+/// One search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    pub doc: DocId,
+    pub score: f32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    doc: DocId,
+    /// Term weight within the document (≈ term frequency).
+    tf: f32,
+}
+
+/// Builds an [`Index`] incrementally.
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    term_ids: HashMap<String, usize>,
+    postings: Vec<Vec<Posting>>,
+    doc_len: Vec<f32>,
+}
+
+impl IndexBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document as a bag of `(term, weight)` pairs. Duplicate terms
+    /// accumulate weight. Returns the document's id (sequential).
+    pub fn add_document<'a>(
+        &mut self,
+        terms: impl IntoIterator<Item = (&'a str, f32)>,
+    ) -> DocId {
+        let doc = self.doc_len.len() as DocId;
+        let mut len = 0.0f32;
+        let mut local: HashMap<usize, f32> = HashMap::new();
+        for (term, weight) in terms {
+            if term.is_empty() || weight <= 0.0 {
+                continue;
+            }
+            let next_id = self.term_ids.len();
+            let id = *self.term_ids.entry(term.to_string()).or_insert(next_id);
+            if id == self.postings.len() {
+                self.postings.push(Vec::new());
+            }
+            *local.entry(id).or_insert(0.0) += weight;
+            len += weight;
+        }
+        let mut ids: Vec<(usize, f32)> = local.into_iter().collect();
+        ids.sort_unstable_by_key(|(id, _)| *id);
+        for (id, tf) in ids {
+            self.postings[id].push(Posting { doc, tf });
+        }
+        self.doc_len.push(len);
+        doc
+    }
+
+    /// Finalize into a searchable index.
+    pub fn build(self) -> Index {
+        let n_docs = self.doc_len.len() as u32;
+        let avg_len = if n_docs == 0 {
+            0.0
+        } else {
+            self.doc_len.iter().sum::<f32>() / n_docs as f32
+        };
+        Index {
+            term_ids: self.term_ids,
+            postings: self.postings,
+            doc_len: self.doc_len,
+            avg_len,
+            n_docs,
+        }
+    }
+}
+
+/// An immutable inverted index.
+#[derive(Debug, Clone)]
+pub struct Index {
+    term_ids: HashMap<String, usize>,
+    postings: Vec<Vec<Posting>>,
+    doc_len: Vec<f32>,
+    avg_len: f32,
+    n_docs: u32,
+}
+
+impl Index {
+    pub fn doc_count(&self) -> u32 {
+        self.n_docs
+    }
+
+    pub fn term_count(&self) -> usize {
+        self.term_ids.len()
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: &str) -> u32 {
+        self.term_ids
+            .get(term)
+            .map(|&id| self.postings[id].len() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Score all documents against a weighted query and return the top `k`
+    /// hits, highest score first (ties broken by doc id for determinism).
+    ///
+    /// Unknown query terms are ignored, mirroring Lucene.
+    pub fn search<'a>(
+        &self,
+        query: impl IntoIterator<Item = (&'a str, f32)>,
+        k: usize,
+        scorer: Scorer,
+    ) -> Vec<Hit> {
+        if self.n_docs == 0 || k == 0 {
+            return Vec::new();
+        }
+        // Merge duplicate query terms.
+        let mut weights: HashMap<usize, f32> = HashMap::new();
+        for (term, w) in query {
+            if w <= 0.0 {
+                continue;
+            }
+            if let Some(&id) = self.term_ids.get(term) {
+                let entry = weights.entry(id).or_insert(0.0);
+                *entry = entry.max(w); // repeated terms keep their max weight
+            }
+        }
+        let mut acc: HashMap<DocId, f32> = HashMap::new();
+        let mut term_ids: Vec<(usize, f32)> = weights.into_iter().collect();
+        term_ids.sort_unstable_by_key(|(id, _)| *id);
+        for (id, qw) in term_ids {
+            let df = self.postings[id].len() as u32;
+            for p in &self.postings[id] {
+                let s = scorer.term_score(
+                    p.tf,
+                    self.doc_len[p.doc as usize],
+                    self.avg_len,
+                    df,
+                    self.n_docs,
+                );
+                *acc.entry(p.doc).or_insert(0.0) += qw * s;
+            }
+        }
+        let mut hits: Vec<Hit> = acc
+            .into_iter()
+            .map(|(doc, score)| Hit { doc, score })
+            .collect();
+        hits.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fragment_index() -> Index {
+        let mut b = IndexBuilder::new();
+        // doc 0: predicate games = 'indef'
+        b.add_document([("games", 1.0), ("indefinite", 1.0), ("lifetime", 1.0), ("ban", 1.0)]);
+        // doc 1: predicate category = 'gambling'
+        b.add_document([("category", 1.0), ("reason", 1.0), ("gambling", 1.0)]);
+        // doc 2: predicate category = 'substance abuse'
+        b.add_document([
+            ("category", 1.0),
+            ("reason", 1.0),
+            ("substance", 1.0),
+            ("abuse", 1.0),
+        ]);
+        // doc 3: aggregation column year
+        b.add_document([("year", 1.0), ("season", 1.0)]);
+        b.build()
+    }
+
+    #[test]
+    fn exact_keyword_match_ranks_first() {
+        let idx = fragment_index();
+        let hits = idx.search([("gambling", 1.0)], 10, Scorer::default());
+        assert_eq!(hits[0].doc, 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn shared_terms_rank_both_but_specific_wins() {
+        let idx = fragment_index();
+        let hits = idx.search([("category", 1.0), ("gambling", 1.0)], 10, Scorer::default());
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc, 1, "doc with both terms first");
+        assert_eq!(hits[1].doc, 2);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn query_weights_shift_ranking() {
+        let idx = fragment_index();
+        // Heavy weight on "lifetime" pulls doc 0 over doc 1 despite
+        // "gambling" also matching.
+        let hits = idx.search(
+            [("lifetime", 5.0), ("gambling", 0.2)],
+            10,
+            Scorer::default(),
+        );
+        assert_eq!(hits[0].doc, 0);
+    }
+
+    #[test]
+    fn unknown_terms_are_ignored() {
+        let idx = fragment_index();
+        let hits = idx.search([("flibbertigibbet", 1.0)], 10, Scorer::default());
+        assert!(hits.is_empty());
+        let hits = idx.search(
+            [("flibbertigibbet", 9.0), ("year", 1.0)],
+            10,
+            Scorer::default(),
+        );
+        assert_eq!(hits[0].doc, 3);
+    }
+
+    #[test]
+    fn k_limits_results_deterministically() {
+        let idx = fragment_index();
+        let hits = idx.search([("category", 1.0)], 1, Scorer::default());
+        assert_eq!(hits.len(), 1);
+        // Tie between docs 1 and 2 (same tf/len): lower doc id wins.
+        assert_eq!(hits[0].doc, 1);
+    }
+
+    #[test]
+    fn duplicate_query_terms_do_not_double_count() {
+        let idx = fragment_index();
+        let once = idx.search([("gambling", 1.0)], 10, Scorer::default());
+        let twice = idx.search([("gambling", 1.0), ("gambling", 1.0)], 10, Scorer::default());
+        assert_eq!(once[0].score, twice[0].score);
+    }
+
+    #[test]
+    fn document_term_weights_accumulate() {
+        let mut b = IndexBuilder::new();
+        b.add_document([("word", 1.0), ("word", 1.0)]); // tf 2
+        b.add_document([("word", 1.0)]); // tf 1
+        let idx = b.build();
+        let hits = idx.search([("word", 1.0)], 10, Scorer::default());
+        assert_eq!(hits[0].doc, 0, "higher tf ranks first");
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = IndexBuilder::new().build();
+        assert!(idx.search([("x", 1.0)], 5, Scorer::default()).is_empty());
+        let idx = fragment_index();
+        assert!(idx
+            .search(std::iter::empty::<(&str, f32)>(), 5, Scorer::default())
+            .is_empty());
+        assert!(idx.search([("games", 1.0)], 0, Scorer::default()).is_empty());
+    }
+
+    #[test]
+    fn df_and_counts() {
+        let idx = fragment_index();
+        assert_eq!(idx.doc_count(), 4);
+        assert_eq!(idx.df("category"), 2);
+        assert_eq!(idx.df("nothere"), 0);
+        assert!(idx.term_count() >= 10);
+    }
+
+    #[test]
+    fn zero_weight_terms_are_dropped() {
+        let mut b = IndexBuilder::new();
+        b.add_document([("a", 0.0), ("b", 1.0)]);
+        let idx = b.build();
+        assert_eq!(idx.df("a"), 0);
+        assert_eq!(idx.df("b"), 1);
+    }
+
+    #[test]
+    fn tfidf_scorer_also_ranks_exact_matches_first() {
+        let idx = fragment_index();
+        let hits = idx.search([("gambling", 1.0), ("category", 0.5)], 10, Scorer::TfIdf);
+        assert_eq!(hits[0].doc, 1);
+    }
+}

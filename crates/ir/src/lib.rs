@@ -1,0 +1,19 @@
+//! # agg-ir
+//!
+//! A compact information-retrieval engine — the Apache Lucene substitute of
+//! the AggChecker reproduction. The checker indexes the keyword bags of
+//! query fragments and queries them with weighted claim keywords (§4 of the
+//! paper); all this crate needs to provide is:
+//!
+//! * an inverted index over weighted term bags ([`IndexBuilder`], [`Index`]),
+//! * TF-IDF / BM25 scoring with *weighted query terms* ([`Scorer`]), and
+//! * top-k retrieval ([`Index::search`]).
+//!
+//! Terms are opaque strings: callers tokenize, stem, and expand synonyms
+//! before indexing (that pipeline lives in `agg-nlp`/`agg-core`).
+
+pub mod index;
+pub mod score;
+
+pub use index::{DocId, Hit, Index, IndexBuilder};
+pub use score::Scorer;

@@ -1,0 +1,125 @@
+//! Scoring functions.
+//!
+//! Two scorers are provided: Okapi BM25 (default — this is what Lucene uses
+//! since 6.0, matching the paper's setup) and classic TF-IDF with cosine
+//! length normalization (for ablations). Query terms carry weights: claim
+//! keywords are weighted by tree distance and document structure
+//! (Algorithm 2), and the weight multiplies the term's score contribution.
+
+/// Scoring model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scorer {
+    /// Okapi BM25 with parameters `k1` and `b`.
+    Bm25 { k1: f32, b: f32 },
+    /// TF-IDF: `tf · idf² / sqrt(doc_len)` per term (Lucene-classic style).
+    TfIdf,
+}
+
+impl Default for Scorer {
+    fn default() -> Self {
+        // Lucene's defaults.
+        Scorer::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl Scorer {
+    /// Score contribution of one matched term.
+    ///
+    /// * `tf` — the term's weight in the document (term frequency; fragment
+    ///   keyword bags may weight keywords, so this is a float).
+    /// * `doc_len` — total term weight of the document.
+    /// * `avg_doc_len` — average document length in the index.
+    /// * `df` — number of documents containing the term.
+    /// * `n_docs` — total number of documents.
+    #[inline]
+    pub fn term_score(&self, tf: f32, doc_len: f32, avg_doc_len: f32, df: u32, n_docs: u32) -> f32 {
+        match *self {
+            Scorer::Bm25 { k1, b } => {
+                let idf = bm25_idf(df, n_docs);
+                let denom = tf + k1 * (1.0 - b + b * doc_len / avg_doc_len.max(1e-6));
+                idf * (tf * (k1 + 1.0)) / denom.max(1e-6)
+            }
+            Scorer::TfIdf => {
+                let idf = tfidf_idf(df, n_docs);
+                tf.sqrt() * idf * idf / doc_len.max(1.0).sqrt()
+            }
+        }
+    }
+}
+
+/// BM25 IDF with the +1 smoothing Lucene applies (keeps scores positive for
+/// terms occurring in more than half the documents).
+#[inline]
+fn bm25_idf(df: u32, n_docs: u32) -> f32 {
+    let n = n_docs as f32;
+    let d = df as f32;
+    ((n - d + 0.5) / (d + 0.5) + 1.0).ln()
+}
+
+#[inline]
+fn tfidf_idf(df: u32, n_docs: u32) -> f32 {
+    let n = n_docs as f32;
+    let d = df as f32;
+    1.0 + (n / (d + 1.0)).ln().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_terms_score_higher_than_common_terms() {
+        let s = Scorer::default();
+        let rare = s.term_score(1.0, 10.0, 10.0, 1, 1000);
+        let common = s.term_score(1.0, 10.0, 10.0, 900, 1000);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn bm25_tf_saturates() {
+        let s = Scorer::default();
+        let tf1 = s.term_score(1.0, 10.0, 10.0, 5, 100);
+        let tf2 = s.term_score(2.0, 10.0, 10.0, 5, 100);
+        let tf10 = s.term_score(10.0, 10.0, 10.0, 5, 100);
+        assert!(tf2 > tf1);
+        assert!(tf10 > tf2);
+        // Diminishing returns: the jump 1→2 exceeds the jump 2→10 per unit.
+        assert!((tf2 - tf1) > (tf10 - tf2) / 8.0);
+    }
+
+    #[test]
+    fn longer_documents_are_penalized() {
+        let s = Scorer::default();
+        let short = s.term_score(1.0, 5.0, 10.0, 5, 100);
+        let long = s.term_score(1.0, 50.0, 10.0, 5, 100);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn scores_stay_positive_for_ubiquitous_terms() {
+        let s = Scorer::default();
+        assert!(s.term_score(1.0, 10.0, 10.0, 100, 100) > 0.0);
+        let t = Scorer::TfIdf;
+        assert!(t.term_score(1.0, 10.0, 10.0, 100, 100) > 0.0);
+    }
+
+    #[test]
+    fn tfidf_orders_like_bm25_on_rarity() {
+        let t = Scorer::TfIdf;
+        let rare = t.term_score(1.0, 10.0, 10.0, 1, 1000);
+        let common = t.term_score(1.0, 10.0, 10.0, 900, 1000);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_blow_up() {
+        let s = Scorer::default();
+        for v in [
+            s.term_score(0.0, 0.0, 0.0, 0, 0),
+            s.term_score(1.0, 0.0, 0.0, 1, 1),
+            Scorer::TfIdf.term_score(0.0, 0.0, 0.0, 0, 0),
+        ] {
+            assert!(v.is_finite(), "{v}");
+        }
+    }
+}

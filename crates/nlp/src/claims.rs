@@ -1,0 +1,184 @@
+//! Claim detection.
+//!
+//! §3 of the paper: *"We identify potentially check-worthy text passages via
+//! simple heuristics and rely on user feedback to prune spurious matches."*
+//! A claim candidate is a number mention in a body sentence that plausibly
+//! states an aggregate query result. The heuristics here prune the mentions
+//! that experience shows are almost never claimed results: calendar years,
+//! ordinals, and numbers inside headlines.
+
+use crate::numbers::{parse_number_mentions, NumberMention};
+use crate::structure::{Document, SectionPath};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the claim detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClaimDetectorConfig {
+    /// Skip 4-digit integers in `[year_min, year_max]` unless marked as
+    /// percentages (years are almost never claimed aggregates).
+    pub skip_years: bool,
+    pub year_min: f64,
+    pub year_max: f64,
+    /// Skip number words "one"/"zero" when used as pronouns is impossible to
+    /// decide locally; keeping them matches the paper's running example
+    /// ("one was for gambling"), so the default is `false`.
+    pub skip_small_spelled: bool,
+}
+
+impl Default for ClaimDetectorConfig {
+    fn default() -> Self {
+        Self {
+            skip_years: true,
+            year_min: 1200.0,
+            year_max: 2100.0,
+            skip_small_spelled: false,
+        }
+    }
+}
+
+/// A detected claim: a number mention plus its location in the document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClaimMention {
+    /// Section containing the claim (path from the document root).
+    pub section: SectionPath,
+    /// Paragraph index within that section.
+    pub paragraph: usize,
+    /// Sentence index within that paragraph.
+    pub sentence: usize,
+    /// The number mention inside that sentence.
+    pub number: NumberMention,
+    /// Stable claim id (document order).
+    pub id: usize,
+}
+
+/// Detect claims in a parsed document.
+pub fn detect_claims(doc: &Document, config: &ClaimDetectorConfig) -> Vec<ClaimMention> {
+    let mut claims = Vec::new();
+    doc.for_each_paragraph(|path, para_idx, paragraph| {
+        for (si, sentence) in paragraph.sentences.iter().enumerate() {
+            for mention in parse_number_mentions(&sentence.tokens) {
+                if should_skip(&mention, config) {
+                    continue;
+                }
+                claims.push(ClaimMention {
+                    section: path.clone(),
+                    paragraph: para_idx,
+                    sentence: si,
+                    number: mention,
+                    id: 0, // assigned below
+                });
+            }
+        }
+    });
+    for (i, c) in claims.iter_mut().enumerate() {
+        c.id = i;
+    }
+    claims
+}
+
+fn should_skip(mention: &NumberMention, config: &ClaimDetectorConfig) -> bool {
+    if config.skip_years
+        && !mention.is_percentage
+        && !mention.spelled_out
+        && mention.decimal_places == 0
+        && mention.value >= config.year_min
+        && mention.value <= config.year_max
+        && mention.value.fract() == 0.0
+        && !mention.had_separator
+        && mention.value >= 1000.0
+    {
+        return true;
+    }
+    if config.skip_small_spelled && mention.spelled_out && mention.value <= 1.0 {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::parse_document;
+
+    const ARTICLE: &str = r#"
+<h1>Lifetime bans</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+<p>The gambling ban dates from 1983. About 66% involved repeat offenses.</p>
+"#;
+
+    #[test]
+    fn finds_spelled_and_digit_claims() {
+        let doc = parse_document(ARTICLE);
+        let claims = detect_claims(&doc, &ClaimDetectorConfig::default());
+        let values: Vec<f64> = claims.iter().map(|c| c.number.value).collect();
+        assert_eq!(values, vec![4.0, 3.0, 1.0, 66.0], "{claims:?}");
+    }
+
+    #[test]
+    fn years_are_skipped_by_default() {
+        let doc = parse_document(ARTICLE);
+        let claims = detect_claims(&doc, &ClaimDetectorConfig::default());
+        assert!(claims.iter().all(|c| c.number.value != 1983.0));
+    }
+
+    #[test]
+    fn years_kept_when_configured() {
+        let doc = parse_document(ARTICLE);
+        let cfg = ClaimDetectorConfig {
+            skip_years: false,
+            ..Default::default()
+        };
+        let claims = detect_claims(&doc, &cfg);
+        assert!(claims.iter().any(|c| c.number.value == 1983.0));
+    }
+
+    #[test]
+    fn claim_ids_follow_document_order() {
+        let doc = parse_document(ARTICLE);
+        let claims = detect_claims(&doc, &ClaimDetectorConfig::default());
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+    }
+
+    #[test]
+    fn multiple_claims_in_one_sentence_keep_positions() {
+        let doc = parse_document(ARTICLE);
+        let claims = detect_claims(&doc, &ClaimDetectorConfig::default());
+        // "Three ... one ..." share a sentence.
+        let three = claims.iter().find(|c| c.number.value == 3.0).unwrap();
+        let one = claims.iter().find(|c| c.number.value == 1.0).unwrap();
+        assert_eq!(three.sentence, one.sentence);
+        assert_eq!(three.paragraph, one.paragraph);
+        assert!(three.number.token_start < one.number.token_start);
+    }
+
+    #[test]
+    fn headline_numbers_are_not_claims() {
+        let doc = parse_document("<h1>Top 10 teams</h1><p>Two of them won 5 games.</p>");
+        let claims = detect_claims(&doc, &ClaimDetectorConfig::default());
+        let values: Vec<f64> = claims.iter().map(|c| c.number.value).collect();
+        assert_eq!(values, vec![2.0, 5.0], "headline '10' must be excluded");
+    }
+
+    #[test]
+    fn percentages_in_year_range_are_kept() {
+        let doc = parse_document("<p>Turnout was 2014% higher, a typo we still flag.</p>");
+        let claims = detect_claims(&doc, &ClaimDetectorConfig::default());
+        assert_eq!(claims.len(), 1);
+        assert!(claims[0].number.is_percentage);
+    }
+
+    #[test]
+    fn small_spelled_numbers_can_be_skipped() {
+        let doc = parse_document("<p>One of the three teams won.</p>");
+        let cfg = ClaimDetectorConfig {
+            skip_small_spelled: true,
+            ..Default::default()
+        };
+        let claims = detect_claims(&doc, &cfg);
+        let values: Vec<f64> = claims.iter().map(|c| c.number.value).collect();
+        assert_eq!(values, vec![3.0]);
+    }
+}

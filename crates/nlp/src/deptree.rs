@@ -1,0 +1,210 @@
+//! Pseudo-dependency trees and the `TreeDistance` measure.
+//!
+//! Algorithm 2 of the paper weights the keywords of a claim sentence by
+//! `1 / TreeDistance(word, claim)` over a dependency parse tree. Running a
+//! full statistical parser is out of scope for this reproduction (see
+//! DESIGN.md §2); instead a sentence is segmented into a three-level
+//! hierarchy — sentence → clauses → phrases → tokens — and tree distance is
+//! measured over that hierarchy:
+//!
+//! * tokens in the same **phrase** as the claim value: distance 1,
+//! * tokens in the same **clause** but another phrase: distance 2,
+//! * tokens elsewhere in the **sentence**: distance 3.
+//!
+//! This preserves the property Algorithm 2 exploits: in *"three were for
+//! repeated substance abuse, one was for gambling"*, the word "gambling" is
+//! nearer to "one" (same clause) than to "three" (other clause).
+
+use crate::tokenize::{Token, TokenKind};
+
+/// Words that open a new clause.
+const CLAUSE_BREAKERS: &[&str] = &[
+    "and", "but", "or", "nor", "while", "whereas", "which", "who", "whom", "that", "where",
+    "when", "although", "though", "because", "since", "if", "unless", "so", "yet",
+];
+
+/// Prepositions that open a new phrase inside a clause.
+const PHRASE_BREAKERS: &[&str] = &[
+    "of", "in", "on", "at", "for", "with", "by", "from", "to", "as", "per", "among", "between",
+    "during", "over", "under", "about", "across", "within", "through", "against",
+];
+
+/// Punctuation that separates clauses.
+const CLAUSE_PUNCT: &[&str] = &[",", ";", ":", "(", ")", "—", "–", "\"", "“", "”"];
+
+/// A shallow parse of one sentence.
+#[derive(Debug, Clone)]
+pub struct DependencyTree {
+    /// Per token: (clause index, phrase index). Phrase indices are global
+    /// (not per clause), so equal phrase ⇒ equal clause.
+    assignment: Vec<(u32, u32)>,
+}
+
+impl DependencyTree {
+    /// Build the tree for a tokenized sentence.
+    pub fn build(tokens: &[Token]) -> DependencyTree {
+        let mut assignment = Vec::with_capacity(tokens.len());
+        let mut clause: u32 = 0;
+        let mut phrase: u32 = 0;
+        let mut tokens_in_clause = 0usize;
+        for t in tokens {
+            match t.kind {
+                TokenKind::Punct => {
+                    if CLAUSE_PUNCT.contains(&t.text.as_str()) && tokens_in_clause > 0 {
+                        clause += 1;
+                        phrase += 1;
+                        tokens_in_clause = 0;
+                    }
+                    // Punctuation belongs to the current position but is
+                    // never a keyword; assign it anyway for completeness.
+                    assignment.push((clause, phrase));
+                }
+                TokenKind::Word => {
+                    let lower = t.lower();
+                    if CLAUSE_BREAKERS.contains(&lower.as_str()) && tokens_in_clause > 0 {
+                        clause += 1;
+                        phrase += 1;
+                        tokens_in_clause = 0;
+                    } else if PHRASE_BREAKERS.contains(&lower.as_str()) && tokens_in_clause > 0 {
+                        phrase += 1;
+                    }
+                    assignment.push((clause, phrase));
+                    tokens_in_clause += 1;
+                }
+                _ => {
+                    assignment.push((clause, phrase));
+                    tokens_in_clause += 1;
+                }
+            }
+        }
+        DependencyTree { assignment }
+    }
+
+    /// Tree distance between two token positions (see module docs).
+    /// Distance 0 means the same token.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        let (ca, pa) = self.assignment[a];
+        let (cb, pb) = self.assignment[b];
+        if pa == pb {
+            1
+        } else if ca == cb {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// The clause index of a token (for tests and diagnostics).
+    pub fn clause_of(&self, token: usize) -> u32 {
+        self.assignment[token].0
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn tree(text: &str) -> (Vec<Token>, DependencyTree) {
+        let toks = tokenize(text);
+        let tree = DependencyTree::build(&toks);
+        (toks, tree)
+    }
+
+    fn idx(tokens: &[Token], word: &str) -> usize {
+        tokens
+            .iter()
+            .position(|t| t.text.eq_ignore_ascii_case(word))
+            .unwrap_or_else(|| panic!("token {word} not found"))
+    }
+
+    #[test]
+    fn paper_example_orders_distances_correctly() {
+        // Example 3: "gambling" must be closer to "one" than to "three".
+        let (toks, t) =
+            tree("three were for repeated substance abuse, one was for gambling");
+        let three = idx(&toks, "three");
+        let one = idx(&toks, "one");
+        let gambling = idx(&toks, "gambling");
+        assert!(
+            t.distance(one, gambling) < t.distance(three, gambling),
+            "one→gambling {} vs three→gambling {}",
+            t.distance(one, gambling),
+            t.distance(three, gambling)
+        );
+    }
+
+    #[test]
+    fn same_phrase_is_distance_one() {
+        let (toks, t) = tree("four previous lifetime bans");
+        assert_eq!(t.distance(idx(&toks, "four"), idx(&toks, "bans")), 1);
+    }
+
+    #[test]
+    fn prepositions_open_phrases() {
+        let (toks, t) = tree("the average salary of developers");
+        let salary = idx(&toks, "salary");
+        let developers = idx(&toks, "developers");
+        assert_eq!(t.distance(salary, developers), 2, "same clause, new phrase");
+        assert_eq!(t.clause_of(salary), t.clause_of(developers));
+    }
+
+    #[test]
+    fn commas_open_clauses() {
+        let (toks, t) = tree("three for abuse, one for gambling");
+        assert_ne!(
+            t.clause_of(idx(&toks, "three")),
+            t.clause_of(idx(&toks, "one"))
+        );
+        assert_eq!(
+            t.distance(idx(&toks, "three"), idx(&toks, "gambling")),
+            3
+        );
+    }
+
+    #[test]
+    fn conjunctions_open_clauses() {
+        let (toks, t) = tree("five wins and two losses");
+        assert_ne!(
+            t.clause_of(idx(&toks, "wins")),
+            t.clause_of(idx(&toks, "losses"))
+        );
+    }
+
+    #[test]
+    fn leading_breaker_does_not_create_empty_clause() {
+        // A sentence starting with "While..." must not start at clause 1.
+        let (toks, t) = tree("While many agreed, few objected");
+        assert_eq!(t.clause_of(idx(&toks, "While")), 0);
+        assert_eq!(t.clause_of(idx(&toks, "many")), 0);
+        assert_ne!(t.clause_of(idx(&toks, "few")), 0);
+    }
+
+    #[test]
+    fn distance_is_zero_for_same_token_and_symmetric() {
+        let (toks, t) = tree("four bans for gambling");
+        let a = idx(&toks, "four");
+        let b = idx(&toks, "gambling");
+        assert_eq!(t.distance(a, a), 0);
+        assert_eq!(t.distance(a, b), t.distance(b, a));
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let t = DependencyTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

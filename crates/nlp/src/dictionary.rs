@@ -1,0 +1,190 @@
+//! Embedded English word list for identifier decomposition.
+//!
+//! §4.2 of the paper: *"Column names are often concatenations of multiple
+//! words and abbreviations. We therefore decompose column names into all
+//! possible substrings and compare against a dictionary."* This module is
+//! that dictionary: a compact list of common English words plus the
+//! data-set vocabulary that realistic column names draw from, and a table
+//! of common abbreviations with their expansions.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Common words found in column names of public data sets. Kept lowercase,
+/// one word per entry. (Deliberately *not* a full English dictionary: short
+/// function words would create spurious decompositions.)
+const WORDS: &[&str] = &[
+    // general data vocabulary
+    "account", "active", "actual", "address", "adult", "age", "agency", "airline", "airport",
+    "album", "all", "amount", "annual", "answer", "area", "artist", "attendance", "author",
+    "average", "award", "balance", "ban", "band", "bank", "base", "bill", "birth", "board",
+    "bonus", "book", "born", "brand", "budget", "business", "buyer", "camp", "campaign",
+    "candidate", "capacity", "capital", "car", "case", "cash", "category", "cause", "census",
+    "center", "chain", "change", "channel", "charge", "chart", "check", "child", "city",
+    "claim", "class", "client", "close", "club", "coach", "code", "cohort", "college", "color",
+    "comment", "committee", "company", "conduct", "conference", "congress", "contract",
+    "contribution", "cost", "count", "counts", "country", "county", "course", "court", "crash",
+    "credit", "crime", "current", "customer", "cycle", "daily", "data", "date", "day", "death",
+    "debt", "degree", "delay", "demand", "density", "department", "deposit", "depth",
+    "developer", "device", "diff", "direction", "director", "distance", "district", "division",
+    "doctor", "dollar", "dollars", "domain", "donation", "donor", "dose", "draft", "driver",
+    "drug", "duration", "earnings", "economy", "education", "effect", "election", "employee",
+    "employer", "end", "energy", "engine", "entry", "episode", "error", "estimate", "event",
+    "exam", "expense", "experience", "export", "factor", "family", "fan", "fare", "fatal",
+    "fee", "female", "field", "figure", "file", "film", "final", "finance", "fine", "firm",
+    "first", "flight", "floor", "follower", "food", "force", "forecast", "format", "fortune",
+    "frequency", "fuel", "full", "fund", "funding", "game", "games", "gas", "gender", "genre",
+    "goal", "goals", "government", "grade", "graduate", "grant", "gross", "group", "growth",
+    "guest", "health", "height", "high", "hire", "history", "hit", "hits", "home", "hospital",
+    "host", "hour", "hours", "house", "household", "id", "impact", "import", "income", "index",
+    "industry", "info", "injury", "insurance", "interest", "inventory", "investment", "item",
+    "job", "jobs", "judge", "killed", "kind", "label", "language", "last", "launch", "law",
+    "league", "length", "level", "license", "life", "lifetime", "limit", "line", "list",
+    "loan", "local", "location", "loss", "losses", "low", "major", "male", "manager",
+    "margin", "market", "match", "matches", "max", "mean", "measure", "median", "member",
+    "mention", "metric", "mid", "migration", "mile", "miles", "military", "min", "minute",
+    "minutes", "model", "money", "month", "monthly", "mortality", "movie", "murder", "name",
+    "nation", "national", "native", "net", "network", "news", "night", "nominee", "number",
+    "occupation", "offense", "office", "officer", "oil", "open", "opponent", "order", "origin",
+    "outcome", "output", "overall", "owner", "page", "paid", "parent", "park", "part",
+    "participant", "party", "pass", "passenger", "pay", "payment", "payroll", "peak", "penalty",
+    "pension", "people", "percent", "percentage", "performance", "period", "person", "phone",
+    "place", "plan", "plane", "platform", "play", "player", "players", "point", "points",
+    "police", "policy", "poll", "pool", "population", "position", "post", "poverty", "power",
+    "practice", "precinct", "prediction", "premium", "price", "prices", "primary", "prior",
+    "prison", "prize", "product", "profession", "professor", "profile", "profit", "program",
+    "project", "property", "proportion", "public", "purchase", "quality", "quantity",
+    "quarter", "question", "race", "rain", "rainfall", "rank", "ranking", "rate", "rating",
+    "ratio", "reach", "reason", "receipt", "recipient", "record", "region", "registration",
+    "release", "remote", "rent", "report", "respondent", "response", "result", "results",
+    "retail", "return", "revenue", "review", "reviews", "round", "route", "row", "rule",
+    "run", "runs", "salary", "sale", "sales", "sample", "scale", "schedule", "school",
+    "science", "score", "scores", "season", "seat", "sector", "security", "seller", "senate",
+    "series", "service", "sessions", "severity", "sex", "share", "shares", "shift", "show",
+    "signup", "site", "size", "song", "source", "speaker", "speech", "speed", "spending",
+    "sport", "staff", "stage", "start", "state", "station", "stats", "status", "stock",
+    "stop", "store", "storm", "street", "strike", "student", "study", "subject", "suburb",
+    "subscription", "suspension", "tag", "target", "tax", "taxes", "teacher", "team", "teams",
+    "tech", "temp", "temperature", "tenure", "term", "test", "theater", "ticket", "time",
+    "times", "title", "ton", "total", "totals", "tour", "tournament", "town", "track",
+    "trade", "traffic", "train", "training", "transaction", "transfer", "transit", "travel",
+    "trend", "trip", "turnout", "type", "unemployment", "union", "unit", "units", "user",
+    "users", "value", "values", "vehicle", "vendor", "venue", "victim", "victory", "video",
+    "view", "views", "visit", "visitor", "volume", "vote", "voter", "votes", "wage", "wages",
+    "war", "water", "wealth", "weather", "week", "weekly", "weight", "win", "wind", "wins",
+    "winner", "work", "worker", "world", "yard", "yards", "year", "years", "yield", "zip",
+    "zone",
+    // survey / tech vocabulary (Stack Overflow-style data sets)
+    "admin", "app", "browser", "cloud", "compensation", "database", "desktop", "editor",
+    "framework", "hobby", "ide", "internet", "mobile", "online", "opensource", "os",
+    "satisfaction", "server", "software", "stack", "system", "version", "web", "website",
+    // sports vocabulary (538-style data sets)
+    "assists", "defense", "era", "fumble", "goalie", "inning", "pitch",
+    "playoff", "quarterback", "rebound", "rookie", "rushing", "tackle", "touchdown",
+];
+
+/// Common column-name abbreviations and their expansions.
+const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("avg", "average"),
+    ("pct", "percent"),
+    ("pctg", "percentage"),
+    ("num", "number"),
+    ("no", "number"),
+    ("cnt", "count"),
+    ("qty", "quantity"),
+    ("amt", "amount"),
+    ("yr", "year"),
+    ("yrs", "years"),
+    ("mo", "month"),
+    ("wk", "week"),
+    ("hr", "hour"),
+    ("hrs", "hours"),
+    ("sec", "second"),
+    ("pos", "position"),
+    ("loc", "location"),
+    ("dept", "department"),
+    ("govt", "government"),
+    ("pop", "population"),
+    ("temp", "temperature"),
+    ("max", "maximum"),
+    ("min", "minimum"),
+    ("med", "median"),
+    ("std", "standard"),
+    ("dev", "deviation"),
+    ("est", "estimate"),
+    ("tot", "total"),
+    ("sal", "salary"),
+    ("emp", "employee"),
+    ("mgr", "manager"),
+    ("id", "identifier"),
+    ("dob", "birth"),
+    ("addr", "address"),
+    ("st", "state"),
+    ("cat", "category"),
+    ("desc", "description"),
+    ("lang", "language"),
+    ("edu", "education"),
+    ("exp", "experience"),
+    ("resp", "respondent"),
+    ("susp", "suspension"),
+    ("indef", "indefinite"),
+];
+
+fn word_set() -> &'static std::collections::HashSet<&'static str> {
+    static SET: OnceLock<std::collections::HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| WORDS.iter().copied().collect())
+}
+
+fn abbreviation_map() -> &'static HashMap<&'static str, &'static str> {
+    static MAP: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    MAP.get_or_init(|| ABBREVIATIONS.iter().copied().collect())
+}
+
+/// Is `word` (lowercase) in the embedded dictionary?
+pub fn is_word(word: &str) -> bool {
+    word_set().contains(word)
+}
+
+/// Expand a known abbreviation (lowercase), if any.
+pub fn expand_abbreviation(abbr: &str) -> Option<&'static str> {
+    abbreviation_map().get(abbr).copied()
+}
+
+/// Number of dictionary words (for sanity checks).
+pub fn word_count() -> usize {
+    word_set().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_core_vocabulary() {
+        for w in ["salary", "total", "games", "category", "year", "count"] {
+            assert!(is_word(w), "missing {w}");
+        }
+        assert!(!is_word("zzxqy"));
+        assert!(!is_word("Salary"), "lookup is lowercase-only by contract");
+    }
+
+    #[test]
+    fn abbreviations_expand() {
+        assert_eq!(expand_abbreviation("avg"), Some("average"));
+        assert_eq!(expand_abbreviation("pct"), Some("percent"));
+        assert_eq!(expand_abbreviation("indef"), Some("indefinite"));
+        assert_eq!(expand_abbreviation("nope"), None);
+    }
+
+    #[test]
+    fn dictionary_has_no_duplicates() {
+        assert_eq!(word_count(), WORDS.len(), "duplicate entries in WORDS");
+    }
+
+    #[test]
+    fn dictionary_is_all_lowercase() {
+        for w in WORDS {
+            assert_eq!(*w, w.to_lowercase(), "entry {w} must be lowercase");
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Numeral recognition: mapping tokens to claimed numeric values.
+//!
+//! Claims state results either in digits (`42`, `1,234.5`, `13%`) or in
+//! words (`four`, `twenty-one`, `1.2 million`). This module finds every
+//! *number mention* in a token stream and records, besides the value, how
+//! precisely it was stated — the number of significant digits drives the
+//! rounding-aware comparison of Definition 1 in the paper.
+
+use crate::tokenize::{Token, TokenKind};
+use serde::{Deserialize, Serialize};
+
+/// A number mentioned in text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumberMention {
+    /// Parsed value. Percentages keep their surface scale (`13%` → 13.0).
+    pub value: f64,
+    /// Index of the first token of the mention.
+    pub token_start: usize,
+    /// Index one past the last token of the mention.
+    pub token_end: usize,
+    /// Significant digits of the stated value (for rounding-aware matching).
+    pub significant_digits: u32,
+    /// Number of decimal places stated (0 for integers and number words).
+    pub decimal_places: u32,
+    /// Was the value stated with a percent sign / the word "percent"?
+    pub is_percentage: bool,
+    /// Was the value spelled out in words ("four") rather than digits?
+    pub spelled_out: bool,
+    /// Did the surface form contain a thousands separator ("1,234")?
+    /// Years never do — the claim detector uses this to tell a 4-digit
+    /// count from a calendar year.
+    pub had_separator: bool,
+}
+
+/// Number words up to twenty plus tens; combined forms ("twenty-one",
+/// "twenty one") are handled by the parser.
+fn small_number_word(w: &str) -> Option<f64> {
+    Some(match w {
+        "zero" => 0.0,
+        "one" => 1.0,
+        "two" => 2.0,
+        "three" => 3.0,
+        "four" => 4.0,
+        "five" => 5.0,
+        "six" => 6.0,
+        "seven" => 7.0,
+        "eight" => 8.0,
+        "nine" => 9.0,
+        "ten" => 10.0,
+        "eleven" => 11.0,
+        "twelve" => 12.0,
+        "thirteen" => 13.0,
+        "fourteen" => 14.0,
+        "fifteen" => 15.0,
+        "sixteen" => 16.0,
+        "seventeen" => 17.0,
+        "eighteen" => 18.0,
+        "nineteen" => 19.0,
+        _ => return None,
+    })
+}
+
+fn tens_word(w: &str) -> Option<f64> {
+    Some(match w {
+        "twenty" => 20.0,
+        "thirty" => 30.0,
+        "forty" => 40.0,
+        "fifty" => 50.0,
+        "sixty" => 60.0,
+        "seventy" => 70.0,
+        "eighty" => 80.0,
+        "ninety" => 90.0,
+        _ => return None,
+    })
+}
+
+fn magnitude_word(w: &str) -> Option<f64> {
+    Some(match w {
+        "hundred" => 1e2,
+        "thousand" => 1e3,
+        "million" => 1e6,
+        "billion" => 1e9,
+        "trillion" => 1e12,
+        _ => return None,
+    })
+}
+
+/// Parse the digits of a numeric token (stripping `$`, `,`, `%`).
+fn parse_digit_token(text: &str) -> Option<(f64, u32, u32)> {
+    let cleaned: String = text
+        .chars()
+        .filter(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    let value: f64 = cleaned.parse().ok()?;
+    let digits: Vec<char> = cleaned.chars().filter(char::is_ascii_digit).collect();
+    // Significant digits: strip leading zeros ("0.050" → "50"); for
+    // integer forms also strip trailing zeros — "4,300,000" states two
+    // significant digits, not seven.
+    let mut stripped: Vec<char> = digits
+        .iter()
+        .copied()
+        .skip_while(|c| *c == '0')
+        .collect();
+    if !cleaned.contains('.') {
+        while stripped.last() == Some(&'0') {
+            stripped.pop();
+        }
+    }
+    let significant = if stripped.is_empty() {
+        1
+    } else {
+        stripped.len() as u32
+    };
+    let decimal_places = cleaned
+        .split_once('.')
+        .map(|(_, f)| f.len() as u32)
+        .unwrap_or(0);
+    Some((value, significant, decimal_places))
+}
+
+/// Find every number mention in a token stream.
+pub fn parse_number_mentions(tokens: &[Token]) -> Vec<NumberMention> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Number | TokenKind::Percent | TokenKind::Currency => {
+                if let Some((mut value, mut sig, dp)) = parse_digit_token(&t.text) {
+                    let mut end = i + 1;
+                    let mut is_pct = t.kind == TokenKind::Percent;
+                    // "3.5 million" — magnitude word follows.
+                    if let Some(next) = tokens.get(end) {
+                        if next.kind == TokenKind::Word {
+                            if let Some(mag) = magnitude_word(&next.lower()) {
+                                value *= mag;
+                                end += 1;
+                            }
+                        }
+                    }
+                    // "13 percent" — percent word follows.
+                    if let Some(next) = tokens.get(end) {
+                        if next.kind == TokenKind::Word
+                            && matches!(next.lower().as_str(), "percent" | "percentage")
+                        {
+                            is_pct = true;
+                            end += 1;
+                        }
+                    }
+                    if sig == 0 {
+                        sig = 1;
+                    }
+                    out.push(NumberMention {
+                        value,
+                        token_start: i,
+                        token_end: end,
+                        significant_digits: sig,
+                        decimal_places: dp,
+                        is_percentage: is_pct,
+                        spelled_out: false,
+                        had_separator: t.text.contains(','),
+                    });
+                    i = end;
+                    continue;
+                }
+                i += 1;
+            }
+            TokenKind::Word => {
+                if let Some((value, end, is_pct)) = parse_word_number(tokens, i) {
+                    let sig = significant_digits_of(value);
+                    out.push(NumberMention {
+                        value,
+                        token_start: i,
+                        token_end: end,
+                        significant_digits: sig,
+                        decimal_places: 0,
+                        is_percentage: is_pct,
+                        spelled_out: true,
+                        had_separator: false,
+                    });
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parse a number word sequence starting at `i`. Returns
+/// `(value, end index, is_percentage)`.
+fn parse_word_number(tokens: &[Token], i: usize) -> Option<(f64, usize, bool)> {
+    let first = tokens[i].lower();
+    // Hyphenated compound inside one token: "twenty-one".
+    if let Some((tens_part, unit_part)) = first.split_once('-') {
+        if let (Some(t), Some(u)) = (tens_word(tens_part), small_number_word(unit_part)) {
+            let (value, end) = apply_magnitudes(tokens, i + 1, t + u);
+            let (end, pct) = consume_percent_word(tokens, end);
+            return Some((value, end, pct));
+        }
+    }
+    let base = if let Some(v) = small_number_word(&first) {
+        v
+    } else if let Some(t) = tens_word(&first) {
+        // "twenty one" as two tokens.
+        if let Some(next) = tokens.get(i + 1) {
+            if next.kind == TokenKind::Word {
+                if let Some(u) = small_number_word(&next.lower()) {
+                    let (value, end) = apply_magnitudes(tokens, i + 2, t + u);
+                    let (end, pct) = consume_percent_word(tokens, end);
+                    return Some((value, end, pct));
+                }
+            }
+        }
+        t
+    } else if first == "a" || first == "an" {
+        // "a hundred", "a million" — only with an explicit magnitude.
+        let next = tokens.get(i + 1)?;
+        let mag = magnitude_word(&next.lower())?;
+        let (value, end) = apply_magnitudes(tokens, i + 2, mag);
+        let (end, pct) = consume_percent_word(tokens, end);
+        return Some((value, end, pct));
+    } else {
+        return None;
+    };
+    let (value, end) = apply_magnitudes(tokens, i + 1, base);
+    let (end, pct) = consume_percent_word(tokens, end);
+    Some((value, end, pct))
+}
+
+/// Multiply by any magnitude words that follow: "four hundred", "two
+/// hundred thousand".
+fn apply_magnitudes(tokens: &[Token], mut i: usize, mut value: f64) -> (f64, usize) {
+    while let Some(t) = tokens.get(i) {
+        if t.kind != TokenKind::Word {
+            break;
+        }
+        match magnitude_word(&t.lower()) {
+            Some(m) => {
+                value *= m;
+                i += 1;
+            }
+            None => break,
+        }
+    }
+    (value, i)
+}
+
+fn consume_percent_word(tokens: &[Token], i: usize) -> (usize, bool) {
+    if let Some(t) = tokens.get(i) {
+        if t.kind == TokenKind::Word && matches!(t.lower().as_str(), "percent" | "percentage") {
+            return (i + 1, true);
+        }
+    }
+    (i, false)
+}
+
+/// Significant digits of an exactly-stated value (used for spelled-out
+/// numbers: "four" has 1 significant digit, "twenty-one" has 2).
+fn significant_digits_of(value: f64) -> u32 {
+    let mut v = value.abs();
+    if v == 0.0 {
+        return 1;
+    }
+    // Strip trailing zero factors of ten ("four hundred" → 1 sig digit).
+    while v >= 10.0 && (v / 10.0).fract() == 0.0 {
+        v /= 10.0;
+    }
+    let mut digits = 0;
+    let mut iv = v as u64;
+    if v.fract() != 0.0 {
+        return format!("{v}").chars().filter(char::is_ascii_digit).count() as u32;
+    }
+    while iv > 0 {
+        digits += 1;
+        iv /= 10;
+    }
+    digits.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn mentions(text: &str) -> Vec<NumberMention> {
+        parse_number_mentions(&tokenize(text))
+    }
+
+    #[test]
+    fn digit_numbers() {
+        let m = mentions("There were 4 bans and 1,234 players.");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].value, 4.0);
+        assert_eq!(m[0].significant_digits, 1);
+        assert_eq!(m[1].value, 1234.0);
+        assert_eq!(m[1].significant_digits, 4);
+    }
+
+    #[test]
+    fn decimal_significant_digits() {
+        let m = mentions("growth of 3.50 and 0.05");
+        assert_eq!(m[0].value, 3.5);
+        assert_eq!(m[0].significant_digits, 3);
+        assert_eq!(m[0].decimal_places, 2);
+        assert_eq!(m[1].value, 0.05);
+        assert_eq!(m[1].significant_digits, 1);
+    }
+
+    #[test]
+    fn percent_forms() {
+        let m = mentions("13% here, 14 percent there");
+        assert_eq!(m.len(), 2);
+        assert!(m[0].is_percentage);
+        assert_eq!(m[0].value, 13.0);
+        assert!(m[1].is_percentage);
+        assert_eq!(m[1].value, 14.0);
+    }
+
+    #[test]
+    fn number_words() {
+        let m = mentions("four bans, three for abuse, one for gambling");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].value, 4.0);
+        assert!(m[0].spelled_out);
+        assert_eq!(m[1].value, 3.0);
+        assert_eq!(m[2].value, 1.0);
+    }
+
+    #[test]
+    fn compound_number_words() {
+        let m = mentions("twenty-one today and twenty one tomorrow and ninety");
+        assert_eq!(m[0].value, 21.0);
+        assert_eq!(m[1].value, 21.0);
+        assert_eq!(m[2].value, 90.0);
+    }
+
+    #[test]
+    fn magnitudes() {
+        let m = mentions("about 1.2 million users and four hundred cases");
+        assert_eq!(m[0].value, 1_200_000.0);
+        assert_eq!(m[1].value, 400.0);
+        assert_eq!(m[1].significant_digits, 1, "four hundred states 1 digit");
+    }
+
+    #[test]
+    fn a_hundred_is_recognized() {
+        let m = mentions("a hundred reasons");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].value, 100.0);
+        // bare "a" is not a number
+        assert!(mentions("a reason").is_empty());
+    }
+
+    #[test]
+    fn spelled_percent() {
+        let m = mentions("thirteen percent of respondents");
+        assert_eq!(m[0].value, 13.0);
+        assert!(m[0].is_percentage);
+    }
+
+    #[test]
+    fn currency() {
+        let m = mentions("paid $1,200 each");
+        assert_eq!(m[0].value, 1200.0);
+        assert!(!m[0].is_percentage);
+    }
+
+    #[test]
+    fn token_spans_cover_multiword_mentions() {
+        let toks = tokenize("about 1.2 million users");
+        let m = parse_number_mentions(&toks);
+        assert_eq!(m[0].token_start, 1);
+        assert_eq!(m[0].token_end, 3); // "1.2" + "million"
+    }
+
+    #[test]
+    fn ordinals_are_not_number_mentions() {
+        assert!(mentions("the 3rd quarter").is_empty());
+    }
+
+    #[test]
+    fn compound_hundred_thousand() {
+        let m = mentions("two hundred thousand votes");
+        assert_eq!(m[0].value, 200_000.0);
+    }
+}

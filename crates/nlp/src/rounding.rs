@@ -1,0 +1,95 @@
+//! Rounding-aware value matching (Definition 1 of the paper).
+//!
+//! A claim is correct if an *admissible rounding function* maps the exact
+//! query result to the claimed value; the paper admits rounding to any
+//! number of significant digits. The claimed value's own stated precision
+//! (significant digits, decimal places) bounds the comparison.
+//!
+//! This lives in `agg-nlp` because the claimed value's precision is a
+//! property of how the number was *written* — both the checker core and
+//! the corpus generator (which must label its claims exactly as the
+//! checker would judge them) depend on it.
+
+use crate::numbers::NumberMention;
+
+/// Round `x` to `digits` significant digits.
+pub fn round_significant(x: f64, digits: u32) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let digits = digits.max(1) as i32;
+    let magnitude = x.abs().log10().floor() as i32;
+    let factor = 10f64.powi(digits - 1 - magnitude);
+    (x * factor).round() / factor
+}
+
+/// Round `x` to `places` decimal places.
+pub fn round_decimals(x: f64, places: u32) -> f64 {
+    let factor = 10f64.powi(places.min(12) as i32);
+    (x * factor).round() / factor
+}
+
+/// Does a query result match a claimed number under admissible rounding?
+/// Accepts a match at the claim's significant-digit count or at its stated
+/// decimal places.
+pub fn matches_value(
+    result: f64,
+    claimed: f64,
+    significant_digits: u32,
+    decimal_places: u32,
+) -> bool {
+    if !result.is_finite() || !claimed.is_finite() {
+        return false;
+    }
+    if approx_eq(result, claimed) {
+        return true;
+    }
+    if approx_eq(round_significant(result, significant_digits), claimed) {
+        return true;
+    }
+    approx_eq(round_decimals(result, decimal_places), claimed)
+}
+
+/// [`matches_value`] for a parsed [`NumberMention`].
+pub fn matches_claim(result: f64, claim: &NumberMention) -> bool {
+    matches_value(
+        result,
+        claim.value,
+        claim.significant_digits,
+        claim.decimal_places,
+    )
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs());
+    if scale < 1e-9 {
+        return (a - b).abs() < 1e-9;
+    }
+    ((a - b) / scale).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significant_rounding() {
+        assert_eq!(round_significant(423.0, 1), 400.0);
+        assert_eq!(round_significant(0.0456, 2), 0.046);
+        assert_eq!(round_significant(-37.0, 1), -40.0);
+    }
+
+    #[test]
+    fn matching_respects_precision() {
+        assert!(matches_value(423.0, 400.0, 1, 0));
+        assert!(!matches_value(470.0, 400.0, 1, 0));
+        assert!(matches_value(66.6667, 67.0, 2, 0));
+        assert!(!matches_value(66.6667, 66.0, 2, 0));
+    }
+
+    #[test]
+    fn non_finite_never_matches() {
+        assert!(!matches_value(f64::NAN, 1.0, 1, 0));
+        assert!(!matches_value(1.0, f64::INFINITY, 1, 0));
+    }
+}

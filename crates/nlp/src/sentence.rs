@@ -1,0 +1,160 @@
+//! Sentence splitting.
+//!
+//! A rule-based splitter: sentences end at `.`, `!`, `?` followed by
+//! whitespace and an uppercase letter / digit / end of text, except after
+//! known abbreviations, initials, and decimal numbers.
+
+/// Common abbreviations that do not terminate a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "fig", "no",
+    "dept", "est", "inc", "ltd", "co", "corp", "u.s", "u.k", "jan", "feb", "mar", "apr", "jun",
+    "jul", "aug", "sep", "sept", "oct", "nov", "dec", "approx", "avg", "min", "max",
+];
+
+/// Split `text` into sentence substrings (trimmed, in order). Offsets are
+/// not preserved here; callers needing spans tokenize per sentence.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut sentences = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut start = 0usize; // index into chars
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '!' || c == '?' {
+            let end = i + 1;
+            push_sentence(&mut sentences, &chars[start..end]);
+            start = end;
+            i = end;
+            continue;
+        }
+        if c == '.' {
+            // Decimal number: digit '.' digit — not a boundary.
+            let prev_digit = i > 0 && chars[i - 1].is_ascii_digit();
+            let next_digit = chars.get(i + 1).is_some_and(|c| c.is_ascii_digit());
+            if prev_digit && next_digit {
+                i += 1;
+                continue;
+            }
+            // Abbreviation or initial before the period?
+            let word_before: String = chars[start..i]
+                .iter()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || **c == '.')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            let wb = word_before.trim_end_matches('.').to_lowercase();
+            let is_abbrev = ABBREVIATIONS.contains(&wb.as_str())
+                || (wb.len() == 1 && word_before.chars().next().is_some_and(char::is_alphabetic));
+            if is_abbrev {
+                i += 1;
+                continue;
+            }
+            // Sentence boundary only if followed by whitespace + capital /
+            // digit / quote, or end of text.
+            let mut j = i + 1;
+            // Consume closing quotes/parens directly after the period.
+            while j < chars.len() && matches!(chars[j], '"' | '\'' | ')' | '”' | '’') {
+                j += 1;
+            }
+            let followed_by_space = j >= chars.len() || chars[j].is_whitespace();
+            if followed_by_space {
+                let mut k = j;
+                while k < chars.len() && chars[k].is_whitespace() {
+                    k += 1;
+                }
+                let next_starts_sentence = k >= chars.len()
+                    || chars[k].is_uppercase()
+                    || chars[k].is_ascii_digit()
+                    || matches!(chars[k], '"' | '\'' | '(' | '“' | '‘');
+                if next_starts_sentence {
+                    push_sentence(&mut sentences, &chars[start..j]);
+                    start = j;
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    if start < chars.len() {
+        push_sentence(&mut sentences, &chars[start..]);
+    }
+    sentences
+}
+
+fn push_sentence(out: &mut Vec<String>, chars: &[char]) {
+    let s: String = chars.iter().collect();
+    let s = s.trim();
+    if !s.is_empty() {
+        out.push(s.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_basic_sentences() {
+        let s = split_sentences("One is here. Two is there! Is three here?");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], "One is here.");
+        assert_eq!(s[2], "Is three here?");
+    }
+
+    #[test]
+    fn keeps_decimals_together() {
+        let s = split_sentences("The rate was 3.5 percent. It fell later.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.5"));
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split_sentences("Dr. Smith agreed. Mr. Jones did not.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "Dr. Smith agreed.");
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let s = split_sentences("J. R. Smith scored 30 points. The team lost.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn single_sentence_without_terminator() {
+        let s = split_sentences("no terminal punctuation here");
+        assert_eq!(s, vec!["no terminal punctuation here"]);
+    }
+
+    #[test]
+    fn sentence_ending_with_quote() {
+        let s = split_sentences("He said \"four.\" Then he left.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].ends_with('"'));
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        // "u.s. economy" style: period followed by lowercase is not a break.
+        let s = split_sentences("Spending grew in the U.S. economy. It slowed.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("economy"));
+    }
+
+    #[test]
+    fn number_after_period_starts_sentence() {
+        let s = split_sentences("It ended. 41 percent agreed.");
+        assert_eq!(s.len(), 2);
+        assert!(s[1].starts_with("41"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   ").is_empty());
+    }
+}

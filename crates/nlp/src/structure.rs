@@ -1,0 +1,465 @@
+//! Hierarchical document model and structure parsing.
+//!
+//! The paper exploits document structure (Figure 4): a claim's keyword
+//! context includes the preceding sentence, the first sentence of its
+//! paragraph, and the headlines of all enclosing sections. This module
+//! parses an HTML subset (`<h1>`–`<h6>`, `<p>`, `<title>`, `<li>`, `<br>`)
+//! — *"our current implementation uses HTML markup"* — into a
+//! Document → Section → Paragraph → Sentence hierarchy, with a
+//! markdown-style plain-text fallback (`#` headings, blank-line paragraphs).
+
+use crate::sentence::split_sentences;
+use crate::tokenize::{tokenize, Token};
+use serde::{Deserialize, Serialize};
+
+/// One sentence: raw text plus its tokens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sentence {
+    pub text: String,
+    pub tokens: Vec<Token>,
+}
+
+impl Sentence {
+    pub fn new(text: impl Into<String>) -> Sentence {
+        let text = text.into();
+        let tokens = tokenize(&text);
+        Sentence { text, tokens }
+    }
+}
+
+/// A paragraph: a run of sentences.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Paragraph {
+    pub sentences: Vec<Sentence>,
+}
+
+/// A (sub)section with an optional headline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Section {
+    /// Heading level: 0 for the document root, 1 for `<h1>`, …
+    pub level: usize,
+    pub headline: Option<Sentence>,
+    pub paragraphs: Vec<Paragraph>,
+    pub subsections: Vec<Section>,
+}
+
+/// Path from the root to a section: indices into `subsections` at each
+/// level. The empty path is the root.
+pub type SectionPath = Vec<usize>;
+
+/// A parsed document.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Document {
+    pub title: Option<Sentence>,
+    pub root: Section,
+}
+
+impl Document {
+    /// The section at `path` (root for the empty path).
+    pub fn section(&self, path: &[usize]) -> Option<&Section> {
+        let mut s = &self.root;
+        for &i in path {
+            s = s.subsections.get(i)?;
+        }
+        Some(s)
+    }
+
+    /// Headlines of the section at `path` and all its ancestors, innermost
+    /// first — the "walk up" of Algorithm 2, lines 15–19. Includes the
+    /// document title last, if present.
+    pub fn enclosing_headlines(&self, path: &[usize]) -> Vec<&Sentence> {
+        let mut headlines = Vec::new();
+        // Collect along the path, then reverse for innermost-first order.
+        let mut s = &self.root;
+        let mut chain = Vec::new();
+        if let Some(h) = &s.headline {
+            chain.push(h);
+        }
+        for &i in path {
+            match s.subsections.get(i) {
+                Some(sub) => {
+                    s = sub;
+                    if let Some(h) = &s.headline {
+                        chain.push(h);
+                    }
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        headlines.extend(chain);
+        if let Some(t) = &self.title {
+            headlines.push(t);
+        }
+        headlines
+    }
+
+    /// Visit every paragraph with its section path, in document order.
+    pub fn for_each_paragraph<'a>(&'a self, mut f: impl FnMut(&SectionPath, usize, &'a Paragraph)) {
+        fn walk<'a, F: FnMut(&SectionPath, usize, &'a Paragraph)>(
+            s: &'a Section,
+            path: &mut SectionPath,
+            f: &mut F,
+        ) {
+            for (i, p) in s.paragraphs.iter().enumerate() {
+                f(path, i, p);
+            }
+            for (i, sub) in s.subsections.iter().enumerate() {
+                path.push(i);
+                walk(sub, path, f);
+                path.pop();
+            }
+        }
+        let mut path = Vec::new();
+        walk(&self.root, &mut path, &mut f);
+    }
+
+    /// Total number of sentences in body paragraphs.
+    pub fn sentence_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_paragraph(|_, _, p| n += p.sentences.len());
+        n
+    }
+}
+
+/// Parse a document, auto-detecting HTML versus plain text.
+pub fn parse_document(input: &str) -> Document {
+    if looks_like_html(input) {
+        parse_html(input)
+    } else {
+        parse_plain(input)
+    }
+}
+
+fn looks_like_html(input: &str) -> bool {
+    let lower = input.to_lowercase();
+    ["<p>", "<p ", "<h1", "<h2", "<h3", "<h4", "<body", "<html", "<title"]
+        .iter()
+        .any(|t| lower.contains(t))
+}
+
+/// Decode the handful of HTML entities that occur in articles.
+fn decode_entities(s: &str) -> String {
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&apos;", "'")
+        .replace("&nbsp;", " ")
+        .replace("&mdash;", "—")
+        .replace("&ndash;", "–")
+}
+
+#[derive(Debug, PartialEq)]
+enum HtmlEvent {
+    Heading(usize, String),
+    Title(String),
+    Paragraph(String),
+}
+
+/// A minimal, forgiving HTML reader: extracts headings, title, and
+/// paragraph-level text; every other tag is stripped (its text kept).
+fn html_events(input: &str) -> Vec<HtmlEvent> {
+    let mut events = Vec::new();
+    let mut text = String::new(); // accumulated paragraph text
+    let mut capture: Option<(usize, String)> = None; // heading/title capture
+    let mut i = 0;
+    let bytes = input.as_bytes();
+
+    let flush_paragraphs = |text: &mut String, events: &mut Vec<HtmlEvent>| {
+        for block in text.split("\n\n") {
+            let block = block.trim();
+            if !block.is_empty() {
+                events.push(HtmlEvent::Paragraph(block.to_string()));
+            }
+        }
+        text.clear();
+    };
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            let end = match input[i..].find('>') {
+                Some(e) => i + e,
+                None => break,
+            };
+            let tag_body = &input[i + 1..end];
+            let tag_name: String = tag_body
+                .trim_start_matches('/')
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            let closing = tag_body.starts_with('/');
+            match tag_name.as_str() {
+                "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => {
+                    let level = tag_name[1..].parse::<usize>().unwrap_or(1);
+                    if closing {
+                        if let Some((lvl, buf)) = capture.take() {
+                            let t = decode_entities(buf.trim());
+                            if !t.is_empty() {
+                                events.push(HtmlEvent::Heading(lvl, t));
+                            }
+                        }
+                    } else {
+                        flush_paragraphs(&mut text, &mut events);
+                        capture = Some((level, String::new()));
+                    }
+                }
+                "title" => {
+                    if closing {
+                        if let Some((_, buf)) = capture.take() {
+                            let t = decode_entities(buf.trim());
+                            if !t.is_empty() {
+                                events.push(HtmlEvent::Title(t));
+                            }
+                        }
+                    } else {
+                        capture = Some((0, String::new()));
+                    }
+                }
+                "p" | "li" | "div" | "tr" | "blockquote" => {
+                    // Block boundary: flush on open *and* close.
+                    flush_paragraphs(&mut text, &mut events);
+                }
+                "br" => {
+                    if let Some((_, buf)) = &mut capture {
+                        buf.push(' ');
+                    } else {
+                        text.push(' ');
+                    }
+                }
+                "script" | "style" => {
+                    // Skip content up to the closing tag.
+                    if !closing {
+                        let close = format!("</{tag_name}");
+                        if let Some(pos) = input[end..].to_lowercase().find(&close) {
+                            i = end + pos;
+                            continue;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i = end + 1;
+            continue;
+        }
+        // Text content.
+        let next_tag = input[i..].find('<').map(|p| i + p).unwrap_or(input.len());
+        let chunk = &input[i..next_tag];
+        match &mut capture {
+            Some((_, buf)) => buf.push_str(chunk),
+            None => {
+                // Preserve blank lines as paragraph boundaries.
+                let normalized = chunk.replace('\r', "");
+                text.push_str(&normalized);
+            }
+        }
+        i = next_tag;
+    }
+    flush_paragraphs(&mut text, &mut events);
+    events
+}
+
+fn parse_html(input: &str) -> Document {
+    let mut doc = Document::default();
+    // Stack of (level, section); sections are moved into their parent when
+    // a sibling or shallower heading arrives.
+    let mut stack: Vec<Section> = vec![Section::default()]; // root at level 0
+    for event in html_events(input) {
+        match event {
+            HtmlEvent::Title(t) => {
+                doc.title = Some(Sentence::new(t));
+            }
+            HtmlEvent::Heading(level, t) => {
+                // Close sections at the same or deeper level.
+                while stack.last().map(|s| s.level).unwrap_or(0) >= level {
+                    let done = stack.pop().expect("stack non-empty");
+                    stack
+                        .last_mut()
+                        .expect("root remains")
+                        .subsections
+                        .push(done);
+                }
+                stack.push(Section {
+                    level,
+                    headline: Some(Sentence::new(t)),
+                    ..Default::default()
+                });
+            }
+            HtmlEvent::Paragraph(t) => {
+                let text = decode_entities(&t).split_whitespace().collect::<Vec<_>>().join(" ");
+                if text.is_empty() {
+                    continue;
+                }
+                let sentences = split_sentences(&text)
+                    .into_iter()
+                    .map(Sentence::new)
+                    .collect();
+                stack
+                    .last_mut()
+                    .expect("stack non-empty")
+                    .paragraphs
+                    .push(Paragraph { sentences });
+            }
+        }
+    }
+    // Unwind the stack.
+    while stack.len() > 1 {
+        let done = stack.pop().expect("len > 1");
+        stack.last_mut().expect("root").subsections.push(done);
+    }
+    doc.root = stack.pop().expect("root");
+    doc
+}
+
+/// Markdown-ish plain text: `#`-prefixed headings, blank-line paragraphs.
+fn parse_plain(input: &str) -> Document {
+    let mut html = String::with_capacity(input.len() + 64);
+    for block in input.replace('\r', "").split("\n\n") {
+        let block = block.trim();
+        if block.is_empty() {
+            continue;
+        }
+        if let Some(rest) = block.strip_prefix('#') {
+            let level = 1 + rest.chars().take_while(|c| *c == '#').count();
+            let text = rest.trim_start_matches('#').trim();
+            html.push_str(&format!("<h{level}>{text}</h{level}>\n"));
+        } else {
+            let joined = block.split('\n').collect::<Vec<_>>().join(" ");
+            html.push_str(&format!("<p>{joined}</p>\n"));
+        }
+    }
+    parse_html(&html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTICLE: &str = r#"
+<title>The NFL's Uneven History Of Punishing Domestic Violence</title>
+<h1>Lifetime bans</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+<h2>Details</h2>
+<p>The gambling ban dates from 1983. It was never lifted.</p>
+<h1>Other suspensions</h1>
+<p>Most suspensions last four games or fewer.</p>
+"#;
+
+    #[test]
+    fn parses_hierarchy() {
+        let doc = parse_document(ARTICLE);
+        assert!(doc.title.as_ref().unwrap().text.contains("NFL"));
+        assert_eq!(doc.root.subsections.len(), 2, "two h1 sections");
+        let s0 = &doc.root.subsections[0];
+        assert_eq!(s0.level, 1);
+        assert!(s0.headline.as_ref().unwrap().text.contains("Lifetime"));
+        assert_eq!(s0.paragraphs.len(), 1);
+        assert_eq!(s0.subsections.len(), 1, "nested h2");
+        assert_eq!(s0.subsections[0].paragraphs.len(), 1);
+    }
+
+    #[test]
+    fn sentences_are_split_and_tokenized() {
+        let doc = parse_document(ARTICLE);
+        let para = &doc.root.subsections[0].paragraphs[0];
+        assert_eq!(para.sentences.len(), 2);
+        assert!(para.sentences[1].tokens.iter().any(|t| t.text == "gambling"));
+    }
+
+    #[test]
+    fn enclosing_headlines_walk_up() {
+        let doc = parse_document(ARTICLE);
+        // Section path [0, 0] = "Details" under "Lifetime bans".
+        let headlines = doc.enclosing_headlines(&[0, 0]);
+        let texts: Vec<&str> = headlines.iter().map(|h| h.text.as_str()).collect();
+        assert_eq!(texts.len(), 3, "h2, h1, title");
+        assert!(texts[0].contains("Details"));
+        assert!(texts[1].contains("Lifetime"));
+        assert!(texts[2].contains("NFL"));
+    }
+
+    #[test]
+    fn paragraph_iteration_in_document_order() {
+        let doc = parse_document(ARTICLE);
+        let mut first_sentences = Vec::new();
+        doc.for_each_paragraph(|_, _, p| {
+            first_sentences.push(p.sentences[0].text.clone());
+        });
+        assert_eq!(first_sentences.len(), 3);
+        assert!(first_sentences[0].contains("four previous"));
+        assert!(first_sentences[1].contains("1983"));
+        assert!(first_sentences[2].contains("four games"));
+    }
+
+    #[test]
+    fn plain_text_fallback() {
+        let doc = parse_document(
+            "# Survey results\n\nMost of the 1,000 respondents agreed.\n\n## Methods\n\nWe asked around.",
+        );
+        assert_eq!(doc.root.subsections.len(), 1);
+        let s = &doc.root.subsections[0];
+        assert!(s.headline.as_ref().unwrap().text.contains("Survey"));
+        assert_eq!(s.paragraphs.len(), 1);
+        assert_eq!(s.subsections.len(), 1);
+    }
+
+    #[test]
+    fn entities_are_decoded() {
+        let doc = parse_document("<p>Fish &amp; chips cost &#39;a lot&#39;.</p>");
+        let mut texts = Vec::new();
+        doc.for_each_paragraph(|_, _, p| texts.push(p.sentences[0].text.clone()));
+        assert_eq!(texts[0], "Fish & chips cost 'a lot'.");
+    }
+
+    #[test]
+    fn attributes_and_unknown_tags_are_tolerated() {
+        let doc = parse_document(
+            "<p class=\"lead\">Hello <em>world</em>. Second sentence.</p>",
+        );
+        let mut count = 0;
+        doc.for_each_paragraph(|_, _, p| {
+            count += p.sentences.len();
+            assert!(p.sentences[0].text.contains("Hello world"));
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn script_content_is_skipped() {
+        let doc = parse_document("<p>Visible.</p><script>var x = 42;</script><p>Also visible.</p>");
+        let mut all = String::new();
+        doc.for_each_paragraph(|_, _, p| {
+            for s in &p.sentences {
+                all.push_str(&s.text);
+            }
+        });
+        assert!(!all.contains("42"));
+        assert!(all.contains("Also visible"));
+    }
+
+    #[test]
+    fn section_lookup_by_path() {
+        let doc = parse_document(ARTICLE);
+        assert!(doc.section(&[]).is_some());
+        assert!(doc.section(&[0, 0]).is_some());
+        assert!(doc.section(&[5]).is_none());
+    }
+
+    #[test]
+    fn heading_level_jumps_are_handled() {
+        // h3 directly under h1 (skipping h2) must nest, not crash.
+        let doc = parse_document("<h1>A</h1><h3>B</h3><p>text</p><h1>C</h1>");
+        assert_eq!(doc.root.subsections.len(), 2);
+        assert_eq!(doc.root.subsections[0].subsections.len(), 1);
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = parse_document("");
+        assert_eq!(doc.sentence_count(), 0);
+        assert!(doc.title.is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! Synonym dictionary — the WordNet substitute.
+//!
+//! §4.2 of the paper uses WordNet to *"associate each keyword that appears
+//! in a column name with its synonyms"*, boosting recall when articles
+//! paraphrase column or value names. WordNet itself is a large external
+//! resource; this module embeds a curated synonym table covering the
+//! data-journalism vocabulary that the corpus generator and the built-in
+//! test cases use, and supports loading extensions at runtime
+//! (`word: syn1, syn2` lines).
+//!
+//! Lookups are symmetric within a group and operate on *stems*, so
+//! morphological variants resolve to the same group.
+
+use crate::stem::stem;
+use std::collections::HashMap;
+
+/// Embedded synonym groups. Each line is one group of interchangeable words.
+const EMBEDDED_GROUPS: &[&[&str]] = &[
+    &["count", "number", "total", "tally", "amount"],
+    &["average", "mean", "typical"],
+    &["percentage", "percent", "share", "proportion", "fraction", "rate"],
+    &["maximum", "most", "highest", "largest", "biggest", "top", "peak"],
+    &["minimum", "least", "lowest", "smallest", "fewest", "bottom"],
+    &["sum", "total", "combined", "aggregate"],
+    &["distinct", "unique", "different", "separate"],
+    &["salary", "pay", "wage", "earnings", "income", "compensation"],
+    &["money", "dollars", "funds", "cash"],
+    &["donation", "contribution", "gift", "giving"],
+    &["candidate", "contender", "nominee"],
+    &["respondent", "participant", "answerer", "surveyed"],
+    &["developer", "programmer", "coder", "engineer"],
+    &["suspension", "ban", "punishment", "penalty", "sanction"],
+    &["game", "match", "contest"],
+    &["team", "club", "franchise", "squad"],
+    &["player", "athlete"],
+    &["year", "season", "annual"],
+    &["lifetime", "indefinite", "permanent", "indef"],
+    &["category", "reason", "type", "kind", "cause"],
+    &["country", "nation", "state"],
+    &["city", "town", "municipality"],
+    &["gender", "sex"],
+    &["female", "woman", "women"],
+    &["male", "man", "men"],
+    &["education", "schooling", "degree"],
+    &["occupation", "job", "profession", "role"],
+    &["age", "old"],
+    &["price", "cost", "fee"],
+    &["revenue", "sales", "turnover"],
+    &["profit", "margin", "gain"],
+    &["vote", "ballot"],
+    &["election", "race", "primary"],
+    &["party", "affiliation"],
+    &["speech", "address", "remarks"],
+    &["article", "story", "piece"],
+    &["movie", "film"],
+    &["song", "track", "tune"],
+    &["region", "area", "zone"],
+    &["population", "residents", "inhabitants"],
+    &["language", "tongue"],
+    &["company", "firm", "employer", "business"],
+    &["school", "college", "university"],
+    &["flight", "trip", "journey"],
+    &["passenger", "traveler", "flier"],
+    &["rude", "impolite", "inconsiderate"],
+    &["recline", "lean"],
+    &["drug", "substance", "ped"],
+    &["abuse", "violation", "offense", "misconduct"],
+    &["violence", "assault"],
+    &["crime", "offense", "felony"],
+    &["accident", "crash", "collision"],
+    &["death", "fatality", "casualty"],
+    &["injury", "harm", "wound"],
+    &["hospital", "clinic"],
+    &["doctor", "physician"],
+    &["gun", "firearm", "weapon"],
+    &["temperature", "heat", "warmth"],
+    &["rain", "precipitation", "rainfall"],
+    &["storm", "hurricane", "cyclone"],
+    &["win", "victory", "triumph"],
+    &["loss", "defeat"],
+    &["score", "points"],
+    &["goal", "target"],
+    &["budget", "spending", "expenditure"],
+    &["tax", "levy"],
+    &["debt", "liability"],
+    &["growth", "increase", "rise", "gain"],
+    &["decline", "decrease", "drop", "fall"],
+    &["experience", "tenure", "seniority"],
+    &["remote", "distributed", "offsite"],
+    &["satisfaction", "happiness", "contentment"],
+];
+
+/// A symmetric, stem-aware synonym dictionary.
+#[derive(Debug, Clone)]
+pub struct SynonymDict {
+    /// stem → group ids (a stem can belong to several groups).
+    membership: HashMap<String, Vec<usize>>,
+    /// group id → member words (surface forms for expansion).
+    groups: Vec<Vec<String>>,
+}
+
+impl Default for SynonymDict {
+    fn default() -> Self {
+        Self::embedded()
+    }
+}
+
+impl SynonymDict {
+    /// An empty dictionary (no expansion — useful in ablations).
+    pub fn empty() -> Self {
+        Self {
+            membership: HashMap::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// The embedded dictionary.
+    pub fn embedded() -> Self {
+        let mut dict = Self::empty();
+        for group in EMBEDDED_GROUPS {
+            dict.add_group(group.iter().map(|s| s.to_string()).collect());
+        }
+        dict
+    }
+
+    /// Add one synonym group.
+    pub fn add_group(&mut self, words: Vec<String>) {
+        let id = self.groups.len();
+        for w in &words {
+            let key = stem(w);
+            let ids = self.membership.entry(key).or_default();
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        self.groups.push(words);
+    }
+
+    /// Parse `word: syn1, syn2` lines and merge them in. Returns the number
+    /// of groups added.
+    pub fn load_extensions(&mut self, text: &str) -> usize {
+        let mut added = 0;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((head, tail)) = line.split_once(':') {
+                let mut words: Vec<String> = vec![head.trim().to_lowercase()];
+                words.extend(
+                    tail.split(',')
+                        .map(|w| w.trim().to_lowercase())
+                        .filter(|w| !w.is_empty()),
+                );
+                if words.len() >= 2 {
+                    self.add_group(words);
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// All synonyms of `word` (excluding the word itself), as surface forms.
+    pub fn synonyms(&self, word: &str) -> Vec<String> {
+        let key = stem(word);
+        let mut out = Vec::new();
+        if let Some(ids) = self.membership.get(&key) {
+            for &id in ids {
+                for w in &self.groups[id] {
+                    if stem(w) != key && !out.contains(w) {
+                        out.push(w.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Do two words belong to a common synonym group (or share a stem)?
+    pub fn related(&self, a: &str, b: &str) -> bool {
+        let sa = stem(a);
+        let sb = stem(b);
+        if sa == sb {
+            return true;
+        }
+        match (self.membership.get(&sa), self.membership.get(&sb)) {
+            (Some(ga), Some(gb)) => ga.iter().any(|id| gb.contains(id)),
+            _ => false,
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_groups_cover_aggregation_vocabulary() {
+        let d = SynonymDict::embedded();
+        assert!(d.related("count", "number"));
+        assert!(d.related("average", "mean"));
+        assert!(d.related("percentage", "share"));
+        assert!(d.related("maximum", "highest"));
+        assert!(!d.related("count", "average"));
+    }
+
+    #[test]
+    fn stem_aware_lookup() {
+        let d = SynonymDict::embedded();
+        // "suspensions" (plural) and "banned" (inflected) still relate.
+        assert!(d.related("suspensions", "ban"));
+        assert!(d.related("suspension", "banned"));
+        assert!(d.related("donations", "contributions"));
+    }
+
+    #[test]
+    fn synonyms_exclude_self() {
+        let d = SynonymDict::embedded();
+        let syns = d.synonyms("count");
+        assert!(syns.iter().any(|s| s == "number"));
+        assert!(!syns.iter().any(|s| s == "count"));
+    }
+
+    #[test]
+    fn unknown_words_have_no_synonyms() {
+        let d = SynonymDict::embedded();
+        assert!(d.synonyms("zyxwv").is_empty());
+        assert!(!d.related("zyxwv", "count"));
+        assert!(d.related("zyxwv", "zyxwv"), "same stem is always related");
+    }
+
+    #[test]
+    fn extensions_merge() {
+        let mut d = SynonymDict::embedded();
+        let n = d.load_extensions(
+            "# custom\nquarterback: qb, passer\n\nbad-line\ncoach: manager\n",
+        );
+        assert_eq!(n, 2);
+        assert!(d.related("quarterback", "qb"));
+        assert!(d.related("coach", "manager"));
+    }
+
+    #[test]
+    fn empty_dictionary_is_inert() {
+        let d = SynonymDict::empty();
+        assert!(d.synonyms("count").is_empty());
+        assert!(!d.related("count", "number"));
+        assert_eq!(d.group_count(), 0);
+    }
+
+    #[test]
+    fn words_in_multiple_groups_expand_to_all() {
+        let d = SynonymDict::embedded();
+        // "total" appears in the count group and the sum group.
+        let syns = d.synonyms("total");
+        assert!(syns.iter().any(|s| s == "number"));
+        assert!(syns.iter().any(|s| s == "sum"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Tokenization.
+//!
+//! Splits text into words, numbers, and punctuation. Numeric tokens keep
+//! enough surface detail (thousands separators, decimal digits, leading
+//! currency, trailing `%`) for the numeral recognizer to derive values and
+//! significant digits.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Alphabetic word (may contain internal apostrophes or hyphens:
+    /// `don't`, `twenty-one`).
+    Word,
+    /// Digit-based number: `42`, `1,234.5`, `3.14`.
+    Number,
+    /// Digit-based number immediately followed by a percent sign: `13%`.
+    Percent,
+    /// Currency-prefixed number: `$1,200`.
+    Currency,
+    /// Ordinal like `1st`, `22nd`.
+    Ordinal,
+    /// Anything else: punctuation, symbols (one token per char).
+    Punct,
+}
+
+/// One token with its surface text and source span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    pub text: String,
+    pub kind: TokenKind,
+    /// Byte offset range in the source text.
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// Lower-cased text (words are matched case-insensitively everywhere).
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// Is this token any of the numeric kinds?
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Number | TokenKind::Percent | TokenKind::Currency
+        )
+    }
+}
+
+/// Tokenize `text`.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = text[i..].chars().next().unwrap();
+        if c.is_whitespace() {
+            i += c.len_utf8();
+            continue;
+        }
+        if c.is_alphabetic() {
+            let start = i;
+            let mut end = i;
+            let mut prev_alpha = false;
+            for ch in text[i..].chars() {
+                let ok = ch.is_alphanumeric()
+                    || ((ch == '\'' || ch == '-' || ch == '’') && prev_alpha);
+                if !ok {
+                    break;
+                }
+                prev_alpha = ch.is_alphanumeric();
+                end += ch.len_utf8();
+            }
+            // Trim a trailing hyphen/apostrophe (e.g. "word-" at line wrap).
+            let mut slice = &text[start..end];
+            while slice.ends_with(['-', '\'', '’']) {
+                slice = &slice[..slice.len() - slice.chars().last().unwrap().len_utf8()];
+            }
+            let end = start + slice.len();
+            tokens.push(Token {
+                text: slice.to_string(),
+                kind: TokenKind::Word,
+                start,
+                end,
+            });
+            i = end.max(start + c.len_utf8());
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '$' && next_is_digit(text, i + 1)) {
+            let start = i;
+            let currency = c == '$';
+            let mut j = if currency { i + 1 } else { i };
+            // Digits with embedded commas/periods (not trailing ones).
+            while j < bytes.len() {
+                let cj = bytes[j];
+                if cj.is_ascii_digit() {
+                    j += 1;
+                } else if (cj == b',' || cj == b'.') && next_is_digit(text, j + 1) {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            // Ordinal suffix: 1st, 2nd, 3rd, 4th...
+            let rest = &text[j..];
+            let lower_rest = rest.get(..2).map(|s| s.to_ascii_lowercase());
+            let is_ordinal = !currency
+                && matches!(lower_rest.as_deref(), Some("st" | "nd" | "rd" | "th"))
+                && !rest
+                    .chars()
+                    .nth(2)
+                    .map(char::is_alphanumeric)
+                    .unwrap_or(false);
+            if is_ordinal {
+                let end = j + 2;
+                tokens.push(Token {
+                    text: text[start..end].to_string(),
+                    kind: TokenKind::Ordinal,
+                    start,
+                    end,
+                });
+                i = end;
+                continue;
+            }
+            // Percent sign (optionally after a space is NOT merged; only
+            // the immediately adjacent sign is).
+            let (kind, end) = if rest.starts_with('%') {
+                (TokenKind::Percent, j + 1)
+            } else if currency {
+                (TokenKind::Currency, j)
+            } else {
+                (TokenKind::Number, j)
+            };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                kind,
+                start,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Single punctuation character.
+        let end = i + c.len_utf8();
+        tokens.push(Token {
+            text: text[i..end].to_string(),
+            kind: TokenKind::Punct,
+            start: i,
+            end,
+        });
+        i = end;
+    }
+    tokens
+}
+
+fn next_is_digit(text: &str, i: usize) -> bool {
+    text.as_bytes().get(i).is_some_and(u8::is_ascii_digit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(String, TokenKind)> {
+        tokenize(text)
+            .into_iter()
+            .map(|t| (t.text, t.kind))
+            .collect()
+    }
+
+    #[test]
+    fn words_numbers_punctuation() {
+        let ks = kinds("There were 4 bans.");
+        assert_eq!(
+            ks,
+            vec![
+                ("There".into(), TokenKind::Word),
+                ("were".into(), TokenKind::Word),
+                ("4".into(), TokenKind::Number),
+                ("bans".into(), TokenKind::Word),
+                (".".into(), TokenKind::Punct),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_separators() {
+        let ks = kinds("1,234 and 3.5 and 1,234.56");
+        assert_eq!(ks[0], ("1,234".into(), TokenKind::Number));
+        assert_eq!(ks[2], ("3.5".into(), TokenKind::Number));
+        assert_eq!(ks[4], ("1,234.56".into(), TokenKind::Number));
+    }
+
+    #[test]
+    fn percent_and_currency() {
+        let ks = kinds("13% of $1,200");
+        assert_eq!(ks[0], ("13%".into(), TokenKind::Percent));
+        assert_eq!(ks[2], ("$1,200".into(), TokenKind::Currency));
+    }
+
+    #[test]
+    fn ordinals() {
+        let ks = kinds("the 1st and 22nd and 3rd and 44th");
+        assert_eq!(ks[1], ("1st".into(), TokenKind::Ordinal));
+        assert_eq!(ks[3], ("22nd".into(), TokenKind::Ordinal));
+        assert_eq!(ks[5], ("3rd".into(), TokenKind::Ordinal));
+        assert_eq!(ks[7], ("44th".into(), TokenKind::Ordinal));
+    }
+
+    #[test]
+    fn hyphenated_and_apostrophe_words() {
+        let ks = kinds("twenty-one self-taught don't");
+        assert_eq!(ks[0].0, "twenty-one");
+        assert_eq!(ks[1].0, "self-taught");
+        assert_eq!(ks[2].0, "don't");
+    }
+
+    #[test]
+    fn trailing_hyphen_is_trimmed() {
+        let ks = kinds("word- next");
+        assert_eq!(ks[0].0, "word");
+    }
+
+    #[test]
+    fn trailing_period_is_not_part_of_number() {
+        let ks = kinds("It was 42.");
+        assert_eq!(ks[2], ("42".into(), TokenKind::Number));
+        assert_eq!(ks[3], (".".into(), TokenKind::Punct));
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let text = "a 12% b";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn unicode_text_does_not_panic() {
+        let toks = tokenize("café — 42 % naïve’s");
+        assert!(toks.iter().any(|t| t.text == "café"));
+        // "42 %" with a space: the sign is separate punctuation.
+        assert!(toks
+            .iter()
+            .any(|t| t.text == "42" && t.kind == TokenKind::Number));
+    }
+
+    #[test]
+    fn empty_and_whitespace_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Identifier decomposition.
+//!
+//! Column names in public data sets are rarely clean words: `totalsalary`,
+//! `GamesPlayed`, `avg_pts_2014`. Following §4.2 of the paper, identifiers
+//! are split on explicit delimiters and case boundaries first, then any
+//! remaining letter runs are segmented against the embedded dictionary
+//! ("decompose column names into all possible substrings and compare
+//! against a dictionary"), and known abbreviations are expanded.
+
+use crate::dictionary::{expand_abbreviation, is_word};
+
+/// Decompose an identifier into lowercase keyword tokens.
+///
+/// The result contains:
+/// * every delimiter/camelCase-separated part,
+/// * dictionary words recovered from concatenated runs (`totalsalary` →
+///   `total`, `salary`),
+/// * expansions of known abbreviations (`avg` → `average`), and
+/// * the original identifier itself (lowercased) when it differs — exact
+///   occurrences in text should still match.
+pub fn decompose_identifier(identifier: &str) -> Vec<String> {
+    let mut keywords: Vec<String> = Vec::new();
+    let mut push = |w: String| {
+        if w.len() > 1 && !keywords.contains(&w) {
+            keywords.push(w);
+        }
+    };
+
+    for part in split_delimiters(identifier) {
+        let lower = part.to_lowercase();
+        if lower.is_empty() || lower.chars().all(|c| c.is_ascii_digit()) {
+            // Bare numbers in identifiers (years etc.) are kept as-is.
+            if !lower.is_empty() {
+                push(lower.clone());
+            }
+            continue;
+        }
+        push(lower.clone());
+        if let Some(expansion) = expand_abbreviation(&lower) {
+            push(expansion.to_string());
+        }
+        if !is_word(&lower) {
+            if let Some(words) = word_break(&lower) {
+                for w in words {
+                    push(w.to_string());
+                    if let Some(expansion) = expand_abbreviation(w) {
+                        push(expansion.to_string());
+                    }
+                }
+            }
+        }
+    }
+    let full = identifier.to_lowercase();
+    push(full);
+    keywords
+}
+
+/// Split on `_`, `-`, `.`, spaces, digit/letter boundaries, and camelCase.
+fn split_delimiters(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut prev: Option<char> = None;
+    for c in s.chars() {
+        if c == '_' || c == '-' || c == '.' || c == ' ' || c == '/' {
+            if !current.is_empty() {
+                parts.push(std::mem::take(&mut current));
+            }
+            prev = None;
+            continue;
+        }
+        let boundary = match prev {
+            Some(p) => {
+                (p.is_lowercase() && c.is_uppercase())
+                    || (p.is_alphabetic() && c.is_ascii_digit())
+                    || (p.is_ascii_digit() && c.is_alphabetic())
+            }
+            None => false,
+        };
+        if boundary && !current.is_empty() {
+            parts.push(std::mem::take(&mut current));
+        }
+        current.push(c);
+        prev = Some(c);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Segment a lowercase letter run into dictionary words via dynamic
+/// programming. Prefers segmentations with **fewer, longer** words; returns
+/// `None` when no full segmentation exists.
+fn word_break(run: &str) -> Option<Vec<&str>> {
+    let n = run.len();
+    if n == 0 {
+        return None;
+    }
+    // best[i] = minimal number of words covering run[..i], with backpointer.
+    let mut best: Vec<Option<(usize, usize)>> = vec![None; n + 1]; // (words, split)
+    best[0] = Some((0, 0));
+    for i in 1..=n {
+        // Try the longest candidate word first; cap length at 20.
+        let lo = i.saturating_sub(20);
+        for j in (lo..i).rev() {
+            if let Some((words, _)) = best[j] {
+                let cand = &run[j..i];
+                // Accept dictionary words and abbreviations of length ≥ 2.
+                if cand.len() >= 2 && (is_word(cand) || expand_abbreviation(cand).is_some()) {
+                    let score = words + 1;
+                    if best[i].map_or(true, |(w, _)| score < w) {
+                        best[i] = Some((score, j));
+                    }
+                }
+            }
+        }
+    }
+    best[n]?;
+    let mut words = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        let (_, j) = best[i].expect("backpointer chain");
+        words.push(&run[j..i]);
+        i = j;
+    }
+    words.reverse();
+    Some(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_snake_and_camel_case() {
+        assert_eq!(
+            decompose_identifier("player_name"),
+            vec!["player", "name", "player_name"]
+        );
+        let kws = decompose_identifier("GamesPlayed");
+        assert!(kws.contains(&"games".to_string()));
+        assert!(kws.contains(&"played".to_string()) || kws.contains(&"gamesplayed".to_string()));
+    }
+
+    #[test]
+    fn breaks_concatenated_words() {
+        let kws = decompose_identifier("totalsalary");
+        assert!(kws.contains(&"total".to_string()), "{kws:?}");
+        assert!(kws.contains(&"salary".to_string()), "{kws:?}");
+    }
+
+    #[test]
+    fn expands_abbreviations() {
+        let kws = decompose_identifier("avg_pts");
+        assert!(kws.contains(&"average".to_string()), "{kws:?}");
+        let kws = decompose_identifier("pct_female");
+        assert!(kws.contains(&"percent".to_string()), "{kws:?}");
+        assert!(kws.contains(&"female".to_string()), "{kws:?}");
+    }
+
+    #[test]
+    fn keeps_original_identifier() {
+        let kws = decompose_identifier("totalsalary");
+        assert!(kws.contains(&"totalsalary".to_string()));
+    }
+
+    #[test]
+    fn numeric_suffixes_survive() {
+        let kws = decompose_identifier("revenue2014");
+        assert!(kws.contains(&"revenue".to_string()));
+        assert!(kws.contains(&"2014".to_string()));
+    }
+
+    #[test]
+    fn word_break_prefers_fewer_words() {
+        // "income" should stay one word, not "in" + "come" (neither of which
+        // is in the dictionary anyway, but longer matches must win when both
+        // exist, e.g. "counts" over "count" + dangling "s").
+        assert_eq!(word_break("income"), Some(vec!["income"]));
+        assert_eq!(word_break("counts"), Some(vec!["counts"]));
+    }
+
+    #[test]
+    fn unbreakable_runs_return_none() {
+        assert_eq!(word_break("zzxqy"), None);
+        assert_eq!(word_break(""), None);
+    }
+
+    #[test]
+    fn mixed_identifier_end_to_end() {
+        let kws = decompose_identifier("avgSalary_2016");
+        assert!(kws.contains(&"average".to_string()), "{kws:?}");
+        assert!(kws.contains(&"salary".to_string()), "{kws:?}");
+        assert!(kws.contains(&"2016".to_string()), "{kws:?}");
+    }
+
+    #[test]
+    fn no_duplicate_keywords() {
+        let kws = decompose_identifier("total_total_salary");
+        let mut sorted = kws.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kws.len());
+    }
+}

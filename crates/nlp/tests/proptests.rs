@@ -1,0 +1,87 @@
+//! Property-based tests of the NLP substrate's robustness invariants.
+
+use agg_nlp::claims::{detect_claims, ClaimDetectorConfig};
+use agg_nlp::deptree::DependencyTree;
+use agg_nlp::sentence::split_sentences;
+use agg_nlp::stem::stem;
+use agg_nlp::structure::parse_document;
+use agg_nlp::tokenize::tokenize;
+use agg_nlp::wordbreak::decompose_identifier;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn stemmer_output_is_wellformed(word in "[a-zA-Z]{1,24}") {
+        let s = stem(&word);
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.len() <= word.len(), "stemming never grows words");
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn stemmer_is_case_invariant(word in "[a-zA-Z]{1,24}") {
+        prop_assert_eq!(stem(&word), stem(&word.to_uppercase()));
+    }
+
+    #[test]
+    fn sentence_splitter_preserves_non_whitespace(text in "[a-zA-Z0-9,.!? ]{0,200}") {
+        let joined: String = split_sentences(&text).concat();
+        let count = |s: &str| s.chars().filter(|c| !c.is_whitespace()).count();
+        prop_assert_eq!(count(&joined), count(&text), "no characters lost");
+    }
+
+    #[test]
+    fn dependency_tree_distance_is_a_metric(text in "[a-z ,]{1,80}") {
+        let tokens = tokenize(&text);
+        let tree = DependencyTree::build(&tokens);
+        prop_assume!(tokens.len() >= 2);
+        for i in 0..tokens.len().min(6) {
+            for j in 0..tokens.len().min(6) {
+                let d = tree.distance(i, j);
+                prop_assert_eq!(d == 0, i == j);
+                prop_assert_eq!(d, tree.distance(j, i), "symmetry");
+                prop_assert!(d <= 3, "distances are bounded by the hierarchy");
+            }
+        }
+    }
+
+    #[test]
+    fn wordbreak_keywords_are_lowercase_and_bounded(ident in "[A-Za-z0-9_]{1,24}") {
+        let kws = decompose_identifier(&ident);
+        prop_assert!(kws.len() <= 24, "no keyword explosion");
+        for k in &kws {
+            prop_assert_eq!(k, &k.to_lowercase());
+            prop_assert!(k.len() > 1);
+        }
+    }
+
+    #[test]
+    fn document_parser_never_panics(text in "[ -~\\n]{0,300}") {
+        let doc = parse_document(&text);
+        let _ = detect_claims(&doc, &ClaimDetectorConfig::default());
+    }
+
+    #[test]
+    fn html_with_random_tags_never_panics(
+        inner in "[a-z0-9 .]{0,60}",
+        tag in "[a-z]{1,6}",
+    ) {
+        let html = format!("<h1>T</h1><p><{tag}>{inner}</{tag}> tail 42.</p>");
+        let doc = parse_document(&html);
+        prop_assert!(doc.sentence_count() >= 1);
+    }
+
+    #[test]
+    fn detected_claim_positions_are_valid(text in "[a-zA-Z0-9,.% ]{0,200}") {
+        let html = format!("<p>{text}</p>");
+        let doc = parse_document(&html);
+        for claim in detect_claims(&doc, &ClaimDetectorConfig::default()) {
+            let section = doc.section(&claim.section).expect("valid section path");
+            let paragraph = &section.paragraphs[claim.paragraph];
+            let sentence = &paragraph.sentences[claim.sentence];
+            prop_assert!(claim.number.token_start < sentence.tokens.len());
+            prop_assert!(claim.number.token_end <= sentence.tokens.len());
+            prop_assert!(claim.number.token_start < claim.number.token_end);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Result caching across claims and EM iterations (§6.3).
+//!
+//! The paper indexes *(partial) cube query results by a combination of one
+//! aggregation column, one aggregation function, and a set of cube
+//! dimensions*. The cached value holds results for **all** literals with
+//! non-zero marginal probability anywhere in the document, so different
+//! claims (whose relevant-literal subsets overlap heavily) and later EM
+//! iterations hit the same entries.
+
+use crate::cube::{CubeResult, DimSel};
+use crate::database::ColumnRef;
+use crate::query::{AggColumn, AggFunction};
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache key: the paper's chosen indexing granularity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub function: AggFunction,
+    pub column: AggColumn,
+    /// Cube dimensions, sorted for canonical form.
+    pub dims: Vec<ColumnRef>,
+}
+
+impl CacheKey {
+    pub fn new(function: AggFunction, column: AggColumn, mut dims: Vec<ColumnRef>) -> Self {
+        dims.sort_unstable();
+        Self {
+            function,
+            column,
+            dims,
+        }
+    }
+}
+
+/// One aggregate's view of a cube result.
+#[derive(Debug, Clone)]
+pub struct CachedSlice {
+    cube: Arc<CubeResult>,
+    agg_idx: usize,
+    /// Whether absent groups should read as 0 (count-like aggregates).
+    count_like: bool,
+}
+
+impl CachedSlice {
+    pub fn new(cube: Arc<CubeResult>, agg_idx: usize, function: AggFunction) -> Self {
+        Self {
+            cube,
+            agg_idx,
+            count_like: matches!(function, AggFunction::Count | AggFunction::CountDistinct),
+        }
+    }
+
+    /// Dimensions of the underlying cube (in cube order).
+    pub fn dims(&self) -> &[ColumnRef] {
+        self.cube.dims()
+    }
+
+    /// Does this slice contain every literal in `needed` (per dimension,
+    /// aligned with the cube's dimension order)?
+    pub fn covers(&self, needed: &[Vec<Value>]) -> bool {
+        if needed.len() != self.cube.dims().len() {
+            return false;
+        }
+        needed.iter().enumerate().all(|(dim, lits)| {
+            lits.iter()
+                .all(|lit| self.cube.literal_index(dim, lit).is_some())
+        })
+    }
+
+    /// Look up the aggregate for an assignment expressed as *values*
+    /// (`None` = dimension unrestricted), aligned with [`Self::dims`].
+    ///
+    /// Returns `Ok(aggregate)` where the inner `Option` is SQL NULL, or
+    /// `Err(())` when some literal is unknown to this slice (a cache-coverage
+    /// violation — the caller should treat it as a miss).
+    pub fn lookup(&self, assignment: &[Option<Value>]) -> Result<Option<f64>, ()> {
+        let sel = self.selectors(assignment)?;
+        if self.count_like {
+            Ok(Some(self.cube.get_count(&sel, self.agg_idx)))
+        } else {
+            Ok(self.cube.get(&sel, self.agg_idx))
+        }
+    }
+
+    /// Count-semantics lookup (absent group = 0), regardless of the slice's
+    /// aggregate kind. Only meaningful for count slices.
+    pub fn lookup_count(&self, assignment: &[Option<Value>]) -> Result<f64, ()> {
+        let sel = self.selectors(assignment)?;
+        Ok(self.cube.get_count(&sel, self.agg_idx))
+    }
+
+    fn selectors(&self, assignment: &[Option<Value>]) -> Result<Vec<DimSel>, ()> {
+        if assignment.len() != self.cube.dims().len() {
+            return Err(());
+        }
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(dim, v)| match v {
+                None => Ok(DimSel::Any),
+                Some(value) => {
+                    // A literal that was requested as relevant but does not
+                    // occur in the column has no index *only if* it was not
+                    // part of the cube's relevant list; requested literals
+                    // are always listed, so a miss here means the cache entry
+                    // was built for a different literal set.
+                    self.cube
+                        .literal_index(dim, value)
+                        .map(DimSel::Literal)
+                        .ok_or(())
+                }
+            })
+            .collect()
+    }
+}
+
+/// Hit/miss counters (lock-free reads for the experiment harness).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// The shared evaluation cache. Cloning shares the underlying storage.
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache {
+    inner: Arc<EvalCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct EvalCacheInner {
+    entries: RwLock<HashMap<CacheKey, CachedSlice>>,
+    stats: CacheStats,
+}
+
+impl EvalCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch a slice covering `needed` literals, counting a hit or miss.
+    pub fn get(&self, key: &CacheKey, needed: &[Vec<Value>]) -> Option<CachedSlice> {
+        let entries = self.inner.entries.read();
+        match entries.get(key) {
+            Some(slice) if slice.covers(needed) => {
+                self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slice.clone())
+            }
+            _ => {
+                self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a slice (replacing any previous entry for the key).
+    pub fn put(&self, key: CacheKey, slice: CachedSlice) {
+        self.inner.entries.write().insert(key, slice);
+    }
+
+    pub fn stats(&self) -> &CacheStats {
+        &self.inner.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.entries.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (e.g. between documents).
+    pub fn clear(&self) {
+        self.inner.entries.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::CubeQuery;
+    use crate::database::Database;
+    use crate::table::Table;
+
+    fn db() -> Database {
+        let t = Table::from_columns(
+            "t",
+            vec![(
+                "cat",
+                vec!["a".into(), "a".into(), "b".into(), "c".into()],
+            )],
+        )
+        .unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t);
+        db
+    }
+
+    fn slice(db: &Database, literals: Vec<Value>) -> CachedSlice {
+        let cat = db.resolve("t", "cat").unwrap();
+        let cube = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![literals],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        }
+        .execute(db)
+        .unwrap();
+        CachedSlice::new(Arc::new(cube), 0, AggFunction::Count)
+    }
+
+    #[test]
+    fn slice_lookup_by_value() {
+        let db = db();
+        let s = slice(&db, vec!["a".into(), "b".into()]);
+        assert_eq!(s.lookup(&[Some("a".into())]), Ok(Some(2.0)));
+        assert_eq!(s.lookup(&[Some("b".into())]), Ok(Some(1.0)));
+        assert_eq!(s.lookup(&[None]), Ok(Some(4.0)));
+        // "c" was not in the relevant set: coverage violation.
+        assert_eq!(s.lookup(&[Some("c".into())]), Err(()));
+    }
+
+    #[test]
+    fn coverage_check() {
+        let db = db();
+        let s = slice(&db, vec!["a".into(), "b".into()]);
+        assert!(s.covers(&[vec!["a".into()]]));
+        assert!(s.covers(&[vec!["a".into(), "b".into()]]));
+        assert!(!s.covers(&[vec!["c".into()]]));
+        assert!(!s.covers(&[vec![], vec![]]), "dimension count must match");
+    }
+
+    #[test]
+    fn cache_hits_and_misses() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let needed = vec![vec![Value::from("a")]];
+
+        assert!(cache.get(&key, &needed).is_none());
+        assert_eq!(cache.stats().misses(), 1);
+
+        cache.put(key.clone(), slice(&db, vec!["a".into()]));
+        assert!(cache.get(&key, &needed).is_some());
+        assert_eq!(cache.stats().hits(), 1);
+
+        // A broader literal set than cached is a miss (coverage).
+        let broader = vec![vec![Value::from("a"), Value::from("c")]];
+        assert!(cache.get(&key, &broader).is_none());
+        assert_eq!(cache.stats().misses(), 2);
+        assert!(cache.stats().hit_rate() > 0.3 && cache.stats().hit_rate() < 0.4);
+    }
+
+    #[test]
+    fn cache_key_canonicalizes_dimension_order() {
+        let a = ColumnRef::new(0, 1);
+        let b = ColumnRef::new(0, 2);
+        let k1 = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![a, b]);
+        let k2 = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![b, a]);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        cache.put(
+            CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]),
+            slice(&db, vec!["a".into()]),
+        );
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_clones_see_the_same_entries() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let clone = cache.clone();
+        clone.put(
+            CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]),
+            slice(&db, vec!["a".into()]),
+        );
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,365 @@
+//! Columnar storage with dictionary-encoded strings.
+//!
+//! Equality predicates and cube grouping operate on `u32` dictionary codes
+//! rather than string comparisons; this is what makes evaluating tens of
+//! thousands of candidate queries per document (§6 of the paper) affordable.
+
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Dictionary code reserved for NULL cells in string columns.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// Interns the distinct strings of one column.
+///
+/// Lookups are case-insensitive (the paper's articles routinely spell values
+/// with different capitalization than the data, e.g. "Gambling" vs
+/// `gambling`), but the original spelling of the first occurrence is kept for
+/// display.
+#[derive(Debug, Clone, Default)]
+pub struct StringDictionary {
+    strings: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl StringDictionary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Intern `s`, returning its code. Repeated calls with equal strings
+    /// (up to ASCII case) return the same code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        let key = s.to_ascii_lowercase();
+        if let Some(&code) = self.lookup.get(&key) {
+            return code;
+        }
+        let code = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.lookup.insert(key, code);
+        code
+    }
+
+    /// Code of `s` if it has been interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(&s.to_ascii_lowercase()).copied()
+    }
+
+    /// The display string behind a code.
+    pub fn resolve(&self, code: u32) -> Option<&str> {
+        self.strings.get(code as usize).map(String::as_str)
+    }
+
+    /// Iterate over `(code, string)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+/// The physical data of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Nullable 64-bit integers.
+    Int(Vec<Option<i64>>),
+    /// Nullable 64-bit floats.
+    Float(Vec<Option<f64>>),
+    /// Dictionary-encoded strings; `NULL_CODE` marks NULL cells.
+    Str {
+        codes: Vec<u32>,
+        dict: StringDictionary,
+    },
+}
+
+impl ColumnData {
+    /// An empty column of the given type.
+    pub fn new(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str {
+                codes: Vec::new(),
+                dict: StringDictionary::new(),
+            },
+        }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Whether this column can serve as an aggregation column
+    /// (`Sum`, `Avg`, …). Only numeric columns qualify.
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, ColumnData::Str { .. })
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value, coercing numerics as needed. Returns `false` when the
+    /// value cannot be stored in this column's type (the caller then decides
+    /// whether to widen the column or store NULL).
+    pub fn push(&mut self, value: &Value) -> bool {
+        match (self, value) {
+            (ColumnData::Int(v), Value::Int(i)) => v.push(Some(*i)),
+            (ColumnData::Int(v), Value::Null) => v.push(None),
+            (ColumnData::Float(v), Value::Float(f)) => v.push(Some(*f)),
+            (ColumnData::Float(v), Value::Int(i)) => v.push(Some(*i as f64)),
+            (ColumnData::Float(v), Value::Null) => v.push(None),
+            (ColumnData::Str { codes, dict }, Value::Str(s)) => codes.push(dict.intern(s)),
+            (ColumnData::Str { codes, dict }, Value::Int(i)) => {
+                codes.push(dict.intern(&i.to_string()))
+            }
+            (ColumnData::Str { codes, dict }, Value::Float(f)) => {
+                codes.push(dict.intern(&f.to_string()))
+            }
+            (ColumnData::Str { codes, .. }, Value::Null) => codes.push(NULL_CODE),
+            _ => return false,
+        }
+        true
+    }
+
+    /// The cell at `row` as an owned [`Value`].
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
+            ColumnData::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
+            ColumnData::Str { codes, dict } => {
+                let code = codes[row];
+                if code == NULL_CODE {
+                    Value::Null
+                } else {
+                    Value::Str(dict.resolve(code).unwrap_or_default().to_string())
+                }
+            }
+        }
+    }
+
+    /// Numeric view of the cell at `row` (integers widen), `None` for NULL
+    /// or string cells.
+    #[inline]
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        match self {
+            ColumnData::Int(v) => v[row].map(|i| i as f64),
+            ColumnData::Float(v) => v[row],
+            ColumnData::Str { .. } => None,
+        }
+    }
+
+    /// Whether the cell at `row` is NULL.
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            ColumnData::Int(v) => v[row].is_none(),
+            ColumnData::Float(v) => v[row].is_none(),
+            ColumnData::Str { codes, .. } => codes[row] == NULL_CODE,
+        }
+    }
+
+    /// The string dictionary, for string columns.
+    pub fn dictionary(&self) -> Option<&StringDictionary> {
+        match self {
+            ColumnData::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Dictionary codes, for string columns.
+    pub fn codes(&self) -> Option<&[u32]> {
+        match self {
+            ColumnData::Str { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// A *grouping code* for the cell at `row`, usable for equality grouping
+    /// regardless of column type.
+    ///
+    /// For string columns this is the dictionary code. For numeric columns
+    /// the bit pattern of the value is hashed to a `u64` key space; the
+    /// engine only ever groups on columns with few distinct values, so
+    /// collisions across the u64 space are not a practical concern.
+    #[inline]
+    pub fn group_code(&self, row: usize) -> Option<u64> {
+        match self {
+            ColumnData::Str { codes, .. } => {
+                let c = codes[row];
+                (c != NULL_CODE).then_some(c as u64)
+            }
+            ColumnData::Int(v) => v[row].map(|i| i as u64),
+            ColumnData::Float(v) => v[row].map(|f| f.to_bits()),
+        }
+    }
+
+    /// The grouping code a [`Value`] would have in this column, if present.
+    pub fn group_code_of(&self, value: &Value) -> Option<u64> {
+        match (self, value) {
+            (ColumnData::Str { dict, .. }, Value::Str(s)) => dict.code_of(s).map(|c| c as u64),
+            (ColumnData::Int(_), Value::Int(i)) => Some(*i as u64),
+            (ColumnData::Int(_), Value::Float(f)) if f.fract() == 0.0 => Some(*f as i64 as u64),
+            (ColumnData::Float(_), v) => v.as_f64().map(f64::to_bits),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct non-null values. For numeric columns this scans;
+    /// for string columns it is the dictionary size (an upper bound that is
+    /// exact when every interned string occurs).
+    pub fn distinct_count(&self) -> usize {
+        match self {
+            ColumnData::Str { dict, .. } => dict.len(),
+            ColumnData::Int(v) => {
+                let mut seen: std::collections::HashSet<i64> = std::collections::HashSet::new();
+                v.iter().flatten().for_each(|i| {
+                    seen.insert(*i);
+                });
+                seen.len()
+            }
+            ColumnData::Float(v) => {
+                let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+                v.iter().flatten().for_each(|f| {
+                    seen.insert(f.to_bits());
+                });
+                seen.len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_interning_is_case_insensitive() {
+        let mut d = StringDictionary::new();
+        let a = d.intern("Gambling");
+        let b = d.intern("gambling");
+        let c = d.intern("GAMBLING");
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.resolve(a), Some("Gambling"));
+        assert_eq!(d.code_of("gamBLing"), Some(a));
+        assert_eq!(d.code_of("other"), None);
+    }
+
+    #[test]
+    fn dictionary_assigns_sequential_codes() {
+        let mut d = StringDictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn int_column_round_trip() {
+        let mut c = ColumnData::new(DataType::Int);
+        assert!(c.push(&Value::Int(5)));
+        assert!(c.push(&Value::Null));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null);
+        assert!(c.is_null(1));
+        assert!(!c.is_null(0));
+        assert_eq!(c.get_f64(0), Some(5.0));
+    }
+
+    #[test]
+    fn float_column_accepts_ints() {
+        let mut c = ColumnData::new(DataType::Float);
+        assert!(c.push(&Value::Int(2)));
+        assert!(c.push(&Value::Float(0.5)));
+        assert_eq!(c.get_f64(0), Some(2.0));
+        assert_eq!(c.get_f64(1), Some(0.5));
+    }
+
+    #[test]
+    fn int_column_rejects_strings() {
+        let mut c = ColumnData::new(DataType::Int);
+        assert!(!c.push(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn str_column_coerces_numbers_to_strings() {
+        let mut c = ColumnData::new(DataType::Str);
+        assert!(c.push(&Value::Str("indef".into())));
+        assert!(c.push(&Value::Int(16)));
+        assert!(c.push(&Value::Null));
+        assert_eq!(c.get(0), Value::Str("indef".into()));
+        assert_eq!(c.get(1), Value::Str("16".into()));
+        assert_eq!(c.get(2), Value::Null);
+    }
+
+    #[test]
+    fn group_codes_align_between_rows_and_values() {
+        let mut c = ColumnData::new(DataType::Str);
+        c.push(&Value::Str("a".into()));
+        c.push(&Value::Str("b".into()));
+        c.push(&Value::Str("a".into()));
+        assert_eq!(c.group_code(0), c.group_code(2));
+        assert_ne!(c.group_code(0), c.group_code(1));
+        assert_eq!(
+            c.group_code_of(&Value::Str("A".into())),
+            c.group_code(0),
+            "value lookup must be case-insensitive like interning"
+        );
+        assert_eq!(c.group_code_of(&Value::Str("zzz".into())), None);
+    }
+
+    #[test]
+    fn group_codes_for_numeric_columns() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(&Value::Int(16));
+        c.push(&Value::Null);
+        assert_eq!(c.group_code(0), Some(16));
+        assert_eq!(c.group_code(1), None);
+        assert_eq!(c.group_code_of(&Value::Int(16)), Some(16));
+        // A float value that is integral matches the int column.
+        assert_eq!(c.group_code_of(&Value::Float(16.0)), Some(16));
+        assert_eq!(c.group_code_of(&Value::Float(16.5)), None);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let mut c = ColumnData::new(DataType::Int);
+        for v in [1, 2, 2, 3, 3, 3] {
+            c.push(&Value::Int(v));
+        }
+        c.push(&Value::Null);
+        assert_eq!(c.distinct_count(), 3);
+
+        let mut s = ColumnData::new(DataType::Str);
+        s.push(&Value::Str("a".into()));
+        s.push(&Value::Str("A".into()));
+        s.push(&Value::Str("b".into()));
+        assert_eq!(s.distinct_count(), 2);
+    }
+}

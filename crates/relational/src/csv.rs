@@ -1,0 +1,251 @@
+//! CSV loading with type inference.
+//!
+//! The paper's test data sets are "mostly stored in the .csv format"
+//! (Appendix B); this module is the ingestion path. It implements an
+//! RFC 4180-style parser by hand (quoted fields, embedded separators,
+//! escaped quotes, both `\n` and `\r\n` line ends) plus a two-pass loader:
+//! pass one infers the narrowest column type that fits every cell, pass two
+//! materializes the columns.
+
+use crate::error::{RelationalError, Result};
+use crate::schema::{ColumnMeta, TableSchema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Parse raw CSV text into rows of string fields.
+///
+/// Returns an error for structurally broken input (unterminated quotes).
+/// Rows are *not* required to be rectangular here; the loader pads or
+/// truncates to the header width, like common spreadsheet exports expect.
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any_char_on_row = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any_char_on_row = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any_char_on_row = true;
+            }
+            '\r' => {
+                // Swallow; the following '\n' (if any) ends the record.
+            }
+            '\n' => {
+                line += 1;
+                if any_char_on_row || !field.is_empty() || !row.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                any_char_on_row = false;
+            }
+            _ => {
+                field.push(c);
+                any_char_on_row = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationalError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any_char_on_row || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Infer the narrowest [`DataType`] that fits every cell of a column.
+///
+/// `Int` ⊂ `Float` ⊂ `Str`; NULL cells fit anything. An all-null column
+/// defaults to `Str` so it can still be used in equality predicates.
+fn infer_type<'a>(cells: impl Iterator<Item = &'a str>) -> DataType {
+    let mut ty: Option<DataType> = None;
+    for cell in cells {
+        let v = Value::parse_cell(cell);
+        let cell_ty = match v.kind() {
+            None => continue,
+            Some(t) => t,
+        };
+        ty = Some(match (ty, cell_ty) {
+            (None, t) => t,
+            (Some(DataType::Int), DataType::Int) => DataType::Int,
+            (Some(DataType::Int), DataType::Float) | (Some(DataType::Float), DataType::Int) => {
+                DataType::Float
+            }
+            (Some(DataType::Float), DataType::Float) => DataType::Float,
+            // Any string cell demotes the whole column to Str.
+            _ => DataType::Str,
+        });
+        if ty == Some(DataType::Str) {
+            break;
+        }
+    }
+    ty.unwrap_or(DataType::Str)
+}
+
+/// Load a CSV document (with header row) into a [`Table`].
+pub fn load_csv(table_name: &str, input: &str) -> Result<Table> {
+    let rows = parse_csv(input)?;
+    let mut iter = rows.into_iter();
+    let header = iter.next().ok_or(RelationalError::Csv {
+        line: 1,
+        message: "empty document".into(),
+    })?;
+    let width = header.len();
+    let data_rows: Vec<Vec<String>> = iter.collect();
+
+    let mut metas = Vec::with_capacity(width);
+    for (i, name) in header.iter().enumerate() {
+        let ty = infer_type(
+            data_rows
+                .iter()
+                .map(|r| r.get(i).map(String::as_str).unwrap_or("")),
+        );
+        let name = if name.trim().is_empty() {
+            format!("column{}", i + 1)
+        } else {
+            name.trim().to_string()
+        };
+        metas.push(ColumnMeta::new(name, ty));
+    }
+
+    let mut table = Table::new(TableSchema::new(table_name, metas));
+    let mut scratch: Vec<Value> = Vec::with_capacity(width);
+    for row in &data_rows {
+        scratch.clear();
+        for i in 0..width {
+            let raw = row.get(i).map(String::as_str).unwrap_or("");
+            scratch.push(Value::parse_cell(raw));
+        }
+        table.push_row(&scratch)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let rows = parse_csv("a,b,c\n1,2,3\n4,5,6\n").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["a", "b", "c"]);
+        assert_eq!(rows[2], vec!["4", "5", "6"]);
+    }
+
+    #[test]
+    fn parses_quoted_fields() {
+        let rows = parse_csv("name,cat\n\"rice, ray\",\"personal conduct\"\n").unwrap();
+        assert_eq!(rows[1][0], "rice, ray");
+        assert_eq!(rows[1][1], "personal conduct");
+    }
+
+    #[test]
+    fn parses_escaped_quotes_and_newlines() {
+        let rows = parse_csv("q\n\"he said \"\"hi\"\"\"\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(rows[1][0], "he said \"hi\"");
+        assert_eq!(rows[2][0], "line1\nline2");
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let rows = parse_csv("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = parse_csv("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, RelationalError::Csv { .. }));
+    }
+
+    #[test]
+    fn empty_fields_are_kept() {
+        let rows = parse_csv("a,b,c\n1,,3\n").unwrap();
+        assert_eq!(rows[1], vec!["1", "", "3"]);
+    }
+
+    #[test]
+    fn loads_table_with_inferred_types() {
+        let t = load_csv(
+            "nflsuspensions",
+            "name,games,year,fine\nrice,indef,2014,0\ngordon,16,2014,0.5\n",
+        )
+        .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column_by_name("games").unwrap().data_type(), DataType::Str);
+        assert_eq!(t.column_by_name("year").unwrap().data_type(), DataType::Int);
+        assert_eq!(t.column_by_name("fine").unwrap().data_type(), DataType::Float);
+    }
+
+    #[test]
+    fn numeric_column_with_blanks_stays_numeric() {
+        let t = load_csv("t", "x,y\n1,a\n,b\n3,c\n").unwrap();
+        assert_eq!(t.column(0).data_type(), DataType::Int);
+        assert!(t.column(0).is_null(1));
+        assert_eq!(t.get(2, 0), Value::Int(3));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let rows = parse_csv("a\n1\n\n3\n").unwrap();
+        assert_eq!(rows.len(), 3, "fully blank lines do not form records");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded_and_truncated() {
+        let t = load_csv("t", "a,b\n1\n2,3,4\n").unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get(0, 1), Value::Null);
+        assert_eq!(t.get(1, 1), Value::Int(3));
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert!(load_csv("t", "").is_err());
+    }
+
+    #[test]
+    fn blank_header_names_are_synthesized() {
+        let t = load_csv("t", ",b\n1,2\n").unwrap();
+        assert_eq!(t.schema.columns[0].name, "column1");
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_str() {
+        let t = load_csv("t", "a,b\n1,\n2,\n").unwrap();
+        assert_eq!(t.column_by_name("b").unwrap().data_type(), DataType::Str);
+    }
+}

@@ -1,0 +1,591 @@
+//! The `GROUP BY CUBE` operator with `InOrDefault` literal remapping (§6.2).
+//!
+//! One cube execution covers *many* candidate queries at once: every
+//! combination of equality predicates over the cube dimensions, including
+//! the combinations that leave some dimensions unrestricted. Literals with
+//! zero marginal probability are collapsed into a reserved `OTHER` bucket
+//! *before* grouping — the paper's `InOrDefault` rewrite — which keeps the
+//! result set proportional to the number of *relevant* literals rather than
+//! the column cardinality.
+//!
+//! Execution is a single scan building the finest-level groups, followed by
+//! a rollup into all `2^|dims|` dimension subsets. Rollups merge
+//! accumulators, so even `CountDistinct` stays exact.
+
+use crate::aggregate::Accumulator;
+use crate::database::{ColumnRef, Database};
+use crate::error::{RelationalError, Result};
+use crate::join::JoinedRelation;
+use crate::query::{AggColumn, AggFunction};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Maximum number of cube dimensions (packed 8 bits each into a `u64` key).
+pub const MAX_DIMS: usize = 8;
+/// Per-dimension code for "values not in the relevant set" (`InOrDefault`).
+const OTHER: u8 = 254;
+/// Per-dimension code for "dimension not grouped" (rolled up / unrestricted).
+const ALL: u8 = 255;
+
+/// Selects one dimension's slice of a cube result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimSel {
+    /// Dimension unrestricted (rolled up).
+    Any,
+    /// Dimension fixed to the literal with this index in the cube's
+    /// `relevant` list for that dimension.
+    Literal(usize),
+}
+
+/// A packed group key: one byte per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupKey(u64);
+
+impl GroupKey {
+    fn from_codes(codes: &[u8]) -> GroupKey {
+        debug_assert!(codes.len() <= MAX_DIMS);
+        let mut key = 0u64;
+        for (i, &c) in codes.iter().enumerate() {
+            key |= (c as u64) << (8 * i);
+        }
+        // Unused high bytes read as 0, which collides with literal index 0;
+        // fill them with ALL so keys are unambiguous for any dim count.
+        for i in codes.len()..MAX_DIMS {
+            key |= (ALL as u64) << (8 * i);
+        }
+        GroupKey(key)
+    }
+
+    /// Replace the code of dimension `dim` with ALL.
+    fn rolled_up(self, dim: usize) -> GroupKey {
+        GroupKey(self.0 | ((ALL as u64) << (8 * dim)))
+    }
+}
+
+/// A cube query: aggregates over all predicate combinations on `dims`.
+#[derive(Debug, Clone)]
+pub struct CubeQuery {
+    /// Cube dimensions (categorical or numeric columns used in predicates).
+    pub dims: Vec<ColumnRef>,
+    /// Relevant literals per dimension; everything else maps to `OTHER`.
+    pub relevant: Vec<Vec<Value>>,
+    /// Value aggregates to compute per group. Ratio aggregates are *not*
+    /// allowed here — derive them from `Count` results (see
+    /// [`crate::aggregate::ratio_from_counts`]).
+    pub aggregates: Vec<(AggFunction, AggColumn)>,
+}
+
+/// Execution statistics, used by the Table 6 experiment instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CubeStats {
+    pub rows_scanned: u64,
+    pub finest_groups: u64,
+    pub total_groups: u64,
+}
+
+/// The result of one cube execution: finished aggregate values for every
+/// (dimension subset × relevant-literal combination) group.
+#[derive(Debug, Clone)]
+pub struct CubeResult {
+    dims: Vec<ColumnRef>,
+    relevant: Vec<Vec<Value>>,
+    n_aggs: usize,
+    groups: HashMap<GroupKey, Vec<Option<f64>>>,
+    pub stats: CubeStats,
+}
+
+impl CubeQuery {
+    /// Validate structural limits and aggregate kinds.
+    pub fn validate(&self) -> Result<()> {
+        if self.dims.len() > MAX_DIMS {
+            return Err(RelationalError::InvalidQuery(format!(
+                "cube supports at most {MAX_DIMS} dimensions, got {}",
+                self.dims.len()
+            )));
+        }
+        if self.relevant.len() != self.dims.len() {
+            return Err(RelationalError::InvalidQuery(
+                "one relevant-literal list per dimension required".into(),
+            ));
+        }
+        for lits in &self.relevant {
+            if lits.len() >= OTHER as usize {
+                return Err(RelationalError::InvalidQuery(format!(
+                    "at most {} relevant literals per dimension",
+                    OTHER - 1
+                )));
+            }
+        }
+        for (f, _) in &self.aggregates {
+            if f.is_ratio() {
+                return Err(RelationalError::InvalidQuery(
+                    "ratio aggregates must be derived from Count cube results".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Tables referenced by dimensions and aggregation columns.
+    pub fn tables_referenced(&self) -> Vec<usize> {
+        let mut tables: Vec<usize> = self.dims.iter().map(|d| d.table).collect();
+        for (_, col) in &self.aggregates {
+            if let AggColumn::Column(c) = col {
+                tables.push(c.table);
+            }
+        }
+        tables.sort_unstable();
+        tables.dedup();
+        if tables.is_empty() {
+            tables.push(0);
+        }
+        tables
+    }
+
+    /// Execute the cube against the database.
+    pub fn execute(&self, db: &Database) -> Result<CubeResult> {
+        let relation = JoinedRelation::for_tables(db, &self.tables_referenced())?;
+        self.execute_on(db, &relation)
+    }
+
+    /// Execute against a pre-materialized join.
+    pub fn execute_on(&self, db: &Database, relation: &JoinedRelation) -> Result<CubeResult> {
+        self.validate()?;
+        let d = self.dims.len();
+
+        // Per dimension: resolver + column + map from group code → literal index.
+        struct DimCtx<'a> {
+            resolver: crate::join::RowResolver<'a>,
+            col: &'a crate::column::ColumnData,
+            literal_codes: HashMap<u64, u8>,
+        }
+        let mut dim_ctx = Vec::with_capacity(d);
+        for (dim, lits) in self.dims.iter().zip(&self.relevant) {
+            let col = db.column(*dim);
+            let mut literal_codes = HashMap::with_capacity(lits.len());
+            for (i, lit) in lits.iter().enumerate() {
+                if let Some(code) = col.group_code_of(lit) {
+                    literal_codes.insert(code, i as u8);
+                }
+                // Literals absent from the column simply never match a row;
+                // lookups for them return empty-group aggregates.
+            }
+            dim_ctx.push(DimCtx {
+                resolver: relation.resolver(*dim),
+                col,
+                literal_codes,
+            });
+        }
+
+        // Aggregation columns: resolver + column (None for `*`).
+        let agg_ctx: Vec<Option<(crate::join::RowResolver<'_>, &crate::column::ColumnData)>> =
+            self.aggregates
+                .iter()
+                .map(|(_, col)| {
+                    col.as_column()
+                        .map(|c| (relation.resolver(c), db.column(c)))
+                })
+                .collect();
+
+        // Pass 1: finest-level groups.
+        let mut finest: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+        let mut codes = vec![0u8; d];
+        for row in 0..relation.len() {
+            for (i, ctx) in dim_ctx.iter().enumerate() {
+                let base = ctx.resolver.base_row(row);
+                codes[i] = ctx
+                    .col
+                    .group_code(base)
+                    .and_then(|gc| ctx.literal_codes.get(&gc).copied())
+                    .unwrap_or(OTHER);
+            }
+            let key = GroupKey::from_codes(&codes);
+            let accs = finest.entry(key).or_insert_with(|| {
+                self.aggregates
+                    .iter()
+                    .map(|(f, _)| Accumulator::new(*f))
+                    .collect()
+            });
+            for (acc, ctx) in accs.iter_mut().zip(&agg_ctx) {
+                match ctx {
+                    None => acc.update(None, None, true),
+                    Some((res, col)) => {
+                        let base = res.base_row(row);
+                        acc.update(col.get_f64(base), col.group_code(base), !col.is_null(base));
+                    }
+                }
+            }
+        }
+
+        let finest_groups = finest.len() as u64;
+
+        // Pass 2: roll up into every dimension subset. Keys from different
+        // subsets cannot collide because rolled-up dimensions read ALL.
+        let mut all_groups: HashMap<GroupKey, Vec<Accumulator>> = finest;
+        if d > 0 {
+            let finest_keys: Vec<GroupKey> = all_groups.keys().copied().collect();
+            for mask in 0..(1u32 << d) - 1 {
+                // `mask` bit i set ⇒ dimension i is grouped (kept).
+                for &fk in &finest_keys {
+                    let mut key = fk;
+                    for i in 0..d {
+                        if mask & (1 << i) == 0 {
+                            key = key.rolled_up(i);
+                        }
+                    }
+                    if key == fk {
+                        continue;
+                    }
+                    let src = all_groups
+                        .get(&fk)
+                        .expect("finest key present")
+                        .clone();
+                    match all_groups.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (a, b) in e.get_mut().iter_mut().zip(&src) {
+                                a.merge(b);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(src);
+                        }
+                    }
+                }
+            }
+        }
+
+        let stats = CubeStats {
+            rows_scanned: relation.len() as u64,
+            finest_groups,
+            total_groups: all_groups.len() as u64,
+        };
+        let groups = all_groups
+            .into_iter()
+            .map(|(k, accs)| (k, accs.iter().map(Accumulator::finish).collect()))
+            .collect();
+        Ok(CubeResult {
+            dims: self.dims.clone(),
+            relevant: self.relevant.clone(),
+            n_aggs: self.aggregates.len(),
+            groups,
+            stats,
+        })
+    }
+}
+
+impl CubeResult {
+    pub fn dims(&self) -> &[ColumnRef] {
+        &self.dims
+    }
+
+    pub fn relevant(&self) -> &[Vec<Value>] {
+        &self.relevant
+    }
+
+    pub fn aggregate_count(&self) -> usize {
+        self.n_aggs
+    }
+
+    /// The literal index of `value` in dimension `dim`'s relevant list.
+    pub fn literal_index(&self, dim: usize, value: &Value) -> Option<usize> {
+        self.relevant[dim].iter().position(|v| v == value)
+    }
+
+    /// Look up the aggregate `agg_idx` for the group selected by
+    /// `assignment` (one selector per dimension).
+    ///
+    /// Returns `None` when the group is empty (no row matched) **and** the
+    /// aggregate is NULL-on-empty; for `Count`-like aggregates an absent
+    /// group reads as `Some(0.0)` only via [`CubeResult::get_count`].
+    pub fn get(&self, assignment: &[DimSel], agg_idx: usize) -> Option<f64> {
+        let key = self.assignment_key(assignment)?;
+        self.groups.get(&key).and_then(|vals| vals[agg_idx])
+    }
+
+    /// Like [`CubeResult::get`] for count aggregates: an absent group means
+    /// zero matching rows, so the count is 0.
+    pub fn get_count(&self, assignment: &[DimSel], agg_idx: usize) -> f64 {
+        match self.assignment_key(assignment) {
+            Some(key) => self
+                .groups
+                .get(&key)
+                .and_then(|vals| vals[agg_idx])
+                .unwrap_or(0.0),
+            None => 0.0,
+        }
+    }
+
+    fn assignment_key(&self, assignment: &[DimSel]) -> Option<GroupKey> {
+        debug_assert_eq!(assignment.len(), self.dims.len());
+        let mut codes = Vec::with_capacity(assignment.len());
+        for (i, sel) in assignment.iter().enumerate() {
+            match sel {
+                DimSel::Any => codes.push(ALL),
+                DimSel::Literal(idx) => {
+                    if *idx >= self.relevant[i].len() {
+                        return None;
+                    }
+                    codes.push(*idx as u8);
+                }
+            }
+        }
+        Some(GroupKey::from_codes(&codes))
+    }
+
+    /// Total number of materialized groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_query;
+    use crate::query::{Predicate, SimpleAggregateQuery};
+    use crate::table::Table;
+
+    /// Figure 2's data set, as in the exec tests.
+    fn nfl() -> Database {
+        let t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "games",
+                    vec![
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "10".into(),
+                        "4".into(),
+                    ],
+                ),
+                (
+                    "category",
+                    vec![
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "gambling".into(),
+                        "peds".into(),
+                        "personal conduct".into(),
+                    ],
+                ),
+                (
+                    "year",
+                    vec![
+                        Value::Int(1989),
+                        Value::Int(1995),
+                        Value::Int(2014),
+                        Value::Int(1983),
+                        Value::Int(2014),
+                        Value::Int(2014),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    fn nfl_cube(db: &Database) -> CubeResult {
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let cat = db.resolve("nflsuspensions", "category").unwrap();
+        let year = db.resolve("nflsuspensions", "year").unwrap();
+        CubeQuery {
+            dims: vec![games, cat],
+            relevant: vec![
+                vec!["indef".into()],
+                vec![
+                    "gambling".into(),
+                    "substance abuse, repeated offense".into(),
+                ],
+            ],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                (AggFunction::Sum, AggColumn::Column(year)),
+                (AggFunction::Avg, AggColumn::Column(year)),
+            ],
+        }
+        .execute(db)
+        .unwrap()
+    }
+
+    #[test]
+    fn cube_reproduces_paper_counts() {
+        let db = nfl();
+        let r = nfl_cube(&db);
+        // Four lifetime bans (games = indef, any category).
+        assert_eq!(r.get_count(&[DimSel::Literal(0), DimSel::Any], 0), 4.0);
+        // Three for repeated substance abuse.
+        assert_eq!(
+            r.get_count(&[DimSel::Literal(0), DimSel::Literal(1)], 0),
+            3.0
+        );
+        // One for gambling.
+        assert_eq!(
+            r.get_count(&[DimSel::Literal(0), DimSel::Literal(0)], 0),
+            1.0
+        );
+        // Grand total.
+        assert_eq!(r.get_count(&[DimSel::Any, DimSel::Any], 0), 6.0);
+    }
+
+    #[test]
+    fn cube_matches_naive_executor_on_every_combination() {
+        let db = nfl();
+        let r = nfl_cube(&db);
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let cat = db.resolve("nflsuspensions", "category").unwrap();
+        let year = db.resolve("nflsuspensions", "year").unwrap();
+        let game_lits = [Some("indef"), None];
+        let cat_lits = [
+            Some("gambling"),
+            Some("substance abuse, repeated offense"),
+            None,
+        ];
+        for (gi, g) in game_lits.iter().enumerate() {
+            for (ci, c) in cat_lits.iter().enumerate() {
+                let mut preds = Vec::new();
+                let mut assignment = Vec::new();
+                match g {
+                    Some(lit) => {
+                        preds.push(Predicate::new(games, *lit));
+                        assignment.push(DimSel::Literal(gi));
+                    }
+                    None => assignment.push(DimSel::Any),
+                }
+                match c {
+                    Some(lit) => {
+                        preds.push(Predicate::new(cat, *lit));
+                        assignment.push(DimSel::Literal(ci));
+                    }
+                    None => assignment.push(DimSel::Any),
+                }
+                for (agg_idx, (f, col)) in [
+                    (AggFunction::Count, AggColumn::Star),
+                    (AggFunction::Sum, AggColumn::Column(year)),
+                    (AggFunction::Avg, AggColumn::Column(year)),
+                ]
+                .iter()
+                .enumerate()
+                {
+                    let q = SimpleAggregateQuery::new(*f, *col, preds.clone());
+                    let naive = execute_query(&db, &q).unwrap();
+                    if *f == AggFunction::Count {
+                        assert_eq!(
+                            Some(r.get_count(&assignment, agg_idx)),
+                            naive,
+                            "{}",
+                            q.to_sql(&db)
+                        );
+                    } else {
+                        assert_eq!(r.get(&assignment, agg_idx), naive, "{}", q.to_sql(&db));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_distinct_survives_rollup() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let year = db.resolve("nflsuspensions", "year").unwrap();
+        let r = CubeQuery {
+            dims: vec![games],
+            relevant: vec![vec!["indef".into()]],
+            aggregates: vec![(AggFunction::CountDistinct, AggColumn::Column(year))],
+        }
+        .execute(&db)
+        .unwrap();
+        // indef years: 1989, 1995, 2014, 1983 → 4 distinct.
+        assert_eq!(r.get(&[DimSel::Literal(0)], 0), Some(4.0));
+        // All years: 1989, 1995, 2014, 1983, 2014, 2014 → 4 distinct, not 6:
+        // the rollup must merge distinct sets, not add counts.
+        assert_eq!(r.get(&[DimSel::Any], 0), Some(4.0));
+    }
+
+    #[test]
+    fn irrelevant_literals_collapse_to_other() {
+        let db = nfl();
+        let r = nfl_cube(&db);
+        // Finest level: games ∈ {indef, OTHER} × category ∈ {gambling,
+        // substance, OTHER} — at most 6 finest groups even if the raw
+        // columns had thousands of values.
+        assert!(r.stats.finest_groups <= 6, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn missing_literal_reads_as_empty_group() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let r = CubeQuery {
+            dims: vec![games],
+            relevant: vec![vec!["indef".into(), "not-in-data".into()]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        }
+        .execute(&db)
+        .unwrap();
+        assert_eq!(r.get_count(&[DimSel::Literal(1)], 0), 0.0);
+        assert_eq!(r.get(&[DimSel::Literal(1)], 0), None);
+        // Out-of-range literal index is not a panic either.
+        assert_eq!(r.get_count(&[DimSel::Literal(9)], 0), 0.0);
+    }
+
+    #[test]
+    fn zero_dimension_cube_is_global_aggregate() {
+        let db = nfl();
+        let year = db.resolve("nflsuspensions", "year").unwrap();
+        let r = CubeQuery {
+            dims: vec![],
+            relevant: vec![],
+            aggregates: vec![(AggFunction::Max, AggColumn::Column(year))],
+        }
+        .execute(&db)
+        .unwrap();
+        assert_eq!(r.get(&[], 0), Some(2014.0));
+        assert_eq!(r.group_count(), 1);
+    }
+
+    #[test]
+    fn ratio_aggregates_rejected() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let q = CubeQuery {
+            dims: vec![games],
+            relevant: vec![vec!["indef".into()]],
+            aggregates: vec![(AggFunction::Percentage, AggColumn::Star)],
+        };
+        assert!(q.execute(&db).is_err());
+    }
+
+    #[test]
+    fn too_many_dimensions_rejected() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let q = CubeQuery {
+            dims: vec![games; 9],
+            relevant: vec![vec![]; 9],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        assert!(q.execute(&db).is_err());
+    }
+
+    #[test]
+    fn numeric_dimension_grouping() {
+        let db = nfl();
+        let year = db.resolve("nflsuspensions", "year").unwrap();
+        let r = CubeQuery {
+            dims: vec![year],
+            relevant: vec![vec![Value::Int(2014)]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        }
+        .execute(&db)
+        .unwrap();
+        assert_eq!(r.get_count(&[DimSel::Literal(0)], 0), 3.0);
+    }
+}

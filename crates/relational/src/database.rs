@@ -1,0 +1,287 @@
+//! A database: a set of tables connected by PK-FK constraints.
+
+use crate::column::ColumnData;
+use crate::error::{RelationalError, Result};
+use crate::schema::ForeignKey;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// A fully qualified reference to a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    pub table: usize,
+    pub column: usize,
+}
+
+impl ColumnRef {
+    pub fn new(table: usize, column: usize) -> Self {
+        Self { table, column }
+    }
+}
+
+/// A named collection of tables plus the foreign keys connecting them.
+///
+/// The paper assumes an **acyclic** schema (§6.3); [`Database::validate`]
+/// enforces this so join-path discovery is unambiguous.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    pub name: String,
+    tables: Vec<Table>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tables: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a table, returning its index.
+    pub fn add_table(&mut self, table: Table) -> usize {
+        self.tables.push(table);
+        self.tables.len() - 1
+    }
+
+    /// Declare a foreign key from `(from_table, from_column)` to the primary
+    /// key `(to_table, to_column)`.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<()> {
+        let check = |t: usize, c: usize| -> Result<()> {
+            let table = self
+                .tables
+                .get(t)
+                .ok_or_else(|| RelationalError::InvalidSchema(format!("no table #{t}")))?;
+            if c >= table.column_count() {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "table {} has no column #{c}",
+                    table.name()
+                )));
+            }
+            Ok(())
+        };
+        check(fk.from_table, fk.from_column)?;
+        check(fk.to_table, fk.to_column)?;
+        self.foreign_keys.push(fk);
+        Ok(())
+    }
+
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    pub fn table(&self, idx: usize) -> &Table {
+        &self.tables[idx]
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Index of the table with the given name (case-insensitive).
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables
+            .iter()
+            .position(|t| t.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve `table.column` names to a [`ColumnRef`].
+    pub fn resolve(&self, table: &str, column: &str) -> Result<ColumnRef> {
+        let t = self
+            .table_index(table)
+            .ok_or_else(|| RelationalError::UnknownTable(table.to_string()))?;
+        let c = self.tables[t]
+            .schema
+            .column_index(column)
+            .ok_or_else(|| RelationalError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        Ok(ColumnRef::new(t, c))
+    }
+
+    /// The physical column behind a [`ColumnRef`].
+    pub fn column(&self, col: ColumnRef) -> &ColumnData {
+        self.tables[col.table].column(col.column)
+    }
+
+    /// `table.column` display name of a reference.
+    pub fn column_name(&self, col: ColumnRef) -> String {
+        let t = &self.tables[col.table];
+        format!("{}.{}", t.name(), t.schema.columns[col.column].name)
+    }
+
+    /// Short (unqualified) column name.
+    pub fn short_column_name(&self, col: ColumnRef) -> &str {
+        &self.tables[col.table].schema.columns[col.column].name
+    }
+
+    /// All numeric columns of all tables — the candidate aggregation columns
+    /// of §4.2.
+    pub fn numeric_columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for ci in t.numeric_columns() {
+                out.push(ColumnRef::new(ti, ci));
+            }
+        }
+        out
+    }
+
+    /// All string (categorical) columns of all tables — the candidate
+    /// predicate columns.
+    pub fn string_columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for ci in 0..t.column_count() {
+                if !t.column(ci).is_numeric() {
+                    out.push(ColumnRef::new(ti, ci));
+                }
+            }
+        }
+        out
+    }
+
+    /// All columns of all tables.
+    pub fn all_columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for ci in 0..t.column_count() {
+                out.push(ColumnRef::new(ti, ci));
+            }
+        }
+        out
+    }
+
+    /// Total row count across tables (used by the cost model).
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::row_count).sum()
+    }
+
+    /// Check schema invariants: the FK graph must be acyclic when viewed as
+    /// an undirected graph (tree/forest), which the join-path logic assumes.
+    pub fn validate(&self) -> Result<()> {
+        // Union-find over tables; an FK whose endpoints are already connected
+        // introduces a cycle.
+        let mut parent: Vec<usize> = (0..self.tables.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for fk in &self.foreign_keys {
+            let a = find(&mut parent, fk.from_table);
+            let b = find(&mut parent, fk.to_table);
+            if a == b {
+                return Err(RelationalError::InvalidSchema(
+                    "foreign keys form a cycle; the engine requires an acyclic schema".into(),
+                ));
+            }
+            parent[a] = b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn two_table_db() -> Database {
+        let players = Table::from_columns(
+            "players",
+            vec![
+                ("player_id", vec![Value::Int(1), Value::Int(2)]),
+                ("team", vec!["ravens".into(), "browns".into()]),
+            ],
+        )
+        .unwrap();
+        let suspensions = Table::from_columns(
+            "suspensions",
+            vec![
+                ("player_id", vec![Value::Int(1), Value::Int(1), Value::Int(2)]),
+                (
+                    "category",
+                    vec!["gambling".into(), "peds".into(), "peds".into()],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        let p = db.add_table(players);
+        let s = db.add_table(suspensions);
+        db.add_foreign_key(ForeignKey {
+            from_table: s,
+            from_column: 0,
+            to_table: p,
+            to_column: 0,
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn resolve_names() {
+        let db = two_table_db();
+        let c = db.resolve("suspensions", "category").unwrap();
+        assert_eq!(db.column_name(c), "suspensions.category");
+        assert!(db.resolve("nope", "category").is_err());
+        assert!(db.resolve("players", "nope").is_err());
+    }
+
+    #[test]
+    fn column_classification() {
+        let db = two_table_db();
+        let numeric = db.numeric_columns();
+        let strings = db.string_columns();
+        assert_eq!(numeric.len(), 2); // both player_id columns
+        assert_eq!(strings.len(), 2); // team, category
+        assert_eq!(db.all_columns().len(), 4);
+    }
+
+    #[test]
+    fn validate_accepts_tree_schemas() {
+        let db = two_table_db();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_cycles() {
+        let mut db = two_table_db();
+        // A second FK between the same pair of tables closes a cycle.
+        db.add_foreign_key(ForeignKey {
+            from_table: 1,
+            from_column: 0,
+            to_table: 0,
+            to_column: 0,
+        })
+        .unwrap();
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn foreign_key_bounds_checked() {
+        let mut db = two_table_db();
+        let err = db.add_foreign_key(ForeignKey {
+            from_table: 9,
+            from_column: 0,
+            to_table: 0,
+            to_column: 0,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn total_rows_sums_tables() {
+        let db = two_table_db();
+        assert_eq!(db.total_rows(), 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Data-dictionary parsing.
+//!
+//! §4.2 of the paper: *"the AggChecker also offers a parser for common data
+//! dictionary formats. A data dictionary associates database columns with
+//! additional explanations. If a data dictionary is provided, we add for each
+//! column the data dictionary description to its associated keywords."*
+//!
+//! Two common formats are supported:
+//!
+//! 1. **Delimited lines** — `column: description` or `column - description`
+//!    or `column<TAB>description`, one entry per line.
+//! 2. **Two-column CSV** — header optional; first column is the column name,
+//!    second the description.
+
+use crate::csv::parse_csv;
+use crate::table::Table;
+
+/// One dictionary entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictEntry {
+    pub column: String,
+    pub description: String,
+}
+
+/// Parse a data dictionary document into entries. Unrecognized lines are
+/// skipped; the format is auto-detected per line, so mixed files work.
+pub fn parse_data_dictionary(input: &str) -> Vec<DictEntry> {
+    // Try CSV first when the document parses into ≥2 columns throughout.
+    if let Ok(rows) = parse_csv(input) {
+        let csv_like = rows.len() > 1 && rows.iter().all(|r| r.len() >= 2);
+        if csv_like {
+            let mut entries: Vec<DictEntry> = rows
+                .iter()
+                .map(|r| DictEntry {
+                    column: r[0].trim().to_string(),
+                    description: r[1..].join(", ").trim().to_string(),
+                })
+                .filter(|e| !e.column.is_empty() && !e.description.is_empty())
+                .collect();
+            // Drop a header row like "column,description".
+            if let Some(first) = entries.first() {
+                let lc = first.column.to_ascii_lowercase();
+                let ld = first.description.to_ascii_lowercase();
+                if (lc.contains("column") || lc.contains("field") || lc.contains("variable"))
+                    && (ld.contains("desc") || ld.contains("meaning") || ld.contains("explanation"))
+                {
+                    entries.remove(0);
+                }
+            }
+            if !entries.is_empty() {
+                return entries;
+            }
+        }
+    }
+    // Fallback: line-delimited `name: description` / `name - description`.
+    let mut entries = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let split = line
+            .split_once(':')
+            .or_else(|| line.split_once('\t'))
+            .or_else(|| line.split_once(" - "));
+        if let Some((name, desc)) = split {
+            let name = name.trim();
+            let desc = desc.trim();
+            if !name.is_empty() && !desc.is_empty() && name.split_whitespace().count() <= 4 {
+                entries.push(DictEntry {
+                    column: name.to_string(),
+                    description: desc.to_string(),
+                });
+            }
+        }
+    }
+    entries
+}
+
+/// Attach dictionary descriptions to the matching columns of a table
+/// (case-insensitive name match). Returns how many entries were applied.
+pub fn apply_data_dictionary(table: &mut Table, entries: &[DictEntry]) -> usize {
+    let mut applied = 0;
+    for entry in entries {
+        if let Some(idx) = table.schema.column_index(&entry.column) {
+            table.schema.columns[idx].description = Some(entry.description.clone());
+            applied += 1;
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_colon_lines() {
+        let entries = parse_data_dictionary(
+            "games: number of games suspended, 'indef' for lifetime bans\n\
+             category: reason for the suspension\n",
+        );
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].column, "games");
+        assert!(entries[0].description.contains("lifetime"));
+    }
+
+    #[test]
+    fn parses_csv_dictionary_with_header() {
+        let entries =
+            parse_data_dictionary("column,description\ngames,games suspended\ncategory,reason\n");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].column, "category");
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let entries = parse_data_dictionary("# data dictionary\n\ngames: games suspended\n");
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn applies_to_table() {
+        let mut t = Table::from_columns(
+            "t",
+            vec![
+                ("games", vec![Value::Str("indef".into())]),
+                ("other", vec![Value::Int(0)]),
+            ],
+        )
+        .unwrap();
+        let entries = parse_data_dictionary("GAMES: number of games suspended\nmissing: x\n");
+        let applied = apply_data_dictionary(&mut t, &entries);
+        assert_eq!(applied, 1);
+        assert!(t.schema.columns[0]
+            .description
+            .as_deref()
+            .unwrap()
+            .contains("suspended"));
+        assert!(t.schema.columns[1].description.is_none());
+    }
+
+    #[test]
+    fn dash_separated_lines() {
+        let entries = parse_data_dictionary("salary - annual salary in USD\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].column, "salary");
+    }
+}

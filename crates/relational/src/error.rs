@@ -1,0 +1,77 @@
+//! Error type shared across the relational engine.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A table name was not found in the database.
+    UnknownTable(String),
+    /// A column name was not found in the referenced table.
+    UnknownColumn { table: String, column: String },
+    /// A CSV document could not be parsed.
+    Csv { line: usize, message: String },
+    /// The requested tables cannot be connected via PK-FK join paths.
+    NoJoinPath { from: String, to: String },
+    /// A query referenced a column with an incompatible type
+    /// (e.g. `Sum` over a string column).
+    TypeMismatch { column: String, expected: &'static str },
+    /// A query was structurally invalid (e.g. duplicate predicate columns).
+    InvalidQuery(String),
+    /// The schema is invalid (e.g. cyclic foreign keys or bad references).
+    InvalidSchema(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            Self::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            Self::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Self::NoJoinPath { from, to } => {
+                write!(f, "no PK-FK join path between {from} and {to}")
+            }
+            Self::TypeMismatch { column, expected } => {
+                write!(f, "column {column} is not usable here (expected {expected})")
+            }
+            Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Self::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationalError::UnknownTable("nflsuspensions".into());
+        assert!(e.to_string().contains("nflsuspensions"));
+
+        let e = RelationalError::UnknownColumn {
+            table: "t".into(),
+            column: "games".into(),
+        };
+        assert!(e.to_string().contains("t.games"));
+
+        let e = RelationalError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&RelationalError::InvalidQuery("x".into()));
+    }
+}

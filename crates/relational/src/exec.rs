@@ -1,0 +1,319 @@
+//! Naive single-query execution.
+//!
+//! This is the baseline evaluation strategy of Table 6 in the paper: every
+//! candidate query is executed separately, with no merging and no caching.
+//! One scan over the (joined) relation per query.
+
+use crate::aggregate::{ratio_from_counts, Accumulator};
+use crate::database::Database;
+use crate::error::Result;
+use crate::join::JoinedRelation;
+use crate::query::{AggFunction, SimpleAggregateQuery};
+
+/// Execute one simple aggregate query. Returns `None` when the aggregate is
+/// NULL under SQL semantics (e.g. `Avg` over an empty selection) or when a
+/// ratio aggregate's denominator is zero.
+pub fn execute_query(db: &Database, query: &SimpleAggregateQuery) -> Result<Option<f64>> {
+    query.validate(db)?;
+    let relation = JoinedRelation::for_tables(db, &query.tables_referenced())?;
+    execute_on(db, &relation, query)
+}
+
+/// Execute a query against a pre-materialized relation (lets callers reuse
+/// one join across many queries over the same table set).
+pub fn execute_on(
+    db: &Database,
+    relation: &JoinedRelation,
+    query: &SimpleAggregateQuery,
+) -> Result<Option<f64>> {
+    // Pre-resolve predicate columns to (resolver, column data, target code).
+    // A predicate whose literal does not occur in the column matches no rows.
+    let mut predicates = Vec::with_capacity(query.predicates.len());
+    let mut impossible = Vec::new();
+    for (i, p) in query.predicates.iter().enumerate() {
+        let col = db.column(p.column);
+        match col.group_code_of(&p.value) {
+            Some(code) => predicates.push((relation.resolver(p.column), col, code)),
+            None => impossible.push(i),
+        }
+    }
+
+    let agg_col = query.column.as_column().map(|c| (relation.resolver(c), db.column(c)));
+
+    if query.function.is_ratio() {
+        return execute_ratio(query, relation, &predicates, &impossible, &agg_col);
+    }
+
+    if !impossible.is_empty() {
+        // Some predicate can never match: empty selection.
+        return Ok(Accumulator::new(query.function).finish());
+    }
+
+    let mut acc = Accumulator::new(query.function);
+    for row in 0..relation.len() {
+        if !predicates
+            .iter()
+            .all(|(res, col, code)| col.group_code(res.base_row(row)) == Some(*code))
+        {
+            continue;
+        }
+        fold_row(&mut acc, row, &agg_col);
+    }
+    Ok(acc.finish())
+}
+
+/// Ratio aggregates (`Percentage`, `ConditionalProbability`) need counts of
+/// up to three row subsets; one scan computes them all.
+fn execute_ratio(
+    query: &SimpleAggregateQuery,
+    relation: &JoinedRelation,
+    predicates: &[(crate::join::RowResolver<'_>, &crate::column::ColumnData, u64)],
+    impossible: &[usize],
+    agg_col: &Option<(crate::join::RowResolver<'_>, &crate::column::ColumnData)>,
+) -> Result<Option<f64>> {
+    // The first *declared* predicate is the condition. If it is impossible,
+    // the denominator for conditional probability is zero.
+    let first_impossible = impossible.contains(&0);
+    let any_impossible = !impossible.is_empty();
+
+    let mut full = 0u64; // all predicates hold
+    let mut first_only = 0u64; // first predicate holds
+    let mut base = 0u64; // no predicate applied
+    for row in 0..relation.len() {
+        let non_null = match agg_col {
+            None => true,
+            Some((res, col)) => !col.is_null(res.base_row(row)),
+        };
+        if !non_null {
+            continue;
+        }
+        base += 1;
+        if first_impossible {
+            continue;
+        }
+        let mut all = !any_impossible;
+        for (i, (res, col, code)) in predicates.iter().enumerate() {
+            let hit = col.group_code(res.base_row(row)) == Some(*code);
+            // `predicates` skips impossible ones, so position 0 here is the
+            // first *possible* predicate; only treat it as the condition when
+            // predicate 0 was possible.
+            if i == 0 && !impossible.contains(&0) && hit {
+                first_only += 1;
+            }
+            if !hit {
+                all = false;
+            }
+        }
+        if all {
+            full += 1;
+        }
+    }
+    match query.function {
+        AggFunction::Percentage => Ok(ratio_from_counts(full as f64, base as f64)),
+        AggFunction::ConditionalProbability => {
+            Ok(ratio_from_counts(full as f64, first_only as f64))
+        }
+        _ => unreachable!("execute_ratio called for non-ratio function"),
+    }
+}
+
+#[inline]
+fn fold_row(
+    acc: &mut Accumulator,
+    row: usize,
+    agg_col: &Option<(crate::join::RowResolver<'_>, &crate::column::ColumnData)>,
+) {
+    match agg_col {
+        None => acc.update(None, None, true), // COUNT(*)
+        Some((res, col)) => {
+            let base = res.base_row(row);
+            acc.update(col.get_f64(base), col.group_code(base), !col.is_null(base));
+        }
+    }
+}
+
+/// Convenience: execute a batch of queries naively, one scan each.
+/// Used by the Table 6 baseline.
+pub fn execute_all_naive(
+    db: &Database,
+    queries: &[SimpleAggregateQuery],
+) -> Result<Vec<Option<f64>>> {
+    queries.iter().map(|q| execute_query(db, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggColumn, Predicate};
+    use crate::table::Table;
+    use crate::value::Value;
+
+    /// The NFL suspensions miniature from Figure 2 of the paper.
+    fn nfl() -> Database {
+        let t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "games",
+                    vec![
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "10".into(),
+                        "4".into(),
+                    ],
+                ),
+                (
+                    "category",
+                    vec![
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "gambling".into(),
+                        "peds".into(),
+                        "personal conduct".into(),
+                    ],
+                ),
+                (
+                    "year",
+                    vec![
+                        Value::Int(1989),
+                        Value::Int(1995),
+                        Value::Int(2014),
+                        Value::Int(1983),
+                        Value::Int(2014),
+                        Value::Int(2014),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    fn col(db: &Database, name: &str) -> crate::database::ColumnRef {
+        db.resolve("nflsuspensions", name).unwrap()
+    }
+
+    #[test]
+    fn paper_example_queries() {
+        let db = nfl();
+        // "There were only four previous lifetime bans"
+        let q = SimpleAggregateQuery::count_star(vec![Predicate::new(col(&db, "games"), "indef")]);
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(4.0));
+        // "three were for repeated substance abuse"
+        let q = SimpleAggregateQuery::count_star(vec![
+            Predicate::new(col(&db, "games"), "indef"),
+            Predicate::new(col(&db, "category"), "substance abuse, repeated offense"),
+        ]);
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(3.0));
+        // "one was for gambling"
+        let q = SimpleAggregateQuery::count_star(vec![
+            Predicate::new(col(&db, "games"), "indef"),
+            Predicate::new(col(&db, "category"), "gambling"),
+        ]);
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(1.0));
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let db = nfl();
+        let year = AggColumn::Column(col(&db, "year"));
+        let runs = [
+            (AggFunction::Min, 1983.0),
+            (AggFunction::Max, 2014.0),
+            (AggFunction::Sum, 12_009.0),
+            (AggFunction::Avg, 12_009.0 / 6.0),
+            (AggFunction::Count, 6.0),
+            (AggFunction::CountDistinct, 4.0),
+        ];
+        for (f, expected) in runs {
+            let q = SimpleAggregateQuery::new(f, year, vec![]);
+            assert_eq!(execute_query(&db, &q).unwrap(), Some(expected), "{f}");
+        }
+    }
+
+    #[test]
+    fn predicate_with_unknown_literal_selects_nothing() {
+        let db = nfl();
+        let q = SimpleAggregateQuery::count_star(vec![Predicate::new(
+            col(&db, "games"),
+            "never-occurs",
+        )]);
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(0.0));
+        let q = SimpleAggregateQuery::new(
+            AggFunction::Avg,
+            AggColumn::Column(col(&db, "year")),
+            vec![Predicate::new(col(&db, "games"), "never-occurs")],
+        );
+        assert_eq!(execute_query(&db, &q).unwrap(), None);
+    }
+
+    #[test]
+    fn percentage_counts_share_of_rows() {
+        let db = nfl();
+        let q = SimpleAggregateQuery::new(
+            AggFunction::Percentage,
+            AggColumn::Star,
+            vec![Predicate::new(col(&db, "games"), "indef")],
+        );
+        // 4 of 6 rows: 66.67%
+        let v = execute_query(&db, &q).unwrap().unwrap();
+        assert!((v - 66.666).abs() < 0.01, "{v}");
+    }
+
+    #[test]
+    fn conditional_probability_uses_first_predicate_as_condition() {
+        let db = nfl();
+        let q = SimpleAggregateQuery::new(
+            AggFunction::ConditionalProbability,
+            AggColumn::Star,
+            vec![
+                Predicate::new(col(&db, "games"), "indef"),
+                Predicate::new(col(&db, "category"), "gambling"),
+            ],
+        );
+        // Among the 4 indef rows, 1 is gambling: 25%.
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(25.0));
+    }
+
+    #[test]
+    fn count_of_column_skips_nulls() {
+        let t = Table::from_columns(
+            "t",
+            vec![("x", vec![Value::Int(1), Value::Null, Value::Int(3)])],
+        )
+        .unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t);
+        let x = db.resolve("t", "x").unwrap();
+        let q = SimpleAggregateQuery::new(AggFunction::Count, AggColumn::Column(x), vec![]);
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(2.0));
+        let q = SimpleAggregateQuery::count_star(vec![]);
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(3.0));
+    }
+
+    #[test]
+    fn predicate_on_numeric_column_works() {
+        let db = nfl();
+        let q = SimpleAggregateQuery::count_star(vec![Predicate::new(
+            col(&db, "year"),
+            Value::Int(2014),
+        )]);
+        assert_eq!(execute_query(&db, &q).unwrap(), Some(3.0));
+    }
+
+    #[test]
+    fn batch_execution() {
+        let db = nfl();
+        let qs = vec![
+            SimpleAggregateQuery::count_star(vec![]),
+            SimpleAggregateQuery::count_star(vec![Predicate::new(col(&db, "games"), "indef")]),
+        ];
+        let rs = execute_all_naive(&db, &qs).unwrap();
+        assert_eq!(rs, vec![Some(6.0), Some(4.0)]);
+    }
+}

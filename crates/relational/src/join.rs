@@ -1,0 +1,408 @@
+//! PK-FK join paths and join materialization.
+//!
+//! §6 of the paper: the `FROM` clause of a candidate query *"contains all
+//! tables containing any of the columns referred to in aggregates or
+//! predicates. We connect those tables via equi-joins along
+//! foreign-key-primary-key join paths"*, and the schema is assumed acyclic.
+
+use crate::database::{ColumnRef, Database};
+use crate::error::{RelationalError, Result};
+use crate::schema::ForeignKey;
+use std::collections::HashMap;
+
+/// The minimal set of tables and FK edges connecting a set of required
+/// tables (the paper's `JoinPathTables` / `JoinPathPreds`).
+#[derive(Debug, Clone)]
+pub struct JoinPath {
+    /// Tables in join order: each table after the first is connected to an
+    /// earlier one by the edge at the same position in `edges`.
+    pub tables: Vec<usize>,
+    /// `edges[i]` connects `tables[i + 1]` to some earlier table.
+    pub edges: Vec<ForeignKey>,
+}
+
+impl JoinPath {
+    /// Compute the join path covering all `required` tables. With a single
+    /// required table this is trivially that table; otherwise a BFS over the
+    /// undirected FK graph finds the connecting subtree.
+    pub fn connect(db: &Database, required: &[usize]) -> Result<JoinPath> {
+        assert!(!required.is_empty(), "at least one table required");
+        let start = required[0];
+        if required.len() == 1 {
+            return Ok(JoinPath {
+                tables: vec![start],
+                edges: Vec::new(),
+            });
+        }
+        // Adjacency list over undirected FK edges.
+        let mut adj: HashMap<usize, Vec<(usize, ForeignKey)>> = HashMap::new();
+        for fk in db.foreign_keys() {
+            adj.entry(fk.from_table).or_default().push((fk.to_table, *fk));
+            adj.entry(fk.to_table).or_default().push((fk.from_table, *fk));
+        }
+        // BFS from `start`, remembering the parent edge of each table.
+        let mut parent_edge: HashMap<usize, ForeignKey> = HashMap::new();
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut seen = std::collections::HashSet::from([start]);
+        while let Some(t) = queue.pop_front() {
+            for (next, fk) in adj.get(&t).into_iter().flatten() {
+                if seen.insert(*next) {
+                    parent.insert(*next, t);
+                    parent_edge.insert(*next, *fk);
+                    queue.push_back(*next);
+                }
+            }
+        }
+        // Collect the union of paths from each required table back to start.
+        let mut in_path = std::collections::HashSet::from([start]);
+        for &t in &required[1..] {
+            if !seen.contains(&t) {
+                return Err(RelationalError::NoJoinPath {
+                    from: db.table(start).name().to_string(),
+                    to: db.table(t).name().to_string(),
+                });
+            }
+            let mut cur = t;
+            while cur != start && in_path.insert(cur) {
+                cur = parent[&cur];
+            }
+        }
+        // Emit tables in BFS order so every edge connects to an earlier table.
+        let mut tables = vec![start];
+        let mut edges = Vec::new();
+        let mut frontier = std::collections::VecDeque::from([start]);
+        while let Some(t) = frontier.pop_front() {
+            for (next, fk) in adj.get(&t).into_iter().flatten() {
+                if in_path.contains(next)
+                    && !tables.contains(next)
+                    && parent.get(next) == Some(&t)
+                {
+                    tables.push(*next);
+                    edges.push(*fk);
+                    frontier.push_back(*next);
+                }
+            }
+        }
+        Ok(JoinPath { tables, edges })
+    }
+}
+
+/// A materialized equi-join: for every output row, one row index per joined
+/// table. A single-table "join" stays virtual (no allocation per row).
+#[derive(Debug, Clone)]
+pub struct JoinedRelation {
+    /// Joined tables, in [`JoinPath`] order.
+    pub tables: Vec<usize>,
+    rows: Rows,
+}
+
+#[derive(Debug, Clone)]
+enum Rows {
+    /// Identity over a single table with the given row count.
+    Identity(usize),
+    /// Materialized tuples: `tuples[row][table_position]`.
+    Materialized(Vec<Vec<u32>>),
+}
+
+impl JoinedRelation {
+    /// Materialize the join described by `path`.
+    pub fn materialize(db: &Database, path: &JoinPath) -> Result<JoinedRelation> {
+        if path.tables.len() == 1 {
+            return Ok(JoinedRelation {
+                tables: path.tables.clone(),
+                rows: Rows::Identity(db.table(path.tables[0]).row_count()),
+            });
+        }
+        // Start with the first table's rows, then hash-join one edge at a
+        // time. `position[t]` is the tuple slot of table `t`.
+        let mut position: HashMap<usize, usize> = HashMap::from([(path.tables[0], 0)]);
+        let mut tuples: Vec<Vec<u32>> = (0..db.table(path.tables[0]).row_count())
+            .map(|r| vec![r as u32])
+            .collect();
+        for (i, fk) in path.edges.iter().enumerate() {
+            let new_table = path.tables[i + 1];
+            // Orient the edge: `existing` side is already in the tuples.
+            let (exist_t, exist_c, new_c) = if position.contains_key(&fk.from_table) {
+                (fk.from_table, fk.from_column, fk.to_column)
+            } else {
+                (fk.to_table, fk.to_column, fk.from_column)
+            };
+            let exist_pos = position[&exist_t];
+            // Build hash table over the new table's join column.
+            let new_col = db.table(new_table).column(new_c);
+            let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+            for row in 0..db.table(new_table).row_count() {
+                if let Some(code) = join_key(db, new_table, new_c, row) {
+                    index.entry(code).or_default().push(row as u32);
+                }
+            }
+            let exist_col_table = exist_t;
+            let mut next: Vec<Vec<u32>> = Vec::with_capacity(tuples.len());
+            for tuple in &tuples {
+                let row = tuple[exist_pos] as usize;
+                let key = join_key_col(db, exist_col_table, exist_c, row, new_col);
+                if let Some(key) = key {
+                    if let Some(matches) = index.get(&key) {
+                        for &m in matches {
+                            let mut t = tuple.clone();
+                            t.push(m);
+                            next.push(t);
+                        }
+                    }
+                }
+            }
+            position.insert(new_table, i + 1);
+            tuples = next;
+        }
+        Ok(JoinedRelation {
+            tables: path.tables.clone(),
+            rows: Rows::Materialized(tuples),
+        })
+    }
+
+    /// Build the join for all tables referenced by a query.
+    pub fn for_tables(db: &Database, required: &[usize]) -> Result<JoinedRelation> {
+        let path = JoinPath::connect(db, required)?;
+        Self::materialize(db, &path)
+    }
+
+    /// Number of output rows.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            Rows::Identity(n) => *n,
+            Rows::Materialized(t) => t.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The base-table row index backing output row `row` for `table`.
+    /// Panics if `table` is not part of the join.
+    #[inline]
+    pub fn base_row(&self, row: usize, table: usize) -> usize {
+        match &self.rows {
+            Rows::Identity(_) => {
+                debug_assert_eq!(table, self.tables[0]);
+                row
+            }
+            Rows::Materialized(tuples) => {
+                let pos = self
+                    .tables
+                    .iter()
+                    .position(|t| *t == table)
+                    .expect("table in join");
+                tuples[row][pos] as usize
+            }
+        }
+    }
+
+    /// Resolver closure from output rows to base rows for one column; hoists
+    /// the table-position lookup out of per-row loops.
+    pub fn resolver(&self, col: ColumnRef) -> RowResolver<'_> {
+        match &self.rows {
+            Rows::Identity(_) => RowResolver {
+                tuples: None,
+                position: 0,
+            },
+            Rows::Materialized(tuples) => RowResolver {
+                tuples: Some(tuples),
+                position: self
+                    .tables
+                    .iter()
+                    .position(|t| *t == col.table)
+                    .expect("column's table in join"),
+            },
+        }
+    }
+}
+
+/// Maps output row indices to base-table row indices for one column.
+#[derive(Clone, Copy)]
+pub struct RowResolver<'a> {
+    tuples: Option<&'a Vec<Vec<u32>>>,
+    position: usize,
+}
+
+impl RowResolver<'_> {
+    #[inline]
+    pub fn base_row(&self, row: usize) -> usize {
+        match self.tuples {
+            None => row,
+            Some(t) => t[row][self.position] as usize,
+        }
+    }
+}
+
+/// Join key for a cell, hashing across column types via group codes.
+/// Strings join by *string content* (not dictionary code, which is
+/// per-column), so FK joins over string keys work.
+fn join_key(db: &Database, table: usize, column: usize, row: usize) -> Option<u64> {
+    let col = db.table(table).column(column);
+    match col {
+        crate::column::ColumnData::Str { codes, dict } => {
+            let code = codes[row];
+            if code == crate::column::NULL_CODE {
+                None
+            } else {
+                Some(string_hash(dict.resolve(code)?))
+            }
+        }
+        _ => col.group_code(row),
+    }
+}
+
+/// Join key for the probe side, made comparable with `join_key` of the build
+/// side (`new_col` determines how strings were hashed).
+fn join_key_col(
+    db: &Database,
+    table: usize,
+    column: usize,
+    row: usize,
+    _other: &crate::column::ColumnData,
+) -> Option<u64> {
+    join_key(db, table, column, row)
+}
+
+fn string_hash(s: &str) -> u64 {
+    // FNV-1a over the lowercased bytes; stable across dictionaries.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        hash ^= b.to_ascii_lowercase() as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn star_db() -> Database {
+        // players ← suspensions (FK), players ← awards (FK): a star schema.
+        let players = Table::from_columns(
+            "players",
+            vec![
+                ("player_id", vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+                (
+                    "team",
+                    vec!["ravens".into(), "browns".into(), "cowboys".into()],
+                ),
+            ],
+        )
+        .unwrap();
+        let suspensions = Table::from_columns(
+            "suspensions",
+            vec![
+                (
+                    "player_id",
+                    vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(9)],
+                ),
+                (
+                    "category",
+                    vec![
+                        "gambling".into(),
+                        "peds".into(),
+                        "peds".into(),
+                        "orphan".into(),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let awards = Table::from_columns(
+            "awards",
+            vec![
+                ("player_id", vec![Value::Int(1), Value::Int(3)]),
+                ("award", vec!["mvp".into(), "roty".into()]),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        let p = db.add_table(players);
+        let s = db.add_table(suspensions);
+        let a = db.add_table(awards);
+        db.add_foreign_key(ForeignKey {
+            from_table: s,
+            from_column: 0,
+            to_table: p,
+            to_column: 0,
+        })
+        .unwrap();
+        db.add_foreign_key(ForeignKey {
+            from_table: a,
+            from_column: 0,
+            to_table: p,
+            to_column: 0,
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn single_table_join_is_identity() {
+        let db = star_db();
+        let j = JoinedRelation::for_tables(&db, &[0]).unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.base_row(2, 0), 2);
+    }
+
+    #[test]
+    fn two_table_join_matches_fk() {
+        let db = star_db();
+        let j = JoinedRelation::for_tables(&db, &[0, 1]).unwrap();
+        // suspensions has 4 rows but player_id=9 has no match: 3 join rows.
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn three_table_join_through_hub() {
+        let db = star_db();
+        // suspensions ⋈ players ⋈ awards: suspension rows for players with
+        // awards. player 1 has 2 suspensions and 1 award → 2 rows;
+        // player 2 has none; player 3 has no suspension.
+        let j = JoinedRelation::for_tables(&db, &[1, 2]).unwrap();
+        assert_eq!(j.tables.len(), 3, "hub table players must be included");
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn join_key_is_case_insensitive_for_strings() {
+        assert_eq!(string_hash("Gambling"), string_hash("gambling"));
+        assert_ne!(string_hash("a"), string_hash("b"));
+    }
+
+    #[test]
+    fn disconnected_tables_error() {
+        let mut db = star_db();
+        db.add_table(
+            Table::from_columns("island", vec![("x", vec![Value::Int(1)])]).unwrap(),
+        );
+        let err = JoinedRelation::for_tables(&db, &[0, 3]).unwrap_err();
+        assert!(matches!(err, RelationalError::NoJoinPath { .. }));
+    }
+
+    #[test]
+    fn resolver_maps_rows() {
+        let db = star_db();
+        let j = JoinedRelation::for_tables(&db, &[0, 1]).unwrap();
+        let cat = db.resolve("suspensions", "category").unwrap();
+        let r = j.resolver(cat);
+        let mut cats: Vec<Value> = (0..j.len())
+            .map(|row| db.column(cat).get(r.base_row(row)))
+            .collect();
+        cats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(
+            cats,
+            vec![
+                Value::Str("gambling".into()),
+                Value::Str("peds".into()),
+                Value::Str("peds".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # agg-relational
+//!
+//! An in-memory columnar relational engine purpose-built for the AggChecker
+//! reproduction. It stands in for PostgreSQL in the original system and
+//! provides exactly the capabilities the paper's evaluation layer needs:
+//!
+//! * typed columnar tables with dictionary-encoded strings ([`Table`]),
+//! * schemas with primary-key / foreign-key constraints and acyclic join
+//!   graphs ([`Database`], [`schema`]),
+//! * a CSV loader with type inference ([`csv`]) and a data-dictionary
+//!   parser ([`datadict`]),
+//! * the paper's eight aggregation functions ([`AggFunction`]),
+//! * a naive per-query executor ([`exec`]),
+//! * the `GROUP BY CUBE` operator with `InOrDefault` literal remapping
+//!   (§6.2 of the paper, [`cube`]),
+//! * a merge planner that covers many candidate queries with few cube
+//!   executions (§6.2, [`merge`]),
+//! * a result cache shared across claims and EM iterations (§6.3,
+//!   [`cache`]), and
+//! * a simple evaluation cost model (§6.1, [`cost`]).
+//!
+//! The engine deliberately supports only the query class from Definition 2 of
+//! the paper — *simple aggregate queries*: a single aggregate over an
+//! equi-join along PK-FK paths, filtered by a conjunction of unary equality
+//! predicates.
+
+pub mod aggregate;
+pub mod cache;
+pub mod column;
+pub mod cost;
+pub mod csv;
+pub mod cube;
+pub mod database;
+pub mod datadict;
+pub mod error;
+pub mod exec;
+pub mod join;
+pub mod merge;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use aggregate::{ratio_from_counts, Accumulator};
+pub use cache::{CacheKey, CacheStats, CachedSlice, EvalCache};
+pub use column::{ColumnData, StringDictionary, NULL_CODE};
+pub use cost::CostModel;
+pub use cube::{CubeQuery, CubeResult, CubeStats, DimSel};
+pub use database::{ColumnRef, Database};
+pub use error::{RelationalError, Result};
+pub use exec::{execute_all_naive, execute_query};
+pub use join::{JoinPath, JoinedRelation};
+pub use merge::{MergePlan, MergePlanner, MergeStats};
+pub use query::{AggColumn, AggFunction, Predicate, SimpleAggregateQuery};
+pub use schema::{ColumnMeta, ForeignKey, TableSchema};
+pub use table::Table;
+pub use value::{DataType, Value};

@@ -1,0 +1,433 @@
+//! Query merging (§6.2): cover many candidate queries with few cubes.
+//!
+//! Candidate queries for the same claim — and across claims of the same
+//! document — are highly similar. The planner groups them by their
+//! *predicate column set*: each group becomes one [`CubeQuery`] whose
+//! dimensions are those columns, whose relevant literals are the union of
+//! the group's predicate values, and whose aggregate list is the union of
+//! the group's `(function, column)` pairs. Ratio aggregates (`Percentage`,
+//! `ConditionalProbability`) are rewritten into `Count` aggregates and
+//! derived from the cube's rollup groups, exactly as footnote 1 of the
+//! paper defines them.
+
+use crate::aggregate::ratio_from_counts;
+use crate::cache::{CacheKey, CachedSlice, EvalCache};
+use crate::cube::CubeQuery;
+use crate::database::{ColumnRef, Database};
+use crate::error::Result;
+use crate::query::{AggColumn, AggFunction, SimpleAggregateQuery};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How one input query reads its result out of its cube.
+#[derive(Debug, Clone)]
+enum LookupKind {
+    /// Plain aggregate: read slice `agg` at the query's assignment.
+    Direct { agg: usize },
+    /// `100 · count(full assignment) / count(all-Any)`.
+    Percentage { count_agg: usize },
+    /// `100 · count(full assignment) / count(condition dim only)`.
+    CondProb { count_agg: usize, condition_dim: usize },
+}
+
+/// One query's pointer into the plan.
+#[derive(Debug, Clone)]
+struct QueryTarget {
+    cube: usize,
+    /// Per cube dimension: `Some(value)` if restricted, `None` otherwise.
+    assignment: Vec<Option<Value>>,
+    kind: LookupKind,
+}
+
+/// A planned batch: cubes to execute plus per-query lookups.
+#[derive(Debug, Clone)]
+pub struct MergePlan {
+    cubes: Vec<CubeQuery>,
+    targets: Vec<QueryTarget>,
+}
+
+/// Execution statistics for one plan run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergeStats {
+    /// Cube executions actually performed (cache misses).
+    pub cubes_executed: usize,
+    /// Cube executions satisfied from the cache.
+    pub cubes_cached: usize,
+    /// Total rows scanned by executed cubes.
+    pub rows_scanned: u64,
+}
+
+/// Plans merged evaluation of simple aggregate queries.
+pub struct MergePlanner;
+
+impl MergePlanner {
+    /// Build a plan covering all `queries`.
+    pub fn plan(db: &Database, queries: &[SimpleAggregateQuery]) -> Result<MergePlan> {
+        // Group queries by canonical (sorted) predicate column set.
+        let mut groups: HashMap<Vec<ColumnRef>, Vec<usize>> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            q.validate(db)?;
+            let mut dims = q.predicate_columns();
+            dims.sort_unstable();
+            dims.dedup();
+            groups.entry(dims).or_default().push(i);
+        }
+
+        let mut cubes: Vec<CubeQuery> = Vec::with_capacity(groups.len());
+        let mut targets: Vec<Option<QueryTarget>> = vec![None; queries.len()];
+
+        // Deterministic cube order: sort groups by their dimension key.
+        let mut ordered: Vec<(Vec<ColumnRef>, Vec<usize>)> = groups.into_iter().collect();
+        ordered.sort_by(|a, b| a.0.cmp(&b.0));
+
+        for (dims, members) in ordered {
+            let cube_idx = cubes.len();
+            // Union of relevant literals per dimension.
+            let mut relevant: Vec<Vec<Value>> = vec![Vec::new(); dims.len()];
+            // Union of value aggregates (ratio fns contribute a Count).
+            let mut aggregates: Vec<(AggFunction, AggColumn)> = Vec::new();
+            let agg_index = |aggs: &mut Vec<(AggFunction, AggColumn)>,
+                                 f: AggFunction,
+                                 c: AggColumn| {
+                match aggs.iter().position(|(af, ac)| *af == f && *ac == c) {
+                    Some(i) => i,
+                    None => {
+                        aggs.push((f, c));
+                        aggs.len() - 1
+                    }
+                }
+            };
+
+            for &qi in &members {
+                let q = &queries[qi];
+                let mut assignment: Vec<Option<Value>> = vec![None; dims.len()];
+                for p in &q.predicates {
+                    let d = dims.iter().position(|c| *c == p.column).expect("dim");
+                    if !relevant[d].contains(&p.value) {
+                        relevant[d].push(p.value.clone());
+                    }
+                    assignment[d] = Some(p.value.clone());
+                }
+                let kind = match q.function {
+                    AggFunction::Percentage => LookupKind::Percentage {
+                        count_agg: agg_index(&mut aggregates, AggFunction::Count, q.column),
+                    },
+                    AggFunction::ConditionalProbability => {
+                        let cond_col = q.predicates[0].column;
+                        LookupKind::CondProb {
+                            count_agg: agg_index(&mut aggregates, AggFunction::Count, q.column),
+                            condition_dim: dims
+                                .iter()
+                                .position(|c| *c == cond_col)
+                                .expect("condition dim"),
+                        }
+                    }
+                    f => LookupKind::Direct {
+                        agg: agg_index(&mut aggregates, f, q.column),
+                    },
+                };
+                targets[qi] = Some(QueryTarget {
+                    cube: cube_idx,
+                    assignment,
+                    kind,
+                });
+            }
+            cubes.push(CubeQuery {
+                dims,
+                relevant,
+                aggregates,
+            });
+        }
+
+        Ok(MergePlan {
+            cubes,
+            targets: targets.into_iter().map(|t| t.expect("assigned")).collect(),
+        })
+    }
+}
+
+impl MergePlan {
+    /// Number of cube queries in the plan.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Execute without caching. Returns one result per input query.
+    pub fn execute(&self, db: &Database) -> Result<(Vec<Option<f64>>, MergeStats)> {
+        self.execute_inner(db, None)
+    }
+
+    /// Execute with a shared cache: cube slices already cached (and covering
+    /// the needed literals) are not recomputed, and freshly computed slices
+    /// are stored for later claims and EM iterations.
+    pub fn execute_cached(
+        &self,
+        db: &Database,
+        cache: &EvalCache,
+    ) -> Result<(Vec<Option<f64>>, MergeStats)> {
+        self.execute_inner(db, Some(cache))
+    }
+
+    fn execute_inner(
+        &self,
+        db: &Database,
+        cache: Option<&EvalCache>,
+    ) -> Result<(Vec<Option<f64>>, MergeStats)> {
+        let mut stats = MergeStats::default();
+        // Per cube: one slice per aggregate position.
+        let mut slices: Vec<Vec<CachedSlice>> = Vec::with_capacity(self.cubes.len());
+        for cube in &self.cubes {
+            let mut cube_slices: Vec<Option<CachedSlice>> = vec![None; cube.aggregates.len()];
+            let mut missing: Vec<usize> = Vec::new();
+            if let Some(cache) = cache {
+                for (i, (f, c)) in cube.aggregates.iter().enumerate() {
+                    let key = CacheKey::new(*f, *c, cube.dims.clone());
+                    match cache.get(&key, &cube.relevant) {
+                        Some(s) => cube_slices[i] = Some(s),
+                        None => missing.push(i),
+                    }
+                }
+            } else {
+                missing = (0..cube.aggregates.len()).collect();
+            }
+
+            if missing.is_empty() {
+                stats.cubes_cached += 1;
+            } else {
+                // Execute a cube restricted to the missing aggregates.
+                let sub = CubeQuery {
+                    dims: cube.dims.clone(),
+                    relevant: cube.relevant.clone(),
+                    aggregates: missing.iter().map(|&i| cube.aggregates[i]).collect(),
+                };
+                let result = Arc::new(sub.execute(db)?);
+                stats.cubes_executed += 1;
+                stats.rows_scanned += result.stats.rows_scanned;
+                for (pos, &i) in missing.iter().enumerate() {
+                    let (f, c) = cube.aggregates[i];
+                    let slice = CachedSlice::new(result.clone(), pos, f);
+                    if let Some(cache) = cache {
+                        cache.put(CacheKey::new(f, c, cube.dims.clone()), slice.clone());
+                    }
+                    cube_slices[i] = Some(slice);
+                }
+            }
+            slices.push(
+                cube_slices
+                    .into_iter()
+                    .map(|s| s.expect("slice filled"))
+                    .collect(),
+            );
+        }
+
+        // Resolve each query's lookup.
+        let results = self
+            .targets
+            .iter()
+            .map(|t| resolve(&slices[t.cube], t))
+            .collect();
+        Ok((results, stats))
+    }
+}
+
+fn resolve(slices: &[CachedSlice], target: &QueryTarget) -> Option<f64> {
+    match &target.kind {
+        LookupKind::Direct { agg } => slices[*agg].lookup(&target.assignment).ok().flatten(),
+        LookupKind::Percentage { count_agg } => {
+            let slice = &slices[*count_agg];
+            let num = slice.lookup_count(&target.assignment).ok()?;
+            let all_any: Vec<Option<Value>> = vec![None; target.assignment.len()];
+            let den = slice.lookup_count(&all_any).ok()?;
+            ratio_from_counts(num, den)
+        }
+        LookupKind::CondProb {
+            count_agg,
+            condition_dim,
+        } => {
+            let slice = &slices[*count_agg];
+            let num = slice.lookup_count(&target.assignment).ok()?;
+            let mut cond_only: Vec<Option<Value>> = vec![None; target.assignment.len()];
+            cond_only[*condition_dim] = target.assignment[*condition_dim].clone();
+            let den = slice.lookup_count(&cond_only).ok()?;
+            ratio_from_counts(num, den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_query;
+    use crate::query::Predicate;
+    use crate::table::Table;
+
+    fn nfl() -> Database {
+        let t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "games",
+                    vec![
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "10".into(),
+                        "4".into(),
+                    ],
+                ),
+                (
+                    "category",
+                    vec![
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "gambling".into(),
+                        "peds".into(),
+                        "personal conduct".into(),
+                    ],
+                ),
+                (
+                    "year",
+                    vec![
+                        Value::Int(1989),
+                        Value::Int(1995),
+                        Value::Int(2014),
+                        Value::Int(1983),
+                        Value::Int(2014),
+                        Value::Int(2014),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    fn candidate_batch(db: &Database) -> Vec<SimpleAggregateQuery> {
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let cat = db.resolve("nflsuspensions", "category").unwrap();
+        let year = db.resolve("nflsuspensions", "year").unwrap();
+        vec![
+            SimpleAggregateQuery::count_star(vec![Predicate::new(games, "indef")]),
+            SimpleAggregateQuery::count_star(vec![
+                Predicate::new(games, "indef"),
+                Predicate::new(cat, "gambling"),
+            ]),
+            SimpleAggregateQuery::count_star(vec![
+                Predicate::new(games, "indef"),
+                Predicate::new(cat, "substance abuse, repeated offense"),
+            ]),
+            SimpleAggregateQuery::new(
+                AggFunction::Sum,
+                AggColumn::Column(year),
+                vec![Predicate::new(games, "indef")],
+            ),
+            SimpleAggregateQuery::new(
+                AggFunction::Percentage,
+                AggColumn::Star,
+                vec![Predicate::new(games, "indef")],
+            ),
+            SimpleAggregateQuery::new(
+                AggFunction::ConditionalProbability,
+                AggColumn::Star,
+                vec![
+                    Predicate::new(games, "indef"),
+                    Predicate::new(cat, "gambling"),
+                ],
+            ),
+            SimpleAggregateQuery::new(AggFunction::Avg, AggColumn::Column(year), vec![]),
+        ]
+    }
+
+    #[test]
+    fn merged_results_match_naive_execution() {
+        let db = nfl();
+        let queries = candidate_batch(&db);
+        let plan = MergePlanner::plan(&db, &queries).unwrap();
+        let (merged, _) = plan.execute(&db).unwrap();
+        for (q, merged_result) in queries.iter().zip(&merged) {
+            let naive = execute_query(&db, q).unwrap();
+            assert_eq!(*merged_result, naive, "{}", q.to_sql(&db));
+        }
+    }
+
+    #[test]
+    fn merging_reduces_cube_count() {
+        let db = nfl();
+        let queries = candidate_batch(&db);
+        let plan = MergePlanner::plan(&db, &queries).unwrap();
+        // 7 queries over 3 distinct predicate-column sets:
+        // {games}, {games, category}, {}.
+        assert_eq!(plan.cube_count(), 3);
+    }
+
+    #[test]
+    fn cache_avoids_recomputation_across_runs() {
+        let db = nfl();
+        let queries = candidate_batch(&db);
+        let cache = EvalCache::new();
+        let plan = MergePlanner::plan(&db, &queries).unwrap();
+
+        let (r1, s1) = plan.execute_cached(&db, &cache).unwrap();
+        assert_eq!(s1.cubes_cached, 0);
+        assert!(s1.cubes_executed > 0);
+
+        // Second run (a later EM iteration): everything hits the cache.
+        let (r2, s2) = plan.execute_cached(&db, &cache).unwrap();
+        assert_eq!(s2.cubes_executed, 0);
+        assert_eq!(s2.cubes_cached, plan.cube_count());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn cache_shares_slices_between_overlapping_plans() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let cache = EvalCache::new();
+        let q1 = vec![SimpleAggregateQuery::count_star(vec![Predicate::new(
+            games, "indef",
+        )])];
+        let plan1 = MergePlanner::plan(&db, &q1).unwrap();
+        plan1.execute_cached(&db, &cache).unwrap();
+
+        // Same dims, same literal: served from cache.
+        let plan2 = MergePlanner::plan(&db, &q1).unwrap();
+        let (_, s2) = plan2.execute_cached(&db, &cache).unwrap();
+        assert_eq!(s2.cubes_cached, 1);
+
+        // Same dims but a new literal: coverage miss, recomputed.
+        let q3 = vec![SimpleAggregateQuery::count_star(vec![Predicate::new(
+            games, "10",
+        )])];
+        let plan3 = MergePlanner::plan(&db, &q3).unwrap();
+        let (r3, s3) = plan3.execute_cached(&db, &cache).unwrap();
+        assert_eq!(s3.cubes_executed, 1);
+        assert_eq!(r3[0], Some(1.0));
+    }
+
+    #[test]
+    fn invalid_query_fails_planning() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let bad = vec![SimpleAggregateQuery::new(
+            AggFunction::Sum,
+            AggColumn::Column(games), // Sum over a string column
+            vec![],
+        )];
+        assert!(MergePlanner::plan(&db, &bad).is_err());
+    }
+
+    #[test]
+    fn rows_scanned_reflects_merging_savings() {
+        let db = nfl();
+        let queries = candidate_batch(&db);
+        let plan = MergePlanner::plan(&db, &queries).unwrap();
+        let (_, stats) = plan.execute(&db).unwrap();
+        // 3 cubes × 6 rows = 18 rows, versus 7 × 6 = 42 rows naively.
+        assert_eq!(stats.rows_scanned, 18);
+    }
+}

@@ -1,0 +1,528 @@
+//! The query class of the paper (Definition 2): *simple aggregate queries*.
+//!
+//! `SELECT Fct(Agg) FROM T1 E-JOIN T2 ... WHERE C1 = V1 AND C2 = V2 AND ...`
+//! — a single aggregate over an equi-join between tables connected via
+//! primary-key/foreign-key constraints, filtered by a conjunction of unary
+//! equality predicates.
+
+use crate::database::{ColumnRef, Database};
+use crate::error::{RelationalError, Result};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The aggregation functions supported by the AggChecker (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AggFunction {
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Share of rows satisfying the predicates among all rows, in percent.
+    Percentage,
+    /// `100 · |rows with all predicates| / |rows with the first predicate|`
+    /// — the first predicate is the condition, the rest form the event
+    /// (footnote 1 of the paper).
+    ConditionalProbability,
+    /// Median of a numeric column — an extension beyond the paper's eight
+    /// functions, exercising its "we plan to gradually extend the scope"
+    /// hook (§2).
+    Median,
+}
+
+impl AggFunction {
+    /// All supported functions, in a stable order. The paper's eight plus
+    /// the `Median` extension.
+    pub const ALL: [AggFunction; 9] = [
+        AggFunction::Count,
+        AggFunction::CountDistinct,
+        AggFunction::Sum,
+        AggFunction::Avg,
+        AggFunction::Min,
+        AggFunction::Max,
+        AggFunction::Percentage,
+        AggFunction::ConditionalProbability,
+        AggFunction::Median,
+    ];
+
+    /// Stable index into [`AggFunction::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|f| *f == self).expect("in ALL")
+    }
+
+    /// SQL spelling.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            AggFunction::Count => "Count",
+            AggFunction::CountDistinct => "CountDistinct",
+            AggFunction::Sum => "Sum",
+            AggFunction::Avg => "Avg",
+            AggFunction::Min => "Min",
+            AggFunction::Max => "Max",
+            AggFunction::Percentage => "Percentage",
+            AggFunction::ConditionalProbability => "ConditionalProbability",
+            AggFunction::Median => "Median",
+        }
+    }
+
+    /// The fixed keyword set associated with this function fragment (§4.2:
+    /// *"We associate each standard SQL aggregation function with a fixed
+    /// keyword set"*). Keywords are stored unstemmed; the matching layer
+    /// stems them together with the claim keywords.
+    pub fn keywords(self) -> &'static [&'static str] {
+        match self {
+            AggFunction::Count => &["count", "number", "total", "many", "times", "amount"],
+            AggFunction::CountDistinct => &[
+                "count", "distinct", "unique", "different", "number", "separate",
+            ],
+            AggFunction::Sum => &["sum", "total", "combined", "overall", "altogether"],
+            AggFunction::Avg => &["average", "mean", "typical", "typically", "expected", "per"],
+            AggFunction::Min => &[
+                "minimum", "least", "lowest", "smallest", "fewest", "shortest", "earliest",
+            ],
+            AggFunction::Max => &[
+                "maximum", "most", "highest", "largest", "biggest", "longest", "latest", "top",
+            ],
+            AggFunction::Percentage => &[
+                "percent", "percentage", "share", "proportion", "fraction", "rate",
+            ],
+            AggFunction::ConditionalProbability => &[
+                "probability", "likelihood", "chance", "odds", "given", "conditional",
+            ],
+            AggFunction::Median => &["median", "middle", "midpoint", "halfway"],
+        }
+    }
+
+    /// Whether this function needs a numeric aggregation column.
+    /// `Count`/`CountDistinct`/`Percentage`/`ConditionalProbability` also
+    /// accept `*` or categorical columns.
+    pub fn requires_numeric_column(self) -> bool {
+        matches!(
+            self,
+            AggFunction::Sum
+                | AggFunction::Avg
+                | AggFunction::Min
+                | AggFunction::Max
+                | AggFunction::Median
+        )
+    }
+
+    /// Whether the aggregate is derived from counts of row subsets rather
+    /// than from the aggregation column's values.
+    pub fn is_ratio(self) -> bool {
+        matches!(
+            self,
+            AggFunction::Percentage | AggFunction::ConditionalProbability
+        )
+    }
+}
+
+impl fmt::Display for AggFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// The aggregation column: either `*` or a concrete column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AggColumn {
+    /// The "all column" `*` (only meaningful for count-like aggregates).
+    Star,
+    Column(ColumnRef),
+}
+
+impl AggColumn {
+    pub fn as_column(self) -> Option<ColumnRef> {
+        match self {
+            AggColumn::Star => None,
+            AggColumn::Column(c) => Some(c),
+        }
+    }
+}
+
+/// A unary equality predicate `column = value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    pub column: ColumnRef,
+    pub value: Value,
+}
+
+impl Predicate {
+    pub fn new(column: ColumnRef, value: impl Into<Value>) -> Self {
+        Self {
+            column,
+            value: value.into(),
+        }
+    }
+}
+
+/// A simple aggregate query (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimpleAggregateQuery {
+    pub function: AggFunction,
+    pub column: AggColumn,
+    /// Conjunctive equality predicates. For
+    /// [`AggFunction::ConditionalProbability`] the **first** predicate is the
+    /// condition and the rest form the event.
+    pub predicates: Vec<Predicate>,
+}
+
+impl SimpleAggregateQuery {
+    pub fn new(function: AggFunction, column: AggColumn, predicates: Vec<Predicate>) -> Self {
+        Self {
+            function,
+            column,
+            predicates,
+        }
+    }
+
+    /// Shorthand for `SELECT Count(*) FROM ... WHERE preds`.
+    pub fn count_star(predicates: Vec<Predicate>) -> Self {
+        Self::new(AggFunction::Count, AggColumn::Star, predicates)
+    }
+
+    /// Check structural validity against a database: distinct predicate
+    /// columns, numeric aggregation column where required, conditional
+    /// probability needs at least one predicate.
+    pub fn validate(&self, db: &Database) -> Result<()> {
+        if self.function.requires_numeric_column() {
+            match self.column {
+                AggColumn::Star => {
+                    return Err(RelationalError::InvalidQuery(format!(
+                        "{} requires a numeric column, not *",
+                        self.function
+                    )))
+                }
+                AggColumn::Column(c) => {
+                    if !db.column(c).is_numeric() {
+                        return Err(RelationalError::TypeMismatch {
+                            column: db.column_name(c),
+                            expected: "numeric column",
+                        });
+                    }
+                }
+            }
+        }
+        if self.function == AggFunction::ConditionalProbability && self.predicates.is_empty() {
+            return Err(RelationalError::InvalidQuery(
+                "conditional probability requires a condition predicate".into(),
+            ));
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            for q in &self.predicates[i + 1..] {
+                if p.column == q.column {
+                    return Err(RelationalError::InvalidQuery(format!(
+                        "duplicate predicate column {}",
+                        db.column_name(p.column)
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every table referenced by the aggregate or a predicate.
+    pub fn tables_referenced(&self) -> Vec<usize> {
+        let mut tables: Vec<usize> = Vec::new();
+        if let AggColumn::Column(c) = self.column {
+            tables.push(c.table);
+        }
+        for p in &self.predicates {
+            tables.push(p.column.table);
+        }
+        tables.sort_unstable();
+        tables.dedup();
+        if tables.is_empty() {
+            tables.push(0); // COUNT(*) with no predicates: default to table 0.
+        }
+        tables
+    }
+
+    /// Columns restricted by predicates, in predicate order.
+    pub fn predicate_columns(&self) -> Vec<ColumnRef> {
+        self.predicates.iter().map(|p| p.column).collect()
+    }
+
+    /// Semantic equality: same function and aggregation column, and the
+    /// same predicate *set* (order-insensitive), except that for
+    /// [`AggFunction::ConditionalProbability`] the condition (first)
+    /// predicate must coincide. String literals compare case-insensitively,
+    /// like the engine's dictionary interning.
+    pub fn semantically_equal(&self, other: &SimpleAggregateQuery) -> bool {
+        if self.function != other.function
+            || self.column != other.column
+            || self.predicates.len() != other.predicates.len()
+        {
+            return false;
+        }
+        let pred_eq = |a: &Predicate, b: &Predicate| {
+            a.column == b.column
+                && match (&a.value, &b.value) {
+                    (Value::Str(x), Value::Str(y)) => x.eq_ignore_ascii_case(y),
+                    (x, y) => x == y,
+                }
+        };
+        if self.function == AggFunction::ConditionalProbability
+            && !self
+                .predicates
+                .first()
+                .zip(other.predicates.first())
+                .is_some_and(|(a, b)| pred_eq(a, b))
+        {
+            return false;
+        }
+        self.predicates
+            .iter()
+            .all(|p| other.predicates.iter().any(|q| pred_eq(p, q)))
+    }
+
+    /// Render as SQL text (for logs, the UI, and tests).
+    pub fn to_sql(&self, db: &Database) -> String {
+        let agg = match self.column {
+            AggColumn::Star => "*".to_string(),
+            AggColumn::Column(c) => db.short_column_name(c).to_string(),
+        };
+        let tables = self.tables_referenced();
+        let from = tables
+            .iter()
+            .map(|&t| db.table(t).name().to_string())
+            .collect::<Vec<_>>()
+            .join(" E-JOIN ");
+        let mut sql = format!("SELECT {}({agg}) FROM {from}", self.function.sql_name());
+        if !self.predicates.is_empty() {
+            let conds = self
+                .predicates
+                .iter()
+                .map(|p| format!("{} = {}", db.short_column_name(p.column), p.value))
+                .collect::<Vec<_>>()
+                .join(" AND ");
+            sql.push_str(" WHERE ");
+            sql.push_str(&conds);
+        }
+        sql
+    }
+
+    /// A natural-language description of the query, as shown to users when
+    /// hovering over a claim (Figure 3(b) of the paper).
+    pub fn describe(&self, db: &Database) -> String {
+        let subject = match self.column {
+            AggColumn::Star => "rows".to_string(),
+            AggColumn::Column(c) => format!("values of {}", db.short_column_name(c)),
+        };
+        let head = match self.function {
+            AggFunction::Count => format!("the number of {subject}"),
+            AggFunction::CountDistinct => format!("the number of distinct {subject}"),
+            AggFunction::Sum => format!("the sum of {subject}"),
+            AggFunction::Avg => format!("the average of {subject}"),
+            AggFunction::Min => format!("the minimum of {subject}"),
+            AggFunction::Max => format!("the maximum of {subject}"),
+            AggFunction::Percentage => format!("the percentage of {subject}"),
+            AggFunction::ConditionalProbability => format!("the conditional probability of {subject}"),
+            AggFunction::Median => format!("the median of {subject}"),
+        };
+        if self.predicates.is_empty() {
+            return head;
+        }
+        if self.function == AggFunction::ConditionalProbability {
+            let cond = &self.predicates[0];
+            let event = self.predicates[1..]
+                .iter()
+                .map(|p| format!("{} is {}", db.short_column_name(p.column), p.value))
+                .collect::<Vec<_>>()
+                .join(" and ");
+            if event.is_empty() {
+                return format!(
+                    "{head} given that {} is {}",
+                    db.short_column_name(cond.column),
+                    cond.value
+                );
+            }
+            return format!(
+                "the probability that {event}, given that {} is {}",
+                db.short_column_name(cond.column),
+                cond.value
+            );
+        }
+        let conds = self
+            .predicates
+            .iter()
+            .map(|p| format!("{} is {}", db.short_column_name(p.column), p.value))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        format!("{head} where {conds}")
+    }
+}
+
+impl fmt::Display for SimpleAggregateQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({:?}) σ{}", self.function, self.column, self.predicates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn db() -> Database {
+        let t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                ("games", vec!["indef".into(), "indef".into(), "10".into()]),
+                (
+                    "category",
+                    vec!["gambling".into(), "substance abuse".into(), "peds".into()],
+                ),
+                ("year", vec![Value::Int(1983), Value::Int(2014), Value::Int(2014)]),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    fn col(db: &Database, name: &str) -> ColumnRef {
+        db.resolve("nflsuspensions", name).unwrap()
+    }
+
+    #[test]
+    fn sql_rendering_matches_paper_style() {
+        let d = db();
+        let q = SimpleAggregateQuery::count_star(vec![
+            Predicate::new(col(&d, "games"), "indef"),
+            Predicate::new(col(&d, "category"), "gambling"),
+        ]);
+        assert_eq!(
+            q.to_sql(&d),
+            "SELECT Count(*) FROM nflsuspensions WHERE games = 'indef' AND category = 'gambling'"
+        );
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let d = db();
+        let q = SimpleAggregateQuery::count_star(vec![Predicate::new(col(&d, "games"), "indef")]);
+        assert_eq!(q.describe(&d), "the number of rows where games is 'indef'");
+
+        let q = SimpleAggregateQuery::new(
+            AggFunction::Avg,
+            AggColumn::Column(col(&d, "year")),
+            vec![],
+        );
+        assert_eq!(q.describe(&d), "the average of values of year");
+    }
+
+    #[test]
+    fn conditional_probability_describe() {
+        let d = db();
+        let q = SimpleAggregateQuery::new(
+            AggFunction::ConditionalProbability,
+            AggColumn::Star,
+            vec![
+                Predicate::new(col(&d, "games"), "indef"),
+                Predicate::new(col(&d, "category"), "gambling"),
+            ],
+        );
+        let desc = q.describe(&d);
+        assert!(desc.contains("given that games is 'indef'"), "{desc}");
+    }
+
+    #[test]
+    fn validation_rules() {
+        let d = db();
+        // Sum over a string column is invalid.
+        let q = SimpleAggregateQuery::new(
+            AggFunction::Sum,
+            AggColumn::Column(col(&d, "games")),
+            vec![],
+        );
+        assert!(q.validate(&d).is_err());
+        // Sum over * is invalid.
+        let q = SimpleAggregateQuery::new(AggFunction::Sum, AggColumn::Star, vec![]);
+        assert!(q.validate(&d).is_err());
+        // Duplicate predicate columns are invalid.
+        let q = SimpleAggregateQuery::count_star(vec![
+            Predicate::new(col(&d, "games"), "indef"),
+            Predicate::new(col(&d, "games"), "10"),
+        ]);
+        assert!(q.validate(&d).is_err());
+        // Conditional probability without predicates is invalid.
+        let q = SimpleAggregateQuery::new(
+            AggFunction::ConditionalProbability,
+            AggColumn::Star,
+            vec![],
+        );
+        assert!(q.validate(&d).is_err());
+        // A well-formed query validates.
+        let q = SimpleAggregateQuery::count_star(vec![Predicate::new(col(&d, "games"), "indef")]);
+        q.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn function_metadata() {
+        assert_eq!(AggFunction::ALL.len(), 9);
+        for (i, f) in AggFunction::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+            assert!(!f.keywords().is_empty());
+        }
+        assert!(AggFunction::Sum.requires_numeric_column());
+        assert!(!AggFunction::Count.requires_numeric_column());
+        assert!(AggFunction::Percentage.is_ratio());
+        assert!(!AggFunction::Avg.is_ratio());
+    }
+
+    #[test]
+    fn tables_referenced_defaults_to_first_table() {
+        let q = SimpleAggregateQuery::count_star(vec![]);
+        assert_eq!(q.tables_referenced(), vec![0]);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_predicate_order_and_case() {
+        let d = db();
+        let a = SimpleAggregateQuery::count_star(vec![
+            Predicate::new(col(&d, "games"), "indef"),
+            Predicate::new(col(&d, "category"), "Gambling"),
+        ]);
+        let b = SimpleAggregateQuery::count_star(vec![
+            Predicate::new(col(&d, "category"), "gambling"),
+            Predicate::new(col(&d, "games"), "INDEF"),
+        ]);
+        assert!(a.semantically_equal(&b));
+        // Different function breaks equality.
+        let c = SimpleAggregateQuery::new(
+            AggFunction::CountDistinct,
+            AggColumn::Star,
+            a.predicates.clone(),
+        );
+        assert!(!a.semantically_equal(&c));
+        // Different predicate count breaks equality.
+        let e = SimpleAggregateQuery::count_star(vec![Predicate::new(col(&d, "games"), "indef")]);
+        assert!(!a.semantically_equal(&e));
+    }
+
+    #[test]
+    fn conditional_probability_condition_is_order_sensitive() {
+        let d = db();
+        let mk = |first: Predicate, second: Predicate| {
+            SimpleAggregateQuery::new(
+                AggFunction::ConditionalProbability,
+                AggColumn::Star,
+                vec![first, second],
+            )
+        };
+        let a = mk(
+            Predicate::new(col(&d, "games"), "indef"),
+            Predicate::new(col(&d, "category"), "gambling"),
+        );
+        let b = mk(
+            Predicate::new(col(&d, "category"), "gambling"),
+            Predicate::new(col(&d, "games"), "indef"),
+        );
+        assert!(!a.semantically_equal(&b), "different condition predicate");
+        assert!(a.semantically_equal(&a.clone()));
+    }
+}

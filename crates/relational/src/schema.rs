@@ -1,0 +1,98 @@
+//! Logical schema: tables, columns, and PK-FK constraints.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// Metadata of one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name as it appears in the data set header.
+    pub name: String,
+    pub data_type: DataType,
+    /// Optional human-readable description, from a data dictionary
+    /// (see [`crate::datadict`]). Used to enrich fragment keywords.
+    pub description: Option<String>,
+}
+
+impl ColumnMeta {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+            description: None,
+        }
+    }
+
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnMeta>,
+    /// Index of the primary-key column, if declared.
+    pub primary_key: Option<usize>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnMeta>) -> Self {
+        Self {
+            name: name.into(),
+            columns,
+            primary_key: None,
+        }
+    }
+
+    pub fn with_primary_key(mut self, column: usize) -> Self {
+        self.primary_key = Some(column);
+        self
+    }
+
+    /// Index of the column with the given name (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A foreign-key edge: `tables[from_table].columns[from_column]` references
+/// the primary key `tables[to_table].columns[to_column]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub from_table: usize,
+    pub from_column: usize,
+    pub to_table: usize,
+    pub to_column: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_index_is_case_insensitive() {
+        let schema = TableSchema::new(
+            "nflsuspensions",
+            vec![
+                ColumnMeta::new("Name", DataType::Str),
+                ColumnMeta::new("Games", DataType::Str),
+                ColumnMeta::new("Category", DataType::Str),
+            ],
+        );
+        assert_eq!(schema.column_index("games"), Some(1));
+        assert_eq!(schema.column_index("GAMES"), Some(1));
+        assert_eq!(schema.column_index("nope"), None);
+    }
+
+    #[test]
+    fn descriptions_attach_to_columns() {
+        let meta = ColumnMeta::new("edu", DataType::Str)
+            .with_description("highest education level of the respondent");
+        assert!(meta.description.unwrap().contains("education"));
+    }
+}

@@ -1,0 +1,197 @@
+//! A table: schema plus columnar data.
+
+use crate::column::ColumnData;
+use crate::error::{RelationalError, Result};
+use crate::schema::{ColumnMeta, TableSchema};
+use crate::value::Value;
+
+/// A materialized table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    columns: Vec<ColumnData>,
+    row_count: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| ColumnData::new(c.data_type))
+            .collect();
+        Self {
+            schema,
+            columns,
+            row_count: 0,
+        }
+    }
+
+    /// Build a table from a name and `(column name, values)` pairs; the
+    /// column type is taken from the first non-null value. Convenient for
+    /// tests and the hand-built corpus data sets.
+    pub fn from_columns(
+        name: impl Into<String>,
+        columns: Vec<(&str, Vec<Value>)>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let n_rows = columns.first().map(|(_, v)| v.len()).unwrap_or(0);
+        let mut metas = Vec::with_capacity(columns.len());
+        for (col_name, values) in &columns {
+            if values.len() != n_rows {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "column {col_name} has {} rows, expected {n_rows}",
+                    values.len()
+                )));
+            }
+            let dt = values
+                .iter()
+                .find_map(|v| v.kind())
+                .unwrap_or(crate::value::DataType::Str);
+            metas.push(ColumnMeta::new(*col_name, dt));
+        }
+        let mut table = Table::new(TableSchema::new(name, metas));
+        for row in 0..n_rows {
+            let vals: Vec<Value> = columns.iter().map(|(_, v)| v[row].clone()).collect();
+            table.push_row(&vals)?;
+        }
+        Ok(table)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The physical data of column `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// The physical data of the column with the given name.
+    pub fn column_by_name(&self, name: &str) -> Option<&ColumnData> {
+        self.schema.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Append one row. Values must match the column types (numeric widening
+    /// and string coercion are handled by [`ColumnData::push`]); a mismatch
+    /// stores NULL and is reported via the `Err` variant only when the value
+    /// is entirely incompatible.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(RelationalError::InvalidSchema(format!(
+                "row has {} values, table {} has {} columns",
+                values.len(),
+                self.schema.name,
+                self.columns.len()
+            )));
+        }
+        for (i, (col, val)) in self.columns.iter_mut().zip(values).enumerate() {
+            if !col.push(val) {
+                // Incompatible cell (e.g. text in an int column): store NULL
+                // so the row stays rectangular. Type inference in the CSV
+                // loader avoids this path for well-formed files.
+                col.push(&Value::Null);
+                let _ = i;
+            }
+        }
+        self.row_count += 1;
+        Ok(())
+    }
+
+    /// The cell at (`row`, `col`).
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Indices of numeric columns (candidates for aggregation columns).
+    pub fn numeric_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "name",
+                    vec!["rice".into(), "gordon".into(), "hardy".into()],
+                ),
+                (
+                    "games",
+                    vec!["indef".into(), "indef".into(), "10".into()],
+                ),
+                ("year", vec![Value::Int(2014), Value::Int(2014), Value::Int(2014)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let t = sample();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 3);
+        assert_eq!(t.get(0, 0), Value::Str("rice".into()));
+        assert_eq!(t.get(2, 2), Value::Int(2014));
+    }
+
+    #[test]
+    fn numeric_columns_detected() {
+        let t = sample();
+        assert_eq!(t.numeric_columns(), vec![2]);
+        assert_eq!(t.column(2).data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn mismatched_row_length_rejected() {
+        let mut t = sample();
+        let err = t.push_row(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelationalError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let r = Table::from_columns(
+            "bad",
+            vec![("a", vec![Value::Int(1)]), ("b", vec![])],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn column_by_name_is_case_insensitive() {
+        let t = sample();
+        assert!(t.column_by_name("GAMES").is_some());
+        assert!(t.column_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn incompatible_cell_becomes_null() {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![ColumnMeta::new("n", DataType::Int)],
+        ));
+        t.push_row(&[Value::Str("oops".into())]).unwrap();
+        assert_eq!(t.get(0, 0), Value::Null);
+    }
+}

@@ -1,0 +1,240 @@
+//! Scalar values and data types.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+}
+
+/// A scalar value as it appears in a cell or an equality predicate.
+///
+/// Strings are owned here; inside column storage they are dictionary-encoded
+/// (see [`crate::column::StringDictionary`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one. Integers widen to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse a raw CSV cell into the most specific value:
+    /// empty → `Null`, integer → `Int`, decimal → `Float`, otherwise `Str`.
+    ///
+    /// Thousands separators inside otherwise-numeric cells (`"1,234"`) are
+    /// accepted, mirroring how the paper's datasets store counts.
+    pub fn parse_cell(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("na") || trimmed == "-" {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+        }
+        // "1,234" / "12,345,678" style integers.
+        if trimmed.len() > 3 && trimmed.contains(',') {
+            let no_sep: String = trimmed.chars().filter(|c| *c != ',').collect();
+            if looks_like_separated_number(trimmed) {
+                if let Ok(i) = no_sep.parse::<i64>() {
+                    return Value::Int(i);
+                }
+                if let Ok(f) = no_sep.parse::<f64>() {
+                    if f.is_finite() {
+                        return Value::Float(f);
+                    }
+                }
+            }
+        }
+        Value::Str(trimmed.to_string())
+    }
+
+    /// The [`DataType`] of this value, or `None` for `Null`.
+    pub fn kind(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+}
+
+/// Checks whether a string is digits grouped in threes by commas
+/// (optionally with a decimal fraction and sign), e.g. `-1,234,567.8`.
+fn looks_like_separated_number(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let (int_part, frac_part) = match s.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (s, None),
+    };
+    if let Some(f) = frac_part {
+        if f.is_empty() || !f.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+    }
+    let groups: Vec<&str> = int_part.split(',').collect();
+    if groups.len() < 2 {
+        return false;
+    }
+    let first_ok = !groups[0].is_empty()
+        && groups[0].len() <= 3
+        && groups[0].bytes().all(|b| b.is_ascii_digit());
+    first_ok
+        && groups[1..]
+            .iter()
+            .all(|g| g.len() == 3 && g.bytes().all(|b| b.is_ascii_digit()))
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_cell_types() {
+        assert_eq!(Value::parse_cell("42"), Value::Int(42));
+        assert_eq!(Value::parse_cell("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_cell("3.5"), Value::Float(3.5));
+        assert_eq!(Value::parse_cell(" hello "), Value::Str("hello".into()));
+        assert_eq!(Value::parse_cell(""), Value::Null);
+        assert_eq!(Value::parse_cell("  "), Value::Null);
+        assert_eq!(Value::parse_cell("NA"), Value::Null);
+    }
+
+    #[test]
+    fn parse_cell_thousands_separators() {
+        assert_eq!(Value::parse_cell("1,234"), Value::Int(1234));
+        assert_eq!(Value::parse_cell("12,345,678"), Value::Int(12_345_678));
+        assert_eq!(Value::parse_cell("1,234.5"), Value::Float(1234.5));
+        // Not a number: groups of the wrong width stay strings.
+        assert_eq!(Value::parse_cell("12,34"), Value::Str("12,34".into()));
+        assert_eq!(Value::parse_cell("a,b"), Value::Str("a,b".into()));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn ordering_across_numeric_types() {
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Str("a".into()) < Value::Str("b".into()));
+        assert_eq!(Value::Str("a".into()).partial_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Str("indef".into()).to_string(), "'indef'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

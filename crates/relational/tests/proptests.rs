@@ -1,0 +1,165 @@
+//! Property-based tests of the relational engine's core invariants.
+
+use agg_relational::{
+    execute_query, AggColumn, AggFunction, Database, EvalCache, MergePlanner, Predicate,
+    SimpleAggregateQuery, StringDictionary, Table, Value,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// String dictionary
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dictionary_intern_resolve_round_trip(words in prop::collection::vec("[a-zA-Z]{1,10}", 1..40)) {
+        let mut dict = StringDictionary::new();
+        let codes: Vec<u32> = words.iter().map(|w| dict.intern(w)).collect();
+        for (w, c) in words.iter().zip(&codes) {
+            // Lookup by any casing returns the same code.
+            prop_assert_eq!(dict.code_of(&w.to_uppercase()), Some(*c));
+            // The resolved spelling matches case-insensitively.
+            let resolved = dict.resolve(*c).unwrap();
+            prop_assert!(resolved.eq_ignore_ascii_case(w));
+        }
+        // Codes are dense: 0..len.
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), dict.len());
+        prop_assert!(unique.iter().all(|c| (*c as usize) < dict.len()));
+    }
+
+    #[test]
+    fn csv_parser_never_panics(input in "[ -~\\n\"]{0,200}") {
+        // Structurally broken input may error, but must never panic.
+        let _ = agg_relational::csv::parse_csv(&input);
+    }
+
+    #[test]
+    fn parse_cell_classifies_integers(v in -1_000_000i64..1_000_000) {
+        prop_assert_eq!(Value::parse_cell(&v.to_string()), Value::Int(v));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge planner ≡ naive execution on random batches
+// ---------------------------------------------------------------------------
+
+fn random_db(rows: &[(u8, u8, i64)]) -> Database {
+    let cats = ["a", "b", "c"];
+    let regions = ["x", "y"];
+    let table = Table::from_columns(
+        "t",
+        vec![
+            (
+                "cat",
+                rows.iter()
+                    .map(|(c, _, _)| Value::Str(cats[*c as usize].into()))
+                    .collect(),
+            ),
+            (
+                "region",
+                rows.iter()
+                    .map(|(_, r, _)| Value::Str(regions[*r as usize].into()))
+                    .collect(),
+            ),
+            (
+                "num",
+                rows.iter().map(|(_, _, n)| Value::Int(*n)).collect(),
+            ),
+        ],
+    )
+    .unwrap();
+    let mut db = Database::new("p");
+    db.add_table(table);
+    db
+}
+
+/// An arbitrary valid simple aggregate query over the fixed schema.
+fn arb_query() -> impl Strategy<Value = (u8, bool, Option<u8>, Option<u8>)> {
+    // (function selector, use num column, cat literal, region literal)
+    (0u8..8, any::<bool>(), prop::option::of(0u8..3), prop::option::of(0u8..2))
+}
+
+fn materialize_query(
+    db: &Database,
+    (f, use_num, cat_lit, region_lit): (u8, bool, Option<u8>, Option<u8>),
+) -> Option<SimpleAggregateQuery> {
+    let cats = ["a", "b", "c"];
+    let regions = ["x", "y"];
+    let cat = db.resolve("t", "cat").unwrap();
+    let region = db.resolve("t", "region").unwrap();
+    let num = db.resolve("t", "num").unwrap();
+    let function = AggFunction::ALL[f as usize];
+    let column = match function {
+        AggFunction::Count | AggFunction::Percentage | AggFunction::ConditionalProbability => {
+            if use_num {
+                AggColumn::Column(num)
+            } else {
+                AggColumn::Star
+            }
+        }
+        AggFunction::CountDistinct => AggColumn::Column(if use_num { num } else { cat }),
+        _ => AggColumn::Column(num),
+    };
+    let mut predicates = Vec::new();
+    if let Some(l) = cat_lit {
+        predicates.push(Predicate::new(cat, cats[l as usize]));
+    }
+    if let Some(l) = region_lit {
+        predicates.push(Predicate::new(region, regions[l as usize]));
+    }
+    if function == AggFunction::ConditionalProbability && predicates.is_empty() {
+        return None;
+    }
+    Some(SimpleAggregateQuery::new(function, column, predicates))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_plan_matches_naive_for_random_batches(
+        rows in prop::collection::vec((0u8..3, 0u8..2, -50i64..50), 1..40),
+        specs in prop::collection::vec(arb_query(), 1..12),
+    ) {
+        let db = random_db(&rows);
+        let queries: Vec<SimpleAggregateQuery> = specs
+            .into_iter()
+            .filter_map(|s| materialize_query(&db, s))
+            .collect();
+        prop_assume!(!queries.is_empty());
+
+        let plan = MergePlanner::plan(&db, &queries).unwrap();
+        let (merged, _) = plan.execute(&db).unwrap();
+        let cache = EvalCache::new();
+        let (cached, _) = plan.execute_cached(&db, &cache).unwrap();
+        let (cached2, stats2) = plan.execute_cached(&db, &cache).unwrap();
+        prop_assert_eq!(stats2.cubes_executed, 0, "second run fully cached");
+
+        for (i, q) in queries.iter().enumerate() {
+            let naive = execute_query(&db, q).unwrap();
+            prop_assert_eq!(merged[i], naive, "merged vs naive: {}", q.to_sql(&db));
+            prop_assert_eq!(cached[i], naive, "cached vs naive: {}", q.to_sql(&db));
+            prop_assert_eq!(cached2[i], naive, "warm cache vs naive: {}", q.to_sql(&db));
+        }
+    }
+
+    #[test]
+    fn semantic_equality_is_reflexive_and_symmetric(
+        rows in prop::collection::vec((0u8..3, 0u8..2, -50i64..50), 1..5),
+        a in arb_query(),
+        b in arb_query(),
+    ) {
+        let db = random_db(&rows);
+        let qa = materialize_query(&db, a);
+        let qb = materialize_query(&db, b);
+        if let Some(qa) = &qa {
+            prop_assert!(qa.semantically_equal(qa));
+        }
+        if let (Some(qa), Some(qb)) = (&qa, &qb) {
+            prop_assert_eq!(qa.semantically_equal(qb), qb.semantically_equal(qa));
+        }
+    }
+}

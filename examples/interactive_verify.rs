@@ -1,0 +1,68 @@
+//! Semi-automated verification, the paper's primary use case (§2): the
+//! system proposes top-k query translations per claim; a user (scripted
+//! here) inspects them, accepts or corrects, and the verdict follows the
+//! *chosen* query. Mirrors the Figure 3 interface flow without a GUI.
+//!
+//! ```text
+//! cargo run --release --example interactive_verify
+//! ```
+
+use aggchecker::corpus::builtin::{campaign_donations, developer_survey};
+use aggchecker::relational::execute_query;
+use aggchecker::{AggChecker, CheckerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for case in [campaign_donations(), developer_survey()] {
+        println!("=== {} ===", case.name);
+        let checker = AggChecker::new(case.db.clone(), CheckerConfig::default())?;
+        let report = checker.check_text(&case.article_html)?;
+
+        for (claim, truth) in report.claims.iter().zip(&case.ground_truth) {
+            println!("claim: «{}» in: {}", claim.claimed_value, claim.sentence.trim());
+            println!("  top suggestions:");
+            for (i, rq) in claim.top_queries.iter().take(5).enumerate() {
+                let marker = if rq.query.semantically_equal(&truth.query) {
+                    " ← ground truth"
+                } else {
+                    ""
+                };
+                println!(
+                    "   {}. p={:.3} {} = {:?}{}",
+                    i + 1,
+                    rq.probability,
+                    rq.query.to_sql(&case.db),
+                    rq.result,
+                    marker
+                );
+            }
+            // The scripted user picks the ground-truth query — from the
+            // list if present (1-3 clicks), else by custom construction.
+            let rank = claim
+                .top_queries
+                .iter()
+                .position(|rq| rq.query.semantically_equal(&truth.query));
+            let clicks = match rank {
+                Some(0) => 1,
+                Some(r) if r < 5 => 2,
+                Some(_) => 3,
+                None => 4,
+            };
+            let result = execute_query(&case.db, &truth.query)?.expect("ground truth evaluates");
+            let verdict_correct =
+                aggchecker::nlp::rounding::matches_claim(result, &claim.mention.number);
+            println!(
+                "  user action: {} ({} click{}), result {result} → claim is {}",
+                match rank {
+                    Some(0) => "confirm top suggestion".to_string(),
+                    Some(r) => format!("pick suggestion #{}", r + 1),
+                    None => "assemble custom query".to_string(),
+                },
+                clicks,
+                if clicks == 1 { "" } else { "s" },
+                if verdict_correct { "CORRECT" } else { "WRONG" }
+            );
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: load a CSV data set, check a short write-up against it, and
+//! print the marked-up verification report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aggchecker::core::report::{render_ansi, render_summary};
+use aggchecker::relational::csv::load_csv;
+use aggchecker::relational::Database;
+use aggchecker::{AggChecker, CheckerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small sales data set, as it might arrive in a CSV export.
+    let csv = "\
+region,product,amount
+west,widget,120
+west,gadget,80
+west,widget,95
+east,widget,40
+east,gadget,310
+south,gadget,55
+south,widget,60
+south,gadget,90
+";
+    let table = load_csv("sales", csv)?;
+    let mut db = Database::new("quickstart");
+    db.add_table(table);
+
+    // 2. A summary a colleague drafted. Two claims are right, one is not:
+    //    the west region has three sales, not four.
+    let article = "\
+<title>Quarterly sales notes</title>
+<h1>Regional picture</h1>
+<p>Our database covers 8 sales this quarter. There were four sales in the
+west region. The largest single amount was 310.</p>
+";
+
+    // 3. Check the text against the data.
+    let checker = AggChecker::new(db, CheckerConfig::default())?;
+    let report = checker.check_text(article)?;
+
+    // 4. Show the spell-checker-style markup and a one-line-per-claim
+    //    summary.
+    let doc = aggchecker::nlp::structure::parse_document(article);
+    println!("{}", render_ansi(&doc, &report));
+    println!("{}", render_summary(&report));
+
+    println!(
+        "claims: {}, flagged: {}, candidates evaluated: {}",
+        report.claims.len(),
+        report.flagged().count(),
+        report.stats.candidates_evaluated
+    );
+    Ok(())
+}

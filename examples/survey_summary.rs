@@ -1,0 +1,56 @@
+//! A developer-survey article in the style of the Stack Overflow test
+//! cases: generate a synthetic survey data set plus a write-up with a
+//! controlled error rate, verify it, and compare against ground truth.
+//!
+//! ```text
+//! cargo run --release --example survey_summary
+//! ```
+
+use aggchecker::core::report::render_summary;
+use aggchecker::corpus::stats::align_claims;
+use aggchecker::corpus::{generate_test_case, CorpusSpec};
+use aggchecker::{AggChecker, CheckerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Article index 1 of the default corpus is a survey-domain case.
+    let spec = CorpusSpec {
+        sloppy_article_rate: 1.0, // force some erroneous claims
+        ..CorpusSpec::default()
+    };
+    let case = generate_test_case(&spec, 1);
+    assert_eq!(case.domain_key, "survey");
+
+    println!("=== generated article ===\n{}", case.article_html);
+    println!(
+        "data set: {} respondents; ground truth: {} claims, {} erroneous\n",
+        case.db.total_rows(),
+        case.ground_truth.len(),
+        case.erroneous_count()
+    );
+
+    let checker = AggChecker::new(case.db.clone(), CheckerConfig::default())?;
+    let report = checker.check_text(&case.article_html)?;
+    println!("=== verification ===\n{}", render_summary(&report));
+
+    // Score the run against ground truth.
+    let detected: Vec<f64> = report.claims.iter().map(|c| c.claimed_value).collect();
+    let aligned = align_claims(&detected, &case.ground_truth);
+    let mut flagged_right = 0;
+    let mut flagged_wrong = 0;
+    for (truth, slot) in case.ground_truth.iter().zip(aligned) {
+        if let Some(idx) = slot {
+            let flagged = report.claims[idx].verdict == aggchecker::Verdict::Erroneous;
+            if flagged && !truth.is_correct {
+                flagged_right += 1;
+            }
+            if flagged && truth.is_correct {
+                flagged_wrong += 1;
+            }
+        }
+    }
+    println!(
+        "erroneous claims caught: {flagged_right}/{}; correct claims falsely flagged: {flagged_wrong}",
+        case.erroneous_count()
+    );
+    Ok(())
+}

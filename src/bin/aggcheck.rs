@@ -1,0 +1,175 @@
+//! `aggcheck` — check a text document against a CSV data set.
+//!
+//! ```text
+//! aggcheck <data.csv> <article.html|article.txt> [--dict <datadict.txt>]
+//!          [--html out.html] [--json] [--hits N] [--p-true P]
+//! ```
+//!
+//! Prints the ANSI-marked document plus a per-claim summary; `--html`
+//! additionally writes the Figure 3-style HTML markup.
+
+use aggchecker::core::report::{render_ansi, render_html, render_summary};
+use aggchecker::nlp::structure::parse_document;
+use aggchecker::relational::csv::load_csv;
+use aggchecker::relational::datadict::{apply_data_dictionary, parse_data_dictionary};
+use aggchecker::relational::Database;
+use aggchecker::{AggChecker, CheckerConfig, Verdict};
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut dict_path: Option<String> = None;
+    let mut html_out: Option<String> = None;
+    let mut json = false;
+    let mut cfg = CheckerConfig::default();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dict" => dict_path = it.next(),
+            "--html" => html_out = it.next(),
+            "--json" => json = true,
+            "--hits" => {
+                cfg.lucene_hits = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hits needs a positive integer"));
+            }
+            "--p-true" => {
+                cfg.p_true = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--p-true needs a probability"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: aggcheck <data.csv> <article> [--dict file] [--html out] [--json] [--hits N] [--p-true P]"
+                );
+                exit(0);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        die("expected exactly two arguments: <data.csv> <article>");
+    }
+
+    let csv_path = &positional[0];
+    let text_path = &positional[1];
+    let csv = read(csv_path);
+    let text = read(text_path);
+
+    let table_name = Path::new(csv_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("data")
+        .to_string();
+    let mut table = match load_csv(&table_name, &csv) {
+        Ok(t) => t,
+        Err(e) => die(&format!("failed to load {csv_path}: {e}")),
+    };
+    if let Some(path) = dict_path {
+        let entries = parse_data_dictionary(&read(&path));
+        let applied = apply_data_dictionary(&mut table, &entries);
+        eprintln!("data dictionary: {applied}/{} entries applied", entries.len());
+    }
+    eprintln!(
+        "loaded {}: {} rows × {} columns",
+        table_name,
+        table.row_count(),
+        table.column_count()
+    );
+    let mut db = Database::new(table_name);
+    db.add_table(table);
+
+    let checker = match AggChecker::new(db, cfg) {
+        Ok(c) => c,
+        Err(e) => die(&format!("configuration error: {e}")),
+    };
+    let doc = parse_document(&text);
+    let report = match checker.check_document(&doc) {
+        Ok(r) => r,
+        Err(e) => die(&format!("verification failed: {e}")),
+    };
+
+    if json {
+        print_json(&report, checker.db());
+    } else {
+        println!("{}", render_ansi(&doc, &report));
+        println!("{}", render_summary(&report));
+    }
+    if let Some(out) = html_out {
+        let html = render_html(&doc, &report);
+        if let Err(e) = std::fs::write(&out, html) {
+            die(&format!("cannot write {out}: {e}"));
+        }
+        eprintln!("wrote {out}");
+    }
+    eprintln!(
+        "{} claims checked in {:.2?} ({} candidate queries evaluated); {} flagged",
+        report.claims.len(),
+        report.stats.elapsed,
+        report.stats.candidates_evaluated,
+        report.flagged().count()
+    );
+    // Exit code 1 when suspicious claims were found, like grep.
+    if report.flagged().count() > 0 {
+        exit(1);
+    }
+}
+
+/// Minimal hand-rolled JSON output (claims, verdicts, top queries).
+fn print_json(report: &aggchecker::VerificationReport, db: &Database) {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', " ")
+    }
+    println!("[");
+    for (i, claim) in report.claims.iter().enumerate() {
+        let verdict = match claim.verdict {
+            Verdict::Correct => "correct",
+            Verdict::Erroneous => "erroneous",
+            Verdict::Unverifiable => "unverifiable",
+        };
+        let top = claim
+            .top_queries
+            .iter()
+            .take(5)
+            .map(|rq| {
+                format!(
+                    "{{\"sql\":\"{}\",\"probability\":{:.6},\"result\":{},\"matches\":{}}}",
+                    esc(&rq.query.to_sql(db)),
+                    rq.probability,
+                    rq.result
+                        .map(|r| format!("{r}"))
+                        .unwrap_or_else(|| "null".into()),
+                    rq.matches
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "  {{\"claimed\":{},\"verdict\":\"{}\",\"p_correct\":{:.6},\"sentence\":\"{}\",\"top_queries\":[{}]}}{}",
+            claim.claimed_value,
+            verdict,
+            claim.correctness_probability,
+            esc(&claim.sentence),
+            top,
+            if i + 1 < report.claims.len() { "," } else { "" }
+        );
+    }
+    println!("]");
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2)
+}

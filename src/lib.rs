@@ -1,0 +1,42 @@
+//! # aggchecker
+//!
+//! Facade crate for the AggChecker reproduction — *Verifying Text Summaries
+//! of Relational Data Sets* (Jo, Trummer, Yu, Liu, Wang, Yu, Mehta;
+//! SIGMOD 2019).
+//!
+//! ```
+//! use aggchecker::{AggChecker, CheckerConfig};
+//! use aggchecker::relational::csv::load_csv;
+//! use aggchecker::relational::Database;
+//!
+//! let table = load_csv("sales", "region,amount\nwest,10\neast,20\n").unwrap();
+//! let mut db = Database::new("sales");
+//! db.add_table(table);
+//! let checker = AggChecker::new(db, CheckerConfig::default()).unwrap();
+//! let report = checker.check_text("<p>There were two sales regions.</p>").unwrap();
+//! for claim in &report.claims {
+//!     println!("{:?}: {}", claim.verdict, claim.sentence);
+//! }
+//! ```
+//!
+//! The subsystem crates are re-exported:
+//!
+//! * [`relational`] — columnar engine, CUBE operator, caching (PostgreSQL
+//!   substitute),
+//! * [`nlp`] — tokenizer, numerals, stemmer, synonyms, document structure
+//!   (CoreNLP/WordNet substitute),
+//! * [`ir`] — BM25 inverted index (Lucene substitute),
+//! * [`core`] — the checker itself,
+//! * [`corpus`] — synthetic test-case generator + the paper's examples,
+//! * [`baselines`] — ClaimBuster-FM / NaLIR-style baselines.
+
+pub use agg_baselines as baselines;
+pub use agg_core as core;
+pub use agg_corpus as corpus;
+pub use agg_ir as ir;
+pub use agg_nlp as nlp;
+pub use agg_relational as relational;
+
+pub use agg_core::{
+    AggChecker, CheckedClaim, CheckerConfig, RankedQuery, VerificationReport, Verdict,
+};

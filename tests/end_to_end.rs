@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: corpus generation → verification →
+//! metrics, plus the paper's hand-built cases end to end.
+
+use aggchecker::corpus::builtin::{all_builtin, campaign_donations, developer_survey};
+use aggchecker::corpus::stats::align_claims;
+use aggchecker::corpus::{generate_corpus, CorpusSpec};
+use aggchecker::relational::execute_query;
+use aggchecker::{AggChecker, CheckerConfig, Verdict};
+use agg_bench::runner::run_corpus;
+
+#[test]
+fn builtin_table9_cases_are_flagged() {
+    // The paper's Table 9: each of these articles contains a claim its
+    // author later confirmed to be wrong. The checker must flag all three.
+    for tc in all_builtin() {
+        let checker = AggChecker::new(tc.db.clone(), CheckerConfig::default()).unwrap();
+        let report = checker.check_text(&tc.article_html).unwrap();
+        let detected: Vec<f64> = report.claims.iter().map(|c| c.claimed_value).collect();
+        let aligned = align_claims(&detected, &tc.ground_truth);
+        for (g, slot) in tc.ground_truth.iter().zip(aligned) {
+            let claim = &report.claims[slot.expect("claim detected")];
+            if !g.is_correct {
+                assert_eq!(
+                    claim.verdict,
+                    Verdict::Erroneous,
+                    "{}: wrong claim {} must be flagged",
+                    tc.name,
+                    g.claimed_value
+                );
+            } else {
+                assert_eq!(
+                    claim.verdict,
+                    Verdict::Correct,
+                    "{}: correct claim {} must not be flagged",
+                    tc.name,
+                    g.claimed_value
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn donations_ground_truth_ranks_first() {
+    // The CountDistinct(recipient) query should be the checker's own top
+    // suggestion for the donations claim.
+    let tc = campaign_donations();
+    let checker = AggChecker::new(tc.db.clone(), CheckerConfig::default()).unwrap();
+    let report = checker.check_text(&tc.article_html).unwrap();
+    let top = report.claims[0].ml_query().unwrap();
+    assert!(
+        top.query.semantically_equal(&tc.ground_truth[0].query),
+        "top query was {}",
+        top.query.to_sql(&tc.db)
+    );
+    assert_eq!(top.result, Some(63.0));
+}
+
+#[test]
+fn survey_percentage_query_is_found_in_top_k() {
+    let tc = developer_survey();
+    let checker = AggChecker::new(tc.db.clone(), CheckerConfig::default()).unwrap();
+    let report = checker.check_text(&tc.article_html).unwrap();
+    let rank = report.claims[0]
+        .top_queries
+        .iter()
+        .position(|rq| rq.query.semantically_equal(&tc.ground_truth[0].query));
+    assert!(rank.is_some(), "Percentage(self-taught) must be a candidate");
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let tc = aggchecker::corpus::generate_test_case(&CorpusSpec::small(1, 99), 0);
+    let run = |threads: usize| {
+        let mut cfg = CheckerConfig::default();
+        cfg.threads = threads;
+        let checker = AggChecker::new(tc.db.clone(), cfg).unwrap();
+        let report = checker.check_text(&tc.article_html).unwrap();
+        report
+            .claims
+            .iter()
+            .map(|c| {
+                (
+                    c.claimed_value.to_bits(),
+                    c.verdict == Verdict::Erroneous,
+                    c.ml_query().map(|q| q.query.to_sql(&tc.db)),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(4);
+    assert_eq!(a, b, "same-config reruns must agree");
+    assert_eq!(a, c, "thread count must not change results");
+}
+
+#[test]
+fn corpus_run_beats_baseline_shapes() {
+    // A small corpus run must reproduce the paper's qualitative shape:
+    // good top-10 coverage, decent recall, correct claims covered better
+    // than incorrect ones.
+    let corpus = generate_corpus(&CorpusSpec::small(12, 2024));
+    let run = run_corpus(&corpus, &CheckerConfig::default());
+    let cov = run.coverage();
+    assert!(cov.at(10) > 0.5, "top-10 coverage {:.3}", cov.at(10));
+    let (correct, incorrect) = run.coverage_split();
+    if incorrect.total() >= 5 {
+        // Small-sample slack: the paper's Figure 10 gap is large, but a
+        // dozen articles only contain a handful of erroneous claims.
+        assert!(
+            correct.at(10) + 0.2 >= incorrect.at(10),
+            "correct-claim coverage must dominate (Fig. 10 shape): {:.3} vs {:.3}",
+            correct.at(10),
+            incorrect.at(10)
+        );
+    }
+}
+
+#[test]
+fn ground_truth_queries_always_evaluate() {
+    let corpus = generate_corpus(&CorpusSpec::small(4, 7));
+    for tc in &corpus {
+        for g in &tc.ground_truth {
+            let v = execute_query(&tc.db, &g.query)
+                .expect("valid query")
+                .expect("non-null result");
+            assert!((v - g.true_value).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn checker_survives_adversarial_documents() {
+    let tc = aggchecker::corpus::builtin::nfl_suspensions();
+    let checker = AggChecker::new(tc.db.clone(), CheckerConfig::default()).unwrap();
+    for text in [
+        "",
+        "no claims at all",
+        "<p></p><h1></h1>",
+        "<p>999999999999 and 0 and -5 and 3.14159</p>",
+        "<h1>1</h1><h2>2</h2><h3>3</h3>",
+        "<p>Sentence with 1,234,567 large and 0.00001 small numbers.</p>",
+        "&amp;&lt;&gt; <p>busted &quot;entities&quot; with 3 claims</p>",
+    ] {
+        let report = checker.check_text(text).expect("no panic");
+        // Every detected claim must carry a coherent verdict.
+        for claim in &report.claims {
+            if claim.verdict != Verdict::Unverifiable {
+                assert!(!claim.top_queries.is_empty());
+            }
+            assert!((0.0..=1.0).contains(&claim.correctness_probability));
+        }
+    }
+}
+
+#[test]
+fn join_cases_verify_across_tables() {
+    // A two-table star schema: claims with predicates on the dimension
+    // attribute force join-path discovery through the whole pipeline.
+    let tc = aggchecker::corpus::generate_join_case(&CorpusSpec::small(1, 31), 0);
+    assert_eq!(tc.db.table_count(), 2);
+    let run = run_corpus(std::slice::from_ref(&tc), &CheckerConfig::default());
+    assert!(!run.outcomes.is_empty());
+    assert!(run.outcomes.iter().all(|o| o.detected));
+    // The cross-table claims must be *resolvable*: their ground-truth query
+    // appears among the top candidates for at least half of them.
+    let cross: Vec<_> = tc
+        .ground_truth
+        .iter()
+        .zip(&run.outcomes)
+        .filter(|(g, _)| g.query.tables_referenced().len() > 1)
+        .collect();
+    assert!(!cross.is_empty());
+    let found = cross.iter().filter(|(_, o)| o.truth_rank.is_some()).count();
+    assert!(
+        found * 2 >= cross.len(),
+        "join queries must be reachable: {found}/{}",
+        cross.len()
+    );
+}
+
+#[test]
+fn experiments_registry_smoke() {
+    use agg_bench::experiments::{run_experiment, ExpContext, Scale};
+    let ctx = ExpContext::new(Scale::Quick, 5);
+    // The cheap, corpus-analysis experiments must run and mention their
+    // paper artifact.
+    for (name, needle) in [
+        ("fig8", "query candidates"),
+        ("fig9a", "Distribution of claims"),
+        ("fig9b", "top-N"),
+        ("fig9c", "predicates"),
+    ] {
+        let out = run_experiment(name, &ctx).expect("known experiment");
+        assert!(out.contains(needle), "{name}: {out}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Property-based tests over the core invariants:
+//!
+//! * the cube operator agrees with naive query execution on arbitrary
+//!   data and predicate combinations (the merging correctness invariant
+//!   everything in §6 rests on);
+//! * rounding-aware matching is reflexive and respects its own rounding;
+//! * CSV parsing round-trips values;
+//! * the tokenizer produces byte-accurate, non-overlapping spans;
+//! * number rendering/parsing round-trips through the corpus generator's
+//!   conventions.
+
+use aggchecker::nlp::rounding::{matches_value, round_significant};
+use aggchecker::nlp::tokenize::tokenize;
+use aggchecker::relational::csv::{load_csv, parse_csv};
+use aggchecker::relational::{
+    execute_query, AggColumn, AggFunction, CubeQuery, Database, DimSel, Predicate,
+    SimpleAggregateQuery, Table, Value,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Cube ≡ naive execution
+// ---------------------------------------------------------------------------
+
+/// A random two-categorical + one-numeric table.
+fn arb_table() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<Option<i64>>)> {
+    let rows = 1..60usize;
+    rows.prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..4, n),
+            prop::collection::vec(0u8..3, n),
+            prop::collection::vec(prop::option::of(-100i64..100), n),
+        )
+    })
+}
+
+fn build_db(cats: &[u8], regions: &[u8], nums: &[Option<i64>]) -> Database {
+    use aggchecker::relational::{ColumnMeta, DataType, TableSchema};
+    let cat_names = ["alpha", "beta", "gamma", "delta"];
+    let region_names = ["north", "south", "east"];
+    // Explicit schema: an all-NULL numeric column must stay numeric, which
+    // value-based type inference cannot know.
+    let mut table = Table::new(TableSchema::new(
+        "t",
+        vec![
+            ColumnMeta::new("cat", DataType::Str),
+            ColumnMeta::new("region", DataType::Str),
+            ColumnMeta::new("num", DataType::Int),
+        ],
+    ));
+    for i in 0..cats.len() {
+        table
+            .push_row(&[
+                Value::Str(cat_names[cats[i] as usize].into()),
+                Value::Str(region_names[regions[i] as usize].into()),
+                nums[i].map(Value::Int).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+    }
+    let mut db = Database::new("prop");
+    db.add_table(table);
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cube_agrees_with_naive_execution(
+        (cats, regions, nums) in arb_table(),
+        cat_lit in 0u8..4,
+        region_lit in 0u8..3,
+    ) {
+        let db = build_db(&cats, &regions, &nums);
+        let cat = db.resolve("t", "cat").unwrap();
+        let region = db.resolve("t", "region").unwrap();
+        let num = db.resolve("t", "num").unwrap();
+        let cat_names = ["alpha", "beta", "gamma", "delta"];
+        let region_names = ["north", "south", "east"];
+
+        let cube = CubeQuery {
+            dims: vec![cat, region],
+            relevant: vec![
+                vec![Value::from(cat_names[cat_lit as usize])],
+                vec![Value::from(region_names[region_lit as usize])],
+            ],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                (AggFunction::Sum, AggColumn::Column(num)),
+                (AggFunction::Min, AggColumn::Column(num)),
+                (AggFunction::Max, AggColumn::Column(num)),
+                (AggFunction::Avg, AggColumn::Column(num)),
+                (AggFunction::CountDistinct, AggColumn::Column(num)),
+            ],
+        };
+        let result = cube.execute(&db).unwrap();
+
+        // Check every dimension subset against the naive executor.
+        for (ci, c_sel) in [None, Some(cat_lit)].into_iter().enumerate() {
+            let _ = ci;
+            for r_sel in [None, Some(region_lit)] {
+                let mut preds = Vec::new();
+                let mut assignment = Vec::new();
+                match c_sel {
+                    Some(l) => {
+                        preds.push(Predicate::new(cat, cat_names[l as usize]));
+                        assignment.push(DimSel::Literal(0));
+                    }
+                    None => assignment.push(DimSel::Any),
+                }
+                match r_sel {
+                    Some(l) => {
+                        preds.push(Predicate::new(region, region_names[l as usize]));
+                        assignment.push(DimSel::Literal(0));
+                    }
+                    None => assignment.push(DimSel::Any),
+                }
+                for (idx, (f, col)) in cube.aggregates.iter().enumerate() {
+                    let q = SimpleAggregateQuery::new(*f, *col, preds.clone());
+                    let naive = execute_query(&db, &q).unwrap();
+                    let merged = if matches!(f, AggFunction::Count | AggFunction::CountDistinct) {
+                        Some(result.get_count(&assignment, idx))
+                    } else {
+                        result.get(&assignment, idx)
+                    };
+                    prop_assert_eq!(merged, naive, "{} at {:?}", q.to_sql(&db), assignment);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_aggregates_agree_between_paths(
+        (cats, regions, nums) in arb_table(),
+        cat_lit in 0u8..4,
+    ) {
+        let db = build_db(&cats, &regions, &nums);
+        let cat = db.resolve("t", "cat").unwrap();
+        let cat_names = ["alpha", "beta", "gamma", "delta"];
+        let q = SimpleAggregateQuery::new(
+            AggFunction::Percentage,
+            AggColumn::Star,
+            vec![Predicate::new(cat, cat_names[cat_lit as usize])],
+        );
+        let naive = execute_query(&db, &q).unwrap();
+        // Derive via counts, like the evaluator does.
+        let count_q = SimpleAggregateQuery::count_star(vec![Predicate::new(
+            cat,
+            cat_names[cat_lit as usize],
+        )]);
+        let total_q = SimpleAggregateQuery::count_star(vec![]);
+        let num = execute_query(&db, &count_q).unwrap().unwrap();
+        let den = execute_query(&db, &total_q).unwrap().unwrap();
+        let derived = aggchecker::relational::ratio_from_counts(num, den);
+        prop_assert_eq!(naive, derived);
+    }
+
+    // -----------------------------------------------------------------------
+    // Rounding
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn rounding_match_is_reflexive(v in -1e9f64..1e9, digits in 1u32..8) {
+        // A value always matches itself, whatever precision is claimed.
+        prop_assert!(matches_value(v, v, digits, 2));
+    }
+
+    #[test]
+    fn rounded_values_match_their_source(v in 0.001f64..1e9, digits in 1u32..6) {
+        let rounded = round_significant(v, digits);
+        prop_assert!(
+            matches_value(v, rounded, digits, 12),
+            "{v} should match its own {digits}-digit rounding {rounded}"
+        );
+    }
+
+    #[test]
+    fn round_significant_is_idempotent(v in -1e9f64..1e9, digits in 1u32..8) {
+        // Idempotent up to floating-point noise: rounding to *decimal*
+        // significant digits cannot always be exact in binary floats (e.g.
+        // 9.79e8 → 1e9 may land on 999999999.9999999). The value matcher
+        // compares with a relative epsilon for exactly this reason.
+        let once = round_significant(v, digits);
+        let twice = round_significant(once, digits);
+        let scale = once.abs().max(twice.abs()).max(1e-12);
+        prop_assert!(
+            ((once - twice) / scale).abs() < 1e-9,
+            "{once} vs {twice}"
+        );
+        // And the matcher itself treats them as equal.
+        prop_assert!(matches_value(once, twice, digits, 6) || once == 0.0);
+    }
+
+    // -----------------------------------------------------------------------
+    // CSV
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn csv_quoted_fields_round_trip(
+        cells in prop::collection::vec("[ -~]{0,12}", 1..6)
+    ) {
+        // Quote every field; embedded quotes are doubled.
+        let line: Vec<String> = cells
+            .iter()
+            .map(|c| format!("\"{}\"", c.replace('"', "\"\"")))
+            .collect();
+        let text = format!("{}\n", line.join(","));
+        let rows = parse_csv(&text).unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        prop_assert_eq!(&rows[0], &cells);
+    }
+
+    #[test]
+    fn csv_integer_columns_round_trip(values in prop::collection::vec(-1000i64..1000, 1..30)) {
+        let mut text = String::from("x\n");
+        for v in &values {
+            text.push_str(&format!("{v}\n"));
+        }
+        let table = load_csv("t", &text).unwrap();
+        prop_assert_eq!(table.row_count(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(table.get(i, 0), Value::Int(*v));
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Tokenizer
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn tokenizer_spans_are_exact_and_ordered(text in "[ -~]{0,80}") {
+        let tokens = tokenize(&text);
+        let mut last_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= last_end, "overlapping spans");
+            prop_assert!(t.end > t.start);
+            prop_assert_eq!(&text[t.start..t.end], t.text.as_str());
+            last_end = t.end;
+        }
+    }
+
+    #[test]
+    fn tokenizer_never_panics_on_unicode(text in "\\PC{0,60}") {
+        let _ = tokenize(&text);
+    }
+
+    // -----------------------------------------------------------------------
+    // Number words
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn spelled_small_numbers_parse_back(n in 0u32..13) {
+        const WORDS: [&str; 13] = [
+            "zero", "one", "two", "three", "four", "five", "six", "seven",
+            "eight", "nine", "ten", "eleven", "twelve",
+        ];
+        let text = format!("there were {} cases", WORDS[n as usize]);
+        let mentions =
+            aggchecker::nlp::numbers::parse_number_mentions(&tokenize(&text));
+        prop_assert_eq!(mentions.len(), 1);
+        prop_assert_eq!(mentions[0].value, n as f64);
+    }
+
+    #[test]
+    fn digit_numbers_parse_back(n in 0i64..10_000_000) {
+        let text = format!("a total of {n} units");
+        let mentions =
+            aggchecker::nlp::numbers::parse_number_mentions(&tokenize(&text));
+        prop_assert_eq!(mentions.len(), 1);
+        prop_assert_eq!(mentions[0].value, n as f64);
+    }
+}
