@@ -59,14 +59,23 @@ mod tests {
         FactRepository::build(vec![
             ("the unemployment rate fell below five percent".into(), true),
             ("the unemployment rate doubled in a year".into(), false),
-            ("unemployment among graduates is rising quickly".into(), false),
+            (
+                "unemployment among graduates is rising quickly".into(),
+                false,
+            ),
         ])
     }
 
     #[test]
     fn max_mode_borrows_top_verdict() {
         let r = repo();
-        let v = check_with_fm(&r, "the unemployment rate fell below five percent", FmMode::Max, 3, 0.0);
+        let v = check_with_fm(
+            &r,
+            "the unemployment rate fell below five percent",
+            FmMode::Max,
+            3,
+            0.0,
+        );
         assert_eq!(v, Some(true));
     }
 

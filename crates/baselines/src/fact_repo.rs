@@ -103,36 +103,105 @@ fn terms_of(text: &str) -> Vec<String> {
 
 /// Statements in the style of public fact-check archives.
 const POPULAR_CLAIMS: &[(&str, bool)] = &[
-    ("The unemployment rate fell below five percent last year", true),
-    ("Crime in major cities has doubled over the past decade", false),
-    ("The federal budget deficit tripled under the previous administration", false),
-    ("More than a million jobs were added to the economy this year", true),
-    ("The average family pays more in taxes than ever before", false),
-    ("Millions of undocumented votes were cast in the election", false),
-    ("The president signed more executive orders than any predecessor", false),
-    ("Wages for middle class workers have stagnated for twenty years", true),
+    (
+        "The unemployment rate fell below five percent last year",
+        true,
+    ),
+    (
+        "Crime in major cities has doubled over the past decade",
+        false,
+    ),
+    (
+        "The federal budget deficit tripled under the previous administration",
+        false,
+    ),
+    (
+        "More than a million jobs were added to the economy this year",
+        true,
+    ),
+    (
+        "The average family pays more in taxes than ever before",
+        false,
+    ),
+    (
+        "Millions of undocumented votes were cast in the election",
+        false,
+    ),
+    (
+        "The president signed more executive orders than any predecessor",
+        false,
+    ),
+    (
+        "Wages for middle class workers have stagnated for twenty years",
+        true,
+    ),
     ("The trade deficit with China reached a record high", true),
     ("Violent crime is at a fifty year low nationwide", true),
-    ("The country spends more on defense than the next ten nations combined", true),
-    ("Immigrants commit crimes at higher rates than native born citizens", false),
+    (
+        "The country spends more on defense than the next ten nations combined",
+        true,
+    ),
+    (
+        "Immigrants commit crimes at higher rates than native born citizens",
+        false,
+    ),
     ("The top one percent own half of the nation's wealth", false),
-    ("Renewable energy employs more people than coal mining", true),
-    ("The average temperature has risen two degrees since 1900", false),
-    ("Vaccines cause more injuries than the diseases they prevent", false),
-    ("The national debt exceeds the size of the entire economy", true),
-    ("School test scores have declined every year for a decade", false),
-    ("The league suspended more players last season than ever before", false),
-    ("Ticket prices have doubled since the new stadium opened", false),
+    (
+        "Renewable energy employs more people than coal mining",
+        true,
+    ),
+    (
+        "The average temperature has risen two degrees since 1900",
+        false,
+    ),
+    (
+        "Vaccines cause more injuries than the diseases they prevent",
+        false,
+    ),
+    (
+        "The national debt exceeds the size of the entire economy",
+        true,
+    ),
+    (
+        "School test scores have declined every year for a decade",
+        false,
+    ),
+    (
+        "The league suspended more players last season than ever before",
+        false,
+    ),
+    (
+        "Ticket prices have doubled since the new stadium opened",
+        false,
+    ),
     ("The team's payroll is the highest in the division", true),
-    ("Home prices in the region rose faster than anywhere else", false),
-    ("The state's population grew by a million people in ten years", true),
+    (
+        "Home prices in the region rose faster than anywhere else",
+        false,
+    ),
+    (
+        "The state's population grew by a million people in ten years",
+        true,
+    ),
     ("Gas prices hit their highest level in seven years", true),
     ("The company laid off a quarter of its workforce", false),
     ("Retail sales collapsed during the holiday season", false),
-    ("The survey shows most developers learned to code in college", false),
-    ("A majority of respondents favor remote work arrangements", true),
-    ("The average salary in the industry exceeds six figures", false),
-    ("Most donations to the campaign came from out of state", false),
+    (
+        "The survey shows most developers learned to code in college",
+        false,
+    ),
+    (
+        "A majority of respondents favor remote work arrangements",
+        true,
+    ),
+    (
+        "The average salary in the industry exceeds six figures",
+        false,
+    ),
+    (
+        "Most donations to the campaign came from out of state",
+        false,
+    ),
 ];
 
 #[cfg(test)]

@@ -83,10 +83,7 @@ impl<'a> NalirTranslator<'a> {
     }
 
     /// Translate one question. `Err` carries the failure mode.
-    pub fn translate(
-        &self,
-        question: &str,
-    ) -> Result<SimpleAggregateQuery, TranslationFailure> {
+    pub fn translate(&self, question: &str) -> Result<SimpleAggregateQuery, TranslationFailure> {
         let tokens = tokenize(question);
         let words: Vec<String> = tokens
             .iter()
@@ -113,8 +110,7 @@ impl<'a> NalirTranslator<'a> {
 
         // Aggregation column (for value aggregates): a schema column whose
         // name appears verbatim.
-        let column = if function.requires_numeric_column()
-            || function == AggFunction::CountDistinct
+        let column = if function.requires_numeric_column() || function == AggFunction::CountDistinct
         {
             let found = self
                 .column_words
@@ -213,10 +209,7 @@ mod tests {
                     "category",
                     vec!["gambling".into(), "peds".into(), "gambling".into()],
                 ),
-                (
-                    "games",
-                    vec![Value::Int(4), Value::Int(8), Value::Int(16)],
-                ),
+                ("games", vec![Value::Int(4), Value::Int(8), Value::Int(16)]),
             ],
         )
         .unwrap();
@@ -239,7 +232,9 @@ mod tests {
     fn translates_average_with_column() {
         let d = db();
         let t = NalirTranslator::new(&d);
-        let q = t.translate("What is the average games for gambling?").unwrap();
+        let q = t
+            .translate("What is the average games for gambling?")
+            .unwrap();
         assert_eq!(q.function, AggFunction::Avg);
         assert!(matches!(q.column, AggColumn::Column(_)));
     }
@@ -268,7 +263,9 @@ mod tests {
         let d = db();
         let t = NalirTranslator::new(&d);
         // "matches" is a synonym of "games" — NaLIR does not know that.
-        let err = t.translate("What is the average matches played?").unwrap_err();
+        let err = t
+            .translate("What is the average matches played?")
+            .unwrap_err();
         assert_eq!(err, TranslationFailure::NoAggregationColumn);
     }
 

@@ -63,14 +63,8 @@ mod tests {
 
     #[test]
     fn selects_the_right_mention_in_multiclaim_sentences() {
-        let qs = generate_questions(
-            "Three were for substance abuse, one was for gambling.",
-            1.0,
-        );
-        assert!(
-            qs.iter().any(|q| q.contains("was for gambling")),
-            "{qs:?}"
-        );
+        let qs = generate_questions("Three were for substance abuse, one was for gambling.", 1.0);
+        assert!(qs.iter().any(|q| q.contains("was for gambling")), "{qs:?}");
     }
 
     #[test]

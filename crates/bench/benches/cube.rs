@@ -1,8 +1,12 @@
 //! Microbenchmark: the CUBE operator versus equivalent per-query scans
-//! (the mechanism behind Table 6's "+ Query Merging" row).
+//! (the mechanism behind Table 6's "+ Query Merging" row), plus the
+//! dense-grid / hashed-fallback / thread-count matrix of the executor.
+//!
+//! For the machine-readable variant (including the frozen seed-executor
+//! baseline) run `cargo run --release -p agg-bench --bin bench_cube`.
 
 use agg_relational::{
-    execute_query, AggColumn, AggFunction, CubeQuery, Database, Predicate,
+    execute_query, AggColumn, AggFunction, CubeOptions, CubeQuery, Database, Predicate,
     SimpleAggregateQuery, Table, Value,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -19,7 +23,9 @@ fn synthetic_db(rows: usize) -> Database {
     let region_col: Vec<Value> = (0..rows)
         .map(|_| Value::Str(regions[rng.gen_range(0..regions.len())].into()))
         .collect();
-    let amount: Vec<Value> = (0..rows).map(|_| Value::Int(rng.gen_range(0..1000))).collect();
+    let amount: Vec<Value> = (0..rows)
+        .map(|_| Value::Int(rng.gen_range(0..1000)))
+        .collect();
     let t = Table::from_columns(
         "facts",
         vec![("cat", cat_col), ("region", region_col), ("amount", amount)],
@@ -57,6 +63,32 @@ fn bench_cube_vs_naive(c: &mut Criterion) {
             b.iter(|| cube.execute(&db).unwrap());
         });
 
+        // Executor matrix: dense grid vs hashed fallback × scan threads.
+        // Thread counts are *requests*: the executor clamps to the host's
+        // available_parallelism, so on small CI boxes the Nt variants
+        // measure the clamped (possibly sequential) execution.
+        let hashed = CubeOptions {
+            dense_cell_cap: 0,
+            ..CubeOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("cube_hashed_1t", rows), &rows, |b, _| {
+            b.iter(|| cube.execute_with(&db, &hashed).unwrap());
+        });
+        for threads in [1usize, 2, 4] {
+            let opts = CubeOptions {
+                threads,
+                parallel_row_threshold: 1024,
+                ..CubeOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("cube_dense_{threads}t"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| cube.execute_with(&db, &opts).unwrap());
+                },
+            );
+        }
+
         // The equivalent naive workload: every (cat, region) combination
         // (including unrestricted) for both aggregates.
         let mut queries = Vec::new();
@@ -77,17 +109,13 @@ fn bench_cube_vs_naive(c: &mut Criterion) {
                 }
             }
         }
-        group.bench_with_input(
-            BenchmarkId::new("naive_equivalent", rows),
-            &rows,
-            |b, _| {
-                b.iter(|| {
-                    for q in &queries {
-                        execute_query(&db, q).unwrap();
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("naive_equivalent", rows), &rows, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    execute_query(&db, q).unwrap();
+                }
+            });
+        });
     }
     group.finish();
 }

@@ -18,10 +18,12 @@ fn bench_strategies(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut cfg = CheckerConfig::default();
-                cfg.strategy = strategy;
-                // A smaller hit budget keeps the naive arm affordable.
-                cfg.lucene_hits = 8;
+                let cfg = CheckerConfig {
+                    strategy,
+                    // A smaller hit budget keeps the naive arm affordable.
+                    lucene_hits: 8,
+                    ..CheckerConfig::default()
+                };
                 let checker = AggChecker::new(tc.db.clone(), cfg).unwrap();
                 checker.check_text(&tc.article_html).unwrap()
             });

@@ -1,0 +1,331 @@
+//! Machine-readable cube-executor benchmark: emits `BENCH_cube.json`.
+//!
+//! ```text
+//! cargo run --release -p agg-bench --bin bench_cube
+//! cargo run --release -p agg-bench --bin bench_cube -- --rows 100000 --out path.json
+//! ```
+//!
+//! Times four executor variants on the synthetic cube workload (the shape
+//! behind Table 6's "+ Query Merging" row) and writes one JSON document so
+//! the performance trajectory stays comparable across PRs:
+//!
+//! * `seed_hashmap_1t` — a faithful reimplementation of the seed executor
+//!   (std `HashMap` grid keyed per row, exponential clone-heavy rollup),
+//!   kept here as the fixed baseline;
+//! * `hashed_1t` — the current executor forced onto its hashed fallback;
+//! * `dense_1t` / `dense_4t` — the dense mixed-radix grid, sequential and
+//!   with 4 scan workers.
+
+use agg_relational::{
+    Accumulator, AggColumn, AggFunction, CubeOptions, CubeQuery, Database, DimSel, GridMode,
+    JoinedRelation, Table, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+const CATS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
+
+fn synthetic_db(rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cat_col: Vec<Value> = (0..rows)
+        .map(|_| Value::Str(CATS[rng.gen_range(0..CATS.len())].into()))
+        .collect();
+    let region_col: Vec<Value> = (0..rows)
+        .map(|_| Value::Str(REGIONS[rng.gen_range(0..REGIONS.len())].into()))
+        .collect();
+    let amount: Vec<Value> = (0..rows)
+        .map(|_| Value::Int(rng.gen_range(0..1000)))
+        .collect();
+    let t = Table::from_columns(
+        "facts",
+        vec![("cat", cat_col), ("region", region_col), ("amount", amount)],
+    )
+    .unwrap();
+    let mut db = Database::new("bench");
+    db.add_table(t);
+    db
+}
+
+fn workload(db: &Database) -> CubeQuery {
+    let cat = db.resolve("facts", "cat").unwrap();
+    let region = db.resolve("facts", "region").unwrap();
+    let amount = db.resolve("facts", "amount").unwrap();
+    CubeQuery {
+        dims: vec![cat, region],
+        relevant: vec![
+            CATS.iter().map(|s| Value::from(*s)).collect(),
+            REGIONS.iter().map(|s| Value::from(*s)).collect(),
+        ],
+        aggregates: vec![
+            (AggFunction::Count, AggColumn::Star),
+            (AggFunction::Sum, AggColumn::Column(amount)),
+        ],
+    }
+}
+
+/// The seed implementation of `CubeQuery::execute_on`, preserved verbatim in
+/// spirit: per-row `HashMap<u64, u8>` literal lookups feeding a
+/// `HashMap<key, Vec<Accumulator>>` grid, then a rollup that clones every
+/// finest group for each of the `2^d − 1` coarser subsets.
+fn seed_execute(query: &CubeQuery, db: &Database) -> HashMap<u64, Vec<Option<f64>>> {
+    const OTHER: u8 = 254;
+    const ALL: u8 = 255;
+    const MAX_DIMS: usize = 8;
+    let from_codes = |codes: &[u8]| -> u64 {
+        let mut key = 0u64;
+        for (i, &c) in codes.iter().enumerate() {
+            key |= (c as u64) << (8 * i);
+        }
+        for i in codes.len()..MAX_DIMS {
+            key |= (ALL as u64) << (8 * i);
+        }
+        key
+    };
+
+    let relation = JoinedRelation::for_tables(db, &query.tables_referenced()).unwrap();
+    let d = query.dims.len();
+    struct DimCtx<'a> {
+        resolver: agg_relational::join::RowResolver<'a>,
+        col: &'a agg_relational::ColumnData,
+        literal_codes: HashMap<u64, u8>,
+    }
+    let mut dim_ctx = Vec::with_capacity(d);
+    for (dim, lits) in query.dims.iter().zip(&query.relevant) {
+        let col = db.column(*dim);
+        let mut literal_codes = HashMap::with_capacity(lits.len());
+        for (i, lit) in lits.iter().enumerate() {
+            if let Some(code) = col.group_code_of(lit) {
+                literal_codes.insert(code, i as u8);
+            }
+        }
+        dim_ctx.push(DimCtx {
+            resolver: relation.resolver(*dim),
+            col,
+            literal_codes,
+        });
+    }
+    let agg_ctx: Vec<Option<_>> = query
+        .aggregates
+        .iter()
+        .map(|(_, col)| {
+            col.as_column()
+                .map(|c| (relation.resolver(c), db.column(c)))
+        })
+        .collect();
+
+    let mut finest: HashMap<u64, Vec<Accumulator>> = HashMap::new();
+    let mut codes = vec![0u8; d];
+    for row in 0..relation.len() {
+        for (i, ctx) in dim_ctx.iter().enumerate() {
+            let base = ctx.resolver.base_row(row);
+            codes[i] = ctx
+                .col
+                .group_code(base)
+                .and_then(|gc| ctx.literal_codes.get(&gc).copied())
+                .unwrap_or(OTHER);
+        }
+        let key = from_codes(&codes);
+        let accs = finest.entry(key).or_insert_with(|| {
+            query
+                .aggregates
+                .iter()
+                .map(|(f, _)| Accumulator::new(*f))
+                .collect()
+        });
+        for (acc, ctx) in accs.iter_mut().zip(&agg_ctx) {
+            match ctx {
+                None => acc.update(None, None, true),
+                Some((res, col)) => {
+                    let base = res.base_row(row);
+                    acc.update(col.get_f64(base), col.group_code(base), !col.is_null(base));
+                }
+            }
+        }
+    }
+
+    let mut all_groups = finest;
+    if d > 0 {
+        let finest_keys: Vec<u64> = all_groups.keys().copied().collect();
+        for mask in 0..(1u32 << d) - 1 {
+            for &fk in &finest_keys {
+                let mut key = fk;
+                for i in 0..d {
+                    if mask & (1 << i) == 0 {
+                        key |= (ALL as u64) << (8 * i);
+                    }
+                }
+                if key == fk {
+                    continue;
+                }
+                let src = all_groups.get(&fk).expect("finest key present").clone();
+                match all_groups.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (a, b) in e.get_mut().iter_mut().zip(&src) {
+                            a.merge(b);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(src);
+                    }
+                }
+            }
+        }
+    }
+    all_groups
+        .into_iter()
+        .map(|(k, accs)| (k, accs.iter().map(Accumulator::finish).collect()))
+        .collect()
+}
+
+/// Median wall-clock nanoseconds over `samples` runs of `f`.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u64 {
+    // One warmup run.
+    f();
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Variant {
+    name: &'static str,
+    median_ns: u64,
+    rows_per_sec: f64,
+    mode: &'static str,
+    threads_requested: u32,
+    /// Scan workers the executor actually ran with (`CubeStats::scan_threads`)
+    /// — on machines with fewer cores than requested, the hardware clamp
+    /// makes this smaller than `threads_requested`.
+    threads_used: u32,
+}
+
+fn main() {
+    let mut rows = 10_000usize;
+    let mut out = String::from("BENCH_cube.json");
+    let mut samples = 15usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rows" => rows = args.next().and_then(|v| v.parse().ok()).expect("--rows N"),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples N")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_cube [--rows N] [--samples N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = synthetic_db(rows);
+    let query = workload(&db);
+
+    // Cross-check all variants against the reference result before timing.
+    let reference = query.execute(&db).unwrap();
+    assert_eq!(reference.stats.grid_mode, GridMode::Dense);
+    let hashed_opts = CubeOptions {
+        dense_cell_cap: 0,
+        ..CubeOptions::default()
+    };
+    let dense4_opts = CubeOptions {
+        threads: 4,
+        parallel_row_threshold: 1024,
+        ..CubeOptions::default()
+    };
+    for opts in [&hashed_opts, &dense4_opts] {
+        let r = query.execute_with(&db, opts).unwrap();
+        for ci in (0..CATS.len()).map(DimSel::Literal).chain([DimSel::Any]) {
+            for ri in (0..REGIONS.len()).map(DimSel::Literal).chain([DimSel::Any]) {
+                for agg in 0..2 {
+                    assert_eq!(
+                        reference.get(&[ci, ri], agg),
+                        r.get(&[ci, ri], agg),
+                        "variant disagrees at {ci:?}/{ri:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    let time_variant = |name, mode, threads_requested: u32, opts: Option<&CubeOptions>| {
+        let (median, threads_used) = match opts {
+            Some(opts) => (
+                median_ns(samples, || {
+                    std::hint::black_box(query.execute_with(&db, opts).unwrap());
+                }),
+                query.execute_with(&db, opts).unwrap().stats.scan_threads,
+            ),
+            None => (
+                median_ns(samples, || {
+                    std::hint::black_box(seed_execute(&query, &db));
+                }),
+                1,
+            ),
+        };
+        Variant {
+            name,
+            median_ns: median,
+            rows_per_sec: rows as f64 / (median as f64 / 1e9),
+            mode,
+            threads_requested,
+            threads_used,
+        }
+    };
+
+    let variants = [
+        time_variant("seed_hashmap_1t", "seed-hashmap", 1, None),
+        time_variant("hashed_1t", "hashed", 1, Some(&hashed_opts)),
+        time_variant("dense_1t", "dense", 1, Some(&CubeOptions::default())),
+        time_variant("dense_4t", "dense", 4, Some(&dense4_opts)),
+    ];
+
+    let seed_ns = variants[0].median_ns as f64;
+    let dense4_ns = variants[3].median_ns as f64;
+    let speedup = seed_ns / dense4_ns;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!(
+        "  \"finest_groups\": {},\n  \"total_groups\": {},\n",
+        reference.stats.finest_groups, reference.stats.total_groups
+    ));
+    json.push_str(&format!(
+        "  \"dense_cells\": {},\n",
+        reference.stats.dense_cells
+    ));
+    json.push_str("  \"variants\": [\n");
+    for (i, v) in variants.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"threads_requested\": {}, \"threads_used\": {}, \"median_ns\": {}, \"rows_per_sec\": {:.0}}}{}\n",
+            v.name,
+            v.mode,
+            v.threads_requested,
+            v.threads_used,
+            v.median_ns,
+            v.rows_per_sec,
+            if i + 1 < variants.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_dense4_vs_seed\": {speedup:.2}\n"));
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write BENCH_cube.json");
+    print!("{json}");
+    eprintln!("wrote {out} (dense@4t is {speedup:.2}x the seed executor)");
+}

@@ -65,8 +65,11 @@ impl ExpContext {
     }
 }
 
+/// An experiment entry point: renders one paper artifact as text.
+pub type Experiment = fn(&ExpContext) -> String;
+
 /// All experiments, by paper artifact id.
-pub const EXPERIMENTS: &[(&str, fn(&ExpContext) -> String)] = &[
+pub const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("table3", study::table3),
     ("table4", study::table4),
     ("table5", accuracy::table5),

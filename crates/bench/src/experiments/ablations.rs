@@ -11,7 +11,10 @@ use std::fmt::Write;
 /// Run all ablations and report top-k coverage plus F1 for each variant.
 pub fn ablations(ctx: &ExpContext) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablations: design decisions beyond the paper's own ladders");
+    let _ = writeln!(
+        out,
+        "Ablations: design decisions beyond the paper's own ladders"
+    );
     let _ = writeln!(
         out,
         "{:<44} {:>8} {:>8} {:>8} {:>8}",
@@ -36,28 +39,40 @@ pub fn ablations(ctx: &ExpContext) -> String {
     row("default configuration", CheckerConfig::default(), &mut out);
 
     // The (1 - p_r) factor the paper's Eq. (5) omits.
-    let mut cfg = CheckerConfig::default();
-    cfg.penalize_unrestricted = true;
+    let cfg = CheckerConfig {
+        penalize_unrestricted: true,
+        ..CheckerConfig::default()
+    };
     row("+ penalize unrestricted columns (1 - p_r)", cfg, &mut out);
 
     // Prior smoothing sweep.
     for lambda in [0.0, 0.01, 0.2, 0.5] {
-        let mut cfg = CheckerConfig::default();
-        cfg.prior_smoothing = lambda;
+        let cfg = CheckerConfig {
+            prior_smoothing: lambda,
+            ..CheckerConfig::default()
+        };
         row(&format!("prior smoothing lambda = {lambda}"), cfg, &mut out);
     }
 
     // Unrestricted pseudo-score factor.
     for factor in [0.4, 0.6, 1.0] {
-        let mut cfg = CheckerConfig::default();
-        cfg.unrestricted_factor = factor;
-        row(&format!("unrestricted score factor = {factor}"), cfg, &mut out);
+        let cfg = CheckerConfig {
+            unrestricted_factor: factor,
+            ..CheckerConfig::default()
+        };
+        row(
+            &format!("unrestricted score factor = {factor}"),
+            cfg,
+            &mut out,
+        );
     }
 
     // EM iteration budget.
     for iters in [1usize, 2, 4] {
-        let mut cfg = CheckerConfig::default();
-        cfg.max_em_iterations = iters;
+        let cfg = CheckerConfig {
+            max_em_iterations: iters,
+            ..CheckerConfig::default()
+        };
         row(&format!("max EM iterations = {iters}"), cfg, &mut out);
     }
 

@@ -5,12 +5,12 @@ use super::ExpContext;
 use crate::metrics::{pct, Confusion};
 use crate::runner::{run_corpus, run_corpus_with};
 use agg_baselines::{check_with_fm, check_with_kb, FactRepository, FmMode};
+use agg_core::{CheckerConfig, ContextConfig, ModelConfig};
 use agg_corpus::stats::align_claims;
 use agg_corpus::TestCase;
 use agg_nlp::claims::{detect_claims, ClaimDetectorConfig};
 use agg_nlp::structure::parse_document;
 use agg_nlp::synonyms::SynonymDict;
-use agg_core::{CheckerConfig, ContextConfig, ModelConfig};
 use std::fmt::Write;
 use std::time::Instant;
 
@@ -18,13 +18,19 @@ use std::time::Instant;
 pub fn table5(ctx: &ExpContext) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 5: Comparison of AggChecker with baselines");
-    let _ = writeln!(out, "{:<44} {:>8} {:>10} {:>8} {:>8}", "Tool", "Recall", "Precision", "F1", "Time");
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>10} {:>8} {:>8}",
+        "Tool", "Recall", "Precision", "F1", "Time"
+    );
 
     // --- Keyword-context ablation (also Figure 11's data) ----------------
     let _ = writeln!(out, "-- AggChecker - Keyword Context (Figure 11)");
     for (label, ctx_cfg, synonyms) in context_ladder() {
-        let mut cfg = CheckerConfig::default();
-        cfg.context = ctx_cfg;
+        let cfg = CheckerConfig {
+            context: ctx_cfg,
+            ..CheckerConfig::default()
+        };
         let t0 = Instant::now();
         let run = run_corpus_with(&ctx.corpus, &cfg, synonyms);
         let c = run.confusion();
@@ -42,8 +48,10 @@ pub fn table5(ctx: &ExpContext) -> String {
     // --- Probabilistic-model ablation (also Table 10's data) -------------
     let _ = writeln!(out, "-- AggChecker - Probabilistic Model (Table 10)");
     for (label, model) in model_ladder() {
-        let mut cfg = CheckerConfig::default();
-        cfg.model = model;
+        let cfg = CheckerConfig {
+            model,
+            ..CheckerConfig::default()
+        };
         let t0 = Instant::now();
         let run = run_corpus(&ctx.corpus, &cfg);
         let c = run.confusion();
@@ -61,8 +69,10 @@ pub fn table5(ctx: &ExpContext) -> String {
     // --- Time budget by retrieval hits (also Figure 13's data) -----------
     let _ = writeln!(out, "-- AggChecker - Time Budget by IR Hits (Figure 13)");
     for hits in [1usize, 10, 20, 30] {
-        let mut cfg = CheckerConfig::default();
-        cfg.lucene_hits = hits;
+        let cfg = CheckerConfig {
+            lucene_hits: hits,
+            ..CheckerConfig::default()
+        };
         let t0 = Instant::now();
         let run = run_corpus(&ctx.corpus, &cfg);
         let c = run.confusion();
@@ -131,10 +141,16 @@ pub fn table5(ctx: &ExpContext) -> String {
 pub fn table10(ctx: &ExpContext) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 10: Top-k coverage versus probabilistic model");
-    let _ = writeln!(out, "{:<36} {:>8} {:>8} {:>8}", "Version", "Top-1", "Top-5", "Top-10");
+    let _ = writeln!(
+        out,
+        "{:<36} {:>8} {:>8} {:>8}",
+        "Version", "Top-1", "Top-5", "Top-10"
+    );
     for (label, model) in model_ladder() {
-        let mut cfg = CheckerConfig::default();
-        cfg.model = model;
+        let cfg = CheckerConfig {
+            model,
+            ..CheckerConfig::default()
+        };
         let run = run_corpus(&ctx.corpus, &cfg);
         let cov = run.coverage();
         let _ = writeln!(
@@ -155,8 +171,15 @@ pub fn fig10(ctx: &ExpContext) -> String {
     let cov = run.coverage();
     let (correct, incorrect) = run.coverage_split();
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 10: Top-k coverage (total / correct / incorrect claims)");
-    let _ = writeln!(out, "{:>5} {:>9} {:>9} {:>10}", "k", "Total", "Correct", "Incorrect");
+    let _ = writeln!(
+        out,
+        "Figure 10: Top-k coverage (total / correct / incorrect claims)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>9} {:>10}",
+        "k", "Total", "Correct", "Incorrect"
+    );
     for k in [1usize, 2, 3, 5, 10, 15, 20] {
         let _ = writeln!(
             out,
@@ -174,10 +197,16 @@ pub fn fig10(ctx: &ExpContext) -> String {
 pub fn fig11(ctx: &ExpContext) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 11: Top-k coverage versus keyword context");
-    let _ = writeln!(out, "{:<28} {:>8} {:>8} {:>8}", "Context", "Top-1", "Top-5", "Top-10");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>8} {:>8}",
+        "Context", "Top-1", "Top-5", "Top-10"
+    );
     for (label, ctx_cfg, synonyms) in context_ladder() {
-        let mut cfg = CheckerConfig::default();
-        cfg.context = ctx_cfg;
+        let cfg = CheckerConfig {
+            context: ctx_cfg,
+            ..CheckerConfig::default()
+        };
         let run = run_corpus_with(&ctx.corpus, &cfg, synonyms);
         let cov = run.coverage();
         let _ = writeln!(
@@ -196,10 +225,16 @@ pub fn fig11(ctx: &ExpContext) -> String {
 pub fn fig12(ctx: &ExpContext) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 12: p_T versus recall and precision");
-    let _ = writeln!(out, "{:>9} {:>8} {:>10} {:>8}", "p_T", "Recall", "Precision", "F1");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>8} {:>10} {:>8}",
+        "p_T", "Recall", "Precision", "F1"
+    );
     for p_t in [0.6, 0.8, 0.9, 0.99, 0.999, 0.9999] {
-        let mut cfg = CheckerConfig::default();
-        cfg.p_true = p_t;
+        let cfg = CheckerConfig {
+            p_true: p_t,
+            ..CheckerConfig::default()
+        };
         let run = run_corpus(&ctx.corpus, &cfg);
         let c = run.confusion();
         let _ = writeln!(
@@ -226,8 +261,10 @@ pub fn fig13(ctx: &ExpContext) -> String {
         "# Hits", "Time", "Top-1", "Top-10", "#Candidates"
     );
     for hits in [1usize, 10, 20, 30] {
-        let mut cfg = CheckerConfig::default();
-        cfg.lucene_hits = hits;
+        let cfg = CheckerConfig {
+            lucene_hits: hits,
+            ..CheckerConfig::default()
+        };
         let t0 = Instant::now();
         let run = run_corpus(&ctx.corpus, &cfg);
         let cov = run.coverage();
@@ -396,12 +433,10 @@ fn run_claimbuster_fm(corpus: &[TestCase], mode: FmMode) -> Confusion {
         for (slot, g) in sentences[i].iter().zip(&tc.ground_truth) {
             let flagged = match slot {
                 None => false,
-                Some((sentence, _)) => {
-                    match check_with_fm(&repo, sentence, mode, 5, 0.1) {
-                        Some(verdict_correct) => !verdict_correct,
-                        None => false,
-                    }
-                }
+                Some((sentence, _)) => match check_with_fm(&repo, sentence, mode, 5, 0.1) {
+                    Some(verdict_correct) => !verdict_correct,
+                    None => false,
+                },
             };
             confusion.record(!g.is_correct, flagged);
         }
@@ -420,19 +455,17 @@ fn run_claimbuster_kb(corpus: &[TestCase]) -> (Confusion, usize, usize) {
             total += 1;
             let flagged = match slot {
                 None => false,
-                Some((sentence, mention)) => {
-                    match check_with_kb(&tc.db, sentence, mention) {
-                        agg_baselines::claimbuster_kb::KbOutcome::VerifiedCorrect => {
-                            translated += 1;
-                            false
-                        }
-                        agg_baselines::claimbuster_kb::KbOutcome::VerifiedWrong => {
-                            translated += 1;
-                            true
-                        }
-                        agg_baselines::claimbuster_kb::KbOutcome::NotTranslated => false,
+                Some((sentence, mention)) => match check_with_kb(&tc.db, sentence, mention) {
+                    agg_baselines::claimbuster_kb::KbOutcome::VerifiedCorrect => {
+                        translated += 1;
+                        false
                     }
-                }
+                    agg_baselines::claimbuster_kb::KbOutcome::VerifiedWrong => {
+                        translated += 1;
+                        true
+                    }
+                    agg_baselines::claimbuster_kb::KbOutcome::NotTranslated => false,
+                },
             };
             confusion.record(!g.is_correct, flagged);
         }
@@ -472,7 +505,10 @@ mod tests {
             })
             .collect();
         for pair in rows.windows(2) {
-            assert!(pair[0] <= pair[1] + 1e-9, "coverage must grow with k: {rows:?}");
+            assert!(
+                pair[0] <= pair[1] + 1e-9,
+                "coverage must grow with k: {rows:?}"
+            );
         }
     }
 

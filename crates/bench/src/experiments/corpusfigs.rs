@@ -10,8 +10,15 @@ use std::fmt::Write;
 /// Figure 8: number of possible query candidates per data set.
 pub fn fig8(ctx: &ExpContext) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 8: Number of possible query candidates per data set");
-    let _ = writeln!(out, "{:<16} {:>8} {:>14}", "test case", "rows", "log10(#queries)");
+    let _ = writeln!(
+        out,
+        "Figure 8: Number of possible query candidates per data set"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>14}",
+        "test case", "rows", "log10(#queries)"
+    );
     let mut logs: Vec<(String, usize, f64)> = ctx
         .corpus
         .iter()
@@ -43,7 +50,11 @@ pub fn fig9a(ctx: &ExpContext) -> String {
     let stats = corpus_stats(&ctx.corpus, 5);
     let mut out = String::new();
     let _ = writeln!(out, "Figure 9(a): Distribution of claims over test cases");
-    let _ = writeln!(out, "{:<16} {:>8} {:>10}", "test case", "claims", "incorrect");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>10}",
+        "test case", "claims", "incorrect"
+    );
     let mut rows: Vec<(&str, usize, usize)> = ctx
         .corpus
         .iter()

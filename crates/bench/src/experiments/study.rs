@@ -8,9 +8,7 @@
 use super::ExpContext;
 use crate::metrics::{pct, Confusion};
 use crate::runner::{run_corpus, ClaimOutcome};
-use crate::usersim::{
-    session_confusion, simulate_session, ActionTally, Session, Tool, User,
-};
+use crate::usersim::{session_confusion, simulate_session, ActionTally, Session, Tool, User};
 use agg_core::CheckerConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,9 +67,8 @@ fn onsite_sessions(ctx: &ExpContext) -> Vec<(usize, usize, Tool, Session)> {
             } else {
                 Tool::Sql
             };
-            let mut rng = StdRng::seed_from_u64(
-                ctx.spec.seed ^ ((ui as u64) << 32) ^ (ai as u64) ^ 0x57D,
-            );
+            let mut rng =
+                StdRng::seed_from_u64(ctx.spec.seed ^ ((ui as u64) << 32) ^ (ai as u64) ^ 0x57D);
             let session = simulate_session(outcomes, user, tool, s.budgets[ai], &mut rng);
             sessions.push((ui, ai, tool, session));
         }
@@ -125,7 +122,11 @@ pub fn table4(ctx: &ExpContext) -> String {
     }
     let mut out = String::new();
     let _ = writeln!(out, "Table 4: Results of on-site user study");
-    let _ = writeln!(out, "{:<22} {:>8} {:>10} {:>9}", "Tool", "Recall", "Precision", "F1 Score");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>10} {:>9}",
+        "Tool", "Recall", "Precision", "F1 Score"
+    );
     let _ = writeln!(
         out,
         "{:<22} {:>8} {:>10} {:>9}",
@@ -158,7 +159,11 @@ pub fn fig6(ctx: &ExpContext) -> String {
         let name = &ctx.corpus[article].name;
         let budget = s.budgets[ai];
         let _ = writeln!(out, "-- article {name} (budget {budget:.0}s)");
-        let _ = writeln!(out, "{:>8} {:>16} {:>10}", "time(s)", "AggChecker(avg)", "SQL(avg)");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>16} {:>10}",
+            "time(s)", "AggChecker(avg)", "SQL(avg)"
+        );
         let steps = 6usize;
         for step in 1..=steps {
             let t = budget * step as f64 / steps as f64;
@@ -305,7 +310,10 @@ pub fn table11(ctx: &ExpContext) -> String {
     let sheet_workers = User::crowd_panel(ctx.spec.seed ^ 1, 13);
 
     let mut out = String::new();
-    let _ = writeln!(out, "Table 11: Crowd-worker study (Amazon Mechanical Turk simulation)");
+    let _ = writeln!(
+        out,
+        "Table 11: Crowd-worker study (Amazon Mechanical Turk simulation)"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:<10} {:>8} {:>10} {:>9}",
@@ -314,11 +322,11 @@ pub fn table11(ctx: &ExpContext) -> String {
 
     // Document scope: the full long article under a 10-minute budget.
     let row = |tool: Tool,
-                   scope: &str,
-                   outcomes: &[ClaimOutcome],
-                   panel: &[User],
-                   budget: f64,
-                   out: &mut String| {
+               scope: &str,
+               outcomes: &[ClaimOutcome],
+               panel: &[User],
+               budget: f64,
+               out: &mut String| {
         let mut c = Confusion::default();
         for (wi, w) in panel.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(ctx.spec.seed ^ 0xA37 ^ (wi as u64));
@@ -341,8 +349,22 @@ pub fn table11(ctx: &ExpContext) -> String {
         );
     };
 
-    row(Tool::AggChecker, "Document", outcomes, &workers, 600.0, &mut out);
-    row(Tool::Spreadsheet, "Document", outcomes, &sheet_workers, 600.0, &mut out);
+    row(
+        Tool::AggChecker,
+        "Document",
+        outcomes,
+        &workers,
+        600.0,
+        &mut out,
+    );
+    row(
+        Tool::Spreadsheet,
+        "Document",
+        outcomes,
+        &sheet_workers,
+        600.0,
+        &mut out,
+    );
 
     // Paragraph scope: two claims over a deliberately tiny data set that
     // can be verified by counting entries by hand (the paper doubled the
@@ -357,8 +379,22 @@ pub fn table11(ctx: &ExpContext) -> String {
             ..*u
         })
         .collect();
-    row(Tool::AggChecker, "Paragraph", &narrow, &workers, 300.0, &mut out);
-    row(Tool::Spreadsheet, "Paragraph", &narrow, &hand_countable, 300.0, &mut out);
+    row(
+        Tool::AggChecker,
+        "Paragraph",
+        &narrow,
+        &workers,
+        300.0,
+        &mut out,
+    );
+    row(
+        Tool::Spreadsheet,
+        "Paragraph",
+        &narrow,
+        &hand_countable,
+        300.0,
+        &mut out,
+    );
     out
 }
 
@@ -412,10 +448,7 @@ mod tests {
                 .map(|x| x.trim_end_matches('%').parse::<f64>().unwrap())
                 .unwrap()
         };
-        assert!(
-            f1_of("AggChecker + User") >= f1_of("SQL + User"),
-            "{out}"
-        );
+        assert!(f1_of("AggChecker + User") >= f1_of("SQL + User"), "{out}");
     }
 
     #[test]

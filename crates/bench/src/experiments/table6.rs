@@ -12,11 +12,14 @@ use std::fmt::Write;
 /// the point of the experiment.
 pub fn table6(ctx: &ExpContext) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 6: Run time for all test cases by evaluation strategy");
     let _ = writeln!(
         out,
-        "{:<18} {:>10} {:>10} {:>9}  {}",
-        "Version", "Total (s)", "Query (s)", "Speedup", "notes"
+        "Table 6: Run time for all test cases by evaluation strategy"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>9}  notes",
+        "Version", "Total (s)", "Query (s)", "Speedup"
     );
 
     // Naive: subset of articles when at full scale.
@@ -26,13 +29,18 @@ pub fn table6(ctx: &ExpContext) -> String {
         ctx.corpus.len()
     };
     let scale_factor = ctx.corpus.len() as f64 / naive_subset as f64;
-    let mut cfg = CheckerConfig::default();
-    cfg.strategy = EvalStrategy::Naive;
+    let cfg = CheckerConfig {
+        strategy: EvalStrategy::Naive,
+        ..CheckerConfig::default()
+    };
     let naive_run = run_corpus(&ctx.corpus[..naive_subset], &cfg);
     let naive_total = naive_run.elapsed.as_secs_f64() * scale_factor;
     let naive_query = naive_run.query_time.as_secs_f64() * scale_factor;
     let note = if scale_factor > 1.0 {
-        format!("(measured on {naive_subset}/{} articles, scaled)", ctx.corpus.len())
+        format!(
+            "(measured on {naive_subset}/{} articles, scaled)",
+            ctx.corpus.len()
+        )
     } else {
         String::new()
     };
@@ -42,8 +50,10 @@ pub fn table6(ctx: &ExpContext) -> String {
         "Naive", naive_total, naive_query, "-"
     );
 
-    let mut cfg = CheckerConfig::default();
-    cfg.strategy = EvalStrategy::Merged;
+    let cfg = CheckerConfig {
+        strategy: EvalStrategy::Merged,
+        ..CheckerConfig::default()
+    };
     let merged_run = run_corpus(&ctx.corpus, &cfg);
     let merged_query = merged_run.query_time.as_secs_f64();
     let _ = writeln!(
@@ -55,8 +65,10 @@ pub fn table6(ctx: &ExpContext) -> String {
         naive_query / merged_query.max(1e-9)
     );
 
-    let mut cfg = CheckerConfig::default();
-    cfg.strategy = EvalStrategy::MergedCached;
+    let cfg = CheckerConfig {
+        strategy: EvalStrategy::MergedCached,
+        ..CheckerConfig::default()
+    };
     let cached_run = run_corpus(&ctx.corpus, &cfg);
     let cached_query = cached_run.query_time.as_secs_f64();
     let _ = writeln!(

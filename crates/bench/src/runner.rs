@@ -103,8 +103,7 @@ pub fn run_corpus_with(
         run.elapsed += report.stats.elapsed;
         run.query_time += report.stats.query_time;
 
-        let detected_values: Vec<f64> =
-            report.claims.iter().map(|c| c.claimed_value).collect();
+        let detected_values: Vec<f64> = report.claims.iter().map(|c| c.claimed_value).collect();
         let aligned = align_claims(&detected_values, &tc.ground_truth);
         for (g, slot) in tc.ground_truth.iter().zip(aligned) {
             match slot {

@@ -267,9 +267,7 @@ mod tests {
         let cp_pair = set
             .agg_pairs
             .iter()
-            .position(|(fi, _)| {
-                cat.functions[*fi as usize] == AggFunction::ConditionalProbability
-            })
+            .position(|(fi, _)| cat.functions[*fi as usize] == AggFunction::ConditionalProbability)
             .unwrap() as u32;
         let empty = Candidate {
             combo: 0,
@@ -284,7 +282,7 @@ mod tests {
     }
 
     #[test]
-    fn to_query_round_trips(){
+    fn to_query_round_trips() {
         let (db, cat) = setup();
         let scope = scope_with(&cat, vec![(0, 0), (1, 1)]);
         let set = CandidateSet::enumerate(&cat, &scope, 3, 1000);

@@ -202,14 +202,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = CheckerConfig::default();
-        c.p_true = 1.5;
+        let mut c = CheckerConfig {
+            p_true: 1.5,
+            ..CheckerConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = CheckerConfig::default();
-        c.lucene_hits = 0;
+        c = CheckerConfig {
+            lucene_hits: 0,
+            ..CheckerConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = CheckerConfig::default();
-        c.max_predicates = 9;
+        c = CheckerConfig {
+            max_predicates: 9,
+            ..CheckerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

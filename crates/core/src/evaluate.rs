@@ -17,8 +17,8 @@
 use crate::candidates::CandidateSet;
 use crate::fragments::FragmentCatalog;
 use agg_relational::{
-    ratio_from_counts, AggColumn, AggFunction, CacheKey, CachedSlice, ColumnRef, CubeQuery,
-    Database, EvalCache, Result, Value,
+    ratio_from_counts, AggColumn, AggFunction, CacheKey, CachedSlice, ColumnRef, CubeOptions,
+    CubeQuery, Database, EvalCache, Result, Value,
 };
 use std::collections::BTreeMap;
 
@@ -97,6 +97,8 @@ pub struct Evaluator<'a> {
     /// Document-wide relevant literals per catalog predicate column
     /// (literal positions) — §6.3's cache-friendly literal sets.
     document_literals: Vec<Vec<usize>>,
+    /// Scan workers per cube execution (`CheckerConfig::threads`).
+    threads: usize,
     pub stats: EvalStats,
 }
 
@@ -113,8 +115,15 @@ impl<'a> Evaluator<'a> {
             catalog,
             cache,
             document_literals: vec![Vec::new(); catalog.predicate_columns.len()],
+            threads: 1,
             stats: EvalStats::default(),
         }
+    }
+
+    /// Use up to `threads` scan workers per cube execution (the
+    /// `CheckerConfig::threads` knob; small relations stay sequential).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Declare the document-wide literal sets: the union of scoped literal
@@ -131,9 +140,7 @@ impl<'a> Evaluator<'a> {
 
         // Map each aggregate pair to the value aggregate it needs.
         let mut value_aggs: Vec<(AggFunction, AggColumn)> = Vec::new();
-        let agg_slot = |aggs: &mut Vec<(AggFunction, AggColumn)>,
-                            f: AggFunction,
-                            c: AggColumn| {
+        let agg_slot = |aggs: &mut Vec<(AggFunction, AggColumn)>, f: AggFunction, c: AggColumn| {
             aggs.iter()
                 .position(|(af, ac)| *af == f && *ac == c)
                 .unwrap_or_else(|| {
@@ -211,8 +218,7 @@ impl<'a> Evaluator<'a> {
                 let mut condition_dim: Option<usize> = None;
                 for (rank, &(c, l)) in combo.iter().enumerate() {
                     let d = cols.iter().position(|cc| *cc == c).expect("dim present");
-                    assignment[d] =
-                        Some(self.catalog.literals[c as usize][l as usize].clone());
+                    assignment[d] = Some(self.catalog.literals[c as usize][l as usize].clone());
                     if rank == 0 {
                         condition_dim = Some(d);
                     }
@@ -285,7 +291,9 @@ impl<'a> Evaluator<'a> {
                 relevant: relevant.to_vec(),
                 aggregates: missing.iter().map(|&i| value_aggs[i]).collect(),
             };
-            let result = std::sync::Arc::new(cube.execute(self.db)?);
+            let result = std::sync::Arc::new(
+                cube.execute_with(self.db, &CubeOptions::with_threads(self.threads))?,
+            );
             self.stats.cubes_executed += 1;
             self.stats.rows_scanned += result.stats.rows_scanned;
             for (pos, &i) in missing.iter().enumerate() {
@@ -430,12 +438,7 @@ mod tests {
                 }
                 let q = set.to_query(&cat, cand);
                 let naive = execute_query(&db, &q).unwrap();
-                assert_eq!(
-                    merged.get(ci, pi),
-                    naive,
-                    "mismatch for {}",
-                    q.to_sql(&db)
-                );
+                assert_eq!(merged.get(ci, pi), naive, "mismatch for {}", q.to_sql(&db));
             }
         }
     }
@@ -533,10 +536,8 @@ mod tests {
         let set_a = CandidateSet::enumerate(&cat, &scope_a, 1, 100);
         let set_b = CandidateSet::enumerate(&cat, &scope_b, 1, 100);
         let cache = EvalCache::new();
-        let doc_lits = document_literal_union(
-            cat.predicate_columns.len(),
-            vec![(0usize, 0usize), (0, 1)],
-        );
+        let doc_lits =
+            document_literal_union(cat.predicate_columns.len(), vec![(0usize, 0usize), (0, 1)]);
         let mut e = Evaluator::new(&db, &cat, Some(cache));
         e.set_document_literals(doc_lits);
         e.evaluate(&set_a).unwrap();

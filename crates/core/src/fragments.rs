@@ -70,11 +70,7 @@ impl FragmentCatalog {
         let functions: Vec<AggFunction> = AggFunction::ALL.to_vec();
         let mut fn_builder = IndexBuilder::new();
         for f in &functions {
-            let terms: Vec<(String, f32)> = f
-                .keywords()
-                .iter()
-                .map(|k| (stem(k), 1.0))
-                .collect();
+            let terms: Vec<(String, f32)> = f.keywords().iter().map(|k| (stem(k), 1.0)).collect();
             fn_builder.add_document(terms.iter().map(|(t, w)| (t.as_str(), *w)));
         }
 
@@ -177,11 +173,7 @@ impl FragmentCatalog {
     /// column × choice of at most one literal per predicate column.
     /// Returned as `f64` — real data sets reach beyond 10¹².
     pub fn candidate_space(&self) -> f64 {
-        let combos: f64 = self
-            .literals
-            .iter()
-            .map(|l| 1.0 + l.len() as f64)
-            .product();
+        let combos: f64 = self.literals.iter().map(|l| 1.0 + l.len() as f64).product();
         self.functions.len() as f64 * self.agg_columns.len() as f64 * combos
     }
 
@@ -251,10 +243,8 @@ fn literal_keywords(value: &Value) -> Vec<(String, f32)> {
         Value::Float(f) => f.to_string(),
         Value::Null => return Vec::new(),
     };
-    let mut terms: Vec<(String, f32)> = keyword_terms(&text)
-        .into_iter()
-        .map(|t| (t, 1.0))
-        .collect();
+    let mut terms: Vec<(String, f32)> =
+        keyword_terms(&text).into_iter().map(|t| (t, 1.0)).collect();
     // Also decompose identifier-ish literals ("self-taught", "substance_abuse").
     for w in decompose_identifier(&text) {
         let s = stem(&w);
@@ -324,7 +314,8 @@ mod tests {
             ],
         )
         .unwrap();
-        t.schema.columns[0].description = Some("number of games suspended, indef for lifetime bans".into());
+        t.schema.columns[0].description =
+            Some("number of games suspended, indef for lifetime bans".into());
         let mut db = Database::new("nfl");
         db.add_table(t);
         db
@@ -359,15 +350,12 @@ mod tests {
     fn predicate_search_finds_gambling() {
         let db = nfl_db();
         let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
-        let hits = cat
-            .pred_index()
-            .search([(stem("gambling").as_str(), 1.0f32)], 5, Scorer::default());
+        let hits =
+            cat.pred_index()
+                .search([(stem("gambling").as_str(), 1.0f32)], 5, Scorer::default());
         assert!(!hits.is_empty());
         let (col, lit) = cat.pred_doc(hits[0].doc);
-        assert_eq!(
-            db.short_column_name(cat.predicate_columns[col]),
-            "category"
-        );
+        assert_eq!(db.short_column_name(cat.predicate_columns[col]), "category");
         assert_eq!(cat.literals[col][lit], Value::Str("gambling".into()));
     }
 
@@ -376,9 +364,9 @@ mod tests {
         let db = nfl_db();
         let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
         // "lifetime" appears only in the games column's description.
-        let hits = cat
-            .pred_index()
-            .search([(stem("lifetime").as_str(), 1.0f32)], 10, Scorer::default());
+        let hits =
+            cat.pred_index()
+                .search([(stem("lifetime").as_str(), 1.0f32)], 10, Scorer::default());
         assert!(!hits.is_empty(), "description keyword must be indexed");
         let (col, _) = cat.pred_doc(hits[0].doc);
         assert_eq!(db.short_column_name(cat.predicate_columns[col]), "games");
@@ -388,28 +376,34 @@ mod tests {
     fn function_search_maps_keywords() {
         let db = nfl_db();
         let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
-        let hits = cat
-            .fn_index()
-            .search([(stem("average").as_str(), 1.0f32)], 1, Scorer::default());
+        let hits =
+            cat.fn_index()
+                .search([(stem("average").as_str(), 1.0f32)], 1, Scorer::default());
         assert_eq!(cat.functions[hits[0].doc as usize], AggFunction::Avg);
-        let hits = cat
-            .fn_index()
-            .search([(stem("percentage").as_str(), 1.0f32)], 1, Scorer::default());
+        let hits = cat.fn_index().search(
+            [(stem("percentage").as_str(), 1.0f32)],
+            1,
+            Scorer::default(),
+        );
         assert_eq!(cat.functions[hits[0].doc as usize], AggFunction::Percentage);
     }
 
     #[test]
     fn numeric_predicate_columns_respect_cardinality_cap() {
-        let wide = Table::from_columns(
-            "t",
-            vec![("metric", (0..200).map(|i| Value::Int(i)).collect())],
-        )
-        .unwrap();
+        let wide =
+            Table::from_columns("t", vec![("metric", (0..200).map(Value::Int).collect())]).unwrap();
         let mut db = Database::new("d");
         db.add_table(wide);
         let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
-        assert!(cat.predicate_columns.is_empty(), "high-cardinality numeric column excluded");
-        assert_eq!(cat.agg_columns.len(), 2, "but it still aggregates (* + metric)");
+        assert!(
+            cat.predicate_columns.is_empty(),
+            "high-cardinality numeric column excluded"
+        );
+        assert_eq!(
+            cat.agg_columns.len(),
+            2,
+            "but it still aggregates (* + metric)"
+        );
     }
 
     #[test]

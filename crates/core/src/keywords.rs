@@ -99,7 +99,12 @@ pub fn claim_keywords(
     if let Some(paragraph) = paragraph {
         if context.use_previous_sentence && claim.sentence > 0 {
             if let Some(prev) = paragraph.sentences.get(claim.sentence - 1) {
-                add_sentence(&mut collected, prev, 0.4 * m, KeywordSource::PreviousSentence);
+                add_sentence(
+                    &mut collected,
+                    prev,
+                    0.4 * m,
+                    KeywordSource::PreviousSentence,
+                );
             }
         }
         if context.use_paragraph_start && claim.sentence > 0 {
@@ -108,7 +113,12 @@ pub fn claim_keywords(
             let first_is_prev = claim.sentence == 1 && context.use_previous_sentence;
             if !first_is_prev {
                 if let Some(first) = paragraph.sentences.first() {
-                    add_sentence(&mut collected, first, 0.4 * m, KeywordSource::ParagraphStart);
+                    add_sentence(
+                        &mut collected,
+                        first,
+                        0.4 * m,
+                        KeywordSource::ParagraphStart,
+                    );
                 }
             }
         }
@@ -244,7 +254,10 @@ Three were for repeated substance abuse, one was for gambling.</p>
     fn competing_spelled_numbers_are_excluded() {
         let ctx = ContextConfig::default();
         let for_one = keywords_for(1.0, &ctx);
-        assert!(weight_of(&for_one, "three").is_none(), "'three' is a rival claim");
+        assert!(
+            weight_of(&for_one, "three").is_none(),
+            "'three' is a rival claim"
+        );
     }
 
     #[test]
@@ -281,8 +294,10 @@ Three were for repeated substance abuse, one was for gambling.</p>
         // group that any claim-sentence word belongs to).
         assert!(weight_of(&kws, "history").is_some(), "{kws:?}");
 
-        let mut no_headlines = ContextConfig::default();
-        no_headlines.use_headlines = false;
+        let no_headlines = ContextConfig {
+            use_headlines: false,
+            ..ContextConfig::default()
+        };
         let kws = keywords_for(4.0, &no_headlines);
         assert!(weight_of(&kws, "history").is_none());
     }
@@ -296,8 +311,10 @@ Three were for repeated substance abuse, one was for gambling.</p>
         let syn = weight_of(&kws, "suspension").expect("synonym of 'ban'");
         assert!(syn < direct, "synonym weight {syn} < direct {direct}");
 
-        let mut no_syn = ContextConfig::default();
-        no_syn.use_synonyms = false;
+        let no_syn = ContextConfig {
+            use_synonyms: false,
+            ..ContextConfig::default()
+        };
         let kws = keywords_for(4.0, &no_syn);
         assert!(weight_of(&kws, "suspension").is_none());
     }

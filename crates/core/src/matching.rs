@@ -109,7 +109,10 @@ pub fn match_claim_with_form(
     // actually belongs to predicates on them (e.g. a data-dictionary
     // description mentioning the predicate value).
     let mut agg_columns = vec![0.0f64; catalog.agg_columns.len()];
-    for hit in catalog.col_index().search(query.iter().copied(), hits, scorer) {
+    for hit in catalog
+        .col_index()
+        .search(query.iter().copied(), hits, scorer)
+    {
         agg_columns[hit.doc as usize] = hit.score as f64;
     }
     let max_col = agg_columns.iter().cloned().fold(0.0f64, f64::max);
@@ -125,7 +128,10 @@ pub fn match_claim_with_form(
         .map(|lits| vec![0.0f64; lits.len()])
         .collect();
     let mut max_predicate_score = 0.0f64;
-    for hit in catalog.pred_index().search(query.iter().copied(), hits, scorer) {
+    for hit in catalog
+        .pred_index()
+        .search(query.iter().copied(), hits, scorer)
+    {
         let (c, l) = catalog.pred_doc(hit.doc);
         let s = hit.score as f64;
         predicates[c][l] = s;

@@ -157,10 +157,9 @@ pub fn score_claim(
     let mut top: Vec<(Candidate, f64)> = Vec::with_capacity(TOP_K + 1);
     let mut scored = 0usize;
 
-    for ci in 0..n_combos {
-        let cf = combo_factor[ci];
+    for (ci, &cf) in combo_factor.iter().enumerate().take(n_combos) {
         let combo_empty = candidates.combos[ci].is_empty();
-        for pi in 0..n_pairs {
+        for (pi, &pf) in pair_factor.iter().enumerate().take(n_pairs) {
             let (fi, _) = candidates.agg_pairs[pi];
             // Conditional probability needs a condition predicate.
             if combo_empty
@@ -172,7 +171,7 @@ pub fn score_claim(
             scored += 1;
             let result = results.get(ci, pi);
             let is_match = result.is_some_and(|r| matches_claim(r, claim_number));
-            let mut w = cf * pair_factor[pi];
+            let mut w = cf * pf;
             if use_eval {
                 w *= if is_match { p_t } else { 1.0 - p_t };
             }
@@ -300,11 +299,7 @@ mod tests {
         let ws: Vec<f64> = top.iter().map(|(_, w)| *w).collect();
         assert_eq!(ws, vec![0.5, 0.3, 0.1]);
         for i in 0..100 {
-            push_top(
-                &mut top,
-                Candidate { combo: i, pair: 1 },
-                1.0 + i as f64,
-            );
+            push_top(&mut top, Candidate { combo: i, pair: 1 }, 1.0 + i as f64);
         }
         assert_eq!(top.len(), TOP_K);
         assert!(top[0].1 >= top[TOP_K - 1].1);

@@ -2,7 +2,9 @@
 
 use crate::candidates::CandidateSet;
 use crate::config::{CheckerConfig, EvalStrategy};
-use crate::evaluate::{document_literal_union, evaluate_naive, EvalStats, Evaluator, ResultsMatrix};
+use crate::evaluate::{
+    document_literal_union, evaluate_naive, EvalStats, Evaluator, ResultsMatrix,
+};
 use crate::fragments::{CatalogConfig, FragmentCatalog};
 use crate::keywords::claim_keywords;
 use crate::matching::{match_claim_with_form, ClaimScores};
@@ -134,15 +136,17 @@ impl VerificationReport {
             .get_mut(claim_idx)
             .ok_or_else(|| CheckerError::Config(format!("no claim #{claim_idx}")))?;
         let result = agg_relational::execute_query(db, &query)?;
-        let matches = result
-            .is_some_and(|r| crate::rounding::matches_claim(r, &claim.mention.number));
+        let matches =
+            result.is_some_and(|r| crate::rounding::matches_claim(r, &claim.mention.number));
         let verdict = if matches {
             Verdict::Correct
         } else {
             Verdict::Erroneous
         };
         let description = query.describe(db);
-        claim.top_queries.retain(|rq| !rq.query.semantically_equal(&query));
+        claim
+            .top_queries
+            .retain(|rq| !rq.query.semantically_equal(&query));
         claim.top_queries.insert(
             0,
             RankedQuery {
@@ -228,7 +232,8 @@ impl AggChecker {
         let scores: Vec<ClaimScores> = claims
             .iter()
             .map(|claim| {
-                let kws = claim_keywords(doc, claim, &self.synonyms, &cfg.context, cfg.synonym_weight);
+                let kws =
+                    claim_keywords(doc, claim, &self.synonyms, &cfg.context, cfg.synonym_weight);
                 match_claim_with_form(
                     &self.catalog,
                     &kws,
@@ -294,14 +299,20 @@ impl AggChecker {
                 EvalStrategy::Naive => {
                     let mut out = Vec::with_capacity(n);
                     for set in &candidate_sets {
-                        out.push(evaluate_naive(&self.db, &self.catalog, set, &mut eval_stats)?);
+                        out.push(evaluate_naive(
+                            &self.db,
+                            &self.catalog,
+                            set,
+                            &mut eval_stats,
+                        )?);
                     }
                     out
                 }
                 EvalStrategy::Merged | EvalStrategy::MergedCached => {
-                    let cache = (cfg.strategy == EvalStrategy::MergedCached)
-                        .then(|| self.cache.clone());
+                    let cache =
+                        (cfg.strategy == EvalStrategy::MergedCached).then(|| self.cache.clone());
                     let mut evaluator = Evaluator::new(&self.db, &self.catalog, cache);
+                    evaluator.set_threads(cfg.threads);
                     evaluator.set_document_literals(doc_literals);
                     let mut out = Vec::with_capacity(n);
                     for set in &candidate_sets {
@@ -314,7 +325,8 @@ impl AggChecker {
             query_time += eval_started.elapsed();
 
             // E-step: claim distributions (parallel when configured).
-            let distributions = self.score_all(&claims, &scores, &candidate_sets, &results, theta_opt);
+            let distributions =
+                self.score_all(&claims, &scores, &candidate_sets, &results, theta_opt);
 
             // M-step.
             let converged = if cfg.model.use_priors {
@@ -395,18 +407,17 @@ impl AggChecker {
         }
         let n_threads = cfg.threads.min(claims.len());
         let mut out: Vec<Option<ClaimDistribution>> = vec![None; claims.len()];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, chunk) in out.chunks_mut(claims.len().div_ceil(n_threads)).enumerate() {
                 let work = &work;
                 let base = t * claims.len().div_ceil(n_threads);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (j, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(work(base + j));
                     }
                 });
             }
-        })
-        .expect("scoring threads");
+        });
         out.into_iter().map(|d| d.expect("scored")).collect()
     }
 
@@ -599,19 +610,15 @@ Three were for repeated substance abuse, one was for gambling.</p>
             EvalStrategy::Merged,
             EvalStrategy::MergedCached,
         ] {
-            let mut cfg = CheckerConfig::default();
-            cfg.strategy = strategy;
-            // Keep the naive run affordable.
-            cfg.lucene_hits = 8;
+            let cfg = CheckerConfig {
+                strategy,
+                // Keep the naive run affordable.
+                lucene_hits: 8,
+                ..CheckerConfig::default()
+            };
             let checker = AggChecker::new(db.clone(), cfg).unwrap();
             let report = checker.check_text(ARTICLE).unwrap();
-            verdicts.push(
-                report
-                    .claims
-                    .iter()
-                    .map(|c| c.verdict)
-                    .collect::<Vec<_>>(),
-            );
+            verdicts.push(report.claims.iter().map(|c| c.verdict).collect::<Vec<_>>());
         }
         assert_eq!(verdicts[0], verdicts[1]);
         assert_eq!(verdicts[1], verdicts[2]);
@@ -621,8 +628,10 @@ Three were for repeated substance abuse, one was for gambling.</p>
     fn parallel_scoring_matches_sequential() {
         let db = nfl_db();
         let run = |threads: usize| {
-            let mut cfg = CheckerConfig::default();
-            cfg.threads = threads;
+            let cfg = CheckerConfig {
+                threads,
+                ..CheckerConfig::default()
+            };
             let checker = AggChecker::new(db.clone(), cfg).unwrap();
             let report = checker.check_text(ARTICLE).unwrap();
             report
@@ -655,15 +664,19 @@ Three were for repeated substance abuse, one was for gambling.</p>
     #[test]
     fn document_without_claims_is_empty_report() {
         let checker = AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap();
-        let report = checker.check_text("<p>No numbers here at all.</p>").unwrap();
+        let report = checker
+            .check_text("<p>No numbers here at all.</p>")
+            .unwrap();
         assert!(report.claims.is_empty());
         assert_eq!(report.stats.claims, 0);
     }
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut cfg = CheckerConfig::default();
-        cfg.p_true = 2.0;
+        let cfg = CheckerConfig {
+            p_true: 2.0,
+            ..CheckerConfig::default()
+        };
         assert!(matches!(
             AggChecker::new(nfl_db(), cfg),
             Err(CheckerError::Config(_))
@@ -700,9 +713,7 @@ Three were for repeated substance abuse, one was for gambling.</p>
         assert_eq!(verdict, Verdict::Erroneous);
 
         // Out-of-range index is a clean error.
-        assert!(report
-            .apply_correction(99, q, checker.db())
-            .is_err());
+        assert!(report.apply_correction(99, q, checker.db()).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! red, unverifiable claims yellow. Two renderers are provided: ANSI
 //! (terminal) and HTML (the original tool's medium).
 
-use crate::pipeline::{CheckedClaim, VerificationReport, Verdict};
+use crate::pipeline::{CheckedClaim, Verdict, VerificationReport};
 use agg_nlp::structure::Document;
 use std::fmt::Write as _;
 
@@ -122,10 +122,7 @@ pub fn render_summary(report: &VerificationReport) -> String {
     out
 }
 
-fn colorize_sentence(
-    sentence: &agg_nlp::structure::Sentence,
-    claims: &[&CheckedClaim],
-) -> String {
+fn colorize_sentence(sentence: &agg_nlp::structure::Sentence, claims: &[&CheckedClaim]) -> String {
     // Color each claim's token span within the sentence text.
     let mut spans: Vec<(usize, usize, &str)> = claims
         .iter()
@@ -187,10 +184,7 @@ fn html_sentence(sentence: &agg_nlp::structure::Sentence, claims: &[&CheckedClai
             Some((
                 start,
                 end,
-                format!(
-                    "<span class=\"{class}\" title=\"{}\">",
-                    escape(&title)
-                ),
+                format!("<span class=\"{class}\" title=\"{}\">", escape(&title)),
             ))
         })
         .collect();
@@ -266,7 +260,10 @@ mod tests {
     fn ansi_rendering_marks_claims() {
         let (_, doc, report) = setup();
         let out = render_ansi(&doc, &report);
-        assert!(out.contains("\x1b[42;30m") || out.contains("\x1b[41;37m"), "{out}");
+        assert!(
+            out.contains("\x1b[42;30m") || out.contains("\x1b[41;37m"),
+            "{out}"
+        );
         assert!(out.contains("P(correct)"));
         assert!(out.contains("→"), "most likely query shown");
     }

@@ -6,16 +6,16 @@ use agg_nlp::tokenize::{tokenize, Token, TokenKind};
 /// Function words that carry no matching signal. Kept deliberately small —
 /// aggressive stopword lists hurt recall on terse column names.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "at", "to", "for", "with", "by", "from", "as", "is",
-    "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has",
-    "had", "and", "or", "but", "nor", "not", "no", "yes", "it", "its", "this", "that", "these",
-    "those", "there", "here", "he", "she", "they", "we", "you", "i", "his", "her", "their",
-    "our", "your", "my", "me", "him", "them", "us", "which", "who", "whom", "whose", "what",
-    "when", "where", "why", "how", "than", "then", "so", "such", "very", "just", "only",
-    "also", "too", "about", "into", "over", "under", "again", "more", "most", "some", "any",
-    "each", "few", "both", "all", "per", "via", "will", "would", "can", "could", "should",
-    "may", "might", "must", "shall", "if", "while", "during", "before", "after", "since",
-    "until", "up", "down", "out", "off", "own", "same", "other", "another",
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "with", "by", "from", "as", "is", "are",
+    "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has", "had", "and",
+    "or", "but", "nor", "not", "no", "yes", "it", "its", "this", "that", "these", "those", "there",
+    "here", "he", "she", "they", "we", "you", "i", "his", "her", "their", "our", "your", "my",
+    "me", "him", "them", "us", "which", "who", "whom", "whose", "what", "when", "where", "why",
+    "how", "than", "then", "so", "such", "very", "just", "only", "also", "too", "about", "into",
+    "over", "under", "again", "more", "most", "some", "any", "each", "few", "both", "all", "per",
+    "via", "will", "would", "can", "could", "should", "may", "might", "must", "shall", "if",
+    "while", "during", "before", "after", "since", "until", "up", "down", "out", "off", "own",
+    "same", "other", "another",
 ];
 
 /// Is `word` (any case) a stopword?
@@ -27,10 +27,7 @@ pub fn is_stopword(word: &str) -> bool {
 /// Extract stemmed keyword terms from free text: tokenize, keep words and
 /// numbers, drop stopwords and single letters, stem words.
 pub fn keyword_terms(text: &str) -> Vec<String> {
-    tokenize(text)
-        .iter()
-        .filter_map(token_term)
-        .collect()
+    tokenize(text).iter().filter_map(token_term).collect()
 }
 
 /// The indexable term of one token, if any: stemmed word or normalized

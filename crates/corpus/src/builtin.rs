@@ -36,11 +36,7 @@ fn truth(
 fn sig_of(v: f64) -> u32 {
     let s = format!("{}", v.abs());
     let digits: Vec<char> = s.chars().filter(char::is_ascii_digit).collect();
-    let stripped: Vec<char> = digits
-        .iter()
-        .copied()
-        .skip_while(|c| *c == '0')
-        .collect();
+    let stripped: Vec<char> = digits.iter().copied().skip_while(|c| *c == '0').collect();
     let mut stripped = stripped;
     if !s.contains('.') {
         while stripped.last() == Some(&'0') {
@@ -62,10 +58,30 @@ pub fn nfl_suspensions() -> TestCase {
     // claimed values 5 and 3 — in the paper's full data set such collisions
     // are equally unlikely.
     let rows: Vec<(&str, &str, &str, i64)> = vec![
-        ("hopkins", "indef", "substance abuse, repeated offense", 1989),
-        ("stringfellow", "indef", "substance abuse, repeated offense", 1995),
-        ("marshall", "indef", "substance abuse, repeated offense", 2000),
-        ("washington", "indef", "substance abuse, repeated offense", 2014),
+        (
+            "hopkins",
+            "indef",
+            "substance abuse, repeated offense",
+            1989,
+        ),
+        (
+            "stringfellow",
+            "indef",
+            "substance abuse, repeated offense",
+            1995,
+        ),
+        (
+            "marshall",
+            "indef",
+            "substance abuse, repeated offense",
+            2000,
+        ),
+        (
+            "washington",
+            "indef",
+            "substance abuse, repeated offense",
+            2014,
+        ),
         ("hornung", "indef", "gambling", 1963),
         ("gordon", "16", "substance abuse", 2014),
         ("blackmon", "4", "substance abuse", 2012),
@@ -82,22 +98,10 @@ pub fn nfl_suspensions() -> TestCase {
     let mut table = Table::from_columns(
         "nflsuspensions",
         vec![
-            (
-                "name",
-                rows.iter().map(|r| Value::from(r.0)).collect(),
-            ),
-            (
-                "games",
-                rows.iter().map(|r| Value::from(r.1)).collect(),
-            ),
-            (
-                "category",
-                rows.iter().map(|r| Value::from(r.2)).collect(),
-            ),
-            (
-                "year",
-                rows.iter().map(|r| Value::Int(r.3)).collect(),
-            ),
+            ("name", rows.iter().map(|r| Value::from(r.0)).collect()),
+            ("games", rows.iter().map(|r| Value::from(r.1)).collect()),
+            ("category", rows.iter().map(|r| Value::from(r.2)).collect()),
+            ("year", rows.iter().map(|r| Value::Int(r.3)).collect()),
         ],
     )
     .unwrap();
@@ -213,15 +217,17 @@ pub fn developer_survey() -> TestCase {
     let mut country = Vec::new();
     let mut salary = Vec::new();
     for i in 0..200u32 {
-        education.push(Value::Str(
-            if i < 27 {
-                "i'm self-taught".to_string()
-            } else {
-                ["bachelor degree", "master degree", "some college", "bootcamp"]
-                    [(i % 4) as usize]
-                    .to_string()
-            },
-        ));
+        education.push(Value::Str(if i < 27 {
+            "i'm self-taught".to_string()
+        } else {
+            [
+                "bachelor degree",
+                "master degree",
+                "some college",
+                "bootcamp",
+            ][(i % 4) as usize]
+                .to_string()
+        }));
         country.push(Value::Str(
             ["germany", "india", "brazil", "canada", "france"][(i % 5) as usize].to_string(),
         ));

@@ -57,7 +57,9 @@ pub fn generate_corpus(spec: &CorpusSpec) -> Vec<TestCase> {
 
 /// Generate the `index`-th test case of a corpus (deterministic).
 pub fn generate_test_case(spec: &CorpusSpec, index: usize) -> TestCase {
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)));
+    let mut rng = StdRng::seed_from_u64(
+        spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)),
+    );
     let domain = &DOMAINS[index % DOMAINS.len()];
     let db = generate_database(&mut rng, spec, domain, index);
     let theme = Theme::sample(&mut rng, domain, &db);
@@ -103,7 +105,9 @@ fn generate_database(
     let mut columns: Vec<(&str, Vec<Value>)> = Vec::new();
     for cat in domain.categorical {
         // Zipf-ish skew over the value pool.
-        let weights: Vec<f64> = (0..cat.values.len()).map(|k| 1.0 / (k as f64 + 1.2)).collect();
+        let weights: Vec<f64> = (0..cat.values.len())
+            .map(|k| 1.0 / (k as f64 + 1.2))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut data = Vec::with_capacity(rows);
         for _ in 0..rows {
@@ -361,8 +365,10 @@ fn draw_claim(
         function,
         AggFunction::Percentage | AggFunction::ConditionalProbability
     );
-    let spelled_out =
-        claimed_value.fract() == 0.0 && claimed_value <= 12.0 && !is_percentage && rng.gen_bool(0.6);
+    let spelled_out = claimed_value.fract() == 0.0
+        && claimed_value <= 12.0
+        && !is_percentage
+        && rng.gen_bool(0.6);
     let claimed_text = render_number(claimed_value, spelled_out, is_percentage);
 
     // Verify the label against the checker's own matcher by parsing the
@@ -523,16 +529,22 @@ fn render_article(
     }
 
     html.push_str("<h1>Overview</h1>\n");
-    render_section(rng, spec, domain, &synonyms, &mut html, &mut ground_truth, overview, None);
+    render_section(
+        rng,
+        spec,
+        domain,
+        &synonyms,
+        &mut html,
+        &mut ground_truth,
+        overview,
+        None,
+    );
     for (si, bucket) in sections.into_iter().enumerate() {
         if bucket.is_empty() {
             continue;
         }
         let value = &theme.section_values[si];
-        html.push_str(&format!(
-            "<h1>The {} {}</h1>\n",
-            value, domain.row_noun
-        ));
+        html.push_str(&format!("<h1>The {} {}</h1>\n", value, domain.row_noun));
         render_section(
             rng,
             spec,
@@ -577,11 +589,7 @@ fn render_section(
             let e = &drafts[i + 1];
             let first = clause_for(rng, domain, synonyms, d, section_value.as_deref(), true);
             let second = clause_for(rng, domain, synonyms, e, section_value.as_deref(), true);
-            sentences.push(format!(
-                "{}, {}.",
-                capitalize(&first),
-                second
-            ));
+            sentences.push(format!("{}, {}.", capitalize(&first), second));
             push_truth(ground_truth, d);
             push_truth(ground_truth, e);
             i += 2;
@@ -632,8 +640,7 @@ fn clause_for(
     // enclosing headline carries it) unless this claim sits outside its
     // value's section.
     let primary = d.pred_phrases.first().cloned();
-    let in_own_section = section_value.is_some()
-        && primary.as_deref() == section_value;
+    let in_own_section = section_value.is_some() && primary.as_deref() == section_value;
     let show_primary = match &primary {
         None => None,
         Some(p) => {
@@ -644,7 +651,10 @@ fn clause_for(
             }
         }
     };
-    let secondary = d.pred_phrases.get(1).map(|p| maybe_synonym(rng, synonyms, p, 0.2));
+    let secondary = d
+        .pred_phrases
+        .get(1)
+        .map(|p| maybe_synonym(rng, synonyms, p, 0.2));
     let subject = match (&show_primary, &secondary) {
         (Some(p), Some(s)) => format!("{p} {rows} marked {s}"),
         (Some(p), None) => format!("{p} {rows}"),

@@ -13,8 +13,8 @@ use agg_nlp::numbers::parse_number_mentions;
 use agg_nlp::rounding::{matches_claim, round_significant};
 use agg_nlp::tokenize::tokenize;
 use agg_relational::{
-    execute_query, AggColumn, AggFunction, Database, ForeignKey, Predicate,
-    SimpleAggregateQuery, Table, Value,
+    execute_query, AggColumn, AggFunction, Database, ForeignKey, Predicate, SimpleAggregateQuery,
+    Table, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

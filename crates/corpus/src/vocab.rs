@@ -130,7 +130,13 @@ pub const DOMAINS: &[Domain] = &[
                 name: "country",
                 noun: "country",
                 values: &[
-                    "germany", "india", "brazil", "canada", "france", "japan", "australia",
+                    "germany",
+                    "india",
+                    "brazil",
+                    "canada",
+                    "france",
+                    "japan",
+                    "australia",
                 ],
             },
         ],
@@ -155,10 +161,24 @@ pub const DOMAINS: &[Domain] = &[
             },
         ],
         extra_bool: &[
-            "uses_python", "uses_java", "uses_rust", "uses_javascript", "uses_go",
-            "uses_sql", "uses_cloud", "uses_linux", "uses_windows", "uses_docker",
-            "wants_remote", "open_source_contributor", "has_degree", "job_hunting",
-            "attends_meetups", "writes_tests", "on_call", "manages_people",
+            "uses_python",
+            "uses_java",
+            "uses_rust",
+            "uses_javascript",
+            "uses_go",
+            "uses_sql",
+            "uses_cloud",
+            "uses_linux",
+            "uses_windows",
+            "uses_docker",
+            "wants_remote",
+            "open_source_contributor",
+            "has_degree",
+            "job_hunting",
+            "attends_meetups",
+            "writes_tests",
+            "on_call",
+            "manages_people",
         ],
     },
     Domain {
@@ -176,7 +196,13 @@ pub const DOMAINS: &[Domain] = &[
                 name: "state",
                 noun: "state",
                 values: &[
-                    "california", "texas", "ohio", "florida", "virginia", "iowa", "nevada",
+                    "california",
+                    "texas",
+                    "ohio",
+                    "florida",
+                    "virginia",
+                    "iowa",
+                    "nevada",
                 ],
             },
             CatColumn {

@@ -35,10 +35,7 @@ impl IndexBuilder {
 
     /// Add a document as a bag of `(term, weight)` pairs. Duplicate terms
     /// accumulate weight. Returns the document's id (sequential).
-    pub fn add_document<'a>(
-        &mut self,
-        terms: impl IntoIterator<Item = (&'a str, f32)>,
-    ) -> DocId {
+    pub fn add_document<'a>(&mut self, terms: impl IntoIterator<Item = (&'a str, f32)>) -> DocId {
         let doc = self.doc_len.len() as DocId;
         let mut len = 0.0f32;
         let mut local: HashMap<usize, f32> = HashMap::new();
@@ -170,7 +167,12 @@ mod tests {
     fn fragment_index() -> Index {
         let mut b = IndexBuilder::new();
         // doc 0: predicate games = 'indef'
-        b.add_document([("games", 1.0), ("indefinite", 1.0), ("lifetime", 1.0), ("ban", 1.0)]);
+        b.add_document([
+            ("games", 1.0),
+            ("indefinite", 1.0),
+            ("lifetime", 1.0),
+            ("ban", 1.0),
+        ]);
         // doc 1: predicate category = 'gambling'
         b.add_document([("category", 1.0), ("reason", 1.0), ("gambling", 1.0)]);
         // doc 2: predicate category = 'substance abuse'
@@ -196,7 +198,11 @@ mod tests {
     #[test]
     fn shared_terms_rank_both_but_specific_wins() {
         let idx = fragment_index();
-        let hits = idx.search([("category", 1.0), ("gambling", 1.0)], 10, Scorer::default());
+        let hits = idx.search(
+            [("category", 1.0), ("gambling", 1.0)],
+            10,
+            Scorer::default(),
+        );
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].doc, 1, "doc with both terms first");
         assert_eq!(hits[1].doc, 2);
@@ -242,7 +248,11 @@ mod tests {
     fn duplicate_query_terms_do_not_double_count() {
         let idx = fragment_index();
         let once = idx.search([("gambling", 1.0)], 10, Scorer::default());
-        let twice = idx.search([("gambling", 1.0), ("gambling", 1.0)], 10, Scorer::default());
+        let twice = idx.search(
+            [("gambling", 1.0), ("gambling", 1.0)],
+            10,
+            Scorer::default(),
+        );
         assert_eq!(once[0].score, twice[0].score);
     }
 
@@ -264,7 +274,9 @@ mod tests {
         assert!(idx
             .search(std::iter::empty::<(&str, f32)>(), 5, Scorer::default())
             .is_empty());
-        assert!(idx.search([("games", 1.0)], 0, Scorer::default()).is_empty());
+        assert!(idx
+            .search([("games", 1.0)], 0, Scorer::default())
+            .is_empty());
     }
 
     #[test]

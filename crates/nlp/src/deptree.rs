@@ -19,8 +19,8 @@ use crate::tokenize::{Token, TokenKind};
 
 /// Words that open a new clause.
 const CLAUSE_BREAKERS: &[&str] = &[
-    "and", "but", "or", "nor", "while", "whereas", "which", "who", "whom", "that", "where",
-    "when", "although", "though", "because", "since", "if", "unless", "so", "yet",
+    "and", "but", "or", "nor", "while", "whereas", "which", "who", "whom", "that", "where", "when",
+    "although", "though", "because", "since", "if", "unless", "so", "yet",
 ];
 
 /// Prepositions that open a new phrase inside a clause.
@@ -133,8 +133,7 @@ mod tests {
     #[test]
     fn paper_example_orders_distances_correctly() {
         // Example 3: "gambling" must be closer to "one" than to "three".
-        let (toks, t) =
-            tree("three were for repeated substance abuse, one was for gambling");
+        let (toks, t) = tree("three were for repeated substance abuse, one was for gambling");
         let three = idx(&toks, "three");
         let one = idx(&toks, "one");
         let gambling = idx(&toks, "gambling");
@@ -168,10 +167,7 @@ mod tests {
             t.clause_of(idx(&toks, "three")),
             t.clause_of(idx(&toks, "one"))
         );
-        assert_eq!(
-            t.distance(idx(&toks, "three"), idx(&toks, "gambling")),
-            3
-        );
+        assert_eq!(t.distance(idx(&toks, "three"), idx(&toks, "gambling")), 3);
     }
 
     #[test]

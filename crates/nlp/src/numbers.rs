@@ -96,11 +96,7 @@ fn parse_digit_token(text: &str) -> Option<(f64, u32, u32)> {
     // Significant digits: strip leading zeros ("0.050" → "50"); for
     // integer forms also strip trailing zeros — "4,300,000" states two
     // significant digits, not seven.
-    let mut stripped: Vec<char> = digits
-        .iter()
-        .copied()
-        .skip_while(|c| *c == '0')
-        .collect();
+    let mut stripped: Vec<char> = digits.iter().copied().skip_while(|c| *c == '0').collect();
     if !cleaned.contains('.') {
         while stripped.last() == Some(&'0') {
             stripped.pop();

@@ -216,8 +216,8 @@ impl Stemmer {
 
     fn step4(&mut self) {
         for suffix in [
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ] {
             if self.ends_with(suffix) {
                 let len = self.stem_len(suffix);

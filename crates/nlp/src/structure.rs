@@ -133,9 +133,11 @@ pub fn parse_document(input: &str) -> Document {
 
 fn looks_like_html(input: &str) -> bool {
     let lower = input.to_lowercase();
-    ["<p>", "<p ", "<h1", "<h2", "<h3", "<h4", "<body", "<html", "<title"]
-        .iter()
-        .any(|t| lower.contains(t))
+    [
+        "<p>", "<p ", "<h1", "<h2", "<h3", "<h4", "<body", "<html", "<title",
+    ]
+    .iter()
+    .any(|t| lower.contains(t))
 }
 
 /// Decode the handful of HTML entities that occur in articles.
@@ -229,16 +231,15 @@ fn html_events(input: &str) -> Vec<HtmlEvent> {
                         text.push(' ');
                     }
                 }
-                "script" | "style" => {
+                "script" | "style"
                     // Skip content up to the closing tag.
-                    if !closing {
+                    if !closing => {
                         let close = format!("</{tag_name}");
                         if let Some(pos) = input[end..].to_lowercase().find(&close) {
                             i = end + pos;
                             continue;
                         }
                     }
-                }
                 _ => {}
             }
             i = end + 1;
@@ -288,7 +289,10 @@ fn parse_html(input: &str) -> Document {
                 });
             }
             HtmlEvent::Paragraph(t) => {
-                let text = decode_entities(&t).split_whitespace().collect::<Vec<_>>().join(" ");
+                let text = decode_entities(&t)
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 if text.is_empty() {
                     continue;
                 }
@@ -366,7 +370,10 @@ Three were for repeated substance abuse, one was for gambling.</p>
         let doc = parse_document(ARTICLE);
         let para = &doc.root.subsections[0].paragraphs[0];
         assert_eq!(para.sentences.len(), 2);
-        assert!(para.sentences[1].tokens.iter().any(|t| t.text == "gambling"));
+        assert!(para.sentences[1]
+            .tokens
+            .iter()
+            .any(|t| t.text == "gambling"));
     }
 
     #[test]
@@ -416,9 +423,7 @@ Three were for repeated substance abuse, one was for gambling.</p>
 
     #[test]
     fn attributes_and_unknown_tags_are_tolerated() {
-        let doc = parse_document(
-            "<p class=\"lead\">Hello <em>world</em>. Second sentence.</p>",
-        );
+        let doc = parse_document("<p class=\"lead\">Hello <em>world</em>. Second sentence.</p>");
         let mut count = 0;
         doc.for_each_paragraph(|_, _, p| {
             count += p.sentences.len();

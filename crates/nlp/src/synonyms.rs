@@ -18,12 +18,28 @@ use std::collections::HashMap;
 const EMBEDDED_GROUPS: &[&[&str]] = &[
     &["count", "number", "total", "tally", "amount"],
     &["average", "mean", "typical"],
-    &["percentage", "percent", "share", "proportion", "fraction", "rate"],
-    &["maximum", "most", "highest", "largest", "biggest", "top", "peak"],
+    &[
+        "percentage",
+        "percent",
+        "share",
+        "proportion",
+        "fraction",
+        "rate",
+    ],
+    &[
+        "maximum", "most", "highest", "largest", "biggest", "top", "peak",
+    ],
     &["minimum", "least", "lowest", "smallest", "fewest", "bottom"],
     &["sum", "total", "combined", "aggregate"],
     &["distinct", "unique", "different", "separate"],
-    &["salary", "pay", "wage", "earnings", "income", "compensation"],
+    &[
+        "salary",
+        "pay",
+        "wage",
+        "earnings",
+        "income",
+        "compensation",
+    ],
     &["money", "dollars", "funds", "cash"],
     &["donation", "contribution", "gift", "giving"],
     &["candidate", "contender", "nominee"],
@@ -238,9 +254,8 @@ mod tests {
     #[test]
     fn extensions_merge() {
         let mut d = SynonymDict::embedded();
-        let n = d.load_extensions(
-            "# custom\nquarterback: qb, passer\n\nbad-line\ncoach: manager\n",
-        );
+        let n =
+            d.load_extensions("# custom\nquarterback: qb, passer\n\nbad-line\ncoach: manager\n");
         assert_eq!(n, 2);
         assert!(d.related("quarterback", "qb"));
         assert!(d.related("coach", "manager"));

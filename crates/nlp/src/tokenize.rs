@@ -66,8 +66,8 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             let mut end = i;
             let mut prev_alpha = false;
             for ch in text[i..].chars() {
-                let ok = ch.is_alphanumeric()
-                    || ((ch == '\'' || ch == '-' || ch == '’') && prev_alpha);
+                let ok =
+                    ch.is_alphanumeric() || ((ch == '\'' || ch == '-' || ch == '’') && prev_alpha);
                 if !ok {
                     break;
                 }
@@ -96,9 +96,8 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             // Digits with embedded commas/periods (not trailing ones).
             while j < bytes.len() {
                 let cj = bytes[j];
-                if cj.is_ascii_digit() {
-                    j += 1;
-                } else if (cj == b',' || cj == b'.') && next_is_digit(text, j + 1) {
+                if cj.is_ascii_digit() || ((cj == b',' || cj == b'.') && next_is_digit(text, j + 1))
+                {
                     j += 1;
                 } else {
                     break;

@@ -108,7 +108,7 @@ fn word_break(run: &str) -> Option<Vec<&str>> {
                 // Accept dictionary words and abbreviations of length ≥ 2.
                 if cand.len() >= 2 && (is_word(cand) || expand_abbreviation(cand).is_some()) {
                     let score = words + 1;
-                    if best[i].map_or(true, |(w, _)| score < w) {
+                    if best[i].is_none_or(|(w, _)| score < w) {
                         best[i] = Some((score, j));
                     }
                 }

@@ -6,17 +6,23 @@
 //! subsets — the executor and the cube operator compute them from `Count`
 //! results per footnote 1 of the paper.
 
+use crate::fxhash::FxHashSet;
 use crate::query::AggFunction;
-use std::collections::HashSet;
 
 /// Streaming accumulator for one aggregate over one row group.
 #[derive(Debug, Clone)]
 pub enum Accumulator {
     Count(u64),
     /// Distinct group codes of the aggregated column.
-    CountDistinct(HashSet<u64>),
-    Sum { sum: f64, n: u64 },
-    Avg { sum: f64, n: u64 },
+    CountDistinct(FxHashSet<u64>),
+    Sum {
+        sum: f64,
+        n: u64,
+    },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
     Min(Option<f64>),
     Max(Option<f64>),
     /// Collects values; the median is computed on finish. Memory is bounded
@@ -33,7 +39,7 @@ impl Accumulator {
     pub fn new(function: AggFunction) -> Accumulator {
         match function {
             AggFunction::Count => Accumulator::Count(0),
-            AggFunction::CountDistinct => Accumulator::CountDistinct(HashSet::new()),
+            AggFunction::CountDistinct => Accumulator::CountDistinct(FxHashSet::default()),
             AggFunction::Sum => Accumulator::Sum { sum: 0.0, n: 0 },
             AggFunction::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
             AggFunction::Min => Accumulator::Min(None),
@@ -98,14 +104,8 @@ impl Accumulator {
             (Accumulator::CountDistinct(a), Accumulator::CountDistinct(b)) => {
                 a.extend(b.iter().copied())
             }
-            (
-                Accumulator::Sum { sum: s1, n: n1 },
-                Accumulator::Sum { sum: s2, n: n2 },
-            )
-            | (
-                Accumulator::Avg { sum: s1, n: n1 },
-                Accumulator::Avg { sum: s2, n: n2 },
-            ) => {
+            (Accumulator::Sum { sum: s1, n: n1 }, Accumulator::Sum { sum: s2, n: n2 })
+            | (Accumulator::Avg { sum: s1, n: n1 }, Accumulator::Avg { sum: s2, n: n2 }) => {
                 *s1 += s2;
                 *n1 += n2;
             }

@@ -77,6 +77,9 @@ impl CachedSlice {
     /// Returns `Ok(aggregate)` where the inner `Option` is SQL NULL, or
     /// `Err(())` when some literal is unknown to this slice (a cache-coverage
     /// violation — the caller should treat it as a miss).
+    // The unit error deliberately carries no payload: callers translate it
+    // straight into a cache miss.
+    #[allow(clippy::result_unit_err)]
     pub fn lookup(&self, assignment: &[Option<Value>]) -> Result<Option<f64>, ()> {
         let sel = self.selectors(assignment)?;
         if self.count_like {
@@ -88,6 +91,7 @@ impl CachedSlice {
 
     /// Count-semantics lookup (absent group = 0), regardless of the slice's
     /// aggregate kind. Only meaningful for count slices.
+    #[allow(clippy::result_unit_err)]
     pub fn lookup_count(&self, assignment: &[Option<Value>]) -> Result<f64, ()> {
         let sel = self.selectors(assignment)?;
         Ok(self.cube.get_count(&sel, self.agg_idx))
@@ -210,10 +214,7 @@ mod tests {
     fn db() -> Database {
         let t = Table::from_columns(
             "t",
-            vec![(
-                "cat",
-                vec!["a".into(), "a".into(), "b".into(), "c".into()],
-            )],
+            vec![("cat", vec!["a".into(), "a".into(), "b".into(), "c".into()])],
         )
         .unwrap();
         let mut db = Database::new("d");

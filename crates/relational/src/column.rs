@@ -4,8 +4,8 @@
 //! rather than string comparisons; this is what makes evaluating tens of
 //! thousands of candidate queries per document (§6 of the paper) affordable.
 
+use crate::fxhash::FxHashMap;
 use crate::value::{DataType, Value};
-use std::collections::HashMap;
 
 /// Dictionary code reserved for NULL cells in string columns.
 pub const NULL_CODE: u32 = u32::MAX;
@@ -16,10 +16,26 @@ pub const NULL_CODE: u32 = u32::MAX;
 /// with different capitalization than the data, e.g. "Gambling" vs
 /// `gambling`), but the original spelling of the first occurrence is kept for
 /// display.
+///
+/// Both [`StringDictionary::intern`] and [`StringDictionary::code_of`] are
+/// allocation-free: instead of lowercasing into a temporary `String` per
+/// call, the index maps a case-folding hash to candidate codes and confirms
+/// with `eq_ignore_ascii_case` against the stored spelling.
 #[derive(Debug, Clone, Default)]
 pub struct StringDictionary {
     strings: Vec<String>,
-    lookup: HashMap<String, u32>,
+    /// Case-folding hash → codes with that hash (almost always exactly one).
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+/// FNV-1a over ASCII-lowercased bytes: equal-up-to-case strings collide.
+fn case_folded_hash(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        hash ^= b.to_ascii_lowercase() as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 impl StringDictionary {
@@ -39,19 +55,26 @@ impl StringDictionary {
     /// Intern `s`, returning its code. Repeated calls with equal strings
     /// (up to ASCII case) return the same code.
     pub fn intern(&mut self, s: &str) -> u32 {
-        let key = s.to_ascii_lowercase();
-        if let Some(&code) = self.lookup.get(&key) {
-            return code;
+        let hash = case_folded_hash(s);
+        let bucket = self.buckets.entry(hash).or_default();
+        for &code in bucket.iter() {
+            if self.strings[code as usize].eq_ignore_ascii_case(s) {
+                return code;
+            }
         }
         let code = self.strings.len() as u32;
         self.strings.push(s.to_string());
-        self.lookup.insert(key, code);
+        bucket.push(code);
         code
     }
 
     /// Code of `s` if it has been interned.
     pub fn code_of(&self, s: &str) -> Option<u32> {
-        self.lookup.get(&s.to_ascii_lowercase()).copied()
+        self.buckets
+            .get(&case_folded_hash(s))?
+            .iter()
+            .copied()
+            .find(|&code| self.strings[code as usize].eq_ignore_ascii_case(s))
     }
 
     /// The display string behind a code.

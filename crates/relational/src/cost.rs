@@ -96,10 +96,7 @@ mod tests {
     fn db() -> Database {
         let big = Table::from_columns(
             "big",
-            vec![(
-                "x",
-                (0..1000).map(Value::Int).collect::<Vec<_>>(),
-            )],
+            vec![("x", (0..1000).map(Value::Int).collect::<Vec<_>>())],
         )
         .unwrap();
         let small = Table::from_columns("small", vec![("y", vec![Value::Int(1)])]).unwrap();

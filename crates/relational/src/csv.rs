@@ -205,9 +205,15 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.row_count(), 2);
-        assert_eq!(t.column_by_name("games").unwrap().data_type(), DataType::Str);
+        assert_eq!(
+            t.column_by_name("games").unwrap().data_type(),
+            DataType::Str
+        );
         assert_eq!(t.column_by_name("year").unwrap().data_type(), DataType::Int);
-        assert_eq!(t.column_by_name("fine").unwrap().data_type(), DataType::Float);
+        assert_eq!(
+            t.column_by_name("fine").unwrap().data_type(),
+            DataType::Float
+        );
     }
 
     #[test]

@@ -8,17 +8,42 @@
 //! result set proportional to the number of *relevant* literals rather than
 //! the column cardinality.
 //!
-//! Execution is a single scan building the finest-level groups, followed by
-//! a rollup into all `2^|dims|` dimension subsets. Rollups merge
-//! accumulators, so even `CountDistinct` stays exact.
+//! # Execution model
+//!
+//! The scan is the single hottest loop in the system (Table 6 of the paper
+//! rests on it), so the executor picks between two grid representations:
+//!
+//! * **Dense mixed-radix grid** — each dimension contributes at most
+//!   `|relevant| + 1` codes (its literals plus `OTHER`), so a group is
+//!   addressed by `Σ codeᵢ · strideᵢ` into a flat accumulator array. When
+//!   the radix product fits [`CubeOptions::dense_cell_cap`] (the common
+//!   case: merged candidate queries restrict 1–3 columns to a handful of
+//!   literals each) the per-row work is a dictionary-code table lookup plus
+//!   an array index — **zero hashing, zero allocation**.
+//! * **Hashed fallback** — cubes whose radix product exceeds the cap (many
+//!   dimensions × many literals) accumulate into an `FxHashMap` keyed by the
+//!   packed per-dimension codes instead. Same semantics, bounded memory.
+//!
+//! The decision rule is purely structural (`Π (|relevantᵢ| + 1) ≤ cap`), so
+//! it is stable across runs and row counts; [`CubeStats::grid_mode`] records
+//! which path ran for the Table 6 instrumentation.
+//!
+//! The scan parallelizes over row partitions with scoped threads (one grid
+//! per thread, merged via [`Accumulator::merge`]); the
+//! `CheckerConfig::threads` knob reaches here through
+//! `core::evaluate::Evaluator::set_threads`. The rollup into all
+//! `2^|dims|` dimension subsets is dimension-at-a-time — every group is
+//! merged into at most `|dims|` coarser groups, i.e. O(d · groups) merges
+//! with no intermediate clones (the seed implementation cloned every finest
+//! group `2^d − 1` times).
 
 use crate::aggregate::Accumulator;
 use crate::database::{ColumnRef, Database};
 use crate::error::{RelationalError, Result};
-use crate::join::JoinedRelation;
+use crate::fxhash::FxHashMap;
+use crate::join::{JoinedRelation, RowResolver};
 use crate::query::{AggColumn, AggFunction};
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// Maximum number of cube dimensions (packed 8 bits each into a `u64` key).
 pub const MAX_DIMS: usize = 8;
@@ -38,7 +63,7 @@ pub enum DimSel {
 }
 
 /// A packed group key: one byte per dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroupKey(u64);
 
 impl GroupKey {
@@ -54,6 +79,12 @@ impl GroupKey {
             key |= (ALL as u64) << (8 * i);
         }
         GroupKey(key)
+    }
+
+    /// The code of dimension `dim`.
+    #[inline]
+    fn code(self, dim: usize) -> u8 {
+        (self.0 >> (8 * dim)) as u8
     }
 
     /// Replace the code of dimension `dim` with ALL.
@@ -75,12 +106,72 @@ pub struct CubeQuery {
     pub aggregates: Vec<(AggFunction, AggColumn)>,
 }
 
+/// Which accumulator grid the scan used (see the module docs for the
+/// decision rule).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GridMode {
+    /// Flat mixed-radix accumulator array; no hashing on the hot path.
+    Dense,
+    /// `FxHashMap` keyed by packed group codes (high-cardinality fallback).
+    #[default]
+    Hashed,
+}
+
 /// Execution statistics, used by the Table 6 experiment instrumentation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CubeStats {
     pub rows_scanned: u64,
     pub finest_groups: u64,
     pub total_groups: u64,
+    /// Scan worker threads actually used (1 = sequential).
+    pub scan_threads: u32,
+    /// Grid representation chosen by the structural decision rule.
+    pub grid_mode: GridMode,
+    /// Dense-grid cell count (the mixed-radix product); 0 when hashed.
+    pub dense_cells: u64,
+}
+
+/// Tuning knobs for one cube execution. The defaults match the paper's
+/// workload shape; [`CubeQuery::execute`] uses them unchanged, so existing
+/// call sites keep their behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct CubeOptions {
+    /// Maximum mixed-radix product for the dense grid. Cubes above this
+    /// fall back to the hashed grid. Setting 0 forces the hashed path
+    /// (useful for testing and instrumentation).
+    pub dense_cell_cap: usize,
+    /// Worker threads for the scan (clamped to at least 1).
+    pub threads: usize,
+    /// Minimum rows per scan worker: the worker count is capped at
+    /// `rows / parallel_row_threshold`, so relations smaller than twice
+    /// this stay sequential — thread spawn plus grid merge would dominate.
+    pub parallel_row_threshold: usize,
+    /// Cap workers at `std::thread::available_parallelism()` (default).
+    /// Disable to force the requested partition count — oversubscription
+    /// only costs time, so this is mainly for deterministic tests of the
+    /// partition-merge path.
+    pub clamp_to_hardware: bool,
+}
+
+impl Default for CubeOptions {
+    fn default() -> Self {
+        CubeOptions {
+            dense_cell_cap: 1 << 16,
+            threads: 1,
+            parallel_row_threshold: 4096,
+            clamp_to_hardware: true,
+        }
+    }
+}
+
+impl CubeOptions {
+    /// Sequential execution with `threads` workers requested.
+    pub fn with_threads(threads: usize) -> CubeOptions {
+        CubeOptions {
+            threads,
+            ..CubeOptions::default()
+        }
+    }
 }
 
 /// The result of one cube execution: finished aggregate values for every
@@ -90,8 +181,430 @@ pub struct CubeResult {
     dims: Vec<ColumnRef>,
     relevant: Vec<Vec<Value>>,
     n_aggs: usize,
-    groups: HashMap<GroupKey, Vec<Option<f64>>>,
+    groups: FxHashMap<GroupKey, Vec<Option<f64>>>,
     pub stats: CubeStats,
+}
+
+// ---------------------------------------------------------------------------
+// Per-dimension row → code translation
+// ---------------------------------------------------------------------------
+
+/// Maps a scan row to its dense dimension code: `0..n_lits` for relevant
+/// literals, `n_lits` for the OTHER bucket (non-relevant values and NULLs).
+enum DimCodec<'a> {
+    /// String column: direct lookup table over dictionary codes. NULL cells
+    /// carry `NULL_CODE = u32::MAX`, which is out of table range and thus
+    /// reads OTHER without a branch on a separate null check.
+    StrTable {
+        resolver: RowResolver<'a>,
+        codes: &'a [u32],
+        table: Box<[u8]>,
+        other: u8,
+    },
+    /// Numeric column: binary probe of a small sorted (group code → dim
+    /// code) table. Relevant literal sets are tiny (≤ 253), so the probe is
+    /// a handful of comparisons — still cheaper than hashing.
+    Probe {
+        resolver: RowResolver<'a>,
+        col: &'a crate::column::ColumnData,
+        table: Box<[(u64, u8)]>,
+        other: u8,
+    },
+}
+
+impl DimCodec<'_> {
+    #[inline]
+    fn dense_code(&self, row: usize) -> u8 {
+        match self {
+            DimCodec::StrTable {
+                resolver,
+                codes,
+                table,
+                other,
+            } => {
+                let code = codes[resolver.base_row(row)] as usize;
+                if code < table.len() {
+                    table[code]
+                } else {
+                    *other
+                }
+            }
+            DimCodec::Probe {
+                resolver,
+                col,
+                table,
+                other,
+            } => match col.group_code(resolver.base_row(row)) {
+                Some(gc) => match table.binary_search_by_key(&gc, |entry| entry.0) {
+                    Ok(i) => table[i].1,
+                    Err(_) => *other,
+                },
+                None => *other,
+            },
+        }
+    }
+}
+
+fn build_codec<'a>(
+    db: &'a Database,
+    relation: &'a JoinedRelation,
+    dim: ColumnRef,
+    literals: &[Value],
+) -> DimCodec<'a> {
+    let col = db.column(dim);
+    let resolver = relation.resolver(dim);
+    let other = literals.len() as u8;
+    match col.codes() {
+        Some(codes) => {
+            let dict_len = col.dictionary().map_or(0, |d| d.len());
+            let mut table = vec![other; dict_len].into_boxed_slice();
+            for (i, lit) in literals.iter().enumerate() {
+                // Literals absent from the column never match a row; later
+                // duplicates (e.g. case-insensitive twins) win, matching the
+                // lookup-map semantics of the original implementation.
+                if let Some(code) = col.group_code_of(lit) {
+                    table[code as usize] = i as u8;
+                }
+            }
+            DimCodec::StrTable {
+                resolver,
+                codes,
+                table,
+                other,
+            }
+        }
+        None => {
+            let mut entries: Vec<(u64, u8)> = Vec::with_capacity(literals.len());
+            for (i, lit) in literals.iter().enumerate() {
+                if let Some(code) = col.group_code_of(lit) {
+                    entries.push((code, i as u8));
+                }
+            }
+            entries.sort_by_key(|entry| entry.0);
+            // Duplicate group codes: keep the last literal index.
+            entries.reverse();
+            entries.dedup_by_key(|entry| entry.0);
+            entries.reverse();
+            DimCodec::Probe {
+                resolver,
+                col,
+                table: entries.into_boxed_slice(),
+                other,
+            }
+        }
+    }
+}
+
+/// One aggregate's input columns: `None` for `COUNT(*)`.
+type AggCtx<'a> = Option<(RowResolver<'a>, &'a crate::column::ColumnData)>;
+
+#[inline]
+fn update_accumulators(accs: &mut [Accumulator], agg_ctx: &[AggCtx<'_>], row: usize) {
+    for (acc, ctx) in accs.iter_mut().zip(agg_ctx) {
+        match ctx {
+            None => acc.update(None, None, true),
+            Some((res, col)) => {
+                let base = res.base_row(row);
+                acc.update(col.get_f64(base), col.group_code(base), !col.is_null(base));
+            }
+        }
+    }
+}
+
+fn new_accumulators(aggregates: &[(AggFunction, AggColumn)]) -> Vec<Accumulator> {
+    aggregates
+        .iter()
+        .map(|(f, _)| Accumulator::new(*f))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scan grids
+// ---------------------------------------------------------------------------
+
+/// Rows per scan block: cell indices for a block are computed first, then
+/// each aggregate sweeps the block in a loop specialized to its kind. This
+/// hoists the aggregate dispatch out of the per-row hot path and keeps the
+/// touched cells resident in cache.
+const SCAN_BLOCK: usize = 2048;
+
+/// One aggregate's dense per-cell state, struct-of-arrays style. Compared
+/// with a `Vec<Accumulator>` grid this removes the enum tag from every cell
+/// and lets each block sweep run branch-free on plain arrays.
+enum DenseAggState {
+    Count(Vec<u64>),
+    CountDistinct(Vec<crate::fxhash::FxHashSet<u64>>),
+    SumAvg {
+        sums: Vec<f64>,
+        counts: Vec<u64>,
+        is_avg: bool,
+    },
+    MinMax {
+        extremes: Vec<Option<f64>>,
+        is_max: bool,
+    },
+    Median(Vec<Vec<f64>>),
+}
+
+impl DenseAggState {
+    fn new(function: AggFunction, cells: usize) -> DenseAggState {
+        match function {
+            AggFunction::Count => DenseAggState::Count(vec![0; cells]),
+            AggFunction::CountDistinct => {
+                DenseAggState::CountDistinct(vec![crate::fxhash::FxHashSet::default(); cells])
+            }
+            AggFunction::Sum | AggFunction::Avg => DenseAggState::SumAvg {
+                sums: vec![0.0; cells],
+                counts: vec![0; cells],
+                is_avg: function == AggFunction::Avg,
+            },
+            AggFunction::Min | AggFunction::Max => DenseAggState::MinMax {
+                extremes: vec![None; cells],
+                is_max: function == AggFunction::Max,
+            },
+            AggFunction::Median => DenseAggState::Median(vec![Vec::new(); cells]),
+            AggFunction::Percentage | AggFunction::ConditionalProbability => {
+                unreachable!("validate() rejects ratio aggregates")
+            }
+        }
+    }
+
+    /// Fold one block of rows (`first_row + k` for `cells[k]`) into the grid.
+    fn update_block(&mut self, cells: &[u32], first_row: usize, ctx: &AggCtx<'_>) {
+        match (self, ctx) {
+            (DenseAggState::Count(counts), None) => {
+                // COUNT(*): every row counts.
+                for &cell in cells {
+                    counts[cell as usize] += 1;
+                }
+            }
+            (DenseAggState::Count(counts), Some((res, col))) => {
+                for (k, &cell) in cells.iter().enumerate() {
+                    if !col.is_null(res.base_row(first_row + k)) {
+                        counts[cell as usize] += 1;
+                    }
+                }
+            }
+            (DenseAggState::CountDistinct(sets), Some((res, col))) => {
+                for (k, &cell) in cells.iter().enumerate() {
+                    if let Some(code) = col.group_code(res.base_row(first_row + k)) {
+                        sets[cell as usize].insert(code);
+                    }
+                }
+            }
+            (DenseAggState::SumAvg { sums, counts, .. }, Some((res, col))) => {
+                for (k, &cell) in cells.iter().enumerate() {
+                    if let Some(v) = col.get_f64(res.base_row(first_row + k)) {
+                        sums[cell as usize] += v;
+                        counts[cell as usize] += 1;
+                    }
+                }
+            }
+            (DenseAggState::MinMax { extremes, is_max }, Some((res, col))) => {
+                let is_max = *is_max;
+                for (k, &cell) in cells.iter().enumerate() {
+                    if let Some(v) = col.get_f64(res.base_row(first_row + k)) {
+                        let e = &mut extremes[cell as usize];
+                        *e = Some(match *e {
+                            None => v,
+                            Some(cur) if is_max => cur.max(v),
+                            Some(cur) => cur.min(v),
+                        });
+                    }
+                }
+            }
+            (DenseAggState::Median(values), Some((res, col))) => {
+                for (k, &cell) in cells.iter().enumerate() {
+                    if let Some(v) = col.get_f64(res.base_row(first_row + k)) {
+                        values[cell as usize].push(v);
+                    }
+                }
+            }
+            // `*` as input to value aggregates contributes nothing (matches
+            // `Accumulator::update(None, None, true)`).
+            _ => {}
+        }
+    }
+
+    /// Merge another partition's state for `cell` into this one.
+    fn merge_cell(&mut self, other: &mut DenseAggState, cell: usize) {
+        match (self, other) {
+            (DenseAggState::Count(a), DenseAggState::Count(b)) => a[cell] += b[cell],
+            (DenseAggState::CountDistinct(a), DenseAggState::CountDistinct(b)) => {
+                if a[cell].is_empty() {
+                    a[cell] = std::mem::take(&mut b[cell]);
+                } else {
+                    a[cell].extend(b[cell].iter().copied());
+                }
+            }
+            (
+                DenseAggState::SumAvg { sums, counts, .. },
+                DenseAggState::SumAvg {
+                    sums: s2,
+                    counts: c2,
+                    ..
+                },
+            ) => {
+                sums[cell] += s2[cell];
+                counts[cell] += c2[cell];
+            }
+            (
+                DenseAggState::MinMax { extremes, is_max },
+                DenseAggState::MinMax { extremes: e2, .. },
+            ) => {
+                if let Some(v) = e2[cell] {
+                    let e = &mut extremes[cell];
+                    *e = Some(match *e {
+                        None => v,
+                        Some(cur) if *is_max => cur.max(v),
+                        Some(cur) => cur.min(v),
+                    });
+                }
+            }
+            (DenseAggState::Median(a), DenseAggState::Median(b)) => {
+                if a[cell].is_empty() {
+                    a[cell] = std::mem::take(&mut b[cell]);
+                } else {
+                    a[cell].append(&mut b[cell]);
+                }
+            }
+            _ => unreachable!("partitions share the aggregate list"),
+        }
+    }
+
+    /// Convert one cell into the [`Accumulator`] the rollup consumes,
+    /// draining owned state (sets, median buffers) instead of cloning.
+    fn take_accumulator(&mut self, cell: usize) -> Accumulator {
+        match self {
+            DenseAggState::Count(counts) => Accumulator::Count(counts[cell]),
+            DenseAggState::CountDistinct(sets) => {
+                Accumulator::CountDistinct(std::mem::take(&mut sets[cell]))
+            }
+            DenseAggState::SumAvg {
+                sums,
+                counts,
+                is_avg: false,
+            } => Accumulator::Sum {
+                sum: sums[cell],
+                n: counts[cell],
+            },
+            DenseAggState::SumAvg { sums, counts, .. } => Accumulator::Avg {
+                sum: sums[cell],
+                n: counts[cell],
+            },
+            DenseAggState::MinMax {
+                extremes,
+                is_max: false,
+            } => Accumulator::Min(extremes[cell]),
+            DenseAggState::MinMax { extremes, .. } => Accumulator::Max(extremes[cell]),
+            DenseAggState::Median(values) => Accumulator::Median(std::mem::take(&mut values[cell])),
+        }
+    }
+}
+
+/// Flat mixed-radix grid for one scan partition.
+struct DenseGrid {
+    aggs: Vec<DenseAggState>,
+    touched: Vec<bool>,
+}
+
+impl DenseGrid {
+    fn new(cells: usize, aggregates: &[(AggFunction, AggColumn)]) -> DenseGrid {
+        DenseGrid {
+            aggs: aggregates
+                .iter()
+                .map(|(f, _)| DenseAggState::new(*f, cells))
+                .collect(),
+            touched: vec![false; cells],
+        }
+    }
+
+    fn scan(
+        &mut self,
+        rows: std::ops::Range<usize>,
+        codecs: &[DimCodec<'_>],
+        strides: &[usize],
+        agg_ctx: &[AggCtx<'_>],
+    ) {
+        let mut cellbuf = [0u32; SCAN_BLOCK];
+        let mut row = rows.start;
+        while row < rows.end {
+            let len = (rows.end - row).min(SCAN_BLOCK);
+            for (k, slot) in cellbuf[..len].iter_mut().enumerate() {
+                let mut cell = 0usize;
+                for (codec, stride) in codecs.iter().zip(strides) {
+                    cell += codec.dense_code(row + k) as usize * stride;
+                }
+                self.touched[cell] = true;
+                *slot = cell as u32;
+            }
+            for (state, ctx) in self.aggs.iter_mut().zip(agg_ctx) {
+                state.update_block(&cellbuf[..len], row, ctx);
+            }
+            row += len;
+        }
+    }
+
+    fn merge(&mut self, other: &mut DenseGrid) {
+        for (cell, touched) in other.touched.iter().enumerate() {
+            if !touched {
+                continue;
+            }
+            self.touched[cell] = true;
+            for (a, b) in self.aggs.iter_mut().zip(other.aggs.iter_mut()) {
+                a.merge_cell(b, cell);
+            }
+        }
+    }
+}
+
+/// Hashed accumulator grid for one scan partition, keyed by packed dense
+/// codes (8 bits per dimension).
+struct HashedGrid {
+    groups: FxHashMap<u64, Vec<Accumulator>>,
+}
+
+impl HashedGrid {
+    fn new() -> HashedGrid {
+        HashedGrid {
+            groups: FxHashMap::default(),
+        }
+    }
+
+    fn scan(
+        &mut self,
+        rows: std::ops::Range<usize>,
+        codecs: &[DimCodec<'_>],
+        aggregates: &[(AggFunction, AggColumn)],
+        agg_ctx: &[AggCtx<'_>],
+    ) {
+        for row in rows {
+            let mut key = 0u64;
+            for (i, codec) in codecs.iter().enumerate() {
+                key |= (codec.dense_code(row) as u64) << (8 * i);
+            }
+            let accs = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| new_accumulators(aggregates));
+            update_accumulators(accs, agg_ctx, row);
+        }
+    }
+
+    fn merge(&mut self, other: HashedGrid) {
+        for (key, accs) in other.groups {
+            match self.groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(&accs) {
+                        a.merge(b);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+            }
+        }
+    }
 }
 
 impl CubeQuery {
@@ -142,125 +655,205 @@ impl CubeQuery {
         tables
     }
 
-    /// Execute the cube against the database.
+    /// Execute the cube against the database with default options.
     pub fn execute(&self, db: &Database) -> Result<CubeResult> {
-        let relation = JoinedRelation::for_tables(db, &self.tables_referenced())?;
-        self.execute_on(db, &relation)
+        self.execute_with(db, &CubeOptions::default())
     }
 
-    /// Execute against a pre-materialized join.
+    /// Execute the cube with explicit tuning options.
+    pub fn execute_with(&self, db: &Database, options: &CubeOptions) -> Result<CubeResult> {
+        let relation = JoinedRelation::for_tables(db, &self.tables_referenced())?;
+        self.execute_on_with(db, &relation, options)
+    }
+
+    /// Execute against a pre-materialized join with default options.
     pub fn execute_on(&self, db: &Database, relation: &JoinedRelation) -> Result<CubeResult> {
+        self.execute_on_with(db, relation, &CubeOptions::default())
+    }
+
+    /// Execute against a pre-materialized join with explicit options.
+    pub fn execute_on_with(
+        &self,
+        db: &Database,
+        relation: &JoinedRelation,
+        options: &CubeOptions,
+    ) -> Result<CubeResult> {
         self.validate()?;
         let d = self.dims.len();
+        let n_rows = relation.len();
 
-        // Per dimension: resolver + column + map from group code → literal index.
-        struct DimCtx<'a> {
-            resolver: crate::join::RowResolver<'a>,
-            col: &'a crate::column::ColumnData,
-            literal_codes: HashMap<u64, u8>,
-        }
-        let mut dim_ctx = Vec::with_capacity(d);
-        for (dim, lits) in self.dims.iter().zip(&self.relevant) {
-            let col = db.column(*dim);
-            let mut literal_codes = HashMap::with_capacity(lits.len());
-            for (i, lit) in lits.iter().enumerate() {
-                if let Some(code) = col.group_code_of(lit) {
-                    literal_codes.insert(code, i as u8);
+        let codecs: Vec<DimCodec<'_>> = self
+            .dims
+            .iter()
+            .zip(&self.relevant)
+            .map(|(dim, lits)| build_codec(db, relation, *dim, lits))
+            .collect();
+
+        let agg_ctx: Vec<AggCtx<'_>> = self
+            .aggregates
+            .iter()
+            .map(|(_, col)| {
+                col.as_column()
+                    .map(|c| (relation.resolver(c), db.column(c)))
+            })
+            .collect();
+
+        // Structural decision rule: dense iff the mixed-radix product of
+        // (literals + OTHER) per dimension fits the configured cap.
+        let radices: Vec<usize> = self.relevant.iter().map(|lits| lits.len() + 1).collect();
+        let cells = radices.iter().try_fold(1usize, |acc, &r| {
+            acc.checked_mul(r).filter(|&c| c <= options.dense_cell_cap)
+        });
+
+        // Parallelize only when every worker gets a meaningful partition,
+        // and never oversubscribe the machine: extra workers on a saturated
+        // CPU only add spawn and merge overhead.
+        let hardware = if options.clamp_to_hardware {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            usize::MAX
+        };
+        let threads = options
+            .threads
+            .max(1)
+            .min(hardware)
+            .min((n_rows / options.parallel_row_threshold.max(1)).max(1));
+
+        let mut finest: Vec<(GroupKey, Vec<Accumulator>)>;
+        let grid_mode;
+        let dense_cells;
+        match cells {
+            Some(cells) => {
+                grid_mode = GridMode::Dense;
+                dense_cells = cells as u64;
+                let mut strides = vec![0usize; d];
+                let mut stride = 1;
+                for (s, radix) in strides.iter_mut().zip(&radices) {
+                    *s = stride;
+                    stride *= radix;
                 }
-                // Literals absent from the column simply never match a row;
-                // lookups for them return empty-group aggregates.
-            }
-            dim_ctx.push(DimCtx {
-                resolver: relation.resolver(*dim),
-                col,
-                literal_codes,
-            });
-        }
-
-        // Aggregation columns: resolver + column (None for `*`).
-        let agg_ctx: Vec<Option<(crate::join::RowResolver<'_>, &crate::column::ColumnData)>> =
-            self.aggregates
-                .iter()
-                .map(|(_, col)| {
-                    col.as_column()
-                        .map(|c| (relation.resolver(c), db.column(c)))
-                })
-                .collect();
-
-        // Pass 1: finest-level groups.
-        let mut finest: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
-        let mut codes = vec![0u8; d];
-        for row in 0..relation.len() {
-            for (i, ctx) in dim_ctx.iter().enumerate() {
-                let base = ctx.resolver.base_row(row);
-                codes[i] = ctx
-                    .col
-                    .group_code(base)
-                    .and_then(|gc| ctx.literal_codes.get(&gc).copied())
-                    .unwrap_or(OTHER);
-            }
-            let key = GroupKey::from_codes(&codes);
-            let accs = finest.entry(key).or_insert_with(|| {
-                self.aggregates
-                    .iter()
-                    .map(|(f, _)| Accumulator::new(*f))
-                    .collect()
-            });
-            for (acc, ctx) in accs.iter_mut().zip(&agg_ctx) {
-                match ctx {
-                    None => acc.update(None, None, true),
-                    Some((res, col)) => {
-                        let base = res.base_row(row);
-                        acc.update(col.get_f64(base), col.group_code(base), !col.is_null(base));
+                let mut grid = if threads <= 1 {
+                    let mut grid = DenseGrid::new(cells, &self.aggregates);
+                    grid.scan(0..n_rows, &codecs, &strides, &agg_ctx);
+                    grid
+                } else {
+                    let chunk = n_rows.div_ceil(threads);
+                    let mut partials: Vec<DenseGrid> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|t| {
+                                let (codecs, strides, agg_ctx) = (&codecs, &strides, &agg_ctx);
+                                let aggregates = &self.aggregates;
+                                scope.spawn(move || {
+                                    let lo = t * chunk;
+                                    let hi = ((t + 1) * chunk).min(n_rows);
+                                    let mut grid = DenseGrid::new(cells, aggregates);
+                                    grid.scan(lo..hi, codecs, strides, agg_ctx);
+                                    grid
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("cube scan worker"))
+                            .collect()
+                    });
+                    let mut grid = partials.remove(0);
+                    for partial in &mut partials {
+                        grid.merge(partial);
                     }
+                    grid
+                };
+                // Convert touched cells (in deterministic cell order) to
+                // packed group keys: dense code n_lits ⇒ OTHER byte.
+                finest = Vec::new();
+                let touched = std::mem::take(&mut grid.touched);
+                for (cell, touched) in touched.iter().enumerate() {
+                    if !touched {
+                        continue;
+                    }
+                    let cell_accs: Vec<Accumulator> = grid
+                        .aggs
+                        .iter_mut()
+                        .map(|state| state.take_accumulator(cell))
+                        .collect();
+                    let mut codes = [0u8; MAX_DIMS];
+                    for i in 0..d {
+                        let dc = (cell / strides[i]) % radices[i];
+                        codes[i] = if dc == radices[i] - 1 {
+                            OTHER
+                        } else {
+                            dc as u8
+                        };
+                    }
+                    finest.push((GroupKey::from_codes(&codes[..d]), cell_accs));
                 }
+            }
+            None => {
+                grid_mode = GridMode::Hashed;
+                dense_cells = 0;
+                let grid = if threads <= 1 {
+                    let mut grid = HashedGrid::new();
+                    grid.scan(0..n_rows, &codecs, &self.aggregates, &agg_ctx);
+                    grid
+                } else {
+                    let chunk = n_rows.div_ceil(threads);
+                    let partials: Vec<HashedGrid> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|t| {
+                                let (codecs, agg_ctx) = (&codecs, &agg_ctx);
+                                let aggregates = &self.aggregates;
+                                scope.spawn(move || {
+                                    let lo = t * chunk;
+                                    let hi = ((t + 1) * chunk).min(n_rows);
+                                    let mut grid = HashedGrid::new();
+                                    grid.scan(lo..hi, codecs, aggregates, agg_ctx);
+                                    grid
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("cube scan worker"))
+                            .collect()
+                    });
+                    let mut iter = partials.into_iter();
+                    let mut grid = iter.next().expect("at least one partition");
+                    for partial in iter {
+                        grid.merge(partial);
+                    }
+                    grid
+                };
+                finest = grid
+                    .groups
+                    .into_iter()
+                    .map(|(key, accs)| {
+                        let mut codes = [0u8; MAX_DIMS];
+                        for (i, (code, radix)) in codes.iter_mut().zip(&radices).enumerate() {
+                            let dc = ((key >> (8 * i)) & 0xff) as usize;
+                            *code = if dc == radix - 1 { OTHER } else { dc as u8 };
+                        }
+                        (GroupKey::from_codes(&codes[..d]), accs)
+                    })
+                    .collect();
+                // Deterministic rollup order regardless of hash iteration.
+                finest.sort_unstable_by_key(|(key, _)| *key);
             }
         }
 
         let finest_groups = finest.len() as u64;
-
-        // Pass 2: roll up into every dimension subset. Keys from different
-        // subsets cannot collide because rolled-up dimensions read ALL.
-        let mut all_groups: HashMap<GroupKey, Vec<Accumulator>> = finest;
-        if d > 0 {
-            let finest_keys: Vec<GroupKey> = all_groups.keys().copied().collect();
-            for mask in 0..(1u32 << d) - 1 {
-                // `mask` bit i set ⇒ dimension i is grouped (kept).
-                for &fk in &finest_keys {
-                    let mut key = fk;
-                    for i in 0..d {
-                        if mask & (1 << i) == 0 {
-                            key = key.rolled_up(i);
-                        }
-                    }
-                    if key == fk {
-                        continue;
-                    }
-                    let src = all_groups
-                        .get(&fk)
-                        .expect("finest key present")
-                        .clone();
-                    match all_groups.entry(key) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            for (a, b) in e.get_mut().iter_mut().zip(&src) {
-                                a.merge(b);
-                            }
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(src);
-                        }
-                    }
-                }
-            }
-        }
+        let (keys, arena) = rollup(finest, d);
 
         let stats = CubeStats {
-            rows_scanned: relation.len() as u64,
+            rows_scanned: n_rows as u64,
             finest_groups,
-            total_groups: all_groups.len() as u64,
+            total_groups: arena.len() as u64,
+            scan_threads: threads as u32,
+            grid_mode,
+            dense_cells,
         };
-        let groups = all_groups
+        let groups = keys
             .into_iter()
+            .zip(&arena)
             .map(|(k, accs)| (k, accs.iter().map(Accumulator::finish).collect()))
             .collect();
         Ok(CubeResult {
@@ -271,6 +864,58 @@ impl CubeQuery {
             stats,
         })
     }
+}
+
+/// Roll the finest-level groups up into every dimension subset,
+/// dimension-at-a-time: after processing dimension `i`, the arena holds all
+/// groups whose first `i + 1` dimensions are either specific or ALL. Each
+/// group is merged into at most `d` coarser targets, and a target is
+/// allocated exactly once — O(d · groups) merges, no clones of intermediate
+/// accumulator vectors.
+///
+/// Keys from different subsets cannot collide because rolled-up dimensions
+/// read ALL.
+fn rollup(
+    finest: Vec<(GroupKey, Vec<Accumulator>)>,
+    d: usize,
+) -> (Vec<GroupKey>, Vec<Vec<Accumulator>>) {
+    let mut keys: Vec<GroupKey> = Vec::with_capacity(finest.len());
+    let mut arena: Vec<Vec<Accumulator>> = Vec::with_capacity(finest.len());
+    let mut index: FxHashMap<GroupKey, u32> = FxHashMap::default();
+    for (key, accs) in finest {
+        index.insert(key, arena.len() as u32);
+        keys.push(key);
+        arena.push(accs);
+    }
+    for dim in 0..d {
+        // Groups appended during this pass already read ALL at `dim`, so
+        // iterating the pre-pass length is exhaustive.
+        for idx in 0..arena.len() {
+            let key = keys[idx];
+            if key.code(dim) == ALL {
+                continue;
+            }
+            let target = key.rolled_up(dim);
+            match index.entry(target) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let tgt = *e.get() as usize;
+                    debug_assert_ne!(tgt, idx);
+                    let src = std::mem::take(&mut arena[idx]);
+                    for (a, b) in arena[tgt].iter_mut().zip(&src) {
+                        a.merge(b);
+                    }
+                    arena[idx] = src;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(arena.len() as u32);
+                    keys.push(target);
+                    let clone = arena[idx].clone();
+                    arena.push(clone);
+                }
+            }
+        }
+    }
+    (keys, arena)
 }
 
 impl CubeResult {
@@ -391,7 +1036,7 @@ mod tests {
         db
     }
 
-    fn nfl_cube(db: &Database) -> CubeResult {
+    fn nfl_cube_query(db: &Database) -> CubeQuery {
         let games = db.resolve("nflsuspensions", "games").unwrap();
         let cat = db.resolve("nflsuspensions", "category").unwrap();
         let year = db.resolve("nflsuspensions", "year").unwrap();
@@ -410,8 +1055,42 @@ mod tests {
                 (AggFunction::Avg, AggColumn::Column(year)),
             ],
         }
-        .execute(db)
-        .unwrap()
+    }
+
+    fn nfl_cube(db: &Database) -> CubeResult {
+        nfl_cube_query(db).execute(db).unwrap()
+    }
+
+    /// Every tuning variant that must agree with the default path.
+    fn option_variants() -> Vec<(&'static str, CubeOptions)> {
+        vec![
+            ("dense-1t", CubeOptions::default()),
+            (
+                "hashed-1t",
+                CubeOptions {
+                    dense_cell_cap: 0,
+                    ..CubeOptions::default()
+                },
+            ),
+            (
+                "dense-4t",
+                CubeOptions {
+                    threads: 4,
+                    parallel_row_threshold: 1,
+                    clamp_to_hardware: false,
+                    ..CubeOptions::default()
+                },
+            ),
+            (
+                "hashed-4t",
+                CubeOptions {
+                    dense_cell_cap: 0,
+                    threads: 4,
+                    parallel_row_threshold: 1,
+                    clamp_to_hardware: false,
+                },
+            ),
+        ]
     }
 
     #[test]
@@ -437,7 +1116,6 @@ mod tests {
     #[test]
     fn cube_matches_naive_executor_on_every_combination() {
         let db = nfl();
-        let r = nfl_cube(&db);
         let games = db.resolve("nflsuspensions", "games").unwrap();
         let cat = db.resolve("nflsuspensions", "category").unwrap();
         let year = db.resolve("nflsuspensions", "year").unwrap();
@@ -447,43 +1125,51 @@ mod tests {
             Some("substance abuse, repeated offense"),
             None,
         ];
-        for (gi, g) in game_lits.iter().enumerate() {
-            for (ci, c) in cat_lits.iter().enumerate() {
-                let mut preds = Vec::new();
-                let mut assignment = Vec::new();
-                match g {
-                    Some(lit) => {
-                        preds.push(Predicate::new(games, *lit));
-                        assignment.push(DimSel::Literal(gi));
+        for (name, options) in option_variants() {
+            let r = nfl_cube_query(&db).execute_with(&db, &options).unwrap();
+            for (gi, g) in game_lits.iter().enumerate() {
+                for (ci, c) in cat_lits.iter().enumerate() {
+                    let mut preds = Vec::new();
+                    let mut assignment = Vec::new();
+                    match g {
+                        Some(lit) => {
+                            preds.push(Predicate::new(games, *lit));
+                            assignment.push(DimSel::Literal(gi));
+                        }
+                        None => assignment.push(DimSel::Any),
                     }
-                    None => assignment.push(DimSel::Any),
-                }
-                match c {
-                    Some(lit) => {
-                        preds.push(Predicate::new(cat, *lit));
-                        assignment.push(DimSel::Literal(ci));
+                    match c {
+                        Some(lit) => {
+                            preds.push(Predicate::new(cat, *lit));
+                            assignment.push(DimSel::Literal(ci));
+                        }
+                        None => assignment.push(DimSel::Any),
                     }
-                    None => assignment.push(DimSel::Any),
-                }
-                for (agg_idx, (f, col)) in [
-                    (AggFunction::Count, AggColumn::Star),
-                    (AggFunction::Sum, AggColumn::Column(year)),
-                    (AggFunction::Avg, AggColumn::Column(year)),
-                ]
-                .iter()
-                .enumerate()
-                {
-                    let q = SimpleAggregateQuery::new(*f, *col, preds.clone());
-                    let naive = execute_query(&db, &q).unwrap();
-                    if *f == AggFunction::Count {
-                        assert_eq!(
-                            Some(r.get_count(&assignment, agg_idx)),
-                            naive,
-                            "{}",
-                            q.to_sql(&db)
-                        );
-                    } else {
-                        assert_eq!(r.get(&assignment, agg_idx), naive, "{}", q.to_sql(&db));
+                    for (agg_idx, (f, col)) in [
+                        (AggFunction::Count, AggColumn::Star),
+                        (AggFunction::Sum, AggColumn::Column(year)),
+                        (AggFunction::Avg, AggColumn::Column(year)),
+                    ]
+                    .iter()
+                    .enumerate()
+                    {
+                        let q = SimpleAggregateQuery::new(*f, *col, preds.clone());
+                        let naive = execute_query(&db, &q).unwrap();
+                        if *f == AggFunction::Count {
+                            assert_eq!(
+                                Some(r.get_count(&assignment, agg_idx)),
+                                naive,
+                                "[{name}] {}",
+                                q.to_sql(&db)
+                            );
+                        } else {
+                            assert_eq!(
+                                r.get(&assignment, agg_idx),
+                                naive,
+                                "[{name}] {}",
+                                q.to_sql(&db)
+                            );
+                        }
                     }
                 }
             }
@@ -491,22 +1177,58 @@ mod tests {
     }
 
     #[test]
+    fn grid_mode_follows_decision_rule() {
+        let db = nfl();
+        let q = nfl_cube_query(&db);
+        let dense = q.execute(&db).unwrap();
+        assert_eq!(dense.stats.grid_mode, GridMode::Dense);
+        // radices: (1 literal + OTHER) × (2 literals + OTHER) = 6 cells.
+        assert_eq!(dense.stats.dense_cells, 6);
+        assert_eq!(dense.stats.scan_threads, 1);
+
+        let hashed = q
+            .execute_with(
+                &db,
+                &CubeOptions {
+                    dense_cell_cap: 5,
+                    ..CubeOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(hashed.stats.grid_mode, GridMode::Hashed);
+        assert_eq!(hashed.stats.dense_cells, 0);
+        assert_eq!(hashed.stats.total_groups, dense.stats.total_groups);
+    }
+
+    #[test]
+    fn small_relations_stay_sequential() {
+        let db = nfl();
+        let r = nfl_cube_query(&db)
+            .execute_with(&db, &CubeOptions::with_threads(8))
+            .unwrap();
+        // 6 rows is far below the parallel threshold.
+        assert_eq!(r.stats.scan_threads, 1);
+    }
+
+    #[test]
     fn count_distinct_survives_rollup() {
         let db = nfl();
         let games = db.resolve("nflsuspensions", "games").unwrap();
         let year = db.resolve("nflsuspensions", "year").unwrap();
-        let r = CubeQuery {
-            dims: vec![games],
-            relevant: vec![vec!["indef".into()]],
-            aggregates: vec![(AggFunction::CountDistinct, AggColumn::Column(year))],
+        for (name, options) in option_variants() {
+            let r = CubeQuery {
+                dims: vec![games],
+                relevant: vec![vec!["indef".into()]],
+                aggregates: vec![(AggFunction::CountDistinct, AggColumn::Column(year))],
+            }
+            .execute_with(&db, &options)
+            .unwrap();
+            // indef years: 1989, 1995, 2014, 1983 → 4 distinct.
+            assert_eq!(r.get(&[DimSel::Literal(0)], 0), Some(4.0), "[{name}]");
+            // All years: 1989, 1995, 2014, 1983, 2014, 2014 → 4 distinct,
+            // not 6: the rollup must merge distinct sets, not add counts.
+            assert_eq!(r.get(&[DimSel::Any], 0), Some(4.0), "[{name}]");
         }
-        .execute(&db)
-        .unwrap();
-        // indef years: 1989, 1995, 2014, 1983 → 4 distinct.
-        assert_eq!(r.get(&[DimSel::Literal(0)], 0), Some(4.0));
-        // All years: 1989, 1995, 2014, 1983, 2014, 2014 → 4 distinct, not 6:
-        // the rollup must merge distinct sets, not add counts.
-        assert_eq!(r.get(&[DimSel::Any], 0), Some(4.0));
     }
 
     #[test]
@@ -523,32 +1245,56 @@ mod tests {
     fn missing_literal_reads_as_empty_group() {
         let db = nfl();
         let games = db.resolve("nflsuspensions", "games").unwrap();
-        let r = CubeQuery {
-            dims: vec![games],
-            relevant: vec![vec!["indef".into(), "not-in-data".into()]],
-            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        for (name, options) in option_variants() {
+            let r = CubeQuery {
+                dims: vec![games],
+                relevant: vec![vec!["indef".into(), "not-in-data".into()]],
+                aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+            }
+            .execute_with(&db, &options)
+            .unwrap();
+            assert_eq!(r.get_count(&[DimSel::Literal(1)], 0), 0.0, "[{name}]");
+            assert_eq!(r.get(&[DimSel::Literal(1)], 0), None, "[{name}]");
+            // Out-of-range literal index is not a panic either.
+            assert_eq!(r.get_count(&[DimSel::Literal(9)], 0), 0.0, "[{name}]");
         }
-        .execute(&db)
-        .unwrap();
-        assert_eq!(r.get_count(&[DimSel::Literal(1)], 0), 0.0);
-        assert_eq!(r.get(&[DimSel::Literal(1)], 0), None);
-        // Out-of-range literal index is not a panic either.
-        assert_eq!(r.get_count(&[DimSel::Literal(9)], 0), 0.0);
     }
 
     #[test]
     fn zero_dimension_cube_is_global_aggregate() {
         let db = nfl();
         let year = db.resolve("nflsuspensions", "year").unwrap();
-        let r = CubeQuery {
-            dims: vec![],
-            relevant: vec![],
-            aggregates: vec![(AggFunction::Max, AggColumn::Column(year))],
+        for (name, options) in option_variants() {
+            let r = CubeQuery {
+                dims: vec![],
+                relevant: vec![],
+                aggregates: vec![(AggFunction::Max, AggColumn::Column(year))],
+            }
+            .execute_with(&db, &options)
+            .unwrap();
+            assert_eq!(r.get(&[], 0), Some(2014.0), "[{name}]");
+            assert_eq!(r.group_count(), 1, "[{name}]");
         }
-        .execute(&db)
-        .unwrap();
-        assert_eq!(r.get(&[], 0), Some(2014.0));
-        assert_eq!(r.group_count(), 1);
+    }
+
+    #[test]
+    fn empty_relation_yields_no_groups() {
+        let t = Table::from_columns("empty", vec![("x", Vec::<Value>::new())]).unwrap();
+        let mut db = Database::new("e");
+        db.add_table(t);
+        let x = db.resolve("empty", "x").unwrap();
+        for (name, options) in option_variants() {
+            let r = CubeQuery {
+                dims: vec![x],
+                relevant: vec![vec![Value::Int(1)]],
+                aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+            }
+            .execute_with(&db, &options)
+            .unwrap();
+            assert_eq!(r.group_count(), 0, "[{name}]");
+            assert_eq!(r.get_count(&[DimSel::Any], 0), 0.0, "[{name}]");
+            assert_eq!(r.get(&[DimSel::Any], 0), None, "[{name}]");
+        }
     }
 
     #[test]
@@ -579,13 +1325,57 @@ mod tests {
     fn numeric_dimension_grouping() {
         let db = nfl();
         let year = db.resolve("nflsuspensions", "year").unwrap();
-        let r = CubeQuery {
-            dims: vec![year],
-            relevant: vec![vec![Value::Int(2014)]],
-            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        for (name, options) in option_variants() {
+            let r = CubeQuery {
+                dims: vec![year],
+                relevant: vec![vec![Value::Int(2014)]],
+                aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+            }
+            .execute_with(&db, &options)
+            .unwrap();
+            assert_eq!(r.get_count(&[DimSel::Literal(0)], 0), 3.0, "[{name}]");
         }
-        .execute(&db)
-        .unwrap();
-        assert_eq!(r.get_count(&[DimSel::Literal(0)], 0), 3.0);
+    }
+
+    #[test]
+    fn parallel_scan_partitions_large_relations() {
+        // A relation big enough to clear the parallel threshold.
+        let n = 10_000usize;
+        let cats: Vec<Value> = (0..n)
+            .map(|i| Value::Str(["a", "b", "c"][i % 3].into()))
+            .collect();
+        let nums: Vec<Value> = (0..n).map(|i| Value::Int((i % 97) as i64)).collect();
+        let t = Table::from_columns("big", vec![("cat", cats), ("num", nums)]).unwrap();
+        let mut db = Database::new("big");
+        db.add_table(t);
+        let cat = db.resolve("big", "cat").unwrap();
+        let num = db.resolve("big", "num").unwrap();
+        let q = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["a".into(), "b".into()]],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                (AggFunction::Sum, AggColumn::Column(num)),
+                (AggFunction::CountDistinct, AggColumn::Column(num)),
+            ],
+        };
+        let seq = q.execute(&db).unwrap();
+        let par = q
+            .execute_with(
+                &db,
+                &CubeOptions {
+                    threads: 4,
+                    parallel_row_threshold: 1024,
+                    clamp_to_hardware: false,
+                    ..CubeOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(par.stats.scan_threads, 4, "{:?}", par.stats);
+        for sel in [DimSel::Any, DimSel::Literal(0), DimSel::Literal(1)] {
+            for agg in 0..3 {
+                assert_eq!(seq.get(&[sel], agg), par.get(&[sel], agg), "{sel:?}/{agg}");
+            }
+        }
     }
 }

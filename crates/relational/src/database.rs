@@ -95,13 +95,12 @@ impl Database {
         let t = self
             .table_index(table)
             .ok_or_else(|| RelationalError::UnknownTable(table.to_string()))?;
-        let c = self.tables[t]
-            .schema
-            .column_index(column)
-            .ok_or_else(|| RelationalError::UnknownColumn {
+        let c = self.tables[t].schema.column_index(column).ok_or_else(|| {
+            RelationalError::UnknownColumn {
                 table: table.to_string(),
                 column: column.to_string(),
-            })?;
+            }
+        })?;
         Ok(ColumnRef::new(t, c))
     }
 
@@ -207,7 +206,10 @@ mod tests {
         let suspensions = Table::from_columns(
             "suspensions",
             vec![
-                ("player_id", vec![Value::Int(1), Value::Int(1), Value::Int(2)]),
+                (
+                    "player_id",
+                    vec![Value::Int(1), Value::Int(1), Value::Int(2)],
+                ),
                 (
                     "category",
                     vec!["gambling".into(), "peds".into(), "peds".into()],

@@ -18,7 +18,10 @@ pub enum RelationalError {
     NoJoinPath { from: String, to: String },
     /// A query referenced a column with an incompatible type
     /// (e.g. `Sum` over a string column).
-    TypeMismatch { column: String, expected: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+    },
     /// A query was structurally invalid (e.g. duplicate predicate columns).
     InvalidQuery(String),
     /// The schema is invalid (e.g. cyclic foreign keys or bad references).
@@ -37,7 +40,10 @@ impl fmt::Display for RelationalError {
                 write!(f, "no PK-FK join path between {from} and {to}")
             }
             Self::TypeMismatch { column, expected } => {
-                write!(f, "column {column} is not usable here (expected {expected})")
+                write!(
+                    f,
+                    "column {column} is not usable here (expected {expected})"
+                )
             }
             Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Self::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),

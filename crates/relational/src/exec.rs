@@ -38,7 +38,10 @@ pub fn execute_on(
         }
     }
 
-    let agg_col = query.column.as_column().map(|c| (relation.resolver(c), db.column(c)));
+    let agg_col = query
+        .column
+        .as_column()
+        .map(|c| (relation.resolver(c), db.column(c)));
 
     if query.function.is_ratio() {
         return execute_ratio(query, relation, &predicates, &impossible, &agg_col);
@@ -67,7 +70,11 @@ pub fn execute_on(
 fn execute_ratio(
     query: &SimpleAggregateQuery,
     relation: &JoinedRelation,
-    predicates: &[(crate::join::RowResolver<'_>, &crate::column::ColumnData, u64)],
+    predicates: &[(
+        crate::join::RowResolver<'_>,
+        &crate::column::ColumnData,
+        u64,
+    )],
     impossible: &[usize],
     agg_col: &Option<(crate::join::RowResolver<'_>, &crate::column::ColumnData)>,
 ) -> Result<Option<f64>> {

@@ -1,0 +1,112 @@
+//! A dependency-free FxHash implementation (the rustc hasher).
+//!
+//! The cube executor's fallback grid and the result maps are keyed by small
+//! integer keys (`u64` packed group codes, `u32` dictionary codes). The
+//! standard library's SipHash is DoS-resistant but costs ~10× more per
+//! lookup than Fx on such keys, and none of these maps are exposed to
+//! attacker-controlled keys — the keys come from our own dictionary codes.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Firefox/rustc hash: a single multiply-xor round per word. Excellent
+/// for small integer keys; not for untrusted input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_ne!(hash(0), hash(1));
+        assert_ne!(hash(1), hash(1 << 8));
+        assert_eq!(hash(42), hash(42));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut map: FxHashMap<u64, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        map.insert(u64::MAX, "max");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        assert_eq!(map.get(&u64::MAX), Some(&"max"));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_alignment() {
+        // write() must consume full words plus a zero-padded tail without
+        // panicking for any length.
+        for len in 0..20 {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&bytes);
+            let _ = h.finish();
+        }
+    }
+}

@@ -37,8 +37,12 @@ impl JoinPath {
         // Adjacency list over undirected FK edges.
         let mut adj: HashMap<usize, Vec<(usize, ForeignKey)>> = HashMap::new();
         for fk in db.foreign_keys() {
-            adj.entry(fk.from_table).or_default().push((fk.to_table, *fk));
-            adj.entry(fk.to_table).or_default().push((fk.from_table, *fk));
+            adj.entry(fk.from_table)
+                .or_default()
+                .push((fk.to_table, *fk));
+            adj.entry(fk.to_table)
+                .or_default()
+                .push((fk.from_table, *fk));
         }
         // BFS from `start`, remembering the parent edge of each table.
         let mut parent_edge: HashMap<usize, ForeignKey> = HashMap::new();
@@ -74,9 +78,7 @@ impl JoinPath {
         let mut frontier = std::collections::VecDeque::from([start]);
         while let Some(t) = frontier.pop_front() {
             for (next, fk) in adj.get(&t).into_iter().flatten() {
-                if in_path.contains(next)
-                    && !tables.contains(next)
-                    && parent.get(next) == Some(&t)
+                if in_path.contains(next) && !tables.contains(next) && parent.get(next) == Some(&t)
                 {
                     tables.push(*next);
                     edges.push(*fk);
@@ -271,7 +273,7 @@ fn string_hash(s: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
         hash ^= b.to_ascii_lowercase() as u64;
-        hash = hash.wrapping_mul(0x1000_0000_01b3);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     hash
 }
@@ -287,7 +289,10 @@ mod tests {
         let players = Table::from_columns(
             "players",
             vec![
-                ("player_id", vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+                (
+                    "player_id",
+                    vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+                ),
                 (
                     "team",
                     vec!["ravens".into(), "browns".into(), "cowboys".into()],
@@ -379,9 +384,7 @@ mod tests {
     #[test]
     fn disconnected_tables_error() {
         let mut db = star_db();
-        db.add_table(
-            Table::from_columns("island", vec![("x", vec![Value::Int(1)])]).unwrap(),
-        );
+        db.add_table(Table::from_columns("island", vec![("x", vec![Value::Int(1)])]).unwrap());
         let err = JoinedRelation::for_tables(&db, &[0, 3]).unwrap_err();
         assert!(matches!(err, RelationalError::NoJoinPath { .. }));
     }

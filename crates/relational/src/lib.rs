@@ -34,6 +34,7 @@ pub mod database;
 pub mod datadict;
 pub mod error;
 pub mod exec;
+pub mod fxhash;
 pub mod join;
 pub mod merge;
 pub mod query;
@@ -45,10 +46,11 @@ pub use aggregate::{ratio_from_counts, Accumulator};
 pub use cache::{CacheKey, CacheStats, CachedSlice, EvalCache};
 pub use column::{ColumnData, StringDictionary, NULL_CODE};
 pub use cost::CostModel;
-pub use cube::{CubeQuery, CubeResult, CubeStats, DimSel};
+pub use cube::{CubeOptions, CubeQuery, CubeResult, CubeStats, DimSel, GridMode};
 pub use database::{ColumnRef, Database};
 pub use error::{RelationalError, Result};
 pub use exec::{execute_all_naive, execute_query};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use join::{JoinPath, JoinedRelation};
 pub use merge::{MergePlan, MergePlanner, MergeStats};
 pub use query::{AggColumn, AggFunction, Predicate, SimpleAggregateQuery};

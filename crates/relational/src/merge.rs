@@ -28,7 +28,10 @@ enum LookupKind {
     /// `100 · count(full assignment) / count(all-Any)`.
     Percentage { count_agg: usize },
     /// `100 · count(full assignment) / count(condition dim only)`.
-    CondProb { count_agg: usize, condition_dim: usize },
+    CondProb {
+        count_agg: usize,
+        condition_dim: usize,
+    },
 }
 
 /// One query's pointer into the plan.
@@ -88,8 +91,8 @@ impl MergePlanner {
             // Union of value aggregates (ratio fns contribute a Count).
             let mut aggregates: Vec<(AggFunction, AggColumn)> = Vec::new();
             let agg_index = |aggs: &mut Vec<(AggFunction, AggColumn)>,
-                                 f: AggFunction,
-                                 c: AggColumn| {
+                             f: AggFunction,
+                             c: AggColumn| {
                 match aggs.iter().position(|(af, ac)| *af == f && *ac == c) {
                     Some(i) => i,
                     None => {

@@ -75,7 +75,12 @@ impl AggFunction {
         match self {
             AggFunction::Count => &["count", "number", "total", "many", "times", "amount"],
             AggFunction::CountDistinct => &[
-                "count", "distinct", "unique", "different", "number", "separate",
+                "count",
+                "distinct",
+                "unique",
+                "different",
+                "number",
+                "separate",
             ],
             AggFunction::Sum => &["sum", "total", "combined", "overall", "altogether"],
             AggFunction::Avg => &["average", "mean", "typical", "typically", "expected", "per"],
@@ -86,10 +91,20 @@ impl AggFunction {
                 "maximum", "most", "highest", "largest", "biggest", "longest", "latest", "top",
             ],
             AggFunction::Percentage => &[
-                "percent", "percentage", "share", "proportion", "fraction", "rate",
+                "percent",
+                "percentage",
+                "share",
+                "proportion",
+                "fraction",
+                "rate",
             ],
             AggFunction::ConditionalProbability => &[
-                "probability", "likelihood", "chance", "odds", "given", "conditional",
+                "probability",
+                "likelihood",
+                "chance",
+                "odds",
+                "given",
+                "conditional",
             ],
             AggFunction::Median => &["median", "middle", "midpoint", "halfway"],
         }
@@ -319,7 +334,9 @@ impl SimpleAggregateQuery {
             AggFunction::Min => format!("the minimum of {subject}"),
             AggFunction::Max => format!("the maximum of {subject}"),
             AggFunction::Percentage => format!("the percentage of {subject}"),
-            AggFunction::ConditionalProbability => format!("the conditional probability of {subject}"),
+            AggFunction::ConditionalProbability => {
+                format!("the conditional probability of {subject}")
+            }
             AggFunction::Median => format!("the median of {subject}"),
         };
         if self.predicates.is_empty() {
@@ -357,7 +374,13 @@ impl SimpleAggregateQuery {
 
 impl fmt::Display for SimpleAggregateQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({:?}) σ{}", self.function, self.column, self.predicates.len())
+        write!(
+            f,
+            "{}({:?}) σ{}",
+            self.function,
+            self.column,
+            self.predicates.len()
+        )
     }
 }
 
@@ -375,7 +398,10 @@ mod tests {
                     "category",
                     vec!["gambling".into(), "substance abuse".into(), "peds".into()],
                 ),
-                ("year", vec![Value::Int(1983), Value::Int(2014), Value::Int(2014)]),
+                (
+                    "year",
+                    vec![Value::Int(1983), Value::Int(2014), Value::Int(2014)],
+                ),
             ],
         )
         .unwrap();
@@ -407,11 +433,8 @@ mod tests {
         let q = SimpleAggregateQuery::count_star(vec![Predicate::new(col(&d, "games"), "indef")]);
         assert_eq!(q.describe(&d), "the number of rows where games is 'indef'");
 
-        let q = SimpleAggregateQuery::new(
-            AggFunction::Avg,
-            AggColumn::Column(col(&d, "year")),
-            vec![],
-        );
+        let q =
+            SimpleAggregateQuery::new(AggFunction::Avg, AggColumn::Column(col(&d, "year")), vec![]);
         assert_eq!(q.describe(&d), "the average of values of year");
     }
 
@@ -450,11 +473,8 @@ mod tests {
         ]);
         assert!(q.validate(&d).is_err());
         // Conditional probability without predicates is invalid.
-        let q = SimpleAggregateQuery::new(
-            AggFunction::ConditionalProbability,
-            AggColumn::Star,
-            vec![],
-        );
+        let q =
+            SimpleAggregateQuery::new(AggFunction::ConditionalProbability, AggColumn::Star, vec![]);
         assert!(q.validate(&d).is_err());
         // A well-formed query validates.
         let q = SimpleAggregateQuery::count_star(vec![Predicate::new(col(&d, "games"), "indef")]);

@@ -31,10 +31,7 @@ impl Table {
     /// Build a table from a name and `(column name, values)` pairs; the
     /// column type is taken from the first non-null value. Convenient for
     /// tests and the hand-built corpus data sets.
-    pub fn from_columns(
-        name: impl Into<String>,
-        columns: Vec<(&str, Vec<Value>)>,
-    ) -> Result<Self> {
+    pub fn from_columns(name: impl Into<String>, columns: Vec<(&str, Vec<Value>)>) -> Result<Self> {
         let name = name.into();
         let n_rows = columns.first().map(|(_, v)| v.len()).unwrap_or(0);
         let mut metas = Vec::with_capacity(columns.len());
@@ -132,15 +129,12 @@ mod tests {
         Table::from_columns(
             "nflsuspensions",
             vec![
+                ("name", vec!["rice".into(), "gordon".into(), "hardy".into()]),
+                ("games", vec!["indef".into(), "indef".into(), "10".into()]),
                 (
-                    "name",
-                    vec!["rice".into(), "gordon".into(), "hardy".into()],
+                    "year",
+                    vec![Value::Int(2014), Value::Int(2014), Value::Int(2014)],
                 ),
-                (
-                    "games",
-                    vec!["indef".into(), "indef".into(), "10".into()],
-                ),
-                ("year", vec![Value::Int(2014), Value::Int(2014), Value::Int(2014)]),
             ],
         )
         .unwrap()
@@ -171,10 +165,7 @@ mod tests {
 
     #[test]
     fn ragged_columns_rejected() {
-        let r = Table::from_columns(
-            "bad",
-            vec![("a", vec![Value::Int(1)]), ("b", vec![])],
-        );
+        let r = Table::from_columns("bad", vec![("a", vec![Value::Int(1)]), ("b", vec![])]);
         assert!(r.is_err());
     }
 

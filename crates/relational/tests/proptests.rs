@@ -1,8 +1,9 @@
 //! Property-based tests of the relational engine's core invariants.
 
 use agg_relational::{
-    execute_query, AggColumn, AggFunction, Database, EvalCache, MergePlanner, Predicate,
-    SimpleAggregateQuery, StringDictionary, Table, Value,
+    execute_query, AggColumn, AggFunction, ColumnMeta, CubeOptions, CubeQuery, DataType, Database,
+    DimSel, EvalCache, GridMode, MergePlanner, Predicate, SimpleAggregateQuery, StringDictionary,
+    Table, TableSchema, Value,
 };
 use proptest::prelude::*;
 
@@ -64,10 +65,7 @@ fn random_db(rows: &[(u8, u8, i64)]) -> Database {
                     .map(|(_, r, _)| Value::Str(regions[*r as usize].into()))
                     .collect(),
             ),
-            (
-                "num",
-                rows.iter().map(|(_, _, n)| Value::Int(*n)).collect(),
-            ),
+            ("num", rows.iter().map(|(_, _, n)| Value::Int(*n)).collect()),
         ],
     )
     .unwrap();
@@ -79,7 +77,12 @@ fn random_db(rows: &[(u8, u8, i64)]) -> Database {
 /// An arbitrary valid simple aggregate query over the fixed schema.
 fn arb_query() -> impl Strategy<Value = (u8, bool, Option<u8>, Option<u8>)> {
     // (function selector, use num column, cat literal, region literal)
-    (0u8..8, any::<bool>(), prop::option::of(0u8..3), prop::option::of(0u8..2))
+    (
+        0u8..8,
+        any::<bool>(),
+        prop::option::of(0u8..3),
+        prop::option::of(0u8..2),
+    )
 }
 
 fn materialize_query(
@@ -143,6 +146,130 @@ proptest! {
             prop_assert_eq!(merged[i], naive, "merged vs naive: {}", q.to_sql(&db));
             prop_assert_eq!(cached[i], naive, "cached vs naive: {}", q.to_sql(&db));
             prop_assert_eq!(cached2[i], naive, "warm cache vs naive: {}", q.to_sql(&db));
+        }
+    }
+
+    #[test]
+    fn cube_grid_modes_and_naive_scans_agree(
+        rows in prop::collection::vec(
+            // (category selector, region selector, nullable numeric):
+            // cat 4 and region 3 encode NULL cells.
+            (0u8..5, 0u8..4, prop::option::of(-40i64..40)),
+            1..50,
+        ),
+        threads in 2usize..5,
+    ) {
+        // "ghost" never occurs in the data (empty-group lookups); "gamma"
+        // and "delta" occur but are *not* relevant (OTHER-bucket coverage).
+        let cat_names = [Some("alpha"), Some("beta"), Some("gamma"), Some("delta"), None];
+        let region_names = [Some("north"), Some("south"), Some("east"), None];
+        let mut table = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnMeta::new("cat", DataType::Str),
+                ColumnMeta::new("region", DataType::Str),
+                ColumnMeta::new("num", DataType::Int),
+            ],
+        ));
+        for (c, r, n) in &rows {
+            table
+                .push_row(&[
+                    cat_names[*c as usize].map(Value::from).unwrap_or(Value::Null),
+                    region_names[*r as usize].map(Value::from).unwrap_or(Value::Null),
+                    n.map(Value::Int).unwrap_or(Value::Null),
+                ])
+                .unwrap();
+        }
+        let mut db = Database::new("p");
+        db.add_table(table);
+        let cat = db.resolve("t", "cat").unwrap();
+        let region = db.resolve("t", "region").unwrap();
+        let num = db.resolve("t", "num").unwrap();
+
+        let cat_relevant = ["alpha", "beta", "ghost"];
+        let region_relevant = ["north"];
+        let cube = CubeQuery {
+            dims: vec![cat, region],
+            relevant: vec![
+                cat_relevant.iter().map(|s| Value::from(*s)).collect(),
+                region_relevant.iter().map(|s| Value::from(*s)).collect(),
+            ],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                (AggFunction::Count, AggColumn::Column(num)),
+                (AggFunction::Sum, AggColumn::Column(num)),
+                (AggFunction::Avg, AggColumn::Column(num)),
+                (AggFunction::Min, AggColumn::Column(num)),
+                (AggFunction::Max, AggColumn::Column(num)),
+                (AggFunction::CountDistinct, AggColumn::Column(num)),
+                (AggFunction::CountDistinct, AggColumn::Column(cat)),
+            ],
+        };
+
+        let dense = cube.execute(&db).unwrap();
+        prop_assert_eq!(dense.stats.grid_mode, GridMode::Dense);
+        let hashed = cube
+            .execute_with(&db, &CubeOptions { dense_cell_cap: 0, ..CubeOptions::default() })
+            .unwrap();
+        prop_assert_eq!(hashed.stats.grid_mode, GridMode::Hashed);
+        let parallel = cube
+            .execute_with(&db, &CubeOptions {
+                threads,
+                parallel_row_threshold: 1,
+                clamp_to_hardware: false,
+                ..CubeOptions::default()
+            })
+            .unwrap();
+        // Worker count = min(requested, rows / threshold) with the hardware
+        // clamp disabled (threshold is 1 here).
+        prop_assert_eq!(parallel.stats.scan_threads as usize, threads.min(rows.len()));
+
+        // Every addressable (selector, aggregate) combination must agree
+        // with a naive per-query scan — across all three executors.
+        let cat_sels: Vec<(DimSel, Option<&str>)> = (0..cat_relevant.len())
+            .map(|i| (DimSel::Literal(i), Some(cat_relevant[i])))
+            .chain([(DimSel::Any, None)])
+            .collect();
+        let region_sels: Vec<(DimSel, Option<&str>)> = (0..region_relevant.len())
+            .map(|i| (DimSel::Literal(i), Some(region_relevant[i])))
+            .chain([(DimSel::Any, None)])
+            .collect();
+        for (cat_sel, cat_lit) in &cat_sels {
+            for (region_sel, region_lit) in &region_sels {
+                let assignment = [*cat_sel, *region_sel];
+                let mut preds = Vec::new();
+                if let Some(lit) = cat_lit {
+                    preds.push(Predicate::new(cat, *lit));
+                }
+                if let Some(lit) = region_lit {
+                    preds.push(Predicate::new(region, *lit));
+                }
+                for (idx, (f, col)) in cube.aggregates.iter().enumerate() {
+                    let naive =
+                        execute_query(&db, &SimpleAggregateQuery::new(*f, *col, preds.clone()))
+                            .unwrap();
+                    let count_like =
+                        matches!(f, AggFunction::Count | AggFunction::CountDistinct);
+                    for (name, result) in
+                        [("dense", &dense), ("hashed", &hashed), ("parallel", &parallel)]
+                    {
+                        let merged = if count_like {
+                            Some(result.get_count(&assignment, idx))
+                        } else {
+                            result.get(&assignment, idx)
+                        };
+                        prop_assert_eq!(
+                            merged,
+                            naive,
+                            "[{}] {:?} over {:?} at {:?}",
+                            name,
+                            f,
+                            col,
+                            assignment
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! No crates.io access in the build environment, so this workspace ships a
+//! minimal wall-clock benchmark harness with criterion's API shape:
+//! benchmark groups, `bench_function` / `bench_with_input`, `sample_size`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up, then timed over `sample_size`
+//! samples; each sample runs enough iterations to cover a minimum window so
+//! short benchmarks are not dominated by timer resolution. The median
+//! nanoseconds per iteration is printed in a stable `bench:` line format
+//! that scripts can scrape.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque value barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, e.g. `cube_once/10000`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`: either a plain name or a [`BenchmarkId`].
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the last `iter` call.
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: find an iteration count covering ≥ 2 ms.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's default is 100;
+    /// this harness uses a leaner default suited to CI smoke runs).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_median_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&self.name, &label, bencher.last_median_ns);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 12,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, f);
+        self
+    }
+
+    fn report(&mut self, group: &str, label: &str, median_ns: f64) {
+        println!("bench: {group}/{label} median {median_ns:.1} ns/iter");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("cube", 10_000).into_label(), "cube/10000");
+        assert_eq!(BenchmarkId::from_parameter(7).into_label(), "7");
+    }
+}

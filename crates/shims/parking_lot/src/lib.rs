@@ -1,0 +1,89 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps the standard library's locks behind parking_lot's non-poisoning
+//! API: `lock()`, `read()`, and `write()` return guards directly. A panic
+//! while a lock is held does not poison it for other threads — the inner
+//! value is recovered, matching parking_lot semantics closely enough for
+//! this workspace's cache layer.
+
+use std::sync::{self, LockResult};
+
+/// Recover the guard whether or not the lock was poisoned.
+fn unpoison<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(sync::PoisonError::into_inner)
+}
+
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.0.read())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.0.write())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        unpoison(self.0.lock())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_round_trip() {
+        let lock = RwLock::new(1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let mutex = Mutex::new(vec![1]);
+        mutex.lock().push(2);
+        assert_eq!(mutex.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn panicking_writer_does_not_poison() {
+        let lock = std::sync::Arc::new(RwLock::new(0));
+        let cloned = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = cloned.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*lock.read(), 0, "read after panicked writer still works");
+    }
+}

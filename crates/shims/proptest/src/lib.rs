@@ -1,0 +1,324 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! dependency-free subset of proptest: the [`Strategy`] trait over ranges,
+//! regex-like string patterns, tuples, [`prop::collection::vec`],
+//! [`prop::option::of`] and [`arbitrary::any`]; the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` and `prop_assume!` macros; and
+//! [`ProptestConfig`]. There is **no shrinking** — a failing case reports its
+//! generated inputs via the assertion message instead. Generation is
+//! deterministic per test name, so failures reproduce exactly.
+
+pub mod rng;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the whole test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`: generate a fresh one.
+    Reject(String),
+}
+
+/// Subset of proptest's runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        fn generate(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn generate(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn generate(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The canonical strategy for an [`Arbitrary`] type.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::generate(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// The `prop::` namespace mirrored from real proptest.
+pub mod prop {
+    pub mod collection {
+        use crate::rng::TestRng;
+        use crate::strategy::{SizeBounds, Strategy};
+
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// A vector whose length is drawn from `size` and whose elements come
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.uniform_usize(self.min, self.max);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        pub struct OptionStrategy<S>(S);
+
+        /// `None` roughly a quarter of the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64().is_multiple_of(4) {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Supports the `#![proptest_config(..)]` header and
+/// any number of `#[test] fn name(pat in strategy, ...) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < config.cases {
+                $(let $pat = ($strat).generate(&mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases.saturating_mul(32).max(1024),
+                            "{}: too many prop_assume! rejections",
+                            stringify!($name)
+                        );
+                    }
+                    Err($crate::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "{} failed after {} passing case(s): {}",
+                            stringify!($name),
+                            passed,
+                            message
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..9, y in -5i64..5, z in 0.5f64..1.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..1.5).contains(&z));
+        }
+
+        #[test]
+        fn string_patterns_match_class(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vec_and_option_compose(v in prop::collection::vec(prop::option::of(0u8..4), 0..6)) {
+            prop_assert!(v.len() < 6);
+            for item in v.iter().flatten() {
+                prop_assert!(*item < 4);
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_values(pair in (1usize..5).prop_flat_map(|n| (n..n + 1, 0u8..2))) {
+            let (n, _bit) = pair;
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::rng::TestRng::deterministic("t");
+        let mut b = crate::rng::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn printable_pattern_is_printable() {
+        let mut rng = crate::rng::TestRng::deterministic("printable");
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn not_control_pattern_excludes_controls() {
+        let mut rng = crate::rng::TestRng::deterministic("pc");
+        for _ in 0..50 {
+            let s = Strategy::generate(&"\\PC{0,60}", &mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic generation source for the proptest stand-in.
+
+/// SplitMix64 seeded from a test-name hash: every test gets its own
+/// reproducible stream, independent of execution order.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream keyed by `name` (typically `module_path!()::test_name`).
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the name selects the stream.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[min, max]` (inclusive).
+    pub fn uniform_usize(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        min + (self.next_u64() as usize) % (max - min + 1)
+    }
+}

@@ -1,0 +1,282 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses:
+//! numeric ranges, regex-like string patterns, and tuples.
+
+use crate::rng::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values. Unlike real proptest there is no value
+/// tree and no shrinking: `generate` directly produces one value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Generate with `self`, then generate from the strategy `f` derives
+    /// from that value (proptest's dependent-generation combinator).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Generate with `self`, then apply a pure function.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let unit = rng.unit_f64() as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Size bounds for collection strategies
+// ---------------------------------------------------------------------------
+
+/// Values accepted as the size argument of `prop::collection::vec`.
+pub trait SizeBounds {
+    /// Inclusive `(min, max)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeBounds for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-like string patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns of the form `[class]{m,n}` or `\PC{m,n}` generate strings,
+/// mirroring how this workspace's tests use proptest's regex strategies. The
+/// character class supports ranges (`a-z`), literal characters, and the
+/// escapes `\n`, `\t`, `\\`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern strategy: {self:?}"));
+        let len = rng.uniform_usize(pattern.min, pattern.max);
+        (0..len)
+            .map(|_| pattern.chars[rng.uniform_usize(0, pattern.chars.len() - 1)])
+            .collect()
+    }
+}
+
+struct Pattern {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Option<Pattern> {
+    let (chars, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (not_control_pool(), rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let close = find_class_end(body)?;
+        (parse_class(&body[..close])?, &body[close + 1..])
+    } else {
+        return None;
+    };
+    let (min, max) = parse_repetition(rest)?;
+    if chars.is_empty() {
+        return None;
+    }
+    Some(Pattern { chars, min, max })
+}
+
+/// Index of the unescaped `]` closing the class body.
+fn find_class_end(body: &str) -> Option<usize> {
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn parse_class(body: &str) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        let lo = if c == '\\' {
+            match chars.next()? {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            }
+        } else {
+            c
+        };
+        // A `-` between two characters denotes a range; elsewhere a literal.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // consume '-'
+            if let Some(hi) = lookahead.next() {
+                let hi = if hi == '\\' {
+                    match lookahead.next()? {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    }
+                } else {
+                    hi
+                };
+                chars = lookahead;
+                if (lo as u32) > (hi as u32) {
+                    return None;
+                }
+                out.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                continue;
+            }
+        }
+        out.push(lo);
+    }
+    Some(out)
+}
+
+fn parse_repetition(rest: &str) -> Option<(usize, usize)> {
+    let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = inner.split_once(',')?;
+    let (min, max) = (min.trim().parse().ok()?, max.trim().parse().ok()?);
+    if min > max {
+        return None;
+    }
+    Some((min, max))
+}
+
+/// Pool for `\PC` (any non-control char): printable ASCII plus a sprinkle of
+/// multi-byte characters so Unicode handling gets exercised.
+fn not_control_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend(['é', 'ß', 'λ', 'Ж', '中', '文', '🦀', '—', '\u{00a0}', 'Ω']);
+    pool
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

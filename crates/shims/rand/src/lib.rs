@@ -1,0 +1,258 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, dependency-free implementation of the `rand 0.8` API surface it
+//! actually uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] extension methods (`gen`, `gen_bool`, `gen_range`), and
+//! [`seq::SliceRandom::choose`].
+//!
+//! The generator is SplitMix64 feeding xoshiro256++ — not cryptographic, but
+//! statistically solid and deterministic across platforms, which is all the
+//! corpus generator and benches need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything else derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full value range via
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let unit = <$t as Standard>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let unit = <$t as Standard>::sample(rng);
+                *self.start() + unit * (*self.end() - *self.start())
+            }
+        }
+    )*};
+}
+sample_range_float!(f32, f64);
+
+/// The user-facing extension trait, blanket-implemented for every RngCore.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, seeded through SplitMix64 (the reference seeding
+    /// procedure recommended by the xoshiro authors).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(2..=3u32);
+            assert!((2..=3).contains(&w));
+            let f = rng.gen_range(0.0..10.0);
+            assert!((0.0..10.0).contains(&f));
+            let n: i64 = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*items.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

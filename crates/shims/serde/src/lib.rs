@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access. Nothing in this workspace
+//! currently serializes through serde at runtime (JSON artifacts are written
+//! by hand in the bench crate), but many types carry
+//! `#[derive(Serialize, Deserialize)]` so they are ready for a real serde
+//! once the dependency can be vendored. This shim keeps those derives
+//! compiling: the traits are empty markers and the derive macros expand to
+//! marker impls.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+// The derive macros share the trait names, exactly like real serde's
+// `derive` feature re-exports.
+pub use serde_derive::{Deserialize, Serialize};

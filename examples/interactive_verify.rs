@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = checker.check_text(&case.article_html)?;
 
         for (claim, truth) in report.claims.iter().zip(&case.ground_truth) {
-            println!("claim: «{}» in: {}", claim.claimed_value, claim.sentence.trim());
+            println!(
+                "claim: «{}» in: {}",
+                claim.claimed_value,
+                claim.sentence.trim()
+            );
             println!("  top suggestions:");
             for (i, rq) in claim.top_queries.iter().take(5).enumerate() {
                 let marker = if rq.query.semantically_equal(&truth.query) {

@@ -73,7 +73,10 @@ fn main() {
     if let Some(path) = dict_path {
         let entries = parse_data_dictionary(&read(&path));
         let applied = apply_data_dictionary(&mut table, &entries);
-        eprintln!("data dictionary: {applied}/{} entries applied", entries.len());
+        eprintln!(
+            "data dictionary: {applied}/{} entries applied",
+            entries.len()
+        );
     }
     eprintln!(
         "loaded {}: {} rows × {} columns",
@@ -123,7 +126,9 @@ fn main() {
 /// Minimal hand-rolled JSON output (claims, verdicts, top queries).
 fn print_json(report: &aggchecker::VerificationReport, db: &Database) {
     fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', " ")
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', " ")
     }
     println!("[");
     for (i, claim) in report.claims.iter().enumerate() {

@@ -1,12 +1,12 @@
 //! Cross-crate integration tests: corpus generation → verification →
 //! metrics, plus the paper's hand-built cases end to end.
 
+use agg_bench::runner::run_corpus;
 use aggchecker::corpus::builtin::{all_builtin, campaign_donations, developer_survey};
 use aggchecker::corpus::stats::align_claims;
 use aggchecker::corpus::{generate_corpus, CorpusSpec};
 use aggchecker::relational::execute_query;
 use aggchecker::{AggChecker, CheckerConfig, Verdict};
-use agg_bench::runner::run_corpus;
 
 #[test]
 fn builtin_table9_cases_are_flagged() {
@@ -65,15 +65,20 @@ fn survey_percentage_query_is_found_in_top_k() {
         .top_queries
         .iter()
         .position(|rq| rq.query.semantically_equal(&tc.ground_truth[0].query));
-    assert!(rank.is_some(), "Percentage(self-taught) must be a candidate");
+    assert!(
+        rank.is_some(),
+        "Percentage(self-taught) must be a candidate"
+    );
 }
 
 #[test]
 fn reports_are_deterministic() {
     let tc = aggchecker::corpus::generate_test_case(&CorpusSpec::small(1, 99), 0);
     let run = |threads: usize| {
-        let mut cfg = CheckerConfig::default();
-        cfg.threads = threads;
+        let cfg = CheckerConfig {
+            threads,
+            ..CheckerConfig::default()
+        };
         let checker = AggChecker::new(tc.db.clone(), cfg).unwrap();
         let report = checker.check_text(&tc.article_html).unwrap();
         report
