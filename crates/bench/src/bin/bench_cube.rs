@@ -16,6 +16,7 @@
 //! * `dense_1t` / `dense_4t` — the dense mixed-radix grid, sequential and
 //!   with 4 scan workers.
 
+use agg_bench::metrics::median_timed_ns;
 use agg_relational::{
     Accumulator, AggColumn, AggFunction, CubeOptions, CubeQuery, Database, DimSel, GridMode,
     JoinedRelation, Table, Value,
@@ -23,7 +24,6 @@ use agg_relational::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::time::Instant;
 
 const CATS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
 const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
@@ -180,21 +180,6 @@ fn seed_execute(query: &CubeQuery, db: &Database) -> HashMap<u64, Vec<Option<f64
         .collect()
 }
 
-/// Median wall-clock nanoseconds over `samples` runs of `f`.
-fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u64 {
-    // One warmup run.
-    f();
-    let mut times: Vec<u64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos() as u64
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
 struct Variant {
     name: &'static str,
     median_ns: u64,
@@ -261,19 +246,20 @@ fn main() {
     }
 
     let time_variant = |name, mode, threads_requested: u32, opts: Option<&CubeOptions>| {
+        // The payload rides along from the median-time run itself: the
+        // reported scan_threads comes from a measured execution, not an
+        // extra untimed one.
         let (median, threads_used) = match opts {
-            Some(opts) => (
-                median_ns(samples, || {
-                    std::hint::black_box(query.execute_with(&db, opts).unwrap());
-                }),
-                query.execute_with(&db, opts).unwrap().stats.scan_threads,
-            ),
-            None => (
-                median_ns(samples, || {
-                    std::hint::black_box(seed_execute(&query, &db));
-                }),
-                1,
-            ),
+            Some(opts) => median_timed_ns(samples, || {
+                let result = query.execute_with(&db, opts).unwrap();
+                let scan_threads = result.stats.scan_threads;
+                std::hint::black_box(result);
+                scan_threads
+            }),
+            None => median_timed_ns(samples, || {
+                std::hint::black_box(seed_execute(&query, &db));
+                1u32
+            }),
         };
         Variant {
             name,

@@ -1,0 +1,192 @@
+//! Machine-readable end-to-end pipeline benchmark: emits
+//! `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release -p agg-bench --bin bench_pipeline
+//! cargo run --release -p agg-bench --bin bench_pipeline -- --docs 12 --out path.json
+//! ```
+//!
+//! Where `bench_cube` times the cube kernel in isolation, this bin times the
+//! **whole verification pipeline** (parse → match → EM with cube evaluation
+//! → report) over a batch of documents summarizing one shared database —
+//! the workload `BatchVerifier` exists for. Variants:
+//!
+//! * `sequential_fresh` — per-document verification: a fresh checker (cold
+//!   cache, cold catalog) per document. The paper's single-document
+//!   deployment, repeated.
+//! * `sequential_shared` — one checker reused document-after-document
+//!   (warm sharded cache, no batching layer).
+//! * `batch_1w` / `batch_4w` — `BatchVerifier` with 1 and 4 workers:
+//!   shared sharded cache, per-worker dense-grid arenas.
+//!
+//! All variants are checked to produce identical reports before timing.
+
+use agg_bench::metrics::median_timed_ns;
+use agg_core::{AggChecker, BatchVerifier, CheckerConfig};
+use agg_corpus::{generate_multi_doc_case, CorpusSpec};
+
+struct Variant {
+    name: &'static str,
+    workers: u32,
+    median_ns: u64,
+    docs_per_sec: f64,
+    /// Rows scanned by this variant's cube executions in one full run
+    /// (caching makes this differ across variants), per second.
+    rows_scanned_per_run: u64,
+    rows_scanned_per_sec: f64,
+}
+
+fn main() {
+    let mut docs = 8usize;
+    let mut samples = 5usize;
+    let mut case_index = 1usize;
+    let mut out = String::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--docs" => docs = args.next().and_then(|v| v.parse().ok()).expect("--docs N"),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples N")
+            }
+            "--case-index" => {
+                case_index = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--case-index N")
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_pipeline [--docs N] [--samples N] [--case-index N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let case = generate_multi_doc_case(&CorpusSpec::default(), case_index, docs);
+    let db_rows = case.db.total_rows();
+    let cfg = CheckerConfig::default();
+    let texts: Vec<&str> = case.articles.iter().map(String::as_str).collect();
+
+    // --- Correctness gate: every variant must produce identical reports. --
+    let reference: Vec<String> = texts
+        .iter()
+        .map(|t| {
+            let checker = AggChecker::new(case.db.clone(), cfg.clone()).unwrap();
+            checker.check_text(t).unwrap().content_fingerprint()
+        })
+        .collect();
+    for workers in [1usize, 4] {
+        let batch_cfg = CheckerConfig {
+            threads: workers,
+            ..cfg.clone()
+        };
+        let batch = BatchVerifier::new(case.db.clone(), batch_cfg).unwrap();
+        let reports = batch.verify_texts(&texts).unwrap();
+        for (i, (r, expected)) in reports.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                &r.content_fingerprint(),
+                expected,
+                "batch({workers}w) disagrees with per-document verification on doc {i}"
+            );
+        }
+    }
+
+    // --- Timed variants. ------------------------------------------------
+    let run_sequential_fresh = || {
+        texts
+            .iter()
+            .map(|t| {
+                let checker = AggChecker::new(case.db.clone(), cfg.clone()).unwrap();
+                checker.check_text(t).unwrap().stats.rows_scanned
+            })
+            .sum::<u64>()
+    };
+    let run_sequential_shared = || {
+        let checker = AggChecker::new(case.db.clone(), cfg.clone()).unwrap();
+        texts
+            .iter()
+            .map(|t| checker.check_text(t).unwrap().stats.rows_scanned)
+            .sum::<u64>()
+    };
+    let run_batch = |workers: usize| {
+        let batch_cfg = CheckerConfig {
+            threads: workers,
+            ..cfg.clone()
+        };
+        let batch = BatchVerifier::new(case.db.clone(), batch_cfg).unwrap();
+        batch
+            .verify_texts(&texts)
+            .unwrap()
+            .iter()
+            .map(|r| r.stats.rows_scanned)
+            .sum::<u64>()
+    };
+
+    let variant = |name, workers: u32, (median, rows): (u64, u64)| {
+        let secs = median as f64 / 1e9;
+        Variant {
+            name,
+            workers,
+            median_ns: median,
+            docs_per_sec: docs as f64 / secs,
+            rows_scanned_per_run: rows,
+            rows_scanned_per_sec: rows as f64 / secs,
+        }
+    };
+    let variants = [
+        variant(
+            "sequential_fresh",
+            1,
+            median_timed_ns(samples, run_sequential_fresh),
+        ),
+        variant(
+            "sequential_shared",
+            1,
+            median_timed_ns(samples, run_sequential_shared),
+        ),
+        variant("batch_1w", 1, median_timed_ns(samples, || run_batch(1))),
+        variant("batch_4w", 4, median_timed_ns(samples, || run_batch(4))),
+    ];
+
+    let sequential_ns = variants[0].median_ns as f64;
+    let best_batch_ns = variants[2].median_ns.min(variants[3].median_ns) as f64;
+    let speedup = sequential_ns / best_batch_ns;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"docs\": {docs},\n"));
+    json.push_str(&format!("  \"db_rows\": {db_rows},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"case\": \"{}\",\n", case.name));
+    json.push_str("  \"reports_identical\": true,\n");
+    json.push_str("  \"variants\": [\n");
+    for (i, v) in variants.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"median_ns\": {}, \"docs_per_sec\": {:.2}, \"rows_scanned_per_run\": {}, \"rows_scanned_per_sec\": {:.0}}}{}\n",
+            v.name,
+            v.workers,
+            v.median_ns,
+            v.docs_per_sec,
+            v.rows_scanned_per_run,
+            v.rows_scanned_per_sec,
+            if i + 1 < variants.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_batch_vs_sequential_fresh\": {speedup:.2}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
+    print!("{json}");
+    eprintln!(
+        "wrote {out} (best batch variant is {speedup:.2}x sequential per-document verification)"
+    );
+}

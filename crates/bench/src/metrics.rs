@@ -115,6 +115,27 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Median wall-clock sample over `samples` timed runs of `f`, after one
+/// untimed warmup run. Returns `(nanoseconds, payload)` **from the same
+/// (median-time) run** — payloads such as rows-scanned counts can be
+/// nondeterministic across runs (e.g. racing batch workers duplicating a
+/// cube execution), so pairing one run's payload with another run's time
+/// would misstate derived rates. Shared by the `bench_cube` and
+/// `bench_pipeline` bins so their medians stay comparable.
+pub fn median_timed_ns<T: Ord, F: FnMut() -> T>(samples: usize, mut f: F) -> (u64, T) {
+    f(); // warmup
+    let mut runs: Vec<(u64, T)> = (0..samples.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            let payload = f();
+            (start.elapsed().as_nanos() as u64, payload)
+        })
+        .collect();
+    runs.sort_unstable();
+    let mid = runs.len() / 2;
+    runs.into_iter().nth(mid).expect("at least one sample")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -123,8 +123,17 @@ pub struct CheckerConfig {
     pub claim_detector: ClaimDetectorConfig,
     /// Weight multiplier for synonym-expanded keywords.
     pub synonym_weight: f64,
-    /// Number of worker threads for per-claim scoring (1 = sequential).
+    /// Worker-thread budget (1 = fully sequential). Single-document checks
+    /// spend it on per-claim scoring and cube-scan partitions; batched
+    /// verification (`BatchVerifier`) additionally runs up to this many
+    /// documents concurrently, each still evaluated with the full count so
+    /// cube scans partition exactly as in solo runs.
     pub threads: usize,
+    /// Lock stripes of the shared [`agg_relational::EvalCache`]. More
+    /// shards means less contention when many batch workers score claims
+    /// against one cache; rounded up to a power of two. 0 = the library
+    /// default ([`agg_relational::DEFAULT_CACHE_SHARDS`]).
+    pub cache_shards: usize,
     /// Hard cap on predicate combinations enumerated per claim.
     pub max_combos_per_claim: usize,
     /// Query evaluation strategy (Table 6 of the paper).
@@ -159,6 +168,7 @@ impl Default for CheckerConfig {
             claim_detector: ClaimDetectorConfig::default(),
             synonym_weight: 0.7,
             threads: 1,
+            cache_shards: 0,
             max_combos_per_claim: 20_000,
             strategy: EvalStrategy::MergedCached,
         }

@@ -10,7 +10,14 @@
 //!   cube slices are reusable across claims and EM iterations (§6.3);
 //! * slices are stored in the shared [`EvalCache`] keyed by (aggregation
 //!   function, aggregation column, dimension set) — the cache granularity
-//!   the paper found to perform best;
+//!   the paper found to perform best. The cache is **lock-striped** into
+//!   shards, so many evaluators (one per batch worker verifying its own
+//!   document, see `pipeline::BatchVerifier`) read and fill it
+//!   concurrently without serializing on a global lock;
+//! * cube scans fan out over [`Evaluator::set_threads`] scoped workers, and
+//!   dense accumulator grids are drawn from an optional [`GridArena`]
+//!   ([`Evaluator::set_arena`]) so buffers persist across cube executions
+//!   instead of being reallocated per cube;
 //! * ratio aggregates (`Percentage`, `ConditionalProbability`) are derived
 //!   from `Count` slices per footnote 1.
 
@@ -18,7 +25,7 @@ use crate::candidates::CandidateSet;
 use crate::fragments::FragmentCatalog;
 use agg_relational::{
     ratio_from_counts, AggColumn, AggFunction, CacheKey, CachedSlice, ColumnRef, CubeOptions,
-    CubeQuery, Database, EvalCache, Result, Value,
+    CubeQuery, Database, EvalCache, GridArena, Result, Value,
 };
 use std::collections::BTreeMap;
 
@@ -99,6 +106,9 @@ pub struct Evaluator<'a> {
     document_literals: Vec<Vec<usize>>,
     /// Scan workers per cube execution (`CheckerConfig::threads`).
     threads: usize,
+    /// Dense-grid buffer pool persisted across cube executions (batch mode
+    /// hands each worker thread one arena for its whole document stream).
+    arena: Option<&'a GridArena>,
     pub stats: EvalStats,
 }
 
@@ -116,6 +126,7 @@ impl<'a> Evaluator<'a> {
             cache,
             document_literals: vec![Vec::new(); catalog.predicate_columns.len()],
             threads: 1,
+            arena: None,
             stats: EvalStats::default(),
         }
     }
@@ -124,6 +135,12 @@ impl<'a> Evaluator<'a> {
     /// `CheckerConfig::threads` knob; small relations stay sequential).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Reuse dense-grid buffers from `arena` across this evaluator's cube
+    /// executions (and, when callers share the arena, across documents).
+    pub fn set_arena(&mut self, arena: &'a GridArena) {
+        self.arena = Some(arena);
     }
 
     /// Declare the document-wide literal sets: the union of scoped literal
@@ -291,9 +308,11 @@ impl<'a> Evaluator<'a> {
                 relevant: relevant.to_vec(),
                 aggregates: missing.iter().map(|&i| value_aggs[i]).collect(),
             };
-            let result = std::sync::Arc::new(
-                cube.execute_with(self.db, &CubeOptions::with_threads(self.threads))?,
-            );
+            let result = std::sync::Arc::new(cube.execute_in(
+                self.db,
+                &CubeOptions::with_threads(self.threads),
+                self.arena,
+            )?);
             self.stats.cubes_executed += 1;
             self.stats.rows_scanned += result.stats.rows_scanned;
             for (pos, &i) in missing.iter().enumerate() {

@@ -13,8 +13,11 @@ use crate::scope::pick_scope;
 use agg_nlp::claims::{detect_claims, ClaimMention};
 use agg_nlp::structure::{parse_document, Document};
 use agg_nlp::synonyms::SynonymDict;
-use agg_relational::{CostModel, Database, EvalCache, SimpleAggregateQuery};
+use agg_relational::{
+    CostModel, Database, EvalCache, GridArena, SimpleAggregateQuery, DEFAULT_CACHE_SHARDS,
+};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Errors from the verification pipeline.
@@ -112,6 +115,22 @@ pub struct VerificationReport {
 }
 
 impl VerificationReport {
+    /// A deterministic fingerprint of the report's observable content:
+    /// claims (verdicts, probabilities, top-k queries) plus the
+    /// scheduling-independent stats, with wall-clock timing excluded.
+    /// The batch tests and `bench_pipeline` compare sequential and
+    /// batched runs through this one projection (see [`BatchVerifier`]
+    /// for the floating-point caveat that scopes the comparison).
+    pub fn content_fingerprint(&self) -> String {
+        format!(
+            "{:?}|claims={}|em={}|cand={}",
+            self.claims,
+            self.stats.claims,
+            self.stats.em_iterations,
+            self.stats.candidates_evaluated
+        )
+    }
+
     /// Claims flagged as erroneous.
     pub fn flagged(&self) -> impl Iterator<Item = &CheckedClaim> {
         self.claims
@@ -180,12 +199,17 @@ impl AggChecker {
         db.validate()?;
         let catalog = FragmentCatalog::build(&db, &CatalogConfig::default());
         let cost = CostModel::new(&db);
+        let shards = if config.cache_shards == 0 {
+            DEFAULT_CACHE_SHARDS
+        } else {
+            config.cache_shards
+        };
         Ok(AggChecker {
             db,
             catalog,
             config,
             synonyms: SynonymDict::embedded(),
-            cache: EvalCache::new(),
+            cache: EvalCache::with_shards(shards),
             cost,
         })
     }
@@ -223,6 +247,19 @@ impl AggChecker {
 
     /// Verify a parsed document.
     pub fn check_document(&self, doc: &Document) -> Result<VerificationReport, CheckerError> {
+        self.check_document_with(doc, None)
+    }
+
+    /// Verify a parsed document with an optional dense-grid arena
+    /// persisted across the caller's documents (batch workers reuse one
+    /// arena for their whole stream). Always runs under `self.config` —
+    /// batch and solo runs must share every knob, or their reports could
+    /// diverge.
+    fn check_document_with(
+        &self,
+        doc: &Document,
+        arena: Option<&GridArena>,
+    ) -> Result<VerificationReport, CheckerError> {
         let started = Instant::now();
         let cfg = &self.config;
         let claims = detect_claims(doc, &cfg.claim_detector);
@@ -313,6 +350,9 @@ impl AggChecker {
                         (cfg.strategy == EvalStrategy::MergedCached).then(|| self.cache.clone());
                     let mut evaluator = Evaluator::new(&self.db, &self.catalog, cache);
                     evaluator.set_threads(cfg.threads);
+                    if let Some(arena) = arena {
+                        evaluator.set_arena(arena);
+                    }
                     evaluator.set_document_literals(doc_literals);
                     let mut out = Vec::with_capacity(n);
                     for set in &candidate_sets {
@@ -466,6 +506,147 @@ impl AggChecker {
             correctness_probability: dist.correctness,
             verdict,
         }
+    }
+}
+
+/// Batched multi-document verification: many parsed documents checked
+/// against **one** shared [`Database`], fragment catalog, and sharded
+/// [`EvalCache`] (the Scrutinizer deployment shape — an organization's
+/// document stream over one fact base).
+///
+/// Work is scheduled document-at-a-time over a scoped-thread worker pool of
+/// [`CheckerConfig::threads`] workers; each worker pulls the next unclaimed
+/// document from a shared queue, keeps one [`GridArena`] for its whole
+/// stream (dense cube grids are reused across documents instead of
+/// reallocated per cube), and fills the same sharded cache, so a cube slice
+/// computed for one document serves every later claim of any document.
+/// Each document is still evaluated with the full configured thread count,
+/// so its cube scans partition exactly as in a solo run.
+///
+/// Reports match per-document [`AggChecker::check_document`] runs:
+/// batching changes scheduling and reuse, never verdicts or query
+/// rankings. One caveat inherent to cache reuse (warm solo caches share
+/// it): a floating-point Sum/Avg served from a wider cached slice can
+/// differ from a cold evaluation in the last ulp, because rollup merge
+/// order follows the slice's literal partition. Count-like aggregates and
+/// integer-exact data — the paper's workload — are bit-identical.
+pub struct BatchVerifier {
+    checker: AggChecker,
+}
+
+impl BatchVerifier {
+    /// Create a batch verifier over a database.
+    pub fn new(db: Database, config: CheckerConfig) -> Result<BatchVerifier, CheckerError> {
+        Ok(BatchVerifier {
+            checker: AggChecker::new(db, config)?,
+        })
+    }
+
+    /// Wrap an existing checker (shares its warmed cache).
+    pub fn from_checker(checker: AggChecker) -> BatchVerifier {
+        BatchVerifier { checker }
+    }
+
+    /// The underlying checker (database, catalog, cache accessors).
+    pub fn checker(&self) -> &AggChecker {
+        &self.checker
+    }
+
+    /// Recover the checker, keeping the warmed cache.
+    pub fn into_checker(self) -> AggChecker {
+        self.checker
+    }
+
+    /// Parse and verify a batch of text documents.
+    pub fn verify_texts<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+    ) -> Result<Vec<VerificationReport>, CheckerError> {
+        let docs: Vec<Document> = texts.iter().map(|t| parse_document(t.as_ref())).collect();
+        self.verify_documents(&docs)
+    }
+
+    /// Verify a batch of parsed documents. Reports come back in input
+    /// order. On failure the batch stops early — documents not yet started
+    /// are skipped — and the lowest-input-index error observed is returned.
+    pub fn verify_documents(
+        &self,
+        docs: &[Document],
+    ) -> Result<Vec<VerificationReport>, CheckerError> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Workers run each document under the checker's own config: every
+        // document keeps the configured intra-document thread count, so
+        // cube-scan partitioning (and therefore f64 merge order) matches a
+        // solo `check_document` run exactly — splitting the thread budget
+        // could drift batched Sum/Avg results in the last ulp on relations
+        // large enough to scan in parallel. Transient oversubscription is
+        // bounded by the executor's hardware clamp and costs only time,
+        // never results.
+        let workers = self.checker.config.threads.max(1).min(docs.len());
+
+        if workers <= 1 {
+            let arena = GridArena::new();
+            return docs
+                .iter()
+                .map(|doc| self.checker.check_document_with(doc, Some(&arena)))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let mut results: Vec<Option<VerificationReport>> = Vec::new();
+        results.resize_with(docs.len(), || None);
+        let collected: Vec<Vec<(usize, Result<VerificationReport, CheckerError>)>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (next, failed) = (&next, &failed);
+                        let checker = &self.checker;
+                        s.spawn(move || {
+                            // One arena per worker, shared by every document
+                            // this worker verifies.
+                            let arena = GridArena::new();
+                            let mut out = Vec::new();
+                            while !failed.load(Ordering::Relaxed) {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= docs.len() {
+                                    break;
+                                }
+                                let result = checker.check_document_with(&docs[i], Some(&arena));
+                                if result.is_err() {
+                                    failed.store(true, Ordering::Relaxed);
+                                }
+                                out.push((i, result));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch verification worker"))
+                    .collect()
+            });
+        let mut first_error: Option<(usize, CheckerError)> = None;
+        for (i, result) in collected.into_iter().flatten() {
+            match result {
+                Ok(report) => results[i] = Some(report),
+                Err(e) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every document verified or the batch aborted"))
+            .collect())
     }
 }
 
@@ -714,6 +895,58 @@ Three were for repeated substance abuse, one was for gambling.</p>
 
         // Out-of-range index is a clean error.
         assert!(report.apply_correction(99, q, checker.db()).is_err());
+    }
+
+    #[test]
+    fn batch_reports_match_sequential_per_document_runs() {
+        let db = nfl_db();
+        let wrong = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were seven previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+        let texts = [ARTICLE, wrong, ARTICLE, wrong, ARTICLE];
+        for threads in [1usize, 4] {
+            let cfg = CheckerConfig {
+                threads,
+                ..CheckerConfig::default()
+            };
+            let batch = BatchVerifier::new(db.clone(), cfg.clone()).unwrap();
+            let reports = batch.verify_texts(&texts).unwrap();
+            assert_eq!(reports.len(), texts.len());
+            for (text, report) in texts.iter().zip(&reports) {
+                let solo = AggChecker::new(db.clone(), cfg.clone()).unwrap();
+                let expected = solo.check_text(text).unwrap();
+                assert_eq!(
+                    report.content_fingerprint(),
+                    expected.content_fingerprint(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shares_cache_across_documents() {
+        let batch = BatchVerifier::new(nfl_db(), CheckerConfig::default()).unwrap();
+        let texts = [ARTICLE; 4];
+        batch.verify_texts(&texts).unwrap();
+        let stats = batch.checker().cache().stats();
+        assert!(
+            stats.hits() > 0,
+            "later documents must reuse cubes cached by earlier ones"
+        );
+        // The same claims re-verified can only add hits, never new entries.
+        let entries_before = stats.entries();
+        batch.verify_texts(&texts).unwrap();
+        assert_eq!(batch.checker().cache().stats().entries(), entries_before);
+    }
+
+    #[test]
+    fn empty_batch_is_empty_report_list() {
+        let batch = BatchVerifier::new(nfl_db(), CheckerConfig::default()).unwrap();
+        let none: [&str; 0] = [];
+        assert!(batch.verify_texts(&none).unwrap().is_empty());
     }
 
     #[test]

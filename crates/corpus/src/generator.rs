@@ -91,6 +91,67 @@ pub fn generate_test_case(spec: &CorpusSpec, index: usize) -> TestCase {
     }
 }
 
+/// One shared data set summarized by several articles — the batched
+/// multi-document workload (`agg_core::BatchVerifier`): an organization's
+/// document stream over a single fact base.
+#[derive(Debug, Clone)]
+pub struct MultiDocCase {
+    pub name: String,
+    pub domain_key: &'static str,
+    pub db: Database,
+    /// One HTML article per document, each with its own theme and claims.
+    pub articles: Vec<String>,
+    /// Ground truth per article, aligned with `articles`.
+    pub ground_truth: Vec<Vec<GroundTruthClaim>>,
+}
+
+/// Generate `n_docs` distinct articles over **one** database (deterministic
+/// in the spec's seed, `index`, and `n_docs`). Every article draws its own
+/// theme, so the documents overlap in predicate columns and literals — the
+/// property that makes cross-document cube-cache reuse pay off — without
+/// being copies of each other.
+pub fn generate_multi_doc_case(spec: &CorpusSpec, index: usize, n_docs: usize) -> MultiDocCase {
+    // The db and all of its articles derive from this one case seed.
+    let case_seed = spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let domain = &DOMAINS[index % DOMAINS.len()];
+    let db = generate_database(&mut rng, spec, domain, index);
+
+    let mut articles = Vec::with_capacity(n_docs);
+    let mut ground_truth = Vec::with_capacity(n_docs);
+    for doc in 0..n_docs {
+        let mut rng = StdRng::seed_from_u64(
+            case_seed ^ (0xD1B5_4A32_D192_ED03u64.wrapping_mul(doc as u64 + 1)),
+        );
+        let theme = Theme::sample(&mut rng, domain, &db);
+        let sloppy = rng.gen_bool(spec.sloppy_article_rate);
+        let error_rate = if sloppy {
+            spec.sloppy_error_rate
+        } else {
+            spec.careful_error_rate
+        };
+        let n_claims = rng.gen_range(spec.min_claims..=spec.max_claims);
+        let mut drafts: Vec<ClaimDraft> = Vec::new();
+        let mut attempts = 0;
+        while drafts.len() < n_claims && attempts < n_claims * 30 {
+            attempts += 1;
+            if let Some(draft) = draw_claim(&mut rng, spec, domain, &db, &theme, error_rate) {
+                drafts.push(draft);
+            }
+        }
+        let (html, gt) = render_article(&mut rng, spec, domain, &theme, drafts);
+        articles.push(html);
+        ground_truth.push(gt);
+    }
+    MultiDocCase {
+        name: format!("{}-batch-{index:02}x{n_docs}", domain.key),
+        domain_key: domain.key,
+        db,
+        articles,
+        ground_truth,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Data generation
 // ---------------------------------------------------------------------------
@@ -764,6 +825,31 @@ mod tests {
         let a = generate_test_case(&CorpusSpec::small(1, 1), 0);
         let b = generate_test_case(&CorpusSpec::small(1, 2), 0);
         assert_ne!(a.article_html, b.article_html);
+    }
+
+    #[test]
+    fn multi_doc_case_shares_one_db_with_distinct_articles() {
+        let case = generate_multi_doc_case(&small(), 0, 4);
+        assert_eq!(case.articles.len(), 4);
+        assert_eq!(case.ground_truth.len(), 4);
+        // Deterministic in (spec, index, n_docs).
+        let again = generate_multi_doc_case(&small(), 0, 4);
+        assert_eq!(case.articles, again.articles);
+        assert_eq!(case.db.table(0).row_count(), again.db.table(0).row_count());
+        // The documents are not copies of each other.
+        for i in 0..case.articles.len() {
+            for j in (i + 1)..case.articles.len() {
+                assert_ne!(case.articles[i], case.articles[j], "docs {i} and {j}");
+            }
+        }
+        // Each article carries detectable claims over the shared db.
+        for html in &case.articles {
+            let doc = parse_document(html);
+            assert!(
+                !detect_claims(&doc, &ClaimDetectorConfig::default()).is_empty(),
+                "article without claims"
+            );
+        }
     }
 
     #[test]

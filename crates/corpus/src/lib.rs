@@ -29,7 +29,9 @@ pub mod spec;
 pub mod stats;
 pub mod vocab;
 
-pub use generator::{generate_corpus, generate_test_case, TestCase};
+pub use generator::{
+    generate_corpus, generate_multi_doc_case, generate_test_case, MultiDocCase, TestCase,
+};
 pub use joincase::generate_join_case;
 pub use spec::{CorpusSpec, GroundTruthClaim};
 pub use stats::{corpus_stats, CorpusStats};

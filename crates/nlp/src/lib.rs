@@ -5,10 +5,10 @@
 //! synonyms; this crate provides from-scratch Rust equivalents of exactly
 //! the capabilities the checker needs:
 //!
-//! * a tokenizer and sentence splitter ([`tokenize`], [`sentence`]),
+//! * a tokenizer and sentence splitter ([`mod@tokenize`], [`sentence`]),
 //! * numeral recognition — digit strings, number words, magnitudes,
 //!   percentages ([`numbers`]),
-//! * the Porter stemming algorithm ([`stem`]),
+//! * the Porter stemming algorithm ([`mod@stem`]),
 //! * a synonym dictionary standing in for WordNet ([`synonyms`]),
 //! * identifier decomposition: splitting concatenated column names like
 //!   `totalsalary` into dictionary words ([`dictionary`], [`wordbreak`]),

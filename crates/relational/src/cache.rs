@@ -1,18 +1,31 @@
-//! Result caching across claims and EM iterations (§6.3).
+//! Result caching across claims, EM iterations, and documents (§6.3).
 //!
 //! The paper indexes *(partial) cube query results by a combination of one
 //! aggregation column, one aggregation function, and a set of cube
 //! dimensions*. The cached value holds results for **all** literals with
 //! non-zero marginal probability anywhere in the document, so different
-//! claims (whose relevant-literal subsets overlap heavily) and later EM
-//! iterations hit the same entries.
+//! claims (whose relevant-literal subsets overlap heavily), later EM
+//! iterations, and other documents of the same batch hit the same entries.
+//!
+//! # Sharding
+//!
+//! The cache is **lock-striped**: entries are spread over a power-of-two
+//! number of shards by key hash, each shard guarded by its own `RwLock`.
+//! Concurrent claim scoring across documents (see
+//! `agg_core::pipeline::BatchVerifier`) therefore contends only when two
+//! workers touch the *same* shard, instead of serializing on one global
+//! lock. Every shard keeps its own lock-free hit/miss/eviction counters;
+//! [`EvalCache::stats`] assembles a consistent-enough snapshot without
+//! stopping writers.
 
 use crate::cube::{CubeResult, DimSel};
 use crate::database::ColumnRef;
+use crate::fxhash::FxHasher;
 use crate::query::{AggColumn, AggFunction};
 use crate::value::Value;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,6 +70,11 @@ impl CachedSlice {
     /// Dimensions of the underlying cube (in cube order).
     pub fn dims(&self) -> &[ColumnRef] {
         self.cube.dims()
+    }
+
+    /// The relevant literals this slice was built over, per dimension.
+    pub fn relevant(&self) -> &[Vec<Value>] {
+        self.cube.relevant()
     }
 
     /// Does this slice contain every literal in `needed` (per dimension,
@@ -122,20 +140,42 @@ impl CachedSlice {
     }
 }
 
-/// Hit/miss counters (lock-free reads for the experiment harness).
-#[derive(Debug, Default)]
+/// One shard's counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries displaced: replaced by a `put` for an existing key, or
+    /// dropped by [`EvalCache::clear`].
+    pub evictions: u64,
+    /// Entries currently resident in the shard.
+    pub entries: u64,
+}
+
+/// A point-in-time snapshot of the whole cache's counters, per shard.
+/// Counters are read with relaxed atomics while writers keep going, so
+/// totals are exact only in quiescence — good enough for the experiment
+/// harness and the CI bench instrumentation.
+#[derive(Debug, Clone, Default)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
+    pub shards: Vec<ShardStats>,
 }
 
 impl CacheStats {
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.hits).sum()
     }
 
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.misses).sum()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions).sum()
+    }
+
+    pub fn entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.entries).sum()
     }
 
     pub fn hit_rate(&self) -> f64 {
@@ -149,16 +189,52 @@ impl CacheStats {
     }
 }
 
+/// Slices retained per key: enough that a batch of documents with
+/// different (overlapping, non-nested) literal sets can coexist without
+/// evicting each other, small enough to bound memory per key.
+pub const SLICES_PER_KEY: usize = 4;
+
+/// One lock stripe: its own map plus lock-free counters. Each key holds up
+/// to [`SLICES_PER_KEY`] slices with distinct literal coverage.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: RwLock<HashMap<CacheKey, Vec<CachedSlice>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Shard {
+    fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.read().values().map(|v| v.len() as u64).sum(),
+        }
+    }
+}
+
+/// Default shard count: enough stripes that a worker pool the size of any
+/// reasonable machine rarely collides, while keeping the per-cache memory
+/// footprint trivial.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
 /// The shared evaluation cache. Cloning shares the underlying storage.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EvalCache {
     inner: Arc<EvalCacheInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct EvalCacheInner {
-    entries: RwLock<HashMap<CacheKey, CachedSlice>>,
-    stats: CacheStats,
+    shards: Box<[Shard]>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_CACHE_SHARDS)
+    }
 }
 
 impl EvalCache {
@@ -166,41 +242,107 @@ impl EvalCache {
         Self::default()
     }
 
+    /// A cache with at least `shards` lock stripes (rounded up to the next
+    /// power of two so shard selection is a mask, never a division).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        EvalCache {
+            inner: Arc::new(EvalCacheInner {
+                shards: (0..n).map(|_| Shard::default()).collect(),
+            }),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard a key maps to: the key's FxHash folded to mix both
+    /// halves, masked to the power-of-two shard count. Within-shard bucket
+    /// placement cannot correlate with shard choice regardless — the
+    /// per-shard `HashMap` hashes keys with its own hasher (SipHash).
+    pub fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut hasher = FxHasher::default();
+        key.hash(&mut hasher);
+        let h = hasher.finish();
+        ((h >> 32) as usize ^ h as usize) & (self.inner.shards.len() - 1)
+    }
+
     /// Fetch a slice covering `needed` literals, counting a hit or miss.
     pub fn get(&self, key: &CacheKey, needed: &[Vec<Value>]) -> Option<CachedSlice> {
-        let entries = self.inner.entries.read();
-        match entries.get(key) {
-            Some(slice) if slice.covers(needed) => {
-                self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.inner.shards[self.shard_of(key)];
+        let entries = shard.entries.read();
+        match entries
+            .get(key)
+            .and_then(|slices| slices.iter().find(|s| s.covers(needed)))
+        {
+            Some(slice) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some(slice.clone())
             }
-            _ => {
-                self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Store a slice (replacing any previous entry for the key).
+    /// Store a slice. Coverage-preserving: a resident slice that already
+    /// covers the newcomer's literals makes the put a no-op, resident
+    /// slices the newcomer covers are displaced by it, and slices with
+    /// *overlapping but non-nested* coverage coexist (up to
+    /// [`SLICES_PER_KEY`]; beyond that the oldest goes) — so a batch of
+    /// documents with different literal sets never ping-pongs one key.
+    /// Every displaced slice counts as an eviction.
     pub fn put(&self, key: CacheKey, slice: CachedSlice) {
-        self.inner.entries.write().insert(key, slice);
+        let shard = &self.inner.shards[self.shard_of(&key)];
+        let mut entries = shard.entries.write();
+        let slices = entries.entry(key).or_default();
+        if slices.iter().any(|s| s.covers(slice.relevant())) {
+            return;
+        }
+        let before = slices.len();
+        slices.retain(|s| !slice.covers(s.relevant()));
+        let mut evicted = (before - slices.len()) as u64;
+        slices.push(slice);
+        if slices.len() > SLICES_PER_KEY {
+            slices.remove(0);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            shard.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
-    pub fn stats(&self) -> &CacheStats {
-        &self.inner.stats
+    /// Snapshot all shard counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            shards: self.inner.shards.iter().map(Shard::snapshot).collect(),
+        }
     }
 
+    /// Total resident slices (keys may hold several, see [`EvalCache::put`]).
     pub fn len(&self) -> usize {
-        self.inner.entries.read().len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.entries.read().values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drop all entries (e.g. between documents).
+    /// Drop all entries (e.g. between unrelated databases). Dropped slices
+    /// count as evictions.
     pub fn clear(&self) {
-        self.inner.entries.write().clear();
+        for shard in self.inner.shards.iter() {
+            let mut entries = shard.entries.write();
+            let dropped: u64 = entries.values().map(|v| v.len() as u64).sum();
+            entries.clear();
+            shard.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 }
 
@@ -311,5 +453,168 @@ mod tests {
             slice(&db, vec!["a".into()]),
         );
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_literal_sets_coexist_without_ping_pong() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let ab = vec![vec![Value::from("a"), Value::from("b")]];
+        let bc = vec![vec![Value::from("b"), Value::from("c")]];
+        cache.put(key.clone(), slice(&db, vec!["a".into(), "b".into()]));
+        // A narrower put is a no-op: the resident slice already covers it.
+        cache.put(key.clone(), slice(&db, vec!["a".into()]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions(), 0);
+        // Overlapping-but-not-nested coverage coexists (doc A wants {a,b},
+        // doc B wants {b,c}): neither slice evicts the other, and both
+        // documents keep hitting.
+        cache.put(key.clone(), slice(&db, vec!["b".into(), "c".into()]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key, &ab).is_some());
+        assert!(cache.get(&key, &bc).is_some());
+        assert_eq!(cache.stats().evictions(), 0);
+        // A slice covering a resident one displaces it.
+        cache.put(
+            key.clone(),
+            slice(&db, vec!["a".into(), "b".into(), "c".into()]),
+        );
+        assert_eq!(cache.len(), 1, "superset slice replaces both");
+        assert_eq!(cache.stats().evictions(), 2);
+        assert!(cache.get(&key, &ab).is_some());
+        assert!(cache.get(&key, &bc).is_some());
+    }
+
+    #[test]
+    fn slices_per_key_is_bounded() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        // Disjoint singleton literal sets: none covers another, so they
+        // accumulate until the per-key cap evicts the oldest.
+        let lits = ["a", "b", "c", "l-d", "l-e", "l-f"];
+        for lit in lits {
+            cache.put(key.clone(), slice(&db, vec![lit.into()]));
+        }
+        assert_eq!(cache.len(), SLICES_PER_KEY);
+        assert_eq!(
+            cache.stats().evictions(),
+            (lits.len() - SLICES_PER_KEY) as u64
+        );
+        // The newest survives, the oldest is gone.
+        assert!(cache.get(&key, &[vec![Value::from("l-f")]]).is_some());
+        assert!(cache.get(&key, &[vec![Value::from("a")]]).is_none());
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(EvalCache::with_shards(0).shard_count(), 1);
+        assert_eq!(EvalCache::with_shards(1).shard_count(), 1);
+        assert_eq!(EvalCache::with_shards(5).shard_count(), 8);
+        assert_eq!(EvalCache::with_shards(16).shard_count(), 16);
+        assert_eq!(EvalCache::new().shard_count(), DEFAULT_CACHE_SHARDS);
+    }
+
+    #[test]
+    fn replacement_and_clear_count_as_evictions() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        cache.put(key.clone(), slice(&db, vec!["a".into()]));
+        assert_eq!(cache.stats().evictions(), 0);
+        cache.put(key.clone(), slice(&db, vec!["a".into(), "b".into()]));
+        assert_eq!(cache.stats().evictions(), 1);
+        cache.clear();
+        assert_eq!(cache.stats().evictions(), 2);
+        assert_eq!(cache.stats().entries(), 0);
+    }
+
+    /// Uniformly drawn keys must spread evenly: no shard may hold more than
+    /// twice the mean entry count.
+    #[test]
+    fn uniform_keys_spread_across_shards() {
+        let db = db();
+        let cache = EvalCache::with_shards(16);
+        let s = slice(&db, vec!["a".into()]);
+        let n_keys = 4096usize;
+        for i in 0..n_keys {
+            // Distinct dimension sets give distinct, uniform-ish keys.
+            let dims = vec![ColumnRef::new(i / 64, i % 64)];
+            cache.put(
+                CacheKey::new(AggFunction::Count, AggColumn::Star, dims),
+                s.clone(),
+            );
+        }
+        assert_eq!(cache.len(), n_keys);
+        let stats = cache.stats();
+        let mean = n_keys as f64 / cache.shard_count() as f64;
+        for (i, shard) in stats.shards.iter().enumerate() {
+            assert!(
+                (shard.entries as f64) <= 2.0 * mean,
+                "shard {i} holds {} entries, mean is {mean:.1}",
+                shard.entries
+            );
+        }
+    }
+
+    /// N threads hammering one cache with overlapping keys: no update may
+    /// be lost, and the counter totals must reconcile with the operations
+    /// actually performed.
+    #[test]
+    fn concurrent_hammering_reconciles() {
+        let db = db();
+        let cache = EvalCache::with_shards(8);
+        let n_threads = 8usize;
+        let n_keys = 32usize;
+        let rounds = 200usize;
+        let needed = vec![vec![Value::from("a")]];
+        let gets_answered: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let cache = cache.clone();
+                    let db = &db;
+                    let needed = &needed;
+                    scope.spawn(move || {
+                        let mut answered = 0u64;
+                        for r in 0..rounds {
+                            // Overlapping key space: every thread touches
+                            // every key, offset so threads collide.
+                            let k = (t + r) % n_keys;
+                            let key = CacheKey::new(
+                                AggFunction::Count,
+                                AggColumn::Star,
+                                vec![ColumnRef::new(0, k)],
+                            );
+                            if cache.get(&key, needed).is_none() {
+                                cache.put(key, slice(db, vec!["a".into()]));
+                            }
+                            answered += 1;
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(gets_answered, (n_threads * rounds) as u64);
+        let stats = cache.stats();
+        // Every get was either a hit or a miss — none lost.
+        assert_eq!(stats.hits() + stats.misses(), (n_threads * rounds) as u64);
+        // Every key that was ever put survives (puts only add or replace).
+        assert_eq!(cache.len(), n_keys.min(n_threads * rounds));
+        // Each of the n_keys keys missed at least once (first toucher).
+        assert!(stats.misses() >= n_keys as u64);
+        // All slices cover the same literals, so racing re-puts of a key
+        // are coverage-preserving no-ops: nothing is ever evicted, and the
+        // resident entry count is exactly the key count.
+        assert_eq!(stats.evictions(), 0);
+        assert_eq!(stats.entries(), n_keys as u64);
+        // Per-shard totals sum to the global totals by construction; spot
+        // check the snapshot is per-shard.
+        assert_eq!(stats.shards.len(), 8);
     }
 }

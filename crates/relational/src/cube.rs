@@ -328,6 +328,109 @@ fn new_accumulators(aggregates: &[(AggFunction, AggColumn)]) -> Vec<Accumulator>
 /// touched cells resident in cache.
 const SCAN_BLOCK: usize = 2048;
 
+/// Arena-reuse counters (see [`GridArena::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers served from the pool (no allocation).
+    pub reuses: u64,
+    /// Buffers freshly allocated because the pool was empty.
+    pub allocations: u64,
+}
+
+#[derive(Debug, Default)]
+struct ArenaPools {
+    counts: Vec<Vec<u64>>,
+    floats: Vec<Vec<f64>>,
+    options: Vec<Vec<Option<f64>>>,
+    flags: Vec<Vec<bool>>,
+    stats: ArenaStats,
+}
+
+impl ArenaPools {
+    fn take<T: Copy>(
+        pool: &mut Vec<Vec<T>>,
+        stats: &mut ArenaStats,
+        cells: usize,
+        zero: T,
+    ) -> Vec<T> {
+        match pool.pop() {
+            Some(mut buf) => {
+                stats.reuses += 1;
+                buf.clear();
+                buf.resize(cells, zero);
+                buf
+            }
+            None => {
+                stats.allocations += 1;
+                vec![zero; cells]
+            }
+        }
+    }
+}
+
+/// A reusable pool of dense-grid buffers, persisted **across cube
+/// executions** so repeated scans over the same database stop paying one
+/// round of large allocations each (ROADMAP: "persist per-thread grids").
+///
+/// The pool is internally synchronized, so one arena may serve the scan
+/// workers of a parallel execution; the intended deployment is **one arena
+/// per worker thread of a batch** (see `agg_core::pipeline::BatchVerifier`),
+/// where take/recycle never contend.
+#[derive(Debug, Default)]
+pub struct GridArena {
+    pools: parking_lot::Mutex<ArenaPools>,
+}
+
+impl GridArena {
+    pub fn new() -> GridArena {
+        GridArena::default()
+    }
+
+    pub fn stats(&self) -> ArenaStats {
+        self.pools.lock().stats
+    }
+
+    fn take_counts(&self, cells: usize) -> Vec<u64> {
+        let mut pools = self.pools.lock();
+        let ArenaPools { counts, stats, .. } = &mut *pools;
+        ArenaPools::take(counts, stats, cells, 0)
+    }
+
+    fn take_floats(&self, cells: usize) -> Vec<f64> {
+        let mut pools = self.pools.lock();
+        let ArenaPools { floats, stats, .. } = &mut *pools;
+        ArenaPools::take(floats, stats, cells, 0.0)
+    }
+
+    fn take_options(&self, cells: usize) -> Vec<Option<f64>> {
+        let mut pools = self.pools.lock();
+        let ArenaPools { options, stats, .. } = &mut *pools;
+        ArenaPools::take(options, stats, cells, None)
+    }
+
+    fn take_flags(&self, cells: usize) -> Vec<bool> {
+        let mut pools = self.pools.lock();
+        let ArenaPools { flags, stats, .. } = &mut *pools;
+        ArenaPools::take(flags, stats, cells, false)
+    }
+
+    fn recycle_counts(&self, buf: Vec<u64>) {
+        self.pools.lock().counts.push(buf);
+    }
+
+    fn recycle_floats(&self, buf: Vec<f64>) {
+        self.pools.lock().floats.push(buf);
+    }
+
+    fn recycle_options(&self, buf: Vec<Option<f64>>) {
+        self.pools.lock().options.push(buf);
+    }
+
+    fn recycle_flags(&self, buf: Vec<bool>) {
+        self.pools.lock().flags.push(buf);
+    }
+}
+
 /// One aggregate's dense per-cell state, struct-of-arrays style. Compared
 /// with a `Vec<Accumulator>` grid this removes the enum tag from every cell
 /// and lets each block sweep run branch-free on plain arrays.
@@ -347,25 +450,55 @@ enum DenseAggState {
 }
 
 impl DenseAggState {
-    fn new(function: AggFunction, cells: usize) -> DenseAggState {
+    /// Create one aggregate's dense cell state, drawing the flat buffers
+    /// from `arena` when one is provided. Set- and list-valued states
+    /// (count-distinct, median) allocate per cell regardless, so they skip
+    /// the pool.
+    fn new_in(function: AggFunction, cells: usize, arena: Option<&GridArena>) -> DenseAggState {
         match function {
-            AggFunction::Count => DenseAggState::Count(vec![0; cells]),
+            AggFunction::Count => DenseAggState::Count(match arena {
+                Some(a) => a.take_counts(cells),
+                None => vec![0; cells],
+            }),
             AggFunction::CountDistinct => {
                 DenseAggState::CountDistinct(vec![crate::fxhash::FxHashSet::default(); cells])
             }
             AggFunction::Sum | AggFunction::Avg => DenseAggState::SumAvg {
-                sums: vec![0.0; cells],
-                counts: vec![0; cells],
+                sums: match arena {
+                    Some(a) => a.take_floats(cells),
+                    None => vec![0.0; cells],
+                },
+                counts: match arena {
+                    Some(a) => a.take_counts(cells),
+                    None => vec![0; cells],
+                },
                 is_avg: function == AggFunction::Avg,
             },
             AggFunction::Min | AggFunction::Max => DenseAggState::MinMax {
-                extremes: vec![None; cells],
+                extremes: match arena {
+                    Some(a) => a.take_options(cells),
+                    None => vec![None; cells],
+                },
                 is_max: function == AggFunction::Max,
             },
             AggFunction::Median => DenseAggState::Median(vec![Vec::new(); cells]),
             AggFunction::Percentage | AggFunction::ConditionalProbability => {
                 unreachable!("validate() rejects ratio aggregates")
             }
+        }
+    }
+
+    /// Return this state's flat buffers to the arena for the next execution.
+    fn recycle(self, arena: &GridArena) {
+        match self {
+            DenseAggState::Count(counts) => arena.recycle_counts(counts),
+            DenseAggState::SumAvg { sums, counts, .. } => {
+                arena.recycle_floats(sums);
+                arena.recycle_counts(counts);
+            }
+            DenseAggState::MinMax { extremes, .. } => arena.recycle_options(extremes),
+            // Per-cell heap states are dropped; pooling them buys nothing.
+            DenseAggState::CountDistinct(_) | DenseAggState::Median(_) => {}
         }
     }
 
@@ -509,13 +642,31 @@ struct DenseGrid {
 }
 
 impl DenseGrid {
-    fn new(cells: usize, aggregates: &[(AggFunction, AggColumn)]) -> DenseGrid {
+    fn new_in(
+        cells: usize,
+        aggregates: &[(AggFunction, AggColumn)],
+        arena: Option<&GridArena>,
+    ) -> DenseGrid {
         DenseGrid {
             aggs: aggregates
                 .iter()
-                .map(|(f, _)| DenseAggState::new(*f, cells))
+                .map(|(f, _)| DenseAggState::new_in(*f, cells, arena))
                 .collect(),
-            touched: vec![false; cells],
+            touched: match arena {
+                Some(a) => a.take_flags(cells),
+                None => vec![false; cells],
+            },
+        }
+    }
+
+    /// Return every pooled buffer to the arena. `touched` may already have
+    /// been taken by the finest-group extraction; recycle whatever is left.
+    fn recycle_into(self, arena: &GridArena) {
+        for state in self.aggs {
+            state.recycle(arena);
+        }
+        if self.touched.capacity() > 0 {
+            arena.recycle_flags(self.touched);
         }
     }
 
@@ -662,8 +813,19 @@ impl CubeQuery {
 
     /// Execute the cube with explicit tuning options.
     pub fn execute_with(&self, db: &Database, options: &CubeOptions) -> Result<CubeResult> {
+        self.execute_in(db, options, None)
+    }
+
+    /// Execute with explicit options, drawing dense-grid buffers from (and
+    /// returning them to) `arena` when one is provided.
+    pub fn execute_in(
+        &self,
+        db: &Database,
+        options: &CubeOptions,
+        arena: Option<&GridArena>,
+    ) -> Result<CubeResult> {
         let relation = JoinedRelation::for_tables(db, &self.tables_referenced())?;
-        self.execute_on_with(db, &relation, options)
+        self.execute_on_in(db, &relation, options, arena)
     }
 
     /// Execute against a pre-materialized join with default options.
@@ -677,6 +839,18 @@ impl CubeQuery {
         db: &Database,
         relation: &JoinedRelation,
         options: &CubeOptions,
+    ) -> Result<CubeResult> {
+        self.execute_on_in(db, relation, options, None)
+    }
+
+    /// The full execution entry point: pre-materialized join, explicit
+    /// options, optional grid arena.
+    pub fn execute_on_in(
+        &self,
+        db: &Database,
+        relation: &JoinedRelation,
+        options: &CubeOptions,
+        arena: Option<&GridArena>,
     ) -> Result<CubeResult> {
         self.validate()?;
         let d = self.dims.len();
@@ -733,7 +907,7 @@ impl CubeQuery {
                     stride *= radix;
                 }
                 let mut grid = if threads <= 1 {
-                    let mut grid = DenseGrid::new(cells, &self.aggregates);
+                    let mut grid = DenseGrid::new_in(cells, &self.aggregates, arena);
                     grid.scan(0..n_rows, &codecs, &strides, &agg_ctx);
                     grid
                 } else {
@@ -746,7 +920,7 @@ impl CubeQuery {
                                 scope.spawn(move || {
                                     let lo = t * chunk;
                                     let hi = ((t + 1) * chunk).min(n_rows);
-                                    let mut grid = DenseGrid::new(cells, aggregates);
+                                    let mut grid = DenseGrid::new_in(cells, aggregates, arena);
                                     grid.scan(lo..hi, codecs, strides, agg_ctx);
                                     grid
                                 })
@@ -760,6 +934,11 @@ impl CubeQuery {
                     let mut grid = partials.remove(0);
                     for partial in &mut partials {
                         grid.merge(partial);
+                    }
+                    if let Some(arena) = arena {
+                        for partial in partials {
+                            partial.recycle_into(arena);
+                        }
                     }
                     grid
                 };
@@ -786,6 +965,10 @@ impl CubeQuery {
                         };
                     }
                     finest.push((GroupKey::from_codes(&codes[..d]), cell_accs));
+                }
+                if let Some(arena) = arena {
+                    arena.recycle_flags(touched);
+                    grid.recycle_into(arena);
                 }
             }
             None => {
@@ -1334,6 +1517,80 @@ mod tests {
             .execute_with(&db, &options)
             .unwrap();
             assert_eq!(r.get_count(&[DimSel::Literal(0)], 0), 3.0, "[{name}]");
+        }
+    }
+
+    #[test]
+    fn arena_reuses_buffers_across_executions() {
+        let db = nfl();
+        let q = nfl_cube_query(&db);
+        let arena = GridArena::new();
+        let plain = q.execute(&db).unwrap();
+        let first = q
+            .execute_in(&db, &CubeOptions::default(), Some(&arena))
+            .unwrap();
+        let after_first = arena.stats();
+        // Count + touched go through the pool; Sum/Avg add floats+counts.
+        assert!(after_first.allocations > 0);
+        assert_eq!(after_first.reuses, 0);
+        let second = q
+            .execute_in(&db, &CubeOptions::default(), Some(&arena))
+            .unwrap();
+        let after_second = arena.stats();
+        // Every buffer the second run needed came back from the first run.
+        assert_eq!(after_second.allocations, after_first.allocations);
+        assert_eq!(after_second.reuses, after_first.allocations);
+        // Results are identical with and without the arena.
+        for r in [&first, &second] {
+            for gsel in [DimSel::Literal(0), DimSel::Any] {
+                for csel in [DimSel::Literal(0), DimSel::Literal(1), DimSel::Any] {
+                    for agg in 0..3 {
+                        assert_eq!(
+                            r.get(&[gsel, csel], agg),
+                            plain.get(&[gsel, csel], agg),
+                            "{gsel:?}/{csel:?}/{agg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_survives_parallel_partitions() {
+        let n = 10_000usize;
+        let cats: Vec<Value> = (0..n)
+            .map(|i| Value::Str(["a", "b", "c"][i % 3].into()))
+            .collect();
+        let t = Table::from_columns("big", vec![("cat", cats)]).unwrap();
+        let mut db = Database::new("big");
+        db.add_table(t);
+        let cat = db.resolve("big", "cat").unwrap();
+        let q = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["a".into(), "b".into()]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        let opts = CubeOptions {
+            threads: 4,
+            parallel_row_threshold: 1024,
+            clamp_to_hardware: false,
+            ..CubeOptions::default()
+        };
+        let arena = GridArena::new();
+        let seq = q.execute(&db).unwrap();
+        let r1 = q.execute_in(&db, &opts, Some(&arena)).unwrap();
+        assert_eq!(r1.stats.scan_threads, 4);
+        let first_allocs = arena.stats().allocations;
+        assert!(first_allocs >= 4, "one grid per worker");
+        let r2 = q.execute_in(&db, &opts, Some(&arena)).unwrap();
+        // The second execution is served entirely from the pool.
+        assert_eq!(arena.stats().allocations, first_allocs);
+        assert_eq!(arena.stats().reuses, first_allocs);
+        for r in [&r1, &r2] {
+            for sel in [DimSel::Any, DimSel::Literal(0), DimSel::Literal(1)] {
+                assert_eq!(r.get_count(&[sel], 0), seq.get_count(&[sel], 0), "{sel:?}");
+            }
         }
     }
 

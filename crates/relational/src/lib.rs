@@ -43,10 +43,12 @@ pub mod table;
 pub mod value;
 
 pub use aggregate::{ratio_from_counts, Accumulator};
-pub use cache::{CacheKey, CacheStats, CachedSlice, EvalCache};
+pub use cache::{CacheKey, CacheStats, CachedSlice, EvalCache, ShardStats, DEFAULT_CACHE_SHARDS};
 pub use column::{ColumnData, StringDictionary, NULL_CODE};
 pub use cost::CostModel;
-pub use cube::{CubeOptions, CubeQuery, CubeResult, CubeStats, DimSel, GridMode};
+pub use cube::{
+    ArenaStats, CubeOptions, CubeQuery, CubeResult, CubeStats, DimSel, GridArena, GridMode,
+};
 pub use database::{ColumnRef, Database};
 pub use error::{RelationalError, Result};
 pub use exec::{execute_all_naive, execute_query};

@@ -270,3 +270,47 @@ proptest! {
         prop_assert_eq!(mentions[0].value, n as f64);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batched ≡ sequential verification
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// `BatchVerifier` over a randomized multi-document case (random
+    /// database, random articles, random worker count) produces reports
+    /// byte-identical to sequential single-document verification with a
+    /// fresh checker per document.
+    #[test]
+    fn batched_verification_matches_sequential(
+        seed in 1u64..10_000,
+        index in 0usize..6,
+        n_docs in 2usize..5,
+        threads in 1usize..5,
+    ) {
+        use aggchecker::corpus::{generate_multi_doc_case, CorpusSpec};
+        use aggchecker::{AggChecker, BatchVerifier, CheckerConfig};
+
+        let spec = CorpusSpec::small(1, seed);
+        let case = generate_multi_doc_case(&spec, index, n_docs);
+        let cfg = CheckerConfig {
+            threads,
+            ..CheckerConfig::default()
+        };
+        let texts: Vec<&str> = case.articles.iter().map(String::as_str).collect();
+        let batch = BatchVerifier::new(case.db.clone(), cfg.clone()).unwrap();
+        let reports = batch.verify_texts(&texts).unwrap();
+        prop_assert_eq!(reports.len(), n_docs);
+        for (text, report) in texts.iter().zip(&reports) {
+            let solo = AggChecker::new(case.db.clone(), cfg.clone()).unwrap();
+            let expected = solo.check_text(text).unwrap();
+            prop_assert_eq!(
+                report.content_fingerprint(),
+                expected.content_fingerprint(),
+                "threads={} seed={} index={}",
+                threads, seed, index
+            );
+        }
+    }
+}
