@@ -16,14 +16,35 @@
 //!   deployment, repeated.
 //! * `sequential_shared` — one checker reused document-after-document
 //!   (warm sharded cache, no batching layer).
-//! * `batch_1w` / `batch_4w` — `BatchVerifier` with 1 and 4 workers:
-//!   shared sharded cache, per-worker dense-grid arenas.
+//! * `batch_1w` / `batch_4w` — `BatchVerifier` with 1 and 4 workers: one
+//!   shared cube-task scheduler, shared sharded cache with single-flight,
+//!   per-worker dense-grid arenas.
 //!
 //! All variants are checked to produce identical reports before timing.
+//! Each variant reports `rows_scanned_per_run` (total rows scanned by its
+//! cube executions over one full batch) plus the scheduler's dedup
+//! counters; single-flight makes `batch_4w` rows *exactly* equal
+//! `batch_1w` — `xtask dedup-gate` enforces that in CI, deterministically,
+//! unlike any timing gate.
 
 use agg_bench::metrics::median_timed_ns;
-use agg_core::{AggChecker, BatchVerifier, CheckerConfig};
+use agg_core::{AggChecker, BatchVerifier, CheckerConfig, VerificationReport};
 use agg_corpus::{generate_multi_doc_case, CorpusSpec};
+
+/// Scheduling-relevant stats summed over one run's reports. The tuple is
+/// `Ord`, so `median_timed_ns` can pair it with the median-time sample.
+type RunCounters = (u64, u64, u64, u64); // rows, tasks_executed, deduped, waits
+
+fn counters(reports: &[VerificationReport]) -> RunCounters {
+    let mut c = (0, 0, 0, 0);
+    for r in reports {
+        c.0 += r.stats.rows_scanned;
+        c.1 += r.stats.tasks_executed;
+        c.2 += r.stats.tasks_deduped;
+        c.3 += r.stats.singleflight_waits;
+    }
+    c
+}
 
 struct Variant {
     name: &'static str,
@@ -31,9 +52,17 @@ struct Variant {
     median_ns: u64,
     docs_per_sec: f64,
     /// Rows scanned by this variant's cube executions in one full run
-    /// (caching makes this differ across variants), per second.
+    /// (caching and single-flight make this differ across variants), per
+    /// second.
     rows_scanned_per_run: u64,
     rows_scanned_per_sec: f64,
+    /// Cube tasks executed in one full run.
+    tasks_executed: u64,
+    /// Cube requests resolved without a new execution (cross-claim merge
+    /// or single-flight).
+    tasks_deduped: u64,
+    /// Requests that blocked on another worker's in-flight cube.
+    singleflight_waits: u64,
 }
 
 fn main() {
@@ -99,20 +128,22 @@ fn main() {
 
     // --- Timed variants. ------------------------------------------------
     let run_sequential_fresh = || {
-        texts
+        let reports: Vec<VerificationReport> = texts
             .iter()
             .map(|t| {
                 let checker = AggChecker::new(case.db.clone(), cfg.clone()).unwrap();
-                checker.check_text(t).unwrap().stats.rows_scanned
+                checker.check_text(t).unwrap()
             })
-            .sum::<u64>()
+            .collect();
+        counters(&reports)
     };
     let run_sequential_shared = || {
         let checker = AggChecker::new(case.db.clone(), cfg.clone()).unwrap();
-        texts
+        let reports: Vec<VerificationReport> = texts
             .iter()
-            .map(|t| checker.check_text(t).unwrap().stats.rows_scanned)
-            .sum::<u64>()
+            .map(|t| checker.check_text(t).unwrap())
+            .collect();
+        counters(&reports)
     };
     let run_batch = |workers: usize| {
         let batch_cfg = CheckerConfig {
@@ -120,23 +151,21 @@ fn main() {
             ..cfg.clone()
         };
         let batch = BatchVerifier::new(case.db.clone(), batch_cfg).unwrap();
-        batch
-            .verify_texts(&texts)
-            .unwrap()
-            .iter()
-            .map(|r| r.stats.rows_scanned)
-            .sum::<u64>()
+        counters(&batch.verify_texts(&texts).unwrap())
     };
 
-    let variant = |name, workers: u32, (median, rows): (u64, u64)| {
+    let variant = |name, workers: u32, (median, c): (u64, RunCounters)| {
         let secs = median as f64 / 1e9;
         Variant {
             name,
             workers,
             median_ns: median,
             docs_per_sec: docs as f64 / secs,
-            rows_scanned_per_run: rows,
-            rows_scanned_per_sec: rows as f64 / secs,
+            rows_scanned_per_run: c.0,
+            rows_scanned_per_sec: c.0 as f64 / secs,
+            tasks_executed: c.1,
+            tasks_deduped: c.2,
+            singleflight_waits: c.3,
         }
     };
     let variants = [
@@ -157,6 +186,7 @@ fn main() {
     let sequential_ns = variants[0].median_ns as f64;
     let best_batch_ns = variants[2].median_ns.min(variants[3].median_ns) as f64;
     let speedup = sequential_ns / best_batch_ns;
+    let dedup_exact = variants[2].rows_scanned_per_run == variants[3].rows_scanned_per_run;
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -168,17 +198,23 @@ fn main() {
     json.push_str("  \"variants\": [\n");
     for (i, v) in variants.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"workers\": {}, \"median_ns\": {}, \"docs_per_sec\": {:.2}, \"rows_scanned_per_run\": {}, \"rows_scanned_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"workers\": {}, \"median_ns\": {}, \"docs_per_sec\": {:.2}, \"rows_scanned_per_run\": {}, \"rows_scanned_per_sec\": {:.0}, \"tasks_executed\": {}, \"tasks_deduped\": {}, \"singleflight_waits\": {}}}{}\n",
             v.name,
             v.workers,
             v.median_ns,
             v.docs_per_sec,
             v.rows_scanned_per_run,
             v.rows_scanned_per_sec,
+            v.tasks_executed,
+            v.tasks_deduped,
+            v.singleflight_waits,
             if i + 1 < variants.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"rows_scanned_equal_across_workers\": {dedup_exact},\n"
+    ));
     json.push_str(&format!(
         "  \"speedup_batch_vs_sequential_fresh\": {speedup:.2}\n"
     ));

@@ -123,11 +123,15 @@ pub struct CheckerConfig {
     pub claim_detector: ClaimDetectorConfig,
     /// Weight multiplier for synonym-expanded keywords.
     pub synonym_weight: f64,
-    /// Worker-thread budget (1 = fully sequential). Single-document checks
-    /// spend it on per-claim scoring and cube-scan partitions; batched
-    /// verification (`BatchVerifier`) additionally runs up to this many
-    /// documents concurrently, each still evaluated with the full count so
-    /// cube scans partition exactly as in solo runs.
+    /// Worker-thread budget (1 = fully sequential): the size of the **one**
+    /// pool all parallel work drains through. Single-document checks spend
+    /// it on claim scoring and on concurrent cube tasks (claims × cubes);
+    /// batched verification (`BatchVerifier`) runs one shared scoped pool
+    /// of this many workers that pulls documents *and* cube tasks from the
+    /// same scheduler — there is no threads-per-document × workers
+    /// multiplication, so small machines are never oversubscribed. Cube
+    /// tasks always scan sequentially, which keeps reports bit-identical
+    /// across thread counts.
     pub threads: usize,
     /// Lock stripes of the shared [`agg_relational::EvalCache`]. More
     /// shards means less contention when many batch workers score claims

@@ -1,4 +1,5 @@
-//! Massive-scale candidate evaluation — `RefineByEval`, Algorithm 4 (§6).
+//! Massive-scale candidate evaluation — `RefineByEval`, Algorithm 4 (§6),
+//! restructured around the **cube-task scheduler**.
 //!
 //! Evaluating each candidate separately would be hopeless (Table 6 of the
 //! paper: >40 minutes of query time on the full test set). Instead:
@@ -6,16 +7,35 @@
 //! * candidates of one claim are grouped by their **predicate column set**;
 //!   each group becomes one cube query covering every literal combination
 //!   (§6.2, query merging);
-//! * the relevant literals of each cube are the **document-wide** sets, so
-//!   cube slices are reusable across claims and EM iterations (§6.3);
+//! * the relevant literals of each cube are **canonical**: a column's full
+//!   catalog literal list whenever it fits a cube dimension (falling back
+//!   to §6.3's document-wide sets for very wide columns), so every claim
+//!   of every document requests identical coverage per cache key and cube
+//!   slices are reusable across claims, EM iterations, and documents;
+//! * [`Evaluator::evaluate_all`] plans **all claims of a document at
+//!   once**: per-claim groups that need the same (dimensions, literals)
+//!   cube collapse into one [`CubeTask`] (counted as
+//!   [`EvalStats::tasks_deduped`]), and the resulting task set — the
+//!   claims × cubes work of the whole document — executes on a scoped
+//!   worker wave ([`Evaluator::set_threads`] workers) or on a shared
+//!   [`CubeScheduler`] spanning every document of a batch
+//!   ([`Evaluator::set_scheduler`], see `pipeline::BatchVerifier`).
+//!   Finished cubes are demultiplexed back into per-claim
+//!   [`ResultsMatrix`] slots;
 //! * slices are stored in the shared [`EvalCache`] keyed by (aggregation
 //!   function, aggregation column, dimension set) — the cache granularity
 //!   the paper found to perform best. The cache is **lock-striped** into
-//!   shards, so many evaluators (one per batch worker verifying its own
-//!   document, see `pipeline::BatchVerifier`) read and fill it
-//!   concurrently without serializing on a global lock;
-//! * cube scans fan out over [`Evaluator::set_threads`] scoped workers, and
-//!   dense accumulator grids are drawn from an optional [`GridArena`]
+//!   shards, and every miss goes through the cache's **single-flight**
+//!   latch: of N workers missing the same key concurrently, exactly one
+//!   executes the cube and the rest block for its published slice
+//!   ([`EvalStats::singleflight_waits`]). With [`TaskBundling::Canonical`]
+//!   (batch mode) the executed-scan set is fully order-independent, so
+//!   batched verification scans *exactly* as many rows as a sequential
+//!   run — the CI dedup gate asserts the equality;
+//! * cube tasks scan sequentially — parallelism comes from running many
+//!   cubes at once — so f64 accumulation order, and therefore every
+//!   report, is bit-identical across worker counts. Dense accumulator
+//!   grids are drawn from an optional [`GridArena`]
 //!   ([`Evaluator::set_arena`]) so buffers persist across cube executions
 //!   instead of being reallocated per cube;
 //! * ratio aggregates (`Percentage`, `ConditionalProbability`) are derived
@@ -24,8 +44,9 @@
 use crate::candidates::CandidateSet;
 use crate::fragments::FragmentCatalog;
 use agg_relational::{
-    ratio_from_counts, AggColumn, AggFunction, CacheKey, CachedSlice, ColumnRef, CubeOptions,
-    CubeQuery, Database, EvalCache, GridArena, Result, Value,
+    ratio_from_counts, run_wave, AggColumn, AggFunction, CacheKey, CachedSlice, ColumnRef,
+    CubeQuery, CubeScheduler, CubeTask, Database, EvalCache, Flight, FlightGuard, FlightWaiter,
+    GridArena, Result, TaskHandle, Value,
 };
 use std::collections::BTreeMap;
 
@@ -34,12 +55,24 @@ use std::collections::BTreeMap;
 pub struct EvalStats {
     /// Candidate (query, claim) evaluations resolved.
     pub candidates_evaluated: u64,
-    /// Cube queries actually executed.
+    /// Cube queries actually executed on behalf of this evaluator.
     pub cubes_executed: u64,
     /// Cube slice requests served from the cache.
     pub cubes_cached: u64,
     /// Rows scanned by executed cubes.
     pub rows_scanned: u64,
+    /// Cube tasks this evaluator submitted and saw executed (scheduler
+    /// accounting twin of [`EvalStats::cubes_executed`]).
+    pub tasks_executed: u64,
+    /// Aggregate-key requests resolved without a new execution: merged
+    /// into another claim's identical cube group at planning time, or
+    /// satisfied by another worker's in-flight computation
+    /// (single-flight). Counted per key in both cases, so the value is
+    /// comparable across modes and against [`EvalStats::tasks_executed`].
+    pub tasks_deduped: u64,
+    /// Subset of [`EvalStats::tasks_deduped`]: requests that blocked on
+    /// another worker's in-flight cube and received its published slice.
+    pub singleflight_waits: u64,
 }
 
 impl EvalStats {
@@ -48,6 +81,9 @@ impl EvalStats {
         self.cubes_executed += other.cubes_executed;
         self.cubes_cached += other.cubes_cached;
         self.rows_scanned += other.rows_scanned;
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_deduped += other.tasks_deduped;
+        self.singleflight_waits += other.singleflight_waits;
     }
 }
 
@@ -96,7 +132,75 @@ enum PairPlan {
     CondProb { count_slice: usize },
 }
 
-/// Evaluates candidate sets against the database with merging and caching.
+/// The widest catalog literal list that is canonicalized into a cube
+/// dimension wholesale (the cube operator itself admits at most 253
+/// literals plus the `OTHER` bucket per dimension). Columns above this
+/// fall back to document-wide literal sets.
+const CANONICAL_LITERAL_CAP: usize = 253;
+
+/// A pending aggregate: its index within the group plus the single-flight
+/// guard won for it (`None` when evaluation runs uncached).
+type MissingAgg = (usize, Option<FlightGuard>);
+
+/// How one cube-group's aggregate slice arrives at demux time.
+enum Slot {
+    /// Served from the cache (or a finished flight) at planning time.
+    Ready(CachedSlice),
+    /// `(task index, aggregate position within the task's cube)`.
+    FromTask(usize, usize),
+    /// Another worker is computing it; block after our own tasks ran.
+    Waiting(FlightWaiter),
+}
+
+/// One distinct cube required by the document: a (dimensions, relevant
+/// literals) pair plus the union of value aggregates every claim needs
+/// from it.
+struct CubeGroup {
+    cols: Vec<u16>,
+    dims: Vec<ColumnRef>,
+    relevant: Vec<Vec<Value>>,
+    aggs: Vec<(AggFunction, AggColumn)>,
+}
+
+/// One claim's combos that read from a [`CubeGroup`].
+struct ClaimGroup {
+    group: usize,
+    combo_ids: Vec<u32>,
+    /// Claim value-aggregate slot → aggregate index within the group.
+    slot_map: Vec<usize>,
+}
+
+/// The per-claim part of a document plan.
+struct ClaimPlan {
+    plans: Vec<PairPlan>,
+    n_value_aggs: usize,
+    claim_groups: Vec<ClaimGroup>,
+}
+
+/// How a cube group's missing aggregates are bundled into [`CubeTask`]s.
+/// Bundling never changes results — each aggregate's cube slice is
+/// computed identically whatever it shares a scan with — only how many
+/// scans run and how `rows_scanned` accrues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskBundling {
+    /// One task per (group, wave): everything the document discovers
+    /// missing at once is computed in a single scan. Fastest for solo
+    /// verification, but the scan set depends on request order, so
+    /// concurrent runs may bundle — and count — scans differently.
+    #[default]
+    Wave,
+    /// One task per (group, aggregation column). Claims always request a
+    /// column's *complete* typing-valid function set
+    /// (`CandidateSet::enumerate`), so these bundles are canonical: every
+    /// requester of any document asks for exactly the same keys, and the
+    /// executed-scan set — and therefore total `rows_scanned` — is
+    /// independent of scheduling. `BatchVerifier` uses this at every
+    /// worker count, which is what the CI dedup gate measures.
+    Canonical,
+}
+
+/// Evaluates candidate sets against the database with merging, caching,
+/// and cube-task scheduling.
 pub struct Evaluator<'a> {
     db: &'a Database,
     catalog: &'a FragmentCatalog,
@@ -104,11 +208,17 @@ pub struct Evaluator<'a> {
     /// Document-wide relevant literals per catalog predicate column
     /// (literal positions) — §6.3's cache-friendly literal sets.
     document_literals: Vec<Vec<usize>>,
-    /// Scan workers per cube execution (`CheckerConfig::threads`).
+    /// Concurrent cube tasks per evaluation wave (`CheckerConfig::threads`)
+    /// when no shared scheduler is attached.
     threads: usize,
     /// Dense-grid buffer pool persisted across cube executions (batch mode
     /// hands each worker thread one arena for its whole document stream).
     arena: Option<&'a GridArena>,
+    /// Shared cube-task scheduler (batch mode): tasks from every document
+    /// of the batch drain through one pool instead of per-wave threads.
+    scheduler: Option<&'a CubeScheduler>,
+    /// How missing aggregates are grouped into tasks (see [`TaskBundling`]).
+    bundling: TaskBundling,
     pub stats: EvalStats,
 }
 
@@ -127,12 +237,21 @@ impl<'a> Evaluator<'a> {
             document_literals: vec![Vec::new(); catalog.predicate_columns.len()],
             threads: 1,
             arena: None,
+            scheduler: None,
+            bundling: TaskBundling::default(),
             stats: EvalStats::default(),
         }
     }
 
-    /// Use up to `threads` scan workers per cube execution (the
-    /// `CheckerConfig::threads` knob; small relations stay sequential).
+    /// Choose how missing aggregates bundle into cube tasks (results are
+    /// unaffected; see [`TaskBundling`]).
+    pub fn set_bundling(&mut self, bundling: TaskBundling) {
+        self.bundling = bundling;
+    }
+
+    /// Run up to `threads` concurrent cube tasks per evaluation wave (the
+    /// `CheckerConfig::threads` knob). Ignored while a shared scheduler is
+    /// attached — the batch pool then provides the parallelism.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
     }
@@ -143,6 +262,13 @@ impl<'a> Evaluator<'a> {
         self.arena = Some(arena);
     }
 
+    /// Submit cube tasks to a shared scheduler (the batch pool) instead of
+    /// spawning a per-wave scoped pool. The evaluator still helps drain
+    /// the queue while its own tasks are pending.
+    pub fn set_scheduler(&mut self, scheduler: &'a CubeScheduler) {
+        self.scheduler = Some(scheduler);
+    }
+
     /// Declare the document-wide literal sets: the union of scoped literal
     /// positions per predicate column over *all* claims of the document.
     pub fn set_document_literals(&mut self, literals: Vec<Vec<usize>>) {
@@ -150,11 +276,169 @@ impl<'a> Evaluator<'a> {
         self.document_literals = literals;
     }
 
-    /// Evaluate every candidate of one claim.
+    /// Evaluate every candidate of one claim. Equivalent to a one-claim
+    /// [`Evaluator::evaluate_all`].
     pub fn evaluate(&mut self, candidates: &CandidateSet) -> Result<ResultsMatrix> {
-        let n_pairs = candidates.agg_pairs.len();
-        let mut matrix = ResultsMatrix::new(candidates.combos.len(), n_pairs);
+        Ok(self
+            .evaluate_all(std::slice::from_ref(candidates))?
+            .pop()
+            .expect("one matrix per candidate set"))
+    }
 
+    /// Evaluate every candidate of **all** claims of a document in one
+    /// scheduling wave: plan the distinct cubes the claims need, submit
+    /// them as [`CubeTask`]s (deduplicating identical requests across
+    /// claims and — via the cache's single-flight latch — across
+    /// concurrent workers), execute, and demultiplex the finished slices
+    /// back into one [`ResultsMatrix`] per claim.
+    pub fn evaluate_all(&mut self, sets: &[CandidateSet]) -> Result<Vec<ResultsMatrix>> {
+        // ---- Phase 1: plan claims and collect distinct cube groups. ----
+        let mut groups: Vec<CubeGroup> = Vec::new();
+        let claim_plans: Vec<ClaimPlan> = sets
+            .iter()
+            .map(|set| self.plan_claim(set, &mut groups))
+            .collect();
+
+        // ---- Phase 2: resolve each group's aggregates: cache hit, own
+        // task, or another worker's in-flight computation. No blocking
+        // here — waits are consumed only after our tasks are submitted,
+        // so concurrent evaluators cannot deadlock on each other.
+        let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(groups.len());
+        let mut tasks: Vec<CubeTask> = Vec::new();
+        let mut handles: Vec<TaskHandle> = Vec::new();
+        for group in &groups {
+            let mut group_slots: Vec<Option<Slot>> = Vec::with_capacity(group.aggs.len());
+            group_slots.resize_with(group.aggs.len(), || None);
+            let mut missing: Vec<MissingAgg> = Vec::new();
+            if let Some(cache) = &self.cache {
+                let keys: Vec<CacheKey> = group
+                    .aggs
+                    .iter()
+                    .map(|(f, c)| CacheKey::new(*f, *c, group.dims.clone()))
+                    .collect();
+                // Atomic multi-key probe: this cube's keys are claimed as
+                // one unit, so concurrent workers can never split its
+                // aggregate set into two executions.
+                for (i, flight) in cache
+                    .flight_batch(&keys, &group.relevant)
+                    .into_iter()
+                    .enumerate()
+                {
+                    match flight {
+                        Flight::Hit(s) => {
+                            self.stats.cubes_cached += 1;
+                            group_slots[i] = Some(Slot::Ready(s));
+                        }
+                        Flight::Compute(guard) => missing.push((i, Some(guard))),
+                        Flight::Wait(w) => {
+                            self.stats.singleflight_waits += 1;
+                            self.stats.tasks_deduped += 1;
+                            group_slots[i] = Some(Slot::Waiting(w));
+                        }
+                    }
+                }
+            } else {
+                missing = (0..group.aggs.len()).map(|i| (i, None)).collect();
+            }
+            if !missing.is_empty() {
+                // Bundle the missing aggregates into tasks. `Wave` packs
+                // everything into one scan; `Canonical` cuts one task per
+                // aggregation column — claims always request a column's
+                // *complete* typing-valid function set (see
+                // `CandidateSet::enumerate`), so those bundles can never
+                // be split or widened by request order, and together with
+                // the canonical literal sets and the atomic probe above
+                // the executed-scan set (and therefore `rows_scanned`)
+                // becomes independent of scheduling: batched runs scan
+                // exactly as many rows as sequential ones.
+                let mut bundles: Vec<(AggColumn, Vec<MissingAgg>)> = Vec::new();
+                for entry in missing {
+                    let col = match self.bundling {
+                        TaskBundling::Wave => AggColumn::Star,
+                        TaskBundling::Canonical => group.aggs[entry.0].1,
+                    };
+                    match bundles.iter_mut().find(|(c, _)| *c == col) {
+                        Some((_, members)) => members.push(entry),
+                        None => bundles.push((col, vec![entry])),
+                    }
+                }
+                for (_, mut members) in bundles {
+                    let cube = CubeQuery {
+                        dims: group.dims.clone(),
+                        relevant: group.relevant.clone(),
+                        aggregates: members.iter().map(|&(i, _)| group.aggs[i]).collect(),
+                    };
+                    let publish = members
+                        .iter_mut()
+                        .enumerate()
+                        .filter_map(|(pos, (i, guard))| {
+                            guard.take().map(|g| (pos, group.aggs[*i].0, g))
+                        })
+                        .collect();
+                    let (task, handle) = CubeTask::new(cube, publish);
+                    let task_idx = tasks.len();
+                    tasks.push(task);
+                    handles.push(handle);
+                    for (pos, (i, _)) in members.iter().enumerate() {
+                        group_slots[*i] = Some(Slot::FromTask(task_idx, pos));
+                    }
+                }
+            }
+            slots.push(
+                group_slots
+                    .into_iter()
+                    .map(|s| s.expect("slot filled"))
+                    .collect(),
+            );
+        }
+
+        // ---- Phase 3: execute the wave. ----
+        match self.scheduler {
+            Some(scheduler) if !tasks.is_empty() => {
+                scheduler.submit(tasks);
+                scheduler.drive(self.db, self.arena, &handles);
+            }
+            _ => run_wave(self.db, self.arena, tasks, &handles, self.threads),
+        }
+
+        // ---- Phase 4: collect own tasks, then wait out foreign flights
+        // (their tasks are submitted, so they make progress; poisoned
+        // flights are retried inline).
+        let mut task_results = Vec::with_capacity(handles.len());
+        for handle in &handles {
+            let result = handle.result()?;
+            self.stats.cubes_executed += 1;
+            self.stats.tasks_executed += 1;
+            self.stats.rows_scanned += result.stats.rows_scanned;
+            task_results.push(result);
+        }
+        let mut resolved: Vec<Vec<CachedSlice>> = Vec::with_capacity(groups.len());
+        for (group, group_slots) in groups.iter().zip(slots) {
+            let mut group_slices = Vec::with_capacity(group_slots.len());
+            for (i, slot) in group_slots.into_iter().enumerate() {
+                let slice = match slot {
+                    Slot::Ready(s) => s,
+                    Slot::FromTask(task_idx, pos) => {
+                        CachedSlice::new(task_results[task_idx].clone(), pos, group.aggs[i].0)
+                    }
+                    Slot::Waiting(w) => self.resolve_wait(w, group, i)?,
+                };
+                group_slices.push(slice);
+            }
+            resolved.push(group_slices);
+        }
+
+        // ---- Phase 5: demultiplex into per-claim result matrices. ----
+        Ok(sets
+            .iter()
+            .zip(&claim_plans)
+            .map(|(set, plan)| self.demux_claim(set, plan, &groups, &resolved))
+            .collect())
+    }
+
+    /// Plan one claim: pair plans, combo groups, and their mapping into the
+    /// document-wide cube groups (inserting new groups as needed).
+    fn plan_claim(&mut self, candidates: &CandidateSet, groups: &mut Vec<CubeGroup>) -> ClaimPlan {
         // Map each aggregate pair to the value aggregate it needs.
         let mut value_aggs: Vec<(AggFunction, AggColumn)> = Vec::new();
         let agg_slot = |aggs: &mut Vec<(AggFunction, AggColumn)>, f: AggFunction, c: AggColumn| {
@@ -186,51 +470,127 @@ impl<'a> Evaluator<'a> {
             .collect();
 
         // Group combos by (sorted) predicate column set.
-        let mut groups: BTreeMap<Vec<u16>, Vec<u32>> = BTreeMap::new();
+        let mut combo_groups: BTreeMap<Vec<u16>, Vec<u32>> = BTreeMap::new();
         for (ci, combo) in candidates.combos.iter().enumerate() {
             let mut cols: Vec<u16> = combo.iter().map(|(c, _)| *c).collect();
             cols.sort_unstable();
-            groups.entry(cols).or_default().push(ci as u32);
+            combo_groups.entry(cols).or_default().push(ci as u32);
         }
 
-        for (cols, combo_ids) in groups {
-            let dims: Vec<ColumnRef> = cols
-                .iter()
-                .map(|&c| self.catalog.predicate_columns[c as usize])
-                .collect();
-            // Document-wide literals per dimension (falling back to the
-            // literals used by this claim when none were declared).
-            let relevant: Vec<Vec<Value>> = cols
-                .iter()
-                .map(|&c| {
-                    let doc_lits = &self.document_literals[c as usize];
-                    let positions: Vec<usize> = if doc_lits.is_empty() {
-                        candidates
-                            .combos
-                            .iter()
-                            .flat_map(|combo| combo.iter())
-                            .filter(|(cc, _)| *cc == c)
-                            .map(|(_, l)| *l as usize)
-                            .collect::<std::collections::BTreeSet<_>>()
+        let claim_groups = combo_groups
+            .into_iter()
+            .map(|(cols, combo_ids)| {
+                let dims: Vec<ColumnRef> = cols
+                    .iter()
+                    .map(|&c| self.catalog.predicate_columns[c as usize])
+                    .collect();
+                // Canonical literals per dimension: the column's full
+                // catalog literal list whenever it fits a cube dimension.
+                // Every claim of every document then requests *identical*
+                // coverage per cache key, which is what makes cube
+                // executions dedupable across concurrent workers with an
+                // exact row count — batched `rows_scanned` equals the
+                // sequential run no matter how the scheduler interleaves
+                // documents. Columns too wide for a cube dimension fall
+                // back to the document-wide literal union (§6.3), and to
+                // this claim's own literals when none were declared.
+                let relevant: Vec<Vec<Value>> = cols
+                    .iter()
+                    .map(|&c| {
+                        let catalog_lits = &self.catalog.literals[c as usize];
+                        if catalog_lits.len() <= CANONICAL_LITERAL_CAP {
+                            return catalog_lits.clone();
+                        }
+                        let doc_lits = &self.document_literals[c as usize];
+                        let positions: Vec<usize> = if doc_lits.is_empty() {
+                            candidates
+                                .combos
+                                .iter()
+                                .flat_map(|combo| combo.iter())
+                                .filter(|(cc, _)| *cc == c)
+                                .map(|(_, l)| *l as usize)
+                                .collect::<std::collections::BTreeSet<_>>()
+                                .into_iter()
+                                .collect()
+                        } else {
+                            doc_lits.clone()
+                        };
+                        positions
                             .into_iter()
+                            .map(|l| self.catalog.literals[c as usize][l].clone())
                             .collect()
-                    } else {
-                        doc_lits.clone()
-                    };
-                    positions
-                        .into_iter()
-                        .map(|l| self.catalog.literals[c as usize][l].clone())
-                        .collect()
-                })
-                .collect();
+                    })
+                    .collect();
 
-            let slices = self.slices_for(&dims, &relevant, &value_aggs)?;
+                // Claims needing the same (dims, literals) cube share one
+                // group — and therefore one task. Dedup is counted in
+                // aggregate-key units (every key this claim would have
+                // probed separately), the same unit the single-flight
+                // path uses, so the counter is comparable across modes.
+                let group = match groups
+                    .iter()
+                    .position(|g| g.cols == cols && g.relevant == relevant)
+                {
+                    Some(idx) => {
+                        self.stats.tasks_deduped += value_aggs.len() as u64;
+                        idx
+                    }
+                    None => {
+                        groups.push(CubeGroup {
+                            cols,
+                            dims,
+                            relevant,
+                            aggs: Vec::new(),
+                        });
+                        groups.len() - 1
+                    }
+                };
+                let slot_map = value_aggs
+                    .iter()
+                    .map(|&(f, c)| agg_slot(&mut groups[group].aggs, f, c))
+                    .collect();
+                ClaimGroup {
+                    group,
+                    combo_ids,
+                    slot_map,
+                }
+            })
+            .collect();
+
+        ClaimPlan {
+            plans,
+            n_value_aggs: value_aggs.len(),
+            claim_groups,
+        }
+    }
+
+    /// Resolve one claim's matrix from the finished cube groups.
+    fn demux_claim(
+        &mut self,
+        candidates: &CandidateSet,
+        plan: &ClaimPlan,
+        groups: &[CubeGroup],
+        resolved: &[Vec<CachedSlice>],
+    ) -> ResultsMatrix {
+        let n_pairs = candidates.agg_pairs.len();
+        let mut matrix = ResultsMatrix::new(candidates.combos.len(), n_pairs);
+        for claim_group in &plan.claim_groups {
+            let group = &groups[claim_group.group];
+            let cols = &group.cols;
+            let dims_len = group.dims.len();
+            // This claim's value-aggregate slices, in claim slot order.
+            debug_assert_eq!(claim_group.slot_map.len(), plan.n_value_aggs);
+            let slices: Vec<&CachedSlice> = claim_group
+                .slot_map
+                .iter()
+                .map(|&g| &resolved[claim_group.group][g])
+                .collect();
 
             // Resolve every combo × pair in this group.
-            for &ci in &combo_ids {
+            for &ci in &claim_group.combo_ids {
                 let combo = &candidates.combos[ci as usize];
-                // Assignment by value, aligned with `dims`.
-                let mut assignment: Vec<Option<Value>> = vec![None; dims.len()];
+                // Assignment by value, aligned with the group's dims.
+                let mut assignment: Vec<Option<Value>> = vec![None; dims_len];
                 // Condition position (first = highest-relevance pair).
                 let mut condition_dim: Option<usize> = None;
                 for (rank, &(c, l)) in combo.iter().enumerate() {
@@ -240,15 +600,15 @@ impl<'a> Evaluator<'a> {
                         condition_dim = Some(d);
                     }
                 }
-                for (pi, plan) in plans.iter().enumerate() {
-                    let value = match plan {
+                for (pi, pair_plan) in plan.plans.iter().enumerate() {
+                    let value = match pair_plan {
                         PairPlan::Direct { slice } => {
                             slices[*slice].lookup(&assignment).ok().flatten()
                         }
                         PairPlan::Percentage { count_slice } => {
-                            let s = &slices[*count_slice];
+                            let s = slices[*count_slice];
                             let num = s.lookup_count(&assignment).ok();
-                            let all: Vec<Option<Value>> = vec![None; dims.len()];
+                            let all: Vec<Option<Value>> = vec![None; dims_len];
                             let den = s.lookup_count(&all).ok();
                             match (num, den) {
                                 (Some(n), Some(d)) => ratio_from_counts(n, d),
@@ -258,9 +618,9 @@ impl<'a> Evaluator<'a> {
                         PairPlan::CondProb { count_slice } => match condition_dim {
                             None => None, // invalid: no condition predicate
                             Some(cd) => {
-                                let s = &slices[*count_slice];
+                                let s = slices[*count_slice];
                                 let num = s.lookup_count(&assignment).ok();
-                                let mut cond: Vec<Option<Value>> = vec![None; dims.len()];
+                                let mut cond: Vec<Option<Value>> = vec![None; dims_len];
                                 cond[cd] = assignment[cd].clone();
                                 let den = s.lookup_count(&cond).ok();
                                 match (num, den) {
@@ -273,58 +633,62 @@ impl<'a> Evaluator<'a> {
                     matrix.set(ci as usize, pi, value);
                 }
             }
-            self.stats.candidates_evaluated += combo_ids.len() as u64 * n_pairs as u64;
+            self.stats.candidates_evaluated += claim_group.combo_ids.len() as u64 * n_pairs as u64;
         }
-        Ok(matrix)
+        matrix
     }
 
-    /// Obtain one slice per value aggregate over the given dimensions,
-    /// from the cache where possible.
-    fn slices_for(
+    /// Wait out another worker's in-flight cube for `group.aggs[agg_idx]`;
+    /// on poison, re-probe and compute inline if the retry wins the guard.
+    fn resolve_wait(
         &mut self,
-        dims: &[ColumnRef],
-        relevant: &[Vec<Value>],
-        value_aggs: &[(AggFunction, AggColumn)],
-    ) -> Result<Vec<CachedSlice>> {
-        let mut out: Vec<Option<CachedSlice>> = vec![None; value_aggs.len()];
-        let mut missing: Vec<usize> = Vec::new();
-        if let Some(cache) = &self.cache {
-            for (i, (f, c)) in value_aggs.iter().enumerate() {
-                let key = CacheKey::new(*f, *c, dims.to_vec());
-                match cache.get(&key, relevant) {
-                    Some(s) => {
-                        self.stats.cubes_cached += 1;
-                        out[i] = Some(s);
-                    }
-                    None => missing.push(i),
+        mut waiter: FlightWaiter,
+        group: &CubeGroup,
+        agg_idx: usize,
+    ) -> Result<CachedSlice> {
+        loop {
+            if let Some(slice) = waiter.wait() {
+                return Ok(slice);
+            }
+            let (f, c) = group.aggs[agg_idx];
+            let key = CacheKey::new(f, c, group.dims.clone());
+            let cache = self.cache.as_ref().expect("waits only exist with a cache");
+            match cache.flight(&key, &group.relevant) {
+                Flight::Hit(s) => return Ok(s),
+                Flight::Wait(w) => {
+                    // Still deduped — just joining the taker-over's flight.
+                    self.stats.singleflight_waits += 1;
+                    self.stats.tasks_deduped += 1;
+                    waiter = w;
+                }
+                Flight::Compute(guard) => {
+                    // The request was booked as deduped when the original
+                    // probe joined the now-poisoned flight; it ends up
+                    // executed after all, so move it back across the
+                    // ledger before counting the execution.
+                    self.stats.tasks_deduped -= 1;
+                    self.stats.singleflight_waits -= 1;
+                    let cube = CubeQuery {
+                        dims: group.dims.clone(),
+                        relevant: group.relevant.clone(),
+                        aggregates: vec![group.aggs[agg_idx]],
+                    };
+                    let (task, handle) = CubeTask::new(cube, vec![(0, f, guard)]);
+                    run_wave(
+                        self.db,
+                        self.arena,
+                        vec![task],
+                        std::slice::from_ref(&handle),
+                        1,
+                    );
+                    let result = handle.result()?;
+                    self.stats.cubes_executed += 1;
+                    self.stats.tasks_executed += 1;
+                    self.stats.rows_scanned += result.stats.rows_scanned;
+                    return Ok(CachedSlice::new(result, 0, f));
                 }
             }
-        } else {
-            missing = (0..value_aggs.len()).collect();
         }
-        if !missing.is_empty() {
-            let cube = CubeQuery {
-                dims: dims.to_vec(),
-                relevant: relevant.to_vec(),
-                aggregates: missing.iter().map(|&i| value_aggs[i]).collect(),
-            };
-            let result = std::sync::Arc::new(cube.execute_in(
-                self.db,
-                &CubeOptions::with_threads(self.threads),
-                self.arena,
-            )?);
-            self.stats.cubes_executed += 1;
-            self.stats.rows_scanned += result.stats.rows_scanned;
-            for (pos, &i) in missing.iter().enumerate() {
-                let (f, c) = value_aggs[i];
-                let slice = CachedSlice::new(result.clone(), pos, f);
-                if let Some(cache) = &self.cache {
-                    cache.put(CacheKey::new(f, c, dims.to_vec()), slice.clone());
-                }
-                out[i] = Some(slice);
-            }
-        }
-        Ok(out.into_iter().map(|s| s.expect("slice filled")).collect())
     }
 }
 
@@ -535,6 +899,202 @@ mod tests {
         assert_eq!(union[0], vec![1, 2]);
         assert!(union[1].is_empty());
         assert_eq!(union[2], vec![0]);
+    }
+
+    /// A cube group's identity: dimensions, relevant literals, aggregates.
+    type GroupSpec = (
+        Vec<ColumnRef>,
+        Vec<Vec<Value>>,
+        Vec<(AggFunction, AggColumn)>,
+    );
+
+    /// The group (dims, literals, aggregates) the evaluator will request
+    /// for [`single_group_set`], mirroring `plan_claim`'s canonicalization:
+    /// the column's full catalog literal list, and the claim's value
+    /// aggregates (one `Count(*)` here).
+    fn canonical_group(cat: &FragmentCatalog) -> GroupSpec {
+        let dims = vec![cat.predicate_columns[0]];
+        let relevant = vec![cat.literals[0].clone()];
+        (dims, relevant, vec![(AggFunction::Count, AggColumn::Star)])
+    }
+
+    /// A candidate set with exactly one combo on predicate column 0 and one
+    /// Count(*) aggregate pair — exactly one cube group.
+    fn single_group_set(cat: &FragmentCatalog) -> CandidateSet {
+        let count_fi = cat
+            .functions
+            .iter()
+            .position(|f| *f == AggFunction::Count)
+            .expect("catalog has Count") as u16;
+        let star_ai = cat
+            .agg_columns
+            .iter()
+            .position(|c| *c == AggColumn::Star)
+            .expect("catalog has *") as u16;
+        CandidateSet {
+            combos: vec![vec![(0u16, 0u16)]],
+            agg_pairs: vec![(count_fi, star_ai)],
+        }
+    }
+
+    /// 8 concurrent evaluators hammering one cube's cache keys, all of
+    /// which are pre-claimed by the test: every evaluator must block on
+    /// the in-flight computation (deterministically — the guards are held
+    /// until all waits are registered), receive the single published cube,
+    /// and produce a bit-identical results matrix without executing
+    /// anything itself.
+    #[test]
+    fn single_flight_stress_eight_workers_share_one_execution() {
+        use agg_relational::{CacheKey, Flight};
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let set = single_group_set(&cat);
+        let (dims, relevant, aggs) = canonical_group(&cat);
+        let keys: Vec<CacheKey> = aggs
+            .iter()
+            .map(|&(f, c)| CacheKey::new(f, c, dims.clone()))
+            .collect();
+        let n_keys = keys.len() as u64;
+        let workers = 8u64;
+
+        // Reference: a solo evaluation over a fresh cache.
+        let mut solo = Evaluator::new(&db, &cat, Some(EvalCache::new()));
+        let expected = solo.evaluate(&set).unwrap();
+
+        let cache = EvalCache::new();
+        // Phase 1: pre-claim every key of the group.
+        let guards: Vec<_> = cache
+            .flight_batch(&keys, &relevant)
+            .into_iter()
+            .map(|f| match f {
+                Flight::Compute(g) => g,
+                other => panic!("expected to win every flight, got {other:?}"),
+            })
+            .collect();
+
+        let results: Vec<(ResultsMatrix, EvalStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let (db, cat, set) = (&db, &cat, &set);
+                    scope.spawn(move || {
+                        // Phase 2: with all guards held, every key probe
+                        // becomes a wait.
+                        let mut e = Evaluator::new(db, cat, Some(cache));
+                        let m = e.evaluate(set).unwrap();
+                        (m, e.stats)
+                    })
+                })
+                .collect();
+            // Phase 3: all 8 evaluators have registered their waits;
+            // compute the cube once and publish every slice.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            while cache.stats().singleflight_waits() < workers * n_keys {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "evaluators never registered their waits"
+                );
+                std::thread::yield_now();
+            }
+            let cube = CubeQuery {
+                dims: dims.clone(),
+                relevant: relevant.clone(),
+                aggregates: aggs.clone(),
+            };
+            let result = std::sync::Arc::new(cube.execute(&db).unwrap());
+            for (pos, guard) in guards.into_iter().enumerate() {
+                guard.fulfill(CachedSlice::new(result.clone(), pos, aggs[pos].0));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (matrix, stats) in &results {
+            // Bit-identical verdict input: every worker read the one
+            // published cube.
+            assert_eq!(matrix.len(), expected.len());
+            for ci in 0..set.combos.len() {
+                for pi in 0..set.agg_pairs.len() {
+                    assert_eq!(matrix.get(ci, pi), expected.get(ci, pi));
+                }
+            }
+            assert_eq!(stats.cubes_executed, 0, "nobody re-executed the cube");
+            assert_eq!(stats.tasks_executed, 0);
+            assert_eq!(stats.singleflight_waits, n_keys);
+            assert_eq!(stats.tasks_deduped, n_keys);
+            assert!(stats.tasks_deduped > 0);
+        }
+        // The cube was computed exactly once: one resident slice per key.
+        assert_eq!(cache.len(), keys.len());
+    }
+
+    /// Dropping the pre-claimed guards poisons every flight: the blocked
+    /// evaluators must wake, retry, recompute among themselves, and still
+    /// produce correct, identical matrices.
+    #[test]
+    fn single_flight_poisoned_flights_recover_with_correct_results() {
+        use agg_relational::{CacheKey, Flight};
+        let db = nfl_db();
+        let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
+        let set = single_group_set(&cat);
+        let (dims, relevant, aggs) = canonical_group(&cat);
+        let keys: Vec<CacheKey> = aggs
+            .iter()
+            .map(|&(f, c)| CacheKey::new(f, c, dims.clone()))
+            .collect();
+        let n_keys = keys.len() as u64;
+        let workers = 8u64;
+
+        let mut solo = Evaluator::new(&db, &cat, Some(EvalCache::new()));
+        let expected = solo.evaluate(&set).unwrap();
+
+        let cache = EvalCache::new();
+        let guards: Vec<_> = cache
+            .flight_batch(&keys, &relevant)
+            .into_iter()
+            .map(|f| match f {
+                Flight::Compute(g) => g,
+                other => panic!("expected to win every flight, got {other:?}"),
+            })
+            .collect();
+
+        let results: Vec<(ResultsMatrix, EvalStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let (db, cat, set) = (&db, &cat, &set);
+                    scope.spawn(move || {
+                        let mut e = Evaluator::new(db, cat, Some(cache));
+                        let m = e.evaluate(set).unwrap();
+                        (m, e.stats)
+                    })
+                })
+                .collect();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            while cache.stats().singleflight_waits() < workers * n_keys {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "evaluators never registered their waits"
+                );
+                std::thread::yield_now();
+            }
+            // The "computing" thread fails: every flight is poisoned.
+            drop(guards);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut recomputed = 0u64;
+        for (matrix, stats) in &results {
+            for ci in 0..set.combos.len() {
+                for pi in 0..set.agg_pairs.len() {
+                    assert_eq!(matrix.get(ci, pi), expected.get(ci, pi));
+                }
+            }
+            recomputed += stats.cubes_executed;
+        }
+        assert!(
+            recomputed >= 1,
+            "someone must have taken over the poisoned computation"
+        );
     }
 
     #[test]

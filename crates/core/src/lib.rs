@@ -47,6 +47,7 @@ pub mod textutil;
 
 pub use candidates::{Candidate, CandidateSet};
 pub use config::{CheckerConfig, ContextConfig, EvalStrategy, ModelConfig, ScopeConfig};
+pub use evaluate::{EvalStats, Evaluator, ResultsMatrix, TaskBundling};
 pub use fragments::{CatalogConfig, FragmentCatalog};
 pub use keywords::{claim_keywords, WeightedKeyword};
 pub use matching::{match_claim, ClaimScores};

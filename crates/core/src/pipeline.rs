@@ -3,7 +3,7 @@
 use crate::candidates::CandidateSet;
 use crate::config::{CheckerConfig, EvalStrategy};
 use crate::evaluate::{
-    document_literal_union, evaluate_naive, EvalStats, Evaluator, ResultsMatrix,
+    document_literal_union, evaluate_naive, EvalStats, Evaluator, ResultsMatrix, TaskBundling,
 };
 use crate::fragments::{CatalogConfig, FragmentCatalog};
 use crate::keywords::claim_keywords;
@@ -14,7 +14,8 @@ use agg_nlp::claims::{detect_claims, ClaimMention};
 use agg_nlp::structure::{parse_document, Document};
 use agg_nlp::synonyms::SynonymDict;
 use agg_relational::{
-    CostModel, Database, EvalCache, GridArena, SimpleAggregateQuery, DEFAULT_CACHE_SHARDS,
+    CostModel, CubeScheduler, Database, EvalCache, GridArena, SimpleAggregateQuery,
+    DEFAULT_CACHE_SHARDS,
 };
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -99,6 +100,13 @@ pub struct RunStats {
     pub cubes_executed: u64,
     pub cubes_cached: u64,
     pub rows_scanned: u64,
+    /// Cube tasks this document submitted to the scheduler and saw run.
+    pub tasks_executed: u64,
+    /// Cube requests resolved without a new execution (merged across
+    /// claims at planning time, or absorbed by single-flight).
+    pub tasks_deduped: u64,
+    /// Requests that blocked on another worker's in-flight cube.
+    pub singleflight_waits: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Wall-clock time inside query evaluation only.
@@ -182,6 +190,28 @@ impl VerificationReport {
     }
 }
 
+/// How one document's evaluation work is executed — the plumbing that
+/// lets solo and batched verification share `check_document_with` while
+/// drawing parallelism from different places.
+struct ExecContext<'e> {
+    /// Dense-grid buffer pool persisted across this caller's documents.
+    arena: Option<&'e GridArena>,
+    /// Shared cube-task scheduler (batch mode). `None` = each evaluation
+    /// wave spawns its own scoped pool of `threads` workers.
+    scheduler: Option<&'e CubeScheduler>,
+    /// Worker threads for claim scoring and (without a shared scheduler)
+    /// per-wave cube execution. Batch workers pass 1: the shared pool
+    /// already provides the parallelism, so per-document thread fan-out
+    /// would only oversubscribe the machine.
+    threads: usize,
+    /// How missing aggregates bundle into cube tasks. Solo verification
+    /// uses `Wave` (fewest scans); batched verification uses `Canonical`
+    /// at every worker count so its executed-scan set — and therefore
+    /// `rows_scanned` — is identical from 1 worker to N (the CI dedup
+    /// gate). Bundling never changes results.
+    bundling: TaskBundling,
+}
+
 /// The AggChecker: verify text summaries of a relational data set.
 pub struct AggChecker {
     db: Database,
@@ -247,18 +277,24 @@ impl AggChecker {
 
     /// Verify a parsed document.
     pub fn check_document(&self, doc: &Document) -> Result<VerificationReport, CheckerError> {
-        self.check_document_with(doc, None)
+        self.check_document_with(
+            doc,
+            &ExecContext {
+                arena: None,
+                scheduler: None,
+                threads: self.config.threads,
+                bundling: TaskBundling::Wave,
+            },
+        )
     }
 
-    /// Verify a parsed document with an optional dense-grid arena
-    /// persisted across the caller's documents (batch workers reuse one
-    /// arena for their whole stream). Always runs under `self.config` —
-    /// batch and solo runs must share every knob, or their reports could
-    /// diverge.
+    /// Verify a parsed document under an explicit execution context (see
+    /// [`ExecContext`]). Always runs under `self.config` — batch and solo
+    /// runs must share every knob, or their reports could diverge.
     fn check_document_with(
         &self,
         doc: &Document,
-        arena: Option<&GridArena>,
+        ctx: &ExecContext<'_>,
     ) -> Result<VerificationReport, CheckerError> {
         let started = Instant::now();
         let cfg = &self.config;
@@ -349,15 +385,18 @@ impl AggChecker {
                     let cache =
                         (cfg.strategy == EvalStrategy::MergedCached).then(|| self.cache.clone());
                     let mut evaluator = Evaluator::new(&self.db, &self.catalog, cache);
-                    evaluator.set_threads(cfg.threads);
-                    if let Some(arena) = arena {
+                    evaluator.set_threads(ctx.threads);
+                    evaluator.set_bundling(ctx.bundling);
+                    if let Some(arena) = ctx.arena {
                         evaluator.set_arena(arena);
                     }
-                    evaluator.set_document_literals(doc_literals);
-                    let mut out = Vec::with_capacity(n);
-                    for set in &candidate_sets {
-                        out.push(evaluator.evaluate(set)?);
+                    if let Some(scheduler) = ctx.scheduler {
+                        evaluator.set_scheduler(scheduler);
                     }
+                    evaluator.set_document_literals(doc_literals);
+                    // One wave: every cube of every claim is planned,
+                    // deduplicated, and scheduled together.
+                    let out = evaluator.evaluate_all(&candidate_sets)?;
                     eval_stats.merge(&evaluator.stats);
                     out
                 }
@@ -365,8 +404,14 @@ impl AggChecker {
             query_time += eval_started.elapsed();
 
             // E-step: claim distributions (parallel when configured).
-            let distributions =
-                self.score_all(&claims, &scores, &candidate_sets, &results, theta_opt);
+            let distributions = self.score_all(
+                &claims,
+                &scores,
+                &candidate_sets,
+                &results,
+                theta_opt,
+                ctx.threads,
+            );
 
             // M-step.
             let converged = if cfg.model.use_priors {
@@ -411,6 +456,9 @@ impl AggChecker {
             cubes_executed: eval_stats.cubes_executed,
             cubes_cached: eval_stats.cubes_cached,
             rows_scanned: eval_stats.rows_scanned,
+            tasks_executed: eval_stats.tasks_executed,
+            tasks_deduped: eval_stats.tasks_deduped,
+            singleflight_waits: eval_stats.singleflight_waits,
             elapsed: started.elapsed(),
             query_time,
             candidate_space_log10: self.catalog.candidate_space_log10(),
@@ -421,7 +469,11 @@ impl AggChecker {
         })
     }
 
-    /// Score all claims, chunked over worker threads when configured.
+    /// Score all claims, chunked over `threads` workers. Chunking never
+    /// changes per-claim results — each distribution is computed
+    /// independently — so batch workers score with `threads = 1` (the
+    /// pool already provides document-level parallelism) and still match
+    /// solo runs exactly.
     fn score_all(
         &self,
         claims: &[ClaimMention],
@@ -429,6 +481,7 @@ impl AggChecker {
         candidate_sets: &[CandidateSet],
         results: &[ResultsMatrix],
         theta: Option<&Theta>,
+        threads: usize,
     ) -> Vec<ClaimDistribution> {
         let cfg = &self.config;
         let work = |i: usize| {
@@ -442,10 +495,10 @@ impl AggChecker {
                 cfg,
             )
         };
-        if cfg.threads <= 1 || claims.len() < 2 {
+        if threads <= 1 || claims.len() < 2 {
             return (0..claims.len()).map(work).collect();
         }
-        let n_threads = cfg.threads.min(claims.len());
+        let n_threads = threads.min(claims.len());
         let mut out: Vec<Option<ClaimDistribution>> = vec![None; claims.len()];
         std::thread::scope(|s| {
             for (t, chunk) in out.chunks_mut(claims.len().div_ceil(n_threads)).enumerate() {
@@ -514,22 +567,28 @@ impl AggChecker {
 /// [`EvalCache`] (the Scrutinizer deployment shape — an organization's
 /// document stream over one fact base).
 ///
-/// Work is scheduled document-at-a-time over a scoped-thread worker pool of
-/// [`CheckerConfig::threads`] workers; each worker pulls the next unclaimed
-/// document from a shared queue, keeps one [`GridArena`] for its whole
-/// stream (dense cube grids are reused across documents instead of
-/// reallocated per cube), and fills the same sharded cache, so a cube slice
-/// computed for one document serves every later claim of any document.
-/// Each document is still evaluated with the full configured thread count,
-/// so its cube scans partition exactly as in a solo run.
+/// All work drains through **one** scoped-thread pool of
+/// [`CheckerConfig::threads`] workers sharing a single [`CubeScheduler`]:
+/// a worker pulls the next unclaimed document from a shared queue and
+/// drives it, submitting every cube of every claim as tasks to the shared
+/// scheduler; while its own tasks are pending it helps execute *other*
+/// documents' tasks, and once the document queue is empty it keeps
+/// draining cube tasks until the batch closes. Each worker keeps one
+/// [`GridArena`] for every cube it executes (dense grids are reused
+/// instead of reallocated), and all workers fill the same sharded cache —
+/// with **single-flight**, so N workers missing the same cube key execute
+/// it exactly once: total `rows_scanned` at any worker count equals the
+/// 1-worker run (the CI dedup gate asserts this).
 ///
 /// Reports match per-document [`AggChecker::check_document`] runs:
 /// batching changes scheduling and reuse, never verdicts or query
-/// rankings. One caveat inherent to cache reuse (warm solo caches share
-/// it): a floating-point Sum/Avg served from a wider cached slice can
-/// differ from a cold evaluation in the last ulp, because rollup merge
-/// order follows the slice's literal partition. Count-like aggregates and
-/// integer-exact data — the paper's workload — are bit-identical.
+/// rankings. Cube tasks always scan sequentially, so f64 accumulation
+/// order is identical across worker counts. One caveat inherent to cache
+/// reuse (warm solo caches share it): a floating-point Sum/Avg served
+/// from a wider cached slice can differ from a cold evaluation in the
+/// last ulp, because rollup merge order follows the slice's literal
+/// partition. Count-like aggregates and integer-exact data — the paper's
+/// workload — are bit-identical.
 pub struct BatchVerifier {
     checker: AggChecker,
 }
@@ -576,50 +635,71 @@ impl BatchVerifier {
         if docs.is_empty() {
             return Ok(Vec::new());
         }
-        // Workers run each document under the checker's own config: every
-        // document keeps the configured intra-document thread count, so
-        // cube-scan partitioning (and therefore f64 merge order) matches a
-        // solo `check_document` run exactly — splitting the thread budget
-        // could drift batched Sum/Avg results in the last ulp on relations
-        // large enough to scan in parallel. Transient oversubscription is
-        // bounded by the executor's hardware clamp and costs only time,
-        // never results.
+        // One pool: `threads` workers in total, sharing one cube-task
+        // scheduler. This replaces the old threads-per-document × workers
+        // split — a document's cubes run wherever a worker is idle, so
+        // small machines are never oversubscribed and big ones keep every
+        // worker busy even when one document dominates the tail.
         let workers = self.checker.config.threads.max(1).min(docs.len());
 
         if workers <= 1 {
             let arena = GridArena::new();
+            let ctx = ExecContext {
+                arena: Some(&arena),
+                scheduler: None,
+                threads: self.checker.config.threads,
+                bundling: TaskBundling::Canonical,
+            };
             return docs
                 .iter()
-                .map(|doc| self.checker.check_document_with(doc, Some(&arena)))
+                .map(|doc| self.checker.check_document_with(doc, &ctx))
                 .collect();
         }
 
+        let scheduler = CubeScheduler::new();
         let next = AtomicUsize::new(0);
         let failed = std::sync::atomic::AtomicBool::new(false);
+        // Workers still driving a document (and therefore still able to
+        // submit cube tasks); the last one out closes the scheduler.
+        let drivers = AtomicUsize::new(workers);
         let mut results: Vec<Option<VerificationReport>> = Vec::new();
         results.resize_with(docs.len(), || None);
         let collected: Vec<Vec<(usize, Result<VerificationReport, CheckerError>)>> =
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
-                        let (next, failed) = (&next, &failed);
-                        let checker = &self.checker;
+                        let (next, failed, drivers) = (&next, &failed, &drivers);
+                        let (checker, scheduler) = (&self.checker, &scheduler);
                         s.spawn(move || {
-                            // One arena per worker, shared by every document
-                            // this worker verifies.
+                            // One arena per worker, shared by every cube
+                            // task this worker executes.
                             let arena = GridArena::new();
+                            let ctx = ExecContext {
+                                arena: Some(&arena),
+                                scheduler: Some(scheduler),
+                                threads: 1,
+                                bundling: TaskBundling::Canonical,
+                            };
                             let mut out = Vec::new();
                             while !failed.load(Ordering::Relaxed) {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= docs.len() {
                                     break;
                                 }
-                                let result = checker.check_document_with(&docs[i], Some(&arena));
+                                let result = checker.check_document_with(&docs[i], &ctx);
                                 if result.is_err() {
                                     failed.store(true, Ordering::Relaxed);
                                 }
                                 out.push((i, result));
                             }
+                            // No more documents for this worker: close the
+                            // scheduler if it is the last driver, then keep
+                            // helping with other documents' cube tasks
+                            // until the batch is done.
+                            if drivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                scheduler.close();
+                            }
+                            scheduler.run_worker(checker.db(), Some(&arena));
                             out
                         })
                     })
@@ -940,6 +1020,52 @@ Three were for repeated substance abuse, one was for gambling.</p>
         let entries_before = stats.entries();
         batch.verify_texts(&texts).unwrap();
         assert_eq!(batch.checker().cache().stats().entries(), entries_before);
+    }
+
+    /// The dedup invariant behind the CI gate, at unit-test scale: the
+    /// batched pipeline scans *exactly* as many rows at any worker count
+    /// as at one worker (single-flight + canonical cube scope make the
+    /// execution set order-independent), with bit-identical reports.
+    #[test]
+    fn single_flight_keeps_batch_rows_scanned_exact() {
+        let db = nfl_db();
+        let wrong = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were seven previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+        let texts = [
+            ARTICLE, wrong, ARTICLE, wrong, ARTICLE, ARTICLE, wrong, ARTICLE,
+        ];
+        let run = |workers: usize| {
+            let cfg = CheckerConfig {
+                threads: workers,
+                ..CheckerConfig::default()
+            };
+            let batch = BatchVerifier::new(db.clone(), cfg).unwrap();
+            let reports = batch.verify_texts(&texts).unwrap();
+            let rows: u64 = reports.iter().map(|r| r.stats.rows_scanned).sum();
+            let deduped: u64 = reports.iter().map(|r| r.stats.tasks_deduped).sum();
+            let fps: Vec<String> = reports.iter().map(|r| r.content_fingerprint()).collect();
+            (rows, deduped, fps)
+        };
+        let (rows_1w, deduped_1w, fps_1w) = run(1);
+        assert!(rows_1w > 0);
+        // Claims of one document share cube groups, so dedup is visible
+        // even sequentially.
+        assert!(deduped_1w > 0);
+        for workers in [2usize, 4, 8] {
+            let (rows, deduped, fps) = run(workers);
+            assert_eq!(
+                rows, rows_1w,
+                "workers={workers}: duplicated or lost cube execution"
+            );
+            assert!(deduped >= deduped_1w, "workers={workers}");
+            assert_eq!(
+                fps, fps_1w,
+                "workers={workers}: reports must be bit-identical"
+            );
+        }
     }
 
     #[test]

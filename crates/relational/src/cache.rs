@@ -17,6 +17,23 @@
 //! lock. Every shard keeps its own lock-free hit/miss/eviction counters;
 //! [`EvalCache::stats`] assembles a consistent-enough snapshot without
 //! stopping writers.
+//!
+//! # Single-flight
+//!
+//! A cache miss is not just a miss: with many workers evaluating claims
+//! concurrently, N workers can miss the *same* key at the same time and
+//! each execute the same merged cube — the duplicate `rows_scanned` the
+//! batched pipeline used to show at 4 workers. [`EvalCache::flight`] closes
+//! that hole with a per-key **in-flight table**: the first requester
+//! receives a [`FlightGuard`] (the right *and duty* to compute), later
+//! requesters whose literal needs are covered by the in-flight computation
+//! receive a [`FlightWaiter`] and block on its condition variable until the
+//! guard publishes the finished [`CachedSlice`]. A guard dropped without
+//! publishing (execution error, panic during unwinding) *poisons* the
+//! flight: waiters wake with `None` and retry the probe, so one failed
+//! computation never wedges the batch. Requests whose literal sets are not
+//! covered by the in-flight computation bypass the latch and compute their
+//! own slice — exactly what a warm sequential run would have done.
 
 use crate::cube::{CubeResult, DimSel};
 use crate::database::ColumnRef;
@@ -27,7 +44,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Cache key: the paper's chosen indexing granularity.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -150,6 +167,9 @@ pub struct ShardStats {
     pub evictions: u64,
     /// Entries currently resident in the shard.
     pub entries: u64,
+    /// Misses that joined another requester's in-flight computation via
+    /// [`EvalCache::flight`] instead of executing their own cube.
+    pub singleflight_waits: u64,
 }
 
 /// A point-in-time snapshot of the whole cache's counters, per shard.
@@ -178,6 +198,12 @@ impl CacheStats {
         self.shards.iter().map(|s| s.entries).sum()
     }
 
+    pub fn singleflight_waits(&self) -> u64 {
+        self.shards.iter().map(|s| s.singleflight_waits).sum()
+    }
+
+    /// Fraction of lookups served from resident slices. 0.0 (not NaN) when
+    /// there have been no lookups at all.
     pub fn hit_rate(&self) -> f64 {
         let h = self.hits() as f64;
         let m = self.misses() as f64;
@@ -185,6 +211,17 @@ impl CacheStats {
             0.0
         } else {
             h / (h + m)
+        }
+    }
+
+    /// Fraction of misses that were absorbed by single-flight instead of
+    /// executing a duplicate cube. 0.0 (not NaN) when there were no misses.
+    pub fn dedup_rate(&self) -> f64 {
+        let m = self.misses() as f64;
+        if m == 0.0 {
+            0.0
+        } else {
+            self.singleflight_waits() as f64 / m
         }
     }
 }
@@ -199,9 +236,14 @@ pub const SLICES_PER_KEY: usize = 4;
 #[derive(Debug, Default)]
 struct Shard {
     entries: RwLock<HashMap<CacheKey, Vec<CachedSlice>>>,
+    /// In-flight computations for keys of this shard (single-flight). A key
+    /// may carry several flights with non-nested literal coverage, exactly
+    /// like resident slices.
+    inflight: StdMutex<HashMap<CacheKey, Vec<Arc<InFlight>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    singleflight_waits: AtomicU64,
 }
 
 impl Shard {
@@ -211,6 +253,166 @@ impl Shard {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.entries.read().values().map(|v| v.len() as u64).sum(),
+            singleflight_waits: self.singleflight_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Find a resident slice covering `needed` without touching counters.
+    fn lookup(&self, key: &CacheKey, needed: &[Vec<Value>]) -> Option<CachedSlice> {
+        self.entries
+            .read()
+            .get(key)
+            .and_then(|slices| slices.iter().find(|s| s.covers(needed)))
+            .cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight
+// ---------------------------------------------------------------------------
+
+/// Does `have` (one literal list per dimension) include every literal of
+/// `needed`? The flight-table analogue of [`CachedSlice::covers`].
+fn covers(have: &[Vec<Value>], needed: &[Vec<Value>]) -> bool {
+    have.len() == needed.len()
+        && needed
+            .iter()
+            .zip(have)
+            .all(|(n, h)| n.iter().all(|lit| h.contains(lit)))
+}
+
+#[derive(Debug)]
+enum FlightState {
+    /// The owning [`FlightGuard`] is still computing.
+    Pending,
+    /// The computation finished; waiters take the slice.
+    Done(CachedSlice),
+    /// The guard was dropped without publishing — waiters must retry.
+    Poisoned,
+}
+
+/// One in-flight computation: the literal coverage it will publish, plus a
+/// latch waiters block on. Uses `std::sync` directly because the offline
+/// `parking_lot` shim has no condition variable.
+#[derive(Debug)]
+struct InFlight {
+    relevant: Vec<Vec<Value>>,
+    state: StdMutex<FlightState>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn settle(&self, state: FlightState) {
+        *self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = state;
+        self.cv.notify_all();
+    }
+}
+
+/// The outcome of a single-flight probe ([`EvalCache::flight`]).
+#[derive(Debug)]
+pub enum Flight {
+    /// A resident slice already covers the request.
+    Hit(CachedSlice),
+    /// The caller won the right — and the duty — to compute this key.
+    /// [`FlightGuard::fulfill`] publishes the slice to the cache and to
+    /// every waiter; dropping the guard unpublished poisons the flight.
+    Compute(FlightGuard),
+    /// Another thread is computing a slice covering this request; block on
+    /// [`FlightWaiter::wait`] for it.
+    Wait(FlightWaiter),
+}
+
+/// Exclusive right to compute one cache key (see [`Flight::Compute`]).
+#[derive(Debug)]
+pub struct FlightGuard {
+    cache: EvalCache,
+    key: CacheKey,
+    flight: Arc<InFlight>,
+    fulfilled: bool,
+}
+
+impl FlightGuard {
+    pub fn key(&self) -> &CacheKey {
+        &self.key
+    }
+
+    /// The literal coverage this flight promised (the `needed` sets of the
+    /// original probe); the published slice must cover it.
+    pub fn relevant(&self) -> &[Vec<Value>] {
+        &self.flight.relevant
+    }
+
+    /// Publish the computed slice: store it in the cache, hand it to every
+    /// waiter, and retire the flight.
+    pub fn fulfill(mut self, slice: CachedSlice) {
+        debug_assert!(
+            slice.covers(&self.flight.relevant),
+            "published slice must cover the flight's promised literals"
+        );
+        self.cache.put(self.key.clone(), slice.clone());
+        self.retire();
+        self.flight.settle(FlightState::Done(slice));
+    }
+
+    /// Remove this flight from the shard's in-flight table.
+    fn retire(&mut self) {
+        self.fulfilled = true;
+        let shard = &self.cache.inner.shards[self.cache.shard_of(&self.key)];
+        let mut inflight = shard
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(flights) = inflight.get_mut(&self.key) {
+            flights.retain(|f| !Arc::ptr_eq(f, &self.flight));
+            if flights.is_empty() {
+                inflight.remove(&self.key);
+            }
+        }
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            // Computation abandoned (error or unwinding): poison so waiters
+            // wake up and retry instead of blocking forever.
+            self.retire();
+            self.flight.settle(FlightState::Poisoned);
+        }
+    }
+}
+
+/// Handle to another thread's in-flight computation (see [`Flight::Wait`]).
+#[derive(Debug)]
+pub struct FlightWaiter {
+    flight: Arc<InFlight>,
+}
+
+impl FlightWaiter {
+    /// Block until the computing thread settles the flight. Returns the
+    /// published slice, or `None` when the flight was poisoned — re-probe
+    /// with [`EvalCache::flight`] and compute if the retry wins the guard.
+    pub fn wait(self) -> Option<CachedSlice> {
+        let mut state = self
+            .flight
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self
+                        .flight
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                FlightState::Done(slice) => return Some(slice.clone()),
+                FlightState::Poisoned => return None,
+            }
         }
     }
 }
@@ -229,6 +431,12 @@ pub struct EvalCache {
 #[derive(Debug)]
 struct EvalCacheInner {
     shards: Box<[Shard]>,
+    /// Serializes multi-key probes ([`EvalCache::flight_batch`]) so the
+    /// keys of one cube are claimed atomically — two workers can never
+    /// split one cube's aggregate set into two executions by interleaving
+    /// their claims. Held only while probing (never while computing), so
+    /// contention is a few map lookups.
+    planning: StdMutex<()>,
 }
 
 impl Default for EvalCache {
@@ -249,6 +457,7 @@ impl EvalCache {
         EvalCache {
             inner: Arc::new(EvalCacheInner {
                 shards: (0..n).map(|_| Shard::default()).collect(),
+                planning: StdMutex::new(()),
             }),
         }
     }
@@ -285,6 +494,75 @@ impl EvalCache {
                 None
             }
         }
+    }
+
+    /// Single-flight probe: fetch a covering slice, join a covering
+    /// in-flight computation, or win the right to compute the key.
+    ///
+    /// Counts one hit ([`Flight::Hit`]) or one miss ([`Flight::Compute`] /
+    /// [`Flight::Wait`]); a wait additionally bumps
+    /// [`ShardStats::singleflight_waits`]. An in-flight computation is only
+    /// joined when its promised literal coverage includes `needed`;
+    /// otherwise the caller computes its own slice, exactly as a warm
+    /// sequential run would have.
+    pub fn flight(&self, key: &CacheKey, needed: &[Vec<Value>]) -> Flight {
+        let shard = &self.inner.shards[self.shard_of(key)];
+        if let Some(slice) = shard.lookup(key, needed) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return Flight::Hit(slice);
+        }
+        let mut inflight = shard
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Re-check residency under the in-flight lock: a computer may have
+        // published (and retired its flight) between the read above and
+        // this lock — without the re-check we would register a flight no
+        // one else can see progress on.
+        if let Some(slice) = shard.lookup(key, needed) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return Flight::Hit(slice);
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(flight) = inflight
+            .get(key)
+            .and_then(|flights| flights.iter().find(|f| covers(&f.relevant, needed)))
+        {
+            shard.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+            return Flight::Wait(FlightWaiter {
+                flight: flight.clone(),
+            });
+        }
+        let flight = Arc::new(InFlight {
+            relevant: needed.to_vec(),
+            state: StdMutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        });
+        inflight
+            .entry(key.clone())
+            .or_default()
+            .push(flight.clone());
+        Flight::Compute(FlightGuard {
+            cache: self.clone(),
+            key: key.clone(),
+            flight,
+            fulfilled: false,
+        })
+    }
+
+    /// [`EvalCache::flight`] for every key of one cube, atomically: the
+    /// whole probe runs under the cache's planning lock, so concurrent
+    /// requesters of the same cube either win *all* of its unserved keys
+    /// or wait/hit on *all* of them — the aggregate set of one cube can
+    /// never be split across two executions by claim interleaving. All
+    /// keys share `needed` (one cube has one literal coverage).
+    pub fn flight_batch(&self, keys: &[CacheKey], needed: &[Vec<Value>]) -> Vec<Flight> {
+        let _planning = self
+            .inner
+            .planning
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        keys.iter().map(|key| self.flight(key, needed)).collect()
     }
 
     /// Store a slice. Coverage-preserving: a resident slice that already
@@ -559,6 +837,144 @@ mod tests {
                 shard.entries
             );
         }
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_without_lookups() {
+        let stats = EvalCache::new().stats();
+        assert_eq!(stats.hits(), 0);
+        assert_eq!(stats.misses(), 0);
+        assert_eq!(stats.hit_rate(), 0.0, "no lookups must read 0.0, not NaN");
+        assert_eq!(stats.dedup_rate(), 0.0, "no misses must read 0.0, not NaN");
+        assert!(stats.hit_rate().is_finite());
+        assert!(stats.dedup_rate().is_finite());
+    }
+
+    #[test]
+    fn flight_hit_compute_and_publish() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let needed = vec![vec![Value::from("a")]];
+
+        let guard = match cache.flight(&key, &needed) {
+            Flight::Compute(g) => g,
+            other => panic!("first probe must win the flight, got {other:?}"),
+        };
+        assert_eq!(guard.key(), &key);
+        assert_eq!(guard.relevant(), &needed[..]);
+        // A second probe from the same literal set joins the flight.
+        let waiter = match cache.flight(&key, &needed) {
+            Flight::Wait(w) => w,
+            other => panic!("second probe must wait, got {other:?}"),
+        };
+        // A probe needing literals the flight does not cover computes its
+        // own slice instead of joining.
+        let broader = vec![vec![Value::from("a"), Value::from("b")]];
+        let own = match cache.flight(&key, &broader) {
+            Flight::Compute(g) => g,
+            other => panic!("non-covered probe must compute, got {other:?}"),
+        };
+        drop(own); // poisoned, nobody waits on it
+
+        guard.fulfill(slice(&db, vec!["a".into()]));
+        assert_eq!(
+            waiter.wait().unwrap().lookup(&[Some("a".into())]),
+            Ok(Some(2.0))
+        );
+        // The published slice is resident: later probes are plain hits.
+        assert!(matches!(cache.flight(&key, &needed), Flight::Hit(_)));
+        let stats = cache.stats();
+        assert_eq!(stats.singleflight_waits(), 1);
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(stats.misses(), 3);
+    }
+
+    /// 8 threads hammering one key: the first claims the flight while the
+    /// other 7 deterministically join it (the guard is held until every
+    /// waiter has registered), so the cube is computed exactly once.
+    #[test]
+    fn single_flight_executes_once_under_contention() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let needed = vec![vec![Value::from("a")]];
+        let waiters = 7usize;
+
+        // Phase 1: the main thread wins the flight and holds it.
+        let guard = match cache.flight(&key, &needed) {
+            Flight::Compute(g) => g,
+            other => panic!("expected to win the flight, got {other:?}"),
+        };
+
+        let results: Vec<Option<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..waiters)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let (key, needed) = (&key, &needed);
+                    scope.spawn(move || {
+                        // Phase 2: with the guard held, every probe must
+                        // become a waiter — no hit, no second computer.
+                        let w = match cache.flight(key, needed) {
+                            Flight::Wait(w) => w,
+                            other => panic!("expected Wait, got {other:?}"),
+                        };
+                        w.wait()
+                            .expect("flight fulfilled")
+                            .lookup(&[Some("a".into())])
+                            .unwrap()
+                    })
+                })
+                .collect();
+            // Phase 3: all waiters registered (counted); publish once.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while cache.stats().singleflight_waits() < waiters as u64 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "waiters never registered"
+                );
+                std::thread::yield_now();
+            }
+            guard.fulfill(slice(&db, vec!["a".into()]));
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Every waiter read the one published slice, bit-identically.
+        assert!(results.iter().all(|r| *r == Some(2.0)));
+        let stats = cache.stats();
+        assert_eq!(stats.singleflight_waits(), waiters as u64);
+        assert_eq!(stats.misses(), 1 + waiters as u64, "one computer, 7 waits");
+        assert_eq!(stats.entries(), 1, "the cube was computed exactly once");
+    }
+
+    /// A dropped guard poisons the flight: waiters wake with `None`, retry,
+    /// and one of them wins the recomputation.
+    #[test]
+    fn single_flight_poisoned_flight_is_retryable() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let needed = vec![vec![Value::from("a")]];
+
+        let guard = match cache.flight(&key, &needed) {
+            Flight::Compute(g) => g,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        let waiter = match cache.flight(&key, &needed) {
+            Flight::Wait(w) => w,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        drop(guard); // computation failed
+        assert!(waiter.wait().is_none(), "poisoned flight yields None");
+        // The retry wins a fresh flight and completes normally.
+        match cache.flight(&key, &needed) {
+            Flight::Compute(g) => g.fulfill(slice(&db, vec!["a".into()])),
+            other => panic!("retry must win the flight, got {other:?}"),
+        }
+        assert!(matches!(cache.flight(&key, &needed), Flight::Hit(_)));
     }
 
     /// N threads hammering one cache with overlapping keys: no update may

@@ -28,14 +28,18 @@
 //! it is stable across runs and row counts; [`CubeStats::grid_mode`] records
 //! which path ran for the Table 6 instrumentation.
 //!
-//! The scan parallelizes over row partitions with scoped threads (one grid
-//! per thread, merged via [`Accumulator::merge`]); the
-//! `CheckerConfig::threads` knob reaches here through
-//! `core::evaluate::Evaluator::set_threads`. The rollup into all
-//! `2^|dims|` dimension subsets is dimension-at-a-time — every group is
-//! merged into at most `|dims|` coarser groups, i.e. O(d · groups) merges
-//! with no intermediate clones (the seed implementation cloned every finest
-//! group `2^d − 1` times).
+//! The scan can parallelize over row partitions with scoped threads (one
+//! grid per thread, merged via [`Accumulator::merge`]) through
+//! [`CubeOptions::threads`] — used by direct cube callers and the
+//! `bench_cube` kernel benchmark. The verification pipeline instead runs
+//! each cube scan *sequentially* and draws its parallelism from executing
+//! many independent cubes at once (`crate::schedule`, reached through
+//! `core::evaluate::Evaluator`): cube-level parallelism keeps f64
+//! accumulation order — and therefore reports — bit-identical across
+//! thread counts. The rollup into all `2^|dims|` dimension subsets is
+//! dimension-at-a-time — every group is merged into at most `|dims|`
+//! coarser groups, i.e. O(d · groups) merges with no intermediate clones
+//! (the seed implementation cloned every finest group `2^d − 1` times).
 
 use crate::aggregate::Accumulator;
 use crate::database::{ColumnRef, Database};

@@ -16,7 +16,10 @@
 //! * a merge planner that covers many candidate queries with few cube
 //!   executions (§6.2, [`merge`]),
 //! * a result cache shared across claims and EM iterations (§6.3,
-//!   [`cache`]), and
+//!   [`cache`]), with per-key single-flight so concurrent workers compute
+//!   each cube exactly once,
+//! * a cube-task scheduler that turns merged plans into independent units
+//!   of parallel work ([`schedule`]), and
 //! * a simple evaluation cost model (§6.1, [`cost`]).
 //!
 //! The engine deliberately supports only the query class from Definition 2 of
@@ -38,12 +41,16 @@ pub mod fxhash;
 pub mod join;
 pub mod merge;
 pub mod query;
+pub mod schedule;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use aggregate::{ratio_from_counts, Accumulator};
-pub use cache::{CacheKey, CacheStats, CachedSlice, EvalCache, ShardStats, DEFAULT_CACHE_SHARDS};
+pub use cache::{
+    CacheKey, CacheStats, CachedSlice, EvalCache, Flight, FlightGuard, FlightWaiter, ShardStats,
+    DEFAULT_CACHE_SHARDS,
+};
 pub use column::{ColumnData, StringDictionary, NULL_CODE};
 pub use cost::CostModel;
 pub use cube::{
@@ -56,6 +63,7 @@ pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use join::{JoinPath, JoinedRelation};
 pub use merge::{MergePlan, MergePlanner, MergeStats};
 pub use query::{AggColumn, AggFunction, Predicate, SimpleAggregateQuery};
+pub use schedule::{run_wave, CubeScheduler, CubeTask, TaskHandle};
 pub use schema::{ColumnMeta, ForeignKey, TableSchema};
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -9,16 +9,23 @@
 //! `ConditionalProbability`) are rewritten into `Count` aggregates and
 //! derived from the cube's rollup groups, exactly as footnote 1 of the
 //! paper defines them.
+//!
+//! A plan's cubes are mutually independent, so execution is expressed as a
+//! set of [`CubeTask`]s (`crate::schedule`): each cache miss that wins its
+//! single-flight claim becomes one task, tasks run on a scoped wave of up
+//! to `threads` workers, and misses that lost the claim block on the
+//! winning flight instead of re-executing the cube — concurrent plans over
+//! one shared cache compute every cube exactly once.
 
 use crate::aggregate::ratio_from_counts;
-use crate::cache::{CacheKey, CachedSlice, EvalCache};
+use crate::cache::{CacheKey, CachedSlice, EvalCache, Flight, FlightWaiter};
 use crate::cube::CubeQuery;
 use crate::database::{ColumnRef, Database};
 use crate::error::Result;
 use crate::query::{AggColumn, AggFunction, SimpleAggregateQuery};
+use crate::schedule::{run_wave, CubeTask, TaskHandle};
 use crate::value::Value;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// How one input query reads its result out of its cube.
 #[derive(Debug, Clone)]
@@ -55,10 +62,14 @@ pub struct MergePlan {
 pub struct MergeStats {
     /// Cube executions actually performed (cache misses).
     pub cubes_executed: usize,
-    /// Cube executions satisfied from the cache.
+    /// Cubes satisfied without an own execution: resident cache slices,
+    /// another thread's in-flight computation, or a mix of both.
     pub cubes_cached: usize,
     /// Total rows scanned by executed cubes.
     pub rows_scanned: u64,
+    /// Aggregate slices served by joining another thread's in-flight
+    /// computation (single-flight) instead of executing a duplicate cube.
+    pub singleflight_waits: usize,
 }
 
 /// Plans merged evaluation of simple aggregate queries.
@@ -158,70 +169,153 @@ impl MergePlan {
 
     /// Execute without caching. Returns one result per input query.
     pub fn execute(&self, db: &Database) -> Result<(Vec<Option<f64>>, MergeStats)> {
-        self.execute_inner(db, None)
+        self.execute_inner(db, None, 1)
     }
 
     /// Execute with a shared cache: cube slices already cached (and covering
-    /// the needed literals) are not recomputed, and freshly computed slices
-    /// are stored for later claims and EM iterations.
+    /// the needed literals) are not recomputed, freshly computed slices are
+    /// stored for later claims and EM iterations, and misses that lose the
+    /// single-flight claim wait for the winning thread's result instead of
+    /// executing a duplicate cube.
     pub fn execute_cached(
         &self,
         db: &Database,
         cache: &EvalCache,
     ) -> Result<(Vec<Option<f64>>, MergeStats)> {
-        self.execute_inner(db, Some(cache))
+        self.execute_inner(db, Some(cache), 1)
+    }
+
+    /// [`MergePlan::execute_cached`] with the plan's independent cube tasks
+    /// spread over up to `threads` scoped workers.
+    pub fn execute_cached_with(
+        &self,
+        db: &Database,
+        cache: &EvalCache,
+        threads: usize,
+    ) -> Result<(Vec<Option<f64>>, MergeStats)> {
+        self.execute_inner(db, Some(cache), threads)
     }
 
     fn execute_inner(
         &self,
         db: &Database,
         cache: Option<&EvalCache>,
+        threads: usize,
     ) -> Result<(Vec<Option<f64>>, MergeStats)> {
         let mut stats = MergeStats::default();
-        // Per cube: one slice per aggregate position.
-        let mut slices: Vec<Vec<CachedSlice>> = Vec::with_capacity(self.cubes.len());
+        // Per cube, per aggregate position: how the slice arrives.
+        enum Slot {
+            Ready(CachedSlice),
+            /// `(task index, aggregate position within the task's cube)`.
+            FromTask(usize, usize),
+            Waiting(FlightWaiter),
+        }
+        let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(self.cubes.len());
+        let mut tasks: Vec<CubeTask> = Vec::new();
+        let mut handles: Vec<TaskHandle> = Vec::new();
+
+        // Phase 1: probe the cache (claiming single-flight guards) and
+        // bundle every won key of a cube into one task. No blocking here —
+        // waits are only consumed after our own tasks are submitted, so
+        // concurrent plans cannot deadlock on each other's claims.
         for cube in &self.cubes {
-            let mut cube_slices: Vec<Option<CachedSlice>> = vec![None; cube.aggregates.len()];
-            let mut missing: Vec<usize> = Vec::new();
+            let mut cube_slots: Vec<Option<Slot>> = Vec::with_capacity(cube.aggregates.len());
+            cube_slots.resize_with(cube.aggregates.len(), || None);
+            let mut missing: Vec<(usize, Option<crate::cache::FlightGuard>)> = Vec::new();
             if let Some(cache) = cache {
-                for (i, (f, c)) in cube.aggregates.iter().enumerate() {
-                    let key = CacheKey::new(*f, *c, cube.dims.clone());
-                    match cache.get(&key, &cube.relevant) {
-                        Some(s) => cube_slices[i] = Some(s),
-                        None => missing.push(i),
+                let keys: Vec<CacheKey> = cube
+                    .aggregates
+                    .iter()
+                    .map(|(f, c)| CacheKey::new(*f, *c, cube.dims.clone()))
+                    .collect();
+                // Atomic multi-key probe: concurrent plans cannot split
+                // this cube's aggregate set into two executions.
+                for (i, flight) in cache
+                    .flight_batch(&keys, &cube.relevant)
+                    .into_iter()
+                    .enumerate()
+                {
+                    match flight {
+                        Flight::Hit(s) => cube_slots[i] = Some(Slot::Ready(s)),
+                        Flight::Compute(guard) => missing.push((i, Some(guard))),
+                        Flight::Wait(w) => {
+                            stats.singleflight_waits += 1;
+                            cube_slots[i] = Some(Slot::Waiting(w));
+                        }
                     }
                 }
             } else {
-                missing = (0..cube.aggregates.len()).collect();
+                missing = (0..cube.aggregates.len()).map(|i| (i, None)).collect();
             }
 
             if missing.is_empty() {
+                // Nothing to execute ourselves: resident slices, another
+                // thread's in-flight computation, or a mix. Counting all
+                // of these as "cached" keeps cubes_cached + cubes_executed
+                // reconciling with the plan's cube count.
                 stats.cubes_cached += 1;
             } else {
-                // Execute a cube restricted to the missing aggregates.
+                // One task restricted to the aggregates we must compute.
                 let sub = CubeQuery {
                     dims: cube.dims.clone(),
                     relevant: cube.relevant.clone(),
-                    aggregates: missing.iter().map(|&i| cube.aggregates[i]).collect(),
+                    aggregates: missing.iter().map(|&(i, _)| cube.aggregates[i]).collect(),
                 };
-                let result = Arc::new(sub.execute(db)?);
-                stats.cubes_executed += 1;
-                stats.rows_scanned += result.stats.rows_scanned;
-                for (pos, &i) in missing.iter().enumerate() {
-                    let (f, c) = cube.aggregates[i];
-                    let slice = CachedSlice::new(result.clone(), pos, f);
-                    if let Some(cache) = cache {
-                        cache.put(CacheKey::new(f, c, cube.dims.clone()), slice.clone());
-                    }
-                    cube_slices[i] = Some(slice);
+                let publish = missing
+                    .iter_mut()
+                    .enumerate()
+                    .filter_map(|(pos, (i, guard))| {
+                        guard.take().map(|g| (pos, cube.aggregates[*i].0, g))
+                    })
+                    .collect();
+                let (task, handle) = CubeTask::new(sub, publish);
+                let task_idx = tasks.len();
+                tasks.push(task);
+                handles.push(handle);
+                for (pos, (i, _)) in missing.iter().enumerate() {
+                    cube_slots[*i] = Some(Slot::FromTask(task_idx, pos));
                 }
             }
-            slices.push(
-                cube_slices
+            slots.push(
+                cube_slots
                     .into_iter()
-                    .map(|s| s.expect("slice filled"))
+                    .map(|s| s.expect("slot filled"))
                     .collect(),
             );
+        }
+
+        // Phase 2: run the wave (sequential when `threads` is 1).
+        run_wave(db, None, tasks, &handles, threads);
+
+        // Phase 3: collect — own tasks first, then flights owned by other
+        // threads (whose tasks are already submitted, so they make
+        // progress); a poisoned flight is retried inline.
+        let mut task_results = Vec::with_capacity(handles.len());
+        for handle in &handles {
+            let result = handle.result()?;
+            stats.cubes_executed += 1;
+            stats.rows_scanned += result.stats.rows_scanned;
+            task_results.push(result);
+        }
+        let mut slices: Vec<Vec<CachedSlice>> = Vec::with_capacity(self.cubes.len());
+        for (cube, cube_slots) in self.cubes.iter().zip(slots) {
+            let mut cube_slices = Vec::with_capacity(cube_slots.len());
+            for (i, slot) in cube_slots.into_iter().enumerate() {
+                let slice = match slot {
+                    Slot::Ready(s) => s,
+                    Slot::FromTask(task_idx, pos) => {
+                        CachedSlice::new(task_results[task_idx].clone(), pos, cube.aggregates[i].0)
+                    }
+                    Slot::Waiting(w) => {
+                        let (f, c) = cube.aggregates[i];
+                        let key = CacheKey::new(f, c, cube.dims.clone());
+                        let cache = cache.expect("waits only exist with a cache");
+                        resolve_wait(db, cache, w, &key, cube, i, &mut stats)?
+                    }
+                };
+                cube_slices.push(slice);
+            }
+            slices.push(cube_slices);
         }
 
         // Resolve each query's lookup.
@@ -231,6 +325,50 @@ impl MergePlan {
             .map(|t| resolve(&slices[t.cube], t))
             .collect();
         Ok((results, stats))
+    }
+}
+
+/// Wait out another thread's flight for `cube.aggregates[agg_idx]`; on
+/// poison, retry the probe and compute inline if the retry wins.
+fn resolve_wait(
+    db: &Database,
+    cache: &EvalCache,
+    mut waiter: FlightWaiter,
+    key: &CacheKey,
+    cube: &CubeQuery,
+    agg_idx: usize,
+    stats: &mut MergeStats,
+) -> Result<CachedSlice> {
+    loop {
+        if let Some(slice) = waiter.wait() {
+            return Ok(slice);
+        }
+        // The computing thread failed; take over (or join the next one).
+        match cache.flight(key, &cube.relevant) {
+            Flight::Hit(s) => return Ok(s),
+            Flight::Wait(w) => {
+                stats.singleflight_waits += 1;
+                waiter = w;
+            }
+            Flight::Compute(guard) => {
+                // The original wait never served a slice (the flight was
+                // poisoned and this thread took over), so it comes back
+                // off the ledger before the execution is counted.
+                stats.singleflight_waits -= 1;
+                let (f, _) = cube.aggregates[agg_idx];
+                let sub = CubeQuery {
+                    dims: cube.dims.clone(),
+                    relevant: cube.relevant.clone(),
+                    aggregates: vec![cube.aggregates[agg_idx]],
+                };
+                let result = std::sync::Arc::new(sub.execute(db)?);
+                stats.cubes_executed += 1;
+                stats.rows_scanned += result.stats.rows_scanned;
+                let slice = CachedSlice::new(result, 0, f);
+                guard.fulfill(slice.clone());
+                return Ok(slice);
+            }
+        }
     }
 }
 
@@ -410,6 +548,60 @@ mod tests {
         let (r3, s3) = plan3.execute_cached(&db, &cache).unwrap();
         assert_eq!(s3.cubes_executed, 1);
         assert_eq!(r3[0], Some(1.0));
+    }
+
+    #[test]
+    fn parallel_wave_matches_sequential_execution() {
+        let db = nfl();
+        let queries = candidate_batch(&db);
+        let plan = MergePlanner::plan(&db, &queries).unwrap();
+        let (sequential, _) = plan.execute(&db).unwrap();
+        let cache = EvalCache::new();
+        let (parallel, stats) = plan.execute_cached_with(&db, &cache, 4).unwrap();
+        assert_eq!(parallel, sequential);
+        // Every cube is accounted for exactly once.
+        assert_eq!(stats.cubes_executed + stats.cubes_cached, plan.cube_count());
+        assert_eq!(stats.cubes_executed, plan.cube_count(), "cold cache");
+        // A warm rerun flips every cube to the cached side of the ledger.
+        let (rerun, stats) = plan.execute_cached_with(&db, &cache, 4).unwrap();
+        assert_eq!(rerun, sequential);
+        assert_eq!(stats.cubes_executed, 0);
+        assert_eq!(stats.cubes_cached, plan.cube_count());
+    }
+
+    /// Two threads executing the same plan against one shared cache:
+    /// results match the sequential run, and the combined stats reconcile —
+    /// a cube served entirely by the *other* thread's in-flight computation
+    /// counts as cached, not as lost.
+    #[test]
+    fn concurrent_plans_share_executions_and_stats_reconcile() {
+        let db = nfl();
+        let queries = candidate_batch(&db);
+        let plan = MergePlanner::plan(&db, &queries).unwrap();
+        let (sequential, _) = plan.execute(&db).unwrap();
+        let cache = EvalCache::new();
+        let outcomes: Vec<(Vec<Option<f64>>, MergeStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (db, plan, cache) = (&db, &plan, &cache);
+                    scope.spawn(move || plan.execute_cached_with(db, cache, 2).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (results, stats) in &outcomes {
+            assert_eq!(results, &sequential);
+            assert_eq!(
+                stats.cubes_executed + stats.cubes_cached,
+                plan.cube_count(),
+                "every cube is executed, cached, or joined — never lost"
+            );
+        }
+        // Across both threads each cube executed at least once and at most
+        // twice (twice only when neither thread could join the other).
+        let executed: usize = outcomes.iter().map(|(_, s)| s.cubes_executed).sum();
+        assert!(executed >= plan.cube_count());
+        assert!(executed <= 2 * plan.cube_count());
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! The cube-task scheduler: cubes as the unit of parallel work.
+//!
+//! The paper's cost model (§5/§6) is dominated by executing merged CUBE
+//! queries, and the claims of one document — let alone the documents of a
+//! batch — need many *independent* cubes. Instead of parallelizing rows
+//! within one cube and running cubes serially, this module makes the
+//! **cube task** the schedulable unit:
+//!
+//! * a [`CubeTask`] owns one [`CubeQuery`] plus the single-flight
+//!   [`FlightGuard`]s it must publish into the shared [`EvalCache`](crate::cache::EvalCache) when it finishes;
+//! * a [`CubeScheduler`] is a shared work queue that any number of scoped
+//!   worker threads drain. Claim evaluators submit whole waves of tasks
+//!   (every cube of every claim of a document at once) and then *help*
+//!   drain the queue until their own tasks are done ([`CubeScheduler::drive`]),
+//!   so a submitter is never idle while work is pending and a pool of one
+//!   degenerates to exact sequential execution;
+//! * batch verification shares **one** scheduler across all documents: a
+//!   worker that runs out of documents keeps executing other documents'
+//!   cube tasks ([`CubeScheduler::run_worker`]) until the batch closes.
+//!
+//! Tasks execute their scan *sequentially* ([`CubeOptions::default`]):
+//! parallelism comes from running many cubes at once, which keeps f64
+//! accumulation order — and therefore every report — bit-identical across
+//! worker counts and scheduling orders.
+//!
+//! # Deadlock freedom
+//!
+//! The submit protocol is: probe the cache (claiming flights), submit every
+//! task won, **then** drive the queue until the submitted tasks finish, and
+//! only after that block on [`FlightWaiter`](crate::cache::FlightWaiter)s owned by other threads. A
+//! thread therefore never waits on a flight before its own tasks are
+//! published-or-executed, and every flight being waited on belongs to a
+//! task that is either queued (any driver can pick it up) or already
+//! running; a poisoned flight wakes its waiters for a retry rather than
+//! wedging them.
+
+use crate::cache::FlightGuard;
+use crate::cube::{CubeOptions, CubeQuery, CubeResult, GridArena};
+use crate::database::Database;
+use crate::error::{RelationalError, Result};
+use crate::query::AggFunction;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+enum TaskState {
+    Pending,
+    Done(Arc<CubeResult>),
+    Failed(RelationalError),
+}
+
+#[derive(Debug)]
+struct TaskCell {
+    state: Mutex<TaskState>,
+}
+
+/// One schedulable cube execution, plus the cache publications it owes.
+#[derive(Debug)]
+pub struct CubeTask {
+    cube: CubeQuery,
+    /// `(aggregate position, function, guard)` per single-flight key this
+    /// task won; empty when evaluation runs uncached.
+    publish: Vec<(usize, AggFunction, FlightGuard)>,
+    cell: Arc<TaskCell>,
+}
+
+/// Completion handle for one submitted [`CubeTask`].
+#[derive(Debug)]
+pub struct TaskHandle {
+    cell: Arc<TaskCell>,
+}
+
+impl TaskHandle {
+    /// Has the task settled (successfully or not)?
+    pub fn is_done(&self) -> bool {
+        !matches!(*lock(&self.cell.state), TaskState::Pending)
+    }
+
+    /// The task's result. Panics if called before the task settled — obtain
+    /// completion via [`CubeScheduler::drive`] first.
+    pub fn result(&self) -> Result<Arc<CubeResult>> {
+        match &*lock(&self.cell.state) {
+            TaskState::Pending => panic!("task result taken before completion"),
+            TaskState::Done(result) => Ok(result.clone()),
+            TaskState::Failed(e) => Err(e.clone()),
+        }
+    }
+}
+
+impl CubeTask {
+    /// Package a cube with the flight guards it must publish. The guards'
+    /// positions index into `cube.aggregates`.
+    pub fn new(
+        cube: CubeQuery,
+        publish: Vec<(usize, AggFunction, FlightGuard)>,
+    ) -> (CubeTask, TaskHandle) {
+        let cell = Arc::new(TaskCell {
+            state: Mutex::new(TaskState::Pending),
+        });
+        (
+            CubeTask {
+                cube,
+                publish,
+                cell: cell.clone(),
+            },
+            TaskHandle { cell },
+        )
+    }
+
+    /// Execute the cube (sequential scan — see the module docs), publish
+    /// every won flight, and settle the completion cell. On error the
+    /// guards are dropped, poisoning their flights so waiters retry.
+    fn execute(self, db: &Database, arena: Option<&GridArena>) {
+        let outcome = self.cube.execute_in(db, &CubeOptions::default(), arena);
+        let state = match outcome {
+            Ok(result) => {
+                let result = Arc::new(result);
+                for (pos, function, guard) in self.publish {
+                    guard.fulfill(crate::cache::CachedSlice::new(
+                        result.clone(),
+                        pos,
+                        function,
+                    ));
+                }
+                TaskState::Done(result)
+            }
+            Err(e) => {
+                drop(self.publish); // poison the flights
+                TaskState::Failed(e)
+            }
+        };
+        *lock(&self.cell.state) = state;
+    }
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    queue: VecDeque<CubeTask>,
+    closed: bool,
+}
+
+/// A shared FIFO of [`CubeTask`]s drained cooperatively by scoped workers.
+#[derive(Debug, Default)]
+pub struct CubeScheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl CubeScheduler {
+    pub fn new() -> CubeScheduler {
+        CubeScheduler::default()
+    }
+
+    /// Enqueue a wave of tasks and wake every worker.
+    pub fn submit(&self, tasks: Vec<CubeTask>) {
+        if tasks.is_empty() {
+            return;
+        }
+        {
+            let mut state = lock(&self.state);
+            debug_assert!(!state.closed, "submit after close");
+            state.queue.extend(tasks);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Execute queued tasks — anyone's, not just the caller's — until every
+    /// handle in `waiting` has settled. With no other workers this is exact
+    /// sequential execution by the caller.
+    pub fn drive(&self, db: &Database, arena: Option<&GridArena>, waiting: &[TaskHandle]) {
+        loop {
+            let task = {
+                let mut state = lock(&self.state);
+                loop {
+                    if waiting.iter().all(TaskHandle::is_done) {
+                        return;
+                    }
+                    if let Some(task) = state.queue.pop_front() {
+                        break task;
+                    }
+                    // Our tasks are running on other workers: sleep until a
+                    // completion or a new submission.
+                    state = self
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            self.run_task(task, db, arena);
+        }
+    }
+
+    /// Helper loop for workers with no document of their own: execute tasks
+    /// until the scheduler is closed and drained.
+    pub fn run_worker(&self, db: &Database, arena: Option<&GridArena>) {
+        loop {
+            let task = {
+                let mut state = lock(&self.state);
+                loop {
+                    if let Some(task) = state.queue.pop_front() {
+                        break task;
+                    }
+                    if state.closed {
+                        return;
+                    }
+                    state = self
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            self.run_task(task, db, arena);
+        }
+    }
+
+    /// No further submissions will arrive; drain and release the workers.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.cv.notify_all();
+    }
+
+    fn run_task(&self, task: CubeTask, db: &Database, arena: Option<&GridArena>) {
+        task.execute(db, arena);
+        // Touch the scheduler lock before notifying so a driver cannot
+        // check its handles, miss this completion, and sleep through the
+        // wakeup (the completion happens-before our lock acquisition).
+        drop(lock(&self.state));
+        self.cv.notify_all();
+    }
+}
+
+/// Execute one wave of tasks with up to `threads` workers (the caller
+/// included), returning when every task has finished. The wave shares the
+/// caller's [`GridArena`]; the pool is scoped, so borrows stay on the
+/// stack. Used by solo (non-batched) evaluation, where no long-lived
+/// scheduler exists.
+pub fn run_wave(
+    db: &Database,
+    arena: Option<&GridArena>,
+    tasks: Vec<CubeTask>,
+    handles: &[TaskHandle],
+    threads: usize,
+) {
+    if tasks.is_empty() {
+        return;
+    }
+    let scheduler = CubeScheduler::new();
+    let helpers = threads.max(1).min(tasks.len()) - 1;
+    scheduler.submit(tasks);
+    scheduler.close();
+    if helpers == 0 {
+        scheduler.drive(db, arena, handles);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..helpers {
+            let scheduler = &scheduler;
+            scope.spawn(move || scheduler.run_worker(db, arena));
+        }
+        scheduler.drive(db, arena, handles);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheKey, EvalCache, Flight};
+    use crate::database::ColumnRef;
+    use crate::query::AggColumn;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let t = Table::from_columns(
+            "t",
+            vec![("cat", vec!["a".into(), "a".into(), "b".into(), "c".into()])],
+        )
+        .unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t);
+        db
+    }
+
+    fn count_cube(db: &Database, literals: Vec<Value>) -> CubeQuery {
+        CubeQuery {
+            dims: vec![db.resolve("t", "cat").unwrap()],
+            relevant: vec![literals],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        }
+    }
+
+    #[test]
+    fn wave_executes_all_tasks_and_results_match_direct_execution() {
+        let db = db();
+        for threads in [1usize, 4] {
+            let (tasks, handles): (Vec<_>, Vec<_>) = ["a", "b", "c"]
+                .iter()
+                .map(|lit| CubeTask::new(count_cube(&db, vec![(*lit).into()]), Vec::new()))
+                .unzip();
+            run_wave(&db, None, tasks, &handles, threads);
+            for (lit, handle) in ["a", "b", "c"].iter().zip(&handles) {
+                assert!(handle.is_done());
+                let result = handle.result().unwrap();
+                let direct = count_cube(&db, vec![(*lit).into()]).execute(&db).unwrap();
+                assert_eq!(
+                    result.get_count(&[crate::cube::DimSel::Literal(0)], 0),
+                    direct.get_count(&[crate::cube::DimSel::Literal(0)], 0),
+                    "[{threads}t] literal {lit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_task_reports_error_and_poisons_flights() {
+        let db = db();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(
+            AggFunction::Count,
+            AggColumn::Star,
+            vec![ColumnRef::new(0, 0)],
+        );
+        let needed = vec![vec![Value::from("a")]];
+        let guard = match cache.flight(&key, &needed) {
+            Flight::Compute(g) => g,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        let waiter = match cache.flight(&key, &needed) {
+            Flight::Wait(w) => w,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        // An invalid cube (ratio aggregate) fails validation at execution.
+        let bad = CubeQuery {
+            dims: vec![db.resolve("t", "cat").unwrap()],
+            relevant: vec![vec!["a".into()]],
+            aggregates: vec![(AggFunction::Percentage, AggColumn::Star)],
+        };
+        let (task, handle) = CubeTask::new(bad, vec![(0, AggFunction::Percentage, guard)]);
+        run_wave(&db, None, vec![task], std::slice::from_ref(&handle), 1);
+        assert!(handle.result().is_err());
+        assert!(waiter.wait().is_none(), "flight poisoned by the failure");
+    }
+
+    #[test]
+    fn shared_scheduler_worker_drains_after_close() {
+        let db = db();
+        let scheduler = CubeScheduler::new();
+        let (task, handle) = CubeTask::new(count_cube(&db, vec!["a".into()]), Vec::new());
+        std::thread::scope(|scope| {
+            let (scheduler, db) = (&scheduler, &db);
+            let worker = scope.spawn(move || scheduler.run_worker(db, None));
+            scheduler.submit(vec![task]);
+            scheduler.drive(db, None, std::slice::from_ref(&handle));
+            scheduler.close();
+            worker.join().unwrap();
+        });
+        assert_eq!(
+            handle
+                .result()
+                .unwrap()
+                .get_count(&[crate::cube::DimSel::Literal(0)], 0),
+            2.0
+        );
+    }
+}

@@ -17,6 +17,22 @@
 //!
 //! No serde in the offline build environment, so the parser is a tiny
 //! purpose-built scanner over the benchmark files' known shape.
+//!
+//! # `dedup-gate`
+//!
+//! The single-flight determinism gate: asserts that a metric is **exactly
+//! equal** across the named variants of one benchmark file. Used on
+//! `BENCH_pipeline.json`'s `rows_scanned_per_run` for `batch_1w` vs
+//! `batch_4w` — the cube-task scheduler's single-flight latch makes the
+//! batched pipeline scan exactly as many rows at 4 workers as at 1, so
+//! unlike a timing gate this check is deterministic: any inequality is a
+//! real duplicated (or lost) cube execution, never runner noise.
+//!
+//! ```text
+//! cargo run -p xtask -- dedup-gate \
+//!     --file BENCH_pipeline.current.json \
+//!     --metric rows_scanned_per_run --variants batch_1w,batch_4w
+//! ```
 
 use std::process::ExitCode;
 
@@ -206,12 +222,86 @@ fn bench_gate(args: &[String]) -> ExitCode {
     }
 }
 
+/// Exact-equality check across variants of one file: `Ok(per-variant
+/// report lines)` when every gated variant's metric is identical, `Err`
+/// describing the first inequality or missing variant otherwise.
+fn run_dedup_gate(json: &str, metric: &str, gated: &[&str]) -> Result<Vec<String>, String> {
+    if gated.len() < 2 {
+        return Err("dedup-gate needs at least two variants to compare".into());
+    }
+    let variants = extract_variants(json, metric);
+    if variants.is_empty() {
+        return Err(format!("no variants with \"{metric}\" in the file"));
+    }
+    let mut report = Vec::new();
+    let mut first: Option<(&str, f64)> = None;
+    for &name in gated {
+        let value = variants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("variant \"{name}\" missing from the file"))?;
+        report.push(format!("{name}: {metric} = {value:.0}"));
+        match first {
+            None => first = Some((name, value)),
+            Some((first_name, first_value)) => {
+                // Counters are integers rendered exactly; equality is exact.
+                if value != first_value {
+                    return Err(format!(
+                        "{name} ({value:.0}) differs from {first_name} ({first_value:.0}) — \
+                         a cube execution was duplicated or lost across worker counts"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn dedup_gate(args: &[String]) -> ExitCode {
+    let mut file = String::from("BENCH_pipeline.current.json");
+    let mut metric = String::from("rows_scanned_per_run");
+    let mut variants = String::from("batch_1w,batch_4w");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| it.next().cloned().unwrap_or_else(|| panic!("{what} VALUE"));
+        match arg.as_str() {
+            "--file" => file = take("--file"),
+            "--metric" => metric = take("--metric"),
+            "--variants" => variants = take("--variants"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let gated: Vec<&str> = variants.split(',').filter(|s| !s.is_empty()).collect();
+    let outcome = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {file}: {e}"))
+        .and_then(|json| run_dedup_gate(&json, &metric, &gated));
+    match outcome {
+        Ok(report) => {
+            for line in &report {
+                println!("dedup-gate ok: {line}");
+            }
+            println!("dedup-gate: {metric} identical across {}", variants.trim());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("dedup-gate FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-gate") => bench_gate(&args[1..]),
+        Some("dedup-gate") => dedup_gate(&args[1..]),
         _ => {
             eprintln!("usage: xtask bench-gate [--baseline PATH] [--current PATH] [--threshold FRACTION] [--metric NAME] [--variants a,b] [--normalize-to NAME]");
+            eprintln!("       xtask dedup-gate [--file PATH] [--metric NAME] [--variants a,b]");
             ExitCode::from(2)
         }
     }
@@ -360,5 +450,45 @@ mod tests {
         let current = r#"{"variants": [{"name": "dense_1t", "rows_per_sec": 1e8}]}"#;
         assert!(run_gate(SAMPLE, current, "rows_per_sec", &["dense_4t"], 0.15, None).is_err());
         assert!(run_gate("{}", SAMPLE, "rows_per_sec", &["dense_1t"], 0.15, None).is_err());
+    }
+
+    fn pipeline_sample(rows_1w: u64, rows_4w: u64) -> String {
+        format!(
+            r#"{{"variants": [
+  {{"name": "sequential_fresh", "rows_scanned_per_run": 625140}},
+  {{"name": "batch_1w", "rows_scanned_per_run": {rows_1w}}},
+  {{"name": "batch_4w", "rows_scanned_per_run": {rows_4w}}}
+]}}"#
+        )
+    }
+
+    #[test]
+    fn dedup_gate_passes_on_exact_equality() {
+        let json = pipeline_sample(121900, 121900);
+        let report =
+            run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_4w"]).unwrap();
+        assert_eq!(report.len(), 2);
+        assert!(report[0].contains("batch_1w"), "{report:?}");
+    }
+
+    #[test]
+    fn dedup_gate_fails_on_any_inequality() {
+        // A single duplicated cube execution (one 460-row scan) must fail.
+        let json = pipeline_sample(121900, 122360);
+        let err =
+            run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_4w"]).unwrap_err();
+        assert!(err.contains("batch_4w"), "{err}");
+        // Fewer rows is just as wrong: a lost execution means a report was
+        // built from a slice that was never computed for it.
+        let json = pipeline_sample(121900, 121440);
+        assert!(run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_4w"]).is_err());
+    }
+
+    #[test]
+    fn dedup_gate_rejects_missing_variants_and_degenerate_input() {
+        let json = pipeline_sample(121900, 121900);
+        assert!(run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_8w"]).is_err());
+        assert!(run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w"]).is_err());
+        assert!(run_dedup_gate("{}", "rows_scanned_per_run", &["batch_1w", "batch_4w"]).is_err());
     }
 }

@@ -276,6 +276,56 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The cube-task scheduler (merged, cached, claims × cubes parallel)
+    /// verifies randomized corpora identically to the serial
+    /// `evaluate_naive` path (`EvalStrategy::Naive`: one query execution
+    /// per candidate, no merging, no caching, no scheduler).
+    #[test]
+    fn scheduler_reports_match_serial_naive_evaluation(
+        seed in 1u64..10_000,
+        index in 0usize..6,
+        threads in 1usize..5,
+    ) {
+        use aggchecker::core::EvalStrategy;
+        use aggchecker::corpus::{generate_test_case, CorpusSpec};
+        use aggchecker::{AggChecker, CheckerConfig};
+
+        let spec = CorpusSpec::small(1, seed);
+        let tc = generate_test_case(&spec, index);
+        let run = |strategy: EvalStrategy, threads: usize| {
+            let cfg = CheckerConfig {
+                strategy,
+                threads,
+                // A small hit budget keeps the naive arm affordable.
+                lucene_hits: 6,
+                ..CheckerConfig::default()
+            };
+            let checker = AggChecker::new(tc.db.clone(), cfg).unwrap();
+            checker.check_text(&tc.article_html).unwrap()
+        };
+        let naive = run(EvalStrategy::Naive, 1);
+        let scheduled = run(EvalStrategy::MergedCached, threads);
+        prop_assert_eq!(naive.claims.len(), scheduled.claims.len());
+        for (n, s) in naive.claims.iter().zip(&scheduled.claims) {
+            prop_assert_eq!(
+                n.verdict, s.verdict,
+                "seed={} index={} threads={} claim {}",
+                seed, index, threads, n.claimed_value
+            );
+            prop_assert!(
+                (n.correctness_probability - s.correctness_probability).abs() < 1e-6,
+                "probabilities diverged: {} vs {}",
+                n.correctness_probability,
+                s.correctness_probability
+            );
+            prop_assert_eq!(n.top_queries.len(), s.top_queries.len());
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// `BatchVerifier` over a randomized multi-document case (random
