@@ -21,27 +21,31 @@
 //!   per-worker dense-grid arenas.
 //!
 //! All variants are checked to produce identical reports before timing.
-//! Each variant reports `rows_scanned_per_run` (total rows scanned by its
-//! cube executions over one full batch) plus the scheduler's dedup
-//! counters; single-flight makes `batch_4w` rows *exactly* equal
-//! `batch_1w` — `xtask dedup-gate` enforces that in CI, deterministically,
-//! unlike any timing gate.
+//! Each variant reports `rows_scanned_per_run` (real rows read by its
+//! fused scan passes over one full batch), `scan_passes` and
+//! `fused_tasks_per_pass` (the fusion factor: cube tasks per physical
+//! table scan), plus the scheduler's dedup counters. Single-flight plus
+//! atomic wave probes make `batch_4w` rows *and* passes *exactly* equal
+//! `batch_1w` — `xtask dedup-gate` enforces both in CI, deterministically,
+//! unlike any timing gate — and the fused pass count must not exceed
+//! `sequential_shared`'s.
 
 use agg_bench::metrics::median_timed_ns;
-use agg_core::{AggChecker, BatchVerifier, CheckerConfig, VerificationReport};
+use agg_core::{AggChecker, BatchVerifier, CheckerConfig, EvalStats, VerificationReport};
 use agg_corpus::{generate_multi_doc_case, CorpusSpec};
 
 /// Scheduling-relevant stats summed over one run's reports. The tuple is
 /// `Ord`, so `median_timed_ns` can pair it with the median-time sample.
-type RunCounters = (u64, u64, u64, u64); // rows, tasks_executed, deduped, waits
+type RunCounters = (u64, u64, u64, u64, u64); // rows, tasks, deduped, waits, passes
 
 fn counters(reports: &[VerificationReport]) -> RunCounters {
-    let mut c = (0, 0, 0, 0);
+    let mut c = (0, 0, 0, 0, 0);
     for r in reports {
         c.0 += r.stats.rows_scanned;
         c.1 += r.stats.tasks_executed;
         c.2 += r.stats.tasks_deduped;
         c.3 += r.stats.singleflight_waits;
+        c.4 += r.stats.scan_passes;
     }
     c
 }
@@ -63,6 +67,11 @@ struct Variant {
     tasks_deduped: u64,
     /// Requests that blocked on another worker's in-flight cube.
     singleflight_waits: u64,
+    /// Fused row passes executed in one full run (same-scope tasks share
+    /// one pass; `rows_scanned_per_run` is the rows those passes read).
+    scan_passes: u64,
+    /// Average member tasks per fused pass.
+    fused_tasks_per_pass: f64,
 }
 
 fn main() {
@@ -166,6 +175,13 @@ fn main() {
             tasks_executed: c.1,
             tasks_deduped: c.2,
             singleflight_waits: c.3,
+            scan_passes: c.4,
+            fused_tasks_per_pass: EvalStats {
+                tasks_executed: c.1,
+                scan_passes: c.4,
+                ..EvalStats::default()
+            }
+            .fused_tasks_per_pass(),
         }
     };
     let variants = [
@@ -187,6 +203,7 @@ fn main() {
     let best_batch_ns = variants[2].median_ns.min(variants[3].median_ns) as f64;
     let speedup = sequential_ns / best_batch_ns;
     let dedup_exact = variants[2].rows_scanned_per_run == variants[3].rows_scanned_per_run;
+    let passes_exact = variants[2].scan_passes == variants[3].scan_passes;
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -198,7 +215,7 @@ fn main() {
     json.push_str("  \"variants\": [\n");
     for (i, v) in variants.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"workers\": {}, \"median_ns\": {}, \"docs_per_sec\": {:.2}, \"rows_scanned_per_run\": {}, \"rows_scanned_per_sec\": {:.0}, \"tasks_executed\": {}, \"tasks_deduped\": {}, \"singleflight_waits\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"workers\": {}, \"median_ns\": {}, \"docs_per_sec\": {:.2}, \"rows_scanned_per_run\": {}, \"rows_scanned_per_sec\": {:.0}, \"tasks_executed\": {}, \"tasks_deduped\": {}, \"singleflight_waits\": {}, \"scan_passes\": {}, \"fused_tasks_per_pass\": {:.1}}}{}\n",
             v.name,
             v.workers,
             v.median_ns,
@@ -208,12 +225,17 @@ fn main() {
             v.tasks_executed,
             v.tasks_deduped,
             v.singleflight_waits,
+            v.scan_passes,
+            v.fused_tasks_per_pass,
             if i + 1 < variants.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"rows_scanned_equal_across_workers\": {dedup_exact},\n"
+    ));
+    json.push_str(&format!(
+        "  \"scan_passes_equal_across_workers\": {passes_exact},\n"
     ));
     json.push_str(&format!(
         "  \"speedup_batch_vs_sequential_fresh\": {speedup:.2}\n"

@@ -142,6 +142,11 @@ pub struct CheckerConfig {
     pub max_combos_per_claim: usize,
     /// Query evaluation strategy (Table 6 of the paper).
     pub strategy: EvalStrategy,
+    /// Fuse same-scope cube tasks of one evaluation wave into shared scan
+    /// passes (one row pass feeds many cube grids). Purely physical —
+    /// reports are bit-identical with fusion on or off — so this knob
+    /// exists for A/B measurement against the unfused execution shape.
+    pub fuse_scans: bool,
 }
 
 /// The three evaluation strategies of Table 6.
@@ -175,6 +180,7 @@ impl Default for CheckerConfig {
             cache_shards: 0,
             max_combos_per_claim: 20_000,
             strategy: EvalStrategy::MergedCached,
+            fuse_scans: true,
         }
     }
 }

@@ -14,14 +14,18 @@
 //!   slices are reusable across claims, EM iterations, and documents;
 //! * [`Evaluator::evaluate_all`] plans **all claims of a document at
 //!   once**: per-claim groups that need the same (dimensions, literals)
-//!   cube collapse into one [`CubeTask`] (counted as
+//!   cube collapse into one cube task (counted as
 //!   [`EvalStats::tasks_deduped`]), and the resulting task set — the
 //!   claims × cubes work of the whole document — executes on a scoped
 //!   worker wave ([`Evaluator::set_threads`] workers) or on a shared
 //!   [`CubeScheduler`] spanning every document of a batch
 //!   ([`Evaluator::set_scheduler`], see `pipeline::BatchVerifier`).
 //!   Finished cubes are demultiplexed back into per-claim
-//!   [`ResultsMatrix`] slots;
+//!   [`ResultsMatrix`] slots. The probe/bundle/wave/collect protocol
+//!   itself lives in `agg_relational::schedule::run_requests` — shared
+//!   with `MergePlan` — which also **fuses** the wave's same-scope tasks
+//!   into single row passes (`ScanGroup`), so a wave costs one table scan
+//!   per distinct table scope instead of one per task;
 //! * slices are stored in the shared [`EvalCache`] keyed by (aggregation
 //!   function, aggregation column, dimension set) — the cache granularity
 //!   the paper found to perform best. The cache is **lock-striped** into
@@ -44,11 +48,12 @@
 use crate::candidates::CandidateSet;
 use crate::fragments::FragmentCatalog;
 use agg_relational::{
-    ratio_from_counts, run_wave, AggColumn, AggFunction, CacheKey, CachedSlice, ColumnRef,
-    CubeQuery, CubeScheduler, CubeTask, Database, EvalCache, Flight, FlightGuard, FlightWaiter,
-    GridArena, Result, TaskHandle, Value,
+    ratio_from_counts, run_requests, AggColumn, AggFunction, CachedSlice, ColumnRef, CubeScheduler,
+    Database, EvalCache, GridArena, Result, Value, WaveExec, WaveRequest,
 };
 use std::collections::BTreeMap;
+
+pub use agg_relational::TaskBundling;
 
 /// Per-run evaluation statistics (feeds Table 6 and `RunStats`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,7 +64,9 @@ pub struct EvalStats {
     pub cubes_executed: u64,
     /// Cube slice requests served from the cache.
     pub cubes_cached: u64,
-    /// Rows scanned by executed cubes.
+    /// Real rows read by this evaluator's fused scan passes. Each pass
+    /// charges its relation length once, however many cube grids it feeds
+    /// — the physical I/O, not the per-task ledger.
     pub rows_scanned: u64,
     /// Cube tasks this evaluator submitted and saw executed (scheduler
     /// accounting twin of [`EvalStats::cubes_executed`]).
@@ -73,6 +80,12 @@ pub struct EvalStats {
     /// Subset of [`EvalStats::tasks_deduped`]: requests that blocked on
     /// another worker's in-flight cube and received its published slice.
     pub singleflight_waits: u64,
+    /// Fused row passes executed on behalf of this evaluator: same-scope
+    /// tasks of one wave share a single scan
+    /// (`agg_relational::schedule::ScanGroup`), so this is the number of
+    /// physical table scans — compare with [`EvalStats::tasks_executed`]
+    /// for the fusion factor.
+    pub scan_passes: u64,
 }
 
 impl EvalStats {
@@ -84,6 +97,17 @@ impl EvalStats {
         self.tasks_executed += other.tasks_executed;
         self.tasks_deduped += other.tasks_deduped;
         self.singleflight_waits += other.singleflight_waits;
+        self.scan_passes += other.scan_passes;
+    }
+
+    /// Average member tasks per fused pass (1.0 when nothing fused; 0.0
+    /// when nothing executed).
+    pub fn fused_tasks_per_pass(&self) -> f64 {
+        if self.scan_passes == 0 {
+            0.0
+        } else {
+            self.tasks_executed as f64 / self.scan_passes as f64
+        }
     }
 }
 
@@ -138,20 +162,6 @@ enum PairPlan {
 /// fall back to document-wide literal sets.
 const CANONICAL_LITERAL_CAP: usize = 253;
 
-/// A pending aggregate: its index within the group plus the single-flight
-/// guard won for it (`None` when evaluation runs uncached).
-type MissingAgg = (usize, Option<FlightGuard>);
-
-/// How one cube-group's aggregate slice arrives at demux time.
-enum Slot {
-    /// Served from the cache (or a finished flight) at planning time.
-    Ready(CachedSlice),
-    /// `(task index, aggregate position within the task's cube)`.
-    FromTask(usize, usize),
-    /// Another worker is computing it; block after our own tasks ran.
-    Waiting(FlightWaiter),
-}
-
 /// One distinct cube required by the document: a (dimensions, relevant
 /// literals) pair plus the union of value aggregates every claim needs
 /// from it.
@@ -177,28 +187,6 @@ struct ClaimPlan {
     claim_groups: Vec<ClaimGroup>,
 }
 
-/// How a cube group's missing aggregates are bundled into [`CubeTask`]s.
-/// Bundling never changes results — each aggregate's cube slice is
-/// computed identically whatever it shares a scan with — only how many
-/// scans run and how `rows_scanned` accrues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TaskBundling {
-    /// One task per (group, wave): everything the document discovers
-    /// missing at once is computed in a single scan. Fastest for solo
-    /// verification, but the scan set depends on request order, so
-    /// concurrent runs may bundle — and count — scans differently.
-    #[default]
-    Wave,
-    /// One task per (group, aggregation column). Claims always request a
-    /// column's *complete* typing-valid function set
-    /// (`CandidateSet::enumerate`), so these bundles are canonical: every
-    /// requester of any document asks for exactly the same keys, and the
-    /// executed-scan set — and therefore total `rows_scanned` — is
-    /// independent of scheduling. `BatchVerifier` uses this at every
-    /// worker count, which is what the CI dedup gate measures.
-    Canonical,
-}
-
 /// Evaluates candidate sets against the database with merging, caching,
 /// and cube-task scheduling.
 pub struct Evaluator<'a> {
@@ -219,6 +207,9 @@ pub struct Evaluator<'a> {
     scheduler: Option<&'a CubeScheduler>,
     /// How missing aggregates are grouped into tasks (see [`TaskBundling`]).
     bundling: TaskBundling,
+    /// Fuse same-scope tasks of one wave into shared scan passes; `false`
+    /// reproduces the unfused one-pass-per-task shape for A/B comparison.
+    fuse: bool,
     pub stats: EvalStats,
 }
 
@@ -239,6 +230,7 @@ impl<'a> Evaluator<'a> {
             arena: None,
             scheduler: None,
             bundling: TaskBundling::default(),
+            fuse: true,
             stats: EvalStats::default(),
         }
     }
@@ -247,6 +239,12 @@ impl<'a> Evaluator<'a> {
     /// unaffected; see [`TaskBundling`]).
     pub fn set_bundling(&mut self, bundling: TaskBundling) {
         self.bundling = bundling;
+    }
+
+    /// Enable or disable fused multi-cube scans (results are unaffected —
+    /// fusion is purely physical; see `agg_relational::schedule`).
+    pub fn set_fusion(&mut self, fuse: bool) {
+        self.fuse = fuse;
     }
 
     /// Run up to `threads` concurrent cube tasks per evaluation wave (the
@@ -287,7 +285,7 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate every candidate of **all** claims of a document in one
     /// scheduling wave: plan the distinct cubes the claims need, submit
-    /// them as [`CubeTask`]s (deduplicating identical requests across
+    /// them as `CubeTask`s (deduplicating identical requests across
     /// claims and — via the cache's single-flight latch — across
     /// concurrent workers), execute, and demultiplex the finished slices
     /// back into one [`ResultsMatrix`] per claim.
@@ -299,136 +297,44 @@ impl<'a> Evaluator<'a> {
             .map(|set| self.plan_claim(set, &mut groups))
             .collect();
 
-        // ---- Phase 2: resolve each group's aggregates: cache hit, own
-        // task, or another worker's in-flight computation. No blocking
-        // here — waits are consumed only after our tasks are submitted,
-        // so concurrent evaluators cannot deadlock on each other.
-        let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(groups.len());
-        let mut tasks: Vec<CubeTask> = Vec::new();
-        let mut handles: Vec<TaskHandle> = Vec::new();
-        for group in &groups {
-            let mut group_slots: Vec<Option<Slot>> = Vec::with_capacity(group.aggs.len());
-            group_slots.resize_with(group.aggs.len(), || None);
-            let mut missing: Vec<MissingAgg> = Vec::new();
-            if let Some(cache) = &self.cache {
-                let keys: Vec<CacheKey> = group
-                    .aggs
-                    .iter()
-                    .map(|(f, c)| CacheKey::new(*f, *c, group.dims.clone()))
-                    .collect();
-                // Atomic multi-key probe: this cube's keys are claimed as
-                // one unit, so concurrent workers can never split its
-                // aggregate set into two executions.
-                for (i, flight) in cache
-                    .flight_batch(&keys, &group.relevant)
-                    .into_iter()
-                    .enumerate()
-                {
-                    match flight {
-                        Flight::Hit(s) => {
-                            self.stats.cubes_cached += 1;
-                            group_slots[i] = Some(Slot::Ready(s));
-                        }
-                        Flight::Compute(guard) => missing.push((i, Some(guard))),
-                        Flight::Wait(w) => {
-                            self.stats.singleflight_waits += 1;
-                            self.stats.tasks_deduped += 1;
-                            group_slots[i] = Some(Slot::Waiting(w));
-                        }
-                    }
-                }
-            } else {
-                missing = (0..group.aggs.len()).map(|i| (i, None)).collect();
-            }
-            if !missing.is_empty() {
-                // Bundle the missing aggregates into tasks. `Wave` packs
-                // everything into one scan; `Canonical` cuts one task per
-                // aggregation column — claims always request a column's
-                // *complete* typing-valid function set (see
-                // `CandidateSet::enumerate`), so those bundles can never
-                // be split or widened by request order, and together with
-                // the canonical literal sets and the atomic probe above
-                // the executed-scan set (and therefore `rows_scanned`)
-                // becomes independent of scheduling: batched runs scan
-                // exactly as many rows as sequential ones.
-                let mut bundles: Vec<(AggColumn, Vec<MissingAgg>)> = Vec::new();
-                for entry in missing {
-                    let col = match self.bundling {
-                        TaskBundling::Wave => AggColumn::Star,
-                        TaskBundling::Canonical => group.aggs[entry.0].1,
-                    };
-                    match bundles.iter_mut().find(|(c, _)| *c == col) {
-                        Some((_, members)) => members.push(entry),
-                        None => bundles.push((col, vec![entry])),
-                    }
-                }
-                for (_, mut members) in bundles {
-                    let cube = CubeQuery {
-                        dims: group.dims.clone(),
-                        relevant: group.relevant.clone(),
-                        aggregates: members.iter().map(|&(i, _)| group.aggs[i]).collect(),
-                    };
-                    let publish = members
-                        .iter_mut()
-                        .enumerate()
-                        .filter_map(|(pos, (i, guard))| {
-                            guard.take().map(|g| (pos, group.aggs[*i].0, g))
-                        })
-                        .collect();
-                    let (task, handle) = CubeTask::new(cube, publish);
-                    let task_idx = tasks.len();
-                    tasks.push(task);
-                    handles.push(handle);
-                    for (pos, (i, _)) in members.iter().enumerate() {
-                        group_slots[*i] = Some(Slot::FromTask(task_idx, pos));
-                    }
-                }
-            }
-            slots.push(
-                group_slots
-                    .into_iter()
-                    .map(|s| s.expect("slot filled"))
-                    .collect(),
-            );
-        }
+        // ---- Phase 2: run the wave through the shared orchestration
+        // layer (`agg_relational::schedule::run_requests` — the one
+        // implementation of the probe/bundle/fuse/collect protocol): one
+        // atomic cache probe for the whole wave, missing aggregates
+        // bundled into tasks, same-scope tasks fused into shared scan
+        // passes, execution on the batch scheduler or a scoped pool, and
+        // collection with poisoned flights retried inline.
+        let requests: Vec<WaveRequest<'_>> = groups
+            .iter()
+            .map(|group| WaveRequest {
+                dims: &group.dims,
+                relevant: &group.relevant,
+                aggs: &group.aggs,
+            })
+            .collect();
+        let exec = WaveExec {
+            cache: self.cache.as_ref(),
+            arena: self.arena,
+            scheduler: self.scheduler,
+            threads: self.threads,
+            bundling: self.bundling,
+            fuse: self.fuse,
+        };
+        let outcome = run_requests(self.db, &exec, &requests)?;
+        self.stats.cubes_cached += outcome.stats.key_hits;
+        // A wave joined in flight was deduplicated exactly like one merged
+        // at planning time; both land in `tasks_deduped`, waits also in
+        // their own counter (net of poison-retry takeovers, which the
+        // orchestration already moved back across the ledger).
+        self.stats.singleflight_waits += outcome.stats.key_waits;
+        self.stats.tasks_deduped += outcome.stats.key_waits;
+        self.stats.cubes_executed += outcome.stats.tasks_executed;
+        self.stats.tasks_executed += outcome.stats.tasks_executed;
+        self.stats.rows_scanned += outcome.stats.rows_scanned;
+        self.stats.scan_passes += outcome.stats.scan_passes;
+        let resolved = outcome.slices;
 
-        // ---- Phase 3: execute the wave. ----
-        match self.scheduler {
-            Some(scheduler) if !tasks.is_empty() => {
-                scheduler.submit(tasks);
-                scheduler.drive(self.db, self.arena, &handles);
-            }
-            _ => run_wave(self.db, self.arena, tasks, &handles, self.threads),
-        }
-
-        // ---- Phase 4: collect own tasks, then wait out foreign flights
-        // (their tasks are submitted, so they make progress; poisoned
-        // flights are retried inline).
-        let mut task_results = Vec::with_capacity(handles.len());
-        for handle in &handles {
-            let result = handle.result()?;
-            self.stats.cubes_executed += 1;
-            self.stats.tasks_executed += 1;
-            self.stats.rows_scanned += result.stats.rows_scanned;
-            task_results.push(result);
-        }
-        let mut resolved: Vec<Vec<CachedSlice>> = Vec::with_capacity(groups.len());
-        for (group, group_slots) in groups.iter().zip(slots) {
-            let mut group_slices = Vec::with_capacity(group_slots.len());
-            for (i, slot) in group_slots.into_iter().enumerate() {
-                let slice = match slot {
-                    Slot::Ready(s) => s,
-                    Slot::FromTask(task_idx, pos) => {
-                        CachedSlice::new(task_results[task_idx].clone(), pos, group.aggs[i].0)
-                    }
-                    Slot::Waiting(w) => self.resolve_wait(w, group, i)?,
-                };
-                group_slices.push(slice);
-            }
-            resolved.push(group_slices);
-        }
-
-        // ---- Phase 5: demultiplex into per-claim result matrices. ----
+        // ---- Phase 3: demultiplex into per-claim result matrices. ----
         Ok(sets
             .iter()
             .zip(&claim_plans)
@@ -636,59 +542,6 @@ impl<'a> Evaluator<'a> {
             self.stats.candidates_evaluated += claim_group.combo_ids.len() as u64 * n_pairs as u64;
         }
         matrix
-    }
-
-    /// Wait out another worker's in-flight cube for `group.aggs[agg_idx]`;
-    /// on poison, re-probe and compute inline if the retry wins the guard.
-    fn resolve_wait(
-        &mut self,
-        mut waiter: FlightWaiter,
-        group: &CubeGroup,
-        agg_idx: usize,
-    ) -> Result<CachedSlice> {
-        loop {
-            if let Some(slice) = waiter.wait() {
-                return Ok(slice);
-            }
-            let (f, c) = group.aggs[agg_idx];
-            let key = CacheKey::new(f, c, group.dims.clone());
-            let cache = self.cache.as_ref().expect("waits only exist with a cache");
-            match cache.flight(&key, &group.relevant) {
-                Flight::Hit(s) => return Ok(s),
-                Flight::Wait(w) => {
-                    // Still deduped — just joining the taker-over's flight.
-                    self.stats.singleflight_waits += 1;
-                    self.stats.tasks_deduped += 1;
-                    waiter = w;
-                }
-                Flight::Compute(guard) => {
-                    // The request was booked as deduped when the original
-                    // probe joined the now-poisoned flight; it ends up
-                    // executed after all, so move it back across the
-                    // ledger before counting the execution.
-                    self.stats.tasks_deduped -= 1;
-                    self.stats.singleflight_waits -= 1;
-                    let cube = CubeQuery {
-                        dims: group.dims.clone(),
-                        relevant: group.relevant.clone(),
-                        aggregates: vec![group.aggs[agg_idx]],
-                    };
-                    let (task, handle) = CubeTask::new(cube, vec![(0, f, guard)]);
-                    run_wave(
-                        self.db,
-                        self.arena,
-                        vec![task],
-                        std::slice::from_ref(&handle),
-                        1,
-                    );
-                    let result = handle.result()?;
-                    self.stats.cubes_executed += 1;
-                    self.stats.tasks_executed += 1;
-                    self.stats.rows_scanned += result.stats.rows_scanned;
-                    return Ok(CachedSlice::new(result, 0, f));
-                }
-            }
-        }
     }
 }
 
@@ -945,7 +798,7 @@ mod tests {
     /// anything itself.
     #[test]
     fn single_flight_stress_eight_workers_share_one_execution() {
-        use agg_relational::{CacheKey, Flight};
+        use agg_relational::{CacheKey, CubeQuery, Flight};
         let db = nfl_db();
         let cat = FragmentCatalog::build(&db, &CatalogConfig::default());
         let set = single_group_set(&cat);

@@ -107,6 +107,9 @@ pub struct RunStats {
     pub tasks_deduped: u64,
     /// Requests that blocked on another worker's in-flight cube.
     pub singleflight_waits: u64,
+    /// Fused row passes executed (same-scope cube tasks of one wave share
+    /// a single table scan; see `agg_relational::schedule::ScanGroup`).
+    pub scan_passes: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Wall-clock time inside query evaluation only.
@@ -205,11 +208,15 @@ struct ExecContext<'e> {
     /// would only oversubscribe the machine.
     threads: usize,
     /// How missing aggregates bundle into cube tasks. Solo verification
-    /// uses `Wave` (fewest scans); batched verification uses `Canonical`
-    /// at every worker count so its executed-scan set — and therefore
-    /// `rows_scanned` — is identical from 1 worker to N (the CI dedup
-    /// gate). Bundling never changes results.
+    /// uses `Wave` (fewest tasks); batched verification uses `Canonical`
+    /// at every worker count so its executed-task set — and therefore the
+    /// fused pass structure and `rows_scanned` — is identical from 1
+    /// worker to N (the CI dedup gate). Bundling never changes results.
     bundling: TaskBundling,
+    /// Fuse same-scope cube tasks of one wave into shared scan passes
+    /// ([`CheckerConfig::fuse_scans`]). Purely physical — reports are
+    /// bit-identical either way.
+    fuse: bool,
 }
 
 /// The AggChecker: verify text summaries of a relational data set.
@@ -284,6 +291,7 @@ impl AggChecker {
                 scheduler: None,
                 threads: self.config.threads,
                 bundling: TaskBundling::Wave,
+                fuse: self.config.fuse_scans,
             },
         )
     }
@@ -387,6 +395,7 @@ impl AggChecker {
                     let mut evaluator = Evaluator::new(&self.db, &self.catalog, cache);
                     evaluator.set_threads(ctx.threads);
                     evaluator.set_bundling(ctx.bundling);
+                    evaluator.set_fusion(ctx.fuse);
                     if let Some(arena) = ctx.arena {
                         evaluator.set_arena(arena);
                     }
@@ -459,6 +468,7 @@ impl AggChecker {
             tasks_executed: eval_stats.tasks_executed,
             tasks_deduped: eval_stats.tasks_deduped,
             singleflight_waits: eval_stats.singleflight_waits,
+            scan_passes: eval_stats.scan_passes,
             elapsed: started.elapsed(),
             query_time,
             candidate_space_log10: self.catalog.candidate_space_log10(),
@@ -649,6 +659,7 @@ impl BatchVerifier {
                 scheduler: None,
                 threads: self.checker.config.threads,
                 bundling: TaskBundling::Canonical,
+                fuse: self.checker.config.fuse_scans,
             };
             return docs
                 .iter()
@@ -679,6 +690,7 @@ impl BatchVerifier {
                                 scheduler: Some(scheduler),
                                 threads: 1,
                                 bundling: TaskBundling::Canonical,
+                                fuse: checker.config.fuse_scans,
                             };
                             let mut out = Vec::new();
                             while !failed.load(Ordering::Relaxed) {
@@ -1023,9 +1035,11 @@ Three were for repeated substance abuse, one was for gambling.</p>
     }
 
     /// The dedup invariant behind the CI gate, at unit-test scale: the
-    /// batched pipeline scans *exactly* as many rows at any worker count
-    /// as at one worker (single-flight + canonical cube scope make the
-    /// execution set order-independent), with bit-identical reports.
+    /// batched pipeline runs *exactly* as many fused scan passes — and
+    /// therefore scans exactly as many rows — at any worker count as at
+    /// one worker (single-flight + canonical cube scope + the atomic
+    /// whole-wave probe make pass formation order-independent), with
+    /// bit-identical reports.
     #[test]
     fn single_flight_keeps_batch_rows_scanned_exact() {
         let db = nfl_db();
@@ -1045,27 +1059,71 @@ Three were for repeated substance abuse, one was for gambling.</p>
             let batch = BatchVerifier::new(db.clone(), cfg).unwrap();
             let reports = batch.verify_texts(&texts).unwrap();
             let rows: u64 = reports.iter().map(|r| r.stats.rows_scanned).sum();
+            let passes: u64 = reports.iter().map(|r| r.stats.scan_passes).sum();
+            let tasks: u64 = reports.iter().map(|r| r.stats.tasks_executed).sum();
             let deduped: u64 = reports.iter().map(|r| r.stats.tasks_deduped).sum();
             let fps: Vec<String> = reports.iter().map(|r| r.content_fingerprint()).collect();
-            (rows, deduped, fps)
+            (rows, passes, tasks, deduped, fps)
         };
-        let (rows_1w, deduped_1w, fps_1w) = run(1);
+        let (rows_1w, passes_1w, tasks_1w, deduped_1w, fps_1w) = run(1);
         assert!(rows_1w > 0);
+        // Fusion packs many tasks into few passes even at one worker.
+        assert!(passes_1w < tasks_1w, "fusion must reduce row passes");
         // Claims of one document share cube groups, so dedup is visible
         // even sequentially.
         assert!(deduped_1w > 0);
         for workers in [2usize, 4, 8] {
-            let (rows, deduped, fps) = run(workers);
+            let (rows, passes, tasks, deduped, fps) = run(workers);
             assert_eq!(
                 rows, rows_1w,
                 "workers={workers}: duplicated or lost cube execution"
             );
+            assert_eq!(
+                passes, passes_1w,
+                "workers={workers}: pass formation depended on scheduling"
+            );
+            assert_eq!(tasks, tasks_1w, "workers={workers}");
             assert!(deduped >= deduped_1w, "workers={workers}");
             assert_eq!(
                 fps, fps_1w,
                 "workers={workers}: reports must be bit-identical"
             );
         }
+    }
+
+    /// Fusion is purely physical: with `fuse_scans` off the pipeline
+    /// reproduces the unfused execution shape (one pass per task, more
+    /// scanned rows) and still produces bit-identical reports.
+    #[test]
+    fn fusion_changes_row_passes_but_not_reports() {
+        let db = nfl_db();
+        let run = |fuse: bool| {
+            let cfg = CheckerConfig {
+                fuse_scans: fuse,
+                ..CheckerConfig::default()
+            };
+            let checker = AggChecker::new(db.clone(), cfg).unwrap();
+            checker.check_text(ARTICLE).unwrap()
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        assert_eq!(
+            fused.content_fingerprint(),
+            unfused.content_fingerprint(),
+            "fusion must not change any report content"
+        );
+        assert_eq!(fused.stats.tasks_executed, unfused.stats.tasks_executed);
+        assert_eq!(
+            unfused.stats.scan_passes, unfused.stats.tasks_executed,
+            "unfused = one pass per task"
+        );
+        assert!(
+            fused.stats.scan_passes < unfused.stats.scan_passes,
+            "fusion must share passes: {} vs {}",
+            fused.stats.scan_passes,
+            unfused.stats.scan_passes
+        );
+        assert!(fused.stats.rows_scanned < unfused.stats.rows_scanned);
     }
 
     #[test]

@@ -311,6 +311,16 @@ impl InFlight {
     }
 }
 
+/// One cube's keys plus the literal coverage they need, for the atomic
+/// multi-cube probe [`EvalCache::flight_batch_many`].
+#[derive(Debug)]
+pub struct FlightRequest<'a> {
+    /// The cube's cache keys (one per aggregate).
+    pub keys: &'a [CacheKey],
+    /// Relevant literals per dimension — one coverage for the whole cube.
+    pub needed: &'a [Vec<Value>],
+}
+
 /// The outcome of a single-flight probe ([`EvalCache::flight`]).
 #[derive(Debug)]
 pub enum Flight {
@@ -557,12 +567,35 @@ impl EvalCache {
     /// never be split across two executions by claim interleaving. All
     /// keys share `needed` (one cube has one literal coverage).
     pub fn flight_batch(&self, keys: &[CacheKey], needed: &[Vec<Value>]) -> Vec<Flight> {
+        let mut out = self.flight_batch_many(std::slice::from_ref(&FlightRequest { keys, needed }));
+        out.pop().expect("one flight set per request")
+    }
+
+    /// [`EvalCache::flight_batch`] for **several cubes in one atomic
+    /// probe**: every key of every request is claimed under a single
+    /// planning-lock hold. A whole scheduling wave (all cube groups of one
+    /// document iteration) probes through this, so two workers racing the
+    /// same wave content can never split one wave's miss set between them
+    /// — whoever enters the planning lock first wins *every* key both
+    /// would have missed. That all-or-nothing claim is what makes fused
+    /// scan-pass formation (and therefore the pipeline's `scan_passes` /
+    /// `rows_scanned` counters) independent of worker interleaving.
+    pub fn flight_batch_many(&self, requests: &[FlightRequest<'_>]) -> Vec<Vec<Flight>> {
         let _planning = self
             .inner
             .planning
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        keys.iter().map(|key| self.flight(key, needed)).collect()
+        requests
+            .iter()
+            .map(|request| {
+                request
+                    .keys
+                    .iter()
+                    .map(|key| self.flight(key, request.needed))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Store a slice. Coverage-preserving: a resident slice that already
@@ -947,6 +980,62 @@ mod tests {
         assert_eq!(stats.singleflight_waits(), waiters as u64);
         assert_eq!(stats.misses(), 1 + waiters as u64, "one computer, 7 waits");
         assert_eq!(stats.entries(), 1, "the cube was computed exactly once");
+    }
+
+    /// A multi-cube probe claims every unserved key of every request in
+    /// one atomic step: a second prober of the same two cubes can win
+    /// nothing — it waits on all of them.
+    #[test]
+    fn flight_batch_many_claims_whole_waves_atomically() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let needed_a = vec![vec![Value::from("a")]];
+        let needed_b = vec![vec![Value::from("b")]];
+        let count_keys = [CacheKey::new(
+            AggFunction::Count,
+            AggColumn::Star,
+            vec![cat],
+        )];
+        let distinct_keys = [CacheKey::new(
+            AggFunction::CountDistinct,
+            AggColumn::Star,
+            vec![cat],
+        )];
+        let requests = [
+            FlightRequest {
+                keys: &count_keys,
+                needed: &needed_a,
+            },
+            FlightRequest {
+                keys: &distinct_keys,
+                needed: &needed_b,
+            },
+        ];
+        let first = cache.flight_batch_many(&requests);
+        let guards: Vec<FlightGuard> = first
+            .into_iter()
+            .flatten()
+            .map(|f| match f {
+                Flight::Compute(g) => g,
+                other => panic!("first prober must win every key, got {other:?}"),
+            })
+            .collect();
+        let second = cache.flight_batch_many(&requests);
+        let waiters: Vec<FlightWaiter> = second
+            .into_iter()
+            .flatten()
+            .map(|f| match f {
+                Flight::Wait(w) => w,
+                other => panic!("second prober must wait on every key, got {other:?}"),
+            })
+            .collect();
+        for guard in guards {
+            guard.fulfill(slice(&db, vec!["a".into(), "b".into()]));
+        }
+        for waiter in waiters {
+            assert!(waiter.wait().is_some());
+        }
     }
 
     /// A dropped guard poisons the flight: waiters wake with `None`, retry,

@@ -40,6 +40,23 @@
 //! dimension-at-a-time — every group is merged into at most `|dims|`
 //! coarser groups, i.e. O(d · groups) merges with no intermediate clones
 //! (the seed implementation cloned every finest group `2^d − 1` times).
+//!
+//! # Fused multi-cube scans
+//!
+//! [`execute_fused_in`] feeds **many cubes' grids from one row pass**: the
+//! cubes of one scheduling wave that reference the same table scope share
+//! a single scan of the joined relation instead of each paying their own
+//! (`crate::schedule::ScanGroup`). Fusion is purely physical and preserves
+//! two invariants the pipeline's determinism rests on:
+//!
+//! * **per-grid isolation** — every member keeps its own mixed-radix LUTs,
+//!   its own dense/hashed decision, and its own accumulator grid, and each
+//!   grid sees the rows in relation order, so a member's f64 accumulation
+//!   sequence (and therefore its [`CubeResult`], down to the last ulp) is
+//!   identical to a solo sequential execution of that cube;
+//! * **member-order updates** — within each row block the grids are
+//!   updated in member (task-submission) order, so even the side effects
+//!   of a pass are deterministic for any member set.
 
 use crate::aggregate::Accumulator;
 use crate::database::{ColumnRef, Database};
@@ -674,6 +691,32 @@ impl DenseGrid {
         }
     }
 
+    /// Fold one block of rows (`row..row + len`) into the grid. Exposed
+    /// separately from [`DenseGrid::scan`] so a fused multi-cube pass can
+    /// interleave the blocks of several grids over one row stream while
+    /// keeping each grid's accumulation sequence identical to a solo scan.
+    fn scan_block(
+        &mut self,
+        row: usize,
+        len: usize,
+        codecs: &[DimCodec<'_>],
+        strides: &[usize],
+        agg_ctx: &[AggCtx<'_>],
+        cellbuf: &mut [u32; SCAN_BLOCK],
+    ) {
+        for (k, slot) in cellbuf[..len].iter_mut().enumerate() {
+            let mut cell = 0usize;
+            for (codec, stride) in codecs.iter().zip(strides) {
+                cell += codec.dense_code(row + k) as usize * stride;
+            }
+            self.touched[cell] = true;
+            *slot = cell as u32;
+        }
+        for (state, ctx) in self.aggs.iter_mut().zip(agg_ctx) {
+            state.update_block(&cellbuf[..len], row, ctx);
+        }
+    }
+
     fn scan(
         &mut self,
         rows: std::ops::Range<usize>,
@@ -685,17 +728,7 @@ impl DenseGrid {
         let mut row = rows.start;
         while row < rows.end {
             let len = (rows.end - row).min(SCAN_BLOCK);
-            for (k, slot) in cellbuf[..len].iter_mut().enumerate() {
-                let mut cell = 0usize;
-                for (codec, stride) in codecs.iter().zip(strides) {
-                    cell += codec.dense_code(row + k) as usize * stride;
-                }
-                self.touched[cell] = true;
-                *slot = cell as u32;
-            }
-            for (state, ctx) in self.aggs.iter_mut().zip(agg_ctx) {
-                state.update_block(&cellbuf[..len], row, ctx);
-            }
+            self.scan_block(row, len, codecs, strides, agg_ctx, &mut cellbuf);
             row += len;
         }
     }
@@ -857,31 +890,8 @@ impl CubeQuery {
         arena: Option<&GridArena>,
     ) -> Result<CubeResult> {
         self.validate()?;
-        let d = self.dims.len();
         let n_rows = relation.len();
-
-        let codecs: Vec<DimCodec<'_>> = self
-            .dims
-            .iter()
-            .zip(&self.relevant)
-            .map(|(dim, lits)| build_codec(db, relation, *dim, lits))
-            .collect();
-
-        let agg_ctx: Vec<AggCtx<'_>> = self
-            .aggregates
-            .iter()
-            .map(|(_, col)| {
-                col.as_column()
-                    .map(|c| (relation.resolver(c), db.column(c)))
-            })
-            .collect();
-
-        // Structural decision rule: dense iff the mixed-radix product of
-        // (literals + OTHER) per dimension fits the configured cap.
-        let radices: Vec<usize> = self.relevant.iter().map(|lits| lits.len() + 1).collect();
-        let cells = radices.iter().try_fold(1usize, |acc, &r| {
-            acc.checked_mul(r).filter(|&c| c <= options.dense_cell_cap)
-        });
+        let plan = self.scan_plan(db, relation, options.dense_cell_cap);
 
         // Parallelize only when every worker gets a meaningful partition,
         // and never oversubscribe the machine: extra workers on a saturated
@@ -897,35 +907,24 @@ impl CubeQuery {
             .min(hardware)
             .min((n_rows / options.parallel_row_threshold.max(1)).max(1));
 
-        let mut finest: Vec<(GroupKey, Vec<Accumulator>)>;
-        let grid_mode;
-        let dense_cells;
-        match cells {
+        let grid = match plan.cells {
             Some(cells) => {
-                grid_mode = GridMode::Dense;
-                dense_cells = cells as u64;
-                let mut strides = vec![0usize; d];
-                let mut stride = 1;
-                for (s, radix) in strides.iter_mut().zip(&radices) {
-                    *s = stride;
-                    stride *= radix;
-                }
-                let mut grid = if threads <= 1 {
+                if threads <= 1 {
                     let mut grid = DenseGrid::new_in(cells, &self.aggregates, arena);
-                    grid.scan(0..n_rows, &codecs, &strides, &agg_ctx);
-                    grid
+                    grid.scan(0..n_rows, &plan.codecs, &plan.strides, &plan.agg_ctx);
+                    MemberGrid::Dense(grid)
                 } else {
                     let chunk = n_rows.div_ceil(threads);
                     let mut partials: Vec<DenseGrid> = std::thread::scope(|scope| {
                         let handles: Vec<_> = (0..threads)
                             .map(|t| {
-                                let (codecs, strides, agg_ctx) = (&codecs, &strides, &agg_ctx);
+                                let plan = &plan;
                                 let aggregates = &self.aggregates;
                                 scope.spawn(move || {
                                     let lo = t * chunk;
                                     let hi = ((t + 1) * chunk).min(n_rows);
                                     let mut grid = DenseGrid::new_in(cells, aggregates, arena);
-                                    grid.scan(lo..hi, codecs, strides, agg_ctx);
+                                    grid.scan(lo..hi, &plan.codecs, &plan.strides, &plan.agg_ctx);
                                     grid
                                 })
                             })
@@ -944,56 +943,26 @@ impl CubeQuery {
                             partial.recycle_into(arena);
                         }
                     }
-                    grid
-                };
-                // Convert touched cells (in deterministic cell order) to
-                // packed group keys: dense code n_lits ⇒ OTHER byte.
-                finest = Vec::new();
-                let touched = std::mem::take(&mut grid.touched);
-                for (cell, touched) in touched.iter().enumerate() {
-                    if !touched {
-                        continue;
-                    }
-                    let cell_accs: Vec<Accumulator> = grid
-                        .aggs
-                        .iter_mut()
-                        .map(|state| state.take_accumulator(cell))
-                        .collect();
-                    let mut codes = [0u8; MAX_DIMS];
-                    for i in 0..d {
-                        let dc = (cell / strides[i]) % radices[i];
-                        codes[i] = if dc == radices[i] - 1 {
-                            OTHER
-                        } else {
-                            dc as u8
-                        };
-                    }
-                    finest.push((GroupKey::from_codes(&codes[..d]), cell_accs));
-                }
-                if let Some(arena) = arena {
-                    arena.recycle_flags(touched);
-                    grid.recycle_into(arena);
+                    MemberGrid::Dense(grid)
                 }
             }
             None => {
-                grid_mode = GridMode::Hashed;
-                dense_cells = 0;
-                let grid = if threads <= 1 {
+                if threads <= 1 {
                     let mut grid = HashedGrid::new();
-                    grid.scan(0..n_rows, &codecs, &self.aggregates, &agg_ctx);
-                    grid
+                    grid.scan(0..n_rows, &plan.codecs, &self.aggregates, &plan.agg_ctx);
+                    MemberGrid::Hashed(grid)
                 } else {
                     let chunk = n_rows.div_ceil(threads);
                     let partials: Vec<HashedGrid> = std::thread::scope(|scope| {
                         let handles: Vec<_> = (0..threads)
                             .map(|t| {
-                                let (codecs, agg_ctx) = (&codecs, &agg_ctx);
+                                let plan = &plan;
                                 let aggregates = &self.aggregates;
                                 scope.spawn(move || {
                                     let lo = t * chunk;
                                     let hi = ((t + 1) * chunk).min(n_rows);
                                     let mut grid = HashedGrid::new();
-                                    grid.scan(lo..hi, codecs, aggregates, agg_ctx);
+                                    grid.scan(lo..hi, &plan.codecs, aggregates, &plan.agg_ctx);
                                     grid
                                 })
                             })
@@ -1008,14 +977,108 @@ impl CubeQuery {
                     for partial in iter {
                         grid.merge(partial);
                     }
-                    grid
-                };
-                finest = grid
+                    MemberGrid::Hashed(grid)
+                }
+            }
+        };
+        Ok(self.finish_scan(grid, &plan, n_rows, threads as u32, arena))
+    }
+
+    /// Build the per-row translation state for one scan of this cube:
+    /// dimension codecs, aggregate input columns, and the dense-grid shape
+    /// (mixed-radix strides, or `cells: None` for the hashed fallback).
+    fn scan_plan<'a>(
+        &self,
+        db: &'a Database,
+        relation: &'a JoinedRelation,
+        dense_cell_cap: usize,
+    ) -> ScanPlan<'a> {
+        let codecs: Vec<DimCodec<'a>> = self
+            .dims
+            .iter()
+            .zip(&self.relevant)
+            .map(|(dim, lits)| build_codec(db, relation, *dim, lits))
+            .collect();
+        let agg_ctx: Vec<AggCtx<'a>> = self
+            .aggregates
+            .iter()
+            .map(|(_, col)| {
+                col.as_column()
+                    .map(|c| (relation.resolver(c), db.column(c)))
+            })
+            .collect();
+        // Structural decision rule: dense iff the mixed-radix product of
+        // (literals + OTHER) per dimension fits the configured cap.
+        let radices: Vec<usize> = self.relevant.iter().map(|lits| lits.len() + 1).collect();
+        let cells = radices.iter().try_fold(1usize, |acc, &r| {
+            acc.checked_mul(r).filter(|&c| c <= dense_cell_cap)
+        });
+        let mut strides = vec![0usize; radices.len()];
+        let mut stride = 1;
+        for (s, radix) in strides.iter_mut().zip(&radices) {
+            *s = stride;
+            stride *= radix;
+        }
+        ScanPlan {
+            codecs,
+            agg_ctx,
+            radices,
+            strides,
+            cells,
+        }
+    }
+
+    /// Turn one finished scan grid into the cube's [`CubeResult`]: extract
+    /// finest groups in deterministic order, roll up, finish accumulators.
+    fn finish_scan(
+        &self,
+        grid: MemberGrid,
+        plan: &ScanPlan<'_>,
+        n_rows: usize,
+        scan_threads: u32,
+        arena: Option<&GridArena>,
+    ) -> CubeResult {
+        let d = self.dims.len();
+        let (finest, grid_mode, dense_cells) = match grid {
+            MemberGrid::Dense(mut grid) => {
+                // Convert touched cells (in deterministic cell order) to
+                // packed group keys: dense code n_lits ⇒ OTHER byte.
+                let mut finest = Vec::new();
+                let touched = std::mem::take(&mut grid.touched);
+                for (cell, touched) in touched.iter().enumerate() {
+                    if !touched {
+                        continue;
+                    }
+                    let cell_accs: Vec<Accumulator> = grid
+                        .aggs
+                        .iter_mut()
+                        .map(|state| state.take_accumulator(cell))
+                        .collect();
+                    let mut codes = [0u8; MAX_DIMS];
+                    for (i, code) in codes.iter_mut().take(d).enumerate() {
+                        let dc = (cell / plan.strides[i]) % plan.radices[i];
+                        *code = if dc == plan.radices[i] - 1 {
+                            OTHER
+                        } else {
+                            dc as u8
+                        };
+                    }
+                    finest.push((GroupKey::from_codes(&codes[..d]), cell_accs));
+                }
+                if let Some(arena) = arena {
+                    arena.recycle_flags(touched);
+                    grid.recycle_into(arena);
+                }
+                let cells = plan.cells.expect("dense grid implies dense cells") as u64;
+                (finest, GridMode::Dense, cells)
+            }
+            MemberGrid::Hashed(grid) => {
+                let mut finest: Vec<(GroupKey, Vec<Accumulator>)> = grid
                     .groups
                     .into_iter()
                     .map(|(key, accs)| {
                         let mut codes = [0u8; MAX_DIMS];
-                        for (i, (code, radix)) in codes.iter_mut().zip(&radices).enumerate() {
+                        for (i, (code, radix)) in codes.iter_mut().zip(&plan.radices).enumerate() {
                             let dc = ((key >> (8 * i)) & 0xff) as usize;
                             *code = if dc == radix - 1 { OTHER } else { dc as u8 };
                         }
@@ -1024,33 +1087,154 @@ impl CubeQuery {
                     .collect();
                 // Deterministic rollup order regardless of hash iteration.
                 finest.sort_unstable_by_key(|(key, _)| *key);
+                (finest, GridMode::Hashed, 0)
             }
-        }
+        };
 
         let finest_groups = finest.len() as u64;
-        let (keys, arena) = rollup(finest, d);
+        let (keys, accs_arena) = rollup(finest, d);
 
         let stats = CubeStats {
             rows_scanned: n_rows as u64,
             finest_groups,
-            total_groups: arena.len() as u64,
-            scan_threads: threads as u32,
+            total_groups: accs_arena.len() as u64,
+            scan_threads,
             grid_mode,
             dense_cells,
         };
         let groups = keys
             .into_iter()
-            .zip(&arena)
+            .zip(&accs_arena)
             .map(|(k, accs)| (k, accs.iter().map(Accumulator::finish).collect()))
             .collect();
-        Ok(CubeResult {
+        CubeResult {
             dims: self.dims.clone(),
             relevant: self.relevant.clone(),
             n_aggs: self.aggregates.len(),
             groups,
             stats,
-        })
+        }
     }
+}
+
+/// One cube's scan state inside a (possibly fused) pass.
+enum MemberGrid {
+    Dense(DenseGrid),
+    Hashed(HashedGrid),
+}
+
+/// Per-cube row→grid translation state for one scan: dimension codecs,
+/// aggregate input columns, and the mixed-radix shape. Built once per pass
+/// per member cube.
+struct ScanPlan<'a> {
+    codecs: Vec<DimCodec<'a>>,
+    agg_ctx: Vec<AggCtx<'a>>,
+    radices: Vec<usize>,
+    strides: Vec<usize>,
+    /// Dense-grid cell count; `None` sends the cube to the hashed grid.
+    cells: Option<usize>,
+}
+
+/// Execute several cubes over **one shared row pass** (the fused multi-cube
+/// scan): every member must reference exactly the same table scope, the
+/// joined relation is materialized once, and each row is folded into every
+/// member's own grid — per-grid mixed-radix LUTs, per-grid dense/hashed
+/// decision, per-grid [`CubeStats`].
+///
+/// Grids are updated in member order within each row block, and each grid
+/// sees the rows in relation order, so every member's accumulation
+/// sequence — and therefore every f64 result — is **bit-identical** to a
+/// solo sequential [`CubeQuery::execute_in`] of that cube. The scan is
+/// always sequential: fused passes draw their parallelism from running
+/// many passes at once (`crate::schedule`), which is what keeps results
+/// independent of worker counts.
+pub fn execute_fused_in(
+    db: &Database,
+    cubes: &[&CubeQuery],
+    options: &CubeOptions,
+    arena: Option<&GridArena>,
+) -> Result<Vec<CubeResult>> {
+    let Some(first) = cubes.first() else {
+        return Ok(Vec::new());
+    };
+    let relation = JoinedRelation::for_tables(db, &first.tables_referenced())?;
+    execute_fused_on_in(db, &relation, cubes, options, arena)
+}
+
+/// [`execute_fused_in`] against a pre-materialized joined relation. As
+/// with [`CubeQuery::execute_on_in`], the caller must pass a relation
+/// joined for the members' table scope; member scope *mutual* equality is
+/// enforced here (a mixed-scope member set would silently index the wrong
+/// table's rows).
+pub fn execute_fused_on_in(
+    db: &Database,
+    relation: &JoinedRelation,
+    cubes: &[&CubeQuery],
+    options: &CubeOptions,
+    arena: Option<&GridArena>,
+) -> Result<Vec<CubeResult>> {
+    let Some(first) = cubes.first() else {
+        return Ok(Vec::new());
+    };
+    let scope = first.tables_referenced();
+    for cube in cubes {
+        cube.validate()?;
+        if cube.tables_referenced() != scope {
+            return Err(RelationalError::InvalidQuery(format!(
+                "fused cubes must share one table scope: {:?} vs {:?}",
+                scope,
+                cube.tables_referenced()
+            )));
+        }
+    }
+    let n_rows = relation.len();
+    let plans: Vec<ScanPlan<'_>> = cubes
+        .iter()
+        .map(|cube| cube.scan_plan(db, relation, options.dense_cell_cap))
+        .collect();
+    let mut grids: Vec<MemberGrid> = cubes
+        .iter()
+        .zip(&plans)
+        .map(|(cube, plan)| match plan.cells {
+            Some(cells) => MemberGrid::Dense(DenseGrid::new_in(cells, &cube.aggregates, arena)),
+            None => MemberGrid::Hashed(HashedGrid::new()),
+        })
+        .collect();
+
+    // The one row pass: each block of rows is folded into every member's
+    // grid before moving on, so the touched cells of all grids stay hot
+    // while the block's column values are still in cache.
+    let mut cellbuf = [0u32; SCAN_BLOCK];
+    let mut row = 0usize;
+    while row < n_rows {
+        let len = (n_rows - row).min(SCAN_BLOCK);
+        for ((cube, plan), grid) in cubes.iter().zip(&plans).zip(&mut grids) {
+            match grid {
+                MemberGrid::Dense(g) => g.scan_block(
+                    row,
+                    len,
+                    &plan.codecs,
+                    &plan.strides,
+                    &plan.agg_ctx,
+                    &mut cellbuf,
+                ),
+                MemberGrid::Hashed(g) => g.scan(
+                    row..row + len,
+                    &plan.codecs,
+                    &cube.aggregates,
+                    &plan.agg_ctx,
+                ),
+            }
+        }
+        row += len;
+    }
+
+    Ok(cubes
+        .iter()
+        .zip(plans)
+        .zip(grids)
+        .map(|((cube, plan), grid)| cube.finish_scan(grid, &plan, n_rows, 1, arena))
+        .collect())
 }
 
 /// Roll the finest-level groups up into every dimension subset,
@@ -1595,6 +1779,135 @@ mod tests {
             for sel in [DimSel::Any, DimSel::Literal(0), DimSel::Literal(1)] {
                 assert_eq!(r.get_count(&[sel], 0), seq.get_count(&[sel], 0), "{sel:?}");
             }
+        }
+    }
+
+    /// Every member of a fused pass must produce a result bit-identical to
+    /// its own solo sequential execution — dense and hashed members alike,
+    /// stats included.
+    #[test]
+    fn fused_scan_matches_solo_execution_per_member() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let cat = db.resolve("nflsuspensions", "category").unwrap();
+        let year = db.resolve("nflsuspensions", "year").unwrap();
+        let cubes = [
+            nfl_cube_query(&db),
+            CubeQuery {
+                dims: vec![games],
+                relevant: vec![vec!["indef".into(), "10".into()]],
+                aggregates: vec![
+                    (AggFunction::Count, AggColumn::Star),
+                    (AggFunction::Avg, AggColumn::Column(year)),
+                ],
+            },
+            CubeQuery {
+                dims: vec![],
+                relevant: vec![],
+                aggregates: vec![(AggFunction::Max, AggColumn::Column(year))],
+            },
+            CubeQuery {
+                dims: vec![cat],
+                relevant: vec![vec!["gambling".into(), "peds".into()]],
+                aggregates: vec![(AggFunction::CountDistinct, AggColumn::Column(year))],
+            },
+        ];
+        // cap 5 sends the 6-cell first cube to the hashed grid while the
+        // others stay dense — fusion must handle a mixed member set.
+        for cap in [usize::MAX, 5] {
+            let options = CubeOptions {
+                dense_cell_cap: cap,
+                ..CubeOptions::default()
+            };
+            let refs: Vec<&CubeQuery> = cubes.iter().collect();
+            let fused = execute_fused_in(&db, &refs, &options, None).unwrap();
+            assert_eq!(fused.len(), cubes.len());
+            for (cube, fused_result) in cubes.iter().zip(&fused) {
+                let solo = cube.execute_with(&db, &options).unwrap();
+                assert_eq!(fused_result.stats, solo.stats, "cap={cap}");
+                assert_eq!(fused_result.group_count(), solo.group_count());
+                for (key, vals) in &solo.groups {
+                    assert_eq!(fused_result.groups.get(key), Some(vals), "cap={cap}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_of_nothing_is_empty() {
+        let db = nfl();
+        assert!(execute_fused_in(&db, &[], &CubeOptions::default(), None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn fused_scan_rejects_invalid_members() {
+        let db = nfl();
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let good = nfl_cube_query(&db);
+        let bad = CubeQuery {
+            dims: vec![games],
+            relevant: vec![vec!["indef".into()]],
+            aggregates: vec![(AggFunction::Percentage, AggColumn::Star)],
+        };
+        assert!(execute_fused_in(&db, &[&good, &bad], &CubeOptions::default(), None).is_err());
+    }
+
+    #[test]
+    fn fused_scan_rejects_mixed_table_scopes() {
+        let mut db = nfl();
+        let other =
+            Table::from_columns("other", vec![("x", vec!["a".into(), "b".into()])]).unwrap();
+        db.add_table(other);
+        let games_cube = CubeQuery {
+            dims: vec![db.resolve("nflsuspensions", "games").unwrap()],
+            relevant: vec![vec!["indef".into()]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        let other_cube = CubeQuery {
+            dims: vec![db.resolve("other", "x").unwrap()],
+            relevant: vec![vec!["a".into()]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        // A mixed-scope member set must be a clean error, not a silent
+        // mis-indexed scan — in release builds there is no debug_assert
+        // to catch it.
+        let err = execute_fused_in(
+            &db,
+            &[&games_cube, &other_cube],
+            &CubeOptions::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("table scope"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn fused_scan_draws_grids_from_the_arena() {
+        let db = nfl();
+        let q1 = nfl_cube_query(&db);
+        let games = db.resolve("nflsuspensions", "games").unwrap();
+        let q2 = CubeQuery {
+            dims: vec![games],
+            relevant: vec![vec!["indef".into()]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        let arena = GridArena::new();
+        let first =
+            execute_fused_in(&db, &[&q1, &q2], &CubeOptions::default(), Some(&arena)).unwrap();
+        let after_first = arena.stats();
+        assert!(after_first.allocations > 0);
+        let second =
+            execute_fused_in(&db, &[&q1, &q2], &CubeOptions::default(), Some(&arena)).unwrap();
+        // The second pass is served entirely from the pool.
+        assert_eq!(arena.stats().allocations, after_first.allocations);
+        assert_eq!(arena.stats().reuses, after_first.allocations);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.groups, b.groups);
         }
     }
 

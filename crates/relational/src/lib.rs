@@ -48,13 +48,14 @@ pub mod value;
 
 pub use aggregate::{ratio_from_counts, Accumulator};
 pub use cache::{
-    CacheKey, CacheStats, CachedSlice, EvalCache, Flight, FlightGuard, FlightWaiter, ShardStats,
-    DEFAULT_CACHE_SHARDS,
+    CacheKey, CacheStats, CachedSlice, EvalCache, Flight, FlightGuard, FlightRequest, FlightWaiter,
+    ShardStats, DEFAULT_CACHE_SHARDS,
 };
 pub use column::{ColumnData, StringDictionary, NULL_CODE};
 pub use cost::CostModel;
 pub use cube::{
-    ArenaStats, CubeOptions, CubeQuery, CubeResult, CubeStats, DimSel, GridArena, GridMode,
+    execute_fused_in, execute_fused_on_in, ArenaStats, CubeOptions, CubeQuery, CubeResult,
+    CubeStats, DimSel, GridArena, GridMode,
 };
 pub use database::{ColumnRef, Database};
 pub use error::{RelationalError, Result};
@@ -63,7 +64,10 @@ pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use join::{JoinPath, JoinedRelation};
 pub use merge::{MergePlan, MergePlanner, MergeStats};
 pub use query::{AggColumn, AggFunction, Predicate, SimpleAggregateQuery};
-pub use schedule::{run_wave, CubeScheduler, CubeTask, TaskHandle};
+pub use schedule::{
+    run_requests, run_wave, CubeScheduler, CubeTask, ScanGroup, TaskBundling, TaskHandle, WaveExec,
+    WaveOutcome, WaveRequest, WaveStats,
+};
 pub use schema::{ColumnMeta, ForeignKey, TableSchema};
 pub use table::Table;
 pub use value::{DataType, Value};

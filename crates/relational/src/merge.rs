@@ -10,20 +10,21 @@
 //! derived from the cube's rollup groups, exactly as footnote 1 of the
 //! paper defines them.
 //!
-//! A plan's cubes are mutually independent, so execution is expressed as a
-//! set of [`CubeTask`]s (`crate::schedule`): each cache miss that wins its
-//! single-flight claim becomes one task, tasks run on a scoped wave of up
-//! to `threads` workers, and misses that lost the claim block on the
-//! winning flight instead of re-executing the cube — concurrent plans over
-//! one shared cache compute every cube exactly once.
+//! A plan's cubes are mutually independent, so execution rides the shared
+//! wave-orchestration layer ([`crate::schedule::run_requests`]): each cache
+//! miss that wins its single-flight claim becomes one cube task, same-scope
+//! tasks fuse into one scan pass, the wave runs on up to `threads` scoped
+//! workers, and misses that lost the claim block on the winning flight
+//! instead of re-executing the cube — concurrent plans over one shared
+//! cache compute every cube exactly once.
 
 use crate::aggregate::ratio_from_counts;
-use crate::cache::{CacheKey, CachedSlice, EvalCache, Flight, FlightWaiter};
+use crate::cache::{CachedSlice, EvalCache};
 use crate::cube::CubeQuery;
 use crate::database::{ColumnRef, Database};
 use crate::error::Result;
 use crate::query::{AggColumn, AggFunction, SimpleAggregateQuery};
-use crate::schedule::{run_wave, CubeTask, TaskHandle};
+use crate::schedule::{run_requests, TaskBundling, WaveExec, WaveRequest};
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -65,8 +66,11 @@ pub struct MergeStats {
     /// Cubes satisfied without an own execution: resident cache slices,
     /// another thread's in-flight computation, or a mix of both.
     pub cubes_cached: usize,
-    /// Total rows scanned by executed cubes.
+    /// Real rows read by this run's fused scan passes (each pass charges
+    /// its relation length once, however many cubes it feeds).
     pub rows_scanned: u64,
+    /// Fused row passes executed (same-scope cubes share one pass).
+    pub scan_passes: u64,
     /// Aggregate slices served by joining another thread's in-flight
     /// computation (single-flight) instead of executing a duplicate cube.
     pub singleflight_waits: usize,
@@ -202,173 +206,47 @@ impl MergePlan {
         cache: Option<&EvalCache>,
         threads: usize,
     ) -> Result<(Vec<Option<f64>>, MergeStats)> {
-        let mut stats = MergeStats::default();
-        // Per cube, per aggregate position: how the slice arrives.
-        enum Slot {
-            Ready(CachedSlice),
-            /// `(task index, aggregate position within the task's cube)`.
-            FromTask(usize, usize),
-            Waiting(FlightWaiter),
-        }
-        let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(self.cubes.len());
-        let mut tasks: Vec<CubeTask> = Vec::new();
-        let mut handles: Vec<TaskHandle> = Vec::new();
+        // The probe/bundle/wave/collect protocol lives in one place —
+        // `schedule::run_requests` — shared with `core::evaluate`. A plan
+        // bundles each cube's missing aggregates into one task (`Wave`
+        // bundling) and fuses same-scope tasks into shared scan passes.
+        let requests: Vec<WaveRequest<'_>> = self
+            .cubes
+            .iter()
+            .map(|cube| WaveRequest {
+                dims: &cube.dims,
+                relevant: &cube.relevant,
+                aggs: &cube.aggregates,
+            })
+            .collect();
+        let exec = WaveExec {
+            cache,
+            arena: None,
+            scheduler: None,
+            threads,
+            bundling: TaskBundling::Wave,
+            fuse: true,
+        };
+        let outcome = run_requests(db, &exec, &requests)?;
 
-        // Phase 1: probe the cache (claiming single-flight guards) and
-        // bundle every won key of a cube into one task. No blocking here —
-        // waits are only consumed after our own tasks are submitted, so
-        // concurrent plans cannot deadlock on each other's claims.
-        for cube in &self.cubes {
-            let mut cube_slots: Vec<Option<Slot>> = Vec::with_capacity(cube.aggregates.len());
-            cube_slots.resize_with(cube.aggregates.len(), || None);
-            let mut missing: Vec<(usize, Option<crate::cache::FlightGuard>)> = Vec::new();
-            if let Some(cache) = cache {
-                let keys: Vec<CacheKey> = cube
-                    .aggregates
-                    .iter()
-                    .map(|(f, c)| CacheKey::new(*f, *c, cube.dims.clone()))
-                    .collect();
-                // Atomic multi-key probe: concurrent plans cannot split
-                // this cube's aggregate set into two executions.
-                for (i, flight) in cache
-                    .flight_batch(&keys, &cube.relevant)
-                    .into_iter()
-                    .enumerate()
-                {
-                    match flight {
-                        Flight::Hit(s) => cube_slots[i] = Some(Slot::Ready(s)),
-                        Flight::Compute(guard) => missing.push((i, Some(guard))),
-                        Flight::Wait(w) => {
-                            stats.singleflight_waits += 1;
-                            cube_slots[i] = Some(Slot::Waiting(w));
-                        }
-                    }
-                }
-            } else {
-                missing = (0..cube.aggregates.len()).map(|i| (i, None)).collect();
-            }
-
-            if missing.is_empty() {
-                // Nothing to execute ourselves: resident slices, another
-                // thread's in-flight computation, or a mix. Counting all
-                // of these as "cached" keeps cubes_cached + cubes_executed
-                // reconciling with the plan's cube count.
-                stats.cubes_cached += 1;
-            } else {
-                // One task restricted to the aggregates we must compute.
-                let sub = CubeQuery {
-                    dims: cube.dims.clone(),
-                    relevant: cube.relevant.clone(),
-                    aggregates: missing.iter().map(|&(i, _)| cube.aggregates[i]).collect(),
-                };
-                let publish = missing
-                    .iter_mut()
-                    .enumerate()
-                    .filter_map(|(pos, (i, guard))| {
-                        guard.take().map(|g| (pos, cube.aggregates[*i].0, g))
-                    })
-                    .collect();
-                let (task, handle) = CubeTask::new(sub, publish);
-                let task_idx = tasks.len();
-                tasks.push(task);
-                handles.push(handle);
-                for (pos, (i, _)) in missing.iter().enumerate() {
-                    cube_slots[*i] = Some(Slot::FromTask(task_idx, pos));
-                }
-            }
-            slots.push(
-                cube_slots
-                    .into_iter()
-                    .map(|s| s.expect("slot filled"))
-                    .collect(),
-            );
-        }
-
-        // Phase 2: run the wave (sequential when `threads` is 1).
-        run_wave(db, None, tasks, &handles, threads);
-
-        // Phase 3: collect — own tasks first, then flights owned by other
-        // threads (whose tasks are already submitted, so they make
-        // progress); a poisoned flight is retried inline.
-        let mut task_results = Vec::with_capacity(handles.len());
-        for handle in &handles {
-            let result = handle.result()?;
-            stats.cubes_executed += 1;
-            stats.rows_scanned += result.stats.rows_scanned;
-            task_results.push(result);
-        }
-        let mut slices: Vec<Vec<CachedSlice>> = Vec::with_capacity(self.cubes.len());
-        for (cube, cube_slots) in self.cubes.iter().zip(slots) {
-            let mut cube_slices = Vec::with_capacity(cube_slots.len());
-            for (i, slot) in cube_slots.into_iter().enumerate() {
-                let slice = match slot {
-                    Slot::Ready(s) => s,
-                    Slot::FromTask(task_idx, pos) => {
-                        CachedSlice::new(task_results[task_idx].clone(), pos, cube.aggregates[i].0)
-                    }
-                    Slot::Waiting(w) => {
-                        let (f, c) = cube.aggregates[i];
-                        let key = CacheKey::new(f, c, cube.dims.clone());
-                        let cache = cache.expect("waits only exist with a cache");
-                        resolve_wait(db, cache, w, &key, cube, i, &mut stats)?
-                    }
-                };
-                cube_slices.push(slice);
-            }
-            slices.push(cube_slices);
-        }
+        // Counting every fully-served cube as "cached" — resident slices,
+        // another thread's in-flight computation, or a mix — keeps
+        // cubes_cached + cubes_executed reconciling with the cube count.
+        let stats = MergeStats {
+            cubes_executed: outcome.stats.tasks_executed as usize,
+            cubes_cached: outcome.stats.groups_fully_served as usize,
+            rows_scanned: outcome.stats.rows_scanned,
+            scan_passes: outcome.stats.scan_passes,
+            singleflight_waits: outcome.stats.key_waits as usize,
+        };
 
         // Resolve each query's lookup.
         let results = self
             .targets
             .iter()
-            .map(|t| resolve(&slices[t.cube], t))
+            .map(|t| resolve(&outcome.slices[t.cube], t))
             .collect();
         Ok((results, stats))
-    }
-}
-
-/// Wait out another thread's flight for `cube.aggregates[agg_idx]`; on
-/// poison, retry the probe and compute inline if the retry wins.
-fn resolve_wait(
-    db: &Database,
-    cache: &EvalCache,
-    mut waiter: FlightWaiter,
-    key: &CacheKey,
-    cube: &CubeQuery,
-    agg_idx: usize,
-    stats: &mut MergeStats,
-) -> Result<CachedSlice> {
-    loop {
-        if let Some(slice) = waiter.wait() {
-            return Ok(slice);
-        }
-        // The computing thread failed; take over (or join the next one).
-        match cache.flight(key, &cube.relevant) {
-            Flight::Hit(s) => return Ok(s),
-            Flight::Wait(w) => {
-                stats.singleflight_waits += 1;
-                waiter = w;
-            }
-            Flight::Compute(guard) => {
-                // The original wait never served a slice (the flight was
-                // poisoned and this thread took over), so it comes back
-                // off the ledger before the execution is counted.
-                stats.singleflight_waits -= 1;
-                let (f, _) = cube.aggregates[agg_idx];
-                let sub = CubeQuery {
-                    dims: cube.dims.clone(),
-                    relevant: cube.relevant.clone(),
-                    aggregates: vec![cube.aggregates[agg_idx]],
-                };
-                let result = std::sync::Arc::new(sub.execute(db)?);
-                stats.cubes_executed += 1;
-                stats.rows_scanned += result.stats.rows_scanned;
-                let slice = CachedSlice::new(result, 0, f);
-                guard.fulfill(slice.clone());
-                return Ok(slice);
-            }
-        }
     }
 }
 
@@ -617,12 +495,15 @@ mod tests {
     }
 
     #[test]
-    fn rows_scanned_reflects_merging_savings() {
+    fn rows_scanned_reflects_merging_and_fusion_savings() {
         let db = nfl();
         let queries = candidate_batch(&db);
         let plan = MergePlanner::plan(&db, &queries).unwrap();
         let (_, stats) = plan.execute(&db).unwrap();
-        // 3 cubes × 6 rows = 18 rows, versus 7 × 6 = 42 rows naively.
-        assert_eq!(stats.rows_scanned, 18);
+        // The 3 cubes share one table scope, so they fuse into a single
+        // 6-row pass — versus 3 × 6 = 18 rows unfused and 7 × 6 = 42 rows
+        // naively.
+        assert_eq!(stats.scan_passes, 1);
+        assert_eq!(stats.rows_scanned, 6);
     }
 }

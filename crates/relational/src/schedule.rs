@@ -1,44 +1,89 @@
-//! The cube-task scheduler: cubes as the unit of parallel work.
+//! The cube-task scheduler and the **single wave-orchestration layer**:
+//! fused scan passes as the unit of physical work.
 //!
 //! The paper's cost model (§5/§6) is dominated by executing merged CUBE
 //! queries, and the claims of one document — let alone the documents of a
-//! batch — need many *independent* cubes. Instead of parallelizing rows
-//! within one cube and running cubes serially, this module makes the
-//! **cube task** the schedulable unit:
+//! batch — need many *independent* cubes. This module owns the whole
+//! execution shape above the cube kernel:
 //!
 //! * a [`CubeTask`] owns one [`CubeQuery`] plus the single-flight
-//!   [`FlightGuard`]s it must publish into the shared [`EvalCache`](crate::cache::EvalCache) when it finishes;
-//! * a [`CubeScheduler`] is a shared work queue that any number of scoped
-//!   worker threads drain. Claim evaluators submit whole waves of tasks
-//!   (every cube of every claim of a document at once) and then *help*
-//!   drain the queue until their own tasks are done ([`CubeScheduler::drive`]),
+//!   [`FlightGuard`]s it must publish into the shared
+//!   [`EvalCache`] when it finishes;
+//! * a [`ScanGroup`] is the schedulable unit: **all tasks of one wave that
+//!   reference the same table scope, fused into one row pass** that feeds
+//!   every member's grid ([`crate::cube::execute_fused_in`]). Fusion is
+//!   purely physical — each member's result, stats, and cache publication
+//!   are exactly those of a solo sequential execution;
+//! * a [`CubeScheduler`] is a shared work queue of scan groups drained
+//!   cooperatively by scoped worker threads. Wave submitters *help* drain
+//!   the queue until their own tasks are done ([`CubeScheduler::drive`]),
 //!   so a submitter is never idle while work is pending and a pool of one
-//!   degenerates to exact sequential execution;
-//! * batch verification shares **one** scheduler across all documents: a
-//!   worker that runs out of documents keeps executing other documents'
-//!   cube tasks ([`CubeScheduler::run_worker`]) until the batch closes.
+//!   degenerates to exact sequential execution; batch verification shares
+//!   **one** scheduler across all documents ([`CubeScheduler::run_worker`]);
+//! * [`run_requests`] is the **one** implementation of the
+//!   probe → bundle → fuse → execute → collect-with-poison-retry protocol.
+//!   Both `core::evaluate::Evaluator::evaluate_all` and
+//!   `MergePlan::execute_*`(crate::merge::MergePlan) drive their waves
+//!   through it, so the single-flight protocol exists exactly once.
 //!
-//! Tasks execute their scan *sequentially* ([`CubeOptions::default`]):
-//! parallelism comes from running many cubes at once, which keeps f64
-//! accumulation order — and therefore every report — bit-identical across
+//! # ScanGroup fusion invariants
+//!
+//! Fused passes must not perturb anything the dedup gate measures:
+//!
+//! * **Canonical grid-update order.** A scan group's members are kept in
+//!   task-submission order and the fused kernel updates their grids in
+//!   that order, each grid seeing the rows in relation order — so every
+//!   member's f64 accumulation sequence, and therefore every report, is
+//!   bit-identical to the unfused path at any worker count (1/2/4/8).
+//! * **Single-flight publication per cube key, unchanged.** Fusion never
+//!   widens or splits a task's aggregate bundle; each member still
+//!   publishes exactly the keys it claimed, and a failed pass poisons
+//!   exactly its members' flights.
+//! * **Atomic wave probes.** A wave claims every key of every one of its
+//!   cube groups under one planning-lock hold
+//!   ([`EvalCache::flight_batch_many`](crate::cache::EvalCache::flight_batch_many)),
+//!   so racing workers can never split one wave's miss set between them:
+//!   whichever wave enters the planning lock first wins its *entire* miss
+//!   set as one fused pass per table scope. Pass formation is
+//!   planning-time (per wave, per scope), so `scan_passes` — and the
+//!   pass-level `rows_scanned` — depend only on which waves create at
+//!   least one task per scope, never on how tasks interleave inside the
+//!   scheduler. That count is exactly worker-count-independent whenever
+//!   each wave's miss set per scope is either fully covered by one
+//!   concurrent wave (all-or-nothing: identical documents, repeat EM
+//!   iterations) or retains at least one key no concurrent wave covers
+//!   (distinct documents) — the shape of real document batches, where
+//!   every document's claims contribute document-specific cube groups.
+//!   The CI `dedup-gate` asserts the equality end to end at 1 vs 4
+//!   workers (and the pipeline unit tests at 1/2/4/8) on the committed
+//!   corpora; a batch of documents whose miss sets *partially* overlap
+//!   with no wave-unique remainder could legitimately shift a pass
+//!   between waves, which the gate would surface rather than hide.
+//!
+//! Tasks and fused passes always scan *sequentially*
+//! ([`CubeOptions::default`]): parallelism comes from running many passes
+//! at once, which keeps every f64 accumulation sequence independent of
 //! worker counts and scheduling orders.
 //!
 //! # Deadlock freedom
 //!
 //! The submit protocol is: probe the cache (claiming flights), submit every
 //! task won, **then** drive the queue until the submitted tasks finish, and
-//! only after that block on [`FlightWaiter`](crate::cache::FlightWaiter)s owned by other threads. A
+//! only after that block on [`FlightWaiter`]s owned by other threads. A
 //! thread therefore never waits on a flight before its own tasks are
 //! published-or-executed, and every flight being waited on belongs to a
 //! task that is either queued (any driver can pick it up) or already
 //! running; a poisoned flight wakes its waiters for a retry rather than
 //! wedging them.
 
-use crate::cache::FlightGuard;
-use crate::cube::{CubeOptions, CubeQuery, CubeResult, GridArena};
-use crate::database::Database;
+use crate::cache::{
+    CacheKey, CachedSlice, EvalCache, Flight, FlightGuard, FlightRequest, FlightWaiter,
+};
+use crate::cube::{execute_fused_in, CubeOptions, CubeQuery, CubeResult, GridArena};
+use crate::database::{ColumnRef, Database};
 use crate::error::{RelationalError, Result};
-use crate::query::AggFunction;
+use crate::query::{AggColumn, AggFunction};
+use crate::value::Value;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -89,6 +134,19 @@ impl TaskHandle {
             TaskState::Failed(e) => Err(e.clone()),
         }
     }
+
+    /// [`TaskHandle::result`], consuming the handle: the unique-owner path
+    /// moves the settled state out instead of cloning the `Arc`.
+    pub fn into_result(self) -> Result<Arc<CubeResult>> {
+        match Arc::try_unwrap(self.cell) {
+            Ok(cell) => match cell.state.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                TaskState::Pending => panic!("task result taken before completion"),
+                TaskState::Done(result) => Ok(result),
+                TaskState::Failed(e) => Err(e),
+            },
+            Err(cell) => TaskHandle { cell }.result(),
+        }
+    }
 }
 
 impl CubeTask {
@@ -111,39 +169,132 @@ impl CubeTask {
         )
     }
 
-    /// Execute the cube (sequential scan — see the module docs), publish
-    /// every won flight, and settle the completion cell. On error the
-    /// guards are dropped, poisoning their flights so waiters retry.
+    /// Settle with a finished result: publish every won flight first.
+    fn complete(self, result: CubeResult) {
+        let result = Arc::new(result);
+        for (pos, function, guard) in self.publish {
+            guard.fulfill(crate::cache::CachedSlice::new(
+                result.clone(),
+                pos,
+                function,
+            ));
+        }
+        *lock(&self.cell.state) = TaskState::Done(result);
+    }
+
+    /// Settle with an error; the dropped guards poison this task's flights
+    /// so waiters retry.
+    fn fail(self, e: RelationalError) {
+        drop(self.publish);
+        *lock(&self.cell.state) = TaskState::Failed(e);
+    }
+}
+
+/// One fused row pass: every member task's cube references the same table
+/// scope, and one scan of the joined relation feeds all their grids. The
+/// member list keeps task-submission order (see the module docs).
+#[derive(Debug)]
+pub struct ScanGroup {
+    members: Vec<CubeTask>,
+}
+
+/// Partition `tasks` into fusion groups: `(table scope, member indices)`
+/// in first-seen scope order, members in submission order. With `fuse`
+/// off every task is its own singleton group (the unfused PR 3 shape).
+/// This is the **one** implementation of the pass-formation rule — both
+/// [`ScanGroup::fuse`] and [`run_requests`] go through it, so the
+/// documented invariants cannot silently diverge between the test surface
+/// and the production path.
+fn fusion_partition(tasks: &[CubeTask], fuse: bool) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut partition: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    for (i, task) in tasks.iter().enumerate() {
+        let scope = task.cube.tables_referenced();
+        match partition.iter_mut().find(|(s, _)| fuse && *s == scope) {
+            Some((_, members)) => members.push(i),
+            None => partition.push((scope, vec![i])),
+        }
+    }
+    partition
+}
+
+impl ScanGroup {
+    /// Build the scan groups for one fusion partition, consuming the
+    /// tasks. Each task must appear in exactly one partition entry.
+    fn assemble(tasks: Vec<CubeTask>, partition: &[(Vec<usize>, Vec<usize>)]) -> Vec<ScanGroup> {
+        let mut slots: Vec<Option<CubeTask>> = tasks.into_iter().map(Some).collect();
+        partition
+            .iter()
+            .map(|(_, members)| ScanGroup {
+                members: members
+                    .iter()
+                    .map(|&i| slots[i].take().expect("each task in one group"))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Fuse tasks that reference the same table scope into scan groups,
+    /// preserving submission order both across groups (first-seen scope
+    /// order) and within each group.
+    pub fn fuse(tasks: Vec<CubeTask>) -> Vec<ScanGroup> {
+        let partition = fusion_partition(&tasks, true);
+        ScanGroup::assemble(tasks, &partition)
+    }
+
+    /// One group per task — the unfused PR 3 execution shape, kept for
+    /// A/B comparison (`fuse_scans = false`) and for retry singletons.
+    pub fn singletons(tasks: Vec<CubeTask>) -> Vec<ScanGroup> {
+        let partition = fusion_partition(&tasks, false);
+        ScanGroup::assemble(tasks, &partition)
+    }
+
+    /// Number of member tasks fused into this pass.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Run the fused pass sequentially: validate members, scan once,
+    /// publish and settle each member. A member that fails validation
+    /// settles (and poisons its flights) without stopping its siblings; a
+    /// failed scan fails every member.
     fn execute(self, db: &Database, arena: Option<&GridArena>) {
-        let outcome = self.cube.execute_in(db, &CubeOptions::default(), arena);
-        let state = match outcome {
-            Ok(result) => {
-                let result = Arc::new(result);
-                for (pos, function, guard) in self.publish {
-                    guard.fulfill(crate::cache::CachedSlice::new(
-                        result.clone(),
-                        pos,
-                        function,
-                    ));
+        let mut valid: Vec<CubeTask> = Vec::with_capacity(self.members.len());
+        for task in self.members {
+            match task.cube.validate() {
+                Ok(()) => valid.push(task),
+                Err(e) => task.fail(e),
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        let cubes: Vec<&CubeQuery> = valid.iter().map(|t| &t.cube).collect();
+        match execute_fused_in(db, &cubes, &CubeOptions::default(), arena) {
+            Ok(results) => {
+                for (task, result) in valid.into_iter().zip(results) {
+                    task.complete(result);
                 }
-                TaskState::Done(result)
             }
             Err(e) => {
-                drop(self.publish); // poison the flights
-                TaskState::Failed(e)
+                for task in valid {
+                    task.fail(e.clone());
+                }
             }
-        };
-        *lock(&self.cell.state) = state;
+        }
     }
 }
 
 #[derive(Debug, Default)]
 struct SchedState {
-    queue: VecDeque<CubeTask>,
+    queue: VecDeque<ScanGroup>,
     closed: bool,
 }
 
-/// A shared FIFO of [`CubeTask`]s drained cooperatively by scoped workers.
+/// A shared FIFO of [`ScanGroup`]s drained cooperatively by scoped workers.
 #[derive(Debug, Default)]
 pub struct CubeScheduler {
     state: Mutex<SchedState>,
@@ -155,32 +306,32 @@ impl CubeScheduler {
         CubeScheduler::default()
     }
 
-    /// Enqueue a wave of tasks and wake every worker.
-    pub fn submit(&self, tasks: Vec<CubeTask>) {
-        if tasks.is_empty() {
+    /// Enqueue a wave of fused scan groups and wake every worker.
+    pub fn submit(&self, groups: Vec<ScanGroup>) {
+        if groups.is_empty() {
             return;
         }
         {
             let mut state = lock(&self.state);
             debug_assert!(!state.closed, "submit after close");
-            state.queue.extend(tasks);
+            state.queue.extend(groups);
         }
         self.cv.notify_all();
     }
 
-    /// Execute queued tasks — anyone's, not just the caller's — until every
-    /// handle in `waiting` has settled. With no other workers this is exact
-    /// sequential execution by the caller.
+    /// Execute queued passes — anyone's, not just the caller's — until
+    /// every handle in `waiting` has settled. With no other workers this
+    /// is exact sequential execution by the caller.
     pub fn drive(&self, db: &Database, arena: Option<&GridArena>, waiting: &[TaskHandle]) {
         loop {
-            let task = {
+            let group = {
                 let mut state = lock(&self.state);
                 loop {
                     if waiting.iter().all(TaskHandle::is_done) {
                         return;
                     }
-                    if let Some(task) = state.queue.pop_front() {
-                        break task;
+                    if let Some(group) = state.queue.pop_front() {
+                        break group;
                     }
                     // Our tasks are running on other workers: sleep until a
                     // completion or a new submission.
@@ -190,19 +341,19 @@ impl CubeScheduler {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            self.run_task(task, db, arena);
+            self.run_group(group, db, arena);
         }
     }
 
-    /// Helper loop for workers with no document of their own: execute tasks
-    /// until the scheduler is closed and drained.
+    /// Helper loop for workers with no document of their own: execute
+    /// passes until the scheduler is closed and drained.
     pub fn run_worker(&self, db: &Database, arena: Option<&GridArena>) {
         loop {
-            let task = {
+            let group = {
                 let mut state = lock(&self.state);
                 loop {
-                    if let Some(task) = state.queue.pop_front() {
-                        break task;
+                    if let Some(group) = state.queue.pop_front() {
+                        break group;
                     }
                     if state.closed {
                         return;
@@ -213,7 +364,7 @@ impl CubeScheduler {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            self.run_task(task, db, arena);
+            self.run_group(group, db, arena);
         }
     }
 
@@ -223,8 +374,8 @@ impl CubeScheduler {
         self.cv.notify_all();
     }
 
-    fn run_task(&self, task: CubeTask, db: &Database, arena: Option<&GridArena>) {
-        task.execute(db, arena);
+    fn run_group(&self, group: ScanGroup, db: &Database, arena: Option<&GridArena>) {
+        group.execute(db, arena);
         // Touch the scheduler lock before notifying so a driver cannot
         // check its handles, miss this completion, and sleep through the
         // wakeup (the completion happens-before our lock acquisition).
@@ -233,24 +384,24 @@ impl CubeScheduler {
     }
 }
 
-/// Execute one wave of tasks with up to `threads` workers (the caller
-/// included), returning when every task has finished. The wave shares the
-/// caller's [`GridArena`]; the pool is scoped, so borrows stay on the
-/// stack. Used by solo (non-batched) evaluation, where no long-lived
-/// scheduler exists.
+/// Execute one wave of scan groups with up to `threads` workers (the
+/// caller included), returning when every task has finished. The wave
+/// shares the caller's [`GridArena`]; the pool is scoped, so borrows stay
+/// on the stack. Used by solo (non-batched) evaluation, where no
+/// long-lived scheduler exists.
 pub fn run_wave(
     db: &Database,
     arena: Option<&GridArena>,
-    tasks: Vec<CubeTask>,
+    groups: Vec<ScanGroup>,
     handles: &[TaskHandle],
     threads: usize,
 ) {
-    if tasks.is_empty() {
+    if groups.is_empty() {
         return;
     }
     let scheduler = CubeScheduler::new();
-    let helpers = threads.max(1).min(tasks.len()) - 1;
-    scheduler.submit(tasks);
+    let helpers = threads.max(1).min(groups.len()) - 1;
+    scheduler.submit(groups);
     scheduler.close();
     if helpers == 0 {
         scheduler.drive(db, arena, handles);
@@ -263,6 +414,325 @@ pub fn run_wave(
         }
         scheduler.drive(db, arena, handles);
     });
+}
+
+// ---------------------------------------------------------------------------
+// The wave-orchestration layer
+// ---------------------------------------------------------------------------
+
+/// How one cube group's missing aggregates are bundled into [`CubeTask`]s.
+/// Bundling never changes results — each aggregate's cube slice is
+/// computed identically whatever it shares a scan with — only how task
+/// identities (and therefore single-flight cache keys' execution units)
+/// are cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskBundling {
+    /// One task per (group, wave): everything the wave discovers missing
+    /// for a cube group is computed by a single task. Fewest tasks, but
+    /// the task set depends on request order, so concurrent runs may
+    /// bundle — and count — tasks differently.
+    #[default]
+    Wave,
+    /// One task per (group, aggregation column). Callers always request a
+    /// column's *complete* typing-valid function set
+    /// (`CandidateSet::enumerate` in `agg-core`), so these bundles are
+    /// canonical: every requester of any document asks for exactly the
+    /// same keys, and the executed-task set is independent of scheduling.
+    /// `BatchVerifier` uses this at every worker count, which is what the
+    /// CI dedup gate measures.
+    Canonical,
+}
+
+/// One cube group's worth of aggregate requests in a wave: the cube's
+/// dimensions and literal coverage, plus every `(function, column)` the
+/// wave needs from it.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveRequest<'a> {
+    pub dims: &'a [ColumnRef],
+    pub relevant: &'a [Vec<Value>],
+    pub aggs: &'a [(AggFunction, AggColumn)],
+}
+
+/// Where a wave's tasks execute and how they are cut and fused.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveExec<'a> {
+    /// Shared result cache; `None` evaluates uncached (every aggregate
+    /// becomes a task, nothing is published).
+    pub cache: Option<&'a EvalCache>,
+    /// Dense-grid buffer pool for this caller's passes.
+    pub arena: Option<&'a GridArena>,
+    /// Shared scheduler (batch mode). `None` runs each wave on its own
+    /// scoped pool of `threads` workers.
+    pub scheduler: Option<&'a CubeScheduler>,
+    /// Scoped-pool width when no shared scheduler is attached.
+    pub threads: usize,
+    /// How missing aggregates bundle into tasks.
+    pub bundling: TaskBundling,
+    /// Fuse same-scope tasks into shared scan passes. `false` reproduces
+    /// the unfused one-pass-per-task shape (A/B and ablation path).
+    pub fuse: bool,
+}
+
+/// Scheduling counters for one wave, in the orchestration layer's own
+/// units; callers fold them into their stats structs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Aggregate keys served from resident cache slices.
+    pub key_hits: u64,
+    /// Keys served by joining another worker's in-flight computation (net
+    /// of poisoned flights this wave ended up computing itself).
+    pub key_waits: u64,
+    /// Requests that needed no task of their own (every key resident or
+    /// in flight elsewhere).
+    pub groups_fully_served: u64,
+    /// Cube tasks executed on behalf of this wave, poison-retry takeovers
+    /// included.
+    pub tasks_executed: u64,
+    /// Fused row passes executed for this wave's tasks.
+    pub scan_passes: u64,
+    /// Real rows read by those passes (each pass counts its relation
+    /// length once, however many member grids it feeds).
+    pub rows_scanned: u64,
+}
+
+/// One wave's finished slices: `slices[request][aggregate]`, aligned with
+/// the input request list.
+#[derive(Debug)]
+pub struct WaveOutcome {
+    pub slices: Vec<Vec<CachedSlice>>,
+    pub stats: WaveStats,
+}
+
+/// A pending aggregate: its index within the request plus the
+/// single-flight guard won for it (`None` when evaluation runs uncached).
+type MissingAgg = (usize, Option<FlightGuard>);
+
+/// How one aggregate slice arrives at collection time.
+enum Slot {
+    /// Served from the cache at probe time.
+    Ready(CachedSlice),
+    /// `(task index, aggregate position within the task's cube)`.
+    FromTask(usize, usize),
+    /// Another worker is computing it; block after our own tasks ran.
+    Waiting(FlightWaiter),
+}
+
+/// Run one scheduling wave end to end: atomically probe the cache for
+/// every request (claiming single-flight guards), bundle the missing
+/// aggregates into [`CubeTask`]s, fuse same-scope tasks into
+/// [`ScanGroup`]s, execute them (on the shared scheduler or a scoped
+/// pool), then collect — own tasks first, foreign flights after, with
+/// poisoned flights retried inline. This is the **only** implementation of
+/// the probe/bundle/wave/collect protocol; `core::evaluate` and
+/// `crate::merge` both consume it.
+pub fn run_requests(
+    db: &Database,
+    exec: &WaveExec<'_>,
+    requests: &[WaveRequest<'_>],
+) -> Result<WaveOutcome> {
+    let mut stats = WaveStats::default();
+
+    // ---- Phase 1: one atomic probe for the whole wave. No blocking here
+    // — waits are consumed only after our tasks are submitted, so
+    // concurrent waves cannot deadlock on each other, and the all-or-
+    // nothing claim keeps pass formation worker-count independent.
+    let mut slots: Vec<Vec<Option<Slot>>> = requests
+        .iter()
+        .map(|r| {
+            let mut v: Vec<Option<Slot>> = Vec::with_capacity(r.aggs.len());
+            v.resize_with(r.aggs.len(), || None);
+            v
+        })
+        .collect();
+    let mut missing: Vec<Vec<MissingAgg>> = Vec::with_capacity(requests.len());
+    match exec.cache {
+        Some(cache) => {
+            let key_store: Vec<Vec<CacheKey>> = requests
+                .iter()
+                .map(|r| {
+                    r.aggs
+                        .iter()
+                        .map(|&(f, c)| CacheKey::new(f, c, r.dims.to_vec()))
+                        .collect()
+                })
+                .collect();
+            let flight_requests: Vec<FlightRequest<'_>> = requests
+                .iter()
+                .zip(&key_store)
+                .map(|(r, keys)| FlightRequest {
+                    keys,
+                    needed: r.relevant,
+                })
+                .collect();
+            for (request_slots, flights) in slots
+                .iter_mut()
+                .zip(cache.flight_batch_many(&flight_requests))
+            {
+                let mut request_missing = Vec::new();
+                for (i, flight) in flights.into_iter().enumerate() {
+                    match flight {
+                        Flight::Hit(s) => {
+                            stats.key_hits += 1;
+                            request_slots[i] = Some(Slot::Ready(s));
+                        }
+                        Flight::Compute(guard) => request_missing.push((i, Some(guard))),
+                        Flight::Wait(w) => {
+                            stats.key_waits += 1;
+                            request_slots[i] = Some(Slot::Waiting(w));
+                        }
+                    }
+                }
+                missing.push(request_missing);
+            }
+        }
+        None => {
+            for request in requests {
+                missing.push((0..request.aggs.len()).map(|i| (i, None)).collect());
+            }
+        }
+    }
+
+    // ---- Phase 2: bundle the missing aggregates into tasks.
+    let mut tasks: Vec<CubeTask> = Vec::new();
+    let mut handles: Vec<TaskHandle> = Vec::new();
+    for ((request, request_missing), request_slots) in
+        requests.iter().zip(missing).zip(slots.iter_mut())
+    {
+        if request_missing.is_empty() {
+            stats.groups_fully_served += 1;
+            continue;
+        }
+        let mut bundles: Vec<(AggColumn, Vec<MissingAgg>)> = Vec::new();
+        for entry in request_missing {
+            let col = match exec.bundling {
+                TaskBundling::Wave => AggColumn::Star,
+                TaskBundling::Canonical => request.aggs[entry.0].1,
+            };
+            match bundles.iter_mut().find(|(c, _)| *c == col) {
+                Some((_, members)) => members.push(entry),
+                None => bundles.push((col, vec![entry])),
+            }
+        }
+        for (_, mut members) in bundles {
+            let cube = CubeQuery {
+                dims: request.dims.to_vec(),
+                relevant: request.relevant.to_vec(),
+                aggregates: members.iter().map(|&(i, _)| request.aggs[i]).collect(),
+            };
+            let publish = members
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(pos, (i, guard))| guard.take().map(|g| (pos, request.aggs[*i].0, g)))
+                .collect();
+            let (task, handle) = CubeTask::new(cube, publish);
+            let task_idx = tasks.len();
+            tasks.push(task);
+            handles.push(handle);
+            for (pos, (i, _)) in members.iter().enumerate() {
+                request_slots[*i] = Some(Slot::FromTask(task_idx, pos));
+            }
+        }
+    }
+
+    // ---- Phase 3: fuse by table scope (planning-time pass formation) and
+    // execute the wave. The index partition is kept for the pass-level
+    // stats attribution in Phase 4.
+    let pass_members = fusion_partition(&tasks, exec.fuse);
+    let groups = ScanGroup::assemble(tasks, &pass_members);
+    match exec.scheduler {
+        Some(scheduler) if !groups.is_empty() => {
+            scheduler.submit(groups);
+            scheduler.drive(db, exec.arena, &handles);
+        }
+        _ => run_wave(db, exec.arena, groups, &handles, exec.threads),
+    }
+
+    // ---- Phase 4: collect own tasks, then wait out foreign flights
+    // (their tasks are submitted, so they make progress; poisoned flights
+    // are retried inline).
+    let mut task_results: Vec<Arc<CubeResult>> = Vec::with_capacity(handles.len());
+    for handle in handles {
+        task_results.push(handle.into_result()?);
+        stats.tasks_executed += 1;
+    }
+    for (_, members) in &pass_members {
+        stats.scan_passes += 1;
+        // Every member of a pass scans the same relation; charge it once.
+        stats.rows_scanned += task_results[members[0]].stats.rows_scanned;
+    }
+    let mut resolved: Vec<Vec<CachedSlice>> = Vec::with_capacity(requests.len());
+    for (request, request_slots) in requests.iter().zip(slots) {
+        let mut request_slices = Vec::with_capacity(request_slots.len());
+        for (i, slot) in request_slots.into_iter().enumerate() {
+            let slice = match slot.expect("slot filled") {
+                Slot::Ready(s) => s,
+                Slot::FromTask(task_idx, pos) => {
+                    CachedSlice::new(task_results[task_idx].clone(), pos, request.aggs[i].0)
+                }
+                Slot::Waiting(w) => resolve_wait(db, exec, request, i, w, &mut stats)?,
+            };
+            request_slices.push(slice);
+        }
+        resolved.push(request_slices);
+    }
+
+    Ok(WaveOutcome {
+        slices: resolved,
+        stats,
+    })
+}
+
+/// Wait out another worker's in-flight cube for `request.aggs[agg_idx]`;
+/// on poison, re-probe and compute inline if the retry wins the guard.
+fn resolve_wait(
+    db: &Database,
+    exec: &WaveExec<'_>,
+    request: &WaveRequest<'_>,
+    agg_idx: usize,
+    mut waiter: FlightWaiter,
+    stats: &mut WaveStats,
+) -> Result<CachedSlice> {
+    loop {
+        if let Some(slice) = waiter.wait() {
+            return Ok(slice);
+        }
+        let (f, c) = request.aggs[agg_idx];
+        let key = CacheKey::new(f, c, request.dims.to_vec());
+        let cache = exec.cache.expect("waits only exist with a cache");
+        match cache.flight(&key, request.relevant) {
+            Flight::Hit(s) => return Ok(s),
+            Flight::Wait(w) => {
+                // Still deduped — just joining the taker-over's flight.
+                stats.key_waits += 1;
+                waiter = w;
+            }
+            Flight::Compute(guard) => {
+                // The request was booked as a wait when the original probe
+                // joined the now-poisoned flight; it ends up executed
+                // after all, so move it back across the ledger before
+                // counting the execution.
+                stats.key_waits -= 1;
+                let cube = CubeQuery {
+                    dims: request.dims.to_vec(),
+                    relevant: request.relevant.to_vec(),
+                    aggregates: vec![request.aggs[agg_idx]],
+                };
+                let (task, handle) = CubeTask::new(cube, vec![(0, f, guard)]);
+                run_wave(
+                    db,
+                    exec.arena,
+                    ScanGroup::singletons(vec![task]),
+                    std::slice::from_ref(&handle),
+                    1,
+                );
+                let result = handle.into_result()?;
+                stats.tasks_executed += 1;
+                stats.scan_passes += 1;
+                stats.rows_scanned += result.stats.rows_scanned;
+                return Ok(CachedSlice::new(result, 0, f));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -297,30 +767,41 @@ mod tests {
     fn wave_executes_all_tasks_and_results_match_direct_execution() {
         let db = db();
         for threads in [1usize, 4] {
-            let (tasks, handles): (Vec<_>, Vec<_>) = ["a", "b", "c"]
-                .iter()
-                .map(|lit| CubeTask::new(count_cube(&db, vec![(*lit).into()]), Vec::new()))
-                .unzip();
-            run_wave(&db, None, tasks, &handles, threads);
-            for (lit, handle) in ["a", "b", "c"].iter().zip(&handles) {
-                assert!(handle.is_done());
-                let result = handle.result().unwrap();
-                let direct = count_cube(&db, vec![(*lit).into()]).execute(&db).unwrap();
-                assert_eq!(
-                    result.get_count(&[crate::cube::DimSel::Literal(0)], 0),
-                    direct.get_count(&[crate::cube::DimSel::Literal(0)], 0),
-                    "[{threads}t] literal {lit}"
-                );
+            for fused in [false, true] {
+                let (tasks, handles): (Vec<_>, Vec<_>) = ["a", "b", "c"]
+                    .iter()
+                    .map(|lit| CubeTask::new(count_cube(&db, vec![(*lit).into()]), Vec::new()))
+                    .unzip();
+                let groups = if fused {
+                    let groups = ScanGroup::fuse(tasks);
+                    // One shared scope: all three tasks fuse into one pass.
+                    assert_eq!(groups.len(), 1);
+                    assert_eq!(groups[0].len(), 3);
+                    groups
+                } else {
+                    ScanGroup::singletons(tasks)
+                };
+                run_wave(&db, None, groups, &handles, threads);
+                for (lit, handle) in ["a", "b", "c"].iter().zip(&handles) {
+                    assert!(handle.is_done());
+                    let result = handle.result().unwrap();
+                    let direct = count_cube(&db, vec![(*lit).into()]).execute(&db).unwrap();
+                    assert_eq!(
+                        result.get_count(&[crate::cube::DimSel::Literal(0)], 0),
+                        direct.get_count(&[crate::cube::DimSel::Literal(0)], 0),
+                        "[{threads}t fused={fused}] literal {lit}"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn failed_task_reports_error_and_poisons_flights() {
+    fn failed_member_poisons_its_flights_without_stopping_siblings() {
         let db = db();
         let cache = EvalCache::new();
         let key = CacheKey::new(
-            AggFunction::Count,
+            AggFunction::Percentage,
             AggColumn::Star,
             vec![ColumnRef::new(0, 0)],
         );
@@ -333,16 +814,27 @@ mod tests {
             Flight::Wait(w) => w,
             other => panic!("expected Wait, got {other:?}"),
         };
-        // An invalid cube (ratio aggregate) fails validation at execution.
+        // An invalid cube (ratio aggregate) fails validation; its sibling
+        // in the same fused pass must still complete.
         let bad = CubeQuery {
             dims: vec![db.resolve("t", "cat").unwrap()],
             relevant: vec![vec!["a".into()]],
             aggregates: vec![(AggFunction::Percentage, AggColumn::Star)],
         };
-        let (task, handle) = CubeTask::new(bad, vec![(0, AggFunction::Percentage, guard)]);
-        run_wave(&db, None, vec![task], std::slice::from_ref(&handle), 1);
-        assert!(handle.result().is_err());
+        let (bad_task, bad_handle) = CubeTask::new(bad, vec![(0, AggFunction::Percentage, guard)]);
+        let (good_task, good_handle) = CubeTask::new(count_cube(&db, vec!["a".into()]), Vec::new());
+        let groups = ScanGroup::fuse(vec![bad_task, good_task]);
+        let handles = [bad_handle, good_handle];
+        run_wave(&db, None, groups, &handles, 1);
+        assert!(handles[0].result().is_err());
         assert!(waiter.wait().is_none(), "flight poisoned by the failure");
+        assert_eq!(
+            handles[1]
+                .result()
+                .unwrap()
+                .get_count(&[crate::cube::DimSel::Literal(0)], 0),
+            2.0
+        );
     }
 
     #[test]
@@ -353,17 +845,171 @@ mod tests {
         std::thread::scope(|scope| {
             let (scheduler, db) = (&scheduler, &db);
             let worker = scope.spawn(move || scheduler.run_worker(db, None));
-            scheduler.submit(vec![task]);
+            scheduler.submit(ScanGroup::singletons(vec![task]));
             scheduler.drive(db, None, std::slice::from_ref(&handle));
             scheduler.close();
             worker.join().unwrap();
         });
         assert_eq!(
             handle
-                .result()
+                .into_result()
                 .unwrap()
                 .get_count(&[crate::cube::DimSel::Literal(0)], 0),
             2.0
         );
+    }
+
+    fn wave_request<'a>(
+        dims: &'a [ColumnRef],
+        relevant: &'a [Vec<Value>],
+        aggs: &'a [(AggFunction, AggColumn)],
+    ) -> WaveRequest<'a> {
+        WaveRequest {
+            dims,
+            relevant,
+            aggs,
+        }
+    }
+
+    /// The orchestration layer end to end over a shared cache: first wave
+    /// computes (fused into one pass), second wave is all hits.
+    #[test]
+    fn run_requests_fuses_then_serves_from_cache() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let dims = [cat];
+        let relevant = vec![vec![Value::from("a"), Value::from("b")]];
+        let aggs_count = [(AggFunction::Count, AggColumn::Star)];
+        let aggs_distinct = [(AggFunction::CountDistinct, AggColumn::Column(cat))];
+        let requests = [
+            wave_request(&dims, &relevant, &aggs_count),
+            wave_request(&dims, &relevant, &aggs_distinct),
+        ];
+        let exec = WaveExec {
+            cache: Some(&cache),
+            arena: None,
+            scheduler: None,
+            threads: 1,
+            bundling: TaskBundling::Canonical,
+            fuse: true,
+        };
+        let first = run_requests(&db, &exec, &requests).unwrap();
+        assert_eq!(first.stats.tasks_executed, 2, "one task per request");
+        assert_eq!(first.stats.scan_passes, 1, "both tasks share one pass");
+        assert_eq!(first.stats.rows_scanned, 4, "the pass reads the table once");
+        assert_eq!(first.stats.key_hits, 0);
+        assert_eq!(
+            first.slices[0][0].lookup(&[Some("a".into())]),
+            Ok(Some(2.0))
+        );
+
+        let second = run_requests(&db, &exec, &requests).unwrap();
+        assert_eq!(second.stats.tasks_executed, 0);
+        assert_eq!(second.stats.scan_passes, 0);
+        assert_eq!(second.stats.key_hits, 2);
+        assert_eq!(second.stats.groups_fully_served, 2);
+        assert_eq!(
+            second.slices[1][0].lookup(&[None]),
+            first.slices[1][0].lookup(&[None])
+        );
+    }
+
+    /// Unfused execution is the PR 3 shape: one pass per task, rows
+    /// charged per task.
+    #[test]
+    fn run_requests_unfused_pays_one_pass_per_task() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let dims = [cat];
+        let relevant = vec![vec![Value::from("a")]];
+        let aggs = [
+            (AggFunction::Count, AggColumn::Star),
+            (AggFunction::CountDistinct, AggColumn::Column(cat)),
+        ];
+        let requests = [wave_request(&dims, &relevant, &aggs)];
+        for (fuse, passes, rows) in [(true, 1u64, 4u64), (false, 2, 8)] {
+            let exec = WaveExec {
+                cache: None,
+                arena: None,
+                scheduler: None,
+                threads: 1,
+                bundling: TaskBundling::Canonical,
+                fuse,
+            };
+            let outcome = run_requests(&db, &exec, &requests).unwrap();
+            assert_eq!(outcome.stats.tasks_executed, 2, "fuse={fuse}");
+            assert_eq!(outcome.stats.scan_passes, passes, "fuse={fuse}");
+            assert_eq!(outcome.stats.rows_scanned, rows, "fuse={fuse}");
+        }
+    }
+
+    /// 8 workers hammering one shared scheduler + cache with identical
+    /// fusable waves: group formation under contention must neither
+    /// duplicate nor lose an execution — every worker sees the same
+    /// slices, and the union of all workers' passes computes each key
+    /// exactly once.
+    #[test]
+    fn concurrent_group_formation_single_flight_stress() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let workers = 8usize;
+        let cache = EvalCache::new();
+        let scheduler = CubeScheduler::new();
+        let dims = [cat];
+        let relevant = vec![vec![Value::from("a"), Value::from("b"), Value::from("c")]];
+        let aggs = [
+            (AggFunction::Count, AggColumn::Star),
+            (AggFunction::CountDistinct, AggColumn::Column(cat)),
+        ];
+        let outcomes: Vec<WaveOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (db, cache, scheduler) = (&db, &cache, &scheduler);
+                    let (dims, relevant, aggs) = (&dims, &relevant, &aggs);
+                    scope.spawn(move || {
+                        let requests = [wave_request(dims, relevant, aggs)];
+                        let exec = WaveExec {
+                            cache: Some(cache),
+                            arena: None,
+                            scheduler: Some(scheduler),
+                            threads: 1,
+                            bundling: TaskBundling::Canonical,
+                            fuse: true,
+                        };
+                        run_requests(db, &exec, &requests).unwrap()
+                    })
+                })
+                .collect();
+            let outcomes = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>();
+            scheduler.close();
+            outcomes
+        });
+        let total_tasks: u64 = outcomes.iter().map(|o| o.stats.tasks_executed).sum();
+        let total_passes: u64 = outcomes.iter().map(|o| o.stats.scan_passes).sum();
+        // The atomic wave probe makes the claim all-or-nothing: exactly
+        // one worker executed the wave's two tasks as one fused pass.
+        assert_eq!(total_tasks, 2, "one execution of each key");
+        assert_eq!(total_passes, 1, "one fused pass in the whole stress run");
+        let served: u64 = outcomes
+            .iter()
+            .map(|o| o.stats.key_hits + o.stats.key_waits)
+            .sum();
+        assert_eq!(
+            served,
+            (workers as u64 - 1) * 2,
+            "everyone else hit or waited"
+        );
+        for outcome in &outcomes {
+            assert_eq!(
+                outcome.slices[0][0].lookup(&[Some("a".into())]),
+                Ok(Some(2.0))
+            );
+            assert_eq!(outcome.slices[0][1].lookup(&[None]), Ok(Some(3.0)));
+        }
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -33,6 +33,24 @@
 //!     --file BENCH_pipeline.current.json \
 //!     --metric rows_scanned_per_run --variants batch_1w,batch_4w
 //! ```
+//!
+//! With `--le-variant NAME` the gate additionally asserts the (equal)
+//! batched metric does not exceed the named variant's — used to pin fused
+//! `scan_passes` at or below `sequential_shared`'s pass count.
+//!
+//! # `min-gate`
+//!
+//! Floor check on one top-level numeric field of a benchmark file, for
+//! in-run normalized metrics where runner speed cancels by construction:
+//! the batch-vs-fresh speedup is a ratio of two timings from the same
+//! process on the same machine, so unlike absolute docs/sec it can be
+//! gated with a fixed floor.
+//!
+//! ```text
+//! cargo run -p xtask -- min-gate \
+//!     --file BENCH_pipeline.current.json \
+//!     --field speedup_batch_vs_sequential_fresh --min 1.2
+//! ```
 
 use std::process::ExitCode;
 
@@ -225,7 +243,17 @@ fn bench_gate(args: &[String]) -> ExitCode {
 /// Exact-equality check across variants of one file: `Ok(per-variant
 /// report lines)` when every gated variant's metric is identical, `Err`
 /// describing the first inequality or missing variant otherwise.
-fn run_dedup_gate(json: &str, metric: &str, gated: &[&str]) -> Result<Vec<String>, String> {
+///
+/// With `le_bound`, the gated variants' (equal) metric must additionally
+/// not exceed the bound variant's — e.g. the batched pipeline's fused
+/// `scan_passes` must stay at or below `sequential_shared`'s, or fusion
+/// has silently stopped sharing passes.
+fn run_dedup_gate(
+    json: &str,
+    metric: &str,
+    gated: &[&str],
+    le_bound: Option<&str>,
+) -> Result<Vec<String>, String> {
     if gated.len() < 2 {
         return Err("dedup-gate needs at least two variants to compare".into());
     }
@@ -233,14 +261,17 @@ fn run_dedup_gate(json: &str, metric: &str, gated: &[&str]) -> Result<Vec<String
     if variants.is_empty() {
         return Err(format!("no variants with \"{metric}\" in the file"));
     }
-    let mut report = Vec::new();
-    let mut first: Option<(&str, f64)> = None;
-    for &name in gated {
-        let value = variants
+    let lookup = |name: &str| -> Result<f64, String> {
+        variants
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
-            .ok_or_else(|| format!("variant \"{name}\" missing from the file"))?;
+            .ok_or_else(|| format!("variant \"{name}\" missing from the file"))
+    };
+    let mut report = Vec::new();
+    let mut first: Option<(&str, f64)> = None;
+    for &name in gated {
+        let value = lookup(name)?;
         report.push(format!("{name}: {metric} = {value:.0}"));
         match first {
             None => first = Some((name, value)),
@@ -255,6 +286,17 @@ fn run_dedup_gate(json: &str, metric: &str, gated: &[&str]) -> Result<Vec<String
             }
         }
     }
+    if let Some(bound_name) = le_bound {
+        let bound = lookup(bound_name)?;
+        let (name, value) = first.expect("at least two gated variants");
+        if value > bound {
+            return Err(format!(
+                "{name} ({value:.0}) exceeds {bound_name} ({bound:.0}) — \
+                 batched {metric} must not regress past the shared sequential run"
+            ));
+        }
+        report.push(format!("bound {bound_name}: {metric} = {bound:.0}"));
+    }
     Ok(report)
 }
 
@@ -262,6 +304,7 @@ fn dedup_gate(args: &[String]) -> ExitCode {
     let mut file = String::from("BENCH_pipeline.current.json");
     let mut metric = String::from("rows_scanned_per_run");
     let mut variants = String::from("batch_1w,batch_4w");
+    let mut le_variant: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = |what: &str| it.next().cloned().unwrap_or_else(|| panic!("{what} VALUE"));
@@ -269,6 +312,7 @@ fn dedup_gate(args: &[String]) -> ExitCode {
             "--file" => file = take("--file"),
             "--metric" => metric = take("--metric"),
             "--variants" => variants = take("--variants"),
+            "--le-variant" => le_variant = Some(take("--le-variant")),
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::from(2);
@@ -278,7 +322,7 @@ fn dedup_gate(args: &[String]) -> ExitCode {
     let gated: Vec<&str> = variants.split(',').filter(|s| !s.is_empty()).collect();
     let outcome = std::fs::read_to_string(&file)
         .map_err(|e| format!("cannot read {file}: {e}"))
-        .and_then(|json| run_dedup_gate(&json, &metric, &gated));
+        .and_then(|json| run_dedup_gate(&json, &metric, &gated, le_variant.as_deref()));
     match outcome {
         Ok(report) => {
             for line in &report {
@@ -294,14 +338,64 @@ fn dedup_gate(args: &[String]) -> ExitCode {
     }
 }
 
+/// Minimum-value check on one top-level numeric field of a benchmark file.
+/// Used for in-run *normalized* metrics (e.g. the batch-vs-fresh speedup,
+/// a ratio of two timings from the same run), where machine pace cancels
+/// out by construction — the same trick the bench-gate's `--normalize-to`
+/// uses across files.
+fn run_min_gate(json: &str, field: &str, min: f64) -> Result<String, String> {
+    let value = number_field(json, field)
+        .ok_or_else(|| format!("no numeric field \"{field}\" in the file"))?;
+    if value < min {
+        return Err(format!(
+            "{field} = {value:.2} fell below the {min:.2} floor"
+        ));
+    }
+    Ok(format!("{field} = {value:.2} (floor {min:.2})"))
+}
+
+fn min_gate(args: &[String]) -> ExitCode {
+    let mut file = String::from("BENCH_pipeline.current.json");
+    let mut field = String::from("speedup_batch_vs_sequential_fresh");
+    let mut min = 1.2f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| it.next().cloned().unwrap_or_else(|| panic!("{what} VALUE"));
+        match arg.as_str() {
+            "--file" => file = take("--file"),
+            "--field" => field = take("--field"),
+            "--min" => min = take("--min").parse().expect("--min NUMBER"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let outcome = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {file}: {e}"))
+        .and_then(|json| run_min_gate(&json, &field, min));
+    match outcome {
+        Ok(line) => {
+            println!("min-gate ok: {line}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("min-gate FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-gate") => bench_gate(&args[1..]),
         Some("dedup-gate") => dedup_gate(&args[1..]),
+        Some("min-gate") => min_gate(&args[1..]),
         _ => {
             eprintln!("usage: xtask bench-gate [--baseline PATH] [--current PATH] [--threshold FRACTION] [--metric NAME] [--variants a,b] [--normalize-to NAME]");
-            eprintln!("       xtask dedup-gate [--file PATH] [--metric NAME] [--variants a,b]");
+            eprintln!("       xtask dedup-gate [--file PATH] [--metric NAME] [--variants a,b] [--le-variant NAME]");
+            eprintln!("       xtask min-gate [--file PATH] [--field NAME] [--min NUMBER]");
             ExitCode::from(2)
         }
     }
@@ -465,8 +559,13 @@ mod tests {
     #[test]
     fn dedup_gate_passes_on_exact_equality() {
         let json = pipeline_sample(121900, 121900);
-        let report =
-            run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_4w"]).unwrap();
+        let report = run_dedup_gate(
+            &json,
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_4w"],
+            None,
+        )
+        .unwrap();
         assert_eq!(report.len(), 2);
         assert!(report[0].contains("batch_1w"), "{report:?}");
     }
@@ -475,20 +574,87 @@ mod tests {
     fn dedup_gate_fails_on_any_inequality() {
         // A single duplicated cube execution (one 460-row scan) must fail.
         let json = pipeline_sample(121900, 122360);
-        let err =
-            run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_4w"]).unwrap_err();
+        let err = run_dedup_gate(
+            &json,
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_4w"],
+            None,
+        )
+        .unwrap_err();
         assert!(err.contains("batch_4w"), "{err}");
         // Fewer rows is just as wrong: a lost execution means a report was
         // built from a slice that was never computed for it.
         let json = pipeline_sample(121900, 121440);
-        assert!(run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_4w"]).is_err());
+        assert!(run_dedup_gate(
+            &json,
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_4w"],
+            None
+        )
+        .is_err());
     }
 
     #[test]
     fn dedup_gate_rejects_missing_variants_and_degenerate_input() {
         let json = pipeline_sample(121900, 121900);
-        assert!(run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w", "batch_8w"]).is_err());
-        assert!(run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w"]).is_err());
-        assert!(run_dedup_gate("{}", "rows_scanned_per_run", &["batch_1w", "batch_4w"]).is_err());
+        assert!(run_dedup_gate(
+            &json,
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_8w"],
+            None
+        )
+        .is_err());
+        assert!(run_dedup_gate(&json, "rows_scanned_per_run", &["batch_1w"], None).is_err());
+        assert!(run_dedup_gate(
+            "{}",
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_4w"],
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dedup_gate_le_bound_pins_batch_at_or_below_sequential() {
+        // Equal batch counts below the sequential_fresh bound: pass.
+        let json = pipeline_sample(121900, 121900);
+        let report = run_dedup_gate(
+            &json,
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_4w"],
+            Some("sequential_fresh"),
+        )
+        .unwrap();
+        assert_eq!(report.len(), 3, "{report:?}");
+        assert!(report[2].contains("sequential_fresh"), "{report:?}");
+        // Batch exceeding the bound: fail even though equal across workers.
+        let json = pipeline_sample(999999, 999999);
+        let err = run_dedup_gate(
+            &json,
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_4w"],
+            Some("sequential_fresh"),
+        )
+        .unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        // A missing bound variant is an error, not a pass.
+        let json = pipeline_sample(121900, 121900);
+        assert!(run_dedup_gate(
+            &json,
+            "rows_scanned_per_run",
+            &["batch_1w", "batch_4w"],
+            Some("sequential_shared"),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn min_gate_floors_normalized_speedup() {
+        let json = r#"{"docs": 8, "speedup_batch_vs_sequential_fresh": 1.40}"#;
+        let line = run_min_gate(json, "speedup_batch_vs_sequential_fresh", 1.2).unwrap();
+        assert!(line.contains("1.40"), "{line}");
+        let err = run_min_gate(json, "speedup_batch_vs_sequential_fresh", 1.5).unwrap_err();
+        assert!(err.contains("below"), "{err}");
+        assert!(run_min_gate(json, "no_such_field", 1.0).is_err());
     }
 }

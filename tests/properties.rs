@@ -326,6 +326,86 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fused multi-cube scans are purely physical: over randomized
+    /// multi-document corpora, batched fused verification at **1/2/4/8
+    /// workers** produces reports bit-identical to the unfused PR 3
+    /// execution shape (`fuse_scans: false`, one row pass per cube task)
+    /// — and the fused pipeline's verdicts agree with the serial
+    /// `evaluate_naive` oracle.
+    #[test]
+    fn fused_reports_match_unfused_path_and_naive_oracle(
+        seed in 1u64..10_000,
+        index in 0usize..4,
+    ) {
+        use aggchecker::core::EvalStrategy;
+        use aggchecker::corpus::{generate_multi_doc_case, CorpusSpec};
+        use aggchecker::{AggChecker, BatchVerifier, CheckerConfig};
+
+        let spec = CorpusSpec::small(1, seed);
+        let case = generate_multi_doc_case(&spec, index, 3);
+        let texts: Vec<&str> = case.articles.iter().map(String::as_str).collect();
+
+        // The unfused PR 3 path: solo checkers with fusion disabled.
+        let unfused: Vec<_> = texts
+            .iter()
+            .map(|t| {
+                let cfg = CheckerConfig {
+                    fuse_scans: false,
+                    ..CheckerConfig::default()
+                };
+                let checker = AggChecker::new(case.db.clone(), cfg).unwrap();
+                checker.check_text(t).unwrap()
+            })
+            .collect();
+
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = CheckerConfig {
+                threads: workers,
+                ..CheckerConfig::default()
+            };
+            let batch = BatchVerifier::new(case.db.clone(), cfg).unwrap();
+            let reports = batch.verify_texts(&texts).unwrap();
+            for (i, (fused, expected)) in reports.iter().zip(&unfused).enumerate() {
+                prop_assert_eq!(
+                    fused.content_fingerprint(),
+                    expected.content_fingerprint(),
+                    "workers={} doc={} seed={} index={}",
+                    workers, i, seed, index
+                );
+            }
+        }
+
+        // Naive oracle on the first document (small hit budget keeps the
+        // per-candidate executions affordable): verdicts must agree with
+        // the fused merged-cached pipeline under the same budget.
+        let run_first = |strategy: EvalStrategy| {
+            let cfg = CheckerConfig {
+                strategy,
+                lucene_hits: 6,
+                ..CheckerConfig::default()
+            };
+            let checker = AggChecker::new(case.db.clone(), cfg).unwrap();
+            checker.check_text(texts[0]).unwrap()
+        };
+        let naive = run_first(EvalStrategy::Naive);
+        let fused = run_first(EvalStrategy::MergedCached);
+        prop_assert_eq!(naive.claims.len(), fused.claims.len());
+        for (n, f) in naive.claims.iter().zip(&fused.claims) {
+            prop_assert_eq!(
+                n.verdict, f.verdict,
+                "seed={} index={} claim {}",
+                seed, index, n.claimed_value
+            );
+            prop_assert!(
+                (n.correctness_probability - f.correctness_probability).abs() < 1e-6
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// `BatchVerifier` over a randomized multi-document case (random
