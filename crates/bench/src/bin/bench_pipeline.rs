@@ -19,6 +19,12 @@
 //! * `batch_1w` / `batch_4w` — `BatchVerifier` with 1 and 4 workers: one
 //!   shared cube-task scheduler, shared sharded cache with single-flight,
 //!   per-worker dense-grid arenas.
+//! * `stream_1w` / `stream_2w` / `stream_4w` / `stream_8w` —
+//!   `StreamingVerifier` with a persistent worker pool: documents
+//!   submitted one by one (fixed arrival order = input order) to the
+//!   bounded intake, verified by whatever workers are free, tickets
+//!   awaited. Measures the dynamic-admission front-end over the same
+//!   substrate.
 //!
 //! All variants are checked to produce identical reports before timing.
 //! Each variant reports `rows_scanned_per_run` (real rows read by its
@@ -28,10 +34,15 @@
 //! atomic wave probes make `batch_4w` rows *and* passes *exactly* equal
 //! `batch_1w` — `xtask dedup-gate` enforces both in CI, deterministically,
 //! unlike any timing gate — and the fused pass count must not exceed
-//! `sequential_shared`'s.
+//! `sequential_shared`'s. The same exact equality holds across all four
+//! streaming worker counts for the fixed arrival order (the streaming
+//! dedup gates).
 
 use agg_bench::metrics::median_timed_ns;
-use agg_core::{AggChecker, BatchVerifier, CheckerConfig, EvalStats, VerificationReport};
+use agg_core::{
+    AggChecker, BatchVerifier, CheckerConfig, EvalStats, StreamConfig, StreamingVerifier,
+    VerificationReport,
+};
 use agg_corpus::{generate_multi_doc_case, CorpusSpec};
 
 /// Scheduling-relevant stats summed over one run's reports. The tuple is
@@ -72,6 +83,38 @@ struct Variant {
     scan_passes: u64,
     /// Average member tasks per fused pass.
     fused_tasks_per_pass: f64,
+}
+
+/// One streaming run: spin up the service, submit every document in input
+/// order (the fixed arrival order the dedup gates assume), await every
+/// ticket, shut down. Service startup/teardown is deliberately inside the
+/// measured region — a docs/sec figure for the front-end should include
+/// what a deployment pays.
+fn run_streaming(
+    db: &agg_relational::Database,
+    cfg: &CheckerConfig,
+    texts: &[&str],
+    workers: usize,
+) -> Vec<VerificationReport> {
+    let service = StreamingVerifier::new(
+        db.clone(),
+        cfg.clone(),
+        StreamConfig {
+            workers,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    let tickets: Vec<_> = texts
+        .iter()
+        .map(|t| service.submit_text(t).unwrap())
+        .collect();
+    let reports = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap())
+        .collect::<Vec<_>>();
+    drop(service.into_checker());
+    reports
 }
 
 fn main() {
@@ -134,6 +177,16 @@ fn main() {
             );
         }
     }
+    for workers in [1usize, 2, 4, 8] {
+        let reports = run_streaming(&case.db, &cfg, &texts, workers);
+        for (i, (r, expected)) in reports.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                &r.content_fingerprint(),
+                expected,
+                "stream({workers}w) disagrees with per-document verification on doc {i}"
+            );
+        }
+    }
 
     // --- Timed variants. ------------------------------------------------
     let run_sequential_fresh = || {
@@ -162,6 +215,7 @@ fn main() {
         let batch = BatchVerifier::new(case.db.clone(), batch_cfg).unwrap();
         counters(&batch.verify_texts(&texts).unwrap())
     };
+    let run_stream = |workers: usize| counters(&run_streaming(&case.db, &cfg, &texts, workers));
 
     let variant = |name, workers: u32, (median, c): (u64, RunCounters)| {
         let secs = median as f64 / 1e9;
@@ -197,6 +251,10 @@ fn main() {
         ),
         variant("batch_1w", 1, median_timed_ns(samples, || run_batch(1))),
         variant("batch_4w", 4, median_timed_ns(samples, || run_batch(4))),
+        variant("stream_1w", 1, median_timed_ns(samples, || run_stream(1))),
+        variant("stream_2w", 2, median_timed_ns(samples, || run_stream(2))),
+        variant("stream_4w", 4, median_timed_ns(samples, || run_stream(4))),
+        variant("stream_8w", 8, median_timed_ns(samples, || run_stream(8))),
     ];
 
     let sequential_ns = variants[0].median_ns as f64;
@@ -204,6 +262,15 @@ fn main() {
     let speedup = sequential_ns / best_batch_ns;
     let dedup_exact = variants[2].rows_scanned_per_run == variants[3].rows_scanned_per_run;
     let passes_exact = variants[2].scan_passes == variants[3].scan_passes;
+    let stream = &variants[4..8];
+    let stream_rows_exact = stream
+        .iter()
+        .all(|v| v.rows_scanned_per_run == stream[0].rows_scanned_per_run);
+    let stream_passes_exact = stream
+        .iter()
+        .all(|v| v.scan_passes == stream[0].scan_passes);
+    let best_stream_ns = stream.iter().map(|v| v.median_ns).min().unwrap() as f64;
+    let stream_speedup = sequential_ns / best_stream_ns;
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -236,6 +303,15 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"scan_passes_equal_across_workers\": {passes_exact},\n"
+    ));
+    json.push_str(&format!(
+        "  \"stream_rows_scanned_equal_across_workers\": {stream_rows_exact},\n"
+    ));
+    json.push_str(&format!(
+        "  \"stream_scan_passes_equal_across_workers\": {stream_passes_exact},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_stream_vs_sequential_fresh\": {stream_speedup:.2},\n"
     ));
     json.push_str(&format!(
         "  \"speedup_batch_vs_sequential_fresh\": {speedup:.2}\n"

@@ -149,6 +149,57 @@ pub struct CheckerConfig {
     pub fuse_scans: bool,
 }
 
+/// What [`StreamingVerifier::submit`](crate::stream::StreamingVerifier::submit)
+/// does when the bounded intake queue is full — the streaming service's
+/// backpressure knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IntakePolicy {
+    /// Block the submitting thread until a slot frees up (or the stream
+    /// closes). Lossless: every accepted document is eventually verified.
+    #[default]
+    Block,
+    /// Fail fast with [`crate::stream::SubmitError::Full`] so the caller
+    /// can shed load or retry later. The service never blocks producers.
+    Reject,
+}
+
+/// Intake knobs of the streaming verification service
+/// ([`crate::stream::StreamingVerifier`]). Kept separate from
+/// [`CheckerConfig`] because they shape *admission*, never verification:
+/// two services with different intake configs over the same
+/// `CheckerConfig` produce bit-identical reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Maximum documents queued (submitted but not yet picked up by a
+    /// worker). Documents being verified do not count against this.
+    pub intake_capacity: usize,
+    /// What `submit` does when the intake queue is full.
+    pub policy: IntakePolicy,
+    /// Long-lived worker threads draining the intake. 0 = use
+    /// [`CheckerConfig::threads`].
+    pub workers: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            intake_capacity: 64,
+            policy: IntakePolicy::Block,
+            workers: 0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Sanity-check configuration values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.intake_capacity == 0 {
+            return Err("intake_capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// The three evaluation strategies of Table 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EvalStrategy {
@@ -237,6 +288,20 @@ mod tests {
             ..CheckerConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stream_config_defaults_and_validation() {
+        let s = StreamConfig::default();
+        assert_eq!(s.intake_capacity, 64);
+        assert_eq!(s.policy, IntakePolicy::Block);
+        assert_eq!(s.workers, 0, "0 defers to CheckerConfig::threads");
+        s.validate().unwrap();
+        let bad = StreamConfig {
+            intake_capacity: 0,
+            ..StreamConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -43,10 +43,14 @@ pub mod pipeline;
 pub mod report;
 pub mod rounding;
 pub mod scope;
+pub mod stream;
 pub mod textutil;
 
 pub use candidates::{Candidate, CandidateSet};
-pub use config::{CheckerConfig, ContextConfig, EvalStrategy, ModelConfig, ScopeConfig};
+pub use config::{
+    CheckerConfig, ContextConfig, EvalStrategy, IntakePolicy, ModelConfig, ScopeConfig,
+    StreamConfig,
+};
 pub use evaluate::{EvalStats, Evaluator, ResultsMatrix, TaskBundling};
 pub use fragments::{CatalogConfig, FragmentCatalog};
 pub use keywords::{claim_keywords, WeightedKeyword};
@@ -58,3 +62,4 @@ pub use pipeline::{
 };
 pub use rounding::matches_claim;
 pub use scope::Scope;
+pub use stream::{StreamStats, StreamingVerifier, SubmitError, Ticket};

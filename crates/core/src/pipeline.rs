@@ -26,6 +26,10 @@ use std::time::{Duration, Instant};
 pub enum CheckerError {
     Config(String),
     Relational(agg_relational::RelationalError),
+    /// A streaming submission was abandoned before verification: the
+    /// service shut down (or its worker died) with the document still
+    /// queued. See [`crate::stream::StreamingVerifier`].
+    Stream(String),
 }
 
 impl fmt::Display for CheckerError {
@@ -33,6 +37,7 @@ impl fmt::Display for CheckerError {
         match self {
             CheckerError::Config(msg) => write!(f, "configuration error: {msg}"),
             CheckerError::Relational(e) => write!(f, "relational error: {e}"),
+            CheckerError::Stream(msg) => write!(f, "streaming error: {msg}"),
         }
     }
 }
@@ -194,29 +199,30 @@ impl VerificationReport {
 }
 
 /// How one document's evaluation work is executed — the plumbing that
-/// lets solo and batched verification share `check_document_with` while
-/// drawing parallelism from different places.
-struct ExecContext<'e> {
+/// lets solo, batched, and streaming verification share
+/// `check_document_with` while drawing parallelism from different places.
+pub(crate) struct ExecContext<'e> {
     /// Dense-grid buffer pool persisted across this caller's documents.
-    arena: Option<&'e GridArena>,
-    /// Shared cube-task scheduler (batch mode). `None` = each evaluation
-    /// wave spawns its own scoped pool of `threads` workers.
-    scheduler: Option<&'e CubeScheduler>,
+    pub(crate) arena: Option<&'e GridArena>,
+    /// Shared cube-task scheduler (batch and streaming modes). `None` =
+    /// each evaluation wave spawns its own scoped pool of `threads`
+    /// workers.
+    pub(crate) scheduler: Option<&'e CubeScheduler>,
     /// Worker threads for claim scoring and (without a shared scheduler)
     /// per-wave cube execution. Batch workers pass 1: the shared pool
     /// already provides the parallelism, so per-document thread fan-out
     /// would only oversubscribe the machine.
-    threads: usize,
+    pub(crate) threads: usize,
     /// How missing aggregates bundle into cube tasks. Solo verification
     /// uses `Wave` (fewest tasks); batched verification uses `Canonical`
     /// at every worker count so its executed-task set — and therefore the
     /// fused pass structure and `rows_scanned` — is identical from 1
     /// worker to N (the CI dedup gate). Bundling never changes results.
-    bundling: TaskBundling,
+    pub(crate) bundling: TaskBundling,
     /// Fuse same-scope cube tasks of one wave into shared scan passes
     /// ([`CheckerConfig::fuse_scans`]). Purely physical — reports are
     /// bit-identical either way.
-    fuse: bool,
+    pub(crate) fuse: bool,
 }
 
 /// The AggChecker: verify text summaries of a relational data set.
@@ -297,9 +303,10 @@ impl AggChecker {
     }
 
     /// Verify a parsed document under an explicit execution context (see
-    /// [`ExecContext`]). Always runs under `self.config` — batch and solo
-    /// runs must share every knob, or their reports could diverge.
-    fn check_document_with(
+    /// [`ExecContext`]). Always runs under `self.config` — batch,
+    /// streaming, and solo runs must share every knob, or their reports
+    /// could diverge.
+    pub(crate) fn check_document_with(
         &self,
         doc: &Document,
         ctx: &ExecContext<'_>,
@@ -1139,5 +1146,102 @@ Three were for repeated substance abuse, one was for gambling.</p>
         let article = "<h1>Indefinite suspensions</h1><p>There were nine previous lifetime bans in my database.</p>";
         let report = checker.check_text(article).unwrap();
         assert_eq!(report.flagged().count(), 1);
+    }
+
+    /// `flagged()` direct coverage: the empty-report edge case (no claims
+    /// at all — the `hit_rate`-style 0-of-0 shape) and a mixed report
+    /// where it must select exactly the erroneous claims, in order.
+    #[test]
+    fn flagged_is_empty_on_empty_report_and_selects_only_erroneous() {
+        let checker = AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap();
+        let empty = checker.check_text("<p>no numbers here</p>").unwrap();
+        assert!(empty.claims.is_empty());
+        assert_eq!(empty.flagged().count(), 0, "0 of 0, not a panic");
+
+        let mixed = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were seven previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+        let report = checker.check_text(mixed).unwrap();
+        let flagged: Vec<f64> = report.flagged().map(|c| c.claimed_value).collect();
+        assert_eq!(flagged, vec![7.0], "exactly the wrong claim, none else");
+        // `flagged` borrows; the report is still fully usable afterwards.
+        assert_eq!(report.claims.len(), 3);
+    }
+
+    /// `apply_correction` direct coverage: the empty-report edge case, the
+    /// no-candidate (`Unverifiable`) claim, and the guarantee that a
+    /// correction pins exactly one copy of the chosen query at rank 0.
+    #[test]
+    fn apply_correction_edge_cases() {
+        use agg_relational::Predicate;
+        let db = nfl_db();
+        let checker = AggChecker::new(db, CheckerConfig::default()).unwrap();
+        let games = checker.db().resolve("nflsuspensions", "games").unwrap();
+        let q = SimpleAggregateQuery::count_star(vec![Predicate::new(games, "indef")]);
+
+        // Empty report: every index is out of range, cleanly.
+        let mut empty = checker.check_text("<p>wordless</p>").unwrap();
+        assert!(matches!(
+            empty.apply_correction(0, q.clone(), checker.db()),
+            Err(CheckerError::Config(_))
+        ));
+
+        // A correction on a real claim pins the query at rank 0 with
+        // probability 1 and removes semantic duplicates of it.
+        let mut report = checker.check_text(ARTICLE).unwrap();
+        let idx = report
+            .claims
+            .iter()
+            .position(|c| c.claimed_value == 4.0)
+            .unwrap();
+        let had = report.claims[idx].top_queries.len();
+        assert!(had > 1, "precondition: a real top-k list");
+        let verdict = report
+            .apply_correction(idx, q.clone(), checker.db())
+            .unwrap();
+        assert_eq!(verdict, Verdict::Correct);
+        let claim = &report.claims[idx];
+        assert_eq!(claim.top_queries[0].probability, 1.0);
+        assert_eq!(claim.top_queries[0].result, Some(4.0));
+        assert!(claim.top_queries[0].matches);
+        let copies = claim
+            .top_queries
+            .iter()
+            .filter(|rq| rq.query.semantically_equal(&q))
+            .count();
+        assert_eq!(copies, 1, "the pinned query appears exactly once");
+
+        // Re-applying the same correction is idempotent on list length.
+        let len_before = report.claims[idx].top_queries.len();
+        report
+            .apply_correction(idx, q.clone(), checker.db())
+            .unwrap();
+        assert_eq!(report.claims[idx].top_queries.len(), len_before);
+
+        // A correction evaluating to SQL NULL never matches: the claim is
+        // flagged with probability 0.
+        let category = checker.db().resolve("nflsuspensions", "category").unwrap();
+        let null_q = SimpleAggregateQuery::new(
+            agg_relational::AggFunction::Sum,
+            agg_relational::AggColumn::Column(
+                checker.db().resolve("nflsuspensions", "year").unwrap(),
+            ),
+            vec![Predicate::new(category, "no such category")],
+        );
+        let verdict = report
+            .apply_correction(idx, null_q.clone(), checker.db())
+            .unwrap();
+        assert_eq!(verdict, Verdict::Erroneous);
+        let claim = &report.claims[idx];
+        assert_eq!(claim.correctness_probability, 0.0);
+        assert_eq!(claim.top_queries[0].result, None);
+        assert_eq!(claim.verdict, Verdict::Erroneous);
+        assert_eq!(
+            report.flagged().count(),
+            1,
+            "the corrected claim is now flagged"
+        );
     }
 }

@@ -1,0 +1,1104 @@
+//! Streaming verification service: **dynamic admission** on top of the
+//! batch substrate.
+//!
+//! [`BatchVerifier`](crate::pipeline::BatchVerifier) verifies a
+//! pre-materialized document list; the deployments the paper frames
+//! (FactChecker's interactive service, Scrutinizer's organization-wide
+//! claim streams) instead see documents *arrive* — at any time, from many
+//! clients, at rates that can exceed the machine. [`StreamingVerifier`] is
+//! that front-end: a long-lived service over one shared
+//! [`AggChecker`] (database, fragment catalog, sharded single-flight
+//! cache) where clients [`submit`](StreamingVerifier::submit) documents and
+//! receive a [`Ticket`] per document, while a persistent pool of worker
+//! threads drains a bounded intake queue.
+//!
+//! # Execution model
+//!
+//! Workers serve **two queues through one blocking point**. A worker that
+//! pops a document from the intake drives it exactly like a batch worker:
+//! every evaluation wave probes the shared cache atomically
+//! (`EvalCache::flight_batch_many`), fuses its same-scope cube tasks into
+//! shared scan passes (`ScanGroup`), and submits them to the service's
+//! **one** shared `CubeScheduler` (each service owns its scheduler, like
+//! each `BatchVerifier` owns its pool); while its own tasks are pending it
+//! helps execute *other* in-flight documents' passes. A worker with no document
+//! parks in [`CubeScheduler::help_until`](agg_relational::CubeScheduler::help_until),
+//! draining whatever passes the drivers queue, and is recalled by a `kick`
+//! the moment a new document lands in the intake — so wave formation rides
+//! an open-ended queue instead of a fixed batch.
+//!
+//! Cross-document sharing is the point of the shared substrate: cube
+//! scope is *canonical* (catalog-wide literal lists, per-column aggregate
+//! bundles), so same-scope cubes of different in-flight documents resolve
+//! to the same cache keys — whichever document's wave claims them first
+//! executes them as one fused row pass, and every other in-flight
+//! document's wave hits the resident slice or joins the flight instead of
+//! scanning again. N clients streaming summaries of one database cost one
+//! document's scans plus each document's unique remainder.
+//!
+//! # Determinism contract
+//!
+//! Reports are **bit-identical to a solo
+//! [`AggChecker::check_document`] run** regardless of arrival order, wave
+//! composition, or worker count — the same contract batch mode holds,
+//! extended to dynamic admission. The ingredients are identical: canonical
+//! task bundling (the executed-scan set does not depend on scheduling),
+//! sequential scans inside every fused pass (each grid sees rows in
+//! relation order, so f64 accumulation sequences never vary), and
+//! single-flight publication (each cube key computed exactly once). The
+//! equivalence proptests and the CI `dedup-gate` (streaming variants)
+//! enforce it end to end. The one caveat is inherited from warm caches
+//! generally: a float `Sum`/`Avg` served from a wider cached slice can
+//! differ in the last ulp from a cold evaluation; count-like and
+//! integer-exact aggregates — the paper's workload — are bit-identical.
+//!
+//! # Backpressure and shutdown
+//!
+//! The intake queue is bounded ([`StreamConfig::intake_capacity`]); a full
+//! queue either blocks the submitter or rejects the submission
+//! ([`IntakePolicy`]). [`close`](StreamingVerifier::close) stops intake
+//! but **drains**: everything already queued is still verified.
+//! [`into_checker`](StreamingVerifier::into_checker) closes, joins the
+//! workers, and returns the warmed checker. Dropping the service without
+//! closing takes the fast path instead: in-flight documents finish, but
+//! documents still queued are **rejected** (their tickets settle with
+//! [`CheckerError::Stream`]) so teardown never waits on a deep queue.
+//!
+//! # Example
+//!
+//! ```
+//! use agg_core::{CheckerConfig, StreamConfig, StreamingVerifier};
+//! use agg_relational::{Database, Table};
+//!
+//! let table = Table::from_columns(
+//!     "sales",
+//!     vec![("region", vec!["west".into(), "west".into(), "east".into()])],
+//! )?;
+//! let mut db = Database::new("demo");
+//! db.add_table(table);
+//!
+//! let service = StreamingVerifier::new(db, CheckerConfig::default(), StreamConfig::default())?;
+//! // Submissions can arrive from any thread, at any time.
+//! let ticket = service.submit_text("<p>There were two sales in the west region.</p>")?;
+//! let report = ticket.wait()?;
+//! assert_eq!(report.claims.len(), 1);
+//! // Graceful shutdown: drain the queue, stop the workers, keep the
+//! // warmed cache for a future service.
+//! let checker = service.into_checker();
+//! assert!(checker.cache().stats().entries() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::config::{CheckerConfig, IntakePolicy, StreamConfig};
+use crate::evaluate::TaskBundling;
+use crate::pipeline::{AggChecker, CheckerError, ExecContext, VerificationReport};
+use agg_nlp::structure::{parse_document, Document};
+use agg_relational::{CubeScheduler, Database, GridArena};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The intake queue is at capacity and the stream runs
+    /// [`IntakePolicy::Reject`] — shed load or retry later.
+    Full,
+    /// The stream was closed; no further submissions are accepted.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "intake queue full"),
+            SubmitError::Closed => write!(f, "stream closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Debug)]
+enum TicketState {
+    Pending,
+    Done(Result<VerificationReport, CheckerError>),
+    Taken,
+}
+
+#[derive(Debug)]
+struct TicketCell {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> TicketCell {
+        TicketCell {
+            state: Mutex::new(TicketState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn settle(&self, result: Result<VerificationReport, CheckerError>) {
+        *lock(&self.state) = TicketState::Done(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Per-document completion handle returned by
+/// [`StreamingVerifier::submit`]. Every accepted submission's ticket
+/// settles exactly once: with the report, with the verification error, or
+/// with [`CheckerError::Stream`] if the service shut down before the
+/// document ran.
+#[derive(Debug)]
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    /// Has the document been verified (or its submission abandoned)?
+    pub fn is_done(&self) -> bool {
+        !matches!(*lock(&self.cell.state), TicketState::Pending)
+    }
+
+    /// Block until the document's verification settles.
+    pub fn wait(self) -> Result<VerificationReport, CheckerError> {
+        let mut state = lock(&self.cell.state);
+        while matches!(*state, TicketState::Pending) {
+            state = self
+                .cell
+                .cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        match std::mem::replace(&mut *state, TicketState::Taken) {
+            TicketState::Done(result) => result,
+            // `wait` consumes the only handle, so the result cannot have
+            // been taken before, and Pending was just ruled out.
+            TicketState::Pending | TicketState::Taken => unreachable!("ticket settles once"),
+        }
+    }
+}
+
+/// Point-in-time counters of one streaming service. High-water marks are
+/// monotone; throughput counters sum over completed documents' reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Documents accepted into the intake queue.
+    pub submitted: u64,
+    /// Documents verified successfully (ticket settled with a report).
+    pub completed: u64,
+    /// Documents whose verification returned an error (ticket settled
+    /// with it). Every accepted document lands in exactly one of
+    /// `completed`/`failed`/`rejected`, so
+    /// `submitted == completed + failed + rejected` at quiescence.
+    pub failed: u64,
+    /// Submissions abandoned at shutdown (queued at drop or at whole-pool
+    /// death; their tickets settled with [`CheckerError::Stream`]). Policy
+    /// rejects ([`SubmitError::Full`]) never enter the queue and are not
+    /// counted.
+    pub rejected: u64,
+    /// Deepest the intake queue ever got (backpressure headroom).
+    pub queue_depth_high_water: u64,
+    /// Most documents ever in verification at once — the widest admission
+    /// wave the worker pool formed.
+    pub in_flight_high_water: u64,
+    /// Claims across completed documents.
+    pub claims: u64,
+    /// Rows read by completed documents' fused scan passes.
+    pub rows_scanned: u64,
+    /// Cube tasks executed on behalf of completed documents.
+    pub tasks_executed: u64,
+    /// Cube requests resolved without a new execution (cross-claim merge,
+    /// resident cache, or another document's single-flight).
+    pub tasks_deduped: u64,
+    /// Requests that blocked on another in-flight cube computation.
+    pub singleflight_waits: u64,
+    /// Fused row passes executed for completed documents.
+    pub scan_passes: u64,
+}
+
+impl StreamStats {
+    /// Average cube tasks served per fused row pass (0.0 when no pass ran).
+    pub fn fused_tasks_per_pass(&self) -> f64 {
+        if self.scan_passes == 0 {
+            0.0
+        } else {
+            self.tasks_executed as f64 / self.scan_passes as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth_high_water: AtomicU64,
+    in_flight_high_water: AtomicU64,
+    claims: AtomicU64,
+    rows_scanned: AtomicU64,
+    tasks_executed: AtomicU64,
+    tasks_deduped: AtomicU64,
+    singleflight_waits: AtomicU64,
+    scan_passes: AtomicU64,
+}
+
+struct Submission {
+    doc: Document,
+    cell: Arc<TicketCell>,
+}
+
+#[derive(Default)]
+struct Intake {
+    queue: VecDeque<Submission>,
+    /// No further submissions are accepted.
+    closed: bool,
+    /// Shutdown fast path: workers reject queued submissions instead of
+    /// verifying them.
+    rejecting: bool,
+}
+
+struct Shared {
+    checker: AggChecker,
+    scheduler: CubeScheduler,
+    intake: Mutex<Intake>,
+    /// Wakes submitters blocked on a full queue ([`IntakePolicy::Block`]).
+    space: Condvar,
+    capacity: usize,
+    policy: IntakePolicy,
+    /// Lock-free mirrors of the intake state, readable from
+    /// `help_until`'s recall predicate without taking the intake lock.
+    queue_len: AtomicUsize,
+    in_flight: AtomicUsize,
+    closed: AtomicBool,
+    /// Workers still running their loop. The last one out — panicked or
+    /// not — closes the intake and rejects anything still queued (see
+    /// [`WorkerExitGuard`]).
+    live_workers: AtomicUsize,
+    counters: Counters,
+}
+
+impl Shared {
+    /// Should a parked helper return to the intake? True when a document
+    /// is waiting, or when a closed stream has fully drained (time to
+    /// exit). Every transition that can flip this to true is followed by a
+    /// [`CubeScheduler::kick`].
+    fn recall(&self) -> bool {
+        self.queue_len.load(Ordering::Acquire) > 0
+            || (self.closed.load(Ordering::Acquire) && self.in_flight.load(Ordering::Acquire) == 0)
+    }
+}
+
+/// Settles the ticket and releases the in-flight slot exactly once, even
+/// if verification panics mid-document (the unwinding worker thread dies,
+/// but the client's ticket resolves and the stream can still drain).
+struct DocGuard<'a> {
+    shared: &'a Shared,
+    cell: Option<Arc<TicketCell>>,
+}
+
+impl DocGuard<'_> {
+    fn finish(mut self, result: Result<VerificationReport, CheckerError>) {
+        let c = &self.shared.counters;
+        match &result {
+            Ok(report) => {
+                c.completed.fetch_add(1, Ordering::Relaxed);
+                c.claims
+                    .fetch_add(report.stats.claims as u64, Ordering::Relaxed);
+                c.rows_scanned
+                    .fetch_add(report.stats.rows_scanned, Ordering::Relaxed);
+                c.tasks_executed
+                    .fetch_add(report.stats.tasks_executed, Ordering::Relaxed);
+                c.tasks_deduped
+                    .fetch_add(report.stats.tasks_deduped, Ordering::Relaxed);
+                c.singleflight_waits
+                    .fetch_add(report.stats.singleflight_waits, Ordering::Relaxed);
+                c.scan_passes
+                    .fetch_add(report.stats.scan_passes, Ordering::Relaxed);
+            }
+            Err(_) => {
+                c.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.cell.take().expect("unsettled").settle(result);
+        // Drop runs next and releases the in-flight slot.
+    }
+}
+
+impl Drop for DocGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(cell) = self.cell.take() {
+            self.shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            cell.settle(Err(CheckerError::Stream(
+                "verification worker panicked with the document in flight".into(),
+            )));
+        }
+        if self.shared.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Possibly the last in-flight document of a closing stream —
+            // and in any case a recall-state change parked peers must see.
+            self.shared.scheduler.kick();
+        }
+    }
+}
+
+/// Marks one worker's exit — normal return or panic unwind. The **last**
+/// worker out closes the intake and settles every still-queued ticket
+/// with [`CheckerError::Stream`]: a pool that died entirely (every worker
+/// panicked) must not leave `Ticket::wait` blocking forever or admit
+/// submissions nobody will ever verify. On a normal drained shutdown the
+/// queue is already empty, so this is a no-op beyond the flag writes.
+struct WorkerExitGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for WorkerExitGuard<'_> {
+    fn drop(&mut self) {
+        if self.shared.live_workers.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        let drained = {
+            let mut intake = lock(&self.shared.intake);
+            intake.closed = true;
+            intake.rejecting = true;
+            std::mem::take(&mut intake.queue)
+        };
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.queue_len.store(0, Ordering::Release);
+        for sub in drained {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            sub.cell.settle(Err(CheckerError::Stream(
+                "stream worker pool exited with the document still queued".into(),
+            )));
+        }
+        self.shared.space.notify_all();
+        self.shared.scheduler.kick();
+    }
+}
+
+/// One long-lived worker: alternate between driving intake documents and
+/// helping drain other documents' fused scan passes.
+fn worker_loop(shared: &Shared) {
+    // Dropped last (declared first): per-document guards settle their own
+    // ticket before this one runs on an unwind.
+    let _exit = WorkerExitGuard { shared };
+    let arena = GridArena::new();
+    let ctx = ExecContext {
+        arena: Some(&arena),
+        scheduler: Some(&shared.scheduler),
+        // The pool provides the parallelism; per-document fan-out would
+        // only oversubscribe the machine (same as batch workers).
+        threads: 1,
+        // Canonical bundling keeps the executed-scan set — and therefore
+        // `scan_passes`/`rows_scanned` — independent of worker count and
+        // arrival interleaving (the CI dedup gate's streaming variants).
+        bundling: TaskBundling::Canonical,
+        fuse: shared.checker.config().fuse_scans,
+    };
+    loop {
+        let sub = {
+            let mut intake = lock(&shared.intake);
+            loop {
+                if let Some(sub) = intake.queue.pop_front() {
+                    shared
+                        .queue_len
+                        .store(intake.queue.len(), Ordering::Release);
+                    // A slot freed: admit one blocked submitter.
+                    shared.space.notify_one();
+                    if intake.rejecting {
+                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        sub.cell.settle(Err(CheckerError::Stream(
+                            "stream dropped with the document still queued".into(),
+                        )));
+                        continue;
+                    }
+                    let now = shared.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+                    shared
+                        .counters
+                        .in_flight_high_water
+                        .fetch_max(now as u64, Ordering::Relaxed);
+                    break Some(sub);
+                }
+                if intake.closed && shared.in_flight.load(Ordering::Acquire) == 0 {
+                    break None;
+                }
+                // Nothing to verify: park on the scheduler and drain other
+                // documents' passes until a kick announces new intake (or
+                // the drained shutdown).
+                drop(intake);
+                shared
+                    .scheduler
+                    .help_until(shared.checker.db(), Some(&arena), || shared.recall());
+                intake = lock(&shared.intake);
+            }
+        };
+        let Some(sub) = sub else {
+            // Closed and drained: wake siblings so they observe it too.
+            shared.scheduler.kick();
+            return;
+        };
+        let guard = DocGuard {
+            shared,
+            cell: Some(sub.cell),
+        };
+        let result = shared.checker.check_document_with(&sub.doc, &ctx);
+        guard.finish(result);
+    }
+}
+
+/// A long-lived streaming verification service over one shared database
+/// (see the [module docs](self) for the execution model, determinism
+/// contract, and shutdown semantics).
+pub struct StreamingVerifier {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StreamingVerifier {
+    /// Start a service over a database: builds the checker (catalog, cost
+    /// model, sharded cache) and spawns the worker pool.
+    pub fn new(
+        db: Database,
+        config: CheckerConfig,
+        stream: StreamConfig,
+    ) -> Result<StreamingVerifier, CheckerError> {
+        StreamingVerifier::from_checker(AggChecker::new(db, config)?, stream)
+    }
+
+    /// Start a service over an existing checker (shares its warmed cache).
+    pub fn from_checker(
+        checker: AggChecker,
+        stream: StreamConfig,
+    ) -> Result<StreamingVerifier, CheckerError> {
+        stream.validate().map_err(CheckerError::Config)?;
+        let workers = if stream.workers == 0 {
+            checker.config().threads
+        } else {
+            stream.workers
+        }
+        .max(1);
+        let shared = Arc::new(Shared {
+            checker,
+            scheduler: CubeScheduler::new(),
+            intake: Mutex::new(Intake::default()),
+            space: Condvar::new(),
+            capacity: stream.intake_capacity,
+            policy: stream.policy,
+            queue_len: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            live_workers: AtomicUsize::new(workers),
+            counters: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("agg-stream-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn streaming worker")
+            })
+            .collect();
+        Ok(StreamingVerifier {
+            shared,
+            workers: handles,
+        })
+    }
+
+    /// The underlying checker (database, catalog, cache accessors).
+    pub fn checker(&self) -> &AggChecker {
+        &self.shared.checker
+    }
+
+    /// Size of the worker pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Parse and submit a text document (HTML subset or plain text).
+    pub fn submit_text(&self, text: &str) -> Result<Ticket, SubmitError> {
+        // Cheap pre-check before paying for the parse: under overload —
+        // exactly when `Reject` matters — a shedding caller should not
+        // parse a whole article just to be turned away. The lock-free
+        // reads can go stale either way, but [`StreamingVerifier::submit`]
+        // re-checks authoritatively under the intake lock.
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(SubmitError::Closed);
+        }
+        if self.shared.policy == IntakePolicy::Reject
+            && self.shared.queue_len.load(Ordering::Acquire) >= self.shared.capacity
+        {
+            return Err(SubmitError::Full);
+        }
+        self.submit(parse_document(text))
+    }
+
+    /// Submit a parsed document for verification. Returns immediately with
+    /// a [`Ticket`] unless the queue is full under [`IntakePolicy::Block`],
+    /// in which case the call blocks until a slot frees (or the stream
+    /// closes). Safe to call from any number of threads.
+    pub fn submit(&self, doc: Document) -> Result<Ticket, SubmitError> {
+        let cell = Arc::new(TicketCell::new());
+        {
+            let mut intake = lock(&self.shared.intake);
+            loop {
+                if intake.closed {
+                    return Err(SubmitError::Closed);
+                }
+                if intake.queue.len() < self.shared.capacity {
+                    break;
+                }
+                match self.shared.policy {
+                    IntakePolicy::Reject => return Err(SubmitError::Full),
+                    IntakePolicy::Block => {
+                        intake = self
+                            .shared
+                            .space
+                            .wait(intake)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }
+            }
+            intake.queue.push_back(Submission {
+                doc,
+                cell: cell.clone(),
+            });
+            let depth = intake.queue.len();
+            self.shared.queue_len.store(depth, Ordering::Release);
+            self.shared
+                .counters
+                .queue_depth_high_water
+                .fetch_max(depth as u64, Ordering::Relaxed);
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        // Recall a parked worker for the new document.
+        self.shared.scheduler.kick();
+        Ok(Ticket { cell })
+    }
+
+    /// Stop accepting submissions. Everything already queued is still
+    /// verified (`close` **drains**); blocked submitters wake with
+    /// [`SubmitError::Closed`]. Idempotent.
+    pub fn close(&self) {
+        lock(&self.shared.intake).closed = true;
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.space.notify_all();
+        self.shared.scheduler.kick();
+    }
+
+    /// Documents queued but not yet picked up.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_len.load(Ordering::Acquire)
+    }
+
+    /// Documents currently being verified.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the service's counters.
+    pub fn stats(&self) -> StreamStats {
+        let c = &self.shared.counters;
+        StreamStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            queue_depth_high_water: c.queue_depth_high_water.load(Ordering::Relaxed),
+            in_flight_high_water: c.in_flight_high_water.load(Ordering::Relaxed),
+            claims: c.claims.load(Ordering::Relaxed),
+            rows_scanned: c.rows_scanned.load(Ordering::Relaxed),
+            tasks_executed: c.tasks_executed.load(Ordering::Relaxed),
+            tasks_deduped: c.tasks_deduped.load(Ordering::Relaxed),
+            singleflight_waits: c.singleflight_waits.load(Ordering::Relaxed),
+            scan_passes: c.scan_passes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: close the intake, verify everything queued, join
+    /// the workers, and recover the checker with its warmed cache.
+    pub fn into_checker(mut self) -> AggChecker {
+        self.close();
+        for handle in self.workers.drain(..) {
+            // A panicked worker already settled its ticket via `DocGuard`.
+            let _ = handle.join();
+        }
+        // `workers` is now empty, so `drop(self)` below is a no-op and the
+        // worker threads' `Shared` clones are gone: ours is the last.
+        let shared = self.shared.clone();
+        drop(self);
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.checker,
+            Err(_) => unreachable!("joined workers hold no Shared references"),
+        }
+    }
+}
+
+impl Drop for StreamingVerifier {
+    /// Fast shutdown: in-flight documents finish, queued documents are
+    /// rejected (tickets settle with [`CheckerError::Stream`]), workers
+    /// join. Use [`StreamingVerifier::close`] +
+    /// [`StreamingVerifier::into_checker`] to drain instead.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // already shut down via into_checker
+        }
+        {
+            let mut intake = lock(&self.shared.intake);
+            intake.closed = true;
+            intake.rejecting = true;
+        }
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.space.notify_all();
+        self.shared.scheduler.kick();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AggChecker;
+    use agg_relational::{Table, Value};
+
+    /// Figure 2's database (same fixture as the pipeline tests).
+    fn nfl_db() -> Database {
+        let mut t = Table::from_columns(
+            "nflsuspensions",
+            vec![
+                (
+                    "games",
+                    vec![
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "indef".into(),
+                        "10".into(),
+                        "4".into(),
+                        "2".into(),
+                        "6".into(),
+                    ],
+                ),
+                (
+                    "category",
+                    vec![
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "substance abuse, repeated offense".into(),
+                        "gambling".into(),
+                        "substance abuse".into(),
+                        "personal conduct".into(),
+                        "deflategate".into(),
+                        "bounty program".into(),
+                    ],
+                ),
+                (
+                    "year",
+                    vec![
+                        Value::Int(1989),
+                        Value::Int(1995),
+                        Value::Int(2014),
+                        Value::Int(1983),
+                        Value::Int(2014),
+                        Value::Int(2014),
+                        Value::Int(2013),
+                        Value::Int(2012),
+                    ],
+                ),
+            ],
+        )
+        .unwrap();
+        t.schema.columns[0].description =
+            Some("games suspended; indef means an indefinite lifetime ban".into());
+        let mut db = Database::new("nfl");
+        db.add_table(t);
+        db
+    }
+
+    const ARTICLE: &str = r#"
+<title>The NFL's Uneven History Of Punishing Domestic Violence</title>
+<h1>Indefinite suspensions</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+
+    const WRONG: &str = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were seven previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+
+    fn solo_fingerprint(db: &Database, cfg: &CheckerConfig, text: &str) -> String {
+        let checker = AggChecker::new(db.clone(), cfg.clone()).unwrap();
+        checker.check_text(text).unwrap().content_fingerprint()
+    }
+
+    /// The determinism contract at unit scale: whatever the worker count,
+    /// streamed reports are bit-identical to fresh solo runs, and the
+    /// totals of `rows_scanned`/`scan_passes` are exactly worker-count
+    /// independent (single-flight + canonical bundling + atomic wave
+    /// probes — the invariant the CI dedup gate checks at bench scale).
+    #[test]
+    fn streaming_single_flight_keeps_rows_and_passes_exact() {
+        let db = nfl_db();
+        let texts = [
+            ARTICLE, WRONG, ARTICLE, WRONG, ARTICLE, ARTICLE, WRONG, ARTICLE,
+        ];
+        let cfg = CheckerConfig::default();
+        let expected: Vec<String> = texts
+            .iter()
+            .map(|t| solo_fingerprint(&db, &cfg, t))
+            .collect();
+        let run = |workers: usize| {
+            let stream_cfg = StreamConfig {
+                workers,
+                ..StreamConfig::default()
+            };
+            let service = StreamingVerifier::new(db.clone(), cfg.clone(), stream_cfg).unwrap();
+            assert_eq!(service.workers(), workers);
+            let tickets: Vec<Ticket> = texts
+                .iter()
+                .map(|t| service.submit_text(t).unwrap())
+                .collect();
+            let reports: Vec<VerificationReport> =
+                tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+            let stats = service.stats();
+            assert_eq!(stats.completed, texts.len() as u64);
+            assert_eq!(stats.failed, 0);
+            assert_eq!(stats.rejected, 0);
+            // Every accepted document is accounted for in exactly one bin.
+            assert_eq!(
+                stats.submitted,
+                stats.completed + stats.failed + stats.rejected
+            );
+            // Stats reconcile with the reports they summed over.
+            let rows: u64 = reports.iter().map(|r| r.stats.rows_scanned).sum();
+            let passes: u64 = reports.iter().map(|r| r.stats.scan_passes).sum();
+            assert_eq!(stats.rows_scanned, rows);
+            assert_eq!(stats.scan_passes, passes);
+            let checker = service.into_checker();
+            assert_eq!(
+                checker.cache().inflight_len(),
+                0,
+                "drained shutdown leaves no dangling flights"
+            );
+            let fps: Vec<String> = reports.iter().map(|r| r.content_fingerprint()).collect();
+            (rows, passes, fps)
+        };
+        let (rows_1w, passes_1w, fps_1w) = run(1);
+        assert!(rows_1w > 0 && passes_1w > 0);
+        assert_eq!(fps_1w, expected, "streamed == solo at 1 worker");
+        for workers in [2usize, 4, 8] {
+            let (rows, passes, fps) = run(workers);
+            assert_eq!(rows, rows_1w, "workers={workers}: rows_scanned drifted");
+            assert_eq!(
+                passes, passes_1w,
+                "workers={workers}: pass formation drifted"
+            );
+            assert_eq!(
+                fps, expected,
+                "workers={workers}: reports must be bit-identical"
+            );
+        }
+    }
+
+    /// Cross-document sharing through the canonical cache: streaming the
+    /// same summary repeatedly must cost one document's scans — later
+    /// in-flight documents ride the first one's fused passes (flight
+    /// joins / resident hits), never re-scanning.
+    #[test]
+    fn later_documents_reuse_earlier_documents_passes() {
+        let service =
+            StreamingVerifier::new(nfl_db(), CheckerConfig::default(), StreamConfig::default())
+                .unwrap();
+        let first = service.submit_text(ARTICLE).unwrap().wait().unwrap();
+        assert!(first.stats.rows_scanned > 0);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| service.submit_text(ARTICLE).unwrap())
+            .collect();
+        for ticket in tickets {
+            let report = ticket.wait().unwrap();
+            assert_eq!(report.stats.rows_scanned, 0, "warm stream re-scans nothing");
+            assert_eq!(report.content_fingerprint(), first.content_fingerprint());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.rows_scanned, first.stats.rows_scanned);
+        assert!(stats.tasks_deduped > 0);
+    }
+
+    /// The 8-worker streaming stress test behind the CI release-job
+    /// `single_flight` filter: four submitter threads race documents into
+    /// the service while it drains, `close()` lands mid-stream, and every
+    /// accepted document must still produce a report bit-identical to a
+    /// fresh solo run — with no dangling single-flight entries afterwards.
+    #[test]
+    fn streaming_single_flight_stress_submit_while_draining() {
+        let db = nfl_db();
+        let cfg = CheckerConfig::default();
+        let expected_ok = solo_fingerprint(&db, &cfg, ARTICLE);
+        let expected_wrong = solo_fingerprint(&db, &cfg, WRONG);
+        let service = StreamingVerifier::new(
+            db,
+            cfg,
+            StreamConfig {
+                workers: 8,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let submitters = 4usize;
+        let per_thread = 8usize;
+        // A pre-close batch accepted for certain, so the drain guarantee
+        // is exercised even if the racing close wins every other submit.
+        let mut outcomes: Vec<(bool, Result<Ticket, SubmitError>)> = (0..4)
+            .map(|i| {
+                let wrong = i % 2 == 0;
+                let text = if wrong { WRONG } else { ARTICLE };
+                (wrong, service.submit_text(text))
+            })
+            .collect();
+        outcomes.extend(std::thread::scope(|scope| {
+            let service = &service;
+            let handles: Vec<_> = (0..submitters)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in 0..per_thread {
+                            let wrong = (t + i) % 3 == 0;
+                            let text = if wrong { WRONG } else { ARTICLE };
+                            out.push((wrong, service.submit_text(text)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            // Mid-stream close: submissions racing past it error with
+            // `Closed`; everything accepted before it still drains.
+            service.close();
+            let late = service.submit_text(ARTICLE);
+            assert_eq!(late.unwrap_err(), SubmitError::Closed);
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        }));
+        let mut accepted = 0u64;
+        for (wrong, outcome) in outcomes {
+            match outcome {
+                Ok(ticket) => {
+                    accepted += 1;
+                    let report = ticket.wait().unwrap();
+                    let expected = if wrong { &expected_wrong } else { &expected_ok };
+                    assert_eq!(&report.content_fingerprint(), expected);
+                }
+                Err(e) => assert_eq!(e, SubmitError::Closed, "only the close can reject"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, accepted);
+        assert_eq!(stats.completed, accepted);
+        assert_eq!(stats.rejected, 0, "close() drains, it never rejects");
+        assert!(stats.in_flight_high_water >= 1);
+        let checker = service.into_checker();
+        assert_eq!(checker.cache().inflight_len(), 0);
+    }
+
+    /// Full-queue backpressure, `Block` policy: a capacity-1 intake admits
+    /// a burst of submitters losslessly by blocking them, and the queue
+    /// high-water mark proves the bound was honored.
+    #[test]
+    fn streaming_single_flight_backpressure_block_is_lossless() {
+        let db = nfl_db();
+        let service = StreamingVerifier::new(
+            db.clone(),
+            CheckerConfig::default(),
+            StreamConfig {
+                intake_capacity: 1,
+                policy: IntakePolicy::Block,
+                workers: 2,
+            },
+        )
+        .unwrap();
+        let n = 12usize;
+        let tickets: Vec<Ticket> = std::thread::scope(|scope| {
+            let service = &service;
+            let handles: Vec<_> = (0..n)
+                .map(|_| scope.spawn(move || service.submit_text(ARTICLE).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let expected = solo_fingerprint(&db, &CheckerConfig::default(), ARTICLE);
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap().content_fingerprint(), expected);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, n as u64);
+        assert_eq!(stats.completed, n as u64);
+        assert_eq!(stats.queue_depth_high_water, 1, "the bound held");
+    }
+
+    /// Full-queue backpressure, `Reject` policy: once the intake is at
+    /// capacity, `submit` fails fast with `Full` instead of blocking, and
+    /// every *accepted* document still verifies.
+    #[test]
+    fn streaming_single_flight_backpressure_reject_fails_fast() {
+        let db = nfl_db();
+        let service = StreamingVerifier::new(
+            db.clone(),
+            CheckerConfig::default(),
+            StreamConfig {
+                intake_capacity: 1,
+                policy: IntakePolicy::Reject,
+                workers: 1,
+            },
+        )
+        .unwrap();
+        // One worker, capacity 1: a burst much faster than verification
+        // must hit `Full`. (1000 sub-microsecond submissions vs
+        // millisecond documents — the worker cannot keep up.)
+        let mut tickets = Vec::new();
+        let mut fulls = 0usize;
+        for _ in 0..1000 {
+            match service.submit_text(ARTICLE) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::Full) => fulls += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(fulls > 0, "a capacity-1 queue must reject under a burst");
+        let expected = solo_fingerprint(&db, &CheckerConfig::default(), ARTICLE);
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap().content_fingerprint(), expected);
+        }
+        assert_eq!(service.stats().rejected, 0, "policy rejects never enqueue");
+        // After the drain there is room again.
+        assert!(service.submit_text(ARTICLE).is_ok());
+    }
+
+    /// Dropping the service without closing rejects what is still queued
+    /// (every ticket settles — none hangs) while in-flight documents
+    /// finish normally.
+    #[test]
+    fn drop_rejects_queued_documents() {
+        let service = StreamingVerifier::new(
+            nfl_db(),
+            CheckerConfig::default(),
+            StreamConfig {
+                workers: 1,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| service.submit_text(ARTICLE).unwrap())
+            .collect();
+        let stats_handle = service.shared.clone();
+        drop(service);
+        let mut oks = 0u64;
+        let mut rejected = 0u64;
+        for ticket in tickets {
+            assert!(ticket.is_done(), "drop settles every ticket");
+            match ticket.wait() {
+                Ok(_) => oks += 1,
+                Err(CheckerError::Stream(_)) => rejected += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(oks + rejected, 8);
+        assert!(
+            rejected >= 1,
+            "a single worker cannot outrun an immediate drop of 8 queued docs"
+        );
+        let c = &stats_handle.counters;
+        assert_eq!(c.completed.load(Ordering::Relaxed), oks);
+        assert_eq!(c.rejected.load(Ordering::Relaxed), rejected);
+    }
+
+    /// A warmed checker survives the round trip through a stream and keeps
+    /// its cache (the Scrutinizer redeployment shape: service restarts
+    /// must not re-scan the fact base).
+    #[test]
+    fn into_checker_keeps_warmed_cache() {
+        let checker = AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap();
+        checker.check_text(ARTICLE).unwrap();
+        let entries = checker.cache().stats().entries();
+        assert!(entries > 0);
+        let service = StreamingVerifier::from_checker(checker, StreamConfig::default()).unwrap();
+        let report = service.submit_text(ARTICLE).unwrap().wait().unwrap();
+        assert_eq!(report.stats.rows_scanned, 0, "served from the warm cache");
+        let checker = service.into_checker();
+        assert_eq!(checker.cache().stats().entries(), entries);
+        // A closed-and-recovered service cannot accept more documents,
+        // but the checker verifies directly.
+        checker.check_text(WRONG).unwrap();
+    }
+
+    /// The dead-pool guarantee: if the last live worker exits with
+    /// documents still queued (the all-workers-panicked scenario — normal
+    /// exits only happen on a drained queue), their tickets settle with
+    /// `CheckerError::Stream` instead of hanging `wait()` forever, and the
+    /// intake closes so nothing new can be admitted unverifiable.
+    #[test]
+    fn last_worker_exit_settles_queued_tickets() {
+        let shared = Shared {
+            checker: AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap(),
+            scheduler: CubeScheduler::new(),
+            intake: Mutex::new(Intake::default()),
+            space: Condvar::new(),
+            capacity: 8,
+            policy: IntakePolicy::Block,
+            queue_len: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            live_workers: AtomicUsize::new(2),
+            counters: Counters::default(),
+        };
+        let cell = Arc::new(TicketCell::new());
+        lock(&shared.intake).queue.push_back(Submission {
+            doc: parse_document(ARTICLE),
+            cell: cell.clone(),
+        });
+        shared.queue_len.store(1, Ordering::Release);
+        // First worker dies: not the last — the queue must survive.
+        drop(WorkerExitGuard { shared: &shared });
+        let ticket = Ticket { cell: cell.clone() };
+        assert!(!ticket.is_done());
+        assert!(!lock(&shared.intake).closed);
+        // Second (last) worker dies: the queue drains with errors and the
+        // intake closes.
+        drop(WorkerExitGuard { shared: &shared });
+        assert!(ticket.is_done());
+        assert!(matches!(ticket.wait(), Err(CheckerError::Stream(_))));
+        let intake = lock(&shared.intake);
+        assert!(intake.closed && intake.rejecting && intake.queue.is_empty());
+        assert_eq!(shared.counters.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn invalid_stream_config_is_rejected() {
+        let bad = StreamConfig {
+            intake_capacity: 0,
+            ..StreamConfig::default()
+        };
+        assert!(matches!(
+            StreamingVerifier::new(nfl_db(), CheckerConfig::default(), bad),
+            Err(CheckerError::Config(_))
+        ));
+    }
+}

@@ -625,6 +625,31 @@ impl EvalCache {
         }
     }
 
+    /// Number of computations currently in flight across all shards.
+    ///
+    /// Flights are how concurrent *waves* — including waves of different
+    /// documents arriving at different times in a streaming run — share
+    /// one physical cube execution: a later wave whose literal needs are
+    /// covered joins the earlier wave's flight instead of scanning again.
+    /// Quiescent services must read 0 here: every flight is retired on
+    /// fulfillment and poisoned on abandonment, so a non-zero count after
+    /// a drained shutdown means a guard leaked (a waiter would block
+    /// forever on it). The streaming stress tests assert this invariant.
+    pub fn inflight_len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.inflight
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
     /// Snapshot all shard counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -1036,6 +1061,40 @@ mod tests {
         for waiter in waiters {
             assert!(waiter.wait().is_some());
         }
+    }
+
+    /// The in-flight table registers a flight when a guard is won and
+    /// retires it on fulfillment *and* on abandonment — a quiescent cache
+    /// always reads 0, the invariant streaming shutdown relies on.
+    #[test]
+    fn inflight_len_tracks_registration_and_retirement() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key_a = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key_b = CacheKey::new(AggFunction::CountDistinct, AggColumn::Star, vec![cat]);
+        let needed = vec![vec![Value::from("a")]];
+        assert_eq!(cache.inflight_len(), 0);
+        let guard_a = match cache.flight(&key_a, &needed) {
+            Flight::Compute(g) => g,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        let guard_b = match cache.flight(&key_b, &needed) {
+            Flight::Compute(g) => g,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        assert_eq!(cache.inflight_len(), 2);
+        // Joining a flight registers nothing new.
+        let waiter = match cache.flight(&key_a, &needed) {
+            Flight::Wait(w) => w,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        assert_eq!(cache.inflight_len(), 2);
+        guard_a.fulfill(slice(&db, vec!["a".into()]));
+        assert_eq!(cache.inflight_len(), 1, "fulfillment retires the flight");
+        assert!(waiter.wait().is_some());
+        drop(guard_b);
+        assert_eq!(cache.inflight_len(), 0, "abandonment retires the flight");
     }
 
     /// A dropped guard poisons the flight: waiters wake with `None`, retry,

@@ -348,6 +348,23 @@ impl CubeScheduler {
     /// Helper loop for workers with no document of their own: execute
     /// passes until the scheduler is closed and drained.
     pub fn run_worker(&self, db: &Database, arena: Option<&GridArena>) {
+        self.help_until(db, arena, || false);
+    }
+
+    /// Helper loop for an **open-ended** stream of waves: execute queued
+    /// passes; whenever the queue is empty, return if `recall()` is true
+    /// (or the scheduler is closed), otherwise sleep until new work — or a
+    /// [`CubeScheduler::kick`] announcing that `recall`'s answer may have
+    /// changed — arrives.
+    ///
+    /// This is what lets a long-lived worker pool serve two queues with
+    /// one blocking point: a streaming front-end parks idle workers here
+    /// so they drain *other* documents' cube passes, and recalls them
+    /// (flip the predicate, then `kick`) the moment a new document lands
+    /// in the intake queue. `recall` is evaluated under the scheduler
+    /// lock, so a kick issued after a state change can never be lost
+    /// between the predicate check and the wait.
+    pub fn help_until(&self, db: &Database, arena: Option<&GridArena>, recall: impl Fn() -> bool) {
         loop {
             let group = {
                 let mut state = lock(&self.state);
@@ -355,7 +372,7 @@ impl CubeScheduler {
                     if let Some(group) = state.queue.pop_front() {
                         break group;
                     }
-                    if state.closed {
+                    if state.closed || recall() {
                         return;
                     }
                     state = self
@@ -366,6 +383,15 @@ impl CubeScheduler {
             };
             self.run_group(group, db, arena);
         }
+    }
+
+    /// Wake every parked worker so it re-evaluates its wait condition
+    /// ([`CubeScheduler::help_until`]'s `recall`, a driver's handle set).
+    /// Touches the scheduler lock before notifying, so a state change made
+    /// before the kick is visible to every woken waiter.
+    pub fn kick(&self) {
+        drop(lock(&self.state));
+        self.cv.notify_all();
     }
 
     /// No further submissions will arrive; drain and release the workers.
@@ -857,6 +883,66 @@ mod tests {
                 .get_count(&[crate::cube::DimSel::Literal(0)], 0),
             2.0
         );
+    }
+
+    /// `help_until` must execute queued passes, park while the queue is
+    /// empty, and return — without the scheduler being closed — once its
+    /// recall predicate flips and a `kick` arrives.
+    #[test]
+    fn help_until_drains_then_returns_on_recall() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let db = db();
+        let scheduler = CubeScheduler::new();
+        let recall = AtomicBool::new(false);
+        let (task, handle) = CubeTask::new(count_cube(&db, vec!["a".into()]), Vec::new());
+        scheduler.submit(ScanGroup::singletons(vec![task]));
+        std::thread::scope(|scope| {
+            let (scheduler, db, recall) = (&scheduler, &db, &recall);
+            let helper = scope
+                .spawn(move || scheduler.help_until(db, None, || recall.load(Ordering::Acquire)));
+            // The queued pass is executed even though recall is false.
+            scheduler.drive(db, None, std::slice::from_ref(&handle));
+            assert!(handle.is_done());
+            // The helper is now parked on an empty queue; recall it.
+            recall.store(true, Ordering::Release);
+            scheduler.kick();
+            helper.join().unwrap();
+        });
+        assert_eq!(
+            handle
+                .into_result()
+                .unwrap()
+                .get_count(&[crate::cube::DimSel::Literal(0)], 0),
+            2.0
+        );
+        // The scheduler was never closed: new submissions still run.
+        let (task, handle) = CubeTask::new(count_cube(&db, vec!["b".into()]), Vec::new());
+        scheduler.submit(ScanGroup::singletons(vec![task]));
+        scheduler.drive(&db, None, std::slice::from_ref(&handle));
+        assert!(handle.is_done());
+    }
+
+    /// A kick issued after the predicate flips can never be lost: the
+    /// recall check runs under the scheduler lock, and `kick` touches that
+    /// lock before notifying. Hammer the park/recall cycle to exercise the
+    /// race window.
+    #[test]
+    fn help_until_kick_has_no_lost_wakeup() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let db = db();
+        let scheduler = CubeScheduler::new();
+        let epoch = AtomicUsize::new(0);
+        for round in 1..=50usize {
+            std::thread::scope(|scope| {
+                let (scheduler, db, epoch) = (&scheduler, &db, &epoch);
+                let helper = scope.spawn(move || {
+                    scheduler.help_until(db, None, || epoch.load(Ordering::Acquire) >= round)
+                });
+                epoch.store(round, Ordering::Release);
+                scheduler.kick();
+                helper.join().unwrap();
+            });
+        }
     }
 
     fn wave_request<'a>(

@@ -34,6 +34,13 @@
 //!     --metric rows_scanned_per_run --variants batch_1w,batch_4w
 //! ```
 //!
+//! The gate takes any number of variants, so the same invocation also
+//! covers the **streaming** service: for a fixed arrival order,
+//! `StreamingVerifier`'s `rows_scanned` and `scan_passes` must be exactly
+//! worker-count-independent across `stream_1w,stream_2w,stream_4w,stream_8w`
+//! — dynamic admission must never duplicate (or lose) a cube execution,
+//! whatever the pool size.
+//!
 //! With `--le-variant NAME` the gate additionally asserts the (equal)
 //! batched metric does not exceed the named variant's — used to pin fused
 //! `scan_passes` at or below `sequential_shared`'s pass count.
@@ -612,6 +619,41 @@ mod tests {
             None
         )
         .is_err());
+    }
+
+    fn stream_sample(rows: [u64; 4], passes: [u64; 4]) -> String {
+        let variants: Vec<String> = [1usize, 2, 4, 8]
+            .iter()
+            .zip(rows.iter().zip(&passes))
+            .map(|(w, (r, p))| {
+                format!(
+                    r#"  {{"name": "stream_{w}w", "rows_scanned_per_run": {r}, "scan_passes": {p}}}"#
+                )
+            })
+            .collect();
+        format!("{{\"variants\": [\n{}\n]}}", variants.join(",\n"))
+    }
+
+    /// The streaming dedup invariant: for a fixed arrival order, rows and
+    /// passes must be exactly equal across all four worker counts; a
+    /// single drifted variant — anywhere in the list — fails the gate.
+    #[test]
+    fn dedup_gate_covers_streaming_worker_sweep() {
+        let gated = ["stream_1w", "stream_2w", "stream_4w", "stream_8w"];
+        let json = stream_sample([5060; 4], [11; 4]);
+        let rows = run_dedup_gate(&json, "rows_scanned_per_run", &gated, None).unwrap();
+        assert_eq!(rows.len(), 4);
+        let passes = run_dedup_gate(&json, "scan_passes", &gated, None).unwrap();
+        assert!(passes[3].contains("stream_8w"), "{passes:?}");
+        // One duplicated execution at 8 workers: the dedup-gate fails.
+        let json = stream_sample([5060, 5060, 5060, 5520], [11; 4]);
+        let err = run_dedup_gate(&json, "rows_scanned_per_run", &gated, None).unwrap_err();
+        assert!(err.contains("stream_8w"), "{err}");
+        // A pass formed differently at 2 workers: just as fatal, even
+        // with rows equal (a pass could have been split and re-merged).
+        let json = stream_sample([5060; 4], [11, 12, 11, 11]);
+        let err = run_dedup_gate(&json, "scan_passes", &gated, None).unwrap_err();
+        assert!(err.contains("stream_2w"), "{err}");
     }
 
     #[test]

@@ -12,29 +12,16 @@ use aggchecker::{AggChecker, CheckerConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small sales data set, as it might arrive in a CSV export.
-    let csv = "\
-region,product,amount
-west,widget,120
-west,gadget,80
-west,widget,95
-east,widget,40
-east,gadget,310
-south,gadget,55
-south,widget,60
-south,gadget,90
-";
+    //    (Shared with the golden-report suite: tests/end_to_end.rs pins
+    //    this exact corpus, so edits here are covered by the fixtures.)
+    let csv = include_str!("data/quickstart_sales.csv");
     let table = load_csv("sales", csv)?;
     let mut db = Database::new("quickstart");
     db.add_table(table);
 
     // 2. A summary a colleague drafted. Two claims are right, one is not:
     //    the west region has three sales, not four.
-    let article = "\
-<title>Quarterly sales notes</title>
-<h1>Regional picture</h1>
-<p>Our database covers 8 sales this quarter. There were four sales in the
-west region. The largest single amount was 310.</p>
-";
+    let article = include_str!("data/quickstart_article.html");
 
     // 3. Check the text against the data.
     let checker = AggChecker::new(db, CheckerConfig::default())?;

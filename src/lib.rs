@@ -38,6 +38,6 @@ pub use agg_nlp as nlp;
 pub use agg_relational as relational;
 
 pub use agg_core::{
-    AggChecker, BatchVerifier, CheckedClaim, CheckerConfig, RankedQuery, Verdict,
-    VerificationReport,
+    AggChecker, BatchVerifier, CheckedClaim, CheckerConfig, IntakePolicy, RankedQuery,
+    StreamConfig, StreamStats, StreamingVerifier, SubmitError, Ticket, Verdict, VerificationReport,
 };

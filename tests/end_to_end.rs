@@ -185,6 +185,116 @@ fn join_cases_verify_across_tables() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Golden reports
+// ---------------------------------------------------------------------------
+
+/// The four corpora the `examples/` programs run — Figure 2's NFL
+/// passage, the two Table 9 cases (campaign donations, developer survey),
+/// and the quickstart sales CSV. Each pairs a deterministic database with
+/// a fixed article, so its full report fingerprint can be pinned.
+fn golden_cases() -> Vec<(&'static str, aggchecker::relational::Database, String)> {
+    use aggchecker::relational::csv::load_csv;
+    use aggchecker::relational::Database;
+
+    let nfl = aggchecker::corpus::builtin::nfl_suspensions();
+    let donations = campaign_donations();
+    let survey = developer_survey();
+
+    // The quickstart example's data set and write-up — the same files
+    // `examples/quickstart.rs` includes, so the fixture can never drift
+    // from what the example actually runs.
+    let csv = include_str!("../examples/data/quickstart_sales.csv");
+    let article = include_str!("../examples/data/quickstart_article.html");
+    let table = load_csv("sales", csv).unwrap();
+    let mut sales_db = Database::new("quickstart");
+    sales_db.add_table(table);
+
+    vec![
+        ("nfl_suspensions", nfl.db, nfl.article_html),
+        ("campaign_donations", donations.db, donations.article_html),
+        ("developer_survey", survey.db, survey.article_html),
+        ("quickstart_sales", sales_db, article.to_string()),
+    ]
+}
+
+/// Golden-report snapshots: the `content_fingerprint()` of each example
+/// corpus is pinned in `tests/golden/`, so any change that shifts a
+/// verdict, a ranking, a probability, or a query description fails loudly
+/// with a named corpus instead of silently drifting. Regenerate
+/// intentionally with `UPDATE_GOLDEN=1 cargo test golden_reports`.
+#[test]
+fn golden_reports_match_fixtures() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    for (name, db, article) in golden_cases() {
+        let checker = AggChecker::new(db, CheckerConfig::default()).unwrap();
+        let report = checker.check_text(&article).unwrap();
+        assert!(
+            !report.claims.is_empty(),
+            "{name}: a golden corpus must contain claims"
+        );
+        let fingerprint = report.content_fingerprint();
+        let path = dir.join(format!("{name}.fingerprint"));
+        if update {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &fingerprint).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden fixture {} ({e}); \
+                 run UPDATE_GOLDEN=1 cargo test golden_reports to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            fingerprint, expected,
+            "{name}: report content drifted from tests/golden/{name}.fingerprint — \
+             if the change is intentional, regenerate with \
+             UPDATE_GOLDEN=1 cargo test golden_reports"
+        );
+    }
+}
+
+/// The golden corpora stream bit-identically too: the fixtures pin not
+/// just solo runs but the whole service surface.
+#[test]
+fn golden_reports_hold_under_streaming() {
+    use aggchecker::{StreamConfig, StreamingVerifier};
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    for (name, db, article) in golden_cases() {
+        let path = dir.join(format!("{name}.fingerprint"));
+        let Ok(expected) = std::fs::read_to_string(&path) else {
+            // `golden_reports_match_fixtures` owns the missing-fixture error.
+            continue;
+        };
+        let service = StreamingVerifier::new(
+            db,
+            CheckerConfig::default(),
+            StreamConfig {
+                workers: 4,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<_> = (0..3)
+            .map(|_| service.submit_text(&article).unwrap())
+            .collect();
+        for ticket in tickets {
+            assert_eq!(
+                ticket.wait().unwrap().content_fingerprint(),
+                expected,
+                "{name}: streamed report drifted from the golden fixture"
+            );
+        }
+    }
+}
+
 #[test]
 fn experiments_registry_smoke() {
     use agg_bench::experiments::{run_experiment, ExpContext, Scale};

@@ -406,6 +406,137 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Streaming ≡ batch ≡ solo: a randomized corpus submitted to a
+    /// [`StreamingVerifier`] in a randomized **arrival order** with a
+    /// randomized worker count (1/2/4/8) produces reports bit-identical
+    /// to `BatchVerifier` (input order, same worker count) and to fresh
+    /// solo checkers — and its verdicts agree with the serial
+    /// `evaluate_naive` oracle. Dynamic admission must change scheduling
+    /// only, never content.
+    #[test]
+    fn streaming_reports_match_batch_and_solo(
+        seed in 1u64..10_000,
+        index in 0usize..6,
+        n_docs in 2usize..5,
+        workers_pick in 0usize..4,
+        order_seed in 0u64..10_000,
+    ) {
+        use aggchecker::core::EvalStrategy;
+        use aggchecker::corpus::{generate_multi_doc_case, CorpusSpec};
+        use aggchecker::{
+            AggChecker, BatchVerifier, CheckerConfig, StreamConfig, StreamingVerifier,
+        };
+
+        let workers = [1usize, 2, 4, 8][workers_pick];
+        let spec = CorpusSpec::small(1, seed);
+        let case = generate_multi_doc_case(&spec, index, n_docs);
+        let texts: Vec<&str> = case.articles.iter().map(String::as_str).collect();
+        let cfg = CheckerConfig {
+            threads: workers,
+            ..CheckerConfig::default()
+        };
+
+        // Randomized arrival order: a deterministic shuffle driven by
+        // `order_seed` (Fisher–Yates with a splitmix-style step).
+        let mut order: Vec<usize> = (0..texts.len()).collect();
+        let mut state = order_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+
+        // Solo oracle: a fresh checker per document.
+        let solo: Vec<String> = texts
+            .iter()
+            .map(|t| {
+                let checker = AggChecker::new(case.db.clone(), cfg.clone()).unwrap();
+                checker.check_text(t).unwrap().content_fingerprint()
+            })
+            .collect();
+
+        // Batch arm, input order.
+        let batch = BatchVerifier::new(case.db.clone(), cfg.clone()).unwrap();
+        let batch_fps: Vec<String> = batch
+            .verify_texts(&texts)
+            .unwrap()
+            .iter()
+            .map(|r| r.content_fingerprint())
+            .collect();
+
+        // Streaming arm, shuffled arrival order.
+        let service = StreamingVerifier::new(
+            case.db.clone(),
+            cfg.clone(),
+            StreamConfig {
+                workers,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<(usize, aggchecker::Ticket)> = order
+            .iter()
+            .map(|&i| (i, service.submit_text(texts[i]).unwrap()))
+            .collect();
+        let mut stream_fps: Vec<Option<String>> = vec![None; texts.len()];
+        for (i, ticket) in tickets {
+            stream_fps[i] = Some(ticket.wait().unwrap().content_fingerprint());
+        }
+
+        for (i, fp) in stream_fps.iter().enumerate() {
+            let fp = fp.as_ref().unwrap();
+            prop_assert_eq!(
+                fp, &solo[i],
+                "stream≡solo: workers={} order={:?} doc={} seed={} index={}",
+                workers, order, i, seed, index
+            );
+            prop_assert_eq!(
+                fp, &batch_fps[i],
+                "stream≡batch: workers={} order={:?} doc={} seed={} index={}",
+                workers, order, i, seed, index
+            );
+        }
+
+        // Naive oracle on the first document (small hit budget keeps the
+        // per-candidate executions affordable): verdicts and probabilities
+        // must agree with the streamed pipeline under the same budget.
+        let naive_cfg = CheckerConfig {
+            strategy: EvalStrategy::Naive,
+            lucene_hits: 6,
+            ..CheckerConfig::default()
+        };
+        let naive = AggChecker::new(case.db.clone(), naive_cfg.clone()).unwrap()
+            .check_text(texts[0])
+            .unwrap();
+        let budget_cfg = CheckerConfig {
+            lucene_hits: 6,
+            ..cfg.clone()
+        };
+        let budget_service = StreamingVerifier::new(
+            case.db.clone(),
+            budget_cfg,
+            StreamConfig { workers, ..StreamConfig::default() },
+        )
+        .unwrap();
+        let streamed = budget_service.submit_text(texts[0]).unwrap().wait().unwrap();
+        prop_assert_eq!(naive.claims.len(), streamed.claims.len());
+        for (n, s) in naive.claims.iter().zip(&streamed.claims) {
+            prop_assert_eq!(
+                n.verdict, s.verdict,
+                "stream≡naive: seed={} index={} claim {}",
+                seed, index, n.claimed_value
+            );
+            prop_assert!(
+                (n.correctness_probability - s.correctness_probability).abs() < 1e-6
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// `BatchVerifier` over a randomized multi-document case (random
