@@ -25,6 +25,14 @@
 //!   bounded intake, verified by whatever workers are free, tickets
 //!   awaited. Measures the dynamic-admission front-end over the same
 //!   substrate.
+//! * `stream_deadline` — `StreamingVerifier` with 8 workers under
+//!   per-document deadlines: each corpus document is submitted twice,
+//!   once with a generous deadline and once already expired. Expired
+//!   documents settle as partial reports without ever scanning a row
+//!   (`partial_rate` is exactly 0.5 by construction), so the completed
+//!   half's `rows_scanned_per_run`/`scan_passes` stay bit-equal to the
+//!   deadline-free streaming variants — the CI dedup gates include this
+//!   variant to pin that.
 //!
 //! All variants are checked to produce identical reports before timing.
 //! Each variant reports `rows_scanned_per_run` (real rows read by its
@@ -40,10 +48,11 @@
 
 use agg_bench::metrics::median_timed_ns;
 use agg_core::{
-    AggChecker, BatchVerifier, CheckerConfig, EvalStats, StreamConfig, StreamingVerifier,
-    VerificationReport,
+    AggChecker, BatchVerifier, CheckerConfig, EvalStats, ReportStatus, StreamConfig,
+    StreamingVerifier, VerificationReport,
 };
 use agg_corpus::{generate_multi_doc_case, CorpusSpec};
+use std::time::{Duration, Instant};
 
 /// Scheduling-relevant stats summed over one run's reports. The tuple is
 /// `Ord`, so `median_timed_ns` can pair it with the median-time sample.
@@ -109,6 +118,48 @@ fn run_streaming(
         .iter()
         .map(|t| service.submit_text(t).unwrap())
         .collect();
+    let reports = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap())
+        .collect::<Vec<_>>();
+    drop(service.into_checker());
+    reports
+}
+
+/// The deadline-pressure run: every document submitted twice — once with a
+/// deadline far past any realistic run time, once already expired. The
+/// expired copy must settle as a partial report without scanning a row
+/// (the worker's pop-time deadline check fires before any evaluation), so
+/// exactly half the accepted documents land in the `timed_out` bin and the
+/// other half produce reports identical to the deadline-free service.
+fn run_stream_deadline(
+    db: &agg_relational::Database,
+    cfg: &CheckerConfig,
+    texts: &[&str],
+    workers: usize,
+) -> Vec<VerificationReport> {
+    let service = StreamingVerifier::new(
+        db.clone(),
+        cfg.clone(),
+        StreamConfig {
+            workers,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    let mut tickets = Vec::with_capacity(texts.len() * 2);
+    for t in texts {
+        tickets.push(
+            service
+                .submit_text_with_deadline(t, Some(Instant::now() + Duration::from_secs(60)))
+                .unwrap(),
+        );
+        tickets.push(
+            service
+                .submit_text_with_deadline(t, Some(Instant::now()))
+                .unwrap(),
+        );
+    }
     let reports = tickets
         .into_iter()
         .map(|t| t.wait().unwrap())
@@ -187,6 +238,36 @@ fn main() {
             );
         }
     }
+    // Deadline-pressure correctness: exactly half the submissions expire
+    // (partial, zero rows scanned), the surviving half is bit-identical to
+    // per-document verification.
+    let deadline_reports = run_stream_deadline(&case.db, &cfg, &texts, 8);
+    let partial = deadline_reports
+        .iter()
+        .filter(|r| r.status.is_partial())
+        .count();
+    let partial_rate = partial as f64 / deadline_reports.len() as f64;
+    assert_eq!(
+        partial * 2,
+        deadline_reports.len(),
+        "every already-expired submission (and only those) must settle partial"
+    );
+    for (i, r) in deadline_reports.iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(
+                &r.content_fingerprint(),
+                &reference[i / 2],
+                "stream_deadline completed doc {} disagrees with per-document verification",
+                i / 2
+            );
+        } else {
+            assert_eq!(r.status, ReportStatus::TimedOut);
+            assert_eq!(
+                r.stats.rows_scanned, 0,
+                "an expired document must never reach the scan substrate"
+            );
+        }
+    }
 
     // --- Timed variants. ------------------------------------------------
     let run_sequential_fresh = || {
@@ -216,6 +297,9 @@ fn main() {
         counters(&batch.verify_texts(&texts).unwrap())
     };
     let run_stream = |workers: usize| counters(&run_streaming(&case.db, &cfg, &texts, workers));
+    // Expired documents contribute zero to every scheduling counter, so
+    // summing over all reports counts exactly the completed half.
+    let run_deadline = || counters(&run_stream_deadline(&case.db, &cfg, &texts, 8));
 
     let variant = |name, workers: u32, (median, c): (u64, RunCounters)| {
         let secs = median as f64 / 1e9;
@@ -255,6 +339,7 @@ fn main() {
         variant("stream_2w", 2, median_timed_ns(samples, || run_stream(2))),
         variant("stream_4w", 4, median_timed_ns(samples, || run_stream(4))),
         variant("stream_8w", 8, median_timed_ns(samples, || run_stream(8))),
+        variant("stream_deadline", 8, median_timed_ns(samples, run_deadline)),
     ];
 
     let sequential_ns = variants[0].median_ns as f64;
@@ -271,6 +356,18 @@ fn main() {
         .all(|v| v.scan_passes == stream[0].scan_passes);
     let best_stream_ns = stream.iter().map(|v| v.median_ns).min().unwrap() as f64;
     let stream_speedup = sequential_ns / best_stream_ns;
+    // The deadline variant's completed half must scan exactly what the
+    // deadline-free streaming runs scan — expired docs change admission,
+    // never the substrate (the CI dedup gates pin this too).
+    let deadline_variant = &variants[8];
+    assert_eq!(
+        deadline_variant.rows_scanned_per_run, stream[0].rows_scanned_per_run,
+        "stream_deadline's completed docs scanned different rows than the dedup-gated baseline"
+    );
+    assert_eq!(
+        deadline_variant.scan_passes, stream[0].scan_passes,
+        "stream_deadline's completed docs formed different passes than the dedup-gated baseline"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -313,6 +410,7 @@ fn main() {
     json.push_str(&format!(
         "  \"speedup_stream_vs_sequential_fresh\": {stream_speedup:.2},\n"
     ));
+    json.push_str(&format!("  \"partial_rate\": {partial_rate:.2},\n"));
     json.push_str(&format!(
         "  \"speedup_batch_vs_sequential_fresh\": {speedup:.2}\n"
     ));

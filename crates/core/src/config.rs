@@ -178,6 +178,11 @@ pub struct StreamConfig {
     /// Long-lived worker threads draining the intake. 0 = use
     /// [`CheckerConfig::threads`].
     pub workers: usize,
+    /// How many panicked workers the service's supervisor replaces over
+    /// its lifetime before letting the pool shrink. Once the budget is
+    /// spent and the last worker dies, queued documents settle with
+    /// [`crate::pipeline::CheckerError::Stream`] instead of hanging.
+    pub max_respawns: usize,
 }
 
 impl Default for StreamConfig {
@@ -186,6 +191,7 @@ impl Default for StreamConfig {
             intake_capacity: 64,
             policy: IntakePolicy::Block,
             workers: 0,
+            max_respawns: 2,
         }
     }
 }
@@ -296,6 +302,7 @@ mod tests {
         assert_eq!(s.intake_capacity, 64);
         assert_eq!(s.policy, IntakePolicy::Block);
         assert_eq!(s.workers, 0, "0 defers to CheckerConfig::threads");
+        assert_eq!(s.max_respawns, 2);
         s.validate().unwrap();
         let bad = StreamConfig {
             intake_capacity: 0,

@@ -86,6 +86,10 @@ pub struct EvalStats {
     /// physical table scans — compare with [`EvalStats::tasks_executed`]
     /// for the fusion factor.
     pub scan_passes: u64,
+    /// Poisoned-flight wake-ups absorbed by this evaluator's waves (each
+    /// re-probes the cache, bounded per aggregate by
+    /// `agg_relational::MAX_POISON_RETRIES`). 0 in fault-free runs.
+    pub poison_retries: u64,
 }
 
 impl EvalStats {
@@ -98,6 +102,7 @@ impl EvalStats {
         self.tasks_deduped += other.tasks_deduped;
         self.singleflight_waits += other.singleflight_waits;
         self.scan_passes += other.scan_passes;
+        self.poison_retries += other.poison_retries;
     }
 
     /// Average member tasks per fused pass (1.0 when nothing fused; 0.0
@@ -332,6 +337,7 @@ impl<'a> Evaluator<'a> {
         self.stats.tasks_executed += outcome.stats.tasks_executed;
         self.stats.rows_scanned += outcome.stats.rows_scanned;
         self.stats.scan_passes += outcome.stats.scan_passes;
+        self.stats.poison_retries += outcome.stats.poison_retries;
         let resolved = outcome.slices;
 
         // ---- Phase 3: demultiplex into per-claim result matrices. ----

@@ -57,8 +57,8 @@ pub use keywords::{claim_keywords, WeightedKeyword};
 pub use matching::{match_claim, ClaimScores};
 pub use model::Theta;
 pub use pipeline::{
-    AggChecker, BatchVerifier, CheckedClaim, CheckerError, RankedQuery, RunStats, Verdict,
-    VerificationReport,
+    AggChecker, BatchVerifier, CheckedClaim, CheckerError, RankedQuery, ReportStatus, RunStats,
+    Verdict, VerificationReport,
 };
 pub use rounding::matches_claim;
 pub use scope::Scope;

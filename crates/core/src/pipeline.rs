@@ -18,7 +18,7 @@ use agg_relational::{
     DEFAULT_CACHE_SHARDS,
 };
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Errors from the verification pipeline.
@@ -59,6 +59,34 @@ pub enum Verdict {
     Erroneous,
     /// No candidate query could be formed.
     Unverifiable,
+    /// Verification never ran for this claim: its document hit a deadline
+    /// or was cancelled before the claim's candidate queries were
+    /// evaluated. Only appears in partial reports (see [`ReportStatus`]);
+    /// a fault-free run without a deadline never produces it.
+    Unverified,
+}
+
+/// How a document's verification run ended. Anything other than
+/// [`ReportStatus::Complete`] marks the report as *partial*: claims whose
+/// verdicts settled before the abort keep them, the rest come back
+/// [`Verdict::Unverified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportStatus {
+    /// Every claim ran to completion — the only status solo and batch
+    /// verification ever produce.
+    #[default]
+    Complete,
+    /// The document's deadline expired before the run finished.
+    TimedOut,
+    /// The submission was cancelled before the run finished.
+    Cancelled,
+}
+
+impl ReportStatus {
+    /// True for every status other than [`ReportStatus::Complete`].
+    pub fn is_partial(&self) -> bool {
+        *self != ReportStatus::Complete
+    }
 }
 
 /// One entry of a claim's top-k list.
@@ -115,6 +143,10 @@ pub struct RunStats {
     /// Fused row passes executed (same-scope cube tasks of one wave share
     /// a single table scan; see `agg_relational::schedule::ScanGroup`).
     pub scan_passes: u64,
+    /// Times a wait on another worker's in-flight cube found the flight
+    /// poisoned (its computing worker panicked) and re-probed the cache.
+    /// Always 0 in fault-free runs.
+    pub poison_retries: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Wall-clock time inside query evaluation only.
@@ -128,6 +160,13 @@ pub struct RunStats {
 pub struct VerificationReport {
     pub claims: Vec<CheckedClaim>,
     pub stats: RunStats,
+    /// Whether the run completed or settled early (deadline or
+    /// cancellation). Deliberately excluded from
+    /// [`content_fingerprint`](VerificationReport::content_fingerprint):
+    /// the fingerprint compares *evaluated* content, and a partial
+    /// report's unevaluated claims already surface as
+    /// [`Verdict::Unverified`] inside `claims`.
+    pub status: ReportStatus,
 }
 
 impl VerificationReport {
@@ -198,6 +237,43 @@ impl VerificationReport {
     }
 }
 
+/// Cooperative per-document abort control, shared between a streaming
+/// [`Ticket`](crate::stream::Ticket) and the worker driving its document.
+/// The pipeline polls it at wave boundaries (between EM iterations),
+/// never mid-scan: aborting yields a clean *partial* report — settled
+/// verdicts kept, the rest [`Verdict::Unverified`] — not a torn one.
+#[derive(Debug)]
+pub(crate) struct DocControl {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl DocControl {
+    pub(crate) fn new(deadline: Option<Instant>) -> DocControl {
+        DocControl {
+            cancelled: AtomicBool::new(false),
+            deadline,
+        }
+    }
+
+    /// Flag the document for abort at its next wave boundary.
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Why the document should stop now, if it should. An explicit
+    /// cancellation wins over an expired deadline when both hold.
+    pub(crate) fn should_abort(&self) -> Option<ReportStatus> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return Some(ReportStatus::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(ReportStatus::TimedOut),
+            _ => None,
+        }
+    }
+}
+
 /// How one document's evaluation work is executed — the plumbing that
 /// lets solo, batched, and streaming verification share
 /// `check_document_with` while drawing parallelism from different places.
@@ -223,6 +299,9 @@ pub(crate) struct ExecContext<'e> {
     /// ([`CheckerConfig::fuse_scans`]). Purely physical — reports are
     /// bit-identical either way.
     pub(crate) fuse: bool,
+    /// Per-document abort control (streaming deadlines and cancellation).
+    /// `None` for solo and batch runs, which always run to completion.
+    pub(crate) ctrl: Option<&'e DocControl>,
 }
 
 /// The AggChecker: verify text summaries of a relational data set.
@@ -298,6 +377,7 @@ impl AggChecker {
                 threads: self.config.threads,
                 bundling: TaskBundling::Wave,
                 fuse: self.config.fuse_scans,
+                ctrl: None,
             },
         )
     }
@@ -339,6 +419,7 @@ impl AggChecker {
         let mut em_iterations = 0usize;
         let mut eval_stats = EvalStats::default();
         let mut query_time = Duration::ZERO;
+        let mut status = ReportStatus::Complete;
         let mut final_state: Vec<(CandidateSet, ResultsMatrix, ClaimDistribution)> = Vec::new();
 
         let max_iters = if cfg.model.use_priors {
@@ -348,6 +429,13 @@ impl AggChecker {
         };
 
         for _ in 0..max_iters {
+            // Wave boundary: the only place a deadline or cancellation
+            // takes effect. `final_state` always holds the last *completed*
+            // wave, so aborting here settles a consistent partial report.
+            if let Some(s) = ctx.ctrl.and_then(|c| c.should_abort()) {
+                status = s;
+                break;
+            }
             em_iterations += 1;
             let theta_opt = cfg.model.use_priors.then_some(&theta);
 
@@ -444,26 +532,37 @@ impl AggChecker {
                 true
             };
 
-            let is_last = converged || em_iterations == max_iters;
-            if is_last {
-                final_state = candidate_sets
-                    .into_iter()
-                    .zip(results)
-                    .zip(distributions)
-                    .map(|((set, res), dist)| (set, res, dist))
-                    .collect();
+            // Keep this wave's state: it becomes the report if this is the
+            // last iteration *or* a later wave boundary aborts the run.
+            final_state = candidate_sets
+                .into_iter()
+                .zip(results)
+                .zip(distributions)
+                .map(|((set, res), dist)| (set, res, dist))
+                .collect();
+            if converged || em_iterations == max_iters {
                 break;
             }
         }
 
-        // Build the report from the final iteration.
-        let checked: Vec<CheckedClaim> = claims
-            .iter()
-            .zip(&final_state)
-            .map(|(claim, (set, results, dist))| {
-                self.build_checked_claim(doc, claim, set, results, dist)
-            })
-            .collect();
+        // Build the report from the last completed wave. A run aborted
+        // before its first wave completed has no evaluated state at all:
+        // every claim settles as `Unverified`.
+        let checked: Vec<CheckedClaim> = if final_state.len() == n {
+            claims
+                .iter()
+                .zip(&final_state)
+                .map(|(claim, (set, results, dist))| {
+                    self.build_checked_claim(doc, claim, set, results, dist)
+                })
+                .collect()
+        } else {
+            debug_assert!(final_state.is_empty(), "waves evaluate every claim");
+            claims
+                .iter()
+                .map(|claim| self.unverified_claim(doc, claim))
+                .collect()
+        };
 
         let stats = RunStats {
             claims: n,
@@ -476,6 +575,7 @@ impl AggChecker {
             tasks_deduped: eval_stats.tasks_deduped,
             singleflight_waits: eval_stats.singleflight_waits,
             scan_passes: eval_stats.scan_passes,
+            poison_retries: eval_stats.poison_retries,
             elapsed: started.elapsed(),
             query_time,
             candidate_space_log10: self.catalog.candidate_space_log10(),
@@ -483,7 +583,55 @@ impl AggChecker {
         Ok(VerificationReport {
             claims: checked,
             stats,
+            status,
         })
+    }
+
+    /// The placeholder for a claim whose document aborted before the claim
+    /// was evaluated: no ranked queries, zero probability, `Unverified`.
+    fn unverified_claim(&self, doc: &Document, claim: &ClaimMention) -> CheckedClaim {
+        let sentence = doc
+            .section(&claim.section)
+            .and_then(|s| s.paragraphs.get(claim.paragraph))
+            .and_then(|p| p.sentences.get(claim.sentence))
+            .map(|s| s.text.clone())
+            .unwrap_or_default();
+        CheckedClaim {
+            mention: claim.clone(),
+            sentence,
+            claimed_value: claim.number.value,
+            top_queries: Vec::new(),
+            correctness_probability: 0.0,
+            verdict: Verdict::Unverified,
+        }
+    }
+
+    /// The partial report of a document that never reached a worker: claims
+    /// are detected (so the caller still sees *what* went unchecked) but
+    /// nothing is evaluated — every claim comes back [`Verdict::Unverified`].
+    /// Used by streaming cancellation/expiry of still-queued documents.
+    pub(crate) fn unverified_report(
+        &self,
+        doc: &Document,
+        status: ReportStatus,
+    ) -> VerificationReport {
+        let started = Instant::now();
+        let claims = detect_claims(doc, &self.config.claim_detector);
+        let checked: Vec<CheckedClaim> = claims
+            .iter()
+            .map(|claim| self.unverified_claim(doc, claim))
+            .collect();
+        let stats = RunStats {
+            claims: checked.len(),
+            elapsed: started.elapsed(),
+            candidate_space_log10: self.catalog.candidate_space_log10(),
+            ..RunStats::default()
+        };
+        VerificationReport {
+            claims: checked,
+            stats,
+            status,
+        }
     }
 
     /// Score all claims, chunked over `threads` workers. Chunking never
@@ -667,6 +815,7 @@ impl BatchVerifier {
                 threads: self.checker.config.threads,
                 bundling: TaskBundling::Canonical,
                 fuse: self.checker.config.fuse_scans,
+                ctrl: None,
             };
             return docs
                 .iter()
@@ -698,6 +847,7 @@ impl BatchVerifier {
                                 threads: 1,
                                 bundling: TaskBundling::Canonical,
                                 fuse: checker.config.fuse_scans,
+                                ctrl: None,
                             };
                             let mut out = Vec::new();
                             while !failed.load(Ordering::Relaxed) {

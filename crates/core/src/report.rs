@@ -38,6 +38,7 @@ pub fn render_ansi(doc: &Document, report: &VerificationReport) -> String {
                     Verdict::Correct => "\x1b[32m✓\x1b[0m",
                     Verdict::Erroneous => "\x1b[31m✗\x1b[0m",
                     Verdict::Unverifiable => "\x1b[33m?\x1b[0m",
+                    Verdict::Unverified => "\x1b[90m-\x1b[0m",
                 };
                 let _ = write!(
                     out,
@@ -67,6 +68,7 @@ pub fn render_html(doc: &Document, report: &VerificationReport) -> String {
          .claim-correct { background: #c8f7c5; }\n\
          .claim-erroneous { background: #f7c5c5; }\n\
          .claim-unverifiable { background: #f7f3c5; }\n\
+         .claim-unverified { background: #e0e0e0; }\n\
          </style>\n",
     );
     if let Some(title) = &doc.title {
@@ -92,14 +94,24 @@ pub fn render_html(doc: &Document, report: &VerificationReport) -> String {
     out
 }
 
-/// A short plain-text summary: one line per claim.
+/// A short plain-text summary: one line per claim (plus a leading status
+/// line when the report is partial — complete reports stay one line per
+/// claim, which downstream line-counting consumers rely on).
 pub fn render_summary(report: &VerificationReport) -> String {
     let mut out = String::new();
+    if report.status.is_partial() {
+        let _ = writeln!(
+            out,
+            "[PARTIAL: {:?}] unevaluated claims are marked '-'",
+            report.status
+        );
+    }
     for (i, claim) in report.claims.iter().enumerate() {
         let verdict = match claim.verdict {
             Verdict::Correct => "OK ",
             Verdict::Erroneous => "ERR",
             Verdict::Unverifiable => "???",
+            Verdict::Unverified => "-- ",
         };
         let ml = claim
             .ml_query()
@@ -136,6 +148,7 @@ fn colorize_sentence(sentence: &agg_nlp::structure::Sentence, claims: &[&Checked
                 Verdict::Correct => "\x1b[42;30m",
                 Verdict::Erroneous => "\x1b[41;37m",
                 Verdict::Unverifiable => "\x1b[43;30m",
+                Verdict::Unverified => "\x1b[100;37m",
             };
             Some((start, end, color))
         })
@@ -168,6 +181,7 @@ fn html_sentence(sentence: &agg_nlp::structure::Sentence, claims: &[&CheckedClai
                 Verdict::Correct => "claim-correct",
                 Verdict::Erroneous => "claim-erroneous",
                 Verdict::Unverifiable => "claim-unverifiable",
+                Verdict::Unverified => "claim-unverified",
             };
             let title = c
                 .ml_query()

@@ -64,6 +64,27 @@
 //! documents still queued are **rejected** (their tickets settle with
 //! [`CheckerError::Stream`]) so teardown never waits on a deep queue.
 //!
+//! # Deadlines, cancellation, and supervision
+//!
+//! A submission may carry a **deadline**
+//! ([`submit_with_deadline`](StreamingVerifier::submit_with_deadline)),
+//! and every [`Ticket`] can be [`cancel`](Ticket::cancel)led. Both settle
+//! the ticket with a **partial report** instead of an error or a hang:
+//! a still-queued document de-queues immediately; an in-flight document
+//! aborts at its next wave boundary (between EM iterations), keeping
+//! every verdict that already settled and marking the rest
+//! [`Verdict::Unverified`](crate::pipeline::Verdict::Unverified). The
+//! report's [`ReportStatus`] says which way it ended; partial reports are
+//! tallied in [`StreamStats::timed_out`] / [`StreamStats::cancelled`],
+//! never in `completed`.
+//!
+//! The worker pool is **supervised**: a panicked worker (its ticket
+//! settles via the unwind guard) is joined and replaced by a fresh thread
+//! while the [`StreamConfig::max_respawns`] budget lasts. Once the budget
+//! is spent and the last worker dies, the supervisor closes the intake
+//! and settles everything still queued with [`CheckerError::Stream`] — a
+//! fully dead pool never leaves a `Ticket::wait` blocking forever.
+//!
 //! # Example
 //!
 //! ```
@@ -91,14 +112,17 @@
 
 use crate::config::{CheckerConfig, IntakePolicy, StreamConfig};
 use crate::evaluate::TaskBundling;
-use crate::pipeline::{AggChecker, CheckerError, ExecContext, VerificationReport};
+use crate::pipeline::{
+    AggChecker, CheckerError, DocControl, ExecContext, ReportStatus, VerificationReport,
+};
 use agg_nlp::structure::{parse_document, Document};
 use agg_relational::{CubeScheduler, Database, GridArena};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -154,18 +178,69 @@ impl TicketCell {
 
 /// Per-document completion handle returned by
 /// [`StreamingVerifier::submit`]. Every accepted submission's ticket
-/// settles exactly once: with the report, with the verification error, or
-/// with [`CheckerError::Stream`] if the service shut down before the
-/// document ran.
+/// settles exactly once: with the report (complete or — after a deadline
+/// or [`Ticket::cancel`] — partial), with the verification error, or with
+/// [`CheckerError::Stream`] if the service shut down before the document
+/// ran.
 #[derive(Debug)]
 pub struct Ticket {
     cell: Arc<TicketCell>,
+    /// Shared with the worker driving this document (if any): carries the
+    /// deadline and the cancellation flag into the wave-boundary checks.
+    ctrl: Arc<DocControl>,
+    /// Back-reference for [`Ticket::cancel`]'s de-queue path. Weak so an
+    /// outstanding ticket never keeps a dropped service alive.
+    shared: Weak<Shared>,
 }
 
 impl Ticket {
     /// Has the document been verified (or its submission abandoned)?
     pub fn is_done(&self) -> bool {
         !matches!(*lock(&self.cell.state), TicketState::Pending)
+    }
+
+    /// Cancel this submission. Still queued: the document de-queues
+    /// immediately and the ticket settles right here with a
+    /// [`ReportStatus::Cancelled`] partial report (every claim
+    /// [`Verdict::Unverified`](crate::pipeline::Verdict::Unverified)).
+    /// In flight: the driving worker aborts at its next wave boundary and
+    /// settles the same way, keeping verdicts that already settled.
+    /// Already settled: a no-op. Idempotent either way.
+    pub fn cancel(&self) {
+        self.ctrl.cancel();
+        let Some(shared) = self.shared.upgrade() else {
+            return;
+        };
+        let sub = {
+            let mut intake = lock(&shared.intake);
+            let pos = intake
+                .queue
+                .iter()
+                .position(|s| Arc::ptr_eq(&s.cell, &self.cell));
+            let sub = pos.map(|p| intake.queue.remove(p).expect("position is in range"));
+            if sub.is_some() {
+                shared
+                    .queue_len
+                    .store(intake.queue.len(), Ordering::Release);
+            }
+            sub
+        };
+        // Not queued: either in flight (the worker's wave-boundary check
+        // picks the flag up and settles the ticket) or already settled.
+        let Some(sub) = sub else {
+            return;
+        };
+        // A slot freed — and on a closed stream this removal may be the
+        // drained-shutdown transition parked workers must observe.
+        shared.space.notify_one();
+        shared.scheduler.kick();
+        let c = &shared.counters;
+        c.cancelled.fetch_add(1, Ordering::Relaxed);
+        c.partial.fetch_add(1, Ordering::Relaxed);
+        let report = shared
+            .checker
+            .unverified_report(&sub.doc, ReportStatus::Cancelled);
+        sub.cell.settle(Ok(report));
     }
 
     /// Block until the document's verification settles.
@@ -193,18 +268,38 @@ impl Ticket {
 pub struct StreamStats {
     /// Documents accepted into the intake queue.
     pub submitted: u64,
-    /// Documents verified successfully (ticket settled with a report).
+    /// Documents verified to completion (ticket settled with a
+    /// [`ReportStatus::Complete`] report).
     pub completed: u64,
     /// Documents whose verification returned an error (ticket settled
     /// with it). Every accepted document lands in exactly one of
-    /// `completed`/`failed`/`rejected`, so
-    /// `submitted == completed + failed + rejected` at quiescence.
+    /// `completed`/`failed`/`rejected`/`timed_out`/`cancelled` — see
+    /// [`StreamStats::settled`] — so `submitted == settled()` at
+    /// quiescence.
     pub failed: u64,
     /// Submissions abandoned at shutdown (queued at drop or at whole-pool
     /// death; their tickets settled with [`CheckerError::Stream`]). Policy
     /// rejects ([`SubmitError::Full`]) never enter the queue and are not
     /// counted.
     pub rejected: u64,
+    /// Documents whose deadline expired before verification finished
+    /// (ticket settled with a [`ReportStatus::TimedOut`] partial report).
+    pub timed_out: u64,
+    /// Documents cancelled via [`Ticket::cancel`] before verification
+    /// finished (ticket settled with a [`ReportStatus::Cancelled`]
+    /// partial report).
+    pub cancelled: u64,
+    /// Partial reports issued — always `timed_out + cancelled`; kept as
+    /// its own counter so operators can alert on "any partial output"
+    /// without summing.
+    pub partial: u64,
+    /// Panicked workers the supervisor replaced (bounded by
+    /// [`StreamConfig::max_respawns`]). 0 in fault-free operation.
+    pub respawns: u64,
+    /// Poisoned single-flight retries observed by this service's
+    /// documents (a waited-on worker panicked mid-cube and the waiter
+    /// re-probed). 0 in fault-free operation.
+    pub poison_retries: u64,
     /// Deepest the intake queue ever got (backpressure headroom).
     pub queue_depth_high_water: u64,
     /// Most documents ever in verification at once — the widest admission
@@ -234,6 +329,14 @@ impl StreamStats {
             self.tasks_executed as f64 / self.scan_passes as f64
         }
     }
+
+    /// Accepted documents whose tickets have settled, over every outcome
+    /// bin. The service's accounting invariant is
+    /// `settled() == submitted` at quiescence: every accepted document
+    /// lands in exactly one bin, none is counted twice, none is lost.
+    pub fn settled(&self) -> u64 {
+        self.completed + self.failed + self.rejected + self.timed_out + self.cancelled
+    }
 }
 
 #[derive(Default)]
@@ -242,6 +345,11 @@ struct Counters {
     completed: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    partial: AtomicU64,
+    respawns: AtomicU64,
+    poison_retries: AtomicU64,
     queue_depth_high_water: AtomicU64,
     in_flight_high_water: AtomicU64,
     claims: AtomicU64,
@@ -255,6 +363,8 @@ struct Counters {
 struct Submission {
     doc: Document,
     cell: Arc<TicketCell>,
+    /// Deadline + cancellation flag, shared with this document's ticket.
+    ctrl: Arc<DocControl>,
 }
 
 #[derive(Default)]
@@ -280,10 +390,6 @@ struct Shared {
     queue_len: AtomicUsize,
     in_flight: AtomicUsize,
     closed: AtomicBool,
-    /// Workers still running their loop. The last one out — panicked or
-    /// not — closes the intake and rejects anything still queued (see
-    /// [`WorkerExitGuard`]).
-    live_workers: AtomicUsize,
     counters: Counters,
 }
 
@@ -311,19 +417,37 @@ impl DocGuard<'_> {
         let c = &self.shared.counters;
         match &result {
             Ok(report) => {
-                c.completed.fetch_add(1, Ordering::Relaxed);
-                c.claims
-                    .fetch_add(report.stats.claims as u64, Ordering::Relaxed);
-                c.rows_scanned
-                    .fetch_add(report.stats.rows_scanned, Ordering::Relaxed);
-                c.tasks_executed
-                    .fetch_add(report.stats.tasks_executed, Ordering::Relaxed);
-                c.tasks_deduped
-                    .fetch_add(report.stats.tasks_deduped, Ordering::Relaxed);
-                c.singleflight_waits
-                    .fetch_add(report.stats.singleflight_waits, Ordering::Relaxed);
-                c.scan_passes
-                    .fetch_add(report.stats.scan_passes, Ordering::Relaxed);
+                // Faults a document survived are visible however it ended.
+                c.poison_retries
+                    .fetch_add(report.stats.poison_retries, Ordering::Relaxed);
+                match report.status {
+                    ReportStatus::Complete => {
+                        c.completed.fetch_add(1, Ordering::Relaxed);
+                        // Throughput counters sum *completed* documents
+                        // only, so they stay comparable against solo/batch
+                        // runs of the same corpus (the dedup gates).
+                        c.claims
+                            .fetch_add(report.stats.claims as u64, Ordering::Relaxed);
+                        c.rows_scanned
+                            .fetch_add(report.stats.rows_scanned, Ordering::Relaxed);
+                        c.tasks_executed
+                            .fetch_add(report.stats.tasks_executed, Ordering::Relaxed);
+                        c.tasks_deduped
+                            .fetch_add(report.stats.tasks_deduped, Ordering::Relaxed);
+                        c.singleflight_waits
+                            .fetch_add(report.stats.singleflight_waits, Ordering::Relaxed);
+                        c.scan_passes
+                            .fetch_add(report.stats.scan_passes, Ordering::Relaxed);
+                    }
+                    ReportStatus::TimedOut => {
+                        c.timed_out.fetch_add(1, Ordering::Relaxed);
+                        c.partial.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ReportStatus::Cancelled => {
+                        c.cancelled.fetch_add(1, Ordering::Relaxed);
+                        c.partial.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             Err(_) => {
                 c.failed.fetch_add(1, Ordering::Relaxed);
@@ -350,62 +474,105 @@ impl Drop for DocGuard<'_> {
     }
 }
 
-/// Marks one worker's exit — normal return or panic unwind. The **last**
-/// worker out closes the intake and settles every still-queued ticket
-/// with [`CheckerError::Stream`]: a pool that died entirely (every worker
-/// panicked) must not leave `Ticket::wait` blocking forever or admit
-/// submissions nobody will ever verify. On a normal drained shutdown the
-/// queue is already empty, so this is a no-op beyond the flag writes.
-struct WorkerExitGuard<'a> {
-    shared: &'a Shared,
+/// Close the intake and settle every still-queued ticket with
+/// [`CheckerError::Stream`]. Run by the supervisor once the last worker
+/// is gone: a pool that died entirely (every worker panicked past the
+/// respawn budget) must not leave `Ticket::wait` blocking forever or
+/// admit submissions nobody will ever verify. On a normal drained
+/// shutdown the queue is already empty, so this is a no-op beyond the
+/// flag writes.
+fn dead_pool_drain(shared: &Shared) {
+    let drained = {
+        let mut intake = lock(&shared.intake);
+        intake.closed = true;
+        intake.rejecting = true;
+        std::mem::take(&mut intake.queue)
+    };
+    shared.closed.store(true, Ordering::Release);
+    shared.queue_len.store(0, Ordering::Release);
+    for sub in drained {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        sub.cell.settle(Err(CheckerError::Stream(
+            "stream worker pool exited with the document still queued".into(),
+        )));
+    }
+    shared.space.notify_all();
+    shared.scheduler.kick();
 }
 
-impl Drop for WorkerExitGuard<'_> {
+/// One worker's exit note to the supervisor — sent from a drop guard so a
+/// panic unwind reports just like a normal return.
+struct ExitNote {
+    id: usize,
+    panicked: bool,
+}
+
+struct ExitNotifier {
+    id: usize,
+    tx: mpsc::Sender<ExitNote>,
+}
+
+impl Drop for ExitNotifier {
     fn drop(&mut self) {
-        if self.shared.live_workers.fetch_sub(1, Ordering::AcqRel) != 1 {
-            return;
-        }
-        let drained = {
-            let mut intake = lock(&self.shared.intake);
-            intake.closed = true;
-            intake.rejecting = true;
-            std::mem::take(&mut intake.queue)
-        };
-        self.shared.closed.store(true, Ordering::Release);
-        self.shared.queue_len.store(0, Ordering::Release);
-        for sub in drained {
-            self.shared
-                .counters
-                .rejected
-                .fetch_add(1, Ordering::Relaxed);
-            sub.cell.settle(Err(CheckerError::Stream(
-                "stream worker pool exited with the document still queued".into(),
-            )));
-        }
-        self.shared.space.notify_all();
-        self.shared.scheduler.kick();
+        let _ = self.tx.send(ExitNote {
+            id: self.id,
+            panicked: std::thread::panicking(),
+        });
     }
+}
+
+fn spawn_worker(shared: Arc<Shared>, id: usize, tx: mpsc::Sender<ExitNote>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("agg-stream-{id}"))
+        .spawn(move || {
+            // Dropped last (declared first): per-document guards settle
+            // their own ticket before the exit note goes out on an unwind.
+            let _exit = ExitNotifier { id, tx };
+            worker_loop(&shared);
+        })
+        .expect("spawn streaming worker")
+}
+
+/// The worker supervisor: joins exited workers, replaces panicked ones
+/// while the [`StreamConfig::max_respawns`] budget lasts, and — once the
+/// last worker is gone — runs [`dead_pool_drain`] so no queued ticket
+/// ever hangs. Normal worker exits (drained shutdown) are never
+/// "respawned": only a panic spends budget.
+fn supervise(
+    shared: Arc<Shared>,
+    mut workers: HashMap<usize, JoinHandle<()>>,
+    rx: mpsc::Receiver<ExitNote>,
+    tx: mpsc::Sender<ExitNote>,
+    max_respawns: usize,
+) {
+    let mut live = workers.len();
+    let mut next_id = workers.len();
+    let mut respawned = 0usize;
+    while live > 0 {
+        // The supervisor holds its own sender, so the channel cannot
+        // disconnect while notes are still owed.
+        let Ok(note) = rx.recv() else {
+            break;
+        };
+        if let Some(handle) = workers.remove(&note.id) {
+            let _ = handle.join();
+        }
+        if note.panicked && respawned < max_respawns {
+            respawned += 1;
+            shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+            workers.insert(next_id, spawn_worker(shared.clone(), next_id, tx.clone()));
+            next_id += 1;
+        } else {
+            live -= 1;
+        }
+    }
+    dead_pool_drain(&shared);
 }
 
 /// One long-lived worker: alternate between driving intake documents and
 /// helping drain other documents' fused scan passes.
 fn worker_loop(shared: &Shared) {
-    // Dropped last (declared first): per-document guards settle their own
-    // ticket before this one runs on an unwind.
-    let _exit = WorkerExitGuard { shared };
     let arena = GridArena::new();
-    let ctx = ExecContext {
-        arena: Some(&arena),
-        scheduler: Some(&shared.scheduler),
-        // The pool provides the parallelism; per-document fan-out would
-        // only oversubscribe the machine (same as batch workers).
-        threads: 1,
-        // Canonical bundling keeps the executed-scan set — and therefore
-        // `scan_passes`/`rows_scanned` — independent of worker count and
-        // arrival interleaving (the CI dedup gate's streaming variants).
-        bundling: TaskBundling::Canonical,
-        fuse: shared.checker.config().fuse_scans,
-    };
     loop {
         let sub = {
             let mut intake = lock(&shared.intake);
@@ -448,11 +615,33 @@ fn worker_loop(shared: &Shared) {
             shared.scheduler.kick();
             return;
         };
+        let Submission { doc, cell, ctrl } = sub;
         let guard = DocGuard {
             shared,
-            cell: Some(sub.cell),
+            cell: Some(cell),
         };
-        let result = shared.checker.check_document_with(&sub.doc, &ctx);
+        let result = if let Some(status) = ctrl.should_abort() {
+            // Cancelled or expired while queued: settle without touching
+            // the evaluation substrate at all (no waves, no scans).
+            Ok(shared.checker.unverified_report(&doc, status))
+        } else {
+            let ctx = ExecContext {
+                arena: Some(&arena),
+                scheduler: Some(&shared.scheduler),
+                // The pool provides the parallelism; per-document fan-out
+                // would only oversubscribe the machine (same as batch
+                // workers).
+                threads: 1,
+                // Canonical bundling keeps the executed-scan set — and
+                // therefore `scan_passes`/`rows_scanned` — independent of
+                // worker count and arrival interleaving (the CI dedup
+                // gate's streaming variants).
+                bundling: TaskBundling::Canonical,
+                fuse: shared.checker.config().fuse_scans,
+                ctrl: Some(&ctrl),
+            };
+            shared.checker.check_document_with(&doc, &ctx)
+        };
         guard.finish(result);
     }
 }
@@ -462,7 +651,11 @@ fn worker_loop(shared: &Shared) {
 /// contract, and shutdown semantics).
 pub struct StreamingVerifier {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Joins the whole pool: the supervisor owns every worker handle
+    /// (including respawns) and exits only after the last one is gone.
+    /// `None` once shut down via [`StreamingVerifier::into_checker`].
+    supervisor: Option<JoinHandle<()>>,
+    worker_count: usize,
 }
 
 impl StreamingVerifier {
@@ -498,21 +691,24 @@ impl StreamingVerifier {
             queue_len: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
-            live_workers: AtomicUsize::new(workers),
             counters: Counters::default(),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("agg-stream-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn streaming worker")
-            })
+        let (tx, rx) = mpsc::channel();
+        let handles: HashMap<usize, JoinHandle<()>> = (0..workers)
+            .map(|i| (i, spawn_worker(shared.clone(), i, tx.clone())))
             .collect();
+        let supervisor = {
+            let shared = shared.clone();
+            let max_respawns = stream.max_respawns;
+            std::thread::Builder::new()
+                .name("agg-stream-supervisor".into())
+                .spawn(move || supervise(shared, handles, rx, tx, max_respawns))
+                .expect("spawn streaming supervisor")
+        };
         Ok(StreamingVerifier {
             shared,
-            workers: handles,
+            supervisor: Some(supervisor),
+            worker_count: workers,
         })
     }
 
@@ -521,13 +717,26 @@ impl StreamingVerifier {
         &self.shared.checker
     }
 
-    /// Size of the worker pool.
+    /// Size of the worker pool as configured. The live pool can
+    /// transiently dip below this while the supervisor replaces a
+    /// panicked worker, or permanently once the respawn budget is spent.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.worker_count
     }
 
     /// Parse and submit a text document (HTML subset or plain text).
     pub fn submit_text(&self, text: &str) -> Result<Ticket, SubmitError> {
+        self.submit_text_with_deadline(text, None)
+    }
+
+    /// [`submit_text`](StreamingVerifier::submit_text) with a per-document
+    /// deadline (see
+    /// [`submit_with_deadline`](StreamingVerifier::submit_with_deadline)).
+    pub fn submit_text_with_deadline(
+        &self,
+        text: &str,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         // Cheap pre-check before paying for the parse: under overload —
         // exactly when `Reject` matters — a shedding caller should not
         // parse a whole article just to be turned away. The lock-free
@@ -541,7 +750,7 @@ impl StreamingVerifier {
         {
             return Err(SubmitError::Full);
         }
-        self.submit(parse_document(text))
+        self.submit_with_deadline(parse_document(text), deadline)
     }
 
     /// Submit a parsed document for verification. Returns immediately with
@@ -549,7 +758,23 @@ impl StreamingVerifier {
     /// in which case the call blocks until a slot frees (or the stream
     /// closes). Safe to call from any number of threads.
     pub fn submit(&self, doc: Document) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(doc, None)
+    }
+
+    /// [`submit`](StreamingVerifier::submit) with a per-document deadline.
+    /// If verification has not finished by `deadline`, it aborts at the
+    /// next wave boundary and the ticket settles with a
+    /// [`ReportStatus::TimedOut`] **partial** report — verdicts that
+    /// settled before the deadline are kept, the rest come back
+    /// [`Verdict::Unverified`](crate::pipeline::Verdict::Unverified) —
+    /// never an error, never a hang. `None` = no deadline.
+    pub fn submit_with_deadline(
+        &self,
+        doc: Document,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         let cell = Arc::new(TicketCell::new());
+        let ctrl = Arc::new(DocControl::new(deadline));
         {
             let mut intake = lock(&self.shared.intake);
             loop {
@@ -573,6 +798,7 @@ impl StreamingVerifier {
             intake.queue.push_back(Submission {
                 doc,
                 cell: cell.clone(),
+                ctrl: ctrl.clone(),
             });
             let depth = intake.queue.len();
             self.shared.queue_len.store(depth, Ordering::Release);
@@ -587,7 +813,11 @@ impl StreamingVerifier {
         }
         // Recall a parked worker for the new document.
         self.shared.scheduler.kick();
-        Ok(Ticket { cell })
+        Ok(Ticket {
+            cell,
+            ctrl,
+            shared: Arc::downgrade(&self.shared),
+        })
     }
 
     /// Stop accepting submissions. Everything already queued is still
@@ -618,6 +848,11 @@ impl StreamingVerifier {
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            partial: c.partial.load(Ordering::Relaxed),
+            respawns: c.respawns.load(Ordering::Relaxed),
+            poison_retries: c.poison_retries.load(Ordering::Relaxed),
             queue_depth_high_water: c.queue_depth_high_water.load(Ordering::Relaxed),
             in_flight_high_water: c.in_flight_high_water.load(Ordering::Relaxed),
             claims: c.claims.load(Ordering::Relaxed),
@@ -630,33 +865,36 @@ impl StreamingVerifier {
     }
 
     /// Graceful shutdown: close the intake, verify everything queued, join
-    /// the workers, and recover the checker with its warmed cache.
+    /// the pool (via its supervisor), and recover the checker with its
+    /// warmed cache.
     pub fn into_checker(mut self) -> AggChecker {
         self.close();
-        for handle in self.workers.drain(..) {
-            // A panicked worker already settled its ticket via `DocGuard`.
+        if let Some(handle) = self.supervisor.take() {
+            // The supervisor joins every worker — panicked workers
+            // already settled their tickets via `DocGuard`.
             let _ = handle.join();
         }
-        // `workers` is now empty, so `drop(self)` below is a no-op and the
-        // worker threads' `Shared` clones are gone: ours is the last.
+        // `supervisor` is now `None`, so `drop(self)` below is a no-op,
+        // and the joined threads' `Shared` clones are gone: ours is the
+        // last (outstanding `Ticket`s only hold weak references).
         let shared = self.shared.clone();
         drop(self);
         match Arc::try_unwrap(shared) {
             Ok(shared) => shared.checker,
-            Err(_) => unreachable!("joined workers hold no Shared references"),
+            Err(_) => unreachable!("joined pool holds no Shared references"),
         }
     }
 }
 
 impl Drop for StreamingVerifier {
     /// Fast shutdown: in-flight documents finish, queued documents are
-    /// rejected (tickets settle with [`CheckerError::Stream`]), workers
-    /// join. Use [`StreamingVerifier::close`] +
+    /// rejected (tickets settle with [`CheckerError::Stream`]), the pool
+    /// joins. Use [`StreamingVerifier::close`] +
     /// [`StreamingVerifier::into_checker`] to drain instead.
     fn drop(&mut self) {
-        if self.workers.is_empty() {
+        let Some(handle) = self.supervisor.take() else {
             return; // already shut down via into_checker
-        }
+        };
         {
             let mut intake = lock(&self.shared.intake);
             intake.closed = true;
@@ -665,9 +903,7 @@ impl Drop for StreamingVerifier {
         self.shared.closed.store(true, Ordering::Release);
         self.shared.space.notify_all();
         self.shared.scheduler.kick();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        let _ = handle.join();
     }
 }
 
@@ -783,10 +1019,12 @@ Three were for repeated substance abuse, one was for gambling.</p>
             assert_eq!(stats.failed, 0);
             assert_eq!(stats.rejected, 0);
             // Every accepted document is accounted for in exactly one bin.
-            assert_eq!(
-                stats.submitted,
-                stats.completed + stats.failed + stats.rejected
-            );
+            assert_eq!(stats.submitted, stats.settled());
+            assert_eq!(stats.timed_out, 0);
+            assert_eq!(stats.cancelled, 0);
+            assert_eq!(stats.partial, 0);
+            assert_eq!(stats.respawns, 0, "fault-free run respawns nothing");
+            assert_eq!(stats.poison_retries, 0);
             // Stats reconcile with the reports they summed over.
             let rows: u64 = reports.iter().map(|r| r.stats.rows_scanned).sum();
             let passes: u64 = reports.iter().map(|r| r.stats.scan_passes).sum();
@@ -932,6 +1170,7 @@ Three were for repeated substance abuse, one was for gambling.</p>
                 intake_capacity: 1,
                 policy: IntakePolicy::Block,
                 workers: 2,
+                ..StreamConfig::default()
             },
         )
         .unwrap();
@@ -966,6 +1205,7 @@ Three were for repeated substance abuse, one was for gambling.</p>
                 intake_capacity: 1,
                 policy: IntakePolicy::Reject,
                 workers: 1,
+                ..StreamConfig::default()
             },
         )
         .unwrap();
@@ -1049,13 +1289,13 @@ Three were for repeated substance abuse, one was for gambling.</p>
         checker.check_text(WRONG).unwrap();
     }
 
-    /// The dead-pool guarantee: if the last live worker exits with
-    /// documents still queued (the all-workers-panicked scenario — normal
-    /// exits only happen on a drained queue), their tickets settle with
-    /// `CheckerError::Stream` instead of hanging `wait()` forever, and the
-    /// intake closes so nothing new can be admitted unverifiable.
+    /// The dead-pool guarantee: once the supervisor sees the last worker
+    /// gone (the all-workers-panicked-past-budget scenario — normal exits
+    /// only happen on a drained queue), still-queued tickets settle with
+    /// `CheckerError::Stream` instead of hanging `wait()` forever, and
+    /// the intake closes so nothing new can be admitted unverifiable.
     #[test]
-    fn last_worker_exit_settles_queued_tickets() {
+    fn dead_pool_drain_settles_queued_tickets() {
         let shared = Shared {
             checker: AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap(),
             scheduler: CubeScheduler::new(),
@@ -1066,28 +1306,154 @@ Three were for repeated substance abuse, one was for gambling.</p>
             queue_len: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
-            live_workers: AtomicUsize::new(2),
             counters: Counters::default(),
         };
         let cell = Arc::new(TicketCell::new());
+        let ctrl = Arc::new(DocControl::new(None));
         lock(&shared.intake).queue.push_back(Submission {
             doc: parse_document(ARTICLE),
             cell: cell.clone(),
+            ctrl: ctrl.clone(),
         });
         shared.queue_len.store(1, Ordering::Release);
-        // First worker dies: not the last — the queue must survive.
-        drop(WorkerExitGuard { shared: &shared });
-        let ticket = Ticket { cell: cell.clone() };
-        assert!(!ticket.is_done());
-        assert!(!lock(&shared.intake).closed);
-        // Second (last) worker dies: the queue drains with errors and the
-        // intake closes.
-        drop(WorkerExitGuard { shared: &shared });
-        assert!(ticket.is_done());
-        assert!(matches!(ticket.wait(), Err(CheckerError::Stream(_))));
+        dead_pool_drain(&shared);
+        assert!(!matches!(*lock(&cell.state), TicketState::Pending));
+        let result = match std::mem::replace(&mut *lock(&cell.state), TicketState::Taken) {
+            TicketState::Done(result) => result,
+            other => panic!("unsettled ticket: {other:?}"),
+        };
+        assert!(matches!(result, Err(CheckerError::Stream(_))));
         let intake = lock(&shared.intake);
         assert!(intake.closed && intake.rejecting && intake.queue.is_empty());
         assert_eq!(shared.counters.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.queue_len.load(Ordering::Acquire), 0);
+    }
+
+    /// A panicked worker spends respawn budget, the replacement keeps the
+    /// service draining, and `respawns` records the replacement. The
+    /// panic is forced by poisoning the ticket-independent path: we
+    /// simulate it end-to-end in the chaos integration suite; here we
+    /// verify the supervisor accounting machinery directly by observing a
+    /// fault-free pool respawning nothing.
+    #[test]
+    fn supervisor_joins_cleanly_without_respawns() {
+        let service = StreamingVerifier::new(
+            nfl_db(),
+            CheckerConfig::default(),
+            StreamConfig {
+                workers: 3,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..4 {
+            service.submit_text(ARTICLE).unwrap().wait().unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.respawns, 0);
+        assert_eq!(stats.completed, 4);
+        // into_checker joins supervisor + workers; reaching here without
+        // a hang is the assertion.
+        let _ = service.into_checker();
+    }
+
+    /// An already-expired deadline settles as a `TimedOut` *partial*
+    /// report — every claim `Unverified`, nothing scanned, the ticket
+    /// never hangs, and the document lands in the `timed_out` bin.
+    #[test]
+    fn expired_deadline_settles_partial_report() {
+        let db = nfl_db();
+        let service =
+            StreamingVerifier::new(db, CheckerConfig::default(), StreamConfig::default()).unwrap();
+        let ticket = service
+            .submit_text_with_deadline(ARTICLE, Some(Instant::now()))
+            .unwrap();
+        let report = ticket.wait().unwrap();
+        assert_eq!(report.status, ReportStatus::TimedOut);
+        assert!(report.status.is_partial());
+        assert!(!report.claims.is_empty(), "claims are still detected");
+        for claim in &report.claims {
+            assert_eq!(claim.verdict, crate::pipeline::Verdict::Unverified);
+            assert!(claim.top_queries.is_empty());
+        }
+        assert_eq!(report.stats.rows_scanned, 0, "expired docs never scan");
+        let stats = service.stats();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.partial, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.submitted, stats.settled());
+        // A generous deadline on the same service still completes fully.
+        let ok = service
+            .submit_text_with_deadline(
+                ARTICLE,
+                Some(Instant::now() + std::time::Duration::from_secs(60)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(ok.status, ReportStatus::Complete);
+        assert!(ok.claims.iter().all(|c| !c.top_queries.is_empty()));
+    }
+
+    /// Cancelling a still-queued submission de-queues it immediately:
+    /// the ticket settles (from the cancelling thread) with a `Cancelled`
+    /// partial report, and the worker never sees the document.
+    #[test]
+    fn cancel_dequeues_and_settles_immediately() {
+        let service = StreamingVerifier::new(
+            nfl_db(),
+            CheckerConfig::default(),
+            StreamConfig {
+                workers: 1,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        // Fillers keep the single worker busy for several milliseconds,
+        // so the cancel (microseconds later) beats the queue's tail.
+        let fillers: Vec<Ticket> = (0..3)
+            .map(|_| service.submit_text(ARTICLE).unwrap())
+            .collect();
+        let victim = service.submit_text(WRONG).unwrap();
+        victim.cancel();
+        assert!(victim.is_done(), "cancel settles a queued ticket in place");
+        let report = victim.wait().unwrap();
+        assert_eq!(report.status, ReportStatus::Cancelled);
+        assert!(report
+            .claims
+            .iter()
+            .all(|c| c.verdict == crate::pipeline::Verdict::Unverified));
+        for t in fillers {
+            let r = t.wait().unwrap();
+            assert_eq!(r.status, ReportStatus::Complete, "siblings unaffected");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.partial, 1);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.submitted, stats.settled());
+        let checker = service.into_checker();
+        assert_eq!(checker.cache().inflight_len(), 0);
+    }
+
+    /// Cancelling after the report settled is a no-op: the report stays
+    /// complete and no `cancelled` bin is charged.
+    #[test]
+    fn cancel_after_completion_is_noop() {
+        let service =
+            StreamingVerifier::new(nfl_db(), CheckerConfig::default(), StreamConfig::default())
+                .unwrap();
+        let ticket = service.submit_text(ARTICLE).unwrap();
+        while !ticket.is_done() {
+            std::thread::yield_now();
+        }
+        ticket.cancel();
+        let report = ticket.wait().unwrap();
+        assert_eq!(report.status, ReportStatus::Complete);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.partial, 0);
     }
 
     #[test]

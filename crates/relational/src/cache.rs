@@ -170,6 +170,9 @@ pub struct ShardStats {
     /// Misses that joined another requester's in-flight computation via
     /// [`EvalCache::flight`] instead of executing their own cube.
     pub singleflight_waits: u64,
+    /// Waiters woken by a poisoned flight who re-probed this shard's keys
+    /// (each retry is bounded by the wave layer's retry budget).
+    pub poison_retries: u64,
 }
 
 /// A point-in-time snapshot of the whole cache's counters, per shard.
@@ -200,6 +203,10 @@ impl CacheStats {
 
     pub fn singleflight_waits(&self) -> u64 {
         self.shards.iter().map(|s| s.singleflight_waits).sum()
+    }
+
+    pub fn poison_retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.poison_retries).sum()
     }
 
     /// Fraction of lookups served from resident slices. 0.0 (not NaN) when
@@ -244,6 +251,7 @@ struct Shard {
     misses: AtomicU64,
     evictions: AtomicU64,
     singleflight_waits: AtomicU64,
+    poison_retries: AtomicU64,
 }
 
 impl Shard {
@@ -254,6 +262,7 @@ impl Shard {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.entries.read().values().map(|v| v.len() as u64).sum(),
             singleflight_waits: self.singleflight_waits.load(Ordering::Relaxed),
+            poison_retries: self.poison_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -543,6 +552,20 @@ impl EvalCache {
                 flight: flight.clone(),
             });
         }
+        #[cfg(any(test, feature = "chaos"))]
+        if crate::chaos::inject_flight_poison() {
+            // Hand out a dead-on-arrival flight instead of a compute right:
+            // it is never registered in the in-flight table (so it cannot
+            // leak), and its waiter wakes immediately with `None`,
+            // exercising the caller's bounded poison-retry path.
+            return Flight::Wait(FlightWaiter {
+                flight: Arc::new(InFlight {
+                    relevant: needed.to_vec(),
+                    state: StdMutex::new(FlightState::Poisoned),
+                    cv: Condvar::new(),
+                }),
+            });
+        }
         let flight = Arc::new(InFlight {
             relevant: needed.to_vec(),
             state: StdMutex::new(FlightState::Pending),
@@ -648,6 +671,15 @@ impl EvalCache {
                     .sum::<usize>()
             })
             .sum()
+    }
+
+    /// Record one poisoned-flight retry against `key`'s shard (see
+    /// [`ShardStats::poison_retries`]). The wave layer calls this each
+    /// time a waiter wakes from a poisoned flight and re-probes.
+    pub fn note_poison_retry(&self, key: &CacheKey) {
+        self.inner.shards[self.shard_of(key)]
+            .poison_retries
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot all shard counters.

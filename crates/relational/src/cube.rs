@@ -704,6 +704,11 @@ impl DenseGrid {
         agg_ctx: &[AggCtx<'_>],
         cellbuf: &mut [u32; SCAN_BLOCK],
     ) {
+        // Named chaos hook: `scan_block` runs inside solo scans and fused
+        // multi-cube passes alike, so an installed fault plan can inject a
+        // panic (worker death mid-pass) or a delay (slow scan) here.
+        #[cfg(any(test, feature = "chaos"))]
+        crate::chaos::scan_block_cross();
         for (k, slot) in cellbuf[..len].iter_mut().enumerate() {
             let mut cell = 0usize;
             for (codec, stride) in codecs.iter().zip(strides) {

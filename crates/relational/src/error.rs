@@ -26,6 +26,10 @@ pub enum RelationalError {
     InvalidQuery(String),
     /// The schema is invalid (e.g. cyclic foreign keys or bad references).
     InvalidSchema(String),
+    /// Execution failed at runtime: a scan pass panicked under it, or a
+    /// poisoned single-flight exhausted its retry budget. The work unit
+    /// that hit it fails cleanly instead of hanging its waiters.
+    Execution(String),
 }
 
 impl fmt::Display for RelationalError {
@@ -47,6 +51,7 @@ impl fmt::Display for RelationalError {
             }
             Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Self::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Self::Execution(msg) => write!(f, "execution failed: {msg}"),
         }
     }
 }

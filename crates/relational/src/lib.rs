@@ -29,6 +29,8 @@
 
 pub mod aggregate;
 pub mod cache;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
 pub mod column;
 pub mod cost;
 pub mod csv;
@@ -66,7 +68,7 @@ pub use merge::{MergePlan, MergePlanner, MergeStats};
 pub use query::{AggColumn, AggFunction, Predicate, SimpleAggregateQuery};
 pub use schedule::{
     run_requests, run_wave, CubeScheduler, CubeTask, ScanGroup, TaskBundling, TaskHandle, WaveExec,
-    WaveOutcome, WaveRequest, WaveStats,
+    WaveOutcome, WaveRequest, WaveStats, MAX_POISON_RETRIES,
 };
 pub use schema::{ColumnMeta, ForeignKey, TableSchema};
 pub use table::Table;

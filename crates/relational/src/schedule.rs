@@ -260,8 +260,15 @@ impl ScanGroup {
     /// Run the fused pass sequentially: validate members, scan once,
     /// publish and settle each member. A member that fails validation
     /// settles (and poisons its flights) without stopping its siblings; a
-    /// failed scan fails every member.
-    fn execute(self, db: &Database, arena: Option<&GridArena>) {
+    /// failed scan fails every member. A scan that *panics* still fails
+    /// every member first — settling their tasks and poisoning their
+    /// flights so no waiter wedges — and hands the panic payload back for
+    /// the executing thread to re-raise.
+    fn execute(
+        self,
+        db: &Database,
+        arena: Option<&GridArena>,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
         let mut valid: Vec<CubeTask> = Vec::with_capacity(self.members.len());
         for task in self.members {
             match task.cube.validate() {
@@ -270,19 +277,31 @@ impl ScanGroup {
             }
         }
         if valid.is_empty() {
-            return;
+            return None;
         }
         let cubes: Vec<&CubeQuery> = valid.iter().map(|t| &t.cube).collect();
-        match execute_fused_in(db, &cubes, &CubeOptions::default(), arena) {
-            Ok(results) => {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_fused_in(db, &cubes, &CubeOptions::default(), arena)
+        }));
+        match outcome {
+            Ok(Ok(results)) => {
                 for (task, result) in valid.into_iter().zip(results) {
                     task.complete(result);
                 }
+                None
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 for task in valid {
                     task.fail(e.clone());
                 }
+                None
+            }
+            Err(payload) => {
+                let e = RelationalError::Execution("scan pass panicked mid-execution".into());
+                for task in valid {
+                    task.fail(e.clone());
+                }
+                Some(payload)
             }
         }
     }
@@ -401,12 +420,20 @@ impl CubeScheduler {
     }
 
     fn run_group(&self, group: ScanGroup, db: &Database, arena: Option<&GridArena>) {
-        group.execute(db, arena);
+        let payload = group.execute(db, arena);
         // Touch the scheduler lock before notifying so a driver cannot
         // check its handles, miss this completion, and sleep through the
         // wakeup (the completion happens-before our lock acquisition).
         drop(lock(&self.state));
         self.cv.notify_all();
+        if let Some(payload) = payload {
+            // Every member task already settled (Failed) and its waiters
+            // were woken, so nobody can wedge on this pass — re-raise so
+            // the executing thread observes the panic (a supervised stream
+            // worker dies and is respawned; a scoped-pool caller unwinds
+            // its own document).
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -519,6 +546,10 @@ pub struct WaveStats {
     /// Real rows read by those passes (each pass counts its relation
     /// length once, however many member grids it feeds).
     pub rows_scanned: u64,
+    /// Poisoned-flight wake-ups absorbed by this wave: each one re-probes
+    /// the cache (bounded per aggregate, see [`MAX_POISON_RETRIES`])
+    /// before possibly computing the key inline.
+    pub poison_retries: u64,
 }
 
 /// One wave's finished slices: `slices[request][aggregate]`, aligned with
@@ -532,6 +563,21 @@ pub struct WaveOutcome {
 /// A pending aggregate: its index within the request plus the
 /// single-flight guard won for it (`None` when evaluation runs uncached).
 type MissingAgg = (usize, Option<FlightGuard>);
+
+/// Chaos hook point for a wave-probe guard: the installed fault plan may
+/// drop it here — poisoning the flight for every waiter that joined it —
+/// while the wave still computes the aggregate for itself, unpublished.
+/// That is the "publisher crashed between claim and publish" shape the
+/// bounded poison-retry path must absorb. Without an active plan (and in
+/// non-chaos builds) this is the identity.
+fn keep_guard(guard: FlightGuard) -> Option<FlightGuard> {
+    #[cfg(any(test, feature = "chaos"))]
+    if crate::chaos::inject_wave_guard_drop() {
+        drop(guard);
+        return None;
+    }
+    Some(guard)
+}
 
 /// How one aggregate slice arrives at collection time.
 enum Slot {
@@ -601,7 +647,7 @@ pub fn run_requests(
                             stats.key_hits += 1;
                             request_slots[i] = Some(Slot::Ready(s));
                         }
-                        Flight::Compute(guard) => request_missing.push((i, Some(guard))),
+                        Flight::Compute(guard) => request_missing.push((i, keep_guard(guard))),
                         Flight::Wait(w) => {
                             stats.key_waits += 1;
                             request_slots[i] = Some(Slot::Waiting(w));
@@ -708,8 +754,17 @@ pub fn run_requests(
     })
 }
 
+/// Maximum poisoned-flight wake-ups one aggregate wait absorbs before the
+/// wave gives up with [`RelationalError::Execution`]. Each retry re-probes
+/// the cache and may end with this caller computing the key itself, so a
+/// transient failure resolves in one round; only a computation that keeps
+/// dying (or a fault plan that poisons every fresh flight) exhausts the
+/// budget — previously such a storm livelocked every waiter forever.
+pub const MAX_POISON_RETRIES: u64 = 8;
+
 /// Wait out another worker's in-flight cube for `request.aggs[agg_idx]`;
-/// on poison, re-probe and compute inline if the retry wins the guard.
+/// on poison, re-probe (bounded by [`MAX_POISON_RETRIES`]) and compute
+/// inline if the retry wins the guard.
 fn resolve_wait(
     db: &Database,
     exec: &WaveExec<'_>,
@@ -718,6 +773,7 @@ fn resolve_wait(
     mut waiter: FlightWaiter,
     stats: &mut WaveStats,
 ) -> Result<CachedSlice> {
+    let mut retries = 0u64;
     loop {
         if let Some(slice) = waiter.wait() {
             return Ok(slice);
@@ -725,6 +781,15 @@ fn resolve_wait(
         let (f, c) = request.aggs[agg_idx];
         let key = CacheKey::new(f, c, request.dims.to_vec());
         let cache = exec.cache.expect("waits only exist with a cache");
+        retries += 1;
+        stats.poison_retries += 1;
+        cache.note_poison_retry(&key);
+        if retries > MAX_POISON_RETRIES {
+            return Err(RelationalError::Execution(format!(
+                "single-flight for {f:?} aggregate poisoned {retries} times; \
+                 retry budget exhausted"
+            )));
+        }
         match cache.flight(&key, request.relevant) {
             Flight::Hit(s) => return Ok(s),
             Flight::Wait(w) => {

@@ -58,11 +58,26 @@
 //!     --file BENCH_pipeline.current.json \
 //!     --field speedup_batch_vs_sequential_fresh --min 1.2
 //! ```
+//!
+//! # `chaos-gate`
+//!
+//! The robustness gate: judges `CHAOS_matrix.json` (emitted by
+//! `cargo run --release --example chaos_matrix`, one record per seeded
+//! fault-matrix cell) and fails when any cell left a ticket unsettled,
+//! left a dangling in-flight cache entry after drain, broke the
+//! every-document-lands-in-exactly-one-bin accounting, or overspent its
+//! worker-respawn budget. Unlike the timing gates this is fully
+//! deterministic: the fault plans are seeded, so any failure is a real
+//! robustness regression, never runner noise.
+//!
+//! ```text
+//! cargo run -p xtask -- chaos-gate --file CHAOS_matrix.json
+//! ```
 
 use std::process::ExitCode;
 
-/// Extract `(name, metric)` per object of the top-level `"variants"` array.
-fn extract_variants(json: &str, metric: &str) -> Vec<(String, f64)> {
+/// The object bodies of the top-level `"variants"` array.
+fn variant_objects(json: &str) -> Vec<String> {
     let Some(start) = json.find("\"variants\"") else {
         return Vec::new();
     };
@@ -81,13 +96,18 @@ fn extract_variants(json: &str, metric: &str) -> Vec<(String, f64)> {
         let Some(obj_close) = rest[obj_open..].find('}') else {
             break;
         };
-        let obj = &rest[obj_open + 1..obj_open + obj_close];
-        if let (Some(name), Some(value)) = (string_field(obj, "name"), number_field(obj, metric)) {
-            out.push((name, value));
-        }
+        out.push(rest[obj_open + 1..obj_open + obj_close].to_string());
         rest = &rest[obj_open + obj_close + 1..];
     }
     out
+}
+
+/// Extract `(name, metric)` per object of the top-level `"variants"` array.
+fn extract_variants(json: &str, metric: &str) -> Vec<(String, f64)> {
+    variant_objects(json)
+        .iter()
+        .filter_map(|obj| Some((string_field(obj, "name")?, number_field(obj, metric)?)))
+        .collect()
 }
 
 /// The string value of `"key": "value"` inside one flat JSON object body.
@@ -393,16 +413,106 @@ fn min_gate(args: &[String]) -> ExitCode {
     }
 }
 
+/// Judge one chaos-matrix file: every cell must have settled every
+/// ticket, drained its in-flight cache to empty, reconciled its outcome
+/// bins, and stayed within its respawn budget. Returns per-cell report
+/// lines and the list of violations.
+fn run_chaos_gate(json: &str) -> Result<GateOutcome, String> {
+    let cells = variant_objects(json);
+    if cells.is_empty() {
+        return Err("no \"variants\" cells in the chaos matrix file".into());
+    }
+    let mut failures = Vec::new();
+    let mut report = Vec::new();
+    for (i, obj) in cells.iter().enumerate() {
+        let name = string_field(obj, "name").unwrap_or_else(|| format!("cell #{i}"));
+        let field = |key: &str| -> Result<f64, String> {
+            number_field(obj, key).ok_or_else(|| format!("{name}: missing numeric field \"{key}\""))
+        };
+        let unsettled = field("unsettled")?;
+        let inflight = field("inflight_len")?;
+        let bins_ok = field("bins_ok")?;
+        let respawns = field("respawns")?;
+        let max_respawns = field("max_respawns")?;
+        let before = failures.len();
+        if unsettled != 0.0 {
+            failures.push(format!("{name}: {unsettled:.0} ticket(s) never settled"));
+        }
+        if inflight != 0.0 {
+            failures.push(format!(
+                "{name}: {inflight:.0} in-flight cache entr(ies) dangling after drain"
+            ));
+        }
+        if bins_ok != 1.0 {
+            failures.push(format!(
+                "{name}: outcome bins do not reconcile (submitted != settled)"
+            ));
+        }
+        if respawns > max_respawns {
+            failures.push(format!(
+                "{name}: {respawns:.0} respawns exceed the budget of {max_respawns:.0}"
+            ));
+        }
+        if failures.len() == before {
+            report.push(format!(
+                "{name}: settled all, inflight 0, bins ok, respawns {respawns:.0}/{max_respawns:.0}"
+            ));
+        }
+    }
+    Ok(GateOutcome { failures, report })
+}
+
+fn chaos_gate(args: &[String]) -> ExitCode {
+    let mut file = String::from("CHAOS_matrix.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--file" => file = it.next().cloned().expect("--file PATH"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let outcome = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {file}: {e}"))
+        .and_then(|json| run_chaos_gate(&json));
+    match outcome {
+        Err(msg) => {
+            eprintln!("chaos-gate error: {msg}");
+            ExitCode::from(2)
+        }
+        Ok(outcome) if outcome.failures.is_empty() => {
+            for line in &outcome.report {
+                println!("chaos-gate ok: {line}");
+            }
+            println!(
+                "chaos-gate: all {} cells settled cleanly",
+                outcome.report.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            for failure in &outcome.failures {
+                eprintln!("chaos-gate FAIL: {failure}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-gate") => bench_gate(&args[1..]),
         Some("dedup-gate") => dedup_gate(&args[1..]),
         Some("min-gate") => min_gate(&args[1..]),
+        Some("chaos-gate") => chaos_gate(&args[1..]),
         _ => {
             eprintln!("usage: xtask bench-gate [--baseline PATH] [--current PATH] [--threshold FRACTION] [--metric NAME] [--variants a,b] [--normalize-to NAME]");
             eprintln!("       xtask dedup-gate [--file PATH] [--metric NAME] [--variants a,b] [--le-variant NAME]");
             eprintln!("       xtask min-gate [--file PATH] [--field NAME] [--min NUMBER]");
+            eprintln!("       xtask chaos-gate [--file PATH]");
             ExitCode::from(2)
         }
     }
@@ -688,6 +798,53 @@ mod tests {
             Some("sequential_shared"),
         )
         .is_err());
+    }
+
+    fn chaos_sample(unsettled: u64, inflight: u64, bins_ok: u64, respawns: u64) -> String {
+        format!(
+            r#"{{"docs_per_cell": 10, "variants": [
+  {{"name": "panic_1w", "workers": 1, "unsettled": 0, "inflight_len": 0, "bins_ok": 1, "respawns": 2, "max_respawns": 6}},
+  {{"name": "combined_8w", "workers": 8, "unsettled": {unsettled}, "inflight_len": {inflight}, "bins_ok": {bins_ok}, "respawns": {respawns}, "max_respawns": 6}}
+]}}"#
+        )
+    }
+
+    #[test]
+    fn chaos_gate_passes_clean_matrix() {
+        let out = run_chaos_gate(&chaos_sample(0, 0, 1, 6)).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.report.len(), 2);
+    }
+
+    #[test]
+    fn chaos_gate_fails_each_violation_class() {
+        // A ticket that never settled.
+        let out = run_chaos_gate(&chaos_sample(1, 0, 1, 0)).unwrap();
+        assert_eq!(out.failures.len(), 1);
+        assert!(
+            out.failures[0].contains("never settled"),
+            "{:?}",
+            out.failures
+        );
+        // A dangling in-flight cache entry after drain.
+        let out = run_chaos_gate(&chaos_sample(0, 3, 1, 0)).unwrap();
+        assert!(out.failures[0].contains("dangling"), "{:?}", out.failures);
+        // Outcome bins that do not reconcile.
+        let out = run_chaos_gate(&chaos_sample(0, 0, 0, 0)).unwrap();
+        assert!(out.failures[0].contains("reconcile"), "{:?}", out.failures);
+        // A respawn budget overrun.
+        let out = run_chaos_gate(&chaos_sample(0, 0, 1, 7)).unwrap();
+        assert!(out.failures[0].contains("budget"), "{:?}", out.failures);
+        // The clean cell still reports ok alongside the failing one.
+        assert_eq!(out.report.len(), 1);
+        assert!(out.report[0].contains("panic_1w"), "{:?}", out.report);
+    }
+
+    #[test]
+    fn chaos_gate_rejects_malformed_input() {
+        assert!(run_chaos_gate("{}").is_err());
+        let missing = r#"{"variants": [{"name": "panic_1w", "unsettled": 0}]}"#;
+        assert!(run_chaos_gate(missing).is_err());
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Seeded chaos matrix runner for the CI robustness gate.
+//!
+//! Runs the same fault matrix as `tests/chaos.rs` — injected scan panics,
+//! scan delays, single-flight poisoning, and wave-guard drops, across
+//! worker pools of 1/2/4/8 — and emits one JSON record per cell to
+//! `CHAOS_matrix.json` (same `"variants"` array shape as the benchmark
+//! files, so `xtask chaos-gate` reuses the scanner):
+//!
+//! ```text
+//! cargo run --release --example chaos_matrix
+//! cargo run -p xtask -- chaos-gate --file CHAOS_matrix.json
+//! ```
+//!
+//! The gate fails on any unsettled ticket, any dangling in-flight cache
+//! entry after drain, any outcome-bin accounting mismatch, or a respawn
+//! count past the budget. A watchdog thread turns a hang into exit code 3
+//! instead of a stuck CI job.
+
+use aggchecker::core::CheckerError;
+use aggchecker::relational::chaos::{self, FaultPlan};
+use aggchecker::{CheckerConfig, IntakePolicy, StreamConfig, StreamingVerifier, SubmitError};
+use std::time::{Duration, Instant};
+
+const ARTICLE: &str = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+
+const WRONG: &str = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were seven previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+
+const DOCS_PER_CELL: usize = 10;
+const MAX_RESPAWNS: usize = 6;
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+struct CellRecord {
+    name: String,
+    workers: usize,
+    unsettled: u64,
+    inflight_len: usize,
+    bins_ok: bool,
+    respawns: u64,
+    stats: aggchecker::StreamStats,
+    injected: u64,
+}
+
+/// Run one matrix cell and report its invariant-relevant counters.
+/// Never panics on a fault outcome — judging is the gate's job.
+fn run_cell(name: &str, plan: FaultPlan, workers: usize, policy: IntakePolicy) -> CellRecord {
+    let guard = chaos::install(plan);
+    let service = StreamingVerifier::new(
+        aggchecker::corpus::builtin::nfl_suspensions().db,
+        CheckerConfig::default(),
+        StreamConfig {
+            workers,
+            policy,
+            intake_capacity: 4,
+            max_respawns: MAX_RESPAWNS,
+        },
+    )
+    .expect("service construction is fault-free");
+    let mut accepted = Vec::new();
+    for i in 0..DOCS_PER_CELL {
+        let text = if i % 3 == 0 { WRONG } else { ARTICLE };
+        let outcome = if i == 4 {
+            service.submit_text_with_deadline(text, Some(Instant::now() + WATCHDOG))
+        } else {
+            service.submit_text(text)
+        };
+        match outcome {
+            Ok(t) => accepted.push(t),
+            // `Reject` intake under a burst: dropped before acceptance,
+            // deliberately not part of the outcome bins.
+            Err(SubmitError::Full | SubmitError::Closed) => {}
+        }
+    }
+    if let Some(victim) = accepted.last() {
+        victim.cancel();
+    }
+    service.close();
+    let deadline = Instant::now() + WATCHDOG;
+    while !accepted.iter().all(|t| t.is_done()) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let unsettled = accepted.iter().filter(|t| !t.is_done()).count() as u64;
+    let mut errors = 0usize;
+    for ticket in accepted {
+        if ticket.is_done() {
+            if let Err(e) = ticket.wait() {
+                errors += 1;
+                debug_assert!(
+                    matches!(e, CheckerError::Relational(_) | CheckerError::Stream(_)),
+                    "unexpected error class: {e}"
+                );
+            }
+        }
+    }
+    let stats = service.stats();
+    // Errored tickets land in `failed` (evaluation died) or `rejected`
+    // (queued when the pool died / the stream closed rejecting).
+    let bins_ok = stats.submitted == stats.settled()
+        && stats.failed + stats.rejected >= errors as u64
+        && stats.respawns <= MAX_RESPAWNS as u64;
+    let injected = guard.injected_total();
+    let inflight_len = if unsettled == 0 {
+        service.into_checker().cache().inflight_len()
+    } else {
+        // Can't drain a wedged service; report a poison value so the
+        // gate fails loudly on this cell too.
+        usize::MAX
+    };
+    CellRecord {
+        name: name.to_string(),
+        workers,
+        unsettled,
+        inflight_len,
+        bins_ok,
+        respawns: stats.respawns,
+        stats,
+        injected,
+    }
+}
+
+fn main() {
+    // Injected panics are expected by the hundreds — keep them out of the
+    // CI log. Anything else still prints through the default hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !chaos::is_chaos_panic(info.payload()) {
+            default_hook(info);
+        }
+    }));
+
+    // A wedged cell must kill the process with a distinct exit code, not
+    // hang CI: cells share one global watchdog sized for the whole matrix.
+    std::thread::spawn(|| {
+        std::thread::sleep(WATCHDOG * 5);
+        eprintln!("chaos_matrix: watchdog fired — a cell hung");
+        std::process::exit(3);
+    });
+
+    let plans: [(&str, FaultPlan); 5] = [
+        (
+            "panic",
+            FaultPlan {
+                seed: 3,
+                panic_every_scan_blocks: 7,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "delay",
+            FaultPlan {
+                seed: 5,
+                delay_every_scan_blocks: 3,
+                delay_micros: 100,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "poison_flight",
+            FaultPlan {
+                seed: 2,
+                poison_every_flights: 5,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "guard_drop",
+            FaultPlan {
+                seed: 1,
+                poison_every_wave_guards: 4,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "combined",
+            FaultPlan {
+                seed: 11,
+                panic_every_scan_blocks: 13,
+                delay_every_scan_blocks: 5,
+                delay_micros: 50,
+                poison_every_flights: 9,
+                poison_every_wave_guards: 7,
+            },
+        ),
+    ];
+
+    let mut records = Vec::new();
+    for (i, (plan_name, plan)) in plans.iter().enumerate() {
+        for (j, workers) in [1usize, 2, 4, 8].iter().enumerate() {
+            let policy = if (i + j) % 2 == 0 {
+                IntakePolicy::Block
+            } else {
+                IntakePolicy::Reject
+            };
+            let name = format!("{plan_name}_{workers}w");
+            let record = run_cell(&name, *plan, *workers, policy);
+            println!(
+                "{:<18} submitted={:<3} completed={:<3} failed={:<3} rejected={:<2} \
+                 cancelled={} respawns={} injected={:<3} unsettled={} inflight={}",
+                record.name,
+                record.stats.submitted,
+                record.stats.completed,
+                record.stats.failed,
+                record.stats.rejected,
+                record.stats.cancelled,
+                record.respawns,
+                record.injected,
+                record.unsettled,
+                record.inflight_len,
+            );
+            records.push(record);
+        }
+    }
+
+    let variants: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"workers\": {}, \"submitted\": {}, \
+                 \"completed\": {}, \"failed\": {}, \"rejected\": {}, \
+                 \"timed_out\": {}, \"cancelled\": {}, \"partial\": {}, \
+                 \"respawns\": {}, \"max_respawns\": {}, \"poison_retries\": {}, \
+                 \"injected_faults\": {}, \"unsettled\": {}, \"inflight_len\": {}, \
+                 \"bins_ok\": {}}}",
+                r.name,
+                r.workers,
+                r.stats.submitted,
+                r.stats.completed,
+                r.stats.failed,
+                r.stats.rejected,
+                r.stats.timed_out,
+                r.stats.cancelled,
+                r.stats.partial,
+                r.respawns,
+                MAX_RESPAWNS,
+                r.stats.poison_retries,
+                r.injected,
+                r.unsettled,
+                r.inflight_len,
+                if r.bins_ok { 1 } else { 0 },
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"docs_per_cell\": {DOCS_PER_CELL},\n  \"variants\": [\n{}\n  ]\n}}\n",
+        variants.join(",\n")
+    );
+    std::fs::write("CHAOS_matrix.json", &json).expect("write CHAOS_matrix.json");
+    println!(
+        "wrote CHAOS_matrix.json ({} cells) — judge with `cargo run -p xtask -- chaos-gate`",
+        records.len()
+    );
+}

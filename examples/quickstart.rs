@@ -1,5 +1,6 @@
 //! Quickstart: load a CSV data set, check a short write-up against it, and
-//! print the marked-up verification report.
+//! print the marked-up verification report — then the same check through
+//! the streaming service, with backpressure handled instead of unwrapped.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,7 +9,31 @@
 use aggchecker::core::report::{render_ansi, render_summary};
 use aggchecker::relational::csv::load_csv;
 use aggchecker::relational::Database;
-use aggchecker::{AggChecker, CheckerConfig};
+use aggchecker::{
+    AggChecker, CheckerConfig, IntakePolicy, StreamConfig, StreamingVerifier, SubmitError, Ticket,
+};
+use std::time::{Duration, Instant};
+
+/// Submit under a `Reject` intake the way a deployment should: on
+/// [`SubmitError::Full`], back off briefly and retry until a deadline
+/// runs out, rather than unwrapping (which turns transient backpressure
+/// into a crash) or blocking forever (which hides it).
+fn submit_with_retry(
+    service: &StreamingVerifier,
+    text: &str,
+    deadline: Instant,
+) -> Result<Ticket, SubmitError> {
+    loop {
+        match service.submit_text_with_deadline(text, Some(deadline)) {
+            // Full means every intake slot is taken *right now*; the pool
+            // drains continuously, so a short sleep is usually enough.
+            Err(SubmitError::Full) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => return other,
+        }
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small sales data set, as it might arrive in a CSV export.
@@ -24,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let article = include_str!("data/quickstart_article.html");
 
     // 3. Check the text against the data.
-    let checker = AggChecker::new(db, CheckerConfig::default())?;
+    let checker = AggChecker::new(db.clone(), CheckerConfig::default())?;
     let report = checker.check_text(article)?;
 
     // 4. Show the spell-checker-style markup and a one-line-per-claim
@@ -38,6 +63,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.claims.len(),
         report.flagged().count(),
         report.stats.candidates_evaluated
+    );
+
+    // 5. The same check through the streaming service. A tiny intake with
+    //    a `Reject` policy makes backpressure visible: a burst of
+    //    submissions can see `SubmitError::Full`, which the deadline-
+    //    bounded retry above absorbs instead of crashing. The per-document
+    //    deadline also caps how long any one ticket can take — if it
+    //    expires, the ticket settles as a *partial* report (unevaluated
+    //    claims marked `Unverified`) rather than hanging.
+    let service = StreamingVerifier::new(
+        db,
+        CheckerConfig::default(),
+        StreamConfig {
+            intake_capacity: 2,
+            policy: IntakePolicy::Reject,
+            workers: 2,
+            ..StreamConfig::default()
+        },
+    )?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|_| submit_with_retry(&service, article, deadline))
+        .collect::<Result<_, _>>()?;
+    for ticket in tickets {
+        let streamed = ticket.wait()?;
+        assert_eq!(
+            streamed.content_fingerprint(),
+            report.content_fingerprint(),
+            "streamed verification must agree with the direct check"
+        );
+        assert!(!streamed.status.is_partial(), "30s is plenty for one page");
+    }
+    let stats = service.stats();
+    println!(
+        "streamed: {} submitted, {} completed, {} timed out ({} worker pool)",
+        stats.submitted,
+        stats.completed,
+        stats.timed_out,
+        service.workers()
     );
     Ok(())
 }

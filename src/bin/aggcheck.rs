@@ -136,6 +136,7 @@ fn print_json(report: &aggchecker::VerificationReport, db: &Database) {
             Verdict::Correct => "correct",
             Verdict::Erroneous => "erroneous",
             Verdict::Unverifiable => "unverifiable",
+            Verdict::Unverified => "unverified",
         };
         let top = claim
             .top_queries

@@ -39,5 +39,6 @@ pub use agg_relational as relational;
 
 pub use agg_core::{
     AggChecker, BatchVerifier, CheckedClaim, CheckerConfig, IntakePolicy, RankedQuery,
-    StreamConfig, StreamStats, StreamingVerifier, SubmitError, Ticket, Verdict, VerificationReport,
+    ReportStatus, StreamConfig, StreamStats, StreamingVerifier, SubmitError, Ticket, Verdict,
+    VerificationReport,
 };

@@ -1,0 +1,347 @@
+//! Chaos/robustness integration suite: seeded fault injection against the
+//! streaming verification service.
+//!
+//! The invariants under test (the tentpole robustness contract):
+//!
+//! * **No ticket ever hangs.** Whatever combination of injected scan
+//!   panics, scan delays, flight poisoning, guard drops, intake policy,
+//!   and mid-stream `close()` is active, every accepted submission's
+//!   ticket settles inside the watchdog window.
+//! * **Every accepted document lands in exactly one outcome bin**:
+//!   `submitted == completed + failed + rejected + timed_out + cancelled`.
+//! * **Drains are clean**: after `into_checker()` the shared cache has no
+//!   dangling in-flight entry (`inflight_len() == 0`).
+//! * **The supervisor honors its budget**: `respawns <= max_respawns`.
+//! * **The zero-fault control arm changes nothing**: with a chaos plan
+//!   installed but every knob at 0, reports are bit-identical to the
+//!   golden fingerprints pinned in `tests/golden/`.
+//!
+//! Test names contain `single_flight` so the CI release job's filter runs
+//! them under optimization, where interleavings are the nastiest.
+
+use aggchecker::core::CheckerError;
+use aggchecker::relational::chaos::{self, FaultPlan};
+use aggchecker::{
+    CheckerConfig, IntakePolicy, ReportStatus, StreamConfig, StreamingVerifier, SubmitError,
+    Ticket, VerificationReport,
+};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Figure 2's database (the same fixture the stream unit tests use).
+fn nfl_db() -> aggchecker::relational::Database {
+    aggchecker::corpus::builtin::nfl_suspensions().db
+}
+
+const ARTICLE: &str = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+
+const WRONG: &str = r#"
+<h1>Indefinite suspensions</h1>
+<p>There were seven previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"#;
+
+/// Block until every ticket settles or the watchdog window closes —
+/// a stuck ticket fails the suite with a named deadline instead of
+/// hanging CI forever.
+fn settle_all(
+    tickets: Vec<Ticket>,
+    watchdog: Duration,
+) -> Vec<Result<VerificationReport, CheckerError>> {
+    let deadline = Instant::now() + watchdog;
+    while !tickets.iter().all(|t| t.is_done()) {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog: a ticket was still unsettled after {watchdog:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    tickets.into_iter().map(|t| t.wait()).collect()
+}
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// One fault-matrix cell: run a service under `plan`, submit a workload,
+/// close mid-stream, and check every robustness invariant.
+fn run_cell(name: &str, plan: FaultPlan, workers: usize, policy: IntakePolicy) {
+    let guard = chaos::install(plan);
+    let service = StreamingVerifier::new(
+        nfl_db(),
+        CheckerConfig::default(),
+        StreamConfig {
+            workers,
+            policy,
+            // Small enough that `Reject` actually rejects under a burst.
+            intake_capacity: 4,
+            max_respawns: 6,
+        },
+    )
+    .unwrap();
+    let mut accepted = Vec::new();
+    let mut policy_fulls = 0u64;
+    for i in 0..10usize {
+        let text = if i % 3 == 0 { WRONG } else { ARTICLE };
+        // One doc carries a generous deadline, one is cancelled below —
+        // the deadline/cancel paths must compose with every fault.
+        let outcome = if i == 4 {
+            service.submit_text_with_deadline(text, Some(Instant::now() + WATCHDOG))
+        } else {
+            service.submit_text(text)
+        };
+        match outcome {
+            Ok(t) => accepted.push(t),
+            Err(SubmitError::Full) => {
+                assert_eq!(
+                    policy,
+                    IntakePolicy::Reject,
+                    "{name}: Block never returns Full"
+                );
+                policy_fulls += 1;
+            }
+            Err(SubmitError::Closed) => panic!("{name}: nothing closed the stream yet"),
+        }
+    }
+    if let Some(victim) = accepted.pop() {
+        victim.cancel();
+        accepted.push(victim);
+    }
+    // Mid-stream close: everything accepted must still settle.
+    service.close();
+    assert!(matches!(
+        service.submit_text(ARTICLE),
+        Err(SubmitError::Closed)
+    ));
+    let results = settle_all(accepted, WATCHDOG);
+    for result in &results {
+        match result {
+            Ok(report) => {
+                // Partial reports only come from the deadline/cancel
+                // paths, never from an injected fault.
+                if report.status == ReportStatus::TimedOut {
+                    panic!("{name}: a {WATCHDOG:?} deadline cannot expire here");
+                }
+            }
+            Err(CheckerError::Relational(_) | CheckerError::Stream(_)) => {
+                // A worker died past the respawn budget, or a poisoned
+                // single-flight exhausted its retries: failing cleanly is
+                // the contract. Hanging or panicking the client is not.
+            }
+            Err(e) => panic!("{name}: unexpected error class: {e}"),
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.submitted,
+        stats.settled(),
+        "{name}: every accepted document lands in exactly one bin"
+    );
+    assert_eq!(stats.submitted, results.len() as u64, "{name}");
+    assert!(
+        stats.respawns <= 6,
+        "{name}: respawn budget accounting broke: {} > 6",
+        stats.respawns
+    );
+    if policy_fulls > 0 {
+        assert_eq!(policy, IntakePolicy::Reject);
+    }
+    if plan.is_zero() {
+        assert_eq!(stats.respawns, 0, "{name}: zero plan must not kill workers");
+        assert_eq!(stats.poison_retries, 0, "{name}");
+    }
+    let injected = guard.injected_total();
+    let checker = service.into_checker();
+    assert_eq!(
+        checker.cache().inflight_len(),
+        0,
+        "{name}: drained shutdown left a dangling in-flight entry \
+         ({injected} faults injected)"
+    );
+    drop(guard);
+}
+
+/// The seeded fault matrix: {panic, delay, flight-poison, guard-drop,
+/// everything-at-once} × {Block, Reject} × {1, 2, 4, 8} workers, each
+/// cell with a mid-stream close, a deadline-carrying document, and a
+/// cancelled document. ~60ms/doc in release; the watchdog turns any hang
+/// into a named failure.
+#[test]
+fn chaos_fault_matrix_single_flight_settles_every_ticket() {
+    let plans = [
+        (
+            "panic",
+            FaultPlan {
+                seed: 3,
+                panic_every_scan_blocks: 7,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "delay",
+            FaultPlan {
+                seed: 5,
+                delay_every_scan_blocks: 3,
+                delay_micros: 100,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "poison-flight",
+            FaultPlan {
+                seed: 2,
+                poison_every_flights: 5,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "guard-drop",
+            FaultPlan {
+                seed: 1,
+                poison_every_wave_guards: 4,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "combined",
+            FaultPlan {
+                seed: 11,
+                panic_every_scan_blocks: 13,
+                delay_every_scan_blocks: 5,
+                delay_micros: 50,
+                poison_every_flights: 9,
+                poison_every_wave_guards: 7,
+            },
+        ),
+    ];
+    for (i, (name, plan)) in plans.iter().enumerate() {
+        for (j, workers) in [1usize, 2, 4, 8].iter().enumerate() {
+            // Alternate the intake policy across cells instead of fully
+            // crossing it: both policies meet every plan and every width.
+            let policy = if (i + j) % 2 == 0 {
+                IntakePolicy::Block
+            } else {
+                IntakePolicy::Reject
+            };
+            let cell = format!("{name}/w{workers}/{policy:?}");
+            run_cell(&cell, *plan, *workers, policy);
+        }
+    }
+}
+
+/// Aggressive worker killing: scan panics frequent enough to spend the
+/// whole respawn budget. The pool may die entirely — in which case the
+/// supervisor must settle whatever is still queued — but nothing hangs
+/// and the accounting reconciles.
+#[test]
+fn chaos_worker_deaths_single_flight_respects_respawn_budget() {
+    let guard = chaos::install(FaultPlan {
+        seed: 0,
+        panic_every_scan_blocks: 2,
+        ..FaultPlan::default()
+    });
+    let service = StreamingVerifier::new(
+        nfl_db(),
+        CheckerConfig::default(),
+        StreamConfig {
+            workers: 2,
+            max_respawns: 3,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|_| service.submit_text(ARTICLE).unwrap())
+        .collect();
+    service.close();
+    let results = settle_all(tickets, WATCHDOG);
+    assert!(
+        guard.injected_panics() > 0,
+        "the plan must actually kill workers for this test to mean anything"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.submitted, stats.settled());
+    assert!(stats.respawns <= 3, "budget overrun: {}", stats.respawns);
+    assert!(
+        stats.failed > 0 || stats.rejected > 0,
+        "killing every other scan block must fail at least one document"
+    );
+    for result in results {
+        match result {
+            Ok(report) => assert_eq!(report.status, ReportStatus::Complete),
+            Err(CheckerError::Relational(_) | CheckerError::Stream(_)) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    let checker = service.into_checker();
+    assert_eq!(checker.cache().inflight_len(), 0);
+    drop(guard);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The zero-fault control arm: a `FaultPlan` with every knob at 0 —
+    /// whatever its seed — and no deadlines must leave every golden
+    /// corpus fingerprint bit-identical to the pinned fixtures, solo and
+    /// streamed at the sampled worker count alike. Enabling the chaos
+    /// layer is observationally free until a fault actually fires.
+    #[test]
+    fn chaos_zero_fault_single_flight_is_bit_identical(
+        seed in 0u64..10_000,
+        workers in 1usize..9,
+    ) {
+        let _guard = chaos::install(FaultPlan::zero(seed));
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join("golden");
+        for name in [
+            "nfl_suspensions",
+            "campaign_donations",
+            "developer_survey",
+        ] {
+            let expected = std::fs::read_to_string(dir.join(format!("{name}.fingerprint")))
+                .expect("golden fixture exists (see tests/end_to_end.rs)");
+            let tc = match name {
+                "nfl_suspensions" => aggchecker::corpus::builtin::nfl_suspensions(),
+                "campaign_donations" => aggchecker::corpus::builtin::campaign_donations(),
+                _ => aggchecker::corpus::builtin::developer_survey(),
+            };
+            let checker =
+                aggchecker::AggChecker::new(tc.db.clone(), CheckerConfig::default()).unwrap();
+            let solo = checker.check_text(&tc.article_html).unwrap();
+            prop_assert_eq!(solo.status, ReportStatus::Complete);
+            prop_assert_eq!(
+                solo.content_fingerprint(),
+                expected.clone(),
+                "{}: solo run drifted under a zero-fault plan",
+                name
+            );
+            prop_assert_eq!(solo.stats.poison_retries, 0);
+            let service = StreamingVerifier::new(
+                tc.db.clone(),
+                CheckerConfig::default(),
+                StreamConfig {
+                    workers,
+                    ..StreamConfig::default()
+                },
+            )
+            .unwrap();
+            let report = service
+                .submit_text(&tc.article_html)
+                .unwrap()
+                .wait()
+                .unwrap();
+            prop_assert_eq!(
+                report.content_fingerprint(),
+                expected,
+                "{}: streamed run drifted under a zero-fault plan",
+                name
+            );
+            let checker = service.into_checker();
+            prop_assert_eq!(checker.cache().inflight_len(), 0);
+        }
+    }
+}
