@@ -33,6 +33,12 @@
 //!   half's `rows_scanned_per_run`/`scan_passes` stay bit-equal to the
 //!   deadline-free streaming variants — the CI dedup gates include this
 //!   variant to pin that.
+//! * `server_loopback` — the same corpus submitted over real TCP on
+//!   127.0.0.1: `VerifyServer` (4 workers) in front of the service, one
+//!   `BinaryClient` submitting every document then awaiting each, reports
+//!   reassembled from the streamed verdict frames. One client = one
+//!   intake lane = the same fixed arrival order as the in-process
+//!   streaming variants, so the dedup gates hold over the wire too.
 //!
 //! All variants are checked to produce identical reports before timing.
 //! Each variant reports `rows_scanned_per_run` (real rows read by its
@@ -52,6 +58,8 @@ use agg_core::{
     StreamingVerifier, VerificationReport,
 };
 use agg_corpus::{generate_multi_doc_case, CorpusSpec};
+use agg_server::client::BinaryClient;
+use agg_server::{ServerConfig, VerifyServer};
 use std::time::{Duration, Instant};
 
 /// Scheduling-relevant stats summed over one run's reports. The tuple is
@@ -168,6 +176,48 @@ fn run_stream_deadline(
     reports
 }
 
+/// One networked run: a `VerifyServer` on an ephemeral loopback port, a
+/// single `BinaryClient` submitting every document in input order and then
+/// awaiting each, reports reassembled from the streamed verdict frames.
+/// A single client means a single intake lane, so the service sees the
+/// same fixed arrival order as `run_streaming` and the dedup gates apply
+/// unchanged. Server startup/teardown and all framing/socket costs are
+/// inside the measured region.
+fn run_server_loopback(
+    db: &agg_relational::Database,
+    cfg: &CheckerConfig,
+    texts: &[&str],
+    workers: usize,
+) -> Vec<VerificationReport> {
+    let service = StreamingVerifier::new(
+        db.clone(),
+        cfg.clone(),
+        StreamConfig {
+            workers,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    let server = VerifyServer::start(
+        "127.0.0.1:0",
+        vec![("bench".to_string(), service)],
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = BinaryClient::connect(server.local_addr(), "bench").unwrap();
+    let docs: Vec<u64> = texts
+        .iter()
+        .map(|t| client.submit(t, None).unwrap())
+        .collect();
+    let reports: Vec<VerificationReport> = docs
+        .into_iter()
+        .map(|d| client.await_report(d).unwrap())
+        .collect();
+    client.goodbye().unwrap();
+    server.shutdown();
+    reports
+}
+
 fn main() {
     let mut docs = 8usize;
     let mut samples = 5usize;
@@ -238,6 +288,18 @@ fn main() {
             );
         }
     }
+    // Wire correctness: a report reassembled from streamed verdict frames
+    // must fingerprint identically to solo verification.
+    {
+        let reports = run_server_loopback(&case.db, &cfg, &texts, 4);
+        for (i, (r, expected)) in reports.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                &r.content_fingerprint(),
+                expected,
+                "server_loopback disagrees with per-document verification on doc {i}"
+            );
+        }
+    }
     // Deadline-pressure correctness: exactly half the submissions expire
     // (partial, zero rows scanned), the surviving half is bit-identical to
     // per-document verification.
@@ -300,6 +362,7 @@ fn main() {
     // Expired documents contribute zero to every scheduling counter, so
     // summing over all reports counts exactly the completed half.
     let run_deadline = || counters(&run_stream_deadline(&case.db, &cfg, &texts, 8));
+    let run_loopback = || counters(&run_server_loopback(&case.db, &cfg, &texts, 4));
 
     let variant = |name, workers: u32, (median, c): (u64, RunCounters)| {
         let secs = median as f64 / 1e9;
@@ -340,6 +403,7 @@ fn main() {
         variant("stream_4w", 4, median_timed_ns(samples, || run_stream(4))),
         variant("stream_8w", 8, median_timed_ns(samples, || run_stream(8))),
         variant("stream_deadline", 8, median_timed_ns(samples, run_deadline)),
+        variant("server_loopback", 4, median_timed_ns(samples, run_loopback)),
     ];
 
     let sequential_ns = variants[0].median_ns as f64;
@@ -367,6 +431,17 @@ fn main() {
     assert_eq!(
         deadline_variant.scan_passes, stream[0].scan_passes,
         "stream_deadline's completed docs formed different passes than the dedup-gated baseline"
+    );
+    // The wire changes how documents arrive, never what the substrate
+    // scans: one client = one lane = the in-process arrival order.
+    let loopback_variant = &variants[9];
+    assert_eq!(
+        loopback_variant.rows_scanned_per_run, stream[0].rows_scanned_per_run,
+        "server_loopback scanned different rows than the dedup-gated baseline"
+    );
+    assert_eq!(
+        loopback_variant.scan_passes, stream[0].scan_passes,
+        "server_loopback formed different passes than the dedup-gated baseline"
     );
 
     let mut json = String::new();

@@ -183,6 +183,16 @@ pub struct StreamConfig {
     /// spent and the last worker dies, queued documents settle with
     /// [`crate::pipeline::CheckerError::Stream`] instead of hanging.
     pub max_respawns: usize,
+    /// Per-lane cap on queued documents (multi-client fairness). The
+    /// intake holds one round-robin lane per client
+    /// ([`SubmitOptions::lane`](crate::stream::SubmitOptions)); with a cap,
+    /// one flooding client saturates only its own lane — its submissions
+    /// block or reject while other lanes still have room — instead of the
+    /// whole queue. 0 disables the per-lane cap (a lane may then use every
+    /// slot of `intake_capacity`). Single-lane callers (the plain `submit`
+    /// family) are unaffected unless the cap is tighter than
+    /// `intake_capacity`.
+    pub lane_capacity: usize,
 }
 
 impl Default for StreamConfig {
@@ -192,6 +202,7 @@ impl Default for StreamConfig {
             policy: IntakePolicy::Block,
             workers: 0,
             max_respawns: 2,
+            lane_capacity: 0,
         }
     }
 }
@@ -303,6 +314,7 @@ mod tests {
         assert_eq!(s.policy, IntakePolicy::Block);
         assert_eq!(s.workers, 0, "0 defers to CheckerConfig::threads");
         assert_eq!(s.max_respawns, 2);
+        assert_eq!(s.lane_capacity, 0, "0 = no per-lane cap");
         s.validate().unwrap();
         let bad = StreamConfig {
             intake_capacity: 0,

@@ -57,9 +57,9 @@ pub use keywords::{claim_keywords, WeightedKeyword};
 pub use matching::{match_claim, ClaimScores};
 pub use model::Theta;
 pub use pipeline::{
-    AggChecker, BatchVerifier, CheckedClaim, CheckerError, RankedQuery, ReportStatus, RunStats,
-    Verdict, VerificationReport,
+    AggChecker, BatchVerifier, CheckedClaim, CheckerError, ClaimProgress, ProgressObserver,
+    RankedQuery, ReportStatus, RunStats, Verdict, VerificationReport,
 };
 pub use rounding::matches_claim;
 pub use scope::Scope;
-pub use stream::{StreamStats, StreamingVerifier, SubmitError, Ticket};
+pub use stream::{StreamStats, StreamingVerifier, SubmitError, SubmitOptions, Ticket};

@@ -274,6 +274,46 @@ impl DocControl {
     }
 }
 
+/// One claim's state at an evaluation-wave boundary, pushed to a
+/// [`ProgressObserver`]. A cheap projection of what the final
+/// [`CheckedClaim`] will carry: the verdict and correctness probability
+/// of the wave that just completed, without materializing top-k query
+/// descriptions. `claim` is the stable document-order id
+/// ([`ClaimMention::id`](agg_nlp::claims::ClaimMention)), so subscribers
+/// can correlate progress updates with the settled report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClaimProgress {
+    /// Stable claim id (document order); equals the index into
+    /// [`VerificationReport::claims`].
+    pub claim: usize,
+    /// The value the text claims.
+    pub claimed_value: f64,
+    /// Verdict as of this wave. Later waves may revise it: the EM loop
+    /// re-ranks candidate queries as document priors sharpen.
+    pub verdict: Verdict,
+    /// Probability mass on candidates matching the claimed value, as of
+    /// this wave.
+    pub correctness_probability: f64,
+}
+
+/// Subscription to per-wave verdict progress, threaded through the
+/// streaming service into the pipeline's EM loop (the mechanism behind
+/// the binary protocol's incremental verdict frames — see
+/// `crates/server`). Called on the worker thread driving the document, at
+/// every wave boundary, with every claim's current state.
+///
+/// `last` is true for the wave whose verdicts are final *if the run
+/// completes*; a deadline or cancellation striking at a later wave
+/// boundary can still end the run with an earlier wave's state, so only
+/// the settled [`VerificationReport`] is authoritative. Implementations
+/// must be cheap and must not block: the EM loop waits for the callback
+/// to return before starting the next wave.
+pub trait ProgressObserver: Send + Sync {
+    /// One completed evaluation wave: `wave` is the 1-based EM iteration,
+    /// `claims` holds every claim's state after it.
+    fn wave_complete(&self, wave: usize, last: bool, claims: &[ClaimProgress]);
+}
+
 /// How one document's evaluation work is executed — the plumbing that
 /// lets solo, batched, and streaming verification share
 /// `check_document_with` while drawing parallelism from different places.
@@ -302,6 +342,9 @@ pub(crate) struct ExecContext<'e> {
     /// Per-document abort control (streaming deadlines and cancellation).
     /// `None` for solo and batch runs, which always run to completion.
     pub(crate) ctrl: Option<&'e DocControl>,
+    /// Per-wave verdict subscription (streaming incremental delivery).
+    /// `None` everywhere else; observation never changes evaluation.
+    pub(crate) observer: Option<&'e dyn ProgressObserver>,
 }
 
 /// The AggChecker: verify text summaries of a relational data set.
@@ -378,6 +421,7 @@ impl AggChecker {
                 bundling: TaskBundling::Wave,
                 fuse: self.config.fuse_scans,
                 ctrl: None,
+                observer: None,
             },
         )
     }
@@ -540,7 +584,41 @@ impl AggChecker {
                 .zip(distributions)
                 .map(|((set, res), dist)| (set, res, dist))
                 .collect();
-            if converged || em_iterations == max_iters {
+            let last = converged || em_iterations == max_iters;
+            if let Some(observer) = ctx.observer {
+                let progress: Vec<ClaimProgress> = claims
+                    .iter()
+                    .zip(&final_state)
+                    .map(|(claim, (_, results, dist))| {
+                        // Same most-likely-candidate rule the final report
+                        // applies in `build_checked_claim`, minus the top-k
+                        // materialization.
+                        let verdict = match dist.top.first() {
+                            None => Verdict::Unverifiable,
+                            Some((cand, _)) => {
+                                let matched = results
+                                    .get(cand.combo as usize, cand.pair as usize)
+                                    .is_some_and(|r| {
+                                        crate::rounding::matches_claim(r, &claim.number)
+                                    });
+                                if matched {
+                                    Verdict::Correct
+                                } else {
+                                    Verdict::Erroneous
+                                }
+                            }
+                        };
+                        ClaimProgress {
+                            claim: claim.id,
+                            claimed_value: claim.number.value,
+                            verdict,
+                            correctness_probability: dist.correctness,
+                        }
+                    })
+                    .collect();
+                observer.wave_complete(em_iterations, last, &progress);
+            }
+            if last {
                 break;
             }
         }
@@ -816,6 +894,7 @@ impl BatchVerifier {
                 bundling: TaskBundling::Canonical,
                 fuse: self.checker.config.fuse_scans,
                 ctrl: None,
+                observer: None,
             };
             return docs
                 .iter()
@@ -848,6 +927,7 @@ impl BatchVerifier {
                                 bundling: TaskBundling::Canonical,
                                 fuse: checker.config.fuse_scans,
                                 ctrl: None,
+                                observer: None,
                             };
                             let mut out = Vec::new();
                             while !failed.load(Ordering::Relaxed) {

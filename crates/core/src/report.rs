@@ -226,6 +226,453 @@ fn escape(s: &str) -> String {
         .replace('"', "&quot;")
 }
 
+/// Exact binary round-trip encoding of verification results — the payload
+/// layer of the server's verdict frames (`crates/server` wraps these in
+/// length-prefixed frames; `docs/protocol.md` is the normative spec).
+///
+/// The contract is **bit-exactness**: a [`CheckedClaim`] decoded on the
+/// client compares equal (field by field, including every `f64` bit
+/// pattern — floats travel as IEEE-754 bits, never as text) to the one
+/// the server encoded, so a report reassembled from streamed claim frames
+/// reproduces [`VerificationReport::content_fingerprint`] exactly. The
+/// loopback test suite and the `server_loopback` bench variant hold this
+/// against solo `check_document` runs.
+///
+/// Primitive layer (all integers little-endian):
+/// `u8` | `u32` | `u64` (also carries `usize`) | `f64` as `to_bits` |
+/// `bool` as one byte 0/1 | strings and sequences as a `u32` count
+/// followed by the elements.
+pub mod wire {
+    use crate::pipeline::{
+        CheckedClaim, RankedQuery, ReportStatus, RunStats, Verdict, VerificationReport,
+    };
+    use agg_nlp::claims::ClaimMention;
+    use agg_nlp::numbers::NumberMention;
+    use agg_relational::{
+        AggColumn, AggFunction, ColumnRef, Predicate, SimpleAggregateQuery, Value,
+    };
+    use std::fmt;
+
+    /// A malformed or truncated wire payload.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WireError(pub String);
+
+    impl fmt::Display for WireError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "wire decode error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for WireError {}
+
+    fn err(what: &str) -> WireError {
+        WireError(format!("truncated or invalid {what}"))
+    }
+
+    // --- primitive writers ---
+
+    pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+        out.push(v);
+    }
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+        put_u64(out, v as u64);
+    }
+
+    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+        put_u64(out, v.to_bits());
+    }
+
+    pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+        put_u8(out, v as u8);
+    }
+
+    pub fn put_str(out: &mut Vec<u8>, s: &str) {
+        put_u32(out, s.len() as u32);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    // --- primitive readers (cursor style: the slice advances) ---
+
+    pub fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+        let (&b, rest) = buf.split_first().ok_or_else(|| err("u8"))?;
+        *buf = rest;
+        Ok(b)
+    }
+
+    pub fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+        if buf.len() < 4 {
+            return Err(err("u32"));
+        }
+        let (head, rest) = buf.split_at(4);
+        *buf = rest;
+        Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+        if buf.len() < 8 {
+            return Err(err("u64"));
+        }
+        let (head, rest) = buf.split_at(8);
+        *buf = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    pub fn get_usize(buf: &mut &[u8]) -> Result<usize, WireError> {
+        Ok(get_u64(buf)? as usize)
+    }
+
+    pub fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+        Ok(f64::from_bits(get_u64(buf)?))
+    }
+
+    pub fn get_bool(buf: &mut &[u8]) -> Result<bool, WireError> {
+        match get_u8(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(err("bool")),
+        }
+    }
+
+    pub fn get_str(buf: &mut &[u8]) -> Result<String, WireError> {
+        let len = get_u32(buf)? as usize;
+        if buf.len() < len {
+            return Err(err("string body"));
+        }
+        let (head, rest) = buf.split_at(len);
+        *buf = rest;
+        String::from_utf8(head.to_vec()).map_err(|_| err("string utf-8"))
+    }
+
+    // --- enum codes (the numbers docs/protocol.md tabulates) ---
+
+    /// Stable one-byte code of a [`Verdict`].
+    pub fn verdict_code(v: Verdict) -> u8 {
+        match v {
+            Verdict::Correct => 0,
+            Verdict::Erroneous => 1,
+            Verdict::Unverifiable => 2,
+            Verdict::Unverified => 3,
+        }
+    }
+
+    /// Inverse of [`verdict_code`].
+    pub fn verdict_from(code: u8) -> Result<Verdict, WireError> {
+        Ok(match code {
+            0 => Verdict::Correct,
+            1 => Verdict::Erroneous,
+            2 => Verdict::Unverifiable,
+            3 => Verdict::Unverified,
+            _ => return Err(err("verdict code")),
+        })
+    }
+
+    /// Stable one-byte code of a [`ReportStatus`].
+    pub fn status_code(s: ReportStatus) -> u8 {
+        match s {
+            ReportStatus::Complete => 0,
+            ReportStatus::TimedOut => 1,
+            ReportStatus::Cancelled => 2,
+        }
+    }
+
+    /// Inverse of [`status_code`].
+    pub fn status_from(code: u8) -> Result<ReportStatus, WireError> {
+        Ok(match code {
+            0 => ReportStatus::Complete,
+            1 => ReportStatus::TimedOut,
+            2 => ReportStatus::Cancelled,
+            _ => return Err(err("report status code")),
+        })
+    }
+
+    fn function_code(f: AggFunction) -> u8 {
+        match f {
+            AggFunction::Count => 0,
+            AggFunction::CountDistinct => 1,
+            AggFunction::Sum => 2,
+            AggFunction::Avg => 3,
+            AggFunction::Min => 4,
+            AggFunction::Max => 5,
+            AggFunction::Percentage => 6,
+            AggFunction::ConditionalProbability => 7,
+            AggFunction::Median => 8,
+        }
+    }
+
+    fn function_from(code: u8) -> Result<AggFunction, WireError> {
+        Ok(match code {
+            0 => AggFunction::Count,
+            1 => AggFunction::CountDistinct,
+            2 => AggFunction::Sum,
+            3 => AggFunction::Avg,
+            4 => AggFunction::Min,
+            5 => AggFunction::Max,
+            6 => AggFunction::Percentage,
+            7 => AggFunction::ConditionalProbability,
+            8 => AggFunction::Median,
+            _ => return Err(err("aggregate function code")),
+        })
+    }
+
+    // --- composite encoders/decoders ---
+
+    fn put_column_ref(out: &mut Vec<u8>, c: ColumnRef) {
+        put_usize(out, c.table);
+        put_usize(out, c.column);
+    }
+
+    fn get_column_ref(buf: &mut &[u8]) -> Result<ColumnRef, WireError> {
+        Ok(ColumnRef {
+            table: get_usize(buf)?,
+            column: get_usize(buf)?,
+        })
+    }
+
+    fn put_value(out: &mut Vec<u8>, v: &Value) {
+        match v {
+            Value::Null => put_u8(out, 0),
+            Value::Int(i) => {
+                put_u8(out, 1);
+                put_u64(out, *i as u64);
+            }
+            Value::Float(f) => {
+                put_u8(out, 2);
+                put_f64(out, *f);
+            }
+            Value::Str(s) => {
+                put_u8(out, 3);
+                put_str(out, s);
+            }
+        }
+    }
+
+    fn get_value(buf: &mut &[u8]) -> Result<Value, WireError> {
+        Ok(match get_u8(buf)? {
+            0 => Value::Null,
+            1 => Value::Int(get_u64(buf)? as i64),
+            2 => Value::Float(get_f64(buf)?),
+            3 => Value::Str(get_str(buf)?),
+            _ => return Err(err("value tag")),
+        })
+    }
+
+    /// Encode a [`SimpleAggregateQuery`] (function code, column, predicates).
+    pub fn put_query(out: &mut Vec<u8>, q: &SimpleAggregateQuery) {
+        put_u8(out, function_code(q.function));
+        match q.column {
+            AggColumn::Star => put_u8(out, 0),
+            AggColumn::Column(c) => {
+                put_u8(out, 1);
+                put_column_ref(out, c);
+            }
+        }
+        put_u32(out, q.predicates.len() as u32);
+        for p in &q.predicates {
+            put_column_ref(out, p.column);
+            put_value(out, &p.value);
+        }
+    }
+
+    /// Inverse of [`put_query`].
+    pub fn get_query(buf: &mut &[u8]) -> Result<SimpleAggregateQuery, WireError> {
+        let function = function_from(get_u8(buf)?)?;
+        let column = match get_u8(buf)? {
+            0 => AggColumn::Star,
+            1 => AggColumn::Column(get_column_ref(buf)?),
+            _ => return Err(err("aggregate column tag")),
+        };
+        let n = get_u32(buf)? as usize;
+        let mut predicates = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            predicates.push(Predicate {
+                column: get_column_ref(buf)?,
+                value: get_value(buf)?,
+            });
+        }
+        Ok(SimpleAggregateQuery {
+            function,
+            column,
+            predicates,
+        })
+    }
+
+    fn put_mention(out: &mut Vec<u8>, m: &ClaimMention) {
+        put_u32(out, m.section.len() as u32);
+        for step in &m.section {
+            put_usize(out, *step);
+        }
+        put_usize(out, m.paragraph);
+        put_usize(out, m.sentence);
+        let n = &m.number;
+        put_f64(out, n.value);
+        put_usize(out, n.token_start);
+        put_usize(out, n.token_end);
+        put_u32(out, n.significant_digits);
+        put_u32(out, n.decimal_places);
+        let flags =
+            (n.is_percentage as u8) | (n.spelled_out as u8) << 1 | (n.had_separator as u8) << 2;
+        put_u8(out, flags);
+        put_usize(out, m.id);
+    }
+
+    fn get_mention(buf: &mut &[u8]) -> Result<ClaimMention, WireError> {
+        let depth = get_u32(buf)? as usize;
+        let mut section = Vec::with_capacity(depth.min(1024));
+        for _ in 0..depth {
+            section.push(get_usize(buf)?);
+        }
+        let paragraph = get_usize(buf)?;
+        let sentence = get_usize(buf)?;
+        let value = get_f64(buf)?;
+        let token_start = get_usize(buf)?;
+        let token_end = get_usize(buf)?;
+        let significant_digits = get_u32(buf)?;
+        let decimal_places = get_u32(buf)?;
+        let flags = get_u8(buf)?;
+        if flags & !0b111 != 0 {
+            return Err(err("number-mention flags"));
+        }
+        let id = get_usize(buf)?;
+        Ok(ClaimMention {
+            section,
+            paragraph,
+            sentence,
+            number: NumberMention {
+                value,
+                token_start,
+                token_end,
+                significant_digits,
+                decimal_places,
+                is_percentage: flags & 1 != 0,
+                spelled_out: flags & 2 != 0,
+                had_separator: flags & 4 != 0,
+            },
+            id,
+        })
+    }
+
+    /// Encode one settled claim, every field exactly.
+    pub fn put_claim(out: &mut Vec<u8>, c: &CheckedClaim) {
+        put_mention(out, &c.mention);
+        put_str(out, &c.sentence);
+        put_f64(out, c.claimed_value);
+        put_u32(out, c.top_queries.len() as u32);
+        for rq in &c.top_queries {
+            put_query(out, &rq.query);
+            put_f64(out, rq.probability);
+            match rq.result {
+                None => put_u8(out, 0),
+                Some(r) => {
+                    put_u8(out, 1);
+                    put_f64(out, r);
+                }
+            }
+            put_bool(out, rq.matches);
+            put_str(out, &rq.description);
+        }
+        put_f64(out, c.correctness_probability);
+        put_u8(out, verdict_code(c.verdict));
+    }
+
+    /// Inverse of [`put_claim`].
+    pub fn get_claim(buf: &mut &[u8]) -> Result<CheckedClaim, WireError> {
+        let mention = get_mention(buf)?;
+        let sentence = get_str(buf)?;
+        let claimed_value = get_f64(buf)?;
+        let k = get_u32(buf)? as usize;
+        let mut top_queries = Vec::with_capacity(k.min(1024));
+        for _ in 0..k {
+            let query = get_query(buf)?;
+            let probability = get_f64(buf)?;
+            let result = match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_f64(buf)?),
+                _ => return Err(err("result tag")),
+            };
+            let matches = get_bool(buf)?;
+            let description = get_str(buf)?;
+            top_queries.push(RankedQuery {
+                query,
+                probability,
+                result,
+                matches,
+                description,
+            });
+        }
+        let correctness_probability = get_f64(buf)?;
+        let verdict = verdict_from(get_u8(buf)?)?;
+        Ok(CheckedClaim {
+            mention,
+            sentence,
+            claimed_value,
+            top_queries,
+            correctness_probability,
+            verdict,
+        })
+    }
+
+    /// Encode the scheduling-independent [`RunStats`] counters (wall-clock
+    /// durations are not wire-visible: they are excluded from
+    /// [`VerificationReport::content_fingerprint`] and decode as zero).
+    pub fn put_stats(out: &mut Vec<u8>, s: &RunStats) {
+        put_usize(out, s.claims);
+        put_usize(out, s.em_iterations);
+        put_u64(out, s.candidates_evaluated);
+        put_u64(out, s.cubes_executed);
+        put_u64(out, s.cubes_cached);
+        put_u64(out, s.rows_scanned);
+        put_u64(out, s.tasks_executed);
+        put_u64(out, s.tasks_deduped);
+        put_u64(out, s.singleflight_waits);
+        put_u64(out, s.scan_passes);
+        put_u64(out, s.poison_retries);
+        put_f64(out, s.candidate_space_log10);
+    }
+
+    /// Inverse of [`put_stats`].
+    pub fn get_stats(buf: &mut &[u8]) -> Result<RunStats, WireError> {
+        Ok(RunStats {
+            claims: get_usize(buf)?,
+            em_iterations: get_usize(buf)?,
+            candidates_evaluated: get_u64(buf)?,
+            cubes_executed: get_u64(buf)?,
+            cubes_cached: get_u64(buf)?,
+            rows_scanned: get_u64(buf)?,
+            tasks_executed: get_u64(buf)?,
+            tasks_deduped: get_u64(buf)?,
+            singleflight_waits: get_u64(buf)?,
+            scan_passes: get_u64(buf)?,
+            poison_retries: get_u64(buf)?,
+            elapsed: std::time::Duration::ZERO,
+            query_time: std::time::Duration::ZERO,
+            candidate_space_log10: get_f64(buf)?,
+        })
+    }
+
+    /// Reassemble a [`VerificationReport`] from decoded parts — what a
+    /// binary client does after its last claim frame.
+    pub fn assemble_report(
+        claims: Vec<CheckedClaim>,
+        stats: RunStats,
+        status: ReportStatus,
+    ) -> VerificationReport {
+        VerificationReport {
+            claims,
+            stats,
+            status,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +749,71 @@ mod tests {
     #[test]
     fn html_escapes_content() {
         assert_eq!(escape("a<b&c\"d"), "a&lt;b&amp;c&quot;d");
+    }
+
+    /// The wire contract at its core: claims and stats decoded from their
+    /// binary encoding reproduce the report's `content_fingerprint`
+    /// bit-exactly (f64s travel as IEEE-754 bits, never as text).
+    #[test]
+    fn wire_round_trip_preserves_fingerprint() {
+        let (_, _, report) = setup();
+        assert!(!report.claims.is_empty());
+        let mut decoded_claims = Vec::new();
+        for claim in &report.claims {
+            let mut buf = Vec::new();
+            wire::put_claim(&mut buf, claim);
+            let mut cursor = &buf[..];
+            let decoded = wire::get_claim(&mut cursor).unwrap();
+            assert!(cursor.is_empty(), "decode must consume the payload");
+            assert_eq!(format!("{claim:?}"), format!("{decoded:?}"));
+            decoded_claims.push(decoded);
+        }
+        let mut buf = Vec::new();
+        wire::put_stats(&mut buf, &report.stats);
+        let stats = wire::get_stats(&mut &buf[..]).unwrap();
+        let reassembled = wire::assemble_report(decoded_claims, stats, report.status);
+        assert_eq!(
+            reassembled.content_fingerprint(),
+            report.content_fingerprint()
+        );
+    }
+
+    /// Truncated payloads and bad tags decode to errors, never panics.
+    #[test]
+    fn wire_rejects_malformed_payloads() {
+        let (_, _, report) = setup();
+        let mut buf = Vec::new();
+        wire::put_claim(&mut buf, &report.claims[0]);
+        for cut in 0..buf.len() {
+            assert!(
+                wire::get_claim(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+        assert!(wire::verdict_from(200).is_err());
+        assert!(wire::status_from(9).is_err());
+        assert!(wire::get_str(&mut &[255u8, 255, 255, 255][..]).is_err());
+    }
+
+    /// The enum codes are part of the written protocol (docs/protocol.md)
+    /// and must never drift.
+    #[test]
+    fn wire_enum_codes_are_stable() {
+        use crate::pipeline::{ReportStatus, Verdict};
+        assert_eq!(wire::verdict_code(Verdict::Correct), 0);
+        assert_eq!(wire::verdict_code(Verdict::Erroneous), 1);
+        assert_eq!(wire::verdict_code(Verdict::Unverifiable), 2);
+        assert_eq!(wire::verdict_code(Verdict::Unverified), 3);
+        assert_eq!(wire::status_code(ReportStatus::Complete), 0);
+        assert_eq!(wire::status_code(ReportStatus::TimedOut), 1);
+        assert_eq!(wire::status_code(ReportStatus::Cancelled), 2);
+        for v in [
+            Verdict::Correct,
+            Verdict::Erroneous,
+            Verdict::Unverifiable,
+            Verdict::Unverified,
+        ] {
+            assert_eq!(wire::verdict_from(wire::verdict_code(v)).unwrap(), v);
+        }
     }
 }

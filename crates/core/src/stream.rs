@@ -113,7 +113,8 @@
 use crate::config::{CheckerConfig, IntakePolicy, StreamConfig};
 use crate::evaluate::TaskBundling;
 use crate::pipeline::{
-    AggChecker, CheckerError, DocControl, ExecContext, ReportStatus, VerificationReport,
+    AggChecker, CheckerError, DocControl, ExecContext, ProgressObserver, ReportStatus,
+    VerificationReport,
 };
 use agg_nlp::structure::{parse_document, Document};
 use agg_relational::{CubeScheduler, Database, GridArena};
@@ -213,15 +214,9 @@ impl Ticket {
         };
         let sub = {
             let mut intake = lock(&shared.intake);
-            let pos = intake
-                .queue
-                .iter()
-                .position(|s| Arc::ptr_eq(&s.cell, &self.cell));
-            let sub = pos.map(|p| intake.queue.remove(p).expect("position is in range"));
+            let sub = intake.remove_cell(&self.cell);
             if sub.is_some() {
-                shared
-                    .queue_len
-                    .store(intake.queue.len(), Ordering::Release);
+                shared.queue_len.store(intake.len, Ordering::Release);
             }
             sub
         };
@@ -243,8 +238,37 @@ impl Ticket {
         sub.cell.settle(Ok(report));
     }
 
+    /// Take the settled result without blocking: `None` while the
+    /// document is still queued or in flight, `Some` exactly once when it
+    /// has settled. Pollers (the HTTP `GET /v1/documents/{id}` path) call
+    /// this instead of [`wait`](Ticket::wait), which blocks and consumes
+    /// the ticket. After a successful take, a later `wait` on the same
+    /// ticket returns [`CheckerError::Stream`].
+    pub fn try_take(&self) -> Option<Result<VerificationReport, CheckerError>> {
+        let mut state = lock(&self.cell.state);
+        if !matches!(*state, TicketState::Done(_)) {
+            return None;
+        }
+        match std::mem::replace(&mut *state, TicketState::Taken) {
+            TicketState::Done(result) => Some(result),
+            TicketState::Pending | TicketState::Taken => unreachable!("just matched Done"),
+        }
+    }
+
     /// Block until the document's verification settles.
     pub fn wait(self) -> Result<VerificationReport, CheckerError> {
+        self.wait_ref()
+    }
+
+    /// [`wait`](Ticket::wait) through a shared reference: blocks until the
+    /// document settles and takes the result exactly once, without
+    /// consuming the ticket. Network front-ends keep the ticket in an
+    /// `Arc` — a watcher thread blocks here streaming the result out
+    /// while the connection handler retains the same ticket for
+    /// [`cancel`](Ticket::cancel) on client disconnect. A second
+    /// `wait_ref` (or `wait`) after the result was taken returns
+    /// [`CheckerError::Stream`].
+    pub fn wait_ref(&self) -> Result<VerificationReport, CheckerError> {
         let mut state = lock(&self.cell.state);
         while matches!(*state, TicketState::Pending) {
             state = self
@@ -255,9 +279,12 @@ impl Ticket {
         }
         match std::mem::replace(&mut *state, TicketState::Taken) {
             TicketState::Done(result) => result,
-            // `wait` consumes the only handle, so the result cannot have
-            // been taken before, and Pending was just ruled out.
-            TicketState::Pending | TicketState::Taken => unreachable!("ticket settles once"),
+            // Pending was just ruled out; Taken means a prior
+            // [`Ticket::try_take`] already claimed the result.
+            TicketState::Pending => unreachable!("ticket settles once"),
+            TicketState::Taken => Err(CheckerError::Stream(
+                "report already taken from this ticket".into(),
+            )),
         }
     }
 }
@@ -365,16 +392,136 @@ struct Submission {
     cell: Arc<TicketCell>,
     /// Deadline + cancellation flag, shared with this document's ticket.
     ctrl: Arc<DocControl>,
+    /// Per-wave verdict subscription, forwarded into the pipeline's
+    /// [`ExecContext`] by the worker that drives this document.
+    observer: Option<Arc<dyn ProgressObserver>>,
+}
+
+/// Options for one submission beyond the document itself. `Default` is
+/// exactly the plain [`StreamingVerifier::submit`]: no deadline, lane 0,
+/// no observer.
+#[derive(Clone, Default)]
+pub struct SubmitOptions {
+    /// Abort verification at the first wave boundary past this instant
+    /// and settle the ticket with a [`ReportStatus::TimedOut`] partial
+    /// report. `None` = no deadline.
+    pub deadline: Option<Instant>,
+    /// Client lane for intake fairness. Documents of one lane stay FIFO
+    /// relative to each other; distinct lanes are drained round-robin, so
+    /// a flooding client delays its own backlog, not everyone's. Callers
+    /// that never set this share lane 0 and see plain FIFO intake.
+    pub lane: u64,
+    /// Per-wave verdict subscription (see [`ProgressObserver`]): called on
+    /// the driving worker at every completed evaluation wave. The settled
+    /// report on the [`Ticket`] remains the authoritative result.
+    pub observer: Option<Arc<dyn ProgressObserver>>,
+}
+
+impl fmt::Debug for SubmitOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubmitOptions")
+            .field("deadline", &self.deadline)
+            .field("lane", &self.lane)
+            .field("observer", &self.observer.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 #[derive(Default)]
 struct Intake {
-    queue: VecDeque<Submission>,
+    /// One FIFO per client lane, in lane-creation order. Invariant: no
+    /// lane is ever empty — a lane drains away the moment its last queued
+    /// submission leaves — so the round-robin scan never spins over dead
+    /// lanes and a long-lived service does not accumulate per-client
+    /// state.
+    lanes: Vec<(u64, VecDeque<Submission>)>,
+    /// Round-robin cursor: index into `lanes` of the next lane to serve.
+    cursor: usize,
+    /// Total queued submissions across all lanes.
+    len: usize,
     /// No further submissions are accepted.
     closed: bool,
     /// Shutdown fast path: workers reject queued submissions instead of
     /// verifying them.
     rejecting: bool,
+}
+
+impl Intake {
+    fn lane_len(&self, lane: u64) -> usize {
+        self.lanes
+            .iter()
+            .find(|(id, _)| *id == lane)
+            .map_or(0, |(_, q)| q.len())
+    }
+
+    fn push(&mut self, lane: u64, sub: Submission) {
+        self.len += 1;
+        match self.lanes.iter_mut().find(|(id, _)| *id == lane) {
+            Some((_, queue)) => queue.push_back(sub),
+            None => self.lanes.push((lane, VecDeque::from([sub]))),
+        }
+    }
+
+    /// Pop the next submission, round-robin across client lanes. With a
+    /// single lane this is plain FIFO — the in-process `submit` path —
+    /// so the deterministic arrival order the dedup gates pin is
+    /// unchanged.
+    fn pop(&mut self) -> Option<Submission> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        if self.cursor >= self.lanes.len() {
+            self.cursor = 0;
+        }
+        let (_, queue) = &mut self.lanes[self.cursor];
+        let sub = queue.pop_front().expect("no lane is ever empty");
+        self.len -= 1;
+        if queue.is_empty() {
+            // Removing at the cursor leaves it pointing at the next lane.
+            self.lanes.remove(self.cursor);
+        } else {
+            self.cursor += 1;
+        }
+        if self.cursor >= self.lanes.len() {
+            self.cursor = 0;
+        }
+        Some(sub)
+    }
+
+    /// Remove one specific queued submission (ticket cancellation).
+    fn remove_cell(&mut self, cell: &Arc<TicketCell>) -> Option<Submission> {
+        for li in 0..self.lanes.len() {
+            let queue = &mut self.lanes[li].1;
+            let Some(pos) = queue.iter().position(|s| Arc::ptr_eq(&s.cell, cell)) else {
+                continue;
+            };
+            let sub = queue.remove(pos).expect("position is in range");
+            self.len -= 1;
+            if queue.is_empty() {
+                self.lanes.remove(li);
+                if self.cursor > li {
+                    self.cursor -= 1;
+                }
+                if self.cursor >= self.lanes.len() {
+                    self.cursor = 0;
+                }
+            }
+            return Some(sub);
+        }
+        None
+    }
+
+    /// Drain every queued submission (shutdown paths), lane by lane.
+    fn take_all(&mut self) -> Vec<Submission> {
+        self.len = 0;
+        self.cursor = 0;
+        self.lanes.drain(..).flat_map(|(_, queue)| queue).collect()
+    }
+
+    /// Live lanes and their queued depths.
+    fn depths(&self) -> Vec<(u64, usize)> {
+        self.lanes.iter().map(|(id, q)| (*id, q.len())).collect()
+    }
 }
 
 struct Shared {
@@ -384,6 +531,8 @@ struct Shared {
     /// Wakes submitters blocked on a full queue ([`IntakePolicy::Block`]).
     space: Condvar,
     capacity: usize,
+    /// Per-lane queue cap ([`StreamConfig::lane_capacity`]); 0 = none.
+    lane_capacity: usize,
     policy: IntakePolicy,
     /// Lock-free mirrors of the intake state, readable from
     /// `help_until`'s recall predicate without taking the intake lock.
@@ -486,7 +635,7 @@ fn dead_pool_drain(shared: &Shared) {
         let mut intake = lock(&shared.intake);
         intake.closed = true;
         intake.rejecting = true;
-        std::mem::take(&mut intake.queue)
+        intake.take_all()
     };
     shared.closed.store(true, Ordering::Release);
     shared.queue_len.store(0, Ordering::Release);
@@ -577,10 +726,8 @@ fn worker_loop(shared: &Shared) {
         let sub = {
             let mut intake = lock(&shared.intake);
             loop {
-                if let Some(sub) = intake.queue.pop_front() {
-                    shared
-                        .queue_len
-                        .store(intake.queue.len(), Ordering::Release);
+                if let Some(sub) = intake.pop() {
+                    shared.queue_len.store(intake.len, Ordering::Release);
                     // A slot freed: admit one blocked submitter.
                     shared.space.notify_one();
                     if intake.rejecting {
@@ -615,7 +762,12 @@ fn worker_loop(shared: &Shared) {
             shared.scheduler.kick();
             return;
         };
-        let Submission { doc, cell, ctrl } = sub;
+        let Submission {
+            doc,
+            cell,
+            ctrl,
+            observer,
+        } = sub;
         let guard = DocGuard {
             shared,
             cell: Some(cell),
@@ -639,6 +791,7 @@ fn worker_loop(shared: &Shared) {
                 bundling: TaskBundling::Canonical,
                 fuse: shared.checker.config().fuse_scans,
                 ctrl: Some(&ctrl),
+                observer: observer.as_deref(),
             };
             shared.checker.check_document_with(&doc, &ctx)
         };
@@ -687,6 +840,7 @@ impl StreamingVerifier {
             intake: Mutex::new(Intake::default()),
             space: Condvar::new(),
             capacity: stream.intake_capacity,
+            lane_capacity: stream.lane_capacity,
             policy: stream.policy,
             queue_len: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
@@ -753,6 +907,22 @@ impl StreamingVerifier {
         self.submit_with_deadline(parse_document(text), deadline)
     }
 
+    /// Parse and submit a text document with full [`SubmitOptions`]
+    /// (deadline, client lane, per-wave observer) — the path network
+    /// front-ends use. Applies the same cheap overload pre-check as
+    /// [`submit_text_with_deadline`](StreamingVerifier::submit_text_with_deadline).
+    pub fn submit_text_with(&self, text: &str, opts: SubmitOptions) -> Result<Ticket, SubmitError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(SubmitError::Closed);
+        }
+        if self.shared.policy == IntakePolicy::Reject
+            && self.shared.queue_len.load(Ordering::Acquire) >= self.shared.capacity
+        {
+            return Err(SubmitError::Full);
+        }
+        self.submit_with(parse_document(text), opts)
+    }
+
     /// Submit a parsed document for verification. Returns immediately with
     /// a [`Ticket`] unless the queue is full under [`IntakePolicy::Block`],
     /// in which case the call blocks until a slot frees (or the stream
@@ -773,6 +943,24 @@ impl StreamingVerifier {
         doc: Document,
         deadline: Option<Instant>,
     ) -> Result<Ticket, SubmitError> {
+        self.submit_with(
+            doc,
+            SubmitOptions {
+                deadline,
+                ..SubmitOptions::default()
+            },
+        )
+    }
+
+    /// The fully general submission path: deadline, client lane, and
+    /// per-wave verdict observer in one [`SubmitOptions`]. All other
+    /// `submit*` methods delegate here.
+    pub fn submit_with(&self, doc: Document, opts: SubmitOptions) -> Result<Ticket, SubmitError> {
+        let SubmitOptions {
+            deadline,
+            lane,
+            observer,
+        } = opts;
         let cell = Arc::new(TicketCell::new());
         let ctrl = Arc::new(DocControl::new(deadline));
         {
@@ -781,7 +969,9 @@ impl StreamingVerifier {
                 if intake.closed {
                     return Err(SubmitError::Closed);
                 }
-                if intake.queue.len() < self.shared.capacity {
+                let lane_full = self.shared.lane_capacity > 0
+                    && intake.lane_len(lane) >= self.shared.lane_capacity;
+                if intake.len < self.shared.capacity && !lane_full {
                     break;
                 }
                 match self.shared.policy {
@@ -795,12 +985,16 @@ impl StreamingVerifier {
                     }
                 }
             }
-            intake.queue.push_back(Submission {
-                doc,
-                cell: cell.clone(),
-                ctrl: ctrl.clone(),
-            });
-            let depth = intake.queue.len();
+            intake.push(
+                lane,
+                Submission {
+                    doc,
+                    cell: cell.clone(),
+                    ctrl: ctrl.clone(),
+                    observer,
+                },
+            );
+            let depth = intake.len;
             self.shared.queue_len.store(depth, Ordering::Release);
             self.shared
                 .counters
@@ -820,6 +1014,94 @@ impl StreamingVerifier {
         })
     }
 
+    /// Submit several documents in **one admission**: the whole batch
+    /// enters the intake under a single lock hold and a single worker
+    /// recall, so with free workers the batch's first evaluation waves
+    /// form together and their same-scope cubes coalesce into shared
+    /// fused passes (`run_requests`) instead of meeting only at the
+    /// single-flight cache. Every document shares `opts`' deadline, lane,
+    /// and observer; each gets its own [`Ticket`] (returned in input
+    /// order).
+    ///
+    /// The batch is admitted atomically — all or none. It must fit the
+    /// free capacity (and the lane cap, if configured): under
+    /// [`IntakePolicy::Reject`] an oversized batch fails with
+    /// [`SubmitError::Full`]; under [`IntakePolicy::Block`] the call
+    /// waits until the whole batch fits, or fails with
+    /// [`SubmitError::Full`] if it can *never* fit (more documents than
+    /// `intake_capacity`).
+    pub fn submit_batch(
+        &self,
+        docs: Vec<Document>,
+        opts: SubmitOptions,
+    ) -> Result<Vec<Ticket>, SubmitError> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = docs.len();
+        if n > self.shared.capacity
+            || (self.shared.lane_capacity > 0 && n > self.shared.lane_capacity)
+        {
+            return Err(SubmitError::Full);
+        }
+        let mut tickets = Vec::with_capacity(n);
+        {
+            let mut intake = lock(&self.shared.intake);
+            loop {
+                if intake.closed {
+                    return Err(SubmitError::Closed);
+                }
+                let lane_room = self.shared.lane_capacity == 0
+                    || intake.lane_len(opts.lane) + n <= self.shared.lane_capacity;
+                if intake.len + n <= self.shared.capacity && lane_room {
+                    break;
+                }
+                match self.shared.policy {
+                    IntakePolicy::Reject => return Err(SubmitError::Full),
+                    IntakePolicy::Block => {
+                        intake = self
+                            .shared
+                            .space
+                            .wait(intake)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }
+            }
+            for doc in docs {
+                let cell = Arc::new(TicketCell::new());
+                let ctrl = Arc::new(DocControl::new(opts.deadline));
+                intake.push(
+                    opts.lane,
+                    Submission {
+                        doc,
+                        cell: cell.clone(),
+                        ctrl: ctrl.clone(),
+                        observer: opts.observer.clone(),
+                    },
+                );
+                tickets.push(Ticket {
+                    cell,
+                    ctrl,
+                    shared: Arc::downgrade(&self.shared),
+                });
+            }
+            let depth = intake.len;
+            self.shared.queue_len.store(depth, Ordering::Release);
+            self.shared
+                .counters
+                .queue_depth_high_water
+                .fetch_max(depth as u64, Ordering::Relaxed);
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        // One recall for the whole batch: parked workers wake together and
+        // pull adjacent documents of the same admission wave.
+        self.shared.scheduler.kick();
+        Ok(tickets)
+    }
+
     /// Stop accepting submissions. Everything already queued is still
     /// verified (`close` **drains**); blocked submitters wake with
     /// [`SubmitError::Closed`]. Idempotent.
@@ -833,6 +1115,15 @@ impl StreamingVerifier {
     /// Documents queued but not yet picked up.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue_len.load(Ordering::Acquire)
+    }
+
+    /// Queued depth of every live client lane as `(lane, depth)` pairs,
+    /// in lane-creation order. Lanes appear on first submission and
+    /// vanish once drained; the depths sum to
+    /// [`queue_depth`](StreamingVerifier::queue_depth). Network
+    /// front-ends export these as fairness telemetry (`docs/operations.md`).
+    pub fn lane_depths(&self) -> Vec<(u64, usize)> {
+        lock(&self.shared.intake).depths()
     }
 
     /// Documents currently being verified.
@@ -1302,6 +1593,7 @@ Three were for repeated substance abuse, one was for gambling.</p>
             intake: Mutex::new(Intake::default()),
             space: Condvar::new(),
             capacity: 8,
+            lane_capacity: 0,
             policy: IntakePolicy::Block,
             queue_len: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
@@ -1310,11 +1602,15 @@ Three were for repeated substance abuse, one was for gambling.</p>
         };
         let cell = Arc::new(TicketCell::new());
         let ctrl = Arc::new(DocControl::new(None));
-        lock(&shared.intake).queue.push_back(Submission {
-            doc: parse_document(ARTICLE),
-            cell: cell.clone(),
-            ctrl: ctrl.clone(),
-        });
+        lock(&shared.intake).push(
+            0,
+            Submission {
+                doc: parse_document(ARTICLE),
+                cell: cell.clone(),
+                ctrl: ctrl.clone(),
+                observer: None,
+            },
+        );
         shared.queue_len.store(1, Ordering::Release);
         dead_pool_drain(&shared);
         assert!(!matches!(*lock(&cell.state), TicketState::Pending));
@@ -1324,7 +1620,7 @@ Three were for repeated substance abuse, one was for gambling.</p>
         };
         assert!(matches!(result, Err(CheckerError::Stream(_))));
         let intake = lock(&shared.intake);
-        assert!(intake.closed && intake.rejecting && intake.queue.is_empty());
+        assert!(intake.closed && intake.rejecting && intake.len == 0);
         assert_eq!(shared.counters.rejected.load(Ordering::Relaxed), 1);
         assert_eq!(shared.queue_len.load(Ordering::Acquire), 0);
     }
@@ -1466,5 +1762,328 @@ Three were for repeated substance abuse, one was for gambling.</p>
             StreamingVerifier::new(nfl_db(), CheckerConfig::default(), bad),
             Err(CheckerError::Config(_))
         ));
+    }
+
+    /// A per-wave observer sees at least one wave, the final wave is
+    /// flagged `last`, and its verdicts/probabilities agree with the
+    /// settled report — observation never perturbs evaluation (the
+    /// observed report stays bit-identical to solo).
+    #[test]
+    fn progress_observer_matches_settled_report() {
+        use crate::pipeline::ClaimProgress;
+
+        #[derive(Default)]
+        struct Recorder {
+            waves: Mutex<Vec<(usize, bool, Vec<ClaimProgress>)>>,
+        }
+        impl ProgressObserver for Recorder {
+            fn wave_complete(&self, wave: usize, last: bool, claims: &[ClaimProgress]) {
+                lock(&self.waves).push((wave, last, claims.to_vec()));
+            }
+        }
+
+        let db = nfl_db();
+        let cfg = CheckerConfig::default();
+        let solo = solo_fingerprint(&db, &cfg, ARTICLE);
+        let service = StreamingVerifier::new(db, cfg, StreamConfig::default()).unwrap();
+        let recorder = Arc::new(Recorder::default());
+        let ticket = service
+            .submit_text_with(
+                ARTICLE,
+                SubmitOptions {
+                    observer: Some(recorder.clone()),
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        let report = ticket.wait().unwrap();
+        assert_eq!(report.content_fingerprint(), solo, "observation is free");
+
+        let waves = lock(&recorder.waves);
+        assert!(!waves.is_empty(), "at least one wave is observed");
+        // Waves arrive in order, exactly one is last, and it is the final one.
+        for (i, (wave, _, _)) in waves.iter().enumerate() {
+            assert_eq!(*wave, i + 1);
+        }
+        assert_eq!(waves.iter().filter(|(_, last, _)| *last).count(), 1);
+        let (wave, last, progress) = waves.last().unwrap();
+        assert!(*last);
+        assert_eq!(*wave, report.stats.em_iterations);
+        assert_eq!(progress.len(), report.claims.len());
+        for (p, c) in progress.iter().zip(&report.claims) {
+            assert_eq!(p.claim, c.mention.id);
+            assert_eq!(p.verdict, c.verdict);
+            assert_eq!(p.claimed_value.to_bits(), c.claimed_value.to_bits());
+            assert_eq!(
+                p.correctness_probability.to_bits(),
+                c.correctness_probability.to_bits()
+            );
+        }
+    }
+
+    /// Observer that blocks the driving worker at every wave boundary
+    /// until released — pins a 1-worker pool deterministically so
+    /// intake-order tests are race-free.
+    struct GateObserver {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl GateObserver {
+        fn new() -> Arc<GateObserver> {
+            Arc::new(GateObserver {
+                open: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn release(&self) {
+            *lock(&self.open) = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl ProgressObserver for GateObserver {
+        fn wave_complete(&self, _: usize, _: bool, _: &[crate::pipeline::ClaimProgress]) {
+            let mut open = lock(&self.open);
+            while !*open {
+                open = self
+                    .cv
+                    .wait(open)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Observer that logs a tag when a document's final wave completes —
+    /// records the order the pool actually served documents in.
+    struct TagObserver {
+        name: &'static str,
+        log: Arc<Mutex<Vec<&'static str>>>,
+    }
+
+    impl ProgressObserver for TagObserver {
+        fn wave_complete(&self, _: usize, last: bool, _: &[crate::pipeline::ClaimProgress]) {
+            if last {
+                lock(&self.log).push(self.name);
+            }
+        }
+    }
+
+    /// Round-robin lane fairness: with one worker and a flooded lane, the
+    /// light client's single document is served right after the flooder's
+    /// *first* document — bounded skew — instead of behind its whole
+    /// backlog. Deterministic: a gate observer pins the worker inside the
+    /// first document until every submission is queued.
+    #[test]
+    fn lanes_drain_round_robin() {
+        let service = StreamingVerifier::new(
+            nfl_db(),
+            CheckerConfig::default(),
+            StreamConfig {
+                workers: 1,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let gate = GateObserver::new();
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::default();
+        let tag = |name| {
+            Some(Arc::new(TagObserver {
+                name,
+                log: log.clone(),
+            }) as Arc<dyn ProgressObserver>)
+        };
+        let stall = service
+            .submit_text_with(
+                ARTICLE,
+                SubmitOptions {
+                    observer: Some(gate.clone()),
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        // Pinned worker: wait until the stall document is in flight, so
+        // every queue-depth observation below is exact.
+        while service.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let flood: Vec<Ticket> = (0..6)
+            .map(|_| {
+                service
+                    .submit_text_with(
+                        WRONG,
+                        SubmitOptions {
+                            lane: 1,
+                            observer: tag("flood"),
+                            ..SubmitOptions::default()
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let light = service
+            .submit_text_with(
+                ARTICLE,
+                SubmitOptions {
+                    lane: 2,
+                    observer: tag("light"),
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(service.queue_depth(), 7);
+        let depths = service.lane_depths();
+        assert!(
+            depths.contains(&(1, 6)) && depths.contains(&(2, 1)),
+            "{depths:?}"
+        );
+        gate.release();
+        stall.wait().unwrap();
+        light.wait().unwrap();
+        for t in flood {
+            t.wait().unwrap();
+        }
+        // The worker served: flood #1 (round-robin start), then the light
+        // lane, then the rest of the flood — skew bounded by one document.
+        let order = lock(&log).clone();
+        assert_eq!(
+            order,
+            vec!["flood", "light", "flood", "flood", "flood", "flood", "flood"],
+        );
+        assert!(service.lane_depths().is_empty(), "drained lanes are pruned");
+        let stats = service.stats();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.submitted, stats.settled());
+    }
+
+    /// A per-lane cap (`lane_capacity`) rejects the flooder's overflow
+    /// while other lanes still have room. Deterministic via the gate: the
+    /// single worker is pinned, so queue depths cannot drain mid-test.
+    #[test]
+    fn lane_capacity_bounds_one_client() {
+        let service = StreamingVerifier::new(
+            nfl_db(),
+            CheckerConfig::default(),
+            StreamConfig {
+                workers: 1,
+                intake_capacity: 16,
+                lane_capacity: 2,
+                policy: IntakePolicy::Reject,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let gate = GateObserver::new();
+        let stall = service
+            .submit_text_with(
+                ARTICLE,
+                SubmitOptions {
+                    observer: Some(gate.clone()),
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        // Pinned worker: wait until it has the stall document in flight,
+        // so nothing below can drain.
+        while service.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let lane = |l| SubmitOptions {
+            lane: l,
+            ..SubmitOptions::default()
+        };
+        let mut accepted = Vec::new();
+        for i in 0..4 {
+            match service.submit_with(parse_document(WRONG), lane(1)) {
+                Ok(t) => {
+                    assert!(i < 2, "lane cap is 2");
+                    accepted.push(t);
+                }
+                Err(SubmitError::Full) => assert!(i >= 2, "under-cap submit rejected"),
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(accepted.len(), 2);
+        // The capped lane being full must not block other lanes.
+        accepted.push(
+            service
+                .submit_with(parse_document(ARTICLE), lane(2))
+                .unwrap(),
+        );
+        gate.release();
+        stall.wait().unwrap();
+        for t in accepted {
+            t.wait().unwrap();
+        }
+    }
+
+    /// `submit_batch` admits everything under one lock hold and one kick;
+    /// results and dedup counters stay identical to one-by-one admission.
+    #[test]
+    fn submit_batch_coalesces_admission() {
+        let db = nfl_db();
+        let cfg = CheckerConfig::default();
+        let texts = [ARTICLE, WRONG, ARTICLE, WRONG];
+        let expected: Vec<String> = texts
+            .iter()
+            .map(|t| solo_fingerprint(&db, &cfg, t))
+            .collect();
+        let service = StreamingVerifier::new(
+            db,
+            cfg,
+            StreamConfig {
+                workers: 4,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let docs: Vec<Document> = texts.iter().map(|t| parse_document(t)).collect();
+        let tickets = service
+            .submit_batch(docs, SubmitOptions::default())
+            .unwrap();
+        assert_eq!(tickets.len(), texts.len());
+        for (ticket, want) in tickets.into_iter().zip(&expected) {
+            assert_eq!(ticket.wait().unwrap().content_fingerprint(), *want);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, texts.len() as u64);
+        assert_eq!(stats.completed, texts.len() as u64);
+        // An oversized batch can never fit and fails fast either way.
+        let service2 = StreamingVerifier::new(
+            nfl_db(),
+            CheckerConfig::default(),
+            StreamConfig {
+                intake_capacity: 2,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let too_many: Vec<Document> = (0..3).map(|_| parse_document(ARTICLE)).collect();
+        assert_eq!(
+            service2
+                .submit_batch(too_many, SubmitOptions::default())
+                .err(),
+            Some(SubmitError::Full)
+        );
+        assert_eq!(service2.stats().submitted, 0);
+    }
+
+    /// `try_take` polls without consuming: `None` while pending, the
+    /// report exactly once when settled, and a later `wait` reports the
+    /// result as already taken instead of panicking or hanging.
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let service =
+            StreamingVerifier::new(nfl_db(), CheckerConfig::default(), StreamConfig::default())
+                .unwrap();
+        let ticket = service.submit_text(ARTICLE).unwrap();
+        while !ticket.is_done() {
+            std::thread::yield_now();
+        }
+        let report = ticket.try_take().expect("settled").unwrap();
+        assert_eq!(report.status, ReportStatus::Complete);
+        assert!(ticket.try_take().is_none(), "a report is taken once");
+        assert!(matches!(ticket.wait(), Err(CheckerError::Stream(_))));
     }
 }

@@ -1,0 +1,134 @@
+//! Capture a complete binary-protocol session as an annotated hex dump —
+//! the tool that produced (and regenerates) the worked example in
+//! `docs/protocol.md`:
+//!
+//! ```text
+//! cargo run -p agg-server --example wire_capture
+//! ```
+//!
+//! Every frame is printed in both directions with its decoded meaning,
+//! so the dump doubles as a conformance fixture: a client implementor
+//! can diff their bytes against it.
+
+use agg_core::{CheckerConfig, StreamConfig, StreamingVerifier};
+use agg_relational::{Database, Table};
+use agg_server::protocol::{self, FrameReader, Opcode, ReadOutcome};
+use agg_server::{ServerConfig, VerifyServer};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn dump(direction: &str, note: &str, frame_bytes: &[u8]) {
+    println!("{direction} {note}");
+    for row in frame_bytes.chunks(16) {
+        let hex: Vec<String> = row.iter().map(|b| format!("{b:02x}")).collect();
+        let ascii: String = row
+            .iter()
+            .map(|&b| {
+                if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!("  {:<47}  |{ascii}|", hex.join(" "));
+    }
+    println!();
+}
+
+fn frame_bytes(opcode: Opcode, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    protocol::write_frame(&mut out, opcode, payload).expect("in-memory write");
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = Table::from_columns(
+        "sales",
+        vec![("region", vec!["west".into(), "west".into(), "east".into()])],
+    )?;
+    let mut db = Database::new("demo");
+    db.add_table(table);
+    let service = StreamingVerifier::new(db, CheckerConfig::default(), StreamConfig::default())?;
+    let server = VerifyServer::start(
+        "127.0.0.1:0",
+        vec![("demo".to_string(), service)],
+        ServerConfig::default(),
+    )?;
+
+    let mut sock = TcpStream::connect(server.local_addr())?;
+    let mut reader = FrameReader::new();
+    let mut read_frame = |sock: &mut TcpStream| -> protocol::Frame {
+        loop {
+            if let ReadOutcome::Frame(f) = reader.read_from(sock).expect("read frame") {
+                break f;
+            }
+        }
+    };
+
+    let hello = frame_bytes(Opcode::Hello, &protocol::hello("demo"));
+    sock.write_all(&hello)?;
+    dump(
+        "C→S",
+        "Hello (magic AGGV, version 1, namespace \"demo\")",
+        &hello,
+    );
+
+    let frame = read_frame(&mut sock);
+    dump(
+        "S→C",
+        &format!(
+            "HelloOk (session {})",
+            protocol::parse_hello_ok(&frame.payload)?
+        ),
+        &frame_bytes(Opcode::HelloOk, &frame.payload),
+    );
+
+    let text = "<p>There were two sales in the west region.</p>";
+    let submit = frame_bytes(Opcode::Submit, &protocol::submit(1, 0, text));
+    sock.write_all(&submit)?;
+    dump("C→S", "Submit (doc 1, no deadline)", &submit);
+
+    loop {
+        let frame = read_frame(&mut sock);
+        let op = Opcode::from_u8(frame.opcode).expect("known opcode");
+        let note = match op {
+            Opcode::Accepted => {
+                format!("Accepted (doc {})", protocol::parse_doc_id(&frame.payload)?)
+            }
+            Opcode::Progress => {
+                let (doc, wave, last, claims) = protocol::parse_progress(&frame.payload)?;
+                format!(
+                    "Progress (doc {doc}, wave {wave}, last={last}, {} claims)",
+                    claims.len()
+                )
+            }
+            Opcode::ClaimVerdict => {
+                let (doc, index, claim) = protocol::parse_claim_verdict(&frame.payload)?;
+                format!(
+                    "ClaimVerdict (doc {doc}, claim {index}: {:?}, p={:.3})",
+                    claim.verdict, claim.correctness_probability
+                )
+            }
+            Opcode::Complete => {
+                let (doc, status, stats) = protocol::parse_complete(&frame.payload)?;
+                format!(
+                    "Complete (doc {doc}, status {status:?}, {} claims, {} candidates)",
+                    stats.claims, stats.candidates_evaluated
+                )
+            }
+            other => other.name().to_string(),
+        };
+        dump("S→C", &note, &frame_bytes(op, &frame.payload));
+        if op == Opcode::Complete {
+            break;
+        }
+    }
+
+    let goodbye = frame_bytes(Opcode::Goodbye, &[]);
+    sock.write_all(&goodbye)?;
+    dump("C→S", "Goodbye", &goodbye);
+
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! Reference client for the binary protocol: connects, submits, tracks
+//! incremental `Progress` frames, and reassembles `ClaimVerdict` +
+//! `Complete` frames into a [`VerificationReport`] that is bit-identical
+//! (same `content_fingerprint`) to an in-process run.
+//!
+//! The client is single-threaded and pull-driven: every public call
+//! pumps frames off the socket until its answer arrives, updating the
+//! per-document state for everything else it sees on the way. That makes
+//! interleavings trivial to reason about in tests — there is exactly one
+//! reader.
+
+use crate::protocol::{self, FrameReader, Opcode, ReadOutcome, WireStats};
+use agg_core::report::wire::{self, WireError};
+use agg_core::{CheckedClaim, VerificationReport};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing mid-call).
+    Io(io::Error),
+    /// The server broke the wire contract (or sent an `Error` frame).
+    Protocol(String),
+    /// The server answered `Rejected` for this document; `code` is one
+    /// of [`protocol::errcode`].
+    Rejected { code: u8, message: String },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "rejected (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// One document's settled outcome, client-side.
+type Settled = Result<VerificationReport, ClientError>;
+
+/// A connected binary-protocol session. See the crate docs for a usage
+/// example.
+pub struct BinaryClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    session: u64,
+    next_doc: u64,
+    /// Claims received so far for documents still streaming.
+    assemblies: HashMap<u64, Vec<(u32, CheckedClaim)>>,
+    /// Documents whose `Complete`/`Rejected` frame has arrived, awaiting
+    /// [`await_report`](BinaryClient::await_report).
+    completed: HashMap<u64, Settled>,
+    /// Documents whose `Accepted` frame has arrived.
+    accepted: HashMap<u64, bool>,
+    /// `Progress` frames seen per document.
+    progress: HashMap<u64, u64>,
+    last_stats: Option<WireStats>,
+}
+
+impl BinaryClient {
+    /// Connect and complete the `Hello`/`HelloOk` handshake for one
+    /// namespace.
+    pub fn connect(addr: impl ToSocketAddrs, namespace: &str) -> Result<BinaryClient, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        protocol::write_frame(&mut stream, Opcode::Hello, &protocol::hello(namespace))?;
+        let mut reader = FrameReader::new();
+        let frame = loop {
+            match reader.read_from(&mut stream)? {
+                ReadOutcome::Frame(frame) => break frame,
+                ReadOutcome::Eof => {
+                    return Err(ClientError::Protocol(
+                        "server closed during handshake".to_string(),
+                    ))
+                }
+                ReadOutcome::Idle => {}
+            }
+        };
+        match Opcode::from_u8(frame.opcode) {
+            Some(Opcode::HelloOk) => {
+                let session = protocol::parse_hello_ok(&frame.payload)?;
+                Ok(BinaryClient {
+                    stream,
+                    reader,
+                    session,
+                    next_doc: 0,
+                    assemblies: HashMap::new(),
+                    completed: HashMap::new(),
+                    accepted: HashMap::new(),
+                    progress: HashMap::new(),
+                    last_stats: None,
+                })
+            }
+            Some(Opcode::Error) => {
+                let (code, message) = protocol::parse_error(&frame.payload)?;
+                Err(ClientError::Rejected { code, message })
+            }
+            _ => Err(ClientError::Protocol(format!(
+                "expected HelloOk, got opcode 0x{:02x}",
+                frame.opcode
+            ))),
+        }
+    }
+
+    /// The session id assigned by `HelloOk` (also this session's intake
+    /// lane on the server).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Submit a document; blocks until the server answers `Accepted`
+    /// (returning the document id to await) or `Rejected`.
+    pub fn submit(&mut self, text: &str, deadline_ms: Option<u64>) -> Result<u64, ClientError> {
+        self.next_doc += 1;
+        let doc = self.next_doc;
+        protocol::write_frame(
+            &mut self.stream,
+            Opcode::Submit,
+            &protocol::submit(doc, deadline_ms.unwrap_or(0), text),
+        )?;
+        loop {
+            if self.accepted.remove(&doc).is_some() {
+                return Ok(doc);
+            }
+            // Rejection settles the document before acceptance.
+            if let Some(settled) = self.completed.remove(&doc) {
+                return settled.map(|_| doc);
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Ask the server to cancel a document; the outcome still arrives as
+    /// that document's `Complete` frame (status `Cancelled` — or
+    /// `Complete`, if verification won the race).
+    pub fn cancel(&mut self, doc: u64) -> Result<(), ClientError> {
+        protocol::write_frame(&mut self.stream, Opcode::Cancel, &protocol::doc_id(doc))?;
+        Ok(())
+    }
+
+    /// Block until `doc` settles; reassembles its claim frames into the
+    /// full report.
+    pub fn await_report(&mut self, doc: u64) -> Result<VerificationReport, ClientError> {
+        loop {
+            if let Some(settled) = self.completed.remove(&doc) {
+                return settled;
+            }
+            self.pump()?;
+        }
+    }
+
+    /// How many incremental `Progress` frames have arrived for `doc` so
+    /// far (frames are pumped during other calls; this does not read).
+    pub fn progress_waves(&self, doc: u64) -> u64 {
+        self.progress.get(&doc).copied().unwrap_or(0)
+    }
+
+    /// Fetch a counter snapshot from the server.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        self.last_stats = None;
+        protocol::write_frame(&mut self.stream, Opcode::Stats, &[])?;
+        loop {
+            if let Some(stats) = self.last_stats.take() {
+                return Ok(stats);
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Graceful end of session: the server streams results for anything
+    /// still outstanding, then closes; blocks until it does.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        protocol::write_frame(&mut self.stream, Opcode::Goodbye, &[])?;
+        loop {
+            match self.reader.read_from(&mut self.stream)? {
+                ReadOutcome::Frame(frame) => self.dispatch(frame)?,
+                ReadOutcome::Eof => return Ok(()),
+                ReadOutcome::Idle => {}
+            }
+        }
+    }
+
+    /// Read exactly one frame and fold it into the session state.
+    fn pump(&mut self) -> Result<(), ClientError> {
+        loop {
+            match self.reader.read_from(&mut self.stream)? {
+                ReadOutcome::Frame(frame) => return self.dispatch(frame),
+                ReadOutcome::Eof => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                ReadOutcome::Idle => {}
+            }
+        }
+    }
+
+    fn dispatch(&mut self, frame: protocol::Frame) -> Result<(), ClientError> {
+        match Opcode::from_u8(frame.opcode) {
+            Some(Opcode::Accepted) => {
+                let doc = protocol::parse_doc_id(&frame.payload)?;
+                self.accepted.insert(doc, true);
+            }
+            Some(Opcode::Progress) => {
+                let (doc, _wave, _last, _claims) = protocol::parse_progress(&frame.payload)?;
+                *self.progress.entry(doc).or_insert(0) += 1;
+            }
+            Some(Opcode::ClaimVerdict) => {
+                let (doc, index, claim) = protocol::parse_claim_verdict(&frame.payload)?;
+                self.assemblies.entry(doc).or_default().push((index, claim));
+            }
+            Some(Opcode::Complete) => {
+                let (doc, status, stats) = protocol::parse_complete(&frame.payload)?;
+                let mut indexed = self.assemblies.remove(&doc).unwrap_or_default();
+                indexed.sort_by_key(|(index, _)| *index);
+                let claims = indexed.into_iter().map(|(_, claim)| claim).collect();
+                self.completed
+                    .insert(doc, Ok(wire::assemble_report(claims, stats, status)));
+            }
+            Some(Opcode::Rejected) => {
+                let (doc, code, message) = protocol::parse_rejected(&frame.payload)?;
+                self.assemblies.remove(&doc);
+                self.completed
+                    .insert(doc, Err(ClientError::Rejected { code, message }));
+            }
+            Some(Opcode::StatsOk) => {
+                self.last_stats = Some(protocol::parse_stats_ok(&frame.payload)?);
+            }
+            Some(Opcode::Error) => {
+                let (code, message) = protocol::parse_error(&frame.payload)?;
+                return Err(ClientError::Protocol(format!(
+                    "server error (code {code}): {message}"
+                )));
+            }
+            _ => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected opcode 0x{:02x}",
+                    frame.opcode
+                )))
+            }
+        }
+        Ok(())
+    }
+}

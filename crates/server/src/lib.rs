@@ -1,0 +1,1025 @@
+//! # agg-server
+//!
+//! Networked front-end over [`agg_core::stream::StreamingVerifier`]: one
+//! TCP listener speaking **two protocols on the same port** — an
+//! HTTP/1.1 JSON API for submit/poll/cancel/stats, and a length-prefixed
+//! binary protocol that pushes per-claim verdict frames to the client
+//! *incrementally* as evaluation waves complete. Everything is built on
+//! `std::net` — the build environment has no crates.io access, so there
+//! is no async runtime, no HTTP library, and no serde: hand-rolled
+//! codecs throughout ([`http`], [`json`], [`protocol`]).
+//!
+//! The wire contract is written down in `docs/protocol.md` (normative,
+//! byte-level) and kept honest by CI: `cargo run -p xtask -- docs-gate`
+//! fails if the opcode table there drifts from [`protocol::Opcode`].
+//! `docs/architecture.md` traces a submission end-to-end;
+//! `docs/operations.md` is the `verifyd` runbook.
+//!
+//! ## Sessions, namespaces, fairness
+//!
+//! A server hosts one verification service per **namespace** (one
+//! logical database each — multi-tenant). A connection is a **session**:
+//! it picks its namespace in the handshake (binary `Hello`) or per
+//! request (HTTP `"namespace"` field), and every submission it makes
+//! rides the session's own **intake lane** (`lane = session id`), so the
+//! round-robin lane scheduler in `core::stream` interleaves competing
+//! clients fairly instead of first-come-first-served.
+//!
+//! ## Incremental results
+//!
+//! Binary submissions attach a [`ProgressObserver`] that forwards each
+//! completed evaluation wave as a `Progress` frame; once the ticket
+//! settles, the session streams one `ClaimVerdict` frame per claim
+//! followed by `Complete`. A client reassembling those frames
+//! ([`client::BinaryClient::await_report`]) gets a report **bit-identical**
+//! to an in-process run — same
+//! [`content_fingerprint`](agg_core::VerificationReport::content_fingerprint)
+//! at any worker count — because the frames reuse the exact codec in
+//! [`agg_core::report::wire`].
+//!
+//! ## Example: submit and await over loopback
+//!
+//! ```
+//! use agg_core::{CheckerConfig, StreamConfig, StreamingVerifier};
+//! use agg_relational::{Database, Table};
+//! use agg_server::client::BinaryClient;
+//! use agg_server::{ServerConfig, VerifyServer};
+//!
+//! let table = Table::from_columns(
+//!     "sales",
+//!     vec![("region", vec!["west".into(), "west".into(), "east".into()])],
+//! )?;
+//! let mut db = Database::new("demo");
+//! db.add_table(table);
+//! let service = StreamingVerifier::new(db, CheckerConfig::default(), StreamConfig::default())?;
+//!
+//! // Port 0: the OS picks a free port; local_addr() reports it.
+//! let server = VerifyServer::start(
+//!     "127.0.0.1:0",
+//!     vec![("demo".to_string(), service)],
+//!     ServerConfig::default(),
+//! )?;
+//!
+//! let mut client = BinaryClient::connect(server.local_addr(), "demo")?;
+//! let doc = client.submit("<p>There were two sales in the west region.</p>", None)?;
+//! let report = client.await_report(doc)?;
+//! assert_eq!(report.claims.len(), 1);
+//! client.goodbye()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Example: the handshake, one frame at a time
+//!
+//! ```
+//! use agg_core::{CheckerConfig, StreamConfig, StreamingVerifier};
+//! use agg_relational::{Database, Table};
+//! use agg_server::protocol::{self, FrameReader, Opcode, ReadOutcome};
+//! use agg_server::{ServerConfig, VerifyServer};
+//! use std::net::TcpStream;
+//!
+//! let table = Table::from_columns("sales", vec![("region", vec!["west".into()])])?;
+//! let mut db = Database::new("demo");
+//! db.add_table(table);
+//! let service = StreamingVerifier::new(db, CheckerConfig::default(), StreamConfig::default())?;
+//! let server = VerifyServer::start(
+//!     "127.0.0.1:0",
+//!     vec![("demo".to_string(), service)],
+//!     ServerConfig::default(),
+//! )?;
+//!
+//! // Raw TCP: [len u32 LE][opcode u8][payload], exactly as docs/protocol.md says.
+//! let mut sock = TcpStream::connect(server.local_addr())?;
+//! protocol::write_frame(&mut sock, Opcode::Hello, &protocol::hello("demo"))?;
+//! let mut reader = FrameReader::new();
+//! let frame = loop {
+//!     if let ReadOutcome::Frame(f) = reader.read_from(&mut sock)? {
+//!         break f;
+//!     }
+//! };
+//! assert_eq!(frame.opcode, Opcode::HelloOk as u8);
+//! let session = protocol::parse_hello_ok(&frame.payload)?;
+//! assert!(session > 0);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod protocol;
+
+use agg_core::stream::{StreamingVerifier, SubmitError, SubmitOptions, Ticket};
+use agg_core::{ClaimProgress, ProgressObserver, VerificationReport};
+use protocol::{errcode, FrameReader, Opcode, ReadOutcome, WireStats};
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Server tunables (`docs/operations.md` documents each).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Close a connection with nothing outstanding after this long
+    /// without a frame or request.
+    pub idle_timeout: Duration,
+    /// Socket read timeout: how often blocked reads wake to check
+    /// idle/shutdown conditions. Bounds shutdown latency.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Point-in-time server counters (connection plumbing only; per-document
+/// verification counters live in [`agg_core::StreamStats`], one set per
+/// namespace).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections ever accepted.
+    pub connections: u64,
+    /// Connections currently open.
+    pub open_connections: u64,
+    /// HTTP requests served (any status).
+    pub http_requests: u64,
+    /// Binary frames decoded from clients.
+    pub frames_in: u64,
+    /// Binary frames written to clients.
+    pub frames_out: u64,
+    /// Frames (or frame streams) that failed to decode; each also
+    /// closed its connection.
+    pub malformed_frames: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    open_connections: AtomicU64,
+    http_requests: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    malformed_frames: AtomicU64,
+}
+
+/// One HTTP-submitted document: the ticket, and the settled result once
+/// a poll has claimed it (polls are idempotent — the first one to find
+/// the ticket done caches the report here).
+struct DocEntry {
+    ticket: Arc<Ticket>,
+    done: Option<Result<VerificationReport, String>>,
+}
+
+struct ServerShared {
+    namespaces: HashMap<String, Arc<StreamingVerifier>>,
+    /// Namespace used by HTTP submissions that name none: the first one
+    /// passed to [`VerifyServer::start`].
+    default_namespace: String,
+    registry: Mutex<HashMap<u64, DocEntry>>,
+    next_doc: AtomicU64,
+    next_conn: AtomicU64,
+    counters: Counters,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// The listener: accept loop plus one thread per connection, every
+/// protocol detail delegated to [`protocol`]/[`http`]. Shut down with
+/// [`shutdown`](VerifyServer::shutdown) (graceful: drains every
+/// namespace's intake, then joins every connection); plain `Drop` does
+/// the same.
+pub struct VerifyServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl VerifyServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve the
+    /// given namespaces. The first namespace is the HTTP default.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        namespaces: Vec<(String, StreamingVerifier)>,
+        config: ServerConfig,
+    ) -> io::Result<VerifyServer> {
+        let Some(default_namespace) = namespaces.first().map(|(name, _)| name.clone()) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a server needs at least one namespace",
+            ));
+        };
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            namespaces: namespaces
+                .into_iter()
+                .map(|(name, service)| (name, Arc::new(service)))
+                .collect(),
+            default_namespace,
+            registry: Mutex::new(HashMap::new()),
+            next_doc: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept = thread::Builder::new()
+            .name("verifyd-accept".into())
+            .spawn(move || loop {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accept_shared
+                            .counters
+                            .connections
+                            .fetch_add(1, Ordering::SeqCst);
+                        accept_shared
+                            .counters
+                            .open_connections
+                            .fetch_add(1, Ordering::SeqCst);
+                        let conn_id = accept_shared.next_conn.fetch_add(1, Ordering::SeqCst) + 1;
+                        let conn_shared = Arc::clone(&accept_shared);
+                        let handle = thread::Builder::new()
+                            .name(format!("verifyd-conn-{conn_id}"))
+                            .spawn(move || {
+                                serve_connection(&conn_shared, stream, conn_id);
+                                conn_shared
+                                    .counters
+                                    .open_connections
+                                    .fetch_sub(1, Ordering::SeqCst);
+                            })
+                            .expect("spawn connection thread");
+                        lock(&accept_conns).push(handle);
+                    }
+                    // Non-blocking accept: nothing pending (or a
+                    // transient error) — nap and re-check shutdown.
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            })?;
+        Ok(VerifyServer {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The verification service behind a namespace (tests and embedders
+    /// inspect its [`StreamStats`](agg_core::StreamStats) directly).
+    pub fn namespace(&self, name: &str) -> Option<Arc<StreamingVerifier>> {
+        self.shared.namespaces.get(name).cloned()
+    }
+
+    /// Snapshot of the connection-level counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            connections: c.connections.load(Ordering::SeqCst),
+            open_connections: c.open_connections.load(Ordering::SeqCst),
+            http_requests: c.http_requests.load(Ordering::SeqCst),
+            frames_in: c.frames_in.load(Ordering::SeqCst),
+            frames_out: c.frames_out.load(Ordering::SeqCst),
+            malformed_frames: c.malformed_frames.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Graceful drain: stop accepting, close every namespace's intake
+    /// (queued documents still verify), then join every connection —
+    /// sessions finish streaming results for work already admitted.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            handle.join().ok();
+        }
+        for service in self.shared.namespaces.values() {
+            service.close();
+        }
+        let handles = std::mem::take(&mut *lock(&self.conns));
+        for handle in handles {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for VerifyServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// --- connection handling ---------------------------------------------
+
+type OutMsg = Option<(Opcode, Vec<u8>)>;
+
+/// Forwards evaluation waves as `Progress` frames. Send failures are
+/// ignored: a dead writer means the client is gone, and the watcher
+/// thread handles settlement.
+struct FrameObserver {
+    doc: u64,
+    tx: Mutex<mpsc::Sender<OutMsg>>,
+}
+
+impl ProgressObserver for FrameObserver {
+    fn wave_complete(&self, wave: usize, last: bool, claims: &[ClaimProgress]) {
+        let payload = protocol::progress(self.doc, wave as u64, last, claims);
+        let _ = lock(&self.tx).send(Some((Opcode::Progress, payload)));
+    }
+}
+
+/// Sniff the first bytes to pick a protocol, then serve.
+fn serve_connection(shared: &Arc<ServerShared>, mut stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let started = Instant::now();
+    let mut sniffed = Vec::new();
+    while sniffed.len() < 4 {
+        if shared.shutdown.load(Ordering::SeqCst) || started.elapsed() > shared.config.idle_timeout
+        {
+            return;
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => sniffed.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    if looks_like_http(&sniffed) {
+        serve_http(shared, stream, conn_id, sniffed);
+    } else {
+        serve_binary(shared, stream, conn_id, sniffed);
+    }
+}
+
+fn looks_like_http(head: &[u8]) -> bool {
+    const METHODS: [&[u8; 4]; 7] = [
+        b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI", b"PATC",
+    ];
+    METHODS.iter().any(|m| head.starts_with(*m))
+}
+
+// --- HTTP front-end ---------------------------------------------------
+
+fn serve_http(shared: &Arc<ServerShared>, mut stream: TcpStream, conn_id: u64, buffered: Vec<u8>) {
+    let mut reader = http::HttpReader::with_buffered(buffered);
+    let mut last_activity = Instant::now();
+    loop {
+        let mut read_ref = &stream;
+        match reader.read_from(&mut read_ref) {
+            Ok(http::HttpOutcome::Request(req)) => {
+                last_activity = Instant::now();
+                shared.counters.http_requests.fetch_add(1, Ordering::SeqCst);
+                let close = req.wants_close();
+                let (status, reason, body) = route(shared, conn_id, &req);
+                if http::respond(&mut stream, status, reason, &body, !close).is_err() || close {
+                    return;
+                }
+            }
+            Ok(http::HttpOutcome::Eof) => return,
+            Ok(http::HttpOutcome::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || last_activity.elapsed() > shared.config.idle_timeout
+                {
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = http::respond(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "{\"error\":\"malformed request\"}",
+                    false,
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn route(
+    shared: &Arc<ServerShared>,
+    conn_id: u64,
+    req: &http::Request,
+) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/documents") => submit_document(shared, conn_id, &req.body),
+        ("GET", "/v1/stats") => (200, "OK", stats_json(shared)),
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/v1/documents/") {
+                if method == "GET" {
+                    return poll_document(shared, rest);
+                }
+                if method == "POST" {
+                    if let Some(id_text) = rest.strip_suffix("/cancel") {
+                        return cancel_document(shared, id_text);
+                    }
+                }
+            }
+            (404, "Not Found", "{\"error\":\"not found\"}".to_string())
+        }
+    }
+}
+
+fn bad_request(message: &str) -> (u16, &'static str, String) {
+    (
+        400,
+        "Bad Request",
+        format!("{{\"error\":\"{}\"}}", json::escape(message)),
+    )
+}
+
+fn submit_document(
+    shared: &Arc<ServerShared>,
+    conn_id: u64,
+    body: &[u8],
+) -> (u16, &'static str, String) {
+    let Ok(text_body) = std::str::from_utf8(body) else {
+        return bad_request("body is not UTF-8");
+    };
+    let parsed = match json::parse(text_body) {
+        Ok(v) => v,
+        Err(e) => return bad_request(&e.to_string()),
+    };
+    let Some(text) = parsed.get("text").and_then(json::Json::as_str) else {
+        return bad_request("missing required string field \"text\"");
+    };
+    let namespace = match parsed.get("namespace") {
+        None => shared.default_namespace.as_str(),
+        Some(v) => match v.as_str() {
+            Some(name) => name,
+            None => return bad_request("\"namespace\" must be a string"),
+        },
+    };
+    let Some(service) = shared.namespaces.get(namespace) else {
+        return (
+            404,
+            "Not Found",
+            format!(
+                "{{\"error\":\"unknown namespace \\\"{}\\\"\"}}",
+                json::escape(namespace)
+            ),
+        );
+    };
+    let deadline = match parsed.get("deadline_ms") {
+        None | Some(json::Json::Null) => None,
+        Some(v) => match v.as_u64() {
+            Some(ms) => Some(Instant::now() + Duration::from_millis(ms)),
+            None => return bad_request("\"deadline_ms\" must be a non-negative integer"),
+        },
+    };
+    let opts = SubmitOptions {
+        deadline,
+        lane: conn_id,
+        observer: None,
+    };
+    match service.submit_text_with(text, opts) {
+        Ok(ticket) => {
+            let id = shared.next_doc.fetch_add(1, Ordering::SeqCst) + 1;
+            lock(&shared.registry).insert(
+                id,
+                DocEntry {
+                    ticket: Arc::new(ticket),
+                    done: None,
+                },
+            );
+            (
+                202,
+                "Accepted",
+                format!(
+                    "{{\"id\":{id},\"status\":\"pending\",\"namespace\":\"{}\"}}",
+                    json::escape(namespace)
+                ),
+            )
+        }
+        Err(SubmitError::Full) => (
+            503,
+            "Service Unavailable",
+            "{\"error\":\"intake queue full\",\"code\":\"full\"}".to_string(),
+        ),
+        Err(SubmitError::Closed) => (
+            503,
+            "Service Unavailable",
+            "{\"error\":\"service closed\",\"code\":\"closed\"}".to_string(),
+        ),
+    }
+}
+
+fn poll_document(shared: &Arc<ServerShared>, id_text: &str) -> (u16, &'static str, String) {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (
+            404,
+            "Not Found",
+            "{\"error\":\"unknown document\"}".to_string(),
+        );
+    };
+    let mut registry = lock(&shared.registry);
+    let Some(entry) = registry.get_mut(&id) else {
+        return (
+            404,
+            "Not Found",
+            "{\"error\":\"unknown document\"}".to_string(),
+        );
+    };
+    if entry.done.is_none() {
+        if let Some(result) = entry.ticket.try_take() {
+            entry.done = Some(result.map_err(|e| e.to_string()));
+        }
+    }
+    let body = match &entry.done {
+        None => format!("{{\"id\":{id},\"status\":\"pending\"}}"),
+        Some(Err(message)) => format!(
+            "{{\"id\":{id},\"status\":\"failed\",\"error\":\"{}\"}}",
+            json::escape(message)
+        ),
+        Some(Ok(report)) => report_json(id, report),
+    };
+    (200, "OK", body)
+}
+
+fn cancel_document(shared: &Arc<ServerShared>, id_text: &str) -> (u16, &'static str, String) {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (
+            404,
+            "Not Found",
+            "{\"error\":\"unknown document\"}".to_string(),
+        );
+    };
+    let registry = lock(&shared.registry);
+    let Some(entry) = registry.get(&id) else {
+        return (
+            404,
+            "Not Found",
+            "{\"error\":\"unknown document\"}".to_string(),
+        );
+    };
+    entry.ticket.cancel();
+    (200, "OK", format!("{{\"id\":{id},\"cancelled\":true}}"))
+}
+
+/// Finite floats print bare; NaN/inf have no JSON spelling and become
+/// null.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn report_json(id: u64, report: &VerificationReport) -> String {
+    let claims: Vec<String> = report
+        .claims
+        .iter()
+        .enumerate()
+        .map(|(index, claim)| {
+            let best = claim
+                .top_queries
+                .first()
+                .map(|q| format!("\"{}\"", json::escape(&q.description)))
+                .unwrap_or_else(|| "null".to_string());
+            format!(
+                "{{\"index\":{index},\"sentence\":\"{}\",\"claimed_value\":{},\"verdict\":\"{}\",\"correctness_probability\":{},\"best_query\":{best}}}",
+                json::escape(&claim.sentence),
+                num(claim.claimed_value),
+                protocol::verdict_name(claim.verdict),
+                num(claim.correctness_probability),
+            )
+        })
+        .collect();
+    let stats = &report.stats;
+    format!(
+        "{{\"id\":{id},\"status\":\"{}\",\"claims\":[{}],\"stats\":{{\"claims\":{},\"em_iterations\":{},\"candidates_evaluated\":{},\"rows_scanned\":{},\"scan_passes\":{}}},\"fingerprint\":\"{}\"}}",
+        protocol::status_name(report.status),
+        claims.join(","),
+        stats.claims,
+        stats.em_iterations,
+        stats.candidates_evaluated,
+        stats.rows_scanned,
+        stats.scan_passes,
+        json::escape(&report.content_fingerprint()),
+    )
+}
+
+fn stats_json(shared: &Arc<ServerShared>) -> String {
+    let c = &shared.counters;
+    let mut names: Vec<&String> = shared.namespaces.keys().collect();
+    names.sort();
+    let namespaces: Vec<String> = names
+        .into_iter()
+        .map(|name| {
+            let service = &shared.namespaces[name];
+            let s = service.stats();
+            let lanes: Vec<String> = service
+                .lane_depths()
+                .into_iter()
+                .map(|(lane, depth)| format!("{{\"lane\":{lane},\"depth\":{depth}}}"))
+                .collect();
+            format!(
+                "\"{}\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\"timed_out\":{},\"cancelled\":{},\"partial\":{},\"respawns\":{},\"poison_retries\":{},\"queue_depth_high_water\":{},\"in_flight_high_water\":{},\"claims\":{},\"rows_scanned\":{},\"tasks_executed\":{},\"tasks_deduped\":{},\"singleflight_waits\":{},\"scan_passes\":{},\"queue_depth\":{},\"in_flight\":{},\"lanes\":[{}]}}",
+                json::escape(name),
+                s.submitted,
+                s.completed,
+                s.failed,
+                s.rejected,
+                s.timed_out,
+                s.cancelled,
+                s.partial,
+                s.respawns,
+                s.poison_retries,
+                s.queue_depth_high_water,
+                s.in_flight_high_water,
+                s.claims,
+                s.rows_scanned,
+                s.tasks_executed,
+                s.tasks_deduped,
+                s.singleflight_waits,
+                s.scan_passes,
+                service.queue_depth(),
+                service.in_flight(),
+                lanes.join(","),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"connections\":{},\"open_connections\":{},\"http_requests\":{},\"frames_in\":{},\"frames_out\":{},\"malformed_frames\":{},\"namespaces\":{{{}}}}}",
+        c.connections.load(Ordering::SeqCst),
+        c.open_connections.load(Ordering::SeqCst),
+        c.http_requests.load(Ordering::SeqCst),
+        c.frames_in.load(Ordering::SeqCst),
+        c.frames_out.load(Ordering::SeqCst),
+        c.malformed_frames.load(Ordering::SeqCst),
+        namespaces.join(","),
+    )
+}
+
+// --- binary front-end -------------------------------------------------
+
+/// What a handled frame means for the session loop.
+enum Flow {
+    Continue,
+    /// `Goodbye`: finish streaming outstanding results, then close.
+    Drain,
+    /// Protocol violation or disconnect: cancel outstanding, then close.
+    Abort,
+}
+
+struct BinarySession<'s> {
+    shared: &'s Arc<ServerShared>,
+    service: Arc<StreamingVerifier>,
+    conn_id: u64,
+    tx: mpsc::Sender<OutMsg>,
+    outstanding: Arc<Mutex<HashMap<u64, Arc<Ticket>>>>,
+    watchers: Vec<JoinHandle<()>>,
+}
+
+impl BinarySession<'_> {
+    fn send(&self, op: Opcode, payload: Vec<u8>) {
+        let _ = self.tx.send(Some((op, payload)));
+    }
+
+    fn handle(&mut self, frame: &protocol::Frame) -> Flow {
+        match Opcode::from_u8(frame.opcode) {
+            Some(Opcode::Submit) => self.handle_submit(&frame.payload),
+            Some(Opcode::Cancel) => self.handle_cancel(&frame.payload),
+            Some(Opcode::Stats) => {
+                self.send(Opcode::StatsOk, protocol::stats_ok(&self.wire_stats()));
+                Flow::Continue
+            }
+            Some(Opcode::Goodbye) => Flow::Drain,
+            Some(Opcode::Hello) | Some(_) | None => {
+                // A second Hello, a server→client opcode, or a number
+                // outside the table: the stream is out of sync.
+                self.send(
+                    Opcode::Error,
+                    protocol::error(
+                        errcode::UNKNOWN_OPCODE,
+                        &format!("unexpected opcode 0x{:02x}", frame.opcode),
+                    ),
+                );
+                Flow::Abort
+            }
+        }
+    }
+
+    fn handle_submit(&mut self, payload: &[u8]) -> Flow {
+        let Ok((doc, deadline_ms, text)) = protocol::parse_submit(payload) else {
+            return self.malformed("submit payload does not decode");
+        };
+        if lock(&self.outstanding).contains_key(&doc) {
+            self.send(
+                Opcode::Rejected,
+                protocol::rejected(
+                    doc,
+                    errcode::DUPLICATE_DOC,
+                    "document id already outstanding",
+                ),
+            );
+            return Flow::Continue;
+        }
+        let opts = SubmitOptions {
+            deadline: (deadline_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(deadline_ms)),
+            lane: self.conn_id,
+            observer: Some(Arc::new(FrameObserver {
+                doc,
+                tx: Mutex::new(self.tx.clone()),
+            })),
+        };
+        match self.service.submit_text_with(&text, opts) {
+            Ok(ticket) => {
+                let ticket = Arc::new(ticket);
+                lock(&self.outstanding).insert(doc, Arc::clone(&ticket));
+                self.send(Opcode::Accepted, protocol::doc_id(doc));
+                let tx = self.tx.clone();
+                let outstanding = Arc::clone(&self.outstanding);
+                let watcher = thread::Builder::new()
+                    .name(format!("verifyd-watch-{}-{doc}", self.conn_id))
+                    .spawn(move || {
+                        match ticket.wait_ref() {
+                            Ok(report) => {
+                                for (index, claim) in report.claims.iter().enumerate() {
+                                    let _ = tx.send(Some((
+                                        Opcode::ClaimVerdict,
+                                        protocol::claim_verdict(doc, index as u32, claim),
+                                    )));
+                                }
+                                let _ = tx.send(Some((
+                                    Opcode::Complete,
+                                    protocol::complete(doc, report.status, &report.stats),
+                                )));
+                            }
+                            Err(e) => {
+                                let _ = tx.send(Some((
+                                    Opcode::Rejected,
+                                    protocol::rejected(doc, errcode::VERIFY_FAILED, &e.to_string()),
+                                )));
+                            }
+                        }
+                        lock(&outstanding).remove(&doc);
+                    })
+                    .expect("spawn watcher thread");
+                self.watchers.push(watcher);
+            }
+            Err(SubmitError::Full) => self.send(
+                Opcode::Rejected,
+                protocol::rejected(doc, errcode::FULL, "intake queue (or lane) full"),
+            ),
+            Err(SubmitError::Closed) => self.send(
+                Opcode::Rejected,
+                protocol::rejected(doc, errcode::CLOSED, "service closed"),
+            ),
+        }
+        Flow::Continue
+    }
+
+    fn handle_cancel(&mut self, payload: &[u8]) -> Flow {
+        let Ok(doc) = protocol::parse_doc_id(payload) else {
+            return self.malformed("cancel payload does not decode");
+        };
+        match lock(&self.outstanding).get(&doc) {
+            // The watcher announces the outcome: a Complete frame with
+            // Cancelled (or Complete, if the race was lost) status.
+            Some(ticket) => ticket.cancel(),
+            None => self.send(
+                Opcode::Rejected,
+                protocol::rejected(doc, errcode::UNKNOWN_DOC, "document not outstanding here"),
+            ),
+        }
+        Flow::Continue
+    }
+
+    fn malformed(&self, message: &str) -> Flow {
+        self.shared
+            .counters
+            .malformed_frames
+            .fetch_add(1, Ordering::SeqCst);
+        self.send(Opcode::Error, protocol::error(errcode::BAD_FRAME, message));
+        Flow::Abort
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        let c = &self.shared.counters;
+        WireStats {
+            stream: self.service.stats(),
+            queue_depth: self.service.queue_depth() as u64,
+            in_flight: self.service.in_flight() as u64,
+            lane_depths: self
+                .service
+                .lane_depths()
+                .into_iter()
+                .map(|(lane, depth)| (lane, depth as u64))
+                .collect(),
+            connections: c.connections.load(Ordering::SeqCst),
+            frames_in: c.frames_in.load(Ordering::SeqCst),
+            frames_out: c.frames_out.load(Ordering::SeqCst),
+            malformed_frames: c.malformed_frames.load(Ordering::SeqCst),
+        }
+    }
+}
+
+fn serve_binary(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64, buffered: Vec<u8>) {
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<OutMsg>();
+    let writer_shared = Arc::clone(shared);
+    let writer = thread::Builder::new()
+        .name(format!("verifyd-write-{conn_id}"))
+        .spawn(move || {
+            let mut stream = writer_stream;
+            let mut dead = false;
+            while let Ok(msg) = rx.recv() {
+                let Some((op, payload)) = msg else { break };
+                if dead {
+                    continue;
+                }
+                if protocol::write_frame(&mut stream, op, &payload).is_err() {
+                    dead = true;
+                    continue;
+                }
+                writer_shared
+                    .counters
+                    .frames_out
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+        })
+        .expect("spawn writer thread");
+
+    let mut reader = FrameReader::with_buffered(buffered);
+    let mut read_ref = &stream;
+    let service = binary_handshake(shared, &mut reader, &mut read_ref, &tx, conn_id);
+    let mut abort = false;
+    if let Some(service) = service {
+        let mut session = BinarySession {
+            shared,
+            service,
+            conn_id,
+            tx: tx.clone(),
+            outstanding: Arc::new(Mutex::new(HashMap::new())),
+            watchers: Vec::new(),
+        };
+        let mut last_activity = Instant::now();
+        loop {
+            match reader.read_from(&mut read_ref) {
+                Ok(ReadOutcome::Frame(frame)) => {
+                    last_activity = Instant::now();
+                    shared.counters.frames_in.fetch_add(1, Ordering::SeqCst);
+                    match session.handle(&frame) {
+                        Flow::Continue => {}
+                        Flow::Drain => break,
+                        Flow::Abort => {
+                            abort = true;
+                            break;
+                        }
+                    }
+                }
+                // Disconnect with work outstanding: settle the tickets
+                // so nothing leaks (the watchers observe cancellation).
+                Ok(ReadOutcome::Eof) => {
+                    abort = true;
+                    break;
+                }
+                Ok(ReadOutcome::Idle) => {
+                    let nothing_outstanding = lock(&session.outstanding).is_empty();
+                    if nothing_outstanding
+                        && (shared.shutdown.load(Ordering::SeqCst)
+                            || last_activity.elapsed() > shared.config.idle_timeout)
+                    {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    shared
+                        .counters
+                        .malformed_frames
+                        .fetch_add(1, Ordering::SeqCst);
+                    session.send(
+                        Opcode::Error,
+                        protocol::error(errcode::BAD_FRAME, "malformed frame"),
+                    );
+                    abort = true;
+                    break;
+                }
+            }
+        }
+        if abort {
+            for ticket in lock(&session.outstanding).values() {
+                ticket.cancel();
+            }
+        }
+        // Either way, wait for every outstanding document to settle and
+        // its frames to be queued (Drain streams them; Abort settles
+        // fast via the cancellations above).
+        for watcher in session.watchers.drain(..) {
+            watcher.join().ok();
+        }
+    }
+    let _ = tx.send(None);
+    writer.join().ok();
+}
+
+/// First frame must be a valid `Hello` for a served namespace; answers
+/// `HelloOk` and returns the session's service, or answers `Error` and
+/// returns `None`.
+fn binary_handshake(
+    shared: &Arc<ServerShared>,
+    reader: &mut FrameReader,
+    read_ref: &mut &TcpStream,
+    tx: &mpsc::Sender<OutMsg>,
+    conn_id: u64,
+) -> Option<Arc<StreamingVerifier>> {
+    let send = |op: Opcode, payload: Vec<u8>| {
+        let _ = tx.send(Some((op, payload)));
+    };
+    let started = Instant::now();
+    let frame = loop {
+        match reader.read_from(read_ref) {
+            Ok(ReadOutcome::Frame(frame)) => break frame,
+            Ok(ReadOutcome::Eof) => return None,
+            Ok(ReadOutcome::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || started.elapsed() > shared.config.idle_timeout
+                {
+                    return None;
+                }
+            }
+            Err(_) => {
+                shared
+                    .counters
+                    .malformed_frames
+                    .fetch_add(1, Ordering::SeqCst);
+                send(
+                    Opcode::Error,
+                    protocol::error(errcode::BAD_FRAME, "malformed frame"),
+                );
+                return None;
+            }
+        }
+    };
+    shared.counters.frames_in.fetch_add(1, Ordering::SeqCst);
+    if frame.opcode != Opcode::Hello as u8 {
+        send(
+            Opcode::Error,
+            protocol::error(errcode::BAD_FRAME, "first frame must be Hello"),
+        );
+        return None;
+    }
+    let namespace = match protocol::parse_hello(&frame.payload) {
+        Ok(namespace) => namespace,
+        Err((code, message)) => {
+            if code == errcode::BAD_FRAME {
+                shared
+                    .counters
+                    .malformed_frames
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+            send(Opcode::Error, protocol::error(code, &message));
+            return None;
+        }
+    };
+    let Some(service) = shared.namespaces.get(&namespace) else {
+        send(
+            Opcode::Error,
+            protocol::error(
+                errcode::UNKNOWN_NAMESPACE,
+                &format!("namespace \"{namespace}\" is not served here"),
+            ),
+        );
+        return None;
+    };
+    send(Opcode::HelloOk, protocol::hello_ok(conn_id));
+    Some(Arc::clone(service))
+}

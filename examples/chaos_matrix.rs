@@ -60,6 +60,7 @@ fn run_cell(name: &str, plan: FaultPlan, workers: usize, policy: IntakePolicy) -
             policy,
             intake_capacity: 4,
             max_respawns: MAX_RESPAWNS,
+            lane_capacity: 0,
         },
     )
     .expect("service construction is fault-free");

@@ -72,16 +72,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    deadline also caps how long any one ticket can take — if it
     //    expires, the ticket settles as a *partial* report (unevaluated
     //    claims marked `Unverified`) rather than hanging.
-    let service = StreamingVerifier::new(
-        db,
-        CheckerConfig::default(),
-        StreamConfig {
-            intake_capacity: 2,
-            policy: IntakePolicy::Reject,
-            workers: 2,
-            ..StreamConfig::default()
-        },
-    )?;
+    let stream_cfg = StreamConfig {
+        intake_capacity: 2,
+        policy: IntakePolicy::Reject,
+        workers: 2,
+        ..StreamConfig::default()
+    };
+    println!(
+        "\nstreaming the same check through a capacity-{} {:?} intake:",
+        stream_cfg.intake_capacity, stream_cfg.policy
+    );
+    let service = StreamingVerifier::new(db, CheckerConfig::default(), stream_cfg.clone())?;
     let deadline = Instant::now() + Duration::from_secs(30);
     let tickets: Vec<Ticket> = (0..6)
         .map(|_| submit_with_retry(&service, article, deadline))
@@ -97,11 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let stats = service.stats();
     println!(
-        "streamed: {} submitted, {} completed, {} timed out ({} worker pool)",
+        "streamed: {} submitted, {} completed, {} timed out ({}-worker pool, intake capacity {})",
         stats.submitted,
         stats.completed,
         stats.timed_out,
-        service.workers()
+        service.workers(),
+        stream_cfg.intake_capacity
     );
     Ok(())
 }

@@ -1,0 +1,137 @@
+//! `verifyd` — serve verification over TCP (HTTP/JSON + binary
+//! protocol) for one or more CSV data sets.
+//!
+//! ```text
+//! verifyd <data.csv>... [--addr HOST:PORT] [--workers N] [--intake N]
+//!         [--lane-capacity N] [--idle-timeout-secs N] [--dict <datadict.txt>]
+//! ```
+//!
+//! Each CSV becomes one **namespace** (named after the file stem) with
+//! its own database and streaming verifier — multi-tenant behind a
+//! single port. Binary clients pick a namespace in `Hello`; HTTP clients
+//! pass `"namespace"` per submission (defaulting to the first CSV). The
+//! wire contract is `docs/protocol.md`; the runbook (every flag, every
+//! counter) is `docs/operations.md`.
+
+use aggchecker::relational::csv::load_csv;
+use aggchecker::relational::datadict::{apply_data_dictionary, parse_data_dictionary};
+use aggchecker::relational::Database;
+use aggchecker::server::{ServerConfig, VerifyServer};
+use aggchecker::{CheckerConfig, StreamConfig, StreamingVerifier};
+use std::path::Path;
+use std::process::exit;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_paths: Vec<String> = Vec::new();
+    let mut dict_path: Option<String> = None;
+    let mut addr = "127.0.0.1:4271".to_string();
+    let mut server_cfg = ServerConfig::default();
+    let mut stream_cfg = StreamConfig::default();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| die("--addr needs HOST:PORT")),
+            "--dict" => dict_path = it.next(),
+            "--workers" => {
+                stream_cfg.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs an integer"));
+            }
+            "--intake" => {
+                stream_cfg.intake_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--intake needs a positive integer"));
+            }
+            "--lane-capacity" => {
+                stream_cfg.lane_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--lane-capacity needs an integer (0 = off)"));
+            }
+            "--idle-timeout-secs" => {
+                let secs: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--idle-timeout-secs needs an integer"));
+                server_cfg.idle_timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: verifyd <data.csv>... [--addr HOST:PORT] [--workers N] [--intake N] \
+                     [--lane-capacity N] [--idle-timeout-secs N] [--dict file]"
+                );
+                exit(0);
+            }
+            other => csv_paths.push(other.to_string()),
+        }
+    }
+    if csv_paths.is_empty() {
+        die("expected at least one <data.csv> argument");
+    }
+
+    let dict_entries = dict_path.map(|path| parse_data_dictionary(&read(&path)));
+    let mut namespaces = Vec::new();
+    for csv_path in &csv_paths {
+        let name = Path::new(csv_path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("data")
+            .to_string();
+        let mut table = match load_csv(&name, &read(csv_path)) {
+            Ok(t) => t,
+            Err(e) => die(&format!("failed to load {csv_path}: {e}")),
+        };
+        if let Some(entries) = &dict_entries {
+            apply_data_dictionary(&mut table, entries);
+        }
+        eprintln!(
+            "namespace {name}: {} rows × {} columns",
+            table.row_count(),
+            table.column_count()
+        );
+        let mut db = Database::new(name.clone());
+        db.add_table(table);
+        let service = match StreamingVerifier::new(db, CheckerConfig::default(), stream_cfg.clone())
+        {
+            Ok(s) => s,
+            Err(e) => die(&format!("cannot start verifier for {name}: {e}")),
+        };
+        namespaces.push((name, service));
+    }
+
+    let server = match VerifyServer::start(addr.as_str(), namespaces, server_cfg) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    eprintln!(
+        "verifyd listening on {} ({} worker threads per namespace; protocol v{})",
+        server.local_addr(),
+        if stream_cfg.workers == 0 {
+            "auto".to_string()
+        } else {
+            stream_cfg.workers.to_string()
+        },
+        aggchecker::server::protocol::VERSION,
+    );
+    // Serve until killed; connections run on their own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2)
+}

@@ -27,6 +27,8 @@
 //!   (CoreNLP/WordNet substitute),
 //! * [`ir`] — BM25 inverted index (Lucene substitute),
 //! * [`core`] — the checker itself,
+//! * [`server`] — networked front-end (`verifyd`): HTTP/JSON + binary
+//!   protocol over the streaming verifier (see `docs/protocol.md`),
 //! * [`corpus`] — synthetic test-case generator + the paper's examples,
 //! * [`baselines`] — ClaimBuster-FM / NaLIR-style baselines.
 
@@ -36,6 +38,7 @@ pub use agg_corpus as corpus;
 pub use agg_ir as ir;
 pub use agg_nlp as nlp;
 pub use agg_relational as relational;
+pub use agg_server as server;
 
 pub use agg_core::{
     AggChecker, BatchVerifier, CheckedClaim, CheckerConfig, IntakePolicy, RankedQuery,

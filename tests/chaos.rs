@@ -78,6 +78,7 @@ fn run_cell(name: &str, plan: FaultPlan, workers: usize, policy: IntakePolicy) {
             // Small enough that `Reject` actually rejects under a burst.
             intake_capacity: 4,
             max_respawns: 6,
+            lane_capacity: 0,
         },
     )
     .unwrap();
