@@ -90,6 +90,13 @@ pub struct EvalStats {
     /// re-probes the cache, bounded per aggregate by
     /// `agg_relational::MAX_POISON_RETRIES`). 0 in fault-free runs.
     pub poison_retries: u64,
+    /// Compressed storage blocks decoded by this evaluator's scans (per
+    /// member grid; 0 when scans ran on plain columns).
+    pub blocks_scanned: u64,
+    /// Blocks bulk-applied from zone-map metadata without decoding.
+    pub blocks_skipped: u64,
+    /// Encoded payload bytes read by the decoded blocks.
+    pub bytes_scanned: u64,
 }
 
 impl EvalStats {
@@ -103,6 +110,9 @@ impl EvalStats {
         self.singleflight_waits += other.singleflight_waits;
         self.scan_passes += other.scan_passes;
         self.poison_retries += other.poison_retries;
+        self.blocks_scanned += other.blocks_scanned;
+        self.blocks_skipped += other.blocks_skipped;
+        self.bytes_scanned += other.bytes_scanned;
     }
 
     /// Average member tasks per fused pass (1.0 when nothing fused; 0.0
@@ -338,6 +348,9 @@ impl<'a> Evaluator<'a> {
         self.stats.rows_scanned += outcome.stats.rows_scanned;
         self.stats.scan_passes += outcome.stats.scan_passes;
         self.stats.poison_retries += outcome.stats.poison_retries;
+        self.stats.blocks_scanned += outcome.stats.blocks_scanned;
+        self.stats.blocks_skipped += outcome.stats.blocks_skipped;
+        self.stats.bytes_scanned += outcome.stats.bytes_scanned;
         let resolved = outcome.slices;
 
         // ---- Phase 3: demultiplex into per-claim result matrices. ----

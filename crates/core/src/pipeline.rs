@@ -147,6 +147,13 @@ pub struct RunStats {
     /// poisoned (its computing worker panicked) and re-probed the cache.
     /// Always 0 in fault-free runs.
     pub poison_retries: u64,
+    /// Compressed storage blocks decoded by this run's scans (per member
+    /// grid; 0 when every scan ran on plain columns).
+    pub blocks_scanned: u64,
+    /// Blocks bulk-applied from zone-map metadata without decoding.
+    pub blocks_skipped: u64,
+    /// Encoded payload bytes read by the decoded blocks.
+    pub bytes_scanned: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Wall-clock time inside query evaluation only.
@@ -654,6 +661,9 @@ impl AggChecker {
             singleflight_waits: eval_stats.singleflight_waits,
             scan_passes: eval_stats.scan_passes,
             poison_retries: eval_stats.poison_retries,
+            blocks_scanned: eval_stats.blocks_scanned,
+            blocks_skipped: eval_stats.blocks_skipped,
+            bytes_scanned: eval_stats.bytes_scanned,
             elapsed: started.elapsed(),
             query_time,
             candidate_space_log10: self.catalog.candidate_space_log10(),

@@ -635,6 +635,9 @@ pub mod wire {
         put_u64(out, s.singleflight_waits);
         put_u64(out, s.scan_passes);
         put_u64(out, s.poison_retries);
+        put_u64(out, s.blocks_scanned);
+        put_u64(out, s.blocks_skipped);
+        put_u64(out, s.bytes_scanned);
         put_f64(out, s.candidate_space_log10);
     }
 
@@ -652,6 +655,9 @@ pub mod wire {
             singleflight_waits: get_u64(buf)?,
             scan_passes: get_u64(buf)?,
             poison_retries: get_u64(buf)?,
+            blocks_scanned: get_u64(buf)?,
+            blocks_skipped: get_u64(buf)?,
+            bytes_scanned: get_u64(buf)?,
             elapsed: std::time::Duration::ZERO,
             query_time: std::time::Duration::ZERO,
             candidate_space_log10: get_f64(buf)?,

@@ -345,6 +345,12 @@ pub struct StreamStats {
     pub singleflight_waits: u64,
     /// Fused row passes executed for completed documents.
     pub scan_passes: u64,
+    /// Compressed storage blocks decoded by completed documents' scans.
+    pub blocks_scanned: u64,
+    /// Blocks bulk-applied from zone-map metadata without decoding.
+    pub blocks_skipped: u64,
+    /// Encoded payload bytes read by the decoded blocks.
+    pub bytes_scanned: u64,
 }
 
 impl StreamStats {
@@ -385,6 +391,9 @@ struct Counters {
     tasks_deduped: AtomicU64,
     singleflight_waits: AtomicU64,
     scan_passes: AtomicU64,
+    blocks_scanned: AtomicU64,
+    blocks_skipped: AtomicU64,
+    bytes_scanned: AtomicU64,
 }
 
 struct Submission {
@@ -587,6 +596,12 @@ impl DocGuard<'_> {
                             .fetch_add(report.stats.singleflight_waits, Ordering::Relaxed);
                         c.scan_passes
                             .fetch_add(report.stats.scan_passes, Ordering::Relaxed);
+                        c.blocks_scanned
+                            .fetch_add(report.stats.blocks_scanned, Ordering::Relaxed);
+                        c.blocks_skipped
+                            .fetch_add(report.stats.blocks_skipped, Ordering::Relaxed);
+                        c.bytes_scanned
+                            .fetch_add(report.stats.bytes_scanned, Ordering::Relaxed);
                     }
                     ReportStatus::TimedOut => {
                         c.timed_out.fetch_add(1, Ordering::Relaxed);
@@ -1152,6 +1167,9 @@ impl StreamingVerifier {
             tasks_deduped: c.tasks_deduped.load(Ordering::Relaxed),
             singleflight_waits: c.singleflight_waits.load(Ordering::Relaxed),
             scan_passes: c.scan_passes.load(Ordering::Relaxed),
+            blocks_scanned: c.blocks_scanned.load(Ordering::Relaxed),
+            blocks_skipped: c.blocks_skipped.load(Ordering::Relaxed),
+            bytes_scanned: c.bytes_scanned.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,602 @@
+//! Block-based compressed column encodings with per-block zone maps.
+//!
+//! The plain storage layer keeps dictionary codes as `Vec<u32>` and numeric
+//! values as `Vec<Option<_>>`; every fused scan touches every row of every
+//! referenced column. This module adds a compressed, block-oriented view
+//! built once when a table is sealed ([`crate::table::Table::seal`]):
+//!
+//! * string columns become [`CodeBlock`]s of [`BLOCK_ROWS`] rows each,
+//!   either **bit-packed** to `ceil(log2(dict_len))` bits per code (with a
+//!   null bitmap when the block has NULLs) or **run-length encoded** when
+//!   runs are the smaller representation (sorted or low-cardinality data);
+//! * numeric columns keep their plain values but gain per-block
+//!   [`NumZone`]s (min/max/null count) so scans can reason about a block
+//!   without reading it;
+//! * every code block carries a [`ZoneMap`] — min/max dictionary code over
+//!   the non-null rows, null count, and run count — which is what lets the
+//!   cube kernel prove "no row of this block can match any relevant
+//!   literal" or "every row of this block lands in one grid cell" and
+//!   bulk-apply the block instead of decoding it (`crate::cube`).
+//!
+//! The block size is [`BLOCK_ROWS`] = the cube kernel's scan-chunk size, so
+//! one scan chunk is exactly one storage block: the encoded path keeps the
+//! same block structure, the same chaos-hook cadence, and the same f64
+//! accumulation order as the plain path — reports stay bit-identical
+//! (`docs/storage.md` spells out the determinism contract).
+
+use crate::column::{ColumnData, NULL_CODE};
+
+/// Rows per storage block. Deliberately equal to the cube kernel's
+/// `SCAN_BLOCK` (asserted there at compile time) so the block iterator of a
+/// fused scan maps one scan chunk onto exactly one storage block.
+pub const BLOCK_ROWS: usize = 2048;
+
+/// Zone map of one [`CodeBlock`]: enough metadata to decide, without
+/// decoding, whether a block can contain a relevant literal and whether it
+/// is constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Smallest dictionary code among non-null rows; `u32::MAX` when the
+    /// block is all-NULL (then `min_code > max_code`, so any "is some code
+    /// in range" test is vacuously false).
+    pub min_code: u32,
+    /// Largest dictionary code among non-null rows; 0 when all-NULL.
+    pub max_code: u32,
+    /// NULL rows in the block.
+    pub null_count: u32,
+    /// Distinct value runs (NULL counts as a value): 1 means the whole
+    /// block holds one value — or is entirely NULL.
+    pub run_count: u32,
+}
+
+/// Per-block zone map of a numeric column. The values themselves stay in
+/// the plain column; this is pure scan metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumZone {
+    /// Smallest non-null value (`f64::INFINITY` when all-NULL).
+    pub min: f64,
+    /// Largest non-null value (`f64::NEG_INFINITY` when all-NULL).
+    pub max: f64,
+    /// NULL rows in the block.
+    pub null_count: u32,
+}
+
+/// Physical representation of one block's dictionary codes.
+#[derive(Debug, Clone)]
+enum CodeRepr {
+    /// `width`-bit codes packed little-endian into `words`. NULL rows store
+    /// 0 and are disambiguated by the block's null bitmap; `width == 0`
+    /// means every non-null row holds code 0 (single-entry dictionary).
+    Packed { words: Box<[u64]> },
+    /// `(code, run length)` runs in row order; NULL runs store
+    /// [`NULL_CODE`] directly, so RLE blocks never need a bitmap.
+    Rle { runs: Box<[(u32, u32)]> },
+}
+
+/// One encoded block of a dictionary-coded column: up to [`BLOCK_ROWS`]
+/// rows, the cheaper of bit-packed or RLE representation, and a
+/// [`ZoneMap`].
+#[derive(Debug, Clone)]
+pub struct CodeBlock {
+    len: u32,
+    /// Bits per packed code (column-wide: `ceil(log2(dict_len))`).
+    width: u8,
+    repr: CodeRepr,
+    /// Bit `i` set ⇔ row `i` is NULL. Present only for packed blocks that
+    /// contain NULLs.
+    nulls: Option<Box<[u64]>>,
+    zone: ZoneMap,
+}
+
+/// Bits needed to store any code of a dictionary with `dict_len` entries.
+pub fn code_width(dict_len: usize) -> u8 {
+    if dict_len <= 1 {
+        0
+    } else {
+        (usize::BITS - (dict_len - 1).leading_zeros()) as u8
+    }
+}
+
+impl CodeBlock {
+    /// Encode one block of raw dictionary codes (`NULL_CODE` marks NULLs).
+    /// `width` is the column-wide packed width from [`code_width`].
+    ///
+    /// Representation choice is by encoded size: RLE wins when its runs
+    /// are smaller than the packed words plus (if the block has NULLs) the
+    /// null bitmap; ties go to bit-packing, whose decode is branch-lighter.
+    pub fn encode(codes: &[u32], width: u8) -> CodeBlock {
+        assert!(!codes.is_empty() && codes.len() <= BLOCK_ROWS);
+        let len = codes.len();
+
+        // One pass for runs and the zone map.
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut zone = ZoneMap {
+            min_code: u32::MAX,
+            max_code: 0,
+            null_count: 0,
+            run_count: 0,
+        };
+        for &code in codes {
+            if code == NULL_CODE {
+                zone.null_count += 1;
+            } else {
+                zone.min_code = zone.min_code.min(code);
+                zone.max_code = zone.max_code.max(code);
+            }
+            match runs.last_mut() {
+                Some((c, n)) if *c == code => *n += 1,
+                _ => runs.push((code, 1)),
+            }
+        }
+        zone.run_count = runs.len() as u32;
+
+        let has_nulls = zone.null_count > 0;
+        let rle_bytes = runs.len() * 8;
+        let packed_bytes = (len * width as usize).div_ceil(64) * 8
+            + if has_nulls { len.div_ceil(64) * 8 } else { 0 };
+        if rle_bytes < packed_bytes {
+            return CodeBlock {
+                len: len as u32,
+                width,
+                repr: CodeRepr::Rle {
+                    runs: runs.into_boxed_slice(),
+                },
+                nulls: None,
+                zone,
+            };
+        }
+
+        let mut words = vec![0u64; (len * width as usize).div_ceil(64)].into_boxed_slice();
+        let mut nulls = has_nulls.then(|| vec![0u64; len.div_ceil(64)].into_boxed_slice());
+        let w = width as usize;
+        for (i, &code) in codes.iter().enumerate() {
+            if code == NULL_CODE {
+                if let Some(bitmap) = &mut nulls {
+                    bitmap[i / 64] |= 1u64 << (i % 64);
+                }
+                continue; // NULL rows pack as 0.
+            }
+            debug_assert!(w == 0 && code == 0 || w > 0 && (code as u64) < (1u64 << w));
+            if w > 0 {
+                let bit = i * w;
+                words[bit / 64] |= (code as u64) << (bit % 64);
+                if bit % 64 + w > 64 {
+                    words[bit / 64 + 1] |= (code as u64) >> (64 - bit % 64);
+                }
+            }
+        }
+        CodeBlock {
+            len: len as u32,
+            width,
+            repr: CodeRepr::Packed { words },
+            nulls,
+            zone,
+        }
+    }
+
+    /// Rows in this block.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn zone(&self) -> &ZoneMap {
+        &self.zone
+    }
+
+    /// Encoded payload size in bytes (packed words or runs, plus the null
+    /// bitmap) — what a scan physically reads when it decodes this block.
+    pub fn encoded_bytes(&self) -> u64 {
+        let payload = match &self.repr {
+            CodeRepr::Packed { words } => words.len() * 8,
+            CodeRepr::Rle { runs } => runs.len() * 8,
+        };
+        let bitmap = self.nulls.as_ref().map_or(0, |b| b.len() * 8);
+        (payload + bitmap) as u64
+    }
+
+    /// The single code every row of this block holds, if the block is
+    /// constant: a one-run block is either one non-null value or all-NULL
+    /// (then [`NULL_CODE`] is returned).
+    pub fn constant_code(&self) -> Option<u32> {
+        (self.zone.run_count == 1).then_some(if self.zone.null_count > 0 {
+            NULL_CODE
+        } else {
+            self.zone.min_code
+        })
+    }
+
+    #[inline]
+    fn is_null_at(&self, i: usize) -> bool {
+        match &self.nulls {
+            Some(bitmap) => bitmap[i / 64] >> (i % 64) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Append the decoded raw codes (NULLs restored as [`NULL_CODE`]) —
+    /// the round-trip inverse of [`CodeBlock::encode`].
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        match &self.repr {
+            CodeRepr::Rle { runs } => {
+                for &(code, n) in runs.iter() {
+                    out.extend(std::iter::repeat_n(code, n as usize));
+                }
+            }
+            CodeRepr::Packed { words } => {
+                let w = self.width as usize;
+                for i in 0..self.len() {
+                    out.push(if self.is_null_at(i) {
+                        NULL_CODE
+                    } else if w == 0 {
+                        0
+                    } else {
+                        unpack(words, w, i)
+                    });
+                }
+            }
+        }
+    }
+
+    /// Decode this block **straight into a mixed-radix cell buffer**: for
+    /// every row `i`, add `table[code] * stride` (or `other * stride` for
+    /// codes outside the table — NULLs included, since `NULL_CODE` is out
+    /// of range) to `out[i]`. This is the cube kernel's per-dimension
+    /// decode: no intermediate `Vec<u32>` of codes is materialized, and RLE
+    /// runs add their constant contribution over the whole run span.
+    ///
+    /// `out[..self.len()]` must be valid; `table`/`other`/`stride` are the
+    /// dimension's dense-code LUT exactly as in the plain scan path.
+    pub fn add_dense_into(&self, table: &[u8], other: u8, stride: u32, out: &mut [u32]) {
+        let lookup = |code: u32| -> u32 {
+            let dense = if (code as usize) < table.len() {
+                table[code as usize]
+            } else {
+                other
+            };
+            dense as u32 * stride
+        };
+        match &self.repr {
+            CodeRepr::Rle { runs } => {
+                let mut pos = 0usize;
+                for &(code, n) in runs.iter() {
+                    let add = lookup(code);
+                    for slot in &mut out[pos..pos + n as usize] {
+                        *slot += add;
+                    }
+                    pos += n as usize;
+                }
+            }
+            CodeRepr::Packed { words } => {
+                let w = self.width as usize;
+                for (i, slot) in out.iter_mut().enumerate().take(self.len()) {
+                    let code = if self.is_null_at(i) {
+                        NULL_CODE
+                    } else if w == 0 {
+                        0
+                    } else {
+                        unpack(words, w, i)
+                    };
+                    *slot += lookup(code);
+                }
+            }
+        }
+    }
+}
+
+/// Extract the `i`-th `w`-bit code from little-endian packed `words`
+/// (`0 < w <= 32`).
+#[inline]
+fn unpack(words: &[u64], w: usize, i: usize) -> u32 {
+    let bit = i * w;
+    let (word, off) = (bit / 64, bit % 64);
+    let mut v = words[word] >> off;
+    if off + w > 64 {
+        v |= words[word + 1] << (64 - off);
+    }
+    (v & (u64::MAX >> (64 - w))) as u32
+}
+
+/// The sealed, block-encoded view of one column
+/// ([`crate::table::Table::seal`] builds one per column).
+#[derive(Debug, Clone)]
+pub enum ColumnEncoding {
+    /// Dictionary-coded column: compressed code blocks with zone maps.
+    Codes {
+        /// Column-wide packed width, `ceil(log2(dict_len))` bits.
+        width: u8,
+        blocks: Vec<CodeBlock>,
+    },
+    /// Numeric column: per-block zone maps over the plain values.
+    Numeric { zones: Vec<NumZone> },
+}
+
+impl ColumnEncoding {
+    /// Encode one column into blocks of [`BLOCK_ROWS`] rows.
+    pub fn build(col: &ColumnData) -> ColumnEncoding {
+        match col {
+            ColumnData::Str { codes, dict } => {
+                let width = code_width(dict.len());
+                ColumnEncoding::Codes {
+                    width,
+                    blocks: codes
+                        .chunks(BLOCK_ROWS)
+                        .map(|chunk| CodeBlock::encode(chunk, width))
+                        .collect(),
+                }
+            }
+            ColumnData::Int(values) => ColumnEncoding::Numeric {
+                zones: values
+                    .chunks(BLOCK_ROWS)
+                    .map(|chunk| num_zone(chunk.iter().map(|v| v.map(|i| i as f64))))
+                    .collect(),
+            },
+            ColumnData::Float(values) => ColumnEncoding::Numeric {
+                zones: values
+                    .chunks(BLOCK_ROWS)
+                    .map(|chunk| num_zone(chunk.iter().copied()))
+                    .collect(),
+            },
+        }
+    }
+
+    /// The code blocks, for dictionary-coded columns.
+    pub fn code_blocks(&self) -> Option<&[CodeBlock]> {
+        match self {
+            ColumnEncoding::Codes { blocks, .. } => Some(blocks),
+            ColumnEncoding::Numeric { .. } => None,
+        }
+    }
+
+    /// Blocks in this encoding.
+    pub fn block_count(&self) -> usize {
+        match self {
+            ColumnEncoding::Codes { blocks, .. } => blocks.len(),
+            ColumnEncoding::Numeric { zones } => zones.len(),
+        }
+    }
+
+    /// NULL rows in block `b` — the one zone-map field every column kind
+    /// shares, which is what `COUNT(col)` bulk application needs.
+    pub fn block_null_count(&self, b: usize) -> u32 {
+        match self {
+            ColumnEncoding::Codes { blocks, .. } => blocks[b].zone().null_count,
+            ColumnEncoding::Numeric { zones } => zones[b].null_count,
+        }
+    }
+
+    /// Total encoded payload bytes (0 for numeric zone-only encodings,
+    /// whose values stay in the plain column).
+    pub fn encoded_bytes(&self) -> u64 {
+        match self {
+            ColumnEncoding::Codes { blocks, .. } => {
+                blocks.iter().map(CodeBlock::encoded_bytes).sum()
+            }
+            ColumnEncoding::Numeric { .. } => 0,
+        }
+    }
+}
+
+fn num_zone(values: impl Iterator<Item = Option<f64>>) -> NumZone {
+    let mut zone = NumZone {
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        null_count: 0,
+    };
+    for v in values {
+        match v {
+            Some(v) => {
+                zone.min = zone.min.min(v);
+                zone.max = zone.max.max(v);
+            }
+            None => zone.null_count += 1,
+        }
+    }
+    zone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use proptest::prelude::*;
+
+    fn round_trip(codes: &[u32], width: u8) -> Vec<u32> {
+        let block = CodeBlock::encode(codes, width);
+        assert_eq!(block.len(), codes.len());
+        let mut out = Vec::new();
+        block.decode_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn code_width_matches_dictionary_sizes() {
+        assert_eq!(code_width(0), 0);
+        assert_eq!(code_width(1), 0);
+        assert_eq!(code_width(2), 1);
+        assert_eq!(code_width(5), 3);
+        assert_eq!(code_width(256), 8);
+        assert_eq!(code_width(257), 9);
+        assert_eq!(code_width(1 << 20), 20);
+    }
+
+    #[test]
+    fn packed_round_trip_every_width() {
+        // All widths 1..=32, including codes that straddle word boundaries,
+        // plus the 0-bit constant-column case.
+        for width in 0u8..=32 {
+            let max = if width == 0 { 0 } else { (1u64 << width) - 1 };
+            let codes: Vec<u32> = (0..131u64)
+                .map(|i| (i * 2654435761 % (max + 1)) as u32)
+                .collect();
+            assert_eq!(round_trip(&codes, width), codes, "width {width}");
+        }
+    }
+
+    #[test]
+    fn nulls_round_trip_in_both_representations() {
+        // Alternating values force the packed path; the bitmap restores
+        // NULL_CODE exactly.
+        let packed: Vec<u32> = (0..200u32)
+            .map(|i| if i % 3 == 0 { NULL_CODE } else { i % 7 })
+            .collect();
+        assert_eq!(round_trip(&packed, 3), packed);
+        // Long runs force RLE; NULL runs are stored as NULL_CODE runs.
+        let mut rle = vec![4u32; 600];
+        rle.extend(vec![NULL_CODE; 600]);
+        rle.extend(vec![1u32; 600]);
+        let block = CodeBlock::encode(&rle, 3);
+        assert!(matches!(block.repr, CodeRepr::Rle { .. }));
+        assert_eq!(round_trip(&rle, 3), rle);
+    }
+
+    #[test]
+    fn representation_choice_tracks_encoded_size() {
+        // 2048 alternating 10-bit codes: packed = 2048*10/8 = 2560 B,
+        // RLE = 2048 runs * 8 B — packed must win.
+        let alternating: Vec<u32> = (0..BLOCK_ROWS as u32).map(|i| 512 + i % 2).collect();
+        let block = CodeBlock::encode(&alternating, 10);
+        assert!(matches!(block.repr, CodeRepr::Packed { .. }));
+        assert_eq!(
+            block.encoded_bytes(),
+            (BLOCK_ROWS * 10 / 64).div_ceil(1) as u64 * 8
+        );
+
+        // One constant run beats any packing.
+        let constant = vec![7u32; BLOCK_ROWS];
+        let block = CodeBlock::encode(&constant, 10);
+        assert!(matches!(block.repr, CodeRepr::Rle { .. }));
+        assert_eq!(block.encoded_bytes(), 8);
+        assert_eq!(block.constant_code(), Some(7));
+    }
+
+    #[test]
+    fn zone_maps_summarize_blocks() {
+        let codes = [5u32, 5, 9, NULL_CODE, 2, 2, 2];
+        let block = CodeBlock::encode(&codes, 4);
+        let zone = block.zone();
+        assert_eq!((zone.min_code, zone.max_code), (2, 9));
+        assert_eq!(zone.null_count, 1);
+        assert_eq!(zone.run_count, 4);
+        assert_eq!(block.constant_code(), None);
+
+        let all_null = CodeBlock::encode(&[NULL_CODE; 4], 4);
+        assert!(all_null.zone().min_code > all_null.zone().max_code);
+        assert_eq!(all_null.constant_code(), Some(NULL_CODE));
+    }
+
+    #[test]
+    fn add_dense_into_matches_plain_lookup() {
+        let codes: Vec<u32> = (0..500u32)
+            .map(|i| if i % 11 == 0 { NULL_CODE } else { i % 6 })
+            .collect();
+        // LUT: codes 1 and 4 are literals 0 and 1, everything else OTHER=2.
+        let table = [2u8, 0, 2, 2, 1, 2];
+        let (other, stride) = (2u8, 5u32);
+        for force_rle in [false, true] {
+            let data: Vec<u32> = if force_rle {
+                codes.iter().flat_map(|&c| [c; 4]).collect()
+            } else {
+                codes.clone()
+            };
+            let block = CodeBlock::encode(&data, 3);
+            let mut out = vec![100u32; data.len()];
+            block.add_dense_into(&table, other, stride, &mut out);
+            for (i, &code) in data.iter().enumerate() {
+                let dense = if (code as usize) < table.len() {
+                    table[code as usize]
+                } else {
+                    other
+                };
+                assert_eq!(out[i], 100 + dense as u32 * stride, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_encoding_covers_all_types() {
+        let mut str_col = ColumnData::new(crate::value::DataType::Str);
+        for i in 0..(BLOCK_ROWS + 10) {
+            str_col.push(&Value::Str(format!("v{}", i % 3)));
+        }
+        let enc = ColumnEncoding::build(&str_col);
+        assert_eq!(enc.block_count(), 2);
+        let blocks = enc.code_blocks().unwrap();
+        assert_eq!(blocks[0].len(), BLOCK_ROWS);
+        assert_eq!(blocks[1].len(), 10);
+
+        let mut int_col = ColumnData::new(crate::value::DataType::Int);
+        int_col.push(&Value::Int(3));
+        int_col.push(&Value::Null);
+        int_col.push(&Value::Int(-7));
+        let enc = ColumnEncoding::build(&int_col);
+        assert_eq!(enc.block_count(), 1);
+        assert_eq!(enc.block_null_count(0), 1);
+        match enc {
+            ColumnEncoding::Numeric { ref zones } => {
+                assert_eq!((zones[0].min, zones[0].max), (-7.0, 3.0));
+            }
+            _ => panic!("int column must get numeric zones"),
+        }
+        assert_eq!(
+            enc.encoded_bytes(),
+            0,
+            "numeric values stay in the plain column"
+        );
+    }
+
+    proptest! {
+        /// plain → encode (either representation) → decode is the identity
+        /// for every width 0..=32, block-boundary lengths, and NULL mixes.
+        #[test]
+        fn encode_decode_round_trips(
+            width in 0u8..=32,
+            len in 1usize..600,
+            null_period in 0u32..5,
+            run_stretch in 1usize..9,
+        ) {
+            let max = if width == 0 { 0 } else { (1u64 << width) - 1 };
+            let codes: Vec<u32> = (0..len as u64)
+                .flat_map(|i| {
+                    let code = if null_period > 0 && i % null_period as u64 == 0 {
+                        NULL_CODE
+                    } else {
+                        ((i * 2654435761) % (max + 1)) as u32
+                    };
+                    std::iter::repeat_n(code, run_stretch)
+                })
+                .take(BLOCK_ROWS)
+                .collect();
+            prop_assert_eq!(round_trip(&codes, width), codes);
+        }
+
+        /// Zone maps are exact: recomputing from raw codes agrees.
+        #[test]
+        fn zone_maps_are_exact(raw in prop::collection::vec(0u32..55, 1..300)) {
+            // Values ≥ 50 stand in for NULL (shim has no prop_oneof).
+            let codes: Vec<u32> = raw.iter().map(|&c| if c >= 50 { NULL_CODE } else { c }).collect();
+            let block = CodeBlock::encode(&codes, 6);
+            let zone = block.zone();
+            let non_null: Vec<u32> = codes.iter().copied().filter(|&c| c != NULL_CODE).collect();
+            prop_assert_eq!(zone.null_count as usize, codes.len() - non_null.len());
+            if non_null.is_empty() {
+                prop_assert!(zone.min_code > zone.max_code);
+            } else {
+                prop_assert_eq!(zone.min_code, *non_null.iter().min().unwrap());
+                prop_assert_eq!(zone.max_code, *non_null.iter().max().unwrap());
+            }
+            let mut run_count = 0u32;
+            let mut prev = None;
+            for &c in &codes {
+                if prev != Some(c) {
+                    run_count += 1;
+                    prev = Some(c);
+                }
+            }
+            prop_assert_eq!(zone.run_count, run_count);
+        }
+    }
+}

@@ -149,6 +149,7 @@ pub fn load_csv(table_name: &str, input: &str) -> Result<Table> {
         }
         table.push_row(&scratch)?;
     }
+    table.seal();
     Ok(table)
 }
 

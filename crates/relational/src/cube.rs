@@ -57,8 +57,26 @@
 //! * **member-order updates** — within each row block the grids are
 //!   updated in member (task-submission) order, so even the side effects
 //!   of a pass are deterministic for any member set.
+//!
+//! # Compressed block execution
+//!
+//! When the scanned relation is a single **sealed** table
+//! ([`crate::table::Table::seal`]) and every dimension is
+//! dictionary-coded, sequential scans run **directly on the compressed
+//! blocks** ([`crate::block`]): each [`crate::block::BLOCK_ROWS`]-row
+//! scan chunk is one
+//! storage block, its zone maps are consulted before any decode, blocks
+//! provably constant across all dimensions are bulk-applied (counts) or
+//! cell-splatted (value aggregates), and everything else decodes
+//! bit-packed/RLE codes straight into the mixed-radix cell buffer. The
+//! encoded path is bit-identical to the plain one — same rows, same
+//! order, same f64 accumulation sequence — and reports per-member
+//! [`CubeStats::blocks_scanned`] / [`CubeStats::blocks_skipped`] /
+//! [`CubeStats::bytes_scanned`]. See `docs/storage.md` for the proof
+//! obligations and skip rules.
 
 use crate::aggregate::Accumulator;
+use crate::block::{CodeBlock, ColumnEncoding};
 use crate::database::{ColumnRef, Database};
 use crate::error::{RelationalError, Result};
 use crate::fxhash::FxHashMap;
@@ -150,6 +168,15 @@ pub struct CubeStats {
     pub grid_mode: GridMode,
     /// Dense-grid cell count (the mixed-radix product); 0 when hashed.
     pub dense_cells: u64,
+    /// Storage blocks decoded by the encoded scan path. 0 when the scan
+    /// ran on plain columns (unsealed table, join scope, numeric dim, or a
+    /// parallel partitioned scan).
+    pub blocks_scanned: u64,
+    /// Storage blocks whose aggregates were bulk-applied from zone-map
+    /// metadata alone — no per-row work, nothing decoded.
+    pub blocks_skipped: u64,
+    /// Encoded payload bytes physically read by the decoded blocks.
+    pub bytes_scanned: u64,
 }
 
 /// Tuning knobs for one cube execution. The defaults match the paper's
@@ -347,7 +374,13 @@ fn new_accumulators(aggregates: &[(AggFunction, AggColumn)]) -> Vec<Accumulator>
 /// each aggregate sweeps the block in a loop specialized to its kind. This
 /// hoists the aggregate dispatch out of the per-row hot path and keeps the
 /// touched cells resident in cache.
+///
+/// Pinned to the storage block size so one scan chunk is exactly one
+/// compressed block ([`crate::block`]): the encoded path consults one zone
+/// map, decodes (or bulk-applies) one block, and fires the chaos hook once
+/// per chunk per dense member — the same cadence as the plain path.
 const SCAN_BLOCK: usize = 2048;
+const _: () = assert!(SCAN_BLOCK == crate::block::BLOCK_ROWS);
 
 /// Arena-reuse counters (see [`GridArena::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -738,6 +771,76 @@ impl DenseGrid {
         }
     }
 
+    /// Fold storage block `block_idx` (rows `row..row + len`) into the grid
+    /// **from its compressed encoding** — the encoded twin of
+    /// [`DenseGrid::scan_block`], bit-identical to it by construction:
+    ///
+    /// * If the zone maps prove every dimension constant over the block
+    ///   and all aggregates are plain counts, the block is *bulk-applied*
+    ///   — one `+= len` per count, no decode (`blocks_skipped`).
+    /// * If the dimensions are constant but an aggregate needs row values,
+    ///   the constant cell is splatted into `cellbuf` and aggregates run
+    ///   row-at-a-time over the plain columns — the dimension decode is
+    ///   still saved.
+    /// * Otherwise each dimension's block decodes straight into the
+    ///   mixed-radix `cellbuf` (RLE runs add their constant contribution
+    ///   over the whole span; bit-packed codes unpack row-at-a-time) with
+    ///   no intermediate code vector, then aggregates sweep exactly as in
+    ///   the plain path (`blocks_scanned` / `bytes_scanned`).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_block_encoded(
+        &mut self,
+        row: usize,
+        len: usize,
+        block_idx: usize,
+        plan: &ScanPlan<'_>,
+        enc: &EncodedMember<'_>,
+        cellbuf: &mut [u32; SCAN_BLOCK],
+        tally: &mut BlockTally,
+    ) {
+        // Same chaos-hook cadence as the plain `scan_block`: once per
+        // block per dense member, whichever branch handles the block.
+        #[cfg(any(test, feature = "chaos"))]
+        crate::chaos::scan_block_cross();
+        if let Some(cell) = enc.constant_cell(block_idx, &plan.codecs, &plan.strides) {
+            self.touched[cell] = true;
+            if enc.counts_only {
+                // Counts are order-insensitive integers: adding `len` at
+                // once is bit-identical to `len` increments.
+                for (state, agg_enc) in self.aggs.iter_mut().zip(&enc.agg_encodings) {
+                    let DenseAggState::Count(counts) = state else {
+                        unreachable!("counts_only guarantees Count states")
+                    };
+                    let nulls = agg_enc.map_or(0, |e| e.block_null_count(block_idx)) as usize;
+                    counts[cell] += (len - nulls) as u64;
+                }
+                tally.blocks_skipped += 1;
+                return;
+            }
+            // Value aggregates (Sum/Min/...) must see rows one at a time
+            // to keep f64 accumulation order identical; only the
+            // dimension decode is skipped.
+            cellbuf[..len].fill(cell as u32);
+        } else {
+            cellbuf[..len].fill(0);
+            for (dim, codec) in enc.dims.iter().zip(&plan.codecs) {
+                let DimCodec::StrTable { table, other, .. } = codec else {
+                    unreachable!("encoded members have table codecs only")
+                };
+                let block = &dim.blocks[block_idx];
+                block.add_dense_into(table, *other, dim.stride, &mut cellbuf[..len]);
+                tally.bytes_scanned += block.encoded_bytes();
+            }
+            for &cell in &cellbuf[..len] {
+                self.touched[cell as usize] = true;
+            }
+        }
+        for (state, ctx) in self.aggs.iter_mut().zip(&plan.agg_ctx) {
+            state.update_block(&cellbuf[..len], row, ctx);
+        }
+        tally.blocks_scanned += 1;
+    }
+
     fn merge(&mut self, other: &mut DenseGrid) {
         for (cell, touched) in other.touched.iter().enumerate() {
             if !touched {
@@ -912,12 +1015,20 @@ impl CubeQuery {
             .min(hardware)
             .min((n_rows / options.parallel_row_threshold.max(1)).max(1));
 
+        let mut tally = BlockTally::default();
         let grid = match plan.cells {
             Some(cells) => {
                 if threads <= 1 {
-                    let mut grid = DenseGrid::new_in(cells, &self.aggregates, arena);
-                    grid.scan(0..n_rows, &plan.codecs, &plan.strides, &plan.agg_ctx);
-                    MemberGrid::Dense(grid)
+                    let mut grid =
+                        MemberGrid::Dense(DenseGrid::new_in(cells, &self.aggregates, arena));
+                    scan_members(
+                        n_rows,
+                        &[self],
+                        std::slice::from_ref(&plan),
+                        std::slice::from_mut(&mut grid),
+                        std::slice::from_mut(&mut tally),
+                    );
+                    grid
                 } else {
                     let chunk = n_rows.div_ceil(threads);
                     let mut partials: Vec<DenseGrid> = std::thread::scope(|scope| {
@@ -953,9 +1064,15 @@ impl CubeQuery {
             }
             None => {
                 if threads <= 1 {
-                    let mut grid = HashedGrid::new();
-                    grid.scan(0..n_rows, &plan.codecs, &self.aggregates, &plan.agg_ctx);
-                    MemberGrid::Hashed(grid)
+                    let mut grid = MemberGrid::Hashed(HashedGrid::new());
+                    scan_members(
+                        n_rows,
+                        &[self],
+                        std::slice::from_ref(&plan),
+                        std::slice::from_mut(&mut grid),
+                        std::slice::from_mut(&mut tally),
+                    );
+                    grid
                 } else {
                     let chunk = n_rows.div_ceil(threads);
                     let partials: Vec<HashedGrid> = std::thread::scope(|scope| {
@@ -986,7 +1103,7 @@ impl CubeQuery {
                 }
             }
         };
-        Ok(self.finish_scan(grid, &plan, n_rows, threads as u32, arena))
+        Ok(self.finish_scan(grid, &plan, n_rows, threads as u32, tally, arena))
     }
 
     /// Build the per-row translation state for one scan of this cube:
@@ -1024,13 +1141,72 @@ impl CubeQuery {
             *s = stride;
             stride *= radix;
         }
+        let encoded = if cells.is_some() {
+            self.encoded_member(db, relation, &codecs, &strides)
+        } else {
+            None
+        };
         ScanPlan {
             codecs,
             agg_ctx,
             radices,
             strides,
             cells,
+            encoded,
         }
+    }
+
+    /// Build the compressed-block scan state for this cube, when eligible:
+    /// the relation must be a single table scanned in storage order, the
+    /// table must be sealed, and every dimension must be dictionary-coded
+    /// (numeric dimensions probe per row and keep the plain path). Any
+    /// miss returns `None` — the scan falls back to plain columns with
+    /// identical results.
+    fn encoded_member<'a>(
+        &self,
+        db: &'a Database,
+        relation: &JoinedRelation,
+        codecs: &[DimCodec<'a>],
+        strides: &[usize],
+    ) -> Option<EncodedMember<'a>> {
+        if !relation.is_identity() {
+            return None;
+        }
+        let table_idx = *relation.tables.first()?;
+        let encodings = db.table(table_idx).encodings()?;
+        let mut dims = Vec::with_capacity(self.dims.len());
+        for ((dim, lits), stride) in self.dims.iter().zip(&self.relevant).zip(strides) {
+            if !matches!(codecs[dims.len()], DimCodec::StrTable { .. }) {
+                return None;
+            }
+            let blocks = encodings[dim.column].code_blocks()?;
+            let col = db.column(*dim);
+            let mut lit_codes: Vec<u32> = lits
+                .iter()
+                .filter_map(|lit| col.group_code_of(lit).map(|c| c as u32))
+                .collect();
+            lit_codes.sort_unstable();
+            lit_codes.dedup();
+            dims.push(EncodedDim {
+                blocks,
+                lit_codes,
+                stride: *stride as u32,
+            });
+        }
+        let agg_encodings = self
+            .aggregates
+            .iter()
+            .map(|(_, col)| col.as_column().map(|c| &encodings[c.column]))
+            .collect();
+        let counts_only = self
+            .aggregates
+            .iter()
+            .all(|(f, _)| *f == AggFunction::Count);
+        Some(EncodedMember {
+            dims,
+            agg_encodings,
+            counts_only,
+        })
     }
 
     /// Turn one finished scan grid into the cube's [`CubeResult`]: extract
@@ -1041,6 +1217,7 @@ impl CubeQuery {
         plan: &ScanPlan<'_>,
         n_rows: usize,
         scan_threads: u32,
+        tally: BlockTally,
         arena: Option<&GridArena>,
     ) -> CubeResult {
         let d = self.dims.len();
@@ -1106,6 +1283,9 @@ impl CubeQuery {
             scan_threads,
             grid_mode,
             dense_cells,
+            blocks_scanned: tally.blocks_scanned,
+            blocks_skipped: tally.blocks_skipped,
+            bytes_scanned: tally.bytes_scanned,
         };
         let groups = keys
             .into_iter()
@@ -1138,6 +1318,88 @@ struct ScanPlan<'a> {
     strides: Vec<usize>,
     /// Dense-grid cell count; `None` sends the cube to the hashed grid.
     cells: Option<usize>,
+    /// Compressed-block scan state, when this member is eligible to run
+    /// directly on the sealed table's encodings (see
+    /// [`CubeQuery::encoded_member`]); `None` falls back to plain columns.
+    encoded: Option<EncodedMember<'a>>,
+}
+
+/// Per-member block counters accrued by one sequential scan pass.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockTally {
+    blocks_scanned: u64,
+    blocks_skipped: u64,
+    bytes_scanned: u64,
+}
+
+/// One dimension's encoded-scan state.
+struct EncodedDim<'a> {
+    /// The dimension column's compressed code blocks, aligned with the
+    /// scan chunks (one block per [`SCAN_BLOCK`] rows from row 0).
+    blocks: &'a [CodeBlock],
+    /// Sorted dictionary codes of this dimension's relevant literals —
+    /// the zone-map probe set: a block whose `[min_code, max_code]` range
+    /// contains none of these maps every row to OTHER.
+    lit_codes: Vec<u32>,
+    /// The dimension's mixed-radix stride, pre-narrowed for the decoder.
+    stride: u32,
+}
+
+/// Everything a dense member needs to scan compressed blocks instead of
+/// plain columns.
+struct EncodedMember<'a> {
+    dims: Vec<EncodedDim<'a>>,
+    /// Per-aggregate encoding of the input column (`None` for `COUNT(*)`),
+    /// consulted for per-block null counts during bulk application.
+    agg_encodings: Vec<Option<&'a ColumnEncoding>>,
+    /// Every aggregate is a plain `Count` — the only aggregates whose
+    /// run-length-batched application is bit-identical to row-at-a-time
+    /// (integer, order-insensitive). `Sum` is excluded deliberately:
+    /// `v * n` is not the same f64 as `n` sequential additions.
+    counts_only: bool,
+}
+
+impl EncodedMember<'_> {
+    /// The single grid cell every row of block `block_idx` lands in, if the
+    /// zone maps can prove it: each dimension must either be one run (one
+    /// value, or all-NULL) or have no relevant literal inside its
+    /// `[min_code, max_code]` range (then every row — NULLs included —
+    /// maps to OTHER). Returns `None` as soon as one dimension may vary.
+    fn constant_cell(
+        &self,
+        block_idx: usize,
+        codecs: &[DimCodec<'_>],
+        strides: &[usize],
+    ) -> Option<usize> {
+        let mut cell = 0usize;
+        for (dim, (codec, stride)) in self.dims.iter().zip(codecs.iter().zip(strides)) {
+            let DimCodec::StrTable { table, other, .. } = codec else {
+                unreachable!("encoded members have table codecs only")
+            };
+            let zone = dim.blocks[block_idx].zone();
+            let dense = if zone.run_count == 1 {
+                // One run: a single non-null value, or an all-NULL block
+                // (NULL counts as a run value, so any NULL means all-NULL).
+                if zone.null_count > 0 {
+                    *other
+                } else if (zone.min_code as usize) < table.len() {
+                    table[zone.min_code as usize]
+                } else {
+                    *other
+                }
+            } else {
+                // No literal inside the zone range ⇒ every row is OTHER.
+                // All-NULL blocks satisfy this vacuously (min > max).
+                let from = dim.lit_codes.partition_point(|&c| c < zone.min_code);
+                if dim.lit_codes.get(from).is_some_and(|&c| c <= zone.max_code) {
+                    return None;
+                }
+                *other
+            };
+            cell += dense as usize * stride;
+        }
+        Some(cell)
+    }
 }
 
 /// Execute several cubes over **one shared row pass** (the fused multi-cube
@@ -1206,23 +1468,64 @@ pub fn execute_fused_on_in(
         })
         .collect();
 
-    // The one row pass: each block of rows is folded into every member's
-    // grid before moving on, so the touched cells of all grids stay hot
-    // while the block's column values are still in cache.
+    let mut tallies = vec![BlockTally::default(); cubes.len()];
+    scan_members(n_rows, cubes, &plans, &mut grids, &mut tallies);
+
+    Ok(cubes
+        .iter()
+        .zip(plans)
+        .zip(grids)
+        .zip(tallies)
+        .map(|(((cube, plan), grid), tally)| cube.finish_scan(grid, &plan, n_rows, 1, tally, arena))
+        .collect())
+}
+
+/// The sequential scan driver shared by solo executions (`threads <= 1`)
+/// and fused multi-cube passes: one pass over `0..n_rows` in
+/// [`SCAN_BLOCK`]-row chunks, each chunk folded into every member's grid
+/// in member order before moving on (touched cells of all grids stay hot
+/// while the chunk's column values are still in cache).
+///
+/// One chunk is exactly one storage block, so dense members with an
+/// [`EncodedMember`] plan scan the compressed block —
+/// [`DenseGrid::scan_block_encoded`] consults its zone maps and either
+/// bulk-applies, splats, or decodes it — while everything else takes the
+/// plain [`DenseGrid::scan_block`] / [`HashedGrid::scan`] path. Because
+/// solo and fused scans share this driver, a member's per-block decisions
+/// (and therefore its [`CubeStats`] block counters) are identical in both,
+/// which the fused≡solo stats equality tests pin.
+fn scan_members(
+    n_rows: usize,
+    cubes: &[&CubeQuery],
+    plans: &[ScanPlan<'_>],
+    grids: &mut [MemberGrid],
+    tallies: &mut [BlockTally],
+) {
     let mut cellbuf = [0u32; SCAN_BLOCK];
     let mut row = 0usize;
+    let mut block_idx = 0usize;
     while row < n_rows {
         let len = (n_rows - row).min(SCAN_BLOCK);
-        for ((cube, plan), grid) in cubes.iter().zip(&plans).zip(&mut grids) {
+        for (((cube, plan), grid), tally) in cubes
+            .iter()
+            .zip(plans)
+            .zip(grids.iter_mut())
+            .zip(tallies.iter_mut())
+        {
             match grid {
-                MemberGrid::Dense(g) => g.scan_block(
-                    row,
-                    len,
-                    &plan.codecs,
-                    &plan.strides,
-                    &plan.agg_ctx,
-                    &mut cellbuf,
-                ),
+                MemberGrid::Dense(g) => match &plan.encoded {
+                    Some(enc) => {
+                        g.scan_block_encoded(row, len, block_idx, plan, enc, &mut cellbuf, tally)
+                    }
+                    None => g.scan_block(
+                        row,
+                        len,
+                        &plan.codecs,
+                        &plan.strides,
+                        &plan.agg_ctx,
+                        &mut cellbuf,
+                    ),
+                },
                 MemberGrid::Hashed(g) => g.scan(
                     row..row + len,
                     &plan.codecs,
@@ -1232,14 +1535,8 @@ pub fn execute_fused_on_in(
             }
         }
         row += len;
+        block_idx += 1;
     }
-
-    Ok(cubes
-        .iter()
-        .zip(plans)
-        .zip(grids)
-        .map(|((cube, plan), grid)| cube.finish_scan(grid, &plan, n_rows, 1, arena))
-        .collect())
 }
 
 /// Roll the finest-level groups up into every dimension subset,
@@ -1956,5 +2253,137 @@ mod tests {
                 assert_eq!(seq.get(&[sel], agg), par.get(&[sel], agg), "{sel:?}/{agg}");
             }
         }
+    }
+
+    /// Clustered (sorted) category column spanning four storage blocks:
+    /// block 0 is all "aaa", block 1 mixes the rare literal with "zzz",
+    /// blocks 2–3 are all "zzz".
+    fn clustered_db() -> Database {
+        let n = 4 * SCAN_BLOCK;
+        let cats: Vec<Value> = (0..n)
+            .map(|i| {
+                let c = if i < SCAN_BLOCK {
+                    "aaa"
+                } else if i < SCAN_BLOCK + 100 {
+                    "rare"
+                } else {
+                    "zzz"
+                };
+                Value::Str(c.into())
+            })
+            .collect();
+        let nums: Vec<Value> = (0..n)
+            .map(|i| {
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((i % 211) as i64)
+                }
+            })
+            .collect();
+        let t = Table::from_columns("clustered", vec![("cat", cats), ("num", nums)]).unwrap();
+        let mut db = Database::new("clustered");
+        db.add_table(t);
+        db
+    }
+
+    #[test]
+    fn encoded_scan_skips_constant_blocks_for_counts() {
+        let db = clustered_db();
+        let cat = db.resolve("clustered", "cat").unwrap();
+        let num = db.resolve("clustered", "num").unwrap();
+        let q = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["rare".into()]],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                (AggFunction::Count, AggColumn::Column(num)),
+            ],
+        };
+        let sealed = q.execute(&db).unwrap();
+        // Blocks 0, 2, 3 are provably constant (one run, or no literal in
+        // the zone range) and every aggregate is a count — bulk-applied.
+        // Block 1 contains the literal and must decode.
+        assert_eq!(sealed.stats.blocks_skipped, 3, "{:?}", sealed.stats);
+        assert_eq!(sealed.stats.blocks_scanned, 1, "{:?}", sealed.stats);
+        assert!(sealed.stats.bytes_scanned > 0, "{:?}", sealed.stats);
+
+        let mut plain_db = db.clone();
+        plain_db.unseal_tables();
+        let plain = q.execute(&plain_db).unwrap();
+        assert_eq!(plain.stats.blocks_scanned + plain.stats.blocks_skipped, 0);
+        assert_eq!(sealed.groups, plain.groups);
+    }
+
+    #[test]
+    fn encoded_scan_splats_constant_blocks_for_value_aggregates() {
+        let db = clustered_db();
+        let cat = db.resolve("clustered", "cat").unwrap();
+        let num = db.resolve("clustered", "num").unwrap();
+        let q = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["rare".into()]],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                (AggFunction::Sum, AggColumn::Column(num)),
+                (AggFunction::Avg, AggColumn::Column(num)),
+                (AggFunction::Min, AggColumn::Column(num)),
+            ],
+        };
+        let sealed = q.execute(&db).unwrap();
+        // Sum/Avg/Min need row values, so no block is bulk-applied — but
+        // constant blocks still save the dimension decode (splat) and the
+        // one mixed block pays decode bytes.
+        assert_eq!(sealed.stats.blocks_skipped, 0, "{:?}", sealed.stats);
+        assert_eq!(sealed.stats.blocks_scanned, 4, "{:?}", sealed.stats);
+        assert!(sealed.stats.bytes_scanned > 0, "{:?}", sealed.stats);
+
+        let mut plain_db = db.clone();
+        plain_db.unseal_tables();
+        let plain = q.execute(&plain_db).unwrap();
+        assert_eq!(sealed.groups, plain.groups, "encoded must be bit-identical");
+    }
+
+    #[test]
+    fn encoded_scan_falls_back_for_numeric_dimensions() {
+        let db = clustered_db();
+        let num = db.resolve("clustered", "num").unwrap();
+        let q = CubeQuery {
+            dims: vec![num],
+            relevant: vec![vec![Value::Int(7)]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        // Numeric dimensions probe per row — the plan must decline the
+        // encoded path even though the table is sealed.
+        let result = q.execute(&db).unwrap();
+        assert_eq!(result.stats.blocks_scanned + result.stats.blocks_skipped, 0);
+        let mut plain_db = db.clone();
+        plain_db.unseal_tables();
+        assert_eq!(result.groups, q.execute(&plain_db).unwrap().groups);
+    }
+
+    #[test]
+    fn fused_encoded_members_tally_like_solo() {
+        let db = clustered_db();
+        let cat = db.resolve("clustered", "cat").unwrap();
+        let num = db.resolve("clustered", "num").unwrap();
+        let count_cube = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["rare".into()]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        let sum_cube = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["aaa".into(), "zzz".into()]],
+            aggregates: vec![(AggFunction::Sum, AggColumn::Column(num))],
+        };
+        let options = CubeOptions::default();
+        let fused = execute_fused_in(&db, &[&count_cube, &sum_cube], &options, None).unwrap();
+        for (cube, fused_result) in [&count_cube, &sum_cube].iter().zip(&fused) {
+            let solo = cube.execute_with(&db, &options).unwrap();
+            assert_eq!(fused_result.stats, solo.stats);
+            assert_eq!(fused_result.groups, solo.groups);
+        }
+        assert!(fused[0].stats.blocks_skipped > 0, "{:?}", fused[0].stats);
     }
 }

@@ -39,10 +39,23 @@ impl Database {
         }
     }
 
-    /// Add a table, returning its index.
+    /// Add a table, returning its index. The table is sealed on the way in
+    /// ([`Table::seal`]) so fused scans over this database run on the
+    /// compressed block encodings.
     pub fn add_table(&mut self, table: Table) -> usize {
+        let mut table = table;
+        table.seal();
         self.tables.push(table);
         self.tables.len() - 1
+    }
+
+    /// Drop every table's block encodings, forcing all scans onto the
+    /// plain columnar path. For encoded≡plain A/B tests and benches only —
+    /// typically on a `clone()` of the sealed database.
+    pub fn unseal_tables(&mut self) {
+        for table in &mut self.tables {
+            table.unseal();
+        }
     }
 
     /// Declare a foreign key from `(from_table, from_column)` to the primary

@@ -181,6 +181,15 @@ impl JoinedRelation {
         self.len() == 0
     }
 
+    /// True when this relation is a single table scanned in storage order
+    /// (output row `i` ≡ base row `i`). Such scans can run directly on the
+    /// table's compressed blocks; materialized joins permute rows and fall
+    /// back to the plain path.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        matches!(self.rows, Rows::Identity(_))
+    }
+
     /// The base-table row index backing output row `row` for `table`.
     /// Panics if `table` is not part of the join.
     #[inline]

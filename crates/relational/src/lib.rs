@@ -28,6 +28,7 @@
 //! predicates.
 
 pub mod aggregate;
+pub mod block;
 pub mod cache;
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
@@ -49,6 +50,7 @@ pub mod table;
 pub mod value;
 
 pub use aggregate::{ratio_from_counts, Accumulator};
+pub use block::{code_width, CodeBlock, ColumnEncoding, NumZone, ZoneMap, BLOCK_ROWS};
 pub use cache::{
     CacheKey, CacheStats, CachedSlice, EvalCache, Flight, FlightGuard, FlightRequest, FlightWaiter,
     ShardStats, DEFAULT_CACHE_SHARDS,

@@ -550,6 +550,13 @@ pub struct WaveStats {
     /// the cache (bounded per aggregate, see [`MAX_POISON_RETRIES`])
     /// before possibly computing the key inline.
     pub poison_retries: u64,
+    /// Compressed storage blocks decoded by this wave's scans, summed over
+    /// member grids (each member decodes its own dimension blocks).
+    pub blocks_scanned: u64,
+    /// Blocks bulk-applied from zone-map metadata without decoding.
+    pub blocks_skipped: u64,
+    /// Encoded payload bytes read by the decoded blocks.
+    pub bytes_scanned: u64,
 }
 
 /// One wave's finished slices: `slices[request][aggregate]`, aligned with
@@ -724,8 +731,14 @@ pub fn run_requests(
     // are retried inline).
     let mut task_results: Vec<Arc<CubeResult>> = Vec::with_capacity(handles.len());
     for handle in handles {
-        task_results.push(handle.into_result()?);
+        let result = handle.into_result()?;
         stats.tasks_executed += 1;
+        // Block counters are per member grid (each member decodes its own
+        // dimension blocks), so they sum per task, unlike rows below.
+        stats.blocks_scanned += result.stats.blocks_scanned;
+        stats.blocks_skipped += result.stats.blocks_skipped;
+        stats.bytes_scanned += result.stats.bytes_scanned;
+        task_results.push(result);
     }
     for (_, members) in &pass_members {
         stats.scan_passes += 1;
@@ -820,6 +833,9 @@ fn resolve_wait(
                 stats.tasks_executed += 1;
                 stats.scan_passes += 1;
                 stats.rows_scanned += result.stats.rows_scanned;
+                stats.blocks_scanned += result.stats.blocks_scanned;
+                stats.blocks_skipped += result.stats.blocks_skipped;
+                stats.bytes_scanned += result.stats.bytes_scanned;
                 return Ok(CachedSlice::new(result, 0, f));
             }
         }

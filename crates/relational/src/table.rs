@@ -1,5 +1,6 @@
 //! A table: schema plus columnar data.
 
+use crate::block::ColumnEncoding;
 use crate::column::ColumnData;
 use crate::error::{RelationalError, Result};
 use crate::schema::{ColumnMeta, TableSchema};
@@ -11,6 +12,9 @@ pub struct Table {
     pub schema: TableSchema,
     columns: Vec<ColumnData>,
     row_count: usize,
+    /// Block encodings built by [`Table::seal`]; `None` while the table is
+    /// still mutable (any [`Table::push_row`] invalidates them).
+    encodings: Option<Vec<ColumnEncoding>>,
 }
 
 impl Table {
@@ -25,6 +29,7 @@ impl Table {
             schema,
             columns,
             row_count: 0,
+            encodings: None,
         }
     }
 
@@ -53,7 +58,32 @@ impl Table {
             let vals: Vec<Value> = columns.iter().map(|(_, v)| v[row].clone()).collect();
             table.push_row(&vals)?;
         }
+        table.seal();
         Ok(table)
+    }
+
+    /// Build the compressed block encodings ([`crate::block`]) for every
+    /// column. Idempotent; called automatically when a table reaches its
+    /// read-only serving form (`from_columns`, the CSV loader,
+    /// [`crate::database::Database::add_table`]). The fused scan kernel
+    /// uses the encodings when present and falls back to the plain columns
+    /// otherwise — results are bit-identical either way.
+    pub fn seal(&mut self) {
+        if self.encodings.is_none() {
+            self.encodings = Some(self.columns.iter().map(ColumnEncoding::build).collect());
+        }
+    }
+
+    /// Drop the block encodings, forcing scans back onto the plain
+    /// columnar path. Exists for A/B comparison (encoded ≡ plain tests and
+    /// benches); production tables stay sealed.
+    pub fn unseal(&mut self) {
+        self.encodings = None;
+    }
+
+    /// Per-column block encodings, if the table is sealed.
+    pub fn encodings(&self) -> Option<&[ColumnEncoding]> {
+        self.encodings.as_deref()
     }
 
     pub fn name(&self) -> &str {
@@ -101,6 +131,7 @@ impl Table {
             }
         }
         self.row_count += 1;
+        self.encodings = None;
         Ok(())
     }
 
@@ -174,6 +205,21 @@ mod tests {
         let t = sample();
         assert!(t.column_by_name("GAMES").is_some());
         assert!(t.column_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn sealing_builds_encodings_and_push_row_invalidates() {
+        let mut t = sample();
+        let enc = t.encodings().expect("from_columns seals");
+        assert_eq!(enc.len(), t.column_count());
+        assert_eq!(enc[0].block_count(), 1);
+        t.push_row(&["x".into(), "1".into(), Value::Int(2015)])
+            .unwrap();
+        assert!(t.encodings().is_none(), "mutation must invalidate");
+        t.seal();
+        assert!(t.encodings().is_some());
+        t.unseal();
+        assert!(t.encodings().is_none());
     }
 
     #[test]

@@ -461,6 +461,9 @@ pub fn stats_ok(s: &WireStats) -> Vec<u8> {
         st.tasks_deduped,
         st.singleflight_waits,
         st.scan_passes,
+        st.blocks_scanned,
+        st.blocks_skipped,
+        st.bytes_scanned,
     ] {
         wire::put_u64(&mut p, v);
     }
@@ -499,6 +502,9 @@ pub fn parse_stats_ok(mut buf: &[u8]) -> Result<WireStats, WireError> {
         tasks_deduped: wire::get_u64(buf)?,
         singleflight_waits: wire::get_u64(buf)?,
         scan_passes: wire::get_u64(buf)?,
+        blocks_scanned: wire::get_u64(buf)?,
+        blocks_skipped: wire::get_u64(buf)?,
+        bytes_scanned: wire::get_u64(buf)?,
     };
     let queue_depth = wire::get_u64(buf)?;
     let in_flight = wire::get_u64(buf)?;

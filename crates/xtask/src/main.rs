@@ -61,7 +61,7 @@
 //!
 //! # `chaos-gate`
 //!
-//! The robustness gate: judges `CHAOS_matrix.json` (emitted by
+//! The robustness gate: judges `target/CHAOS_matrix.json` (emitted by
 //! `cargo run --release --example chaos_matrix`, one record per seeded
 //! fault-matrix cell) and fails when any cell left a ticket unsettled,
 //! left a dangling in-flight cache entry after drain, broke the
@@ -71,7 +71,25 @@
 //! robustness regression, never runner noise.
 //!
 //! ```text
-//! cargo run -p xtask -- chaos-gate --file CHAOS_matrix.json
+//! cargo run -p xtask -- chaos-gate --file target/CHAOS_matrix.json
+//! ```
+//!
+//! # `skip-gate`
+//!
+//! The compressed-scan gate over `BENCH_cube.json`'s 1M-row clustered
+//! corpus variants: fails CI when (a) the selective-literal case skipped
+//! **zero** blocks (zone-map pruning silently stopped working), (b) the
+//! encoded path's cube results drifted from the plain path
+//! (`encoded_matches_plain != 1` — a correctness bug, not a perf one), or
+//! (c) the encoded full scan fell more than `--max-slowdown` behind the
+//! plain in-RAM scan on the same corpus. The slowdown bound is an in-run
+//! ratio of two timings from the same process, so runner pace cancels
+//! out, like `min-gate`'s normalized fields.
+//!
+//! ```text
+//! cargo run -p xtask -- skip-gate --file BENCH_cube.current.json \
+//!     --selective encoded_selective_1t \
+//!     --encoded encoded_full_1t --plain plain_full_1t --max-slowdown 2.0
 //! ```
 
 use std::process::ExitCode;
@@ -463,7 +481,7 @@ fn run_chaos_gate(json: &str) -> Result<GateOutcome, String> {
 }
 
 fn chaos_gate(args: &[String]) -> ExitCode {
-    let mut file = String::from("CHAOS_matrix.json");
+    let mut file = String::from("target/CHAOS_matrix.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -496,6 +514,116 @@ fn chaos_gate(args: &[String]) -> ExitCode {
             for failure in &outcome.failures {
                 eprintln!("chaos-gate FAIL: {failure}");
             }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Judge the compressed-scan variants of one cube benchmark file: the
+/// selective-literal case must have skipped at least one block, the
+/// encoded path must have produced exactly the plain path's results
+/// (`encoded_matches_plain == 1` at top level), and the encoded full
+/// scan's throughput must stay within `max_slowdown` of the plain scan's.
+fn run_skip_gate(
+    json: &str,
+    selective: &str,
+    encoded: &str,
+    plain: &str,
+    max_slowdown: f64,
+) -> Result<Vec<String>, String> {
+    if max_slowdown < 1.0 {
+        return Err("--max-slowdown must be >= 1.0".into());
+    }
+    let lookup = |metric: &str, name: &str| -> Result<f64, String> {
+        extract_variants(json, metric)
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("variant \"{name}\" has no \"{metric}\" in the file"))
+    };
+    let mut report = Vec::new();
+
+    // Correctness first: a fast encoded path that disagrees with the
+    // plain scan is a bug, not a win.
+    let matches_plain = number_field(json, "encoded_matches_plain")
+        .ok_or("no top-level \"encoded_matches_plain\" field in the file")?;
+    if matches_plain != 1.0 {
+        return Err(
+            "encoded_matches_plain != 1 — encoded-path results drifted from the plain scan".into(),
+        );
+    }
+    report.push("encoded results identical to the plain scan".to_string());
+
+    let skipped = lookup("blocks_skipped", selective)?;
+    let scanned = lookup("blocks_scanned", selective)?;
+    if skipped <= 0.0 {
+        return Err(format!(
+            "{selective} skipped 0 of {:.0} blocks — zone-map pruning is not firing on the \
+             selective-literal corpus",
+            scanned + skipped
+        ));
+    }
+    report.push(format!(
+        "{selective}: skipped {skipped:.0} of {:.0} blocks ({:.1}%)",
+        scanned + skipped,
+        100.0 * skipped / (scanned + skipped)
+    ));
+
+    let enc = lookup("rows_per_sec", encoded)?;
+    let pla = lookup("rows_per_sec", plain)?;
+    if enc <= 0.0 || pla <= 0.0 {
+        return Err("rows_per_sec must be positive for the slowdown bound".into());
+    }
+    let slowdown = pla / enc;
+    if slowdown > max_slowdown {
+        return Err(format!(
+            "{encoded} is {slowdown:.2}x slower than {plain} — past the {max_slowdown:.2}x bound"
+        ));
+    }
+    report.push(format!(
+        "{encoded} vs {plain}: {slowdown:.2}x (bound {max_slowdown:.2}x)"
+    ));
+    Ok(report)
+}
+
+fn skip_gate(args: &[String]) -> ExitCode {
+    let mut file = String::from("BENCH_cube.current.json");
+    let mut selective = String::from("encoded_selective_1t");
+    let mut encoded = String::from("encoded_full_1t");
+    let mut plain = String::from("plain_full_1t");
+    let mut max_slowdown = 2.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| it.next().cloned().unwrap_or_else(|| panic!("{what} VALUE"));
+        match arg.as_str() {
+            "--file" => file = take("--file"),
+            "--selective" => selective = take("--selective"),
+            "--encoded" => encoded = take("--encoded"),
+            "--plain" => plain = take("--plain"),
+            "--max-slowdown" => {
+                max_slowdown = take("--max-slowdown")
+                    .parse()
+                    .expect("--max-slowdown NUMBER")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let outcome = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {file}: {e}"))
+        .and_then(|json| run_skip_gate(&json, &selective, &encoded, &plain, max_slowdown));
+    match outcome {
+        Ok(report) => {
+            for line in &report {
+                println!("skip-gate ok: {line}");
+            }
+            println!("skip-gate: zone-map skipping live, encoded path faithful and within bounds");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("skip-gate FAIL: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -629,12 +757,14 @@ fn main() -> ExitCode {
         Some("dedup-gate") => dedup_gate(&args[1..]),
         Some("min-gate") => min_gate(&args[1..]),
         Some("chaos-gate") => chaos_gate(&args[1..]),
+        Some("skip-gate") => skip_gate(&args[1..]),
         Some("docs-gate") => docs_gate(&args[1..]),
         _ => {
             eprintln!("usage: xtask bench-gate [--baseline PATH] [--current PATH] [--threshold FRACTION] [--metric NAME] [--variants a,b] [--normalize-to NAME]");
             eprintln!("       xtask dedup-gate [--file PATH] [--metric NAME] [--variants a,b] [--le-variant NAME]");
             eprintln!("       xtask min-gate [--file PATH] [--field NAME] [--min NUMBER]");
             eprintln!("       xtask chaos-gate [--file PATH]");
+            eprintln!("       xtask skip-gate [--file PATH] [--selective NAME] [--encoded NAME] [--plain NAME] [--max-slowdown NUMBER]");
             eprintln!("       xtask docs-gate [--source PATH] [--docs PATH]");
             ExitCode::from(2)
         }
@@ -648,11 +778,12 @@ mod tests {
     const SAMPLE: &str = r#"{
   "rows": 10000,
   "variants": [
-    {"name": "seed_hashmap_1t", "mode": "seed-hashmap", "median_ns": 529196, "rows_per_sec": 18896590},
-    {"name": "dense_1t", "mode": "dense", "median_ns": 104226, "rows_per_sec": 95945350},
-    {"name": "dense_4t", "mode": "dense", "median_ns": 107148, "rows_per_sec": 93328854}
+    {"name": "seed_hashmap_1t", "mode": "seed-hashmap", "effective_parallelism": 1.00, "median_ns": 529196, "rows_per_sec": 18896590},
+    {"name": "dense_1t", "mode": "dense", "effective_parallelism": 1.00, "median_ns": 104226, "rows_per_sec": 95945350},
+    {"name": "dense_4t", "mode": "dense", "effective_parallelism": 0.25, "median_ns": 107148, "rows_per_sec": 93328854}
   ],
-  "speedup_dense4_vs_seed": 4.94
+  "speedup_dense4t_requested_vs_seed": 4.94,
+  "speedup_measured_at_threads": 1
 }"#;
 
     fn with_throughput(dense_1t: f64, dense_4t: f64) -> String {
@@ -978,6 +1109,111 @@ mod tests {
         let err = run_min_gate(json, "speedup_batch_vs_sequential_fresh", 1.5).unwrap_err();
         assert!(err.contains("below"), "{err}");
         assert!(run_min_gate(json, "no_such_field", 1.0).is_err());
+    }
+
+    fn skip_sample(matches: u64, skipped: u64, enc_rps: f64, plain_rps: f64) -> String {
+        format!(
+            r#"{{"rows": 10000, "block_corpus_rows": 1000000, "encoded_matches_plain": {matches},
+  "variants": [
+    {{"name": "dense_1t", "rows_per_sec": 95945350}},
+    {{"name": "encoded_selective_1t", "rows_per_sec": 1250000000, "blocks_scanned": 2, "blocks_skipped": {skipped}, "blocks_skipped_pct": 99.6}},
+    {{"name": "encoded_full_1t", "rows_per_sec": {enc_rps}, "blocks_scanned": 489, "blocks_skipped": 0, "blocks_skipped_pct": 0.0}},
+    {{"name": "plain_full_1t", "rows_per_sec": {plain_rps}}}
+]}}"#
+        )
+    }
+
+    #[test]
+    fn skip_gate_passes_when_skipping_and_parity_hold() {
+        let json = skip_sample(1, 487, 1.2e8, 1.5e8);
+        let report = run_skip_gate(
+            &json,
+            "encoded_selective_1t",
+            "encoded_full_1t",
+            "plain_full_1t",
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(report.len(), 3, "{report:?}");
+        assert!(report[1].contains("487"), "{report:?}");
+        // The encoded path being *faster* than plain is fine too.
+        let json = skip_sample(1, 487, 2.0e8, 1.5e8);
+        assert!(run_skip_gate(
+            &json,
+            "encoded_selective_1t",
+            "encoded_full_1t",
+            "plain_full_1t",
+            2.0
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn skip_gate_fails_each_violation_class() {
+        // Encoded results drifted from the plain scan: correctness trumps
+        // everything else, whatever the counters say.
+        let err = run_skip_gate(
+            &skip_sample(0, 487, 1.2e8, 1.5e8),
+            "encoded_selective_1t",
+            "encoded_full_1t",
+            "plain_full_1t",
+            2.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+        // Zero blocks skipped on the selective corpus.
+        let err = run_skip_gate(
+            &skip_sample(1, 0, 1.2e8, 1.5e8),
+            "encoded_selective_1t",
+            "encoded_full_1t",
+            "plain_full_1t",
+            2.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("zone-map"), "{err}");
+        // Encoded full scan slower than the 2x bound.
+        let err = run_skip_gate(
+            &skip_sample(1, 487, 0.6e8, 1.5e8),
+            "encoded_selective_1t",
+            "encoded_full_1t",
+            "plain_full_1t",
+            2.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("slower"), "{err}");
+    }
+
+    #[test]
+    fn skip_gate_rejects_missing_fields_and_bad_bound() {
+        let json = skip_sample(1, 487, 1.2e8, 1.5e8);
+        // A missing variant is an error, never a silent pass.
+        assert!(run_skip_gate(&json, "no_such", "encoded_full_1t", "plain_full_1t", 2.0).is_err());
+        assert!(run_skip_gate(
+            &json,
+            "encoded_selective_1t",
+            "no_such",
+            "plain_full_1t",
+            2.0
+        )
+        .is_err());
+        // A file without the parity flag predates the encoded path.
+        assert!(run_skip_gate(
+            "{\"variants\": []}",
+            "encoded_selective_1t",
+            "encoded_full_1t",
+            "plain_full_1t",
+            2.0
+        )
+        .is_err());
+        // Nonsensical bound.
+        assert!(run_skip_gate(
+            &json,
+            "encoded_selective_1t",
+            "encoded_full_1t",
+            "plain_full_1t",
+            0.5
+        )
+        .is_err());
     }
 
     const OPCODE_SOURCE: &str = r#"

@@ -3,12 +3,13 @@
 //! Runs the same fault matrix as `tests/chaos.rs` — injected scan panics,
 //! scan delays, single-flight poisoning, and wave-guard drops, across
 //! worker pools of 1/2/4/8 — and emits one JSON record per cell to
-//! `CHAOS_matrix.json` (same `"variants"` array shape as the benchmark
-//! files, so `xtask chaos-gate` reuses the scanner):
+//! `target/CHAOS_matrix.json` (same `"variants"` array shape as the
+//! benchmark files, so `xtask chaos-gate` reuses the scanner; the
+//! artifact lives under `target/` so it never clutters the repo root):
 //!
 //! ```text
 //! cargo run --release --example chaos_matrix
-//! cargo run -p xtask -- chaos-gate --file CHAOS_matrix.json
+//! cargo run -p xtask -- chaos-gate --file target/CHAOS_matrix.json
 //! ```
 //!
 //! The gate fails on any unsettled ticket, any dangling in-flight cache
@@ -252,9 +253,12 @@ fn main() {
         "{{\n  \"docs_per_cell\": {DOCS_PER_CELL},\n  \"variants\": [\n{}\n  ]\n}}\n",
         variants.join(",\n")
     );
-    std::fs::write("CHAOS_matrix.json", &json).expect("write CHAOS_matrix.json");
+    // `target/` exists whenever cargo built this example, but the runner
+    // may point CARGO_TARGET_DIR elsewhere — create the plain dir anyway.
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/CHAOS_matrix.json", &json).expect("write target/CHAOS_matrix.json");
     println!(
-        "wrote CHAOS_matrix.json ({} cells) — judge with `cargo run -p xtask -- chaos-gate`",
+        "wrote target/CHAOS_matrix.json ({} cells) — judge with `cargo run -p xtask -- chaos-gate`",
         records.len()
     );
 }

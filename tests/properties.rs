@@ -537,6 +537,59 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Compressed-block execution is purely physical: verifying a
+    /// randomized multi-document corpus against a **sealed** database
+    /// (columns carry dictionary-code block encodings, the cube scans
+    /// decode/skip blocks via zone maps) produces reports bit-identical
+    /// to the same corpus verified against an **unsealed** clone (plain
+    /// row-at-a-time scans) — at 1, 2, 4, and 8 workers.
+    #[test]
+    fn encoded_reports_match_plain_scan_reports(
+        seed in 1u64..10_000,
+        index in 0usize..4,
+        n_docs in 2usize..4,
+    ) {
+        use aggchecker::corpus::{generate_multi_doc_case, CorpusSpec};
+        use aggchecker::{BatchVerifier, CheckerConfig};
+
+        let spec = CorpusSpec::small(1, seed);
+        let case = generate_multi_doc_case(&spec, index, n_docs);
+        let texts: Vec<&str> = case.articles.iter().map(String::as_str).collect();
+
+        // `generate_multi_doc_case` builds the database through
+        // `Database::add_table`, which seals every table; stripping the
+        // encodings from a clone forces the plain scan path everywhere.
+        let mut plain_db = case.db.clone();
+        plain_db.unseal_tables();
+
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = CheckerConfig {
+                threads: workers,
+                ..CheckerConfig::default()
+            };
+            let encoded = BatchVerifier::new(case.db.clone(), cfg.clone())
+                .unwrap()
+                .verify_texts(&texts)
+                .unwrap();
+            let plain = BatchVerifier::new(plain_db.clone(), cfg)
+                .unwrap()
+                .verify_texts(&texts)
+                .unwrap();
+            for (i, (e, p)) in encoded.iter().zip(&plain).enumerate() {
+                prop_assert_eq!(
+                    e.content_fingerprint(),
+                    p.content_fingerprint(),
+                    "encoded≡plain: workers={} doc={} seed={} index={}",
+                    workers, i, seed, index
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// `BatchVerifier` over a randomized multi-document case (random
