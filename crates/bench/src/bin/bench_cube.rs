@@ -21,21 +21,38 @@
 //! compressed block path and feeds `xtask skip-gate`:
 //!
 //! * `encoded_selective_1t` — count-only cube with one selective literal;
-//!   zone maps let nearly every block bulk-apply (`blocks_skipped`);
+//!   zone maps let nearly every block bulk-apply (`blocks_skipped`).
+//!   Because most rows are *never decoded*, this variant deliberately has
+//!   no `rows_per_sec`: it reports `rows_considered` (corpus rows the scan
+//!   logically covered) and `rows_decoded_per_sec` (throughput over the
+//!   rows physically decoded) so skipping can't inflate a headline number;
 //! * `encoded_full_1t` / `plain_full_1t` — the full count+sum workload on
 //!   the sealed (block-decoding) vs unsealed (plain lookup) database, with
 //!   a top-level `encoded_matches_plain` flag from an exhaustive
 //!   cell-by-cell comparison of the two result grids.
 //!
-//! Every variant carries `threads_requested`, `threads_used` (the scan
-//! workers the executor actually ran — smaller on machines with fewer
+//! A third family, `partitioned_1t/2t/4t` (the `"partitioned"` array),
+//! runs the full workload over the same 1M-row clustered corpus with the
+//! default fixed-partition span (64 blocks ≈ 128k rows) and 1/2/4
+//! requested scan workers. Partition boundaries are a pure function of row
+//! count — never of worker count — and partition grids merge in ascending
+//! order, so every variant's result grid is **bit-identical**; each entry
+//! carries a `fingerprint` over every addressable cell, plus
+//! `partitions_scanned`/`partition_merges`, and the run is cross-checked
+//! against a partition-span-1 execution (`partition_size1_fingerprint`).
+//! The top-level `partition_fingerprints_match` flag feeds
+//! `xtask partition-gate`.
+//!
+//! Every timed variant carries `threads_requested`, `threads_used` (the
+//! scan workers the executor actually ran — smaller on machines with fewer
 //! cores), and their ratio `effective_parallelism`, so JSON readers can
-//! tell a 4-worker measurement from a clamped single-core one.
+//! tell a 4-worker measurement from a clamped single-core one rather than
+//! seeing a faked speedup.
 
 use agg_bench::metrics::median_timed_ns;
 use agg_relational::{
-    Accumulator, AggColumn, AggFunction, CubeOptions, CubeQuery, Database, DimSel, GridMode,
-    JoinedRelation, Table, Value,
+    Accumulator, AggColumn, AggFunction, CubeOptions, CubeQuery, CubeResult, Database, DimSel,
+    GridMode, JoinedRelation, Table, Value, BLOCK_ROWS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -253,14 +270,73 @@ struct BlockVariant {
     name: &'static str,
     mode: &'static str,
     median_ns: u64,
+    /// Whole-corpus throughput. Only meaningful — and only emitted — when
+    /// the scan actually visits every row (`full_scan`); for a selective
+    /// scan that bulk-applies skipped blocks it would divide rows the
+    /// executor never touched by the time it didn't spend on them.
     rows_per_sec: f64,
+    /// Emit `rows_per_sec`; false for selective scans, where the honest
+    /// figures are `rows_considered` + `rows_decoded_per_sec`.
+    full_scan: bool,
+    /// Corpus rows the scan logically covered (decoded or bulk-applied).
+    rows_considered: usize,
+    /// Rows physically decoded (≈ `blocks_scanned` × block rows, capped at
+    /// the corpus; the whole corpus on the plain path, which reads every
+    /// row but decodes no block).
+    rows_decoded: u64,
+    rows_decoded_per_sec: f64,
     blocks_scanned: u64,
     blocks_skipped: u64,
 }
 
+/// A timed partition-parallel run of the full workload over the clustered
+/// corpus, carrying the partition counters and result fingerprint from the
+/// same (median-time) execution.
+struct PartVariant {
+    name: &'static str,
+    threads_requested: u32,
+    threads_used: u32,
+    median_ns: u64,
+    rows_per_sec: f64,
+    rows_scanned: u64,
+    partitions_scanned: u64,
+    partition_merges: u64,
+    partition_parallelism: u32,
+    fingerprint: u64,
+}
+
+/// FNV-1a over the bit patterns of every addressable cell of the full
+/// workload's result grid (every selector combination × every aggregate).
+/// Bit-identical grids — the partition determinism contract — hash equal;
+/// any single-ULP drift in f64 accumulation order changes the digest.
+fn grid_fingerprint(query: &CubeQuery, result: &CubeResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bits: u64| {
+        h ^= bits;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for ci in (0..CATS.len()).map(DimSel::Literal).chain([DimSel::Any]) {
+        for ri in (0..REGIONS.len()).map(DimSel::Literal).chain([DimSel::Any]) {
+            for (idx, (f, _)) in query.aggregates.iter().enumerate() {
+                if matches!(f, AggFunction::Count | AggFunction::CountDistinct) {
+                    mix(result.get_count(&[ci, ri], idx).to_bits());
+                } else {
+                    match result.get(&[ci, ri], idx) {
+                        None => mix(u64::MAX),
+                        Some(v) => mix(v.to_bits()),
+                    }
+                }
+            }
+        }
+    }
+    h
+}
+
+#[allow(clippy::too_many_arguments)]
 fn time_block_variant(
     name: &'static str,
     mode: &'static str,
+    full_scan: bool,
     query: &CubeQuery,
     db: &Database,
     rows: usize,
@@ -272,11 +348,21 @@ fn time_block_variant(
         std::hint::black_box(result);
         counters
     });
+    let rows_decoded = if blocks_scanned + blocks_skipped == 0 {
+        rows as u64 // plain path: every row read, no block decoding involved
+    } else {
+        (blocks_scanned * BLOCK_ROWS as u64).min(rows as u64)
+    };
+    let secs = median_ns as f64 / 1e9;
     BlockVariant {
         name,
         mode,
         median_ns,
-        rows_per_sec: rows as f64 / (median_ns as f64 / 1e9),
+        rows_per_sec: rows as f64 / secs,
+        full_scan,
+        rows_considered: rows,
+        rows_decoded,
+        rows_decoded_per_sec: rows_decoded as f64 / secs,
         blocks_scanned,
         blocks_skipped,
     }
@@ -413,6 +499,7 @@ fn main() {
         time_block_variant(
             "encoded_selective_1t",
             "dense-encoded",
+            false,
             &selective,
             &block_db,
             block_rows,
@@ -421,6 +508,7 @@ fn main() {
         time_block_variant(
             "encoded_full_1t",
             "dense-encoded",
+            true,
             &full,
             &block_db,
             block_rows,
@@ -429,12 +517,97 @@ fn main() {
         time_block_variant(
             "plain_full_1t",
             "dense-plain",
+            true,
             &full,
             &plain_db,
             block_rows,
             samples,
         ),
     ];
+
+    // --- partitioned scans over the same 1M-row corpus -------------------
+    // The determinism contract under test: partition boundaries are a pure
+    // function of row count and span (never worker count) and partition
+    // grids merge in ascending order, so 1/2/4 workers — and a
+    // partition-span-1 run with one partition per storage block — must all
+    // produce bit-identical result grids.
+    let part_opts = |threads: usize| CubeOptions {
+        threads,
+        parallel_row_threshold: 1024,
+        ..CubeOptions::default()
+    };
+    let size1_fingerprint = {
+        let r = full
+            .execute_with(
+                &block_db,
+                &CubeOptions {
+                    partition_blocks: 1,
+                    ..part_opts(1)
+                },
+            )
+            .unwrap();
+        grid_fingerprint(&full, &r)
+    };
+    let part_variants: Vec<PartVariant> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let opts = part_opts(threads);
+            let name: &'static str = match threads {
+                1 => "partitioned_1t",
+                2 => "partitioned_2t",
+                _ => "partitioned_4t",
+            };
+            let (median_ns, payload) = median_timed_ns(samples, || {
+                let r = full.execute_with(&block_db, &opts).unwrap();
+                let payload = (
+                    r.stats.scan_threads,
+                    r.stats.rows_scanned,
+                    r.stats.partitions_scanned,
+                    r.stats.partition_merges,
+                    r.stats.partition_parallelism,
+                    grid_fingerprint(&full, &r),
+                );
+                std::hint::black_box(r);
+                payload
+            });
+            let (threads_used, rows_scanned, partitions, merges, parallelism, fingerprint) =
+                payload;
+            PartVariant {
+                name,
+                threads_requested: threads as u32,
+                threads_used,
+                median_ns,
+                rows_per_sec: block_rows as f64 / (median_ns as f64 / 1e9),
+                rows_scanned,
+                partitions_scanned: partitions,
+                partition_merges: merges,
+                partition_parallelism: parallelism,
+                fingerprint,
+            }
+        })
+        .collect();
+    // 1M rows at the default 64-block span is 8 partitions; a corpus too
+    // small to partition would quietly gut the whole family (and the
+    // partition-gate checks the emitted counter again in CI).
+    for v in &part_variants {
+        assert!(
+            v.partitions_scanned > 0,
+            "{}: the 1M-row corpus must span multiple partitions",
+            v.name
+        );
+        assert_eq!(
+            v.rows_scanned, block_rows as u64,
+            "{}: partitioned scan must cover the whole corpus",
+            v.name
+        );
+    }
+    let partition_fingerprints_match = part_variants
+        .iter()
+        .all(|v| v.fingerprint == size1_fingerprint);
+    assert!(
+        partition_fingerprints_match,
+        "partitioned result grids diverged across worker counts or partition spans"
+    );
 
     let seed_ns = variants[0].median_ns as f64;
     let dense4_ns = variants[3].median_ns as f64;
@@ -472,12 +645,24 @@ fn main() {
     }
     for (i, v) in block_variants.iter().enumerate() {
         let total_blocks = v.blocks_scanned + v.blocks_skipped;
+        // A full scan's corpus-rows-per-second is real throughput; a
+        // selective scan's would be fiction (rows it never decoded over
+        // time it never spent), so only the decode-denominated rate and
+        // the coverage count are emitted there.
+        let throughput = if v.full_scan {
+            format!("\"rows_per_sec\": {:.0}, ", v.rows_per_sec)
+        } else {
+            String::new()
+        };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"threads_requested\": 1, \"threads_used\": 1, \"effective_parallelism\": 1.00, \"median_ns\": {}, \"rows_per_sec\": {:.0}, \"blocks_scanned\": {}, \"blocks_skipped\": {}, \"blocks_skipped_pct\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"threads_requested\": 1, \"threads_used\": 1, \"effective_parallelism\": 1.00, \"median_ns\": {}, {}\"rows_considered\": {}, \"rows_decoded\": {}, \"rows_decoded_per_sec\": {:.0}, \"blocks_scanned\": {}, \"blocks_skipped\": {}, \"blocks_skipped_pct\": {:.1}}}{}\n",
             v.name,
             v.mode,
             v.median_ns,
-            v.rows_per_sec,
+            throughput,
+            v.rows_considered,
+            v.rows_decoded,
+            v.rows_decoded_per_sec,
             v.blocks_scanned,
             v.blocks_skipped,
             if total_blocks == 0 {
@@ -489,6 +674,32 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"partitioned\": [\n");
+    for (i, v) in part_variants.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads_requested\": {}, \"threads_used\": {}, \"effective_parallelism\": {:.2}, \"median_ns\": {}, \"rows_per_sec\": {:.0}, \"rows_scanned\": {}, \"partitions_scanned\": {}, \"partition_merges\": {}, \"partition_parallelism\": {}, \"fingerprint\": \"{:016x}\"}}{}\n",
+            v.name,
+            v.threads_requested,
+            v.threads_used,
+            v.threads_used as f64 / v.threads_requested as f64,
+            v.median_ns,
+            v.rows_per_sec,
+            v.rows_scanned,
+            v.partitions_scanned,
+            v.partition_merges,
+            v.partition_parallelism,
+            v.fingerprint,
+            if i + 1 < part_variants.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"partition_size1_fingerprint\": \"{size1_fingerprint:016x}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"partition_fingerprints_match\": {},\n",
+        if partition_fingerprints_match { 1 } else { 0 }
+    ));
     // Renamed from `speedup_dense4_vs_seed`: "4t" is what was *requested*;
     // the companion field records the scan workers the measured run
     // actually used (the hardware clamp makes this 1 on single-core

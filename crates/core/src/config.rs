@@ -129,9 +129,12 @@ pub struct CheckerConfig {
     /// batched verification (`BatchVerifier`) runs one shared scoped pool
     /// of this many workers that pulls documents *and* cube tasks from the
     /// same scheduler — there is no threads-per-document × workers
-    /// multiplication, so small machines are never oversubscribed. Cube
-    /// tasks always scan sequentially, which keeps reports bit-identical
-    /// across thread counts.
+    /// multiplication, so small machines are never oversubscribed. Scan
+    /// passes over large relations additionally split into fixed
+    /// partitions the pool's workers steal (see
+    /// [`CheckerConfig::partition_blocks`]); the fixed partition shape and
+    /// ascending merge order keep reports bit-identical across thread
+    /// counts.
     pub threads: usize,
     /// Lock stripes of the shared [`agg_relational::EvalCache`]. More
     /// shards means less contention when many batch workers score claims
@@ -147,6 +150,18 @@ pub struct CheckerConfig {
     /// reports are bit-identical with fusion on or off — so this knob
     /// exists for A/B measurement against the unfused execution shape.
     pub fuse_scans: bool,
+    /// Storage blocks per fixed scan partition (the partition-parallel
+    /// determinism contract's one tuning input; 64 blocks ≈ 128k rows).
+    /// Partition boundaries are a pure function of row count and this
+    /// span — never of worker count — and partition grids always merge in
+    /// ascending partition order, so **every** run with the same span
+    /// produces bit-identical reports at any worker count. Changing the
+    /// span regroups f64 accumulation and may legitimately move reports
+    /// by ulps on non-integer data (which is why golden fingerprints were
+    /// regenerated once when this contract landed). 0 disables
+    /// partitioning (one monolithic scan per pass, the pre-partition
+    /// shape).
+    pub partition_blocks: usize,
 }
 
 /// What [`StreamingVerifier::submit`](crate::stream::StreamingVerifier::submit)
@@ -249,6 +264,7 @@ impl Default for CheckerConfig {
             max_combos_per_claim: 20_000,
             strategy: EvalStrategy::MergedCached,
             fuse_scans: true,
+            partition_blocks: agg_relational::DEFAULT_PARTITION_BLOCKS,
         }
     }
 }

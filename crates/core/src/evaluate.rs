@@ -97,6 +97,17 @@ pub struct EvalStats {
     pub blocks_skipped: u64,
     /// Encoded payload bytes read by the decoded blocks.
     pub bytes_scanned: u64,
+    /// Fixed scan partitions executed by this evaluator's passes (charged
+    /// once per pass like [`EvalStats::rows_scanned`]; single-partition
+    /// passes charge 0). Worker-count independent by the determinism
+    /// contract.
+    pub partitions_scanned: u64,
+    /// Partition-grid merges performed (per member task). Worker-count
+    /// independent.
+    pub partition_merges: u64,
+    /// Max distinct workers observed on any one partitioned pass — the
+    /// only counter here that may legitimately vary run to run.
+    pub partition_parallelism: u32,
 }
 
 impl EvalStats {
@@ -113,6 +124,9 @@ impl EvalStats {
         self.blocks_scanned += other.blocks_scanned;
         self.blocks_skipped += other.blocks_skipped;
         self.bytes_scanned += other.bytes_scanned;
+        self.partitions_scanned += other.partitions_scanned;
+        self.partition_merges += other.partition_merges;
+        self.partition_parallelism = self.partition_parallelism.max(other.partition_parallelism);
     }
 
     /// Average member tasks per fused pass (1.0 when nothing fused; 0.0
@@ -225,6 +239,10 @@ pub struct Evaluator<'a> {
     /// Fuse same-scope tasks of one wave into shared scan passes; `false`
     /// reproduces the unfused one-pass-per-task shape for A/B comparison.
     fuse: bool,
+    /// Storage blocks per fixed scan partition (`CheckerConfig::
+    /// partition_blocks`; 0 disables partitioning). Part of the
+    /// determinism contract's inputs, never of its outputs.
+    partition_blocks: usize,
     pub stats: EvalStats,
 }
 
@@ -246,6 +264,7 @@ impl<'a> Evaluator<'a> {
             scheduler: None,
             bundling: TaskBundling::default(),
             fuse: true,
+            partition_blocks: agg_relational::DEFAULT_PARTITION_BLOCKS,
             stats: EvalStats::default(),
         }
     }
@@ -260,6 +279,14 @@ impl<'a> Evaluator<'a> {
     /// fusion is purely physical; see `agg_relational::schedule`).
     pub fn set_fusion(&mut self, fuse: bool) {
         self.fuse = fuse;
+    }
+
+    /// Set the fixed scan-partition span in storage blocks (0 disables
+    /// partitioning). Results are unaffected as long as every run over
+    /// the same corpus uses the same span — the span shapes the
+    /// deterministic partition/merge tree, not the semantics.
+    pub fn set_partition_blocks(&mut self, blocks: usize) {
+        self.partition_blocks = blocks;
     }
 
     /// Run up to `threads` concurrent cube tasks per evaluation wave (the
@@ -334,6 +361,7 @@ impl<'a> Evaluator<'a> {
             threads: self.threads,
             bundling: self.bundling,
             fuse: self.fuse,
+            partition_blocks: self.partition_blocks,
         };
         let outcome = run_requests(self.db, &exec, &requests)?;
         self.stats.cubes_cached += outcome.stats.key_hits;
@@ -351,6 +379,12 @@ impl<'a> Evaluator<'a> {
         self.stats.blocks_scanned += outcome.stats.blocks_scanned;
         self.stats.blocks_skipped += outcome.stats.blocks_skipped;
         self.stats.bytes_scanned += outcome.stats.bytes_scanned;
+        self.stats.partitions_scanned += outcome.stats.partitions_scanned;
+        self.stats.partition_merges += outcome.stats.partition_merges;
+        self.stats.partition_parallelism = self
+            .stats
+            .partition_parallelism
+            .max(outcome.stats.partition_parallelism);
         let resolved = outcome.slices;
 
         // ---- Phase 3: demultiplex into per-claim result matrices. ----

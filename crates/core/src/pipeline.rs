@@ -154,6 +154,18 @@ pub struct RunStats {
     pub blocks_skipped: u64,
     /// Encoded payload bytes read by the decoded blocks.
     pub bytes_scanned: u64,
+    /// Fixed scan partitions executed by this run's passes (charged once
+    /// per pass, like `rows_scanned`; single-partition passes charge 0).
+    /// Worker-count independent — the `partition-gate` pins it.
+    pub partitions_scanned: u64,
+    /// Partition-grid merges performed (per member task). Worker-count
+    /// independent.
+    pub partition_merges: u64,
+    /// Max distinct workers observed on any one partitioned pass. A
+    /// gauge: the only stat here that may legitimately vary run to run,
+    /// which is why it stays out of
+    /// [`VerificationReport::content_fingerprint`].
+    pub partition_parallelism: u32,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Wall-clock time inside query evaluation only.
@@ -346,6 +358,11 @@ pub(crate) struct ExecContext<'e> {
     /// ([`CheckerConfig::fuse_scans`]). Purely physical — reports are
     /// bit-identical either way.
     pub(crate) fuse: bool,
+    /// Storage blocks per fixed scan partition
+    /// ([`CheckerConfig::partition_blocks`]; 0 disables partitioning).
+    /// Every context over one checker passes the same value, so solo,
+    /// batched, and streaming runs share one partition/merge tree.
+    pub(crate) partition_blocks: usize,
     /// Per-document abort control (streaming deadlines and cancellation).
     /// `None` for solo and batch runs, which always run to completion.
     pub(crate) ctrl: Option<&'e DocControl>,
@@ -427,6 +444,7 @@ impl AggChecker {
                 threads: self.config.threads,
                 bundling: TaskBundling::Wave,
                 fuse: self.config.fuse_scans,
+                partition_blocks: self.config.partition_blocks,
                 ctrl: None,
                 observer: None,
             },
@@ -542,6 +560,7 @@ impl AggChecker {
                     evaluator.set_threads(ctx.threads);
                     evaluator.set_bundling(ctx.bundling);
                     evaluator.set_fusion(ctx.fuse);
+                    evaluator.set_partition_blocks(ctx.partition_blocks);
                     if let Some(arena) = ctx.arena {
                         evaluator.set_arena(arena);
                     }
@@ -664,6 +683,9 @@ impl AggChecker {
             blocks_scanned: eval_stats.blocks_scanned,
             blocks_skipped: eval_stats.blocks_skipped,
             bytes_scanned: eval_stats.bytes_scanned,
+            partitions_scanned: eval_stats.partitions_scanned,
+            partition_merges: eval_stats.partition_merges,
+            partition_parallelism: eval_stats.partition_parallelism,
             elapsed: started.elapsed(),
             query_time,
             candidate_space_log10: self.catalog.candidate_space_log10(),
@@ -903,6 +925,7 @@ impl BatchVerifier {
                 threads: self.checker.config.threads,
                 bundling: TaskBundling::Canonical,
                 fuse: self.checker.config.fuse_scans,
+                partition_blocks: self.checker.config.partition_blocks,
                 ctrl: None,
                 observer: None,
             };
@@ -936,6 +959,7 @@ impl BatchVerifier {
                                 threads: 1,
                                 bundling: TaskBundling::Canonical,
                                 fuse: checker.config.fuse_scans,
+                                partition_blocks: checker.config.partition_blocks,
                                 ctrl: None,
                                 observer: None,
                             };

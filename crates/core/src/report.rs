@@ -638,6 +638,9 @@ pub mod wire {
         put_u64(out, s.blocks_scanned);
         put_u64(out, s.blocks_skipped);
         put_u64(out, s.bytes_scanned);
+        put_u64(out, s.partitions_scanned);
+        put_u64(out, s.partition_merges);
+        put_u32(out, s.partition_parallelism);
         put_f64(out, s.candidate_space_log10);
     }
 
@@ -658,6 +661,9 @@ pub mod wire {
             blocks_scanned: get_u64(buf)?,
             blocks_skipped: get_u64(buf)?,
             bytes_scanned: get_u64(buf)?,
+            partitions_scanned: get_u64(buf)?,
+            partition_merges: get_u64(buf)?,
+            partition_parallelism: get_u32(buf)?,
             elapsed: std::time::Duration::ZERO,
             query_time: std::time::Duration::ZERO,
             candidate_space_log10: get_f64(buf)?,

@@ -153,7 +153,9 @@ impl std::error::Error for SubmitError {}
 #[derive(Debug)]
 enum TicketState {
     Pending,
-    Done(Result<VerificationReport, CheckerError>),
+    // Boxed: a settled report is >200 bytes, and every pending ticket
+    // would otherwise carry that much inline in its mutex.
+    Done(Box<Result<VerificationReport, CheckerError>>),
     Taken,
 }
 
@@ -172,7 +174,7 @@ impl TicketCell {
     }
 
     fn settle(&self, result: Result<VerificationReport, CheckerError>) {
-        *lock(&self.state) = TicketState::Done(result);
+        *lock(&self.state) = TicketState::Done(Box::new(result));
         self.cv.notify_all();
     }
 }
@@ -250,7 +252,7 @@ impl Ticket {
             return None;
         }
         match std::mem::replace(&mut *state, TicketState::Taken) {
-            TicketState::Done(result) => Some(result),
+            TicketState::Done(result) => Some(*result),
             TicketState::Pending | TicketState::Taken => unreachable!("just matched Done"),
         }
     }
@@ -278,7 +280,7 @@ impl Ticket {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         match std::mem::replace(&mut *state, TicketState::Taken) {
-            TicketState::Done(result) => result,
+            TicketState::Done(result) => *result,
             // Pending was just ruled out; Taken means a prior
             // [`Ticket::try_take`] already claimed the result.
             TicketState::Pending => unreachable!("ticket settles once"),
@@ -351,6 +353,15 @@ pub struct StreamStats {
     pub blocks_skipped: u64,
     /// Encoded payload bytes read by the decoded blocks.
     pub bytes_scanned: u64,
+    /// Fixed scan partitions executed by completed documents' passes
+    /// (charged once per pass; single-partition passes charge 0).
+    pub partitions_scanned: u64,
+    /// Partition-grid merges performed for completed documents.
+    pub partition_merges: u64,
+    /// Max distinct workers observed on any one partitioned pass across
+    /// completed documents. A gauge — the only counter here that may
+    /// legitimately vary run to run at a fixed corpus.
+    pub partition_parallelism: u32,
 }
 
 impl StreamStats {
@@ -394,6 +405,9 @@ struct Counters {
     blocks_scanned: AtomicU64,
     blocks_skipped: AtomicU64,
     bytes_scanned: AtomicU64,
+    partitions_scanned: AtomicU64,
+    partition_merges: AtomicU64,
+    partition_parallelism: AtomicU64,
 }
 
 struct Submission {
@@ -602,6 +616,14 @@ impl DocGuard<'_> {
                             .fetch_add(report.stats.blocks_skipped, Ordering::Relaxed);
                         c.bytes_scanned
                             .fetch_add(report.stats.bytes_scanned, Ordering::Relaxed);
+                        c.partitions_scanned
+                            .fetch_add(report.stats.partitions_scanned, Ordering::Relaxed);
+                        c.partition_merges
+                            .fetch_add(report.stats.partition_merges, Ordering::Relaxed);
+                        c.partition_parallelism.fetch_max(
+                            report.stats.partition_parallelism as u64,
+                            Ordering::Relaxed,
+                        );
                     }
                     ReportStatus::TimedOut => {
                         c.timed_out.fetch_add(1, Ordering::Relaxed);
@@ -805,6 +827,7 @@ fn worker_loop(shared: &Shared) {
                 // gate's streaming variants).
                 bundling: TaskBundling::Canonical,
                 fuse: shared.checker.config().fuse_scans,
+                partition_blocks: shared.checker.config().partition_blocks,
                 ctrl: Some(&ctrl),
                 observer: observer.as_deref(),
             };
@@ -1170,6 +1193,9 @@ impl StreamingVerifier {
             blocks_scanned: c.blocks_scanned.load(Ordering::Relaxed),
             blocks_skipped: c.blocks_skipped.load(Ordering::Relaxed),
             bytes_scanned: c.bytes_scanned.load(Ordering::Relaxed),
+            partitions_scanned: c.partitions_scanned.load(Ordering::Relaxed),
+            partition_merges: c.partition_merges.load(Ordering::Relaxed),
+            partition_parallelism: c.partition_parallelism.load(Ordering::Relaxed) as u32,
         }
     }
 
@@ -1633,7 +1659,7 @@ Three were for repeated substance abuse, one was for gambling.</p>
         dead_pool_drain(&shared);
         assert!(!matches!(*lock(&cell.state), TicketState::Pending));
         let result = match std::mem::replace(&mut *lock(&cell.state), TicketState::Taken) {
-            TicketState::Done(result) => result,
+            TicketState::Done(result) => *result,
             other => panic!("unsettled ticket: {other:?}"),
         };
         assert!(matches!(result, Err(CheckerError::Stream(_))));

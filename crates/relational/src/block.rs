@@ -97,6 +97,41 @@ pub fn code_width(dict_len: usize) -> u8 {
     }
 }
 
+/// Default scan-partition span in storage blocks (64 blocks ≈ 128k rows).
+///
+/// Partitions are the unit of scan parallelism *and* of f64 accumulation
+/// order: a scan folds each partition into its own grid and merges the
+/// partition grids in ascending partition order, so the span is part of the
+/// determinism contract — changing it changes float-summation association
+/// (`docs/storage.md`).
+pub const DEFAULT_PARTITION_BLOCKS: usize = 64;
+
+/// The fixed scan partitions of an `n_rows`-row relation: contiguous,
+/// block-aligned row ranges of `partition_blocks` storage blocks each (the
+/// last one possibly shorter). Boundaries are a pure function of the row
+/// count and the span — never of worker count, scheduling, or encoding —
+/// which is what makes partition-parallel scans bit-identical across
+/// 1/2/4/8 workers and across completion orders.
+///
+/// `partition_blocks == 0` disables partitioning: the whole relation is one
+/// partition. The degenerate cases (empty relation, relation within one
+/// span) also return a single partition, so a partitioned scan of a small
+/// relation is byte-for-byte the classic monolithic scan.
+pub fn partition_ranges(n_rows: usize, partition_blocks: usize) -> Vec<std::ops::Range<usize>> {
+    let span = partition_blocks.saturating_mul(BLOCK_ROWS);
+    if span == 0 || n_rows <= span {
+        return std::iter::once(0..n_rows).collect();
+    }
+    let mut ranges = Vec::with_capacity(n_rows.div_ceil(span));
+    let mut start = 0;
+    while start < n_rows {
+        let end = (start + span).min(n_rows);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 impl CodeBlock {
     /// Encode one block of raw dictionary codes (`NULL_CODE` marks NULLs).
     /// `width` is the column-wide packed width from [`code_width`].
@@ -410,6 +445,48 @@ mod tests {
         let mut out = Vec::new();
         block.decode_into(&mut out);
         out
+    }
+
+    #[test]
+    fn partition_ranges_are_block_aligned_and_cover_exactly() {
+        // Small, zero, and span-disabled relations are one partition.
+        assert_eq!(partition_ranges(0, 64), vec![0..0]);
+        assert_eq!(partition_ranges(100, 64), vec![0..100]);
+        assert_eq!(partition_ranges(1_000_000, 0), vec![0..1_000_000]);
+        assert_eq!(
+            partition_ranges(64 * BLOCK_ROWS, 64),
+            vec![0..64 * BLOCK_ROWS],
+            "a relation that exactly fills one span stays monolithic"
+        );
+        // One row over the span starts a second partition.
+        let ranges = partition_ranges(64 * BLOCK_ROWS + 1, 64);
+        assert_eq!(
+            ranges,
+            vec![0..64 * BLOCK_ROWS, 64 * BLOCK_ROWS..64 * BLOCK_ROWS + 1]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn partition_ranges_partition_the_row_space(
+            n_rows in 0usize..600_000,
+            partition_blocks in 0usize..100,
+        ) {
+            let ranges = partition_ranges(n_rows, partition_blocks);
+            // Contiguous cover of 0..n_rows in ascending order.
+            prop_assert_eq!(ranges[0].start, 0);
+            prop_assert_eq!(ranges[ranges.len() - 1].end, n_rows);
+            for pair in ranges.windows(2) {
+                prop_assert_eq!(pair[0].end, pair[1].start);
+                prop_assert!(!pair[0].is_empty());
+            }
+            // Every boundary except the relation's end is block-aligned.
+            for r in &ranges[..ranges.len() - 1] {
+                prop_assert_eq!(r.end % BLOCK_ROWS, 0);
+            }
+            // Pure function of (n_rows, partition_blocks).
+            prop_assert_eq!(&ranges, &partition_ranges(n_rows, partition_blocks));
+        }
     }
 
     #[test]

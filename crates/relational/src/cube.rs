@@ -28,18 +28,23 @@
 //! it is stable across runs and row counts; [`CubeStats::grid_mode`] records
 //! which path ran for the Table 6 instrumentation.
 //!
-//! The scan can parallelize over row partitions with scoped threads (one
-//! grid per thread, merged via [`Accumulator::merge`]) through
-//! [`CubeOptions::threads`] — used by direct cube callers and the
-//! `bench_cube` kernel benchmark. The verification pipeline instead runs
-//! each cube scan *sequentially* and draws its parallelism from executing
-//! many independent cubes at once (`crate::schedule`, reached through
-//! `core::evaluate::Evaluator`): cube-level parallelism keeps f64
-//! accumulation order — and therefore reports — bit-identical across
-//! thread counts. The rollup into all `2^|dims|` dimension subsets is
-//! dimension-at-a-time — every group is merged into at most `|dims|`
-//! coarser groups, i.e. O(d · groups) merges with no intermediate clones
-//! (the seed implementation cloned every finest group `2^d − 1` times).
+//! Every scan — solo or fused, sequential or parallel — runs over the
+//! same **fixed partitions**: contiguous ranges of storage blocks whose
+//! boundaries are a pure function of the row count and
+//! [`CubeOptions::partition_blocks`] ([`crate::block::partition_ranges`]),
+//! never of worker count. Each partition is scanned into partition-local
+//! grids, and the partition grids are folded in **ascending partition
+//! order** via [`Accumulator::merge`]. Because the partition shape and the
+//! merge order are both worker-independent, the f64 accumulation tree —
+//! and therefore every report, down to the last ulp — is bit-identical
+//! whether the partitions ran on one thread ([`CubeOptions::threads`]
+//! `== 1`), on scoped threads stealing partitions (`threads > 1`), or on
+//! `crate::schedule`'s `CubeScheduler` workers (reached through
+//! `core::evaluate::Evaluator`), and regardless of completion order. The
+//! rollup into all `2^|dims|` dimension subsets is dimension-at-a-time —
+//! every group is merged into at most `|dims|` coarser groups, i.e.
+//! O(d · groups) merges with no intermediate clones (the seed
+//! implementation cloned every finest group `2^d − 1` times).
 //!
 //! # Fused multi-cube scans
 //!
@@ -169,14 +174,30 @@ pub struct CubeStats {
     /// Dense-grid cell count (the mixed-radix product); 0 when hashed.
     pub dense_cells: u64,
     /// Storage blocks decoded by the encoded scan path. 0 when the scan
-    /// ran on plain columns (unsealed table, join scope, numeric dim, or a
-    /// parallel partitioned scan).
+    /// ran on plain columns (unsealed table, join scope, or numeric dim).
     pub blocks_scanned: u64,
     /// Storage blocks whose aggregates were bulk-applied from zone-map
     /// metadata alone — no per-row work, nothing decoded.
     pub blocks_skipped: u64,
     /// Encoded payload bytes physically read by the decoded blocks.
     pub bytes_scanned: u64,
+    /// Partitions this scan folded separately before the ordered merge:
+    /// the partition count when the relation spans more than one fixed
+    /// partition ([`crate::block::partition_ranges`]), 0 for the
+    /// degenerate single-partition scan (identical to a monolithic pass).
+    /// A pure function of row count and [`CubeOptions::partition_blocks`]
+    /// — never of worker count.
+    pub partitions_scanned: u64,
+    /// Ascending-order partition-grid merges this member performed
+    /// (`partitions_scanned - 1` when partitioned, else 0).
+    pub partition_merges: u64,
+    /// Workers that scanned this pass's partitions: 1 for a sequential
+    /// partitioned scan, the scoped worker count for
+    /// [`CubeOptions::threads`] parallelism, the distinct scheduler
+    /// workers for a partition-parallel fused pass, and 0 when the scan
+    /// was not partitioned. A scheduling **gauge** — the only
+    /// [`CubeStats`] field that may vary run to run; results never do.
+    pub partition_parallelism: u32,
 }
 
 /// Tuning knobs for one cube execution. The defaults match the paper's
@@ -195,10 +216,17 @@ pub struct CubeOptions {
     /// this stay sequential — thread spawn plus grid merge would dominate.
     pub parallel_row_threshold: usize,
     /// Cap workers at `std::thread::available_parallelism()` (default).
-    /// Disable to force the requested partition count — oversubscription
+    /// Disable to force the requested worker count — oversubscription
     /// only costs time, so this is mainly for deterministic tests of the
     /// partition-merge path.
     pub clamp_to_hardware: bool,
+    /// Scan-partition span in storage blocks
+    /// ([`crate::block::partition_ranges`]); 0 disables partitioning.
+    /// Partition boundaries — and therefore f64 accumulation association —
+    /// are a pure function of row count and this span, so **every** path
+    /// (solo sequential, solo parallel, fused, scheduler fan-out) produces
+    /// bit-identical results for a given span, at any worker count.
+    pub partition_blocks: usize,
 }
 
 impl Default for CubeOptions {
@@ -208,6 +236,7 @@ impl Default for CubeOptions {
             threads: 1,
             parallel_row_threshold: 4096,
             clamp_to_hardware: true,
+            partition_blocks: crate::block::DEFAULT_PARTITION_BLOCKS,
         }
     }
 }
@@ -755,22 +784,6 @@ impl DenseGrid {
         }
     }
 
-    fn scan(
-        &mut self,
-        rows: std::ops::Range<usize>,
-        codecs: &[DimCodec<'_>],
-        strides: &[usize],
-        agg_ctx: &[AggCtx<'_>],
-    ) {
-        let mut cellbuf = [0u32; SCAN_BLOCK];
-        let mut row = rows.start;
-        while row < rows.end {
-            let len = (rows.end - row).min(SCAN_BLOCK);
-            self.scan_block(row, len, codecs, strides, agg_ctx, &mut cellbuf);
-            row += len;
-        }
-    }
-
     /// Fold storage block `block_idx` (rows `row..row + len`) into the grid
     /// **from its compressed encoding** — the encoded twin of
     /// [`DenseGrid::scan_block`], bit-identical to it by construction:
@@ -989,7 +1002,10 @@ impl CubeQuery {
     }
 
     /// The full execution entry point: pre-materialized join, explicit
-    /// options, optional grid arena.
+    /// options, optional grid arena. A solo execution is a one-member
+    /// fused pass — both drain through `execute_members_on_in`, so the
+    /// partition shape, merge order, and therefore every f64 bit are
+    /// shared by construction.
     pub fn execute_on_in(
         &self,
         db: &Database,
@@ -997,113 +1013,8 @@ impl CubeQuery {
         options: &CubeOptions,
         arena: Option<&GridArena>,
     ) -> Result<CubeResult> {
-        self.validate()?;
-        let n_rows = relation.len();
-        let plan = self.scan_plan(db, relation, options.dense_cell_cap);
-
-        // Parallelize only when every worker gets a meaningful partition,
-        // and never oversubscribe the machine: extra workers on a saturated
-        // CPU only add spawn and merge overhead.
-        let hardware = if options.clamp_to_hardware {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            usize::MAX
-        };
-        let threads = options
-            .threads
-            .max(1)
-            .min(hardware)
-            .min((n_rows / options.parallel_row_threshold.max(1)).max(1));
-
-        let mut tally = BlockTally::default();
-        let grid = match plan.cells {
-            Some(cells) => {
-                if threads <= 1 {
-                    let mut grid =
-                        MemberGrid::Dense(DenseGrid::new_in(cells, &self.aggregates, arena));
-                    scan_members(
-                        n_rows,
-                        &[self],
-                        std::slice::from_ref(&plan),
-                        std::slice::from_mut(&mut grid),
-                        std::slice::from_mut(&mut tally),
-                    );
-                    grid
-                } else {
-                    let chunk = n_rows.div_ceil(threads);
-                    let mut partials: Vec<DenseGrid> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..threads)
-                            .map(|t| {
-                                let plan = &plan;
-                                let aggregates = &self.aggregates;
-                                scope.spawn(move || {
-                                    let lo = t * chunk;
-                                    let hi = ((t + 1) * chunk).min(n_rows);
-                                    let mut grid = DenseGrid::new_in(cells, aggregates, arena);
-                                    grid.scan(lo..hi, &plan.codecs, &plan.strides, &plan.agg_ctx);
-                                    grid
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("cube scan worker"))
-                            .collect()
-                    });
-                    let mut grid = partials.remove(0);
-                    for partial in &mut partials {
-                        grid.merge(partial);
-                    }
-                    if let Some(arena) = arena {
-                        for partial in partials {
-                            partial.recycle_into(arena);
-                        }
-                    }
-                    MemberGrid::Dense(grid)
-                }
-            }
-            None => {
-                if threads <= 1 {
-                    let mut grid = MemberGrid::Hashed(HashedGrid::new());
-                    scan_members(
-                        n_rows,
-                        &[self],
-                        std::slice::from_ref(&plan),
-                        std::slice::from_mut(&mut grid),
-                        std::slice::from_mut(&mut tally),
-                    );
-                    grid
-                } else {
-                    let chunk = n_rows.div_ceil(threads);
-                    let partials: Vec<HashedGrid> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..threads)
-                            .map(|t| {
-                                let plan = &plan;
-                                let aggregates = &self.aggregates;
-                                scope.spawn(move || {
-                                    let lo = t * chunk;
-                                    let hi = ((t + 1) * chunk).min(n_rows);
-                                    let mut grid = HashedGrid::new();
-                                    grid.scan(lo..hi, &plan.codecs, aggregates, &plan.agg_ctx);
-                                    grid
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("cube scan worker"))
-                            .collect()
-                    });
-                    let mut iter = partials.into_iter();
-                    let mut grid = iter.next().expect("at least one partition");
-                    for partial in iter {
-                        grid.merge(partial);
-                    }
-                    MemberGrid::Hashed(grid)
-                }
-            }
-        };
-        Ok(self.finish_scan(grid, &plan, n_rows, threads as u32, tally, arena))
+        let mut results = execute_members_on_in(db, relation, &[self], options, arena)?;
+        Ok(results.pop().expect("one member, one result"))
     }
 
     /// Build the per-row translation state for one scan of this cube:
@@ -1211,6 +1122,7 @@ impl CubeQuery {
 
     /// Turn one finished scan grid into the cube's [`CubeResult`]: extract
     /// finest groups in deterministic order, roll up, finish accumulators.
+    #[allow(clippy::too_many_arguments)]
     fn finish_scan(
         &self,
         grid: MemberGrid,
@@ -1218,6 +1130,7 @@ impl CubeQuery {
         n_rows: usize,
         scan_threads: u32,
         tally: BlockTally,
+        parts: PartitionMeta,
         arena: Option<&GridArena>,
     ) -> CubeResult {
         let d = self.dims.len();
@@ -1286,6 +1199,9 @@ impl CubeQuery {
             blocks_scanned: tally.blocks_scanned,
             blocks_skipped: tally.blocks_skipped,
             bytes_scanned: tally.bytes_scanned,
+            partitions_scanned: parts.partitions_scanned,
+            partition_merges: parts.partition_merges,
+            partition_parallelism: parts.partition_parallelism,
         };
         let groups = keys
             .into_iter()
@@ -1440,8 +1356,16 @@ pub fn execute_fused_on_in(
     options: &CubeOptions,
     arena: Option<&GridArena>,
 ) -> Result<Vec<CubeResult>> {
+    execute_members_on_in(db, relation, cubes, options, arena)
+}
+
+/// Validate a fused member set: each member individually, plus mutual
+/// table-scope equality (a mixed-scope member set would silently index the
+/// wrong table's rows). Shared by the in-process fused path and the
+/// scheduler's partition fan-out, which must agree on eligibility.
+pub(crate) fn validate_fused(cubes: &[&CubeQuery]) -> Result<()> {
     let Some(first) = cubes.first() else {
-        return Ok(Vec::new());
+        return Ok(());
     };
     let scope = first.tables_referenced();
     for cube in cubes {
@@ -1454,30 +1378,254 @@ pub fn execute_fused_on_in(
             )));
         }
     }
+    Ok(())
+}
+
+/// Partition accounting of one scan — identical for every member of a pass
+/// (the shape is a pure function of row count and span; only the
+/// parallelism gauge reflects scheduling).
+#[derive(Debug, Clone, Copy, Default)]
+struct PartitionMeta {
+    partitions_scanned: u64,
+    partition_merges: u64,
+    partition_parallelism: u32,
+}
+
+impl PartitionMeta {
+    /// Accounting for a scan over `partitions` fixed partitions executed
+    /// by `workers` distinct workers. Single-partition scans are the
+    /// degenerate monolithic case and report all-zero.
+    fn new(partitions: usize, workers: u32) -> PartitionMeta {
+        if partitions <= 1 {
+            return PartitionMeta::default();
+        }
+        PartitionMeta {
+            partitions_scanned: partitions as u64,
+            partition_merges: (partitions - 1) as u64,
+            partition_parallelism: workers,
+        }
+    }
+}
+
+/// One partition's scan output inside a partition-parallel fused pass:
+/// every member's partition-local grid plus its block counters. Owns no
+/// borrows, so the scheduler can hand finished partitions between workers.
+pub(crate) struct PartitionGrids {
+    grids: Vec<MemberGrid>,
+    tallies: Vec<BlockTally>,
+}
+
+/// Fresh (arena-pooled) grids for one partition of a fused member set.
+fn new_member_grids(
+    cubes: &[&CubeQuery],
+    plans: &[ScanPlan<'_>],
+    arena: Option<&GridArena>,
+) -> Vec<MemberGrid> {
+    cubes
+        .iter()
+        .zip(plans)
+        .map(|(cube, plan)| match plan.cells {
+            Some(cells) => MemberGrid::Dense(DenseGrid::new_in(cells, &cube.aggregates, arena)),
+            None => MemberGrid::Hashed(HashedGrid::new()),
+        })
+        .collect()
+}
+
+/// Scan one partition of a fused member set into fresh grids.
+fn scan_partition(
+    cubes: &[&CubeQuery],
+    plans: &[ScanPlan<'_>],
+    arena: Option<&GridArena>,
+    range: std::ops::Range<usize>,
+) -> PartitionGrids {
+    let mut grids = new_member_grids(cubes, plans, arena);
+    let mut tallies = vec![BlockTally::default(); cubes.len()];
+    scan_members(range, cubes, plans, &mut grids, &mut tallies);
+    PartitionGrids { grids, tallies }
+}
+
+/// Fold one partition's grids into the base grids. The caller iterates
+/// partitions in **ascending partition order** — that left-fold is the
+/// determinism contract's merge order, shared by every execution path.
+fn merge_partition(base: &mut PartitionGrids, part: PartitionGrids, arena: Option<&GridArena>) {
+    for ((bg, bt), (pg, pt)) in base
+        .grids
+        .iter_mut()
+        .zip(base.tallies.iter_mut())
+        .zip(part.grids.into_iter().zip(part.tallies))
+    {
+        match (bg, pg) {
+            (MemberGrid::Dense(a), MemberGrid::Dense(mut b)) => {
+                a.merge(&mut b);
+                if let Some(arena) = arena {
+                    b.recycle_into(arena);
+                }
+            }
+            (MemberGrid::Hashed(a), MemberGrid::Hashed(b)) => a.merge(b),
+            _ => unreachable!("partitions share the dense/hashed decision"),
+        }
+        bt.blocks_scanned += pt.blocks_scanned;
+        bt.blocks_skipped += pt.blocks_skipped;
+        bt.bytes_scanned += pt.bytes_scanned;
+    }
+}
+
+/// The one execution engine behind solo, fused, and partition-parallel
+/// scans: split the relation into fixed partitions
+/// ([`crate::block::partition_ranges`]), scan each into partition-local
+/// grids, and fold the partition grids in ascending partition order.
+/// `options.threads > 1` scans partitions on scoped workers (stealing from
+/// an atomic partition cursor); the fold is ascending regardless, so the
+/// result is bit-identical to the sequential scan of the same span.
+fn execute_members_on_in(
+    db: &Database,
+    relation: &JoinedRelation,
+    cubes: &[&CubeQuery],
+    options: &CubeOptions,
+    arena: Option<&GridArena>,
+) -> Result<Vec<CubeResult>> {
+    if cubes.is_empty() {
+        return Ok(Vec::new());
+    }
+    validate_fused(cubes)?;
     let n_rows = relation.len();
     let plans: Vec<ScanPlan<'_>> = cubes
         .iter()
         .map(|cube| cube.scan_plan(db, relation, options.dense_cell_cap))
         .collect();
-    let mut grids: Vec<MemberGrid> = cubes
-        .iter()
-        .zip(&plans)
-        .map(|(cube, plan)| match plan.cells {
-            Some(cells) => MemberGrid::Dense(DenseGrid::new_in(cells, &cube.aggregates, arena)),
-            None => MemberGrid::Hashed(HashedGrid::new()),
-        })
-        .collect();
+    let ranges = crate::block::partition_ranges(n_rows, options.partition_blocks);
+    let partitions = ranges.len();
 
-    let mut tallies = vec![BlockTally::default(); cubes.len()];
-    scan_members(n_rows, cubes, &plans, &mut grids, &mut tallies);
+    // Parallelize only when every worker gets a meaningful partition, and
+    // never oversubscribe the machine: extra workers on a saturated CPU
+    // only add spawn and merge overhead. Worker count affects *who* scans
+    // a partition, never the partition shape or the merge order.
+    let hardware = if options.clamp_to_hardware {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        usize::MAX
+    };
+    let threads = options
+        .threads
+        .max(1)
+        .min(hardware)
+        .min((n_rows / options.parallel_row_threshold.max(1)).max(1))
+        .min(partitions);
 
+    let base = if threads <= 1 {
+        let mut iter = ranges.into_iter();
+        let mut base = scan_partition(cubes, &plans, arena, iter.next().expect("≥1 partition"));
+        for range in iter {
+            let part = scan_partition(cubes, &plans, arena, range);
+            merge_partition(&mut base, part, arena);
+        }
+        base
+    } else {
+        // Workers steal partitions from an atomic cursor; finished
+        // partitions land in index-addressed slots so the fold below runs
+        // in ascending partition order no matter who finished what when.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, PartitionGrids)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (next, ranges, plans) = (&next, &ranges, &plans);
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(range) = ranges.get(idx) else {
+                                return done;
+                            };
+                            done.push((idx, scan_partition(cubes, plans, arena, range.clone())));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cube scan worker"))
+                .collect()
+        });
+        let mut slots: Vec<Option<PartitionGrids>> = (0..partitions).map(|_| None).collect();
+        for (idx, part) in collected.into_iter().flatten() {
+            slots[idx] = Some(part);
+        }
+        let mut slot_iter = slots.into_iter();
+        let mut base = slot_iter.next().flatten().expect("partition 0 was scanned");
+        for part in slot_iter {
+            merge_partition(&mut base, part.expect("every partition scanned"), arena);
+        }
+        base
+    };
+
+    let meta = PartitionMeta::new(partitions, threads as u32);
+    let PartitionGrids { grids, tallies } = base;
     Ok(cubes
         .iter()
-        .zip(plans)
+        .zip(&plans)
         .zip(grids)
         .zip(tallies)
-        .map(|(((cube, plan), grid), tally)| cube.finish_scan(grid, &plan, n_rows, 1, tally, arena))
+        .map(|(((cube, plan), grid), tally)| {
+            cube.finish_scan(grid, plan, n_rows, threads as u32, tally, meta, arena)
+        })
         .collect())
+}
+
+/// Scan one partition of a fused member set for the scheduler's
+/// partition-parallel path: plans are rebuilt locally (they borrow `db`,
+/// so they cannot travel with the queued job), the grids come back owned.
+/// The members must already be validated ([`validate_fused`]) and `range`
+/// must be one of [`crate::block::partition_ranges`]' block-aligned ranges.
+pub(crate) fn scan_fused_partition(
+    db: &Database,
+    relation: &JoinedRelation,
+    cubes: &[&CubeQuery],
+    options: &CubeOptions,
+    arena: Option<&GridArena>,
+    range: std::ops::Range<usize>,
+) -> PartitionGrids {
+    let plans: Vec<ScanPlan<'_>> = cubes
+        .iter()
+        .map(|cube| cube.scan_plan(db, relation, options.dense_cell_cap))
+        .collect();
+    scan_partition(cubes, &plans, arena, range)
+}
+
+/// Merge the scheduler's finished partitions — `parts` MUST be in
+/// ascending partition order — and finish every member.
+/// `partition_parallelism` is the number of distinct workers that executed
+/// the partitions (a gauge; it never affects results).
+pub(crate) fn merge_fused_partitions(
+    db: &Database,
+    relation: &JoinedRelation,
+    cubes: &[&CubeQuery],
+    options: &CubeOptions,
+    arena: Option<&GridArena>,
+    parts: Vec<PartitionGrids>,
+    partition_parallelism: u32,
+) -> Vec<CubeResult> {
+    let n_rows = relation.len();
+    let plans: Vec<ScanPlan<'_>> = cubes
+        .iter()
+        .map(|cube| cube.scan_plan(db, relation, options.dense_cell_cap))
+        .collect();
+    let partitions = parts.len();
+    let mut iter = parts.into_iter();
+    let mut base = iter.next().expect("≥1 partition");
+    for part in iter {
+        merge_partition(&mut base, part, arena);
+    }
+    let meta = PartitionMeta::new(partitions, partition_parallelism);
+    let PartitionGrids { grids, tallies } = base;
+    cubes
+        .iter()
+        .zip(&plans)
+        .zip(grids)
+        .zip(tallies)
+        .map(|(((cube, plan), grid), tally)| {
+            cube.finish_scan(grid, plan, n_rows, 1, tally, meta, arena)
+        })
+        .collect()
 }
 
 /// The sequential scan driver shared by solo executions (`threads <= 1`)
@@ -1495,17 +1643,21 @@ pub fn execute_fused_on_in(
 /// (and therefore its [`CubeStats`] block counters) are identical in both,
 /// which the fused≡solo stats equality tests pin.
 fn scan_members(
-    n_rows: usize,
+    rows: std::ops::Range<usize>,
     cubes: &[&CubeQuery],
     plans: &[ScanPlan<'_>],
     grids: &mut [MemberGrid],
     tallies: &mut [BlockTally],
 ) {
+    // Partition boundaries are block-aligned (`partition_ranges`), so a
+    // partition's first row always starts a storage block and the encoded
+    // path's block index stays valid inside any partition.
+    debug_assert_eq!(rows.start % SCAN_BLOCK, 0);
     let mut cellbuf = [0u32; SCAN_BLOCK];
-    let mut row = 0usize;
-    let mut block_idx = 0usize;
-    while row < n_rows {
-        let len = (n_rows - row).min(SCAN_BLOCK);
+    let mut row = rows.start;
+    let mut block_idx = rows.start / SCAN_BLOCK;
+    while row < rows.end {
+        let len = (rows.end - row).min(SCAN_BLOCK);
         for (((cube, plan), grid), tally) in cubes
             .iter()
             .zip(plans)
@@ -1761,6 +1913,24 @@ mod tests {
                     threads: 4,
                     parallel_row_threshold: 1,
                     clamp_to_hardware: false,
+                    partition_blocks: crate::block::DEFAULT_PARTITION_BLOCKS,
+                },
+            ),
+            (
+                "dense-1p",
+                CubeOptions {
+                    partition_blocks: 1,
+                    ..CubeOptions::default()
+                },
+            ),
+            (
+                "dense-4t-1p",
+                CubeOptions {
+                    threads: 4,
+                    parallel_row_threshold: 1,
+                    clamp_to_hardware: false,
+                    partition_blocks: 1,
+                    ..CubeOptions::default()
                 },
             ),
         ]
@@ -2065,14 +2235,19 @@ mod tests {
             threads: 4,
             parallel_row_threshold: 1024,
             clamp_to_hardware: false,
+            // 10k rows / 2048-row partitions → 5 partitions for 4 workers.
+            partition_blocks: 1,
             ..CubeOptions::default()
         };
         let arena = GridArena::new();
         let seq = q.execute(&db).unwrap();
         let r1 = q.execute_in(&db, &opts, Some(&arena)).unwrap();
         assert_eq!(r1.stats.scan_threads, 4);
+        assert_eq!(r1.stats.partitions_scanned, 5, "{:?}", r1.stats);
+        assert_eq!(r1.stats.partition_merges, 4, "{:?}", r1.stats);
+        assert_eq!(r1.stats.partition_parallelism, 4, "{:?}", r1.stats);
         let first_allocs = arena.stats().allocations;
-        assert!(first_allocs >= 4, "one grid per worker");
+        assert!(first_allocs >= 4, "one grid per partition");
         let r2 = q.execute_in(&db, &opts, Some(&arena)).unwrap();
         // The second execution is served entirely from the pool.
         assert_eq!(arena.stats().allocations, first_allocs);
@@ -2243,6 +2418,7 @@ mod tests {
                     threads: 4,
                     parallel_row_threshold: 1024,
                     clamp_to_hardware: false,
+                    partition_blocks: 1,
                     ..CubeOptions::default()
                 },
             )
@@ -2252,6 +2428,55 @@ mod tests {
             for agg in 0..3 {
                 assert_eq!(seq.get(&[sel], agg), par.get(&[sel], agg), "{sel:?}/{agg}");
             }
+        }
+    }
+
+    /// The determinism contract itself: the same fixed partition shape and
+    /// ascending merge order run everywhere, so a parallel partitioned
+    /// scan is **bit-identical** (groups and accumulators, not just
+    /// approximately equal) to the sequential scan of the same partitions
+    /// — and a single-partition scan of f64 data only *happens* to match
+    /// here because the corpus sums are integer-exact in f64.
+    #[test]
+    fn partitioned_scans_are_bit_identical_across_threads() {
+        let n = 10_000usize;
+        let cats: Vec<Value> = (0..n)
+            .map(|i| Value::Str(["a", "b", "c"][i % 3].into()))
+            .collect();
+        let nums: Vec<Value> = (0..n).map(|i| Value::Int((i % 97) as i64)).collect();
+        let t = Table::from_columns("big", vec![("cat", cats), ("num", nums)]).unwrap();
+        let mut db = Database::new("big");
+        db.add_table(t);
+        let cat = db.resolve("big", "cat").unwrap();
+        let num = db.resolve("big", "num").unwrap();
+        let q = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["a".into(), "b".into()]],
+            aggregates: vec![
+                (AggFunction::Sum, AggColumn::Column(num)),
+                (AggFunction::Avg, AggColumn::Column(num)),
+            ],
+        };
+        let runs: Vec<CubeResult> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&threads| {
+                q.execute_with(
+                    &db,
+                    &CubeOptions {
+                        threads,
+                        parallel_row_threshold: 1,
+                        clamp_to_hardware: false,
+                        partition_blocks: 1,
+                        ..CubeOptions::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.groups, runs[0].groups);
+            assert_eq!(r.stats.partitions_scanned, runs[0].stats.partitions_scanned);
+            assert_eq!(r.stats.partition_merges, runs[0].stats.partition_merges);
         }
     }
 

@@ -50,7 +50,10 @@ pub mod table;
 pub mod value;
 
 pub use aggregate::{ratio_from_counts, Accumulator};
-pub use block::{code_width, CodeBlock, ColumnEncoding, NumZone, ZoneMap, BLOCK_ROWS};
+pub use block::{
+    code_width, partition_ranges, CodeBlock, ColumnEncoding, NumZone, ZoneMap, BLOCK_ROWS,
+    DEFAULT_PARTITION_BLOCKS,
+};
 pub use cache::{
     CacheKey, CacheStats, CachedSlice, EvalCache, Flight, FlightGuard, FlightRequest, FlightWaiter,
     ShardStats, DEFAULT_CACHE_SHARDS,

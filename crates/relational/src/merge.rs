@@ -226,6 +226,7 @@ impl MergePlan {
             threads,
             bundling: TaskBundling::Wave,
             fuse: true,
+            partition_blocks: crate::block::DEFAULT_PARTITION_BLOCKS,
         };
         let outcome = run_requests(db, &exec, &requests)?;
 

@@ -60,10 +60,33 @@
 //!   with no wave-unique remainder could legitimately shift a pass
 //!   between waves, which the gate would surface rather than hide.
 //!
-//! Tasks and fused passes always scan *sequentially*
-//! ([`CubeOptions::default`]): parallelism comes from running many passes
-//! at once, which keeps every f64 accumulation sequence independent of
-//! worker counts and scheduling orders.
+//! # Partition-parallel passes
+//!
+//! A pass over a single-table identity scope does not run as one
+//! monolithic scan: when the relation spans at least two fixed partitions
+//! ([`crate::block::partition_ranges`], a pure function of row count and
+//! the configured partition span — never of worker count), the worker
+//! that pops the pass *explodes* it into one queued subtask per
+//! partition. Any worker steals subtasks; each scans its block range into
+//! partition-local grids ([`crate::cube`]'s shared fused driver); the
+//! **last** finisher folds the partition grids in ascending partition
+//! order and settles every member. Because the in-process fused path runs
+//! the *same* partition shape and the *same* ascending merge
+//! ([`crate::cube::execute_fused_in`] with the same span), a fanned-out
+//! pass is bit-identical to a sequential one at any worker count and any
+//! completion order — determinism holds by construction, not by keeping
+//! scans sequential. Joined (materialized) scopes still execute as one
+//! sequential subtask, but partition internally through the same driver,
+//! so their results and partition counters are identical too. The only
+//! run-to-run-varying stat is the
+//! [`crate::cube::CubeStats::partition_parallelism`] gauge (distinct
+//! workers that touched the pass).
+//!
+//! A subtask that panics (worker death mid-partition) registers the
+//! failure, **fails every member task immediately** — poisoning their
+//! flights and waking their waiters, so nobody wedges on a merge barrier
+//! that will never fill — and re-raises on its own thread; remaining
+//! subtasks of the dead pass drain as no-ops.
 //!
 //! # Deadlock freedom
 //!
@@ -76,12 +99,17 @@
 //! running; a poisoned flight wakes its waiters for a retry rather than
 //! wedging them.
 
+use crate::block::{partition_ranges, DEFAULT_PARTITION_BLOCKS};
 use crate::cache::{
     CacheKey, CachedSlice, EvalCache, Flight, FlightGuard, FlightRequest, FlightWaiter,
 };
-use crate::cube::{execute_fused_in, CubeOptions, CubeQuery, CubeResult, GridArena};
+use crate::cube::{
+    execute_fused_in, merge_fused_partitions, scan_fused_partition, validate_fused, CubeOptions,
+    CubeQuery, CubeResult, GridArena, PartitionGrids,
+};
 use crate::database::{ColumnRef, Database};
 use crate::error::{RelationalError, Result};
+use crate::join::JoinedRelation;
 use crate::query::{AggColumn, AggFunction};
 use crate::value::Value;
 use std::collections::VecDeque;
@@ -196,6 +224,12 @@ impl CubeTask {
 #[derive(Debug)]
 pub struct ScanGroup {
     members: Vec<CubeTask>,
+    /// Storage blocks per fixed partition (0 disables partitioning). Part
+    /// of the determinism contract's inputs: the partition shape is a pure
+    /// function of this span and the row count, so every pass over the
+    /// same data with the same span yields bit-identical reports whether
+    /// it runs in-process, fanned out, or sequentially.
+    partition_blocks: usize,
 }
 
 /// Partition `tasks` into fusion groups: `(table scope, member indices)`
@@ -229,6 +263,7 @@ impl ScanGroup {
                     .iter()
                     .map(|&i| slots[i].take().expect("each task in one group"))
                     .collect(),
+                partition_blocks: DEFAULT_PARTITION_BLOCKS,
             })
             .collect()
     }
@@ -246,6 +281,14 @@ impl ScanGroup {
     pub fn singletons(tasks: Vec<CubeTask>) -> Vec<ScanGroup> {
         let partition = fusion_partition(&tasks, false);
         ScanGroup::assemble(tasks, &partition)
+    }
+
+    /// Override the partition span for this pass (storage blocks per
+    /// partition; 0 disables partitioning). Results are unaffected as long
+    /// as every path uses the same span — it shapes the deterministic
+    /// partition/merge tree, not the semantics.
+    pub fn set_partition_blocks(&mut self, blocks: usize) {
+        self.partition_blocks = blocks;
     }
 
     /// Number of member tasks fused into this pass.
@@ -279,9 +322,13 @@ impl ScanGroup {
         if valid.is_empty() {
             return None;
         }
+        let options = CubeOptions {
+            partition_blocks: self.partition_blocks,
+            ..CubeOptions::default()
+        };
         let cubes: Vec<&CubeQuery> = valid.iter().map(|t| &t.cube).collect();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_fused_in(db, &cubes, &CubeOptions::default(), arena)
+            execute_fused_in(db, &cubes, &options, arena)
         }));
         match outcome {
             Ok(Ok(results)) => {
@@ -307,17 +354,180 @@ impl ScanGroup {
     }
 }
 
-#[derive(Debug, Default)]
+/// One unit of queued scheduler work: a whole fused pass, or one
+/// partition subtask of an exploded pass.
+enum WorkItem {
+    Pass(ScanGroup),
+    Part { job: Arc<PartitionJob>, idx: usize },
+}
+
+/// A fused pass exploded into per-partition subtasks, shared by the
+/// workers that steal them. The member tasks live inside the mutex so
+/// exactly one worker settles them: the first failing subtask (fails all
+/// members immediately — no hung merge barrier) or the last successful
+/// one (ascending-order merge).
+struct PartitionJob {
+    /// Owned clones of the member cubes, in member (task-submission)
+    /// order; subtasks need them while the tasks sit in the mutex.
+    cubes: Vec<CubeQuery>,
+    /// The members' shared single-table scope (`ScanGroup` fusion
+    /// invariant), used to rebuild the identity relation per subtask.
+    scope: Vec<usize>,
+    /// Fixed partition ranges, ascending; `idx` indexes this.
+    ranges: Vec<std::ops::Range<usize>>,
+    options: CubeOptions,
+    state: Mutex<PartState>,
+}
+
+struct PartState {
+    /// Taken exactly once — by the first failure or the merging finisher.
+    tasks: Option<Vec<CubeTask>>,
+    /// Finished partition grids, indexed by partition — completion order
+    /// cannot perturb the ascending merge.
+    slots: Vec<Option<PartitionGrids>>,
+    completed: usize,
+    failed: bool,
+    /// Distinct workers that ran at least one subtask; its size is the
+    /// `partition_parallelism` gauge.
+    workers: Vec<std::thread::ThreadId>,
+}
+
+impl PartitionJob {
+    /// Run partition `idx`: scan its block range into partition-local
+    /// grids, deposit them, and — as the last finisher — merge ascending
+    /// and settle every member. Any panic (chaos hooks fire inside the
+    /// scan exactly as in-process) fails all members *before* the payload
+    /// is handed back for re-raising, so waiters are woken, not wedged.
+    fn run_subtask(
+        self: &Arc<Self>,
+        idx: usize,
+        db: &Database,
+        arena: Option<&GridArena>,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        if lock(&self.state).failed {
+            return None; // a sibling already failed the whole pass
+        }
+        let relation = match JoinedRelation::for_tables(db, &self.scope) {
+            Ok(r) => r,
+            Err(e) => {
+                self.fail_all(e);
+                return None;
+            }
+        };
+        let cubes: Vec<&CubeQuery> = self.cubes.iter().collect();
+        let scanned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scan_fused_partition(
+                db,
+                &relation,
+                &cubes,
+                &self.options,
+                arena,
+                self.ranges[idx].clone(),
+            )
+        }));
+        let grids = match scanned {
+            Ok(grids) => grids,
+            Err(payload) => {
+                self.fail_all(RelationalError::Execution(
+                    "partition subtask panicked mid-scan".into(),
+                ));
+                return Some(payload);
+            }
+        };
+        let (tasks, parts, parallelism) = {
+            let mut state = lock(&self.state);
+            if state.failed {
+                return None;
+            }
+            let me = std::thread::current().id();
+            if !state.workers.contains(&me) {
+                state.workers.push(me);
+            }
+            state.slots[idx] = Some(grids);
+            state.completed += 1;
+            if state.completed < self.ranges.len() {
+                return None;
+            }
+            // Every partition succeeded (a panic never increments
+            // `completed`), so this worker owns the merge.
+            let tasks = state
+                .tasks
+                .take()
+                .expect("members unsettled until the merge");
+            let parts: Vec<PartitionGrids> = state
+                .slots
+                .iter_mut()
+                .map(|slot| slot.take().expect("every partition deposited"))
+                .collect();
+            (tasks, parts, state.workers.len() as u32)
+        };
+        let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            merge_fused_partitions(
+                db,
+                &relation,
+                &cubes,
+                &self.options,
+                arena,
+                parts,
+                parallelism,
+            )
+        }));
+        match merged {
+            Ok(results) => {
+                for (task, result) in tasks.into_iter().zip(results) {
+                    task.complete(result);
+                }
+                None
+            }
+            Err(payload) => {
+                let e = RelationalError::Execution("partition merge panicked".into());
+                for task in tasks {
+                    task.fail(e.clone());
+                }
+                Some(payload)
+            }
+        }
+    }
+
+    /// First-failure protocol: mark the job failed and settle every member
+    /// task at once (poisoning their flights, waking their waiters), even
+    /// though sibling subtasks may still be queued — they drain as no-ops.
+    fn fail_all(&self, e: RelationalError) {
+        let tasks = {
+            let mut state = lock(&self.state);
+            state.failed = true;
+            state.tasks.take()
+        };
+        if let Some(tasks) = tasks {
+            for task in tasks {
+                task.fail(e.clone());
+            }
+        }
+    }
+}
+
+#[derive(Default)]
 struct SchedState {
-    queue: VecDeque<ScanGroup>,
+    queue: VecDeque<WorkItem>,
     closed: bool,
 }
 
-/// A shared FIFO of [`ScanGroup`]s drained cooperatively by scoped workers.
-#[derive(Debug, Default)]
+/// A shared FIFO of [`ScanGroup`]s — and the partition subtasks they
+/// explode into — drained cooperatively by scoped workers.
+#[derive(Default)]
 pub struct CubeScheduler {
     state: Mutex<SchedState>,
     cv: Condvar,
+}
+
+impl std::fmt::Debug for CubeScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock(&self.state);
+        f.debug_struct("CubeScheduler")
+            .field("queued", &state.queue.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
 }
 
 impl CubeScheduler {
@@ -333,7 +543,7 @@ impl CubeScheduler {
         {
             let mut state = lock(&self.state);
             debug_assert!(!state.closed, "submit after close");
-            state.queue.extend(groups);
+            state.queue.extend(groups.into_iter().map(WorkItem::Pass));
         }
         self.cv.notify_all();
     }
@@ -343,14 +553,14 @@ impl CubeScheduler {
     /// is exact sequential execution by the caller.
     pub fn drive(&self, db: &Database, arena: Option<&GridArena>, waiting: &[TaskHandle]) {
         loop {
-            let group = {
+            let item = {
                 let mut state = lock(&self.state);
                 loop {
                     if waiting.iter().all(TaskHandle::is_done) {
                         return;
                     }
-                    if let Some(group) = state.queue.pop_front() {
-                        break group;
+                    if let Some(item) = state.queue.pop_front() {
+                        break item;
                     }
                     // Our tasks are running on other workers: sleep until a
                     // completion or a new submission.
@@ -360,7 +570,7 @@ impl CubeScheduler {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            self.run_group(group, db, arena);
+            self.run_item(item, db, arena);
         }
     }
 
@@ -385,11 +595,11 @@ impl CubeScheduler {
     /// between the predicate check and the wait.
     pub fn help_until(&self, db: &Database, arena: Option<&GridArena>, recall: impl Fn() -> bool) {
         loop {
-            let group = {
+            let item = {
                 let mut state = lock(&self.state);
                 loop {
-                    if let Some(group) = state.queue.pop_front() {
-                        break group;
+                    if let Some(item) = state.queue.pop_front() {
+                        break item;
                     }
                     if state.closed || recall() {
                         return;
@@ -400,7 +610,7 @@ impl CubeScheduler {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            self.run_group(group, db, arena);
+            self.run_item(item, db, arena);
         }
     }
 
@@ -419,8 +629,16 @@ impl CubeScheduler {
         self.cv.notify_all();
     }
 
-    fn run_group(&self, group: ScanGroup, db: &Database, arena: Option<&GridArena>) {
-        let payload = group.execute(db, arena);
+    fn run_item(&self, item: WorkItem, db: &Database, arena: Option<&GridArena>) {
+        let payload = match item {
+            WorkItem::Pass(group) => match self.try_fan_out(group, db) {
+                // Exploded: the subtasks are queued; this worker loops
+                // around and starts stealing them like everyone else.
+                None => None,
+                Some(group) => group.execute(db, arena),
+            },
+            WorkItem::Part { job, idx } => job.run_subtask(idx, db, arena),
+        };
         // Touch the scheduler lock before notifying so a driver cannot
         // check its handles, miss this completion, and sleep through the
         // wakeup (the completion happens-before our lock acquisition).
@@ -434,6 +652,115 @@ impl CubeScheduler {
             // its own document).
             std::panic::resume_unwind(payload);
         }
+    }
+
+    /// Explode an eligible pass into queued per-partition subtasks.
+    /// Ineligible passes come back to run in-process — which partitions
+    /// internally through the same driver, so eligibility affects only
+    /// *who* scans, never any result or partition counter.
+    fn try_fan_out(&self, group: ScanGroup, db: &Database) -> Option<ScanGroup> {
+        match Self::explode(group, db) {
+            Err(group) => Some(group),
+            Ok(parts) => {
+                {
+                    let mut state = lock(&self.state);
+                    // Subtasks go to the *front* so the fleet finishes the
+                    // exploded pass (whose waiters are already parked)
+                    // before opening new passes; ascending indices keep
+                    // steal order natural, though any order yields the
+                    // same merge.
+                    for item in parts.into_iter().rev() {
+                        state.queue.push_front(item);
+                    }
+                }
+                self.cv.notify_all();
+                None
+            }
+        }
+    }
+
+    /// Split one pass into its partition subtask items (ascending index
+    /// order), or give the group back if it isn't eligible. Eligible
+    /// means: partitioning on, a single-table identity scope (subtasks
+    /// rebuild the relation for pennies; a materialized join would be
+    /// rebuilt once per subtask), valid members, and at least two
+    /// partitions.
+    fn explode(group: ScanGroup, db: &Database) -> std::result::Result<Vec<WorkItem>, ScanGroup> {
+        if group.partition_blocks == 0 || group.members.is_empty() {
+            return Err(group);
+        }
+        let scope = group.members[0].cube.tables_referenced();
+        if scope.len() != 1 {
+            return Err(group);
+        }
+        {
+            let cubes: Vec<&CubeQuery> = group.members.iter().map(|t| &t.cube).collect();
+            if validate_fused(&cubes).is_err() {
+                return Err(group); // in-process path settles the invalid members
+            }
+        }
+        let Ok(relation) = JoinedRelation::for_tables(db, &scope) else {
+            return Err(group);
+        };
+        if !relation.is_identity() {
+            return Err(group);
+        }
+        let ranges = partition_ranges(relation.len(), group.partition_blocks);
+        if ranges.len() < 2 {
+            return Err(group);
+        }
+        let slots = ranges.iter().map(|_| None).collect();
+        let job = Arc::new(PartitionJob {
+            cubes: group.members.iter().map(|t| t.cube.clone()).collect(),
+            scope,
+            ranges,
+            options: CubeOptions {
+                partition_blocks: group.partition_blocks,
+                ..CubeOptions::default()
+            },
+            state: Mutex::new(PartState {
+                tasks: Some(group.members),
+                slots,
+                completed: 0,
+                failed: false,
+                workers: Vec::new(),
+            }),
+        });
+        Ok((0..job.ranges.len())
+            .map(|idx| WorkItem::Part {
+                job: job.clone(),
+                idx,
+            })
+            .collect())
+    }
+
+    /// Explode every queued pass in place, preserving submission order,
+    /// and return the resulting work-item count. Only sound while the
+    /// caller still owns the scheduler exclusively (no workers spawned
+    /// yet): the queue is drained and rebuilt non-atomically.
+    fn fan_out_queued(&self, db: &Database) -> usize {
+        let items: Vec<WorkItem> = {
+            let mut state = lock(&self.state);
+            state.queue.drain(..).collect()
+        };
+        let mut out = VecDeque::with_capacity(items.len());
+        for item in items {
+            match item {
+                WorkItem::Pass(group) => match Self::explode(group, db) {
+                    Ok(parts) => out.extend(parts),
+                    Err(group) => out.push_back(WorkItem::Pass(group)),
+                },
+                part => out.push_back(part),
+            }
+        }
+        let len = out.len();
+        {
+            let mut state = lock(&self.state);
+            debug_assert!(state.queue.is_empty(), "exclusive caller contract");
+            state.queue = out;
+        }
+        self.cv.notify_all();
+        len
     }
 }
 
@@ -453,8 +780,14 @@ pub fn run_wave(
         return;
     }
     let scheduler = CubeScheduler::new();
-    let helpers = threads.max(1).min(groups.len()) - 1;
     scheduler.submit(groups);
+    // Pre-explode eligible passes into partition subtasks *before* closing
+    // and sizing the pool: once the queue is closed, a helper that finds
+    // it momentarily empty exits for good, so a single fused pass over a
+    // large table must already be split when the helpers first look — and
+    // the helper count must reflect subtasks, not whole passes.
+    let items = scheduler.fan_out_queued(db);
+    let helpers = threads.max(1).min(items.max(1)) - 1;
     scheduler.close();
     if helpers == 0 {
         scheduler.drive(db, arena, handles);
@@ -524,6 +857,11 @@ pub struct WaveExec<'a> {
     /// Fuse same-scope tasks into shared scan passes. `false` reproduces
     /// the unfused one-pass-per-task shape (A/B and ablation path).
     pub fuse: bool,
+    /// Storage blocks per fixed scan partition (0 disables partitioning).
+    /// Shapes the deterministic partition/merge tree of every pass this
+    /// wave runs — including inline poison-retry singletons — so all of a
+    /// run's scans share one contract.
+    pub partition_blocks: usize,
 }
 
 /// Scheduling counters for one wave, in the orchestration layer's own
@@ -557,6 +895,17 @@ pub struct WaveStats {
     pub blocks_skipped: u64,
     /// Encoded payload bytes read by the decoded blocks.
     pub bytes_scanned: u64,
+    /// Fixed partitions scanned by this wave's passes (each partitioned
+    /// pass counts its partition count once, like `rows_scanned`; a
+    /// single-partition pass counts 0). Worker-count independent.
+    pub partitions_scanned: u64,
+    /// Partition-grid merges performed, summed per member task (each
+    /// member's grids really fold `partitions − 1` times). Worker-count
+    /// independent.
+    pub partition_merges: u64,
+    /// Max distinct workers observed on any one partitioned pass — a
+    /// gauge, the only counter here that may legitimately vary run to run.
+    pub partition_parallelism: u32,
 }
 
 /// One wave's finished slices: `slices[request][aggregate]`, aligned with
@@ -717,7 +1066,10 @@ pub fn run_requests(
     // execute the wave. The index partition is kept for the pass-level
     // stats attribution in Phase 4.
     let pass_members = fusion_partition(&tasks, exec.fuse);
-    let groups = ScanGroup::assemble(tasks, &pass_members);
+    let mut groups = ScanGroup::assemble(tasks, &pass_members);
+    for group in &mut groups {
+        group.set_partition_blocks(exec.partition_blocks);
+    }
     match exec.scheduler {
         Some(scheduler) if !groups.is_empty() => {
             scheduler.submit(groups);
@@ -738,12 +1090,18 @@ pub fn run_requests(
         stats.blocks_scanned += result.stats.blocks_scanned;
         stats.blocks_skipped += result.stats.blocks_skipped;
         stats.bytes_scanned += result.stats.bytes_scanned;
+        stats.partition_merges += result.stats.partition_merges;
+        stats.partition_parallelism = stats
+            .partition_parallelism
+            .max(result.stats.partition_parallelism);
         task_results.push(result);
     }
     for (_, members) in &pass_members {
         stats.scan_passes += 1;
-        // Every member of a pass scans the same relation; charge it once.
+        // Every member of a pass scans the same relation (and the same
+        // partitions of it); charge rows and partitions once per pass.
         stats.rows_scanned += task_results[members[0]].stats.rows_scanned;
+        stats.partitions_scanned += task_results[members[0]].stats.partitions_scanned;
     }
     let mut resolved: Vec<Vec<CachedSlice>> = Vec::with_capacity(requests.len());
     for (request, request_slots) in requests.iter().zip(slots) {
@@ -822,13 +1180,14 @@ fn resolve_wait(
                     aggregates: vec![request.aggs[agg_idx]],
                 };
                 let (task, handle) = CubeTask::new(cube, vec![(0, f, guard)]);
-                run_wave(
-                    db,
-                    exec.arena,
-                    ScanGroup::singletons(vec![task]),
-                    std::slice::from_ref(&handle),
-                    1,
-                );
+                let mut groups = ScanGroup::singletons(vec![task]);
+                for group in &mut groups {
+                    // Same span as the wave's own passes: the retried key's
+                    // result must be bit-identical to what the poisoned
+                    // publisher would have produced.
+                    group.set_partition_blocks(exec.partition_blocks);
+                }
+                run_wave(db, exec.arena, groups, std::slice::from_ref(&handle), 1);
                 let result = handle.into_result()?;
                 stats.tasks_executed += 1;
                 stats.scan_passes += 1;
@@ -836,6 +1195,11 @@ fn resolve_wait(
                 stats.blocks_scanned += result.stats.blocks_scanned;
                 stats.blocks_skipped += result.stats.blocks_skipped;
                 stats.bytes_scanned += result.stats.bytes_scanned;
+                stats.partitions_scanned += result.stats.partitions_scanned;
+                stats.partition_merges += result.stats.partition_merges;
+                stats.partition_parallelism = stats
+                    .partition_parallelism
+                    .max(result.stats.partition_parallelism);
                 return Ok(CachedSlice::new(result, 0, f));
             }
         }
@@ -941,6 +1305,76 @@ mod tests {
                 .unwrap()
                 .get_count(&[crate::cube::DimSel::Literal(0)], 0),
             2.0
+        );
+    }
+
+    /// Chaos satellite: an injected panic inside ONE partition subtask of a
+    /// fanned-out pass must fail EVERY member task, poison their registered
+    /// flights (waking waiters), and leave no merge barrier hung — then
+    /// re-raise on the executing thread so a supervisor can see the death.
+    #[test]
+    fn partition_subtask_panic_fails_all_members_and_notifies_waiters() {
+        use crate::block::BLOCK_ROWS;
+        let rows = 3 * BLOCK_ROWS; // 3 one-block partitions at span 1
+        let cats: Vec<Value> = (0..rows).map(|i| ["a", "b", "c"][i % 3].into()).collect();
+        let t = Table::from_columns("t", vec![("cat", cats)]).unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t);
+
+        let cache = EvalCache::new();
+        let key = CacheKey::new(
+            AggFunction::Count,
+            AggColumn::Star,
+            vec![ColumnRef::new(0, 0)],
+        );
+        let needed = vec![vec![Value::from("a")]];
+        let guard = match cache.flight(&key, &needed) {
+            Flight::Compute(g) => g,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        let waiter = match cache.flight(&key, &needed) {
+            Flight::Wait(w) => w,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+
+        let (task_a, handle_a) = CubeTask::new(
+            count_cube(&db, vec!["a".into()]),
+            vec![(0, AggFunction::Count, guard)],
+        );
+        let (task_b, handle_b) = CubeTask::new(count_cube(&db, vec!["b".into()]), Vec::new());
+        let mut groups = ScanGroup::fuse(vec![task_a, task_b]);
+        assert_eq!(groups.len(), 1, "one shared scope fuses into one pass");
+        for group in &mut groups {
+            group.set_partition_blocks(1);
+        }
+        let handles = [handle_a, handle_b];
+
+        // Seed 0, period 2: partition 0's single block crosses the hook at
+        // n=1 (clean), partition 1 panics at n=2.
+        let chaos = crate::chaos::install(crate::chaos::FaultPlan {
+            seed: 0,
+            panic_every_scan_blocks: 2,
+            ..crate::chaos::FaultPlan::default()
+        });
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_wave(&db, None, groups, &handles, 1);
+        }));
+        assert!(chaos.injected_panics() >= 1, "the plan must actually fire");
+        drop(chaos);
+        // The members settle BEFORE the payload re-raises: the driver's
+        // unwind is observable here, not a hang.
+        assert!(unwound.is_err(), "the chaos panic re-raises after settling");
+
+        for (i, handle) in handles.iter().enumerate() {
+            assert!(handle.is_done(), "member {i} hung on the merge barrier");
+            assert!(
+                handle.result().is_err(),
+                "member {i}: one partition's panic fails the whole pass"
+            );
+        }
+        assert!(
+            waiter.wait().is_none(),
+            "the failed member's flight was poisoned, waking its waiters"
         );
     }
 
@@ -1060,6 +1494,7 @@ mod tests {
             threads: 1,
             bundling: TaskBundling::Canonical,
             fuse: true,
+            partition_blocks: DEFAULT_PARTITION_BLOCKS,
         };
         let first = run_requests(&db, &exec, &requests).unwrap();
         assert_eq!(first.stats.tasks_executed, 2, "one task per request");
@@ -1103,6 +1538,7 @@ mod tests {
                 threads: 1,
                 bundling: TaskBundling::Canonical,
                 fuse,
+                partition_blocks: DEFAULT_PARTITION_BLOCKS,
             };
             let outcome = run_requests(&db, &exec, &requests).unwrap();
             assert_eq!(outcome.stats.tasks_executed, 2, "fuse={fuse}");
@@ -1143,6 +1579,7 @@ mod tests {
                             threads: 1,
                             bundling: TaskBundling::Canonical,
                             fuse: true,
+                            partition_blocks: DEFAULT_PARTITION_BLOCKS,
                         };
                         run_requests(db, &exec, &requests).unwrap()
                     })

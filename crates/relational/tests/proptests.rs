@@ -217,12 +217,15 @@ proptest! {
                 threads,
                 parallel_row_threshold: 1,
                 clamp_to_hardware: false,
+                partition_blocks: 1,
                 ..CubeOptions::default()
             })
             .unwrap();
-        // Worker count = min(requested, rows / threshold) with the hardware
-        // clamp disabled (threshold is 1 here).
-        prop_assert_eq!(parallel.stats.scan_threads as usize, threads.min(rows.len()));
+        // Worker count = min(requested, rows / threshold, partitions) with
+        // the hardware clamp disabled; under 50 rows is a single 2048-row
+        // partition, so the scan stays sequential by construction.
+        prop_assert_eq!(parallel.stats.scan_threads, 1);
+        prop_assert_eq!(parallel.stats.partitions_scanned, 0);
 
         // Every addressable (selector, aggregate) combination must agree
         // with a naive per-query scan — across all three executors.

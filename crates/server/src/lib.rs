@@ -621,7 +621,7 @@ fn report_json(id: u64, report: &VerificationReport) -> String {
         .collect();
     let stats = &report.stats;
     format!(
-        "{{\"id\":{id},\"status\":\"{}\",\"claims\":[{}],\"stats\":{{\"claims\":{},\"em_iterations\":{},\"candidates_evaluated\":{},\"rows_scanned\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{}}},\"fingerprint\":\"{}\"}}",
+        "{{\"id\":{id},\"status\":\"{}\",\"claims\":[{}],\"stats\":{{\"claims\":{},\"em_iterations\":{},\"candidates_evaluated\":{},\"rows_scanned\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{},\"partitions_scanned\":{},\"partition_merges\":{},\"partition_parallelism\":{}}},\"fingerprint\":\"{}\"}}",
         protocol::status_name(report.status),
         claims.join(","),
         stats.claims,
@@ -632,6 +632,9 @@ fn report_json(id: u64, report: &VerificationReport) -> String {
         stats.blocks_scanned,
         stats.blocks_skipped,
         stats.bytes_scanned,
+        stats.partitions_scanned,
+        stats.partition_merges,
+        stats.partition_parallelism,
         json::escape(&report.content_fingerprint()),
     )
 }
@@ -651,7 +654,7 @@ fn stats_json(shared: &Arc<ServerShared>) -> String {
                 .map(|(lane, depth)| format!("{{\"lane\":{lane},\"depth\":{depth}}}"))
                 .collect();
             format!(
-                "\"{}\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\"timed_out\":{},\"cancelled\":{},\"partial\":{},\"respawns\":{},\"poison_retries\":{},\"queue_depth_high_water\":{},\"in_flight_high_water\":{},\"claims\":{},\"rows_scanned\":{},\"tasks_executed\":{},\"tasks_deduped\":{},\"singleflight_waits\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{},\"queue_depth\":{},\"in_flight\":{},\"lanes\":[{}]}}",
+                "\"{}\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\"timed_out\":{},\"cancelled\":{},\"partial\":{},\"respawns\":{},\"poison_retries\":{},\"queue_depth_high_water\":{},\"in_flight_high_water\":{},\"claims\":{},\"rows_scanned\":{},\"tasks_executed\":{},\"tasks_deduped\":{},\"singleflight_waits\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{},\"partitions_scanned\":{},\"partition_merges\":{},\"partition_parallelism\":{},\"queue_depth\":{},\"in_flight\":{},\"lanes\":[{}]}}",
                 json::escape(name),
                 s.submitted,
                 s.completed,
@@ -673,6 +676,9 @@ fn stats_json(shared: &Arc<ServerShared>) -> String {
                 s.blocks_scanned,
                 s.blocks_skipped,
                 s.bytes_scanned,
+                s.partitions_scanned,
+                s.partition_merges,
+                s.partition_parallelism,
                 service.queue_depth(),
                 service.in_flight(),
                 lanes.join(","),

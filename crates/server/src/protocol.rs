@@ -464,9 +464,12 @@ pub fn stats_ok(s: &WireStats) -> Vec<u8> {
         st.blocks_scanned,
         st.blocks_skipped,
         st.bytes_scanned,
+        st.partitions_scanned,
+        st.partition_merges,
     ] {
         wire::put_u64(&mut p, v);
     }
+    wire::put_u32(&mut p, st.partition_parallelism);
     wire::put_u64(&mut p, s.queue_depth);
     wire::put_u64(&mut p, s.in_flight);
     wire::put_u32(&mut p, s.lane_depths.len() as u32);
@@ -505,6 +508,9 @@ pub fn parse_stats_ok(mut buf: &[u8]) -> Result<WireStats, WireError> {
         blocks_scanned: wire::get_u64(buf)?,
         blocks_skipped: wire::get_u64(buf)?,
         bytes_scanned: wire::get_u64(buf)?,
+        partitions_scanned: wire::get_u64(buf)?,
+        partition_merges: wire::get_u64(buf)?,
+        partition_parallelism: wire::get_u32(buf)?,
     };
     let queue_depth = wire::get_u64(buf)?;
     let in_flight = wire::get_u64(buf)?;
@@ -668,6 +674,9 @@ mod tests {
                 completed: 7,
                 rows_scanned: 5060,
                 scan_passes: 11,
+                partitions_scanned: 22,
+                partition_merges: 14,
+                partition_parallelism: 4,
                 ..StreamStats::default()
             },
             queue_depth: 1,

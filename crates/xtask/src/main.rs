@@ -91,12 +91,33 @@
 //!     --selective encoded_selective_1t \
 //!     --encoded encoded_full_1t --plain plain_full_1t --max-slowdown 2.0
 //! ```
+//!
+//! # `partition-gate`
+//!
+//! The partition-determinism gate over `BENCH_pipeline.json`'s
+//! `partitioned_1t/2t/4t` variants (a 1M-row corpus whose every fused
+//! pass fans out into partition subtasks): fails CI when (a) the
+//! partitioned reports drifted from the partition-span-1 control
+//! (`partition_fingerprints_match != 1`), (b) `rows_scanned` or
+//! `scan_passes` varied across worker counts or spans — worker count
+//! leaking into the scan shape — or (c) any variant scanned zero
+//! partitions (the fan-out silently stopped engaging). Deterministic
+//! counters only; never a timing judgement.
+//!
+//! ```text
+//! cargo run -p xtask -- partition-gate --file BENCH_pipeline.current.json
+//! ```
 
 use std::process::ExitCode;
 
 /// The object bodies of the top-level `"variants"` array.
 fn variant_objects(json: &str) -> Vec<String> {
-    let Some(start) = json.find("\"variants\"") else {
+    array_objects(json, "variants")
+}
+
+/// The object bodies of a named top-level array of flat objects.
+fn array_objects(json: &str, key: &str) -> Vec<String> {
+    let Some(start) = json.find(&format!("\"{key}\"")) else {
         return Vec::new();
     };
     let Some(open) = json[start..].find('[') else {
@@ -629,6 +650,117 @@ fn skip_gate(args: &[String]) -> ExitCode {
     }
 }
 
+/// Judge the partition-parallel variants of one pipeline benchmark file:
+/// the corpus must actually have fanned out (`partitions_scanned > 0` in
+/// every `partitioned_*` variant), every worker count must have scanned
+/// identical rows, formed identical passes, and executed identical
+/// partition counts, and the partition-span-1 control must have produced
+/// bit-identical reports (`partition_fingerprints_match == 1`). All
+/// checks are deterministic counters — a failure is a real determinism
+/// regression, never runner noise.
+fn run_partition_gate(json: &str) -> Result<Vec<String>, String> {
+    let objs = array_objects(json, "partitioned");
+    if objs.is_empty() {
+        return Err("no \"partitioned\" variants in the file".into());
+    }
+    let flag = |key: &str| -> Result<f64, String> {
+        number_field(json, key).ok_or_else(|| format!("no top-level \"{key}\" field in the file"))
+    };
+    let mut report = Vec::new();
+
+    // Correctness first: fast partitioned scans that change report bits
+    // break the determinism contract.
+    if flag("partition_fingerprints_match")? != 1.0 {
+        return Err(
+            "partition_fingerprints_match != 1 — partitioned reports drifted from the \
+             partition-span-1 control"
+                .into(),
+        );
+    }
+    report.push("partitioned reports bit-identical to the span-1 control".to_string());
+    if flag("partition_rows_scanned_equal")? != 1.0 {
+        return Err(
+            "partition_rows_scanned_equal != 1 — rows_scanned varied with the worker \
+             count or partition span"
+                .into(),
+        );
+    }
+    if flag("partition_scan_passes_equal")? != 1.0 {
+        return Err(
+            "partition_scan_passes_equal != 1 — scan_passes varied with the worker \
+             count or partition span"
+                .into(),
+        );
+    }
+
+    // Re-derive the counter equalities from the variants themselves, so
+    // the gate judges the recorded numbers, not just the emitter's flags.
+    let mut first: Option<(f64, f64, f64)> = None;
+    for (i, obj) in objs.iter().enumerate() {
+        let name = string_field(obj, "name").unwrap_or_else(|| format!("variant #{i}"));
+        let field = |key: &str| -> Result<f64, String> {
+            number_field(obj, key).ok_or_else(|| format!("{name}: missing field \"{key}\""))
+        };
+        let rows = field("rows_scanned_per_run")?;
+        let passes = field("scan_passes")?;
+        let partitions = field("partitions_scanned")?;
+        if partitions <= 0.0 {
+            return Err(format!(
+                "{name}: scanned 0 partitions — the corpus never fanned out (too small, or \
+                 partitioning is off)"
+            ));
+        }
+        match first {
+            None => first = Some((rows, passes, partitions)),
+            Some(f) if f != (rows, passes, partitions) => {
+                return Err(format!(
+                    "{name}: (rows, passes, partitions) = ({rows:.0}, {passes:.0}, \
+                     {partitions:.0}) diverges from ({:.0}, {:.0}, {:.0}) — worker count leaked \
+                     into the scan shape",
+                    f.0, f.1, f.2
+                ));
+            }
+            Some(_) => {}
+        }
+        report.push(format!(
+            "{name}: rows {rows:.0}, passes {passes:.0}, partitions {partitions:.0}"
+        ));
+    }
+    Ok(report)
+}
+
+fn partition_gate(args: &[String]) -> ExitCode {
+    let mut file = String::from("BENCH_pipeline.current.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--file" => file = it.next().cloned().expect("--file PATH"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let outcome = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {file}: {e}"))
+        .and_then(|json| run_partition_gate(&json));
+    match outcome {
+        Ok(report) => {
+            for line in &report {
+                println!("partition-gate ok: {line}");
+            }
+            println!(
+                "partition-gate: partitioned scans deterministic across worker counts and spans"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("partition-gate FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Scrape `Name = 0xNN,` declarations from the `pub enum Opcode` block of
 /// the protocol source. Only lines inside the enum body count, so helper
 /// constants elsewhere in the file can't satisfy (or confuse) the gate.
@@ -758,6 +890,7 @@ fn main() -> ExitCode {
         Some("min-gate") => min_gate(&args[1..]),
         Some("chaos-gate") => chaos_gate(&args[1..]),
         Some("skip-gate") => skip_gate(&args[1..]),
+        Some("partition-gate") => partition_gate(&args[1..]),
         Some("docs-gate") => docs_gate(&args[1..]),
         _ => {
             eprintln!("usage: xtask bench-gate [--baseline PATH] [--current PATH] [--threshold FRACTION] [--metric NAME] [--variants a,b] [--normalize-to NAME]");
@@ -765,6 +898,7 @@ fn main() -> ExitCode {
             eprintln!("       xtask min-gate [--file PATH] [--field NAME] [--min NUMBER]");
             eprintln!("       xtask chaos-gate [--file PATH]");
             eprintln!("       xtask skip-gate [--file PATH] [--selective NAME] [--encoded NAME] [--plain NAME] [--max-slowdown NUMBER]");
+            eprintln!("       xtask partition-gate [--file PATH]");
             eprintln!("       xtask docs-gate [--source PATH] [--docs PATH]");
             ExitCode::from(2)
         }
@@ -1267,6 +1401,59 @@ Some prose first.
     fn docs_gate_rejects_inputs_with_nothing_to_check() {
         assert!(run_docs_gate("fn main() {}", OPCODE_DOCS).is_err());
         assert!(run_docs_gate(OPCODE_SOURCE, "no table here").is_err());
+    }
+
+    fn partition_sample(
+        fingerprints_match: u8,
+        rows_4t: u64,
+        partitions_2t: u64,
+        flags_equal: u8,
+    ) -> String {
+        format!(
+            r#"{{
+  "docs": 8,
+  "partitioned": [
+    {{"name": "partitioned_1t", "threads_requested": 1, "threads_used": 1, "median_ns": 100, "rows_scanned_per_run": 600000, "scan_passes": 2, "partitions_scanned": 6, "partition_merges": 4}},
+    {{"name": "partitioned_2t", "threads_requested": 2, "threads_used": 2, "median_ns": 90, "rows_scanned_per_run": 600000, "scan_passes": 2, "partitions_scanned": {partitions_2t}, "partition_merges": 4}},
+    {{"name": "partitioned_4t", "threads_requested": 4, "threads_used": 3, "median_ns": 80, "rows_scanned_per_run": {rows_4t}, "scan_passes": 2, "partitions_scanned": 6, "partition_merges": 4}}
+  ],
+  "partition_corpus_rows": 300000,
+  "partition_fingerprints_match": {fingerprints_match},
+  "partition_rows_scanned_equal": {flags_equal},
+  "partition_scan_passes_equal": {flags_equal}
+}}"#
+        )
+    }
+
+    #[test]
+    fn partition_gate_passes_on_deterministic_counters() {
+        let report = run_partition_gate(&partition_sample(1, 600000, 6, 1)).unwrap();
+        assert_eq!(report.len(), 4, "{report:?}");
+        assert!(report[0].contains("bit-identical"), "{report:?}");
+        assert!(report[3].contains("partitioned_4t"), "{report:?}");
+    }
+
+    #[test]
+    fn partition_gate_catches_every_violation() {
+        // Fingerprint drift vs the span-1 control.
+        let err = run_partition_gate(&partition_sample(0, 600000, 6, 1)).unwrap_err();
+        assert!(err.contains("partition_fingerprints_match"), "{err}");
+        // A worker-count-dependent rows_scanned recorded in the variants,
+        // even with the emitter's flags claiming equality.
+        let err = run_partition_gate(&partition_sample(1, 700000, 6, 1)).unwrap_err();
+        assert!(
+            err.contains("partitioned_4t") && err.contains("leaked"),
+            "{err}"
+        );
+        // Emitter flags reporting inequality.
+        let err = run_partition_gate(&partition_sample(1, 600000, 6, 0)).unwrap_err();
+        assert!(err.contains("partition_rows_scanned_equal"), "{err}");
+        // A variant that never fanned out.
+        let err = run_partition_gate(&partition_sample(1, 600000, 0, 1)).unwrap_err();
+        assert!(err.contains("0 partitions"), "{err}");
+        // A file without the partitioned family at all.
+        let err = run_partition_gate(r#"{"variants": []}"#).unwrap_err();
+        assert!(err.contains("partitioned"), "{err}");
     }
 
     #[test]

@@ -51,11 +51,21 @@ struct CellRecord {
 
 /// Run one matrix cell and report its invariant-relevant counters.
 /// Never panics on a fault outcome — judging is the gate's job.
-fn run_cell(name: &str, plan: FaultPlan, workers: usize, policy: IntakePolicy) -> CellRecord {
+/// `texts[i % texts.len()]` is submitted as document `i`, against `db`
+/// under `cfg` — the partition cells swap in a multi-partition corpus.
+fn run_cell(
+    name: &str,
+    plan: FaultPlan,
+    workers: usize,
+    policy: IntakePolicy,
+    db: aggchecker::relational::Database,
+    cfg: CheckerConfig,
+    texts: &[&str],
+) -> CellRecord {
     let guard = chaos::install(plan);
     let service = StreamingVerifier::new(
-        aggchecker::corpus::builtin::nfl_suspensions().db,
-        CheckerConfig::default(),
+        db,
+        cfg,
         StreamConfig {
             workers,
             policy,
@@ -67,7 +77,7 @@ fn run_cell(name: &str, plan: FaultPlan, workers: usize, policy: IntakePolicy) -
     .expect("service construction is fault-free");
     let mut accepted = Vec::new();
     for i in 0..DOCS_PER_CELL {
-        let text = if i % 3 == 0 { WRONG } else { ARTICLE };
+        let text = texts[i % texts.len()];
         let outcome = if i == 4 {
             service.submit_text_with_deadline(text, Some(Instant::now() + WATCHDOG))
         } else {
@@ -201,7 +211,15 @@ fn main() {
                 IntakePolicy::Reject
             };
             let name = format!("{plan_name}_{workers}w");
-            let record = run_cell(&name, *plan, *workers, policy);
+            let record = run_cell(
+                &name,
+                *plan,
+                *workers,
+                policy,
+                aggchecker::corpus::builtin::nfl_suspensions().db,
+                CheckerConfig::default(),
+                &[WRONG, ARTICLE, ARTICLE],
+            );
             println!(
                 "{:<18} submitted={:<3} completed={:<3} failed={:<3} rejected={:<2} \
                  cancelled={} respawns={} injected={:<3} unsettled={} inflight={}",
@@ -218,6 +236,61 @@ fn main() {
             );
             records.push(record);
         }
+    }
+
+    // Partition cells: the same panic-style plan, but over a generated
+    // corpus whose fused passes span three 1-block partitions, so the
+    // injected panic lands *inside a partition subtask*. The invariants
+    // are the same — a dead partition fails every member of its pass,
+    // wakes its waiters, and never wedges the merge barrier.
+    let part_case = aggchecker::corpus::generate_multi_doc_case(
+        &aggchecker::corpus::CorpusSpec {
+            min_rows: 6 * 1024,
+            max_rows: 6 * 1024,
+            ..aggchecker::corpus::CorpusSpec::default()
+        },
+        7,
+        3,
+    );
+    let part_texts: Vec<&str> = part_case.articles.iter().map(String::as_str).collect();
+    for (j, workers) in [1usize, 2, 4, 8].iter().enumerate() {
+        let policy = if j % 2 == 0 {
+            IntakePolicy::Block
+        } else {
+            IntakePolicy::Reject
+        };
+        let name = format!("partition_panic_{workers}w");
+        let record = run_cell(
+            &name,
+            FaultPlan {
+                seed: 3,
+                panic_every_scan_blocks: 23,
+                ..FaultPlan::default()
+            },
+            *workers,
+            policy,
+            part_case.db.clone(),
+            CheckerConfig {
+                partition_blocks: 1,
+                ..CheckerConfig::default()
+            },
+            &part_texts,
+        );
+        println!(
+            "{:<18} submitted={:<3} completed={:<3} failed={:<3} rejected={:<2} \
+             cancelled={} respawns={} injected={:<3} unsettled={} inflight={}",
+            record.name,
+            record.stats.submitted,
+            record.stats.completed,
+            record.stats.failed,
+            record.stats.rejected,
+            record.stats.cancelled,
+            record.respawns,
+            record.injected,
+            record.unsettled,
+            record.inflight_len,
+        );
+        records.push(record);
     }
 
     let variants: Vec<String> = records

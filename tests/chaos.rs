@@ -281,6 +281,78 @@ fn chaos_worker_deaths_single_flight_respects_respawn_budget() {
     drop(guard);
 }
 
+/// Scan panics landing *inside partition subtasks*: a corpus big enough
+/// that every fused pass fans out into three 1-block partitions, so an
+/// injected worker death kills one partition of a pass mid-scan. The
+/// first-failure protocol must fail the whole pass (every member, their
+/// flight waiters woken) rather than leave the merge barrier waiting on a
+/// deposit that will never arrive — end to end, nothing hangs and the
+/// accounting reconciles.
+#[test]
+fn chaos_partition_panic_single_flight_settles_every_ticket() {
+    let case = aggchecker::corpus::generate_multi_doc_case(
+        &aggchecker::corpus::CorpusSpec {
+            min_rows: 6 * 1024,
+            max_rows: 6 * 1024,
+            ..aggchecker::corpus::CorpusSpec::default()
+        },
+        7,
+        3,
+    );
+    let guard = chaos::install(FaultPlan {
+        seed: 3,
+        panic_every_scan_blocks: 23,
+        ..FaultPlan::default()
+    });
+    let service = StreamingVerifier::new(
+        case.db.clone(),
+        CheckerConfig {
+            partition_blocks: 1,
+            ..CheckerConfig::default()
+        },
+        StreamConfig {
+            workers: 4,
+            max_respawns: 6,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = case
+        .articles
+        .iter()
+        .cycle()
+        .take(8)
+        .map(|t| service.submit_text(t).unwrap())
+        .collect();
+    service.close();
+    let results = settle_all(tickets, WATCHDOG);
+    assert!(
+        guard.injected_panics() > 0,
+        "the plan must actually kill a partition subtask"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.submitted, stats.settled(), "one bin per document");
+    assert!(stats.respawns <= 6, "budget overrun: {}", stats.respawns);
+    assert!(
+        stats.failed > 0 || stats.rejected > 0,
+        "a partition death must fail at least one document"
+    );
+    for result in results {
+        match result {
+            Ok(report) => assert_eq!(report.status, ReportStatus::Complete),
+            Err(CheckerError::Relational(_) | CheckerError::Stream(_)) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    let checker = service.into_checker();
+    assert_eq!(
+        checker.cache().inflight_len(),
+        0,
+        "a dead partition pass left a dangling in-flight entry"
+    );
+    drop(guard);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

@@ -628,3 +628,115 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Partition-parallel determinism contract
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Partitioned fused scans honor the determinism contract end to end:
+    /// over randomized corpora large enough that fused passes fan out
+    /// (5-6 partitions at span 1, 2 at span 4, a single one at span 64),
+    /// every combination of worker count {1, 2, 4, 8} × partition span
+    /// {1, 4, 64} — with partition subtasks completing in whatever order
+    /// the stealing workers reach them, and documents arriving in a
+    /// shuffled order — produces reports bit-identical to a 1-thread
+    /// default-span solo run. Verdicts agree with the serial
+    /// `evaluate_naive` oracle. (Exact across *spans* because the
+    /// generator's numeric columns are integer-valued, so partition sums
+    /// are exact and merge associatively.)
+    #[test]
+    fn partitioned_reports_are_worker_and_span_independent(
+        seed in 1u64..10_000,
+        rows in 8_300usize..12_000,
+        order_seed in 0u64..10_000,
+    ) {
+        use aggchecker::core::EvalStrategy;
+        use aggchecker::corpus::{generate_multi_doc_case, CorpusSpec};
+        use aggchecker::{AggChecker, BatchVerifier, CheckerConfig};
+
+        let spec = CorpusSpec {
+            min_rows: rows,
+            max_rows: rows,
+            ..CorpusSpec::small(1, seed)
+        };
+        let case = generate_multi_doc_case(&spec, 0, 2);
+        let texts: Vec<&str> = case.articles.iter().map(String::as_str).collect();
+
+        // Reference: 1 thread, the default span.
+        let reference: Vec<String> = texts
+            .iter()
+            .map(|t| {
+                let checker =
+                    AggChecker::new(case.db.clone(), CheckerConfig::default()).unwrap();
+                checker.check_text(t).unwrap().content_fingerprint()
+            })
+            .collect();
+
+        // Shuffled document arrival order (deterministic xorshift).
+        let mut order: Vec<usize> = (0..texts.len()).collect();
+        let mut state = order_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let shuffled: Vec<&str> = order.iter().map(|&i| texts[i]).collect();
+
+        let mut fanned_out = 0u64;
+        for workers in [1usize, 2, 4, 8] {
+            for span in [1usize, 4, 64] {
+                let cfg = CheckerConfig {
+                    threads: workers,
+                    partition_blocks: span,
+                    ..CheckerConfig::default()
+                };
+                let batch = BatchVerifier::new(case.db.clone(), cfg).unwrap();
+                let reports = batch.verify_texts(&shuffled).unwrap();
+                for (pos, &doc) in order.iter().enumerate() {
+                    prop_assert_eq!(
+                        reports[pos].content_fingerprint(),
+                        reference[doc].clone(),
+                        "workers={} span={} doc={} seed={} rows={}",
+                        workers, span, doc, seed, rows
+                    );
+                    if span == 1 {
+                        fanned_out += reports[pos].stats.partitions_scanned;
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            fanned_out > 0,
+            "span-1 runs over {} rows must actually partition",
+            rows
+        );
+
+        // Naive oracle on the first document under a small hit budget.
+        let run_first = |strategy: EvalStrategy| {
+            let cfg = CheckerConfig {
+                strategy,
+                lucene_hits: 6,
+                ..CheckerConfig::default()
+            };
+            let checker = AggChecker::new(case.db.clone(), cfg).unwrap();
+            checker.check_text(texts[0]).unwrap()
+        };
+        let naive = run_first(EvalStrategy::Naive);
+        let partitioned = run_first(EvalStrategy::MergedCached);
+        prop_assert_eq!(naive.claims.len(), partitioned.claims.len());
+        for (n, p) in naive.claims.iter().zip(&partitioned.claims) {
+            prop_assert_eq!(
+                n.verdict, p.verdict,
+                "seed={} claim {}",
+                seed, n.claimed_value
+            );
+            prop_assert!(
+                (n.correctness_probability - p.correctness_probability).abs() < 1e-6
+            );
+        }
+    }
+}

@@ -496,7 +496,13 @@ fn mid_stream_disconnect_settles_outstanding_documents() {
     gate.release();
     gate_ticket.wait().unwrap();
     server.shutdown();
-    assert_eq!(service.in_flight(), 0, "in-flight leak after disconnect");
+    // The ticket settles before the worker releases its in-flight slot,
+    // so poll to quiescence: a leak is a *permanently* nonzero gauge.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.in_flight() != 0 {
+        assert!(Instant::now() < deadline, "in-flight leak after disconnect");
+        std::thread::sleep(Duration::from_millis(5));
+    }
     assert_eq!(service.queue_depth(), 0, "queue leak after disconnect");
     let stats = service.stats();
     assert_eq!(stats.submitted, stats.settled(), "every ticket settled");
