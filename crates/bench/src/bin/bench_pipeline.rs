@@ -55,6 +55,18 @@
 //!   faking a speedup, and multi-core CI shows the real one. The
 //!   top-level `partition_*` fields feed `xtask partition-gate`.
 //!
+//! * `append_1w` / `append_2w` / `append_4w` / `append_8w` — incremental
+//!   re-verification over the same large corpus: verify cold, append ~1%
+//!   more rows (cloned from the biggest table's tail), re-verify. The
+//!   watermark/checkpoint machinery must *patch* the stale cached grids
+//!   over just the appended tail — `delta_rows_scanned` stays a small
+//!   fraction of a cold run's `rows_scanned`, patched reports are
+//!   bit-identical to a fresh checker over the grown corpus, and the
+//!   patch work (`grids_patched`, `delta_rows_scanned`) is identical at
+//!   every worker count. Only the re-verification is timed. The
+//!   `append_reverify` variants and top-level `append_*` fields feed
+//!   `xtask delta-gate`.
+//!
 //! All variants are checked to produce identical reports before timing.
 //! Each variant reports `rows_scanned_per_run` (real rows read by its
 //! fused scan passes over one full batch), `scan_passes` and
@@ -581,6 +593,144 @@ fn main() {
         .all(|v| v.scan_passes == part_variants[0].scan_passes)
         && size1_counters.1 == part_variants[0].scan_passes;
 
+    // --- Incremental re-verification over appends. -----------------------
+    // The watermark/checkpoint machinery's headline: verify the big corpus
+    // cold, append ~1% more rows, and re-verify — the stale cached grids
+    // must be *patched* over just the appended tail instead of rescanned.
+    // A finer partition span than the partitioned family keeps the prefix
+    // checkpoints near the corpus tail, so a 1% append costs ~1% of a full
+    // rescan rather than most of a 64-block span. The `append_*` variants
+    // and top-level `append_*` fields feed `xtask delta-gate`.
+    let append_cfg = CheckerConfig {
+        partition_blocks: 4,
+        ..cfg.clone()
+    };
+    // The append batch: the last 1% of the biggest table's rows, cloned —
+    // schema-valid by construction, and value-skewed exactly like the
+    // corpus so patched aggregates move in every claim's scope.
+    let (append_table, append_batch): (String, Vec<Vec<agg_relational::Value>>) = {
+        let t = part_case
+            .db
+            .tables()
+            .iter()
+            .max_by_key(|t| t.row_count())
+            .expect("partition corpus has tables");
+        let n = t.row_count();
+        let batch_len = (n / 100).max(1);
+        let batch = (n - batch_len..n)
+            .map(|r| (0..t.column_count()).map(|c| t.get(r, c)).collect())
+            .collect();
+        (t.name().to_string(), batch)
+    };
+    // The cold control: a fresh checker over the already-grown corpus.
+    // Patched reports must be bit-identical to this, at every worker count.
+    let grown_db = {
+        let mut db = part_case.db.clone();
+        db.append_rows(&append_table, &append_batch)
+            .expect("append cloned rows");
+        db
+    };
+    let grown_rows = grown_db.total_rows();
+    let (append_reference, append_cold_rows) = {
+        let checker = AggChecker::new(grown_db.clone(), append_cfg.clone()).unwrap();
+        let mut prints = Vec::with_capacity(part_texts.len());
+        let mut rows = 0u64;
+        for t in &part_texts {
+            let r = checker.check_text(t).unwrap();
+            rows += r.stats.rows_scanned;
+            prints.push(r.content_fingerprint());
+        }
+        (prints, rows)
+    };
+    // (delta rows, grids patched, total re-verify rows)
+    type AppendCounters = (u64, u64, u64);
+    let append_run = |threads: usize| -> (u64, AppendCounters) {
+        let run_cfg = CheckerConfig {
+            threads,
+            ..append_cfg.clone()
+        };
+        let mut checker = AggChecker::new(part_case.db.clone(), run_cfg).unwrap();
+        for t in &part_texts {
+            checker.check_text(t).unwrap(); // cold pass warms cache + checkpoints
+        }
+        checker.append_rows(&append_table, &append_batch).unwrap();
+        let start = Instant::now();
+        let mut c: AppendCounters = (0, 0, 0);
+        let mut prints = Vec::with_capacity(part_texts.len());
+        for t in &part_texts {
+            let r = checker.check_text(t).unwrap();
+            c.0 += r.stats.delta_rows_scanned;
+            c.1 += r.stats.grids_patched;
+            c.2 += r.stats.rows_scanned;
+            prints.push(r.content_fingerprint());
+        }
+        let reverify_ns = start.elapsed().as_nanos() as u64;
+        assert_eq!(
+            prints, append_reference,
+            "{threads}-thread patched re-verification diverged from a cold checker \
+             over the grown corpus"
+        );
+        (reverify_ns, c)
+    };
+    struct AppendVariant {
+        name: &'static str,
+        workers: u32,
+        reverify_median_ns: u64,
+        reverify_docs_per_sec: f64,
+        delta_rows_scanned: u64,
+        grids_patched: u64,
+        rows_scanned_reverify: u64,
+        rows_scanned_cold: u64,
+    }
+    let append_variants: Vec<AppendVariant> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let name: &'static str = match threads {
+                1 => "append_1w",
+                2 => "append_2w",
+                4 => "append_4w",
+                _ => "append_8w",
+            };
+            let mut runs: Vec<(u64, AppendCounters)> =
+                (0..samples.max(1)).map(|_| append_run(threads)).collect();
+            runs.sort_unstable();
+            let (reverify_median_ns, c) = runs[runs.len() / 2];
+            AppendVariant {
+                name,
+                workers: threads as u32,
+                reverify_median_ns,
+                reverify_docs_per_sec: part_docs as f64 / (reverify_median_ns as f64 / 1e9),
+                delta_rows_scanned: c.0,
+                grids_patched: c.1,
+                rows_scanned_reverify: c.2,
+                rows_scanned_cold: append_cold_rows,
+            }
+        })
+        .collect();
+    let first_append = &append_variants[0];
+    assert!(
+        first_append.grids_patched > 0,
+        "the re-verification never patched a grid — checkpoint capture or the \
+         delta path is dead"
+    );
+    let append_patch_equal = append_variants.iter().all(|v| {
+        (v.delta_rows_scanned, v.grids_patched)
+            == (first_append.delta_rows_scanned, first_append.grids_patched)
+    });
+    assert!(
+        append_patch_equal,
+        "patch work varied with the worker count — grids_patched/delta_rows_scanned \
+         must be a pure function of the appended rows"
+    );
+    let append_delta_fraction =
+        first_append.delta_rows_scanned as f64 / append_cold_rows.max(1) as f64;
+    assert!(
+        append_delta_fraction < 0.10,
+        "re-verifying after a 1% append scanned {:.1}% of what a cold run scans — \
+         the delta path is not saving work",
+        append_delta_fraction * 100.0
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"docs\": {docs},\n"));
@@ -648,6 +798,36 @@ fn main() {
     json.push_str(&format!(
         "  \"partition_scan_passes_equal\": {},\n",
         partition_passes_equal as u8
+    ));
+    json.push_str("  \"append_reverify\": [\n");
+    for (i, v) in append_variants.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"reverify_median_ns\": {}, \"reverify_docs_per_sec\": {:.2}, \"delta_rows_scanned\": {}, \"grids_patched\": {}, \"rows_scanned_reverify\": {}, \"rows_scanned_cold\": {}}}{}\n",
+            v.name,
+            v.workers,
+            v.reverify_median_ns,
+            v.reverify_docs_per_sec,
+            v.delta_rows_scanned,
+            v.grids_patched,
+            v.rows_scanned_reverify,
+            v.rows_scanned_cold,
+            if i + 1 < append_variants.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"append_corpus_rows\": {grown_rows},\n"));
+    json.push_str(&format!(
+        "  \"append_batch_rows\": {},\n",
+        append_batch.len()
+    ));
+    // Reaching this point means the append fingerprint asserts passed.
+    json.push_str("  \"append_fingerprints_match\": 1,\n");
+    json.push_str(&format!(
+        "  \"append_patch_work_equal\": {},\n",
+        append_patch_equal as u8
+    ));
+    json.push_str(&format!(
+        "  \"append_delta_fraction\": {append_delta_fraction:.4},\n"
     ));
     json.push_str(&format!(
         "  \"speedup_stream_vs_sequential_fresh\": {stream_speedup:.2},\n"

@@ -52,6 +52,7 @@ use agg_relational::{
     Database, EvalCache, GridArena, Result, Value, WaveExec, WaveRequest,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 pub use agg_relational::TaskBundling;
 
@@ -108,6 +109,14 @@ pub struct EvalStats {
     /// Max distinct workers observed on any one partitioned pass — the
     /// only counter here that may legitimately vary run to run.
     pub partition_parallelism: u32,
+    /// Cached grids brought forward by a **patch pass** — a scan of only
+    /// the rows appended since the grid's checkpoint — instead of a full
+    /// recomputation. See `agg_relational::cube::ScanCheckpoint`.
+    pub grids_patched: u64,
+    /// Rows scanned by patch passes only (a subset of
+    /// [`EvalStats::rows_scanned`]) — the incremental re-verification
+    /// cost after appends.
+    pub delta_rows_scanned: u64,
 }
 
 impl EvalStats {
@@ -127,6 +136,8 @@ impl EvalStats {
         self.partitions_scanned += other.partitions_scanned;
         self.partition_merges += other.partition_merges;
         self.partition_parallelism = self.partition_parallelism.max(other.partition_parallelism);
+        self.grids_patched += other.grids_patched;
+        self.delta_rows_scanned += other.delta_rows_scanned;
     }
 
     /// Average member tasks per fused pass (1.0 when nothing fused; 0.0
@@ -219,7 +230,7 @@ struct ClaimPlan {
 /// Evaluates candidate sets against the database with merging, caching,
 /// and cube-task scheduling.
 pub struct Evaluator<'a> {
-    db: &'a Database,
+    db: &'a Arc<Database>,
     catalog: &'a FragmentCatalog,
     cache: Option<EvalCache>,
     /// Document-wide relevant literals per catalog predicate column
@@ -250,7 +261,7 @@ impl<'a> Evaluator<'a> {
     /// `cache = None` gives the "+ Query Merging" row of Table 6 (merged
     /// cubes, no reuse); `Some` adds "+ Caching".
     pub fn new(
-        db: &'a Database,
+        db: &'a Arc<Database>,
         catalog: &'a FragmentCatalog,
         cache: Option<EvalCache>,
     ) -> Evaluator<'a> {
@@ -385,6 +396,8 @@ impl<'a> Evaluator<'a> {
             .stats
             .partition_parallelism
             .max(outcome.stats.partition_parallelism);
+        self.stats.grids_patched += outcome.stats.grids_patched;
+        self.stats.delta_rows_scanned += outcome.stats.delta_rows_scanned;
         let resolved = outcome.slices;
 
         // ---- Phase 3: demultiplex into per-claim result matrices. ----
@@ -648,7 +661,7 @@ mod tests {
     use crate::scope::Scope;
     use agg_relational::{execute_query, Table};
 
-    fn nfl_db() -> Database {
+    fn nfl_db() -> Arc<Database> {
         let t = Table::from_columns(
             "nflsuspensions",
             vec![
@@ -690,7 +703,7 @@ mod tests {
         .unwrap();
         let mut db = Database::new("nfl");
         db.add_table(t);
-        db
+        Arc::new(db)
     }
 
     fn full_scope(cat: &FragmentCatalog) -> Scope {
@@ -858,7 +871,7 @@ mod tests {
         let (dims, relevant, aggs) = canonical_group(&cat);
         let keys: Vec<CacheKey> = aggs
             .iter()
-            .map(|&(f, c)| CacheKey::new(f, c, dims.clone()))
+            .map(|&(f, c)| CacheKey::new(f, c, dims.clone(), db.version()))
             .collect();
         let n_keys = keys.len() as u64;
         let workers = 8u64;
@@ -870,7 +883,7 @@ mod tests {
         let cache = EvalCache::new();
         // Phase 1: pre-claim every key of the group.
         let guards: Vec<_> = cache
-            .flight_batch(&keys, &relevant)
+            .flight_batch(&keys, &relevant, db.watermark())
             .into_iter()
             .map(|f| match f {
                 Flight::Compute(g) => g,
@@ -909,7 +922,12 @@ mod tests {
             };
             let result = std::sync::Arc::new(cube.execute(&db).unwrap());
             for (pos, guard) in guards.into_iter().enumerate() {
-                guard.fulfill(CachedSlice::new(result.clone(), pos, aggs[pos].0));
+                guard.fulfill(CachedSlice::new(
+                    result.clone(),
+                    pos,
+                    aggs[pos].0,
+                    db.watermark(),
+                ));
             }
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
@@ -945,7 +963,7 @@ mod tests {
         let (dims, relevant, aggs) = canonical_group(&cat);
         let keys: Vec<CacheKey> = aggs
             .iter()
-            .map(|&(f, c)| CacheKey::new(f, c, dims.clone()))
+            .map(|&(f, c)| CacheKey::new(f, c, dims.clone(), db.version()))
             .collect();
         let n_keys = keys.len() as u64;
         let workers = 8u64;
@@ -955,7 +973,7 @@ mod tests {
 
         let cache = EvalCache::new();
         let guards: Vec<_> = cache
-            .flight_batch(&keys, &relevant)
+            .flight_batch(&keys, &relevant, db.watermark())
             .into_iter()
             .map(|f| match f {
                 Flight::Compute(g) => g,

@@ -19,6 +19,7 @@ use agg_relational::{
 };
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors from the verification pipeline.
@@ -166,6 +167,13 @@ pub struct RunStats {
     /// which is why it stays out of
     /// [`VerificationReport::content_fingerprint`].
     pub partition_parallelism: u32,
+    /// Cached cube grids brought forward by **patch passes**: after table
+    /// appends, a stale-stamped grid is patched by scanning only the
+    /// appended row range instead of being recomputed from scratch.
+    pub grids_patched: u64,
+    /// Rows scanned by patch passes only — a subset of `rows_scanned`,
+    /// and the whole incremental cost of re-verifying after an append.
+    pub delta_rows_scanned: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Wall-clock time inside query evaluation only.
@@ -373,7 +381,7 @@ pub(crate) struct ExecContext<'e> {
 
 /// The AggChecker: verify text summaries of a relational data set.
 pub struct AggChecker {
-    db: Database,
+    db: Arc<Database>,
     catalog: FragmentCatalog,
     config: CheckerConfig,
     synonyms: SynonymDict,
@@ -394,7 +402,7 @@ impl AggChecker {
             config.cache_shards
         };
         Ok(AggChecker {
-            db,
+            db: Arc::new(db),
             catalog,
             config,
             synonyms: SynonymDict::embedded(),
@@ -412,6 +420,57 @@ impl AggChecker {
 
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// Append rows to `table` and refresh the derived metadata (fragment
+    /// catalog, cost model) over the grown corpus. The database version is
+    /// unchanged — appends move only the row-visibility watermark — so
+    /// resident cache entries stay reachable: on the next verification
+    /// their stale-stamped grids are *patched* forward over just the
+    /// appended rows (see `agg_relational::cube::ScanCheckpoint`) instead
+    /// of being recomputed. Returns the number of rows appended.
+    pub fn append_rows(
+        &mut self,
+        table: &str,
+        rows: &[Vec<agg_relational::Value>],
+    ) -> Result<usize, CheckerError> {
+        let db = Arc::make_mut(&mut self.db);
+        let appended = db.append_rows(table, rows)?;
+        self.catalog = FragmentCatalog::build(db, &CatalogConfig::default());
+        self.cost = CostModel::new(db);
+        Ok(appended)
+    }
+
+    /// Non-destructive [`AggChecker::append_rows`]: build a successor
+    /// checker over the grown database, sharing this one's cache (an
+    /// [`EvalCache`] clone shares storage). The streaming service swaps
+    /// its checker through this path so documents pinning the current
+    /// generation keep their snapshot.
+    pub(crate) fn with_appended(
+        &self,
+        table: &str,
+        rows: &[Vec<agg_relational::Value>],
+    ) -> Result<(AggChecker, usize), CheckerError> {
+        let mut db = (*self.db).clone();
+        let appended = db.append_rows(table, rows)?;
+        Ok((self.rebuilt_over(Arc::new(db)), appended))
+    }
+
+    /// A twin of this checker over the same database snapshot and shared
+    /// cache, with freshly derived metadata.
+    pub(crate) fn fork(&self) -> AggChecker {
+        self.rebuilt_over(self.db.clone())
+    }
+
+    fn rebuilt_over(&self, db: Arc<Database>) -> AggChecker {
+        AggChecker {
+            catalog: FragmentCatalog::build(&db, &CatalogConfig::default()),
+            cost: CostModel::new(&db),
+            config: self.config.clone(),
+            synonyms: self.synonyms.clone(),
+            cache: self.cache.clone(),
+            db,
+        }
     }
 
     pub fn catalog(&self) -> &FragmentCatalog {
@@ -686,6 +745,8 @@ impl AggChecker {
             partitions_scanned: eval_stats.partitions_scanned,
             partition_merges: eval_stats.partition_merges,
             partition_parallelism: eval_stats.partition_parallelism,
+            grids_patched: eval_stats.grids_patched,
+            delta_rows_scanned: eval_stats.delta_rows_scanned,
             elapsed: started.elapsed(),
             query_time,
             candidate_space_log10: self.catalog.candidate_space_log10(),
@@ -982,7 +1043,7 @@ impl BatchVerifier {
                             if drivers.fetch_sub(1, Ordering::AcqRel) == 1 {
                                 scheduler.close();
                             }
-                            scheduler.run_worker(checker.db(), Some(&arena));
+                            scheduler.run_worker(Some(&arena));
                             out
                         })
                     })
@@ -1125,6 +1186,60 @@ Three were for repeated substance abuse, one was for gambling.</p>
             .find(|c| c.claimed_value == 1.0)
             .unwrap();
         assert_eq!(one.verdict, Verdict::Correct);
+    }
+
+    /// The stale-cache regression this series fixes: a warmed checker
+    /// whose table then grows must not keep serving verdicts computed
+    /// over the old rows. Before cached grids carried watermark stamps,
+    /// the second check below hit the resident count grid (four lifetime
+    /// bans) and kept the claim green even though the data now holds five.
+    #[test]
+    fn append_rows_refreshes_warmed_verdicts() {
+        let fifth_ban = || {
+            vec![
+                Value::from("indef"),
+                Value::from("gambling"),
+                Value::Int(2015),
+            ]
+        };
+        let mut checker = AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap();
+        let before = checker.check_text(ARTICLE).unwrap();
+        let four = before
+            .claims
+            .iter()
+            .find(|c| c.claimed_value == 4.0)
+            .unwrap();
+        assert_eq!(four.verdict, Verdict::Correct);
+        assert!(checker.cache().stats().entries() > 0, "cache is warm");
+
+        assert_eq!(
+            checker
+                .append_rows("nflsuspensions", &[fifth_ban()])
+                .unwrap(),
+            1
+        );
+
+        let after = checker.check_text(ARTICLE).unwrap();
+        let four = after
+            .claims
+            .iter()
+            .find(|c| c.claimed_value == 4.0)
+            .unwrap();
+        assert_ne!(
+            four.verdict,
+            Verdict::Correct,
+            "five bans now — a stale cached grid was served"
+        );
+        // The warm re-check is bit-identical to a cold checker built over
+        // the same grown database: patched grids are not approximately
+        // fresh, they are the grids a full rescan produces.
+        let mut db = nfl_db();
+        db.append_rows("nflsuspensions", &[fifth_ban()]).unwrap();
+        let cold = AggChecker::new(db, CheckerConfig::default()).unwrap();
+        assert_eq!(
+            after.content_fingerprint(),
+            cold.check_text(ARTICLE).unwrap().content_fingerprint()
+        );
     }
 
     #[test]

@@ -641,6 +641,8 @@ pub mod wire {
         put_u64(out, s.partitions_scanned);
         put_u64(out, s.partition_merges);
         put_u32(out, s.partition_parallelism);
+        put_u64(out, s.grids_patched);
+        put_u64(out, s.delta_rows_scanned);
         put_f64(out, s.candidate_space_log10);
     }
 
@@ -664,6 +666,8 @@ pub mod wire {
             partitions_scanned: get_u64(buf)?,
             partition_merges: get_u64(buf)?,
             partition_parallelism: get_u32(buf)?,
+            grids_patched: get_u64(buf)?,
+            delta_rows_scanned: get_u64(buf)?,
             elapsed: std::time::Duration::ZERO,
             query_time: std::time::Duration::ZERO,
             candidate_space_log10: get_f64(buf)?,

@@ -121,7 +121,7 @@ use agg_relational::{CubeScheduler, Database, GridArena};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -235,7 +235,7 @@ impl Ticket {
         c.cancelled.fetch_add(1, Ordering::Relaxed);
         c.partial.fetch_add(1, Ordering::Relaxed);
         let report = shared
-            .checker
+            .checker_arc()
             .unverified_report(&sub.doc, ReportStatus::Cancelled);
         sub.cell.settle(Ok(report));
     }
@@ -362,6 +362,14 @@ pub struct StreamStats {
     /// completed documents. A gauge — the only counter here that may
     /// legitimately vary run to run at a fixed corpus.
     pub partition_parallelism: u32,
+    /// Cached grids patched forward over appended rows (instead of being
+    /// recomputed by a full scan) on behalf of completed documents. 0
+    /// until [`StreamingVerifier::append_rows`] grows the fact base.
+    pub grids_patched: u64,
+    /// Appended-tail rows read by those patch passes. After an append of
+    /// `k` rows, re-verification costs `O(k)` here instead of re-scanning
+    /// the corpus — the delta-gate's headline ratio.
+    pub delta_rows_scanned: u64,
 }
 
 impl StreamStats {
@@ -408,6 +416,8 @@ struct Counters {
     partitions_scanned: AtomicU64,
     partition_merges: AtomicU64,
     partition_parallelism: AtomicU64,
+    grids_patched: AtomicU64,
+    delta_rows_scanned: AtomicU64,
 }
 
 struct Submission {
@@ -548,7 +558,13 @@ impl Intake {
 }
 
 struct Shared {
-    checker: AggChecker,
+    /// The current checker generation. Workers **pin** the `Arc` once per
+    /// document, so a concurrent [`StreamingVerifier::append_rows`] (which
+    /// swaps in a successor checker over the grown database) never moves
+    /// the fact base under a document mid-verification: every report is
+    /// evaluated against exactly one database snapshot. The lock is held
+    /// only for the pin (a clone) or the swap — never across verification.
+    checker: RwLock<Arc<AggChecker>>,
     scheduler: CubeScheduler,
     intake: Mutex<Intake>,
     /// Wakes submitters blocked on a full queue ([`IntakePolicy::Block`]).
@@ -566,6 +582,14 @@ struct Shared {
 }
 
 impl Shared {
+    /// Pin the current checker generation (see the field docs).
+    fn checker_arc(&self) -> Arc<AggChecker> {
+        self.checker
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
     /// Should a parked helper return to the intake? True when a document
     /// is waiting, or when a closed stream has fully drained (time to
     /// exit). Every transition that can flip this to true is followed by a
@@ -620,6 +644,10 @@ impl DocGuard<'_> {
                             .fetch_add(report.stats.partitions_scanned, Ordering::Relaxed);
                         c.partition_merges
                             .fetch_add(report.stats.partition_merges, Ordering::Relaxed);
+                        c.grids_patched
+                            .fetch_add(report.stats.grids_patched, Ordering::Relaxed);
+                        c.delta_rows_scanned
+                            .fetch_add(report.stats.delta_rows_scanned, Ordering::Relaxed);
                         c.partition_parallelism.fetch_max(
                             report.stats.partition_parallelism as u64,
                             Ordering::Relaxed,
@@ -790,7 +818,7 @@ fn worker_loop(shared: &Shared) {
                 drop(intake);
                 shared
                     .scheduler
-                    .help_until(shared.checker.db(), Some(&arena), || shared.recall());
+                    .help_until(Some(&arena), || shared.recall());
                 intake = lock(&shared.intake);
             }
         };
@@ -809,10 +837,14 @@ fn worker_loop(shared: &Shared) {
             shared,
             cell: Some(cell),
         };
+        // Pin one checker generation for the whole document: a concurrent
+        // append swaps the service's checker, but this document keeps its
+        // database snapshot (and its watermark) start to finish.
+        let checker = shared.checker_arc();
         let result = if let Some(status) = ctrl.should_abort() {
             // Cancelled or expired while queued: settle without touching
             // the evaluation substrate at all (no waves, no scans).
-            Ok(shared.checker.unverified_report(&doc, status))
+            Ok(checker.unverified_report(&doc, status))
         } else {
             let ctx = ExecContext {
                 arena: Some(&arena),
@@ -826,12 +858,12 @@ fn worker_loop(shared: &Shared) {
                 // worker count and arrival interleaving (the CI dedup
                 // gate's streaming variants).
                 bundling: TaskBundling::Canonical,
-                fuse: shared.checker.config().fuse_scans,
-                partition_blocks: shared.checker.config().partition_blocks,
+                fuse: checker.config().fuse_scans,
+                partition_blocks: checker.config().partition_blocks,
                 ctrl: Some(&ctrl),
                 observer: observer.as_deref(),
             };
-            shared.checker.check_document_with(&doc, &ctx)
+            checker.check_document_with(&doc, &ctx)
         };
         guard.finish(result);
     }
@@ -873,7 +905,7 @@ impl StreamingVerifier {
         }
         .max(1);
         let shared = Arc::new(Shared {
-            checker,
+            checker: RwLock::new(Arc::new(checker)),
             scheduler: CubeScheduler::new(),
             intake: Mutex::new(Intake::default()),
             space: Condvar::new(),
@@ -904,9 +936,38 @@ impl StreamingVerifier {
         })
     }
 
-    /// The underlying checker (database, catalog, cache accessors).
-    pub fn checker(&self) -> &AggChecker {
-        &self.shared.checker
+    /// The current checker generation (database, catalog, cache
+    /// accessors). [`append_rows`](StreamingVerifier::append_rows)
+    /// replaces the service's checker with a successor over the grown
+    /// database; a handle obtained here keeps the snapshot it was taken
+    /// at, exactly like an in-flight document.
+    pub fn checker(&self) -> Arc<AggChecker> {
+        self.shared.checker_arc()
+    }
+
+    /// Append rows to a table of the live service's database and make
+    /// them visible to every **subsequently admitted** document. The
+    /// fact base grows mid-stream without a restart: a successor checker
+    /// (rebuilt catalog and cost model over the appended corpus, **same
+    /// shared cache**) is swapped in atomically, while documents already
+    /// in flight keep the snapshot they pinned at admission. Because the
+    /// cache is watermark-aware, re-verifying a document after an append
+    /// patches the resident grids over just the appended tail instead of
+    /// re-scanning the corpus — the savings surface in
+    /// [`StreamStats::grids_patched`] / [`StreamStats::delta_rows_scanned`].
+    pub fn append_rows(
+        &self,
+        table: &str,
+        rows: &[Vec<agg_relational::Value>],
+    ) -> Result<usize, CheckerError> {
+        let mut current = self
+            .shared
+            .checker
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (next, appended) = current.with_appended(table, rows)?;
+        *current = Arc::new(next);
+        Ok(appended)
     }
 
     /// Size of the worker pool as configured. The live pool can
@@ -1196,6 +1257,8 @@ impl StreamingVerifier {
             partitions_scanned: c.partitions_scanned.load(Ordering::Relaxed),
             partition_merges: c.partition_merges.load(Ordering::Relaxed),
             partition_parallelism: c.partition_parallelism.load(Ordering::Relaxed) as u32,
+            grids_patched: c.grids_patched.load(Ordering::Relaxed),
+            delta_rows_scanned: c.delta_rows_scanned.load(Ordering::Relaxed),
         }
     }
 
@@ -1214,10 +1277,16 @@ impl StreamingVerifier {
         // last (outstanding `Ticket`s only hold weak references).
         let shared = self.shared.clone();
         drop(self);
-        match Arc::try_unwrap(shared) {
-            Ok(shared) => shared.checker,
+        let checker = match Arc::try_unwrap(shared) {
+            Ok(shared) => shared
+                .checker
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
             Err(_) => unreachable!("joined pool holds no Shared references"),
-        }
+        };
+        // A caller may still hold a `checker()` handle; fall back to a
+        // rebuilt twin over the same database and shared cache.
+        Arc::try_unwrap(checker).unwrap_or_else(|arc| arc.fork())
     }
 }
 
@@ -1605,6 +1674,59 @@ Three were for repeated substance abuse, one was for gambling.</p>
         assert_eq!(c.rejected.load(Ordering::Relaxed), rejected);
     }
 
+    /// Mid-stream appends: rows added through the live service become
+    /// visible to documents admitted afterwards, while checker handles
+    /// pinned earlier keep their snapshot. The post-append report is
+    /// bit-identical to a cold solo run over the grown database.
+    #[test]
+    fn append_mid_stream_refreshes_subsequent_documents() {
+        let fifth_ban = || {
+            vec![
+                Value::from("indef"),
+                Value::from("gambling"),
+                Value::Int(2015),
+            ]
+        };
+        let service =
+            StreamingVerifier::new(nfl_db(), CheckerConfig::default(), StreamConfig::default())
+                .unwrap();
+        let before = service.submit_text(ARTICLE).unwrap().wait().unwrap();
+        assert_eq!(before.status, ReportStatus::Complete);
+        let pinned = service.checker();
+        let w0 = pinned.db().watermark();
+
+        assert_eq!(
+            service
+                .append_rows("nflsuspensions", &[fifth_ban()])
+                .unwrap(),
+            1
+        );
+        // The pinned handle keeps its snapshot; the service moved on.
+        assert_eq!(pinned.db().watermark(), w0);
+        assert_eq!(service.checker().db().watermark(), w0 + 1);
+
+        let after = service.submit_text(ARTICLE).unwrap().wait().unwrap();
+        assert_ne!(
+            after.content_fingerprint(),
+            before.content_fingerprint(),
+            "the fifth lifetime ban must be visible to new documents"
+        );
+        let mut db = nfl_db();
+        db.append_rows("nflsuspensions", &[fifth_ban()]).unwrap();
+        assert_eq!(
+            after.content_fingerprint(),
+            solo_fingerprint(&db, &CheckerConfig::default(), ARTICLE),
+            "post-append report == cold solo run over the grown database"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.completed, 2);
+        // `pinned` is still held, so shutdown recovers a rebuilt twin over
+        // the same database generation and shared cache.
+        let checker = service.into_checker();
+        assert_eq!(checker.db().watermark(), w0 + 1);
+        assert!(checker.cache().stats().entries() > 0);
+    }
+
     /// A warmed checker survives the round trip through a stream and keeps
     /// its cache (the Scrutinizer redeployment shape: service restarts
     /// must not re-scan the fact base).
@@ -1632,7 +1754,9 @@ Three were for repeated substance abuse, one was for gambling.</p>
     #[test]
     fn dead_pool_drain_settles_queued_tickets() {
         let shared = Shared {
-            checker: AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap(),
+            checker: RwLock::new(Arc::new(
+                AggChecker::new(nfl_db(), CheckerConfig::default()).unwrap(),
+            )),
             scheduler: CubeScheduler::new(),
             intake: Mutex::new(Intake::default()),
             space: Condvar::new(),

@@ -252,6 +252,45 @@ impl CodeBlock {
         }
     }
 
+    /// NULL rows among the first `n` rows of the block. Exact for both
+    /// representations: RLE walks runs, packed popcounts the null-bitmap
+    /// prefix. Needed when a visibility watermark cuts the block mid-way and
+    /// bulk counting must see only the visible prefix, not the sealed
+    /// block's full [`ZoneMap::null_count`].
+    pub fn prefix_null_count(&self, n: usize) -> u32 {
+        if n >= self.len() {
+            return self.zone.null_count;
+        }
+        match &self.repr {
+            CodeRepr::Rle { runs } => {
+                let mut nulls = 0u32;
+                let mut pos = 0usize;
+                for &(code, run) in runs.iter() {
+                    if pos >= n {
+                        break;
+                    }
+                    let take = (run as usize).min(n - pos);
+                    if code == NULL_CODE {
+                        nulls += take as u32;
+                    }
+                    pos += take;
+                }
+                nulls
+            }
+            CodeRepr::Packed { .. } => match &self.nulls {
+                None => 0,
+                Some(bitmap) => {
+                    let full = n / 64;
+                    let mut nulls: u32 = bitmap[..full].iter().map(|w| w.count_ones()).sum();
+                    if !n.is_multiple_of(64) {
+                        nulls += (bitmap[full] & ((1u64 << (n % 64)) - 1)).count_ones();
+                    }
+                    nulls
+                }
+            },
+        }
+    }
+
     /// Append the decoded raw codes (NULLs restored as [`NULL_CODE`]) —
     /// the round-trip inverse of [`CodeBlock::encode`].
     pub fn decode_into(&self, out: &mut Vec<u32>) {
@@ -283,8 +322,10 @@ impl CodeBlock {
     /// decode: no intermediate `Vec<u32>` of codes is materialized, and RLE
     /// runs add their constant contribution over the whole run span.
     ///
-    /// `out[..self.len()]` must be valid; `table`/`other`/`stride` are the
-    /// dimension's dense-code LUT exactly as in the plain scan path.
+    /// `out` may be shorter than the block (a visibility watermark can cut
+    /// the tail block mid-way): only `out.len()` rows are decoded.
+    /// `table`/`other`/`stride` are the dimension's dense-code LUT exactly
+    /// as in the plain scan path.
     pub fn add_dense_into(&self, table: &[u8], other: u8, stride: u32, out: &mut [u32]) {
         let lookup = |code: u32| -> u32 {
             let dense = if (code as usize) < table.len() {
@@ -298,11 +339,15 @@ impl CodeBlock {
             CodeRepr::Rle { runs } => {
                 let mut pos = 0usize;
                 for &(code, n) in runs.iter() {
+                    if pos >= out.len() {
+                        break;
+                    }
+                    let end = (pos + n as usize).min(out.len());
                     let add = lookup(code);
-                    for slot in &mut out[pos..pos + n as usize] {
+                    for slot in &mut out[pos..end] {
                         *slot += add;
                     }
-                    pos += n as usize;
+                    pos = end;
                 }
             }
             CodeRepr::Packed { words } => {
@@ -400,6 +445,58 @@ impl ColumnEncoding {
         match self {
             ColumnEncoding::Codes { blocks, .. } => blocks[b].zone().null_count,
             ColumnEncoding::Numeric { zones } => zones[b].null_count,
+        }
+    }
+
+    /// NULL rows among the first `n` rows of block `b`. Exact for
+    /// dictionary-coded columns; `None` for numeric zone-only encodings,
+    /// whose blocks carry no per-row data (callers count from the plain
+    /// column instead).
+    pub fn prefix_null_count(&self, b: usize, n: usize) -> Option<u32> {
+        match self {
+            ColumnEncoding::Codes { blocks, .. } => Some(blocks[b].prefix_null_count(n)),
+            ColumnEncoding::Numeric { .. } => None,
+        }
+    }
+
+    /// Extend this encoding in place after rows were appended to `col`
+    /// (which previously had `old_rows` rows).
+    ///
+    /// Blocks fully covered by the first `old_rows` rows are kept verbatim —
+    /// appends never rewrite sealed history — and only the (possibly
+    /// partial) trailing block plus the new rows are re-encoded. The one
+    /// exception is a string column whose dictionary grew past a power of
+    /// two: the packed code width changes column-wide, so the whole
+    /// encoding is rebuilt.
+    pub fn extend(&mut self, col: &ColumnData, old_rows: usize) {
+        let keep = old_rows / BLOCK_ROWS;
+        match (&mut *self, col) {
+            (ColumnEncoding::Codes { width, blocks }, ColumnData::Str { codes, dict })
+                if code_width(dict.len()) == *width =>
+            {
+                blocks.truncate(keep);
+                for chunk in codes[keep * BLOCK_ROWS..].chunks(BLOCK_ROWS) {
+                    blocks.push(CodeBlock::encode(chunk, *width));
+                }
+            }
+            (ColumnEncoding::Numeric { zones }, ColumnData::Int(values)) => {
+                zones.truncate(keep);
+                zones.extend(
+                    values[keep * BLOCK_ROWS..]
+                        .chunks(BLOCK_ROWS)
+                        .map(|chunk| num_zone(chunk.iter().map(|v| v.map(|i| i as f64)))),
+                );
+            }
+            (ColumnEncoding::Numeric { zones }, ColumnData::Float(values)) => {
+                zones.truncate(keep);
+                zones.extend(
+                    values[keep * BLOCK_ROWS..]
+                        .chunks(BLOCK_ROWS)
+                        .map(|chunk| num_zone(chunk.iter().copied())),
+                );
+            }
+            // Width change or mismatched shapes: rebuild from scratch.
+            _ => *self = ColumnEncoding::build(col),
         }
     }
 
@@ -590,6 +687,122 @@ mod tests {
                 };
                 assert_eq!(out[i], 100 + dense as u32 * stride, "row {i}");
             }
+        }
+    }
+
+    #[test]
+    fn prefix_null_count_is_exact_for_both_representations() {
+        // Packed with a null bitmap: NULLs at every third row.
+        let packed: Vec<u32> = (0..200u32)
+            .map(|i| if i % 3 == 0 { NULL_CODE } else { i % 7 })
+            .collect();
+        let block = CodeBlock::encode(&packed, 3);
+        assert!(matches!(block.repr, CodeRepr::Packed { .. }));
+        for n in [0, 1, 63, 64, 65, 100, 127, 128, 199, 200] {
+            let expect = packed[..n].iter().filter(|&&c| c == NULL_CODE).count() as u32;
+            assert_eq!(block.prefix_null_count(n), expect, "packed prefix {n}");
+        }
+        // RLE with NULL runs.
+        let mut rle = vec![4u32; 600];
+        rle.extend(vec![NULL_CODE; 600]);
+        rle.extend(vec![1u32; 600]);
+        let block = CodeBlock::encode(&rle, 3);
+        assert!(matches!(block.repr, CodeRepr::Rle { .. }));
+        for n in [0, 599, 600, 601, 1200, 1300, 1800] {
+            let expect = rle[..n].iter().filter(|&&c| c == NULL_CODE).count() as u32;
+            assert_eq!(block.prefix_null_count(n), expect, "rle prefix {n}");
+        }
+        // Packed without a bitmap (no NULLs at all).
+        let dense: Vec<u32> = (0..100).map(|i| i % 2).collect();
+        let block = CodeBlock::encode(&dense, 1);
+        assert_eq!(block.prefix_null_count(50), 0);
+        // n past the block length clamps to the zone count.
+        assert_eq!(block.prefix_null_count(10_000), 0);
+    }
+
+    #[test]
+    fn add_dense_into_clamps_to_short_output() {
+        // A watermark mid-block hands the decoder an `out` shorter than the
+        // block; both representations must stop at out.len().
+        let table = [0u8, 1];
+        for force_rle in [false, true] {
+            let data: Vec<u32> = if force_rle {
+                (0..500u32).flat_map(|i| [i % 2; 50]).take(2000).collect()
+            } else {
+                (0..2000u32).map(|i| i % 2).collect()
+            };
+            let block = CodeBlock::encode(&data, 1);
+            let visible = 777usize;
+            let mut out = vec![0u32; visible];
+            block.add_dense_into(&table, 2, 1, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                assert_eq!(
+                    got, table[data[i] as usize] as u32,
+                    "row {i} rle={force_rle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_matches_full_rebuild() {
+        // String column, dictionary stable across the append (same width).
+        let mut col = ColumnData::new(crate::value::DataType::Str);
+        for i in 0..(2 * BLOCK_ROWS + 700) {
+            col.push(&Value::Str(format!("v{}", i % 3)));
+        }
+        let mut enc = ColumnEncoding::build(&col);
+        let old_rows = col.len();
+        for i in 0..(BLOCK_ROWS + 11) {
+            col.push(&Value::Str(format!("v{}", i % 3)));
+        }
+        enc.extend(&col, old_rows);
+        let fresh = ColumnEncoding::build(&col);
+        assert_eq!(enc.block_count(), fresh.block_count());
+        let (a, b) = (enc.code_blocks().unwrap(), fresh.code_blocks().unwrap());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let (mut dx, mut dy) = (Vec::new(), Vec::new());
+            x.decode_into(&mut dx);
+            y.decode_into(&mut dy);
+            assert_eq!(dx, dy, "block {i}");
+            assert_eq!(x.zone(), y.zone(), "zone {i}");
+        }
+
+        // Dictionary growth past a power of two forces a full rebuild.
+        let mut col = ColumnData::new(crate::value::DataType::Str);
+        col.push(&Value::Str("a".into()));
+        col.push(&Value::Str("b".into()));
+        let mut enc = ColumnEncoding::build(&col);
+        let old_rows = col.len();
+        col.push(&Value::Str("c".into())); // dict 2 → 3: width 1 → 2
+        enc.extend(&col, old_rows);
+        match &enc {
+            ColumnEncoding::Codes { width, blocks } => {
+                assert_eq!(*width, 2);
+                let mut d = Vec::new();
+                blocks[0].decode_into(&mut d);
+                assert_eq!(d, vec![0, 1, 2]);
+            }
+            _ => panic!("string column"),
+        }
+
+        // Numeric column: zones truncated and rebuilt over the tail.
+        let mut col = ColumnData::new(crate::value::DataType::Int);
+        for i in 0..(BLOCK_ROWS + 5) {
+            col.push(&Value::Int(i as i64));
+        }
+        let mut enc = ColumnEncoding::build(&col);
+        let old_rows = col.len();
+        col.push(&Value::Null);
+        col.push(&Value::Int(-100));
+        enc.extend(&col, old_rows);
+        match &enc {
+            ColumnEncoding::Numeric { zones } => {
+                assert_eq!(zones.len(), 2);
+                assert_eq!(zones[1].min, -100.0);
+                assert_eq!(zones[1].null_count, 1);
+            }
+            _ => panic!("int column"),
         }
     }
 

@@ -34,8 +34,31 @@
 //! computation never wedges the batch. Requests whose literal sets are not
 //! covered by the in-flight computation bypass the latch and compute their
 //! own slice — exactly what a warm sequential run would have done.
+//!
+//! # Versioning & watermarks
+//!
+//! A cached grid is only as fresh as the data it scanned. Two stamps keep
+//! stale grids from ever answering a claim:
+//!
+//! * **Structural version** — [`CacheKey`] embeds
+//!   [`Database::version`](crate::database::Database::version). Structural
+//!   mutations (adding tables, `unseal_tables`, new foreign keys) bump it,
+//!   so every pre-mutation entry becomes unreachable: a hard invalidation
+//!   with no sweep.
+//! * **Row watermark** — every [`CachedSlice`] carries the `rows` stamp it
+//!   was computed at (the probe-side convention is the database-wide
+//!   [`Database::watermark`](crate::database::Database::watermark)). A hit
+//!   requires stamp equality; appends move the watermark and silently
+//!   retire every older slice.
+//!
+//! A stale slice is not worthless, though: if its cube captured a
+//! [`ScanCheckpoint`], the winning [`FlightGuard`] carries it as a **patch
+//! base** ([`FlightGuard::patch_base`]) and the computer patches the grid
+//! forward over just the appended rows instead of rescanning the corpus.
+//! Patch flights dedup through the same in-flight table as full scans —
+//! waiters only join flights targeting *their* watermark.
 
-use crate::cube::{CubeResult, DimSel};
+use crate::cube::{CubeResult, DimSel, ScanCheckpoint};
 use crate::database::ColumnRef;
 use crate::fxhash::FxHasher;
 use crate::query::{AggColumn, AggFunction};
@@ -46,22 +69,33 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
-/// Cache key: the paper's chosen indexing granularity.
+/// Cache key: the paper's chosen indexing granularity, plus the database's
+/// structural version so mutations hard-invalidate by unreachability.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     pub function: AggFunction,
     pub column: AggColumn,
     /// Cube dimensions, sorted for canonical form.
     pub dims: Vec<ColumnRef>,
+    /// [`Database::version`](crate::database::Database::version) the entry
+    /// was (or will be) computed against. A structural mutation bumps the
+    /// version, so probes simply stop finding pre-mutation entries.
+    pub version: u64,
 }
 
 impl CacheKey {
-    pub fn new(function: AggFunction, column: AggColumn, mut dims: Vec<ColumnRef>) -> Self {
+    pub fn new(
+        function: AggFunction,
+        column: AggColumn,
+        mut dims: Vec<ColumnRef>,
+        version: u64,
+    ) -> Self {
         dims.sort_unstable();
         Self {
             function,
             column,
             dims,
+            version,
         }
     }
 }
@@ -73,15 +107,31 @@ pub struct CachedSlice {
     agg_idx: usize,
     /// Whether absent groups should read as 0 (count-like aggregates).
     count_like: bool,
+    /// Watermark stamp: the caller-defined row count this grid is current
+    /// at (by convention the database-wide watermark). Probes hit only on
+    /// stamp equality; see the module docs.
+    rows: u64,
 }
 
 impl CachedSlice {
-    pub fn new(cube: Arc<CubeResult>, agg_idx: usize, function: AggFunction) -> Self {
+    pub fn new(cube: Arc<CubeResult>, agg_idx: usize, function: AggFunction, rows: u64) -> Self {
         Self {
             cube,
             agg_idx,
             count_like: matches!(function, AggFunction::Count | AggFunction::CountDistinct),
+            rows,
         }
+    }
+
+    /// The watermark stamp this slice is current at.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The resumable scan prefix of the underlying cube, if it captured one
+    /// — what lets a stale slice seed an incremental re-verify.
+    pub fn checkpoint(&self) -> Option<&Arc<ScanCheckpoint>> {
+        self.cube.checkpoint()
     }
 
     /// Dimensions of the underlying cube (in cube order).
@@ -266,12 +316,32 @@ impl Shard {
         }
     }
 
-    /// Find a resident slice covering `needed` without touching counters.
-    fn lookup(&self, key: &CacheKey, needed: &[Vec<Value>]) -> Option<CachedSlice> {
+    /// Find a resident slice covering `needed` at exactly watermark `rows`,
+    /// without touching counters.
+    fn lookup(&self, key: &CacheKey, needed: &[Vec<Value>], rows: u64) -> Option<CachedSlice> {
         self.entries
             .read()
             .get(key)
-            .and_then(|slices| slices.iter().find(|s| s.covers(needed)))
+            .and_then(|slices| slices.iter().find(|s| s.rows == rows && s.covers(needed)))
+            .cloned()
+    }
+
+    /// The best patch base for a probe at watermark `rows`: the checkpoint
+    /// with the longest stable prefix among stale covering slices. `None`
+    /// means the computer must cold-scan.
+    fn patch_base(
+        &self,
+        key: &CacheKey,
+        needed: &[Vec<Value>],
+        rows: u64,
+    ) -> Option<Arc<ScanCheckpoint>> {
+        self.entries
+            .read()
+            .get(key)?
+            .iter()
+            .filter(|s| s.rows < rows && s.covers(needed))
+            .filter_map(|s| s.cube.checkpoint())
+            .max_by_key(|cp| cp.rows())
             .cloned()
     }
 }
@@ -306,6 +376,9 @@ enum FlightState {
 #[derive(Debug)]
 struct InFlight {
     relevant: Vec<Vec<Value>>,
+    /// Watermark the computation targets: probes at a different watermark
+    /// must not join (they would read a grid for the wrong snapshot).
+    rows: u64,
     state: StdMutex<FlightState>,
     cv: Condvar,
 }
@@ -328,6 +401,9 @@ pub struct FlightRequest<'a> {
     pub keys: &'a [CacheKey],
     /// Relevant literals per dimension — one coverage for the whole cube.
     pub needed: &'a [Vec<Value>],
+    /// Watermark the requester's snapshot is pinned at; hits, joins, and
+    /// published slices all match on it exactly.
+    pub rows: u64,
 }
 
 /// The outcome of a single-flight probe ([`EvalCache::flight`]).
@@ -351,6 +427,10 @@ pub struct FlightGuard {
     key: CacheKey,
     flight: Arc<InFlight>,
     fulfilled: bool,
+    /// A stale resident grid's checkpoint covering this flight's literals,
+    /// when one exists: the computer may patch forward from it instead of
+    /// cold-scanning ([`crate::cube::execute_patch_in`]).
+    patch: Option<Arc<ScanCheckpoint>>,
 }
 
 impl FlightGuard {
@@ -364,12 +444,27 @@ impl FlightGuard {
         &self.flight.relevant
     }
 
+    /// The watermark this flight promised to compute at.
+    pub fn rows(&self) -> u64 {
+        self.flight.rows
+    }
+
+    /// Checkpointed prefix of a stale resident grid with the same coverage,
+    /// if the probe found one — the delta-patching fast path.
+    pub fn patch_base(&self) -> Option<&Arc<ScanCheckpoint>> {
+        self.patch.as_ref()
+    }
+
     /// Publish the computed slice: store it in the cache, hand it to every
     /// waiter, and retire the flight.
     pub fn fulfill(mut self, slice: CachedSlice) {
         debug_assert!(
             slice.covers(&self.flight.relevant),
             "published slice must cover the flight's promised literals"
+        );
+        debug_assert_eq!(
+            slice.rows, self.flight.rows,
+            "published slice must carry the flight's promised watermark"
         );
         self.cache.put(self.key.clone(), slice.clone());
         self.retire();
@@ -496,17 +591,15 @@ impl EvalCache {
         ((h >> 32) as usize ^ h as usize) & (self.inner.shards.len() - 1)
     }
 
-    /// Fetch a slice covering `needed` literals, counting a hit or miss.
-    pub fn get(&self, key: &CacheKey, needed: &[Vec<Value>]) -> Option<CachedSlice> {
+    /// Fetch a slice covering `needed` literals at exactly watermark
+    /// `rows`, counting a hit or miss. A stale-stamped slice never hits —
+    /// that is the whole point of the stamp.
+    pub fn get(&self, key: &CacheKey, needed: &[Vec<Value>], rows: u64) -> Option<CachedSlice> {
         let shard = &self.inner.shards[self.shard_of(key)];
-        let entries = shard.entries.read();
-        match entries
-            .get(key)
-            .and_then(|slices| slices.iter().find(|s| s.covers(needed)))
-        {
+        match shard.lookup(key, needed, rows) {
             Some(slice) => {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
-                Some(slice.clone())
+                Some(slice)
             }
             None => {
                 shard.misses.fetch_add(1, Ordering::Relaxed);
@@ -524,9 +617,9 @@ impl EvalCache {
     /// joined when its promised literal coverage includes `needed`;
     /// otherwise the caller computes its own slice, exactly as a warm
     /// sequential run would have.
-    pub fn flight(&self, key: &CacheKey, needed: &[Vec<Value>]) -> Flight {
+    pub fn flight(&self, key: &CacheKey, needed: &[Vec<Value>], rows: u64) -> Flight {
         let shard = &self.inner.shards[self.shard_of(key)];
-        if let Some(slice) = shard.lookup(key, needed) {
+        if let Some(slice) = shard.lookup(key, needed, rows) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
             return Flight::Hit(slice);
         }
@@ -538,15 +631,16 @@ impl EvalCache {
         // published (and retired its flight) between the read above and
         // this lock — without the re-check we would register a flight no
         // one else can see progress on.
-        if let Some(slice) = shard.lookup(key, needed) {
+        if let Some(slice) = shard.lookup(key, needed, rows) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
             return Flight::Hit(slice);
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
-        if let Some(flight) = inflight
-            .get(key)
-            .and_then(|flights| flights.iter().find(|f| covers(&f.relevant, needed)))
-        {
+        if let Some(flight) = inflight.get(key).and_then(|flights| {
+            flights
+                .iter()
+                .find(|f| f.rows == rows && covers(&f.relevant, needed))
+        }) {
             shard.singleflight_waits.fetch_add(1, Ordering::Relaxed);
             return Flight::Wait(FlightWaiter {
                 flight: flight.clone(),
@@ -561,6 +655,7 @@ impl EvalCache {
             return Flight::Wait(FlightWaiter {
                 flight: Arc::new(InFlight {
                     relevant: needed.to_vec(),
+                    rows,
                     state: StdMutex::new(FlightState::Poisoned),
                     cv: Condvar::new(),
                 }),
@@ -568,6 +663,7 @@ impl EvalCache {
         }
         let flight = Arc::new(InFlight {
             relevant: needed.to_vec(),
+            rows,
             state: StdMutex::new(FlightState::Pending),
             cv: Condvar::new(),
         });
@@ -580,6 +676,9 @@ impl EvalCache {
             key: key.clone(),
             flight,
             fulfilled: false,
+            // A stale covering grid's checkpoint, when resident: the duty
+            // to compute shrinks to a scan of the appended rows.
+            patch: shard.patch_base(key, needed, rows),
         })
     }
 
@@ -589,8 +688,9 @@ impl EvalCache {
     /// or wait/hit on *all* of them — the aggregate set of one cube can
     /// never be split across two executions by claim interleaving. All
     /// keys share `needed` (one cube has one literal coverage).
-    pub fn flight_batch(&self, keys: &[CacheKey], needed: &[Vec<Value>]) -> Vec<Flight> {
-        let mut out = self.flight_batch_many(std::slice::from_ref(&FlightRequest { keys, needed }));
+    pub fn flight_batch(&self, keys: &[CacheKey], needed: &[Vec<Value>], rows: u64) -> Vec<Flight> {
+        let mut out =
+            self.flight_batch_many(std::slice::from_ref(&FlightRequest { keys, needed, rows }));
         out.pop().expect("one flight set per request")
     }
 
@@ -615,32 +715,40 @@ impl EvalCache {
                 request
                     .keys
                     .iter()
-                    .map(|key| self.flight(key, request.needed))
+                    .map(|key| self.flight(key, request.needed, request.rows))
                     .collect()
             })
             .collect()
     }
 
-    /// Store a slice. Coverage-preserving: a resident slice that already
-    /// covers the newcomer's literals makes the put a no-op, resident
-    /// slices the newcomer covers are displaced by it, and slices with
+    /// Store a slice. Coverage-preserving *within a watermark*: a resident
+    /// slice at the same stamp that already covers the newcomer's literals
+    /// makes the put a no-op, resident slices the newcomer covers at the
+    /// same or an older stamp are displaced by it, and slices with
     /// *overlapping but non-nested* coverage coexist (up to
-    /// [`SLICES_PER_KEY`]; beyond that the oldest goes) — so a batch of
-    /// documents with different literal sets never ping-pongs one key.
-    /// Every displaced slice counts as an eviction.
+    /// [`SLICES_PER_KEY`]; beyond that eviction prefers stale-stamped
+    /// slices, then the oldest) — so a batch of documents with different
+    /// literal sets never ping-pongs one key. Newer-stamped residents are
+    /// never displaced: a racing append's publish must win. Every displaced
+    /// slice counts as an eviction.
     pub fn put(&self, key: CacheKey, slice: CachedSlice) {
         let shard = &self.inner.shards[self.shard_of(&key)];
         let mut entries = shard.entries.write();
         let slices = entries.entry(key).or_default();
-        if slices.iter().any(|s| s.covers(slice.relevant())) {
+        if slices
+            .iter()
+            .any(|s| s.rows == slice.rows && s.covers(slice.relevant()))
+        {
             return;
         }
         let before = slices.len();
-        slices.retain(|s| !slice.covers(s.relevant()));
+        slices.retain(|s| !(s.rows <= slice.rows && slice.covers(s.relevant())));
         let mut evicted = (before - slices.len()) as u64;
         slices.push(slice);
         if slices.len() > SLICES_PER_KEY {
-            slices.remove(0);
+            let newest = slices.iter().map(|s| s.rows).max().unwrap_or(0);
+            let idx = slices.iter().position(|s| s.rows < newest).unwrap_or(0);
+            slices.remove(idx);
             evicted += 1;
         }
         if evicted > 0 {
@@ -741,7 +849,7 @@ mod tests {
         }
         .execute(db)
         .unwrap();
-        CachedSlice::new(Arc::new(cube), 0, AggFunction::Count)
+        CachedSlice::new(Arc::new(cube), 0, AggFunction::Count, db.watermark())
     }
 
     #[test]
@@ -770,19 +878,19 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
         let needed = vec![vec![Value::from("a")]];
 
-        assert!(cache.get(&key, &needed).is_none());
+        assert!(cache.get(&key, &needed, 4).is_none());
         assert_eq!(cache.stats().misses(), 1);
 
         cache.put(key.clone(), slice(&db, vec!["a".into()]));
-        assert!(cache.get(&key, &needed).is_some());
+        assert!(cache.get(&key, &needed, 4).is_some());
         assert_eq!(cache.stats().hits(), 1);
 
         // A broader literal set than cached is a miss (coverage).
         let broader = vec![vec![Value::from("a"), Value::from("c")]];
-        assert!(cache.get(&key, &broader).is_none());
+        assert!(cache.get(&key, &broader, 4).is_none());
         assert_eq!(cache.stats().misses(), 2);
         assert!(cache.stats().hit_rate() > 0.3 && cache.stats().hit_rate() < 0.4);
     }
@@ -791,8 +899,8 @@ mod tests {
     fn cache_key_canonicalizes_dimension_order() {
         let a = ColumnRef::new(0, 1);
         let b = ColumnRef::new(0, 2);
-        let k1 = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![a, b]);
-        let k2 = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![b, a]);
+        let k1 = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![a, b], 0);
+        let k2 = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![b, a], 0);
         assert_eq!(k1, k2);
     }
 
@@ -802,7 +910,7 @@ mod tests {
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
         cache.put(
-            CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]),
+            CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0),
             slice(&db, vec!["a".into()]),
         );
         assert_eq!(cache.len(), 1);
@@ -817,7 +925,7 @@ mod tests {
         let cache = EvalCache::new();
         let clone = cache.clone();
         clone.put(
-            CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]),
+            CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0),
             slice(&db, vec!["a".into()]),
         );
         assert_eq!(cache.len(), 1);
@@ -828,7 +936,7 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
         let ab = vec![vec![Value::from("a"), Value::from("b")]];
         let bc = vec![vec![Value::from("b"), Value::from("c")]];
         cache.put(key.clone(), slice(&db, vec!["a".into(), "b".into()]));
@@ -841,8 +949,8 @@ mod tests {
         // documents keep hitting.
         cache.put(key.clone(), slice(&db, vec!["b".into(), "c".into()]));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&key, &ab).is_some());
-        assert!(cache.get(&key, &bc).is_some());
+        assert!(cache.get(&key, &ab, 4).is_some());
+        assert!(cache.get(&key, &bc, 4).is_some());
         assert_eq!(cache.stats().evictions(), 0);
         // A slice covering a resident one displaces it.
         cache.put(
@@ -851,8 +959,8 @@ mod tests {
         );
         assert_eq!(cache.len(), 1, "superset slice replaces both");
         assert_eq!(cache.stats().evictions(), 2);
-        assert!(cache.get(&key, &ab).is_some());
-        assert!(cache.get(&key, &bc).is_some());
+        assert!(cache.get(&key, &ab, 4).is_some());
+        assert!(cache.get(&key, &bc, 4).is_some());
     }
 
     #[test]
@@ -860,7 +968,7 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
         // Disjoint singleton literal sets: none covers another, so they
         // accumulate until the per-key cap evicts the oldest.
         let lits = ["a", "b", "c", "l-d", "l-e", "l-f"];
@@ -873,8 +981,8 @@ mod tests {
             (lits.len() - SLICES_PER_KEY) as u64
         );
         // The newest survives, the oldest is gone.
-        assert!(cache.get(&key, &[vec![Value::from("l-f")]]).is_some());
-        assert!(cache.get(&key, &[vec![Value::from("a")]]).is_none());
+        assert!(cache.get(&key, &[vec![Value::from("l-f")]], 4).is_some());
+        assert!(cache.get(&key, &[vec![Value::from("a")]], 4).is_none());
     }
 
     #[test]
@@ -891,7 +999,7 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
         cache.put(key.clone(), slice(&db, vec!["a".into()]));
         assert_eq!(cache.stats().evictions(), 0);
         cache.put(key.clone(), slice(&db, vec!["a".into(), "b".into()]));
@@ -913,7 +1021,7 @@ mod tests {
             // Distinct dimension sets give distinct, uniform-ish keys.
             let dims = vec![ColumnRef::new(i / 64, i % 64)];
             cache.put(
-                CacheKey::new(AggFunction::Count, AggColumn::Star, dims),
+                CacheKey::new(AggFunction::Count, AggColumn::Star, dims, 0),
                 s.clone(),
             );
         }
@@ -945,24 +1053,24 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
         let needed = vec![vec![Value::from("a")]];
 
-        let guard = match cache.flight(&key, &needed) {
+        let guard = match cache.flight(&key, &needed, 4) {
             Flight::Compute(g) => g,
             other => panic!("first probe must win the flight, got {other:?}"),
         };
         assert_eq!(guard.key(), &key);
         assert_eq!(guard.relevant(), &needed[..]);
         // A second probe from the same literal set joins the flight.
-        let waiter = match cache.flight(&key, &needed) {
+        let waiter = match cache.flight(&key, &needed, 4) {
             Flight::Wait(w) => w,
             other => panic!("second probe must wait, got {other:?}"),
         };
         // A probe needing literals the flight does not cover computes its
         // own slice instead of joining.
         let broader = vec![vec![Value::from("a"), Value::from("b")]];
-        let own = match cache.flight(&key, &broader) {
+        let own = match cache.flight(&key, &broader, 4) {
             Flight::Compute(g) => g,
             other => panic!("non-covered probe must compute, got {other:?}"),
         };
@@ -974,7 +1082,7 @@ mod tests {
             Ok(Some(2.0))
         );
         // The published slice is resident: later probes are plain hits.
-        assert!(matches!(cache.flight(&key, &needed), Flight::Hit(_)));
+        assert!(matches!(cache.flight(&key, &needed, 4), Flight::Hit(_)));
         let stats = cache.stats();
         assert_eq!(stats.singleflight_waits(), 1);
         assert_eq!(stats.hits(), 1);
@@ -989,12 +1097,12 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
         let needed = vec![vec![Value::from("a")]];
         let waiters = 7usize;
 
         // Phase 1: the main thread wins the flight and holds it.
-        let guard = match cache.flight(&key, &needed) {
+        let guard = match cache.flight(&key, &needed, 4) {
             Flight::Compute(g) => g,
             other => panic!("expected to win the flight, got {other:?}"),
         };
@@ -1007,7 +1115,7 @@ mod tests {
                     scope.spawn(move || {
                         // Phase 2: with the guard held, every probe must
                         // become a waiter — no hit, no second computer.
-                        let w = match cache.flight(key, needed) {
+                        let w = match cache.flight(key, needed, 4) {
                             Flight::Wait(w) => w,
                             other => panic!("expected Wait, got {other:?}"),
                         };
@@ -1053,20 +1161,24 @@ mod tests {
             AggFunction::Count,
             AggColumn::Star,
             vec![cat],
+            0,
         )];
         let distinct_keys = [CacheKey::new(
             AggFunction::CountDistinct,
             AggColumn::Star,
             vec![cat],
+            0,
         )];
         let requests = [
             FlightRequest {
                 keys: &count_keys,
                 needed: &needed_a,
+                rows: 4,
             },
             FlightRequest {
                 keys: &distinct_keys,
                 needed: &needed_b,
+                rows: 4,
             },
         ];
         let first = cache.flight_batch_many(&requests);
@@ -1103,21 +1215,21 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key_a = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
-        let key_b = CacheKey::new(AggFunction::CountDistinct, AggColumn::Star, vec![cat]);
+        let key_a = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
+        let key_b = CacheKey::new(AggFunction::CountDistinct, AggColumn::Star, vec![cat], 0);
         let needed = vec![vec![Value::from("a")]];
         assert_eq!(cache.inflight_len(), 0);
-        let guard_a = match cache.flight(&key_a, &needed) {
+        let guard_a = match cache.flight(&key_a, &needed, 4) {
             Flight::Compute(g) => g,
             other => panic!("expected Compute, got {other:?}"),
         };
-        let guard_b = match cache.flight(&key_b, &needed) {
+        let guard_b = match cache.flight(&key_b, &needed, 4) {
             Flight::Compute(g) => g,
             other => panic!("expected Compute, got {other:?}"),
         };
         assert_eq!(cache.inflight_len(), 2);
         // Joining a flight registers nothing new.
-        let waiter = match cache.flight(&key_a, &needed) {
+        let waiter = match cache.flight(&key_a, &needed, 4) {
             Flight::Wait(w) => w,
             other => panic!("expected Wait, got {other:?}"),
         };
@@ -1136,25 +1248,25 @@ mod tests {
         let db = db();
         let cat = db.resolve("t", "cat").unwrap();
         let cache = EvalCache::new();
-        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat]);
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
         let needed = vec![vec![Value::from("a")]];
 
-        let guard = match cache.flight(&key, &needed) {
+        let guard = match cache.flight(&key, &needed, 4) {
             Flight::Compute(g) => g,
             other => panic!("expected Compute, got {other:?}"),
         };
-        let waiter = match cache.flight(&key, &needed) {
+        let waiter = match cache.flight(&key, &needed, 4) {
             Flight::Wait(w) => w,
             other => panic!("expected Wait, got {other:?}"),
         };
         drop(guard); // computation failed
         assert!(waiter.wait().is_none(), "poisoned flight yields None");
         // The retry wins a fresh flight and completes normally.
-        match cache.flight(&key, &needed) {
+        match cache.flight(&key, &needed, 4) {
             Flight::Compute(g) => g.fulfill(slice(&db, vec!["a".into()])),
             other => panic!("retry must win the flight, got {other:?}"),
         }
-        assert!(matches!(cache.flight(&key, &needed), Flight::Hit(_)));
+        assert!(matches!(cache.flight(&key, &needed, 4), Flight::Hit(_)));
     }
 
     /// N threads hammering one cache with overlapping keys: no update may
@@ -1184,8 +1296,9 @@ mod tests {
                                 AggFunction::Count,
                                 AggColumn::Star,
                                 vec![ColumnRef::new(0, k)],
+                                0,
                             );
-                            if cache.get(&key, needed).is_none() {
+                            if cache.get(&key, needed, 4).is_none() {
                                 cache.put(key, slice(db, vec!["a".into()]));
                             }
                             answered += 1;
@@ -1212,5 +1325,167 @@ mod tests {
         // Per-shard totals sum to the global totals by construction; spot
         // check the snapshot is per-shard.
         assert_eq!(stats.shards.len(), 8);
+    }
+
+    /// The delta-aware probe path: a slice stamped at the old watermark
+    /// never satisfies a probe at the new one, but its checkpoint is handed
+    /// to the flight winner as a patch base so only the appended tail is
+    /// rescanned.
+    #[test]
+    fn stale_stamped_slices_never_hit_and_seed_patch_bases() {
+        use crate::block::BLOCK_ROWS;
+        use crate::cube::{execute_patch_in, CubeOptions};
+        let n1 = 2 * BLOCK_ROWS + 300;
+        let cats: Vec<Value> = (0..n1).map(|i| ["a", "b"][i % 2].into()).collect();
+        let t = Table::from_columns("t", vec![("cat", cats)]).unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t);
+        let cat = db.resolve("t", "cat").unwrap();
+        let options = CubeOptions {
+            partition_blocks: 1,
+            ..CubeOptions::default()
+        };
+        let cube = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["a".into()]],
+            aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+        };
+        let r1 = cube.execute_with(&db, &options).unwrap();
+        assert!(r1.checkpoint().is_some(), "eligible scan must checkpoint");
+        let w1 = db.watermark();
+
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], db.version());
+        let needed = vec![vec![Value::from("a")]];
+        cache.put(
+            key.clone(),
+            CachedSlice::new(Arc::new(r1), 0, AggFunction::Count, w1),
+        );
+        assert!(cache.get(&key, &needed, w1).is_some());
+
+        let batch: Vec<Vec<Value>> = (0..64).map(|_| vec!["a".into()]).collect();
+        db.append_rows("t", &batch).unwrap();
+        let w2 = db.watermark();
+        assert_eq!(w2, w1 + 64);
+        // The resident slice is stamped w1: a probe at w2 must miss ...
+        assert!(cache.get(&key, &needed, w2).is_none());
+        // ... but the flight winner receives its checkpoint as a patch base.
+        let guard = match cache.flight(&key, &needed, w2) {
+            Flight::Compute(g) => g,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        assert_eq!(guard.rows(), w2);
+        let base = guard.patch_base().expect("stale slice seeds a patch base");
+        assert_eq!(base.rows(), 2 * BLOCK_ROWS, "span-aligned boundary");
+        let patched = execute_patch_in(&db, &base.clone(), &options, None).unwrap();
+        assert_eq!(patched.stats.grids_patched, 1);
+        assert!(
+            patched.stats.rows_scanned < n1 as u64,
+            "patch scans the tail, not the corpus"
+        );
+        guard.fulfill(CachedSlice::new(
+            Arc::new(patched),
+            0,
+            AggFunction::Count,
+            w2,
+        ));
+        let hit = cache
+            .get(&key, &needed, w2)
+            .expect("patched slice is resident");
+        assert_eq!(
+            hit.lookup(&[Some("a".into())]),
+            Ok(Some((n1 / 2 + 64) as f64))
+        );
+    }
+
+    /// Flights are watermark-scoped: a probe at a newer watermark never
+    /// joins a flight computing at the old one — it wins its own — while a
+    /// same-watermark probe still waits.
+    #[test]
+    fn waiters_only_join_flights_at_their_watermark() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
+        let needed = vec![vec![Value::from("a")]];
+        let g4 = match cache.flight(&key, &needed, 4) {
+            Flight::Compute(g) => g,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        let g5 = match cache.flight(&key, &needed, 5) {
+            Flight::Compute(g) => g,
+            other => {
+                panic!("a newer-watermark probe must not wait on a stale flight, got {other:?}")
+            }
+        };
+        let waiter = match cache.flight(&key, &needed, 4) {
+            Flight::Wait(w) => w,
+            other => panic!("same-watermark probe must wait, got {other:?}"),
+        };
+        g4.fulfill(slice(&db, vec!["a".into()]));
+        assert!(waiter.wait().is_some());
+        drop(g5);
+        assert_eq!(cache.inflight_len(), 0);
+    }
+
+    /// Structural mutations (unsealing, schema changes) bump the database
+    /// version, which is part of the key: every slice cached under the old
+    /// version becomes unreachable — a hard invalidation with no scanning
+    /// of resident entries.
+    #[test]
+    fn structural_version_in_key_hard_invalidates() {
+        let mut db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key_v = |db: &Database| {
+            CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], db.version())
+        };
+        let needed = vec![vec![Value::from("a")]];
+        cache.put(key_v(&db), slice(&db, vec!["a".into()]));
+        assert!(cache.get(&key_v(&db), &needed, db.watermark()).is_some());
+        db.unseal_tables();
+        assert!(
+            cache.get(&key_v(&db), &needed, db.watermark()).is_none(),
+            "version bump makes old-version entries unreachable"
+        );
+    }
+
+    /// Per-key overflow eviction prefers stale-stamped slices — the ones a
+    /// fresh probe can never hit — and a put stamped older than a resident
+    /// covering slice never displaces it.
+    #[test]
+    fn overflow_eviction_prefers_stale_stamped_slices() {
+        let db = db();
+        let cat = db.resolve("t", "cat").unwrap();
+        let cache = EvalCache::new();
+        let key = CacheKey::new(AggFunction::Count, AggColumn::Star, vec![cat], 0);
+        let mk = |lit: &str, rows: u64| {
+            let cube = CubeQuery {
+                dims: vec![cat],
+                relevant: vec![vec![lit.into()]],
+                aggregates: vec![(AggFunction::Count, AggColumn::Star)],
+            }
+            .execute(&db)
+            .unwrap();
+            CachedSlice::new(Arc::new(cube), 0, AggFunction::Count, rows)
+        };
+        // Fill to the cap: one stale-stamped slice among fresh ones.
+        cache.put(key.clone(), mk("a", 3));
+        cache.put(key.clone(), mk("b", 4));
+        cache.put(key.clone(), mk("c", 4));
+        cache.put(key.clone(), mk("l-d", 4));
+        assert_eq!(cache.len(), SLICES_PER_KEY);
+        // Overflow: the stale-stamped "a"@3 goes first, not the oldest
+        // fresh slice.
+        cache.put(key.clone(), mk("l-e", 4));
+        assert!(cache.get(&key, &[vec![Value::from("a")]], 3).is_none());
+        assert!(cache.get(&key, &[vec![Value::from("b")]], 4).is_some());
+        // A put stamped older than a newer-stamped covering resident slice
+        // lands but can never displace it.
+        cache.put(key.clone(), mk("b", 3));
+        assert!(
+            cache.get(&key, &[vec![Value::from("b")]], 4).is_some(),
+            "older-stamped put must not displace the fresh slice"
+        );
     }
 }

@@ -198,6 +198,13 @@ pub struct CubeStats {
     /// was not partitioned. A scheduling **gauge** — the only
     /// [`CubeStats`] field that may vary run to run; results never do.
     pub partition_parallelism: u32,
+    /// 1 when this result was produced by patching a [`ScanCheckpoint`]
+    /// forward over appended rows instead of a cold full scan, 0 otherwise.
+    pub grids_patched: u64,
+    /// Rows the patch delta scanned (the appended range plus the re-scanned
+    /// partial tail partition); 0 for full scans. When set, it equals this
+    /// result's `rows_scanned`.
+    pub delta_rows_scanned: u64,
 }
 
 /// Tuning knobs for one cube execution. The defaults match the paper's
@@ -227,6 +234,11 @@ pub struct CubeOptions {
     /// (solo sequential, solo parallel, fused, scheduler fan-out) produces
     /// bit-identical results for a given span, at any worker count.
     pub partition_blocks: usize,
+    /// Capture a [`ScanCheckpoint`] on eligible scans (identity relation,
+    /// partitioned, patch-class aggregates only) so a later probe at a
+    /// newer watermark can patch the grid forward over just the appended
+    /// rows. Costs one grid clone per eligible scan; never changes results.
+    pub capture_checkpoints: bool,
 }
 
 impl Default for CubeOptions {
@@ -237,6 +249,7 @@ impl Default for CubeOptions {
             parallel_row_threshold: 4096,
             clamp_to_hardware: true,
             partition_blocks: crate::block::DEFAULT_PARTITION_BLOCKS,
+            capture_checkpoints: true,
         }
     }
 }
@@ -260,6 +273,75 @@ pub struct CubeResult {
     n_aggs: usize,
     groups: FxHashMap<GroupKey, Vec<Option<f64>>>,
     pub stats: CubeStats,
+    /// Visible rows of the scanned relation when this result was computed
+    /// — the watermark stamp delta-aware caching matches on. Differs from
+    /// `stats.rows_scanned` on patched results (which scan only the delta).
+    visible_rows: u64,
+    /// Resumable scan prefix for future watermark patches, when the scan
+    /// was eligible to capture one ([`CubeOptions::capture_checkpoints`]).
+    /// Behind an `Arc` so cloning the result (cache insertion) stays cheap.
+    checkpoint: Option<std::sync::Arc<ScanCheckpoint>>,
+}
+
+/// A resumable prefix of one cube's partitioned scan: the left-fold of
+/// every partition grid fully below `rows` (a span-aligned boundary),
+/// captured mid-fold. Patching clones the grid, scans only the partitions
+/// covering `rows..new_watermark`, and folds them in the same ascending
+/// order — the f64 accumulation tree is the cold scan's tree by
+/// construction, so patched results are **bit-identical** to a cold full
+/// scan at the same watermark.
+///
+/// Only captured for patch-class aggregate sets (`Count`/`Sum`/`Avg`/
+/// `Min`/`Max`, whose partition merges are the exact fold the cold scan
+/// performs); cubes with `CountDistinct` or `Median` recompute from
+/// scratch at each watermark.
+pub struct ScanCheckpoint {
+    cube: CubeQuery,
+    /// Span-aligned row boundary: partitions covering `0..rows` are folded
+    /// into `grid`.
+    rows: usize,
+    partition_blocks: usize,
+    dense_cell_cap: usize,
+    grid: MemberGrid,
+}
+
+impl std::fmt::Debug for ScanCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanCheckpoint")
+            .field("rows", &self.rows)
+            .field("partition_blocks", &self.partition_blocks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScanCheckpoint {
+    /// The cube this checkpoint's grid belongs to — patching re-executes
+    /// exactly this cube (its dimensions, literal coverage, and aggregate
+    /// set) at the new watermark.
+    pub fn cube(&self) -> &CubeQuery {
+        &self.cube
+    }
+
+    /// The span-aligned row boundary this checkpoint's grid covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether this checkpoint was captured under the same scan shape the
+    /// given options would produce (same partition span, same dense/hashed
+    /// decision inputs) — the precondition for patching with it.
+    pub fn compatible(&self, options: &CubeOptions) -> bool {
+        self.partition_blocks == options.partition_blocks
+            && self.dense_cell_cap == options.dense_cell_cap
+    }
+
+    /// The prefix shape patch passes must share to scan one tail together:
+    /// resume boundary, partition span, and dense-grid cap. The scheduler
+    /// fuses patch tasks whose checkpoints agree on this (and on table
+    /// scope) into a single delta pass.
+    pub(crate) fn fuse_identity(&self) -> (usize, usize, usize) {
+        (self.rows, self.partition_blocks, self.dense_cell_cap)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +599,7 @@ impl GridArena {
 /// One aggregate's dense per-cell state, struct-of-arrays style. Compared
 /// with a `Vec<Accumulator>` grid this removes the enum tag from every cell
 /// and lets each block sweep run branch-free on plain arrays.
+#[derive(Clone)]
 enum DenseAggState {
     Count(Vec<u64>),
     CountDistinct(Vec<crate::fxhash::FxHashSet<u64>>),
@@ -719,6 +802,7 @@ impl DenseAggState {
 }
 
 /// Flat mixed-radix grid for one scan partition.
+#[derive(Clone)]
 struct DenseGrid {
     aggs: Vec<DenseAggState>,
     touched: Vec<bool>,
@@ -819,12 +903,37 @@ impl DenseGrid {
             self.touched[cell] = true;
             if enc.counts_only {
                 // Counts are order-insensitive integers: adding `len` at
-                // once is bit-identical to `len` increments.
-                for (state, agg_enc) in self.aggs.iter_mut().zip(&enc.agg_encodings) {
+                // once is bit-identical to `len` increments. When the
+                // visibility watermark cuts this block mid-way (`len` is
+                // shorter than the stored block) the sealed zone map's
+                // null count over-counts: use the visible prefix's null
+                // count instead — exact from the code blocks, or counted
+                // from the plain column for zone-only numeric encodings.
+                let stored = (enc.physical_rows - block_idx * SCAN_BLOCK).min(SCAN_BLOCK);
+                for ((state, agg_enc), ctx) in self
+                    .aggs
+                    .iter_mut()
+                    .zip(&enc.agg_encodings)
+                    .zip(&plan.agg_ctx)
+                {
                     let DenseAggState::Count(counts) = state else {
                         unreachable!("counts_only guarantees Count states")
                     };
-                    let nulls = agg_enc.map_or(0, |e| e.block_null_count(block_idx)) as usize;
+                    let nulls = match agg_enc {
+                        None => 0,
+                        Some(e) if len >= stored => e.block_null_count(block_idx) as usize,
+                        Some(e) => match e.prefix_null_count(block_idx, len) {
+                            Some(n) => n as usize,
+                            None => {
+                                let Some((res, col)) = ctx else {
+                                    unreachable!("count with an input column has a ctx")
+                                };
+                                (row..row + len)
+                                    .filter(|&r| col.is_null(res.base_row(r)))
+                                    .count()
+                            }
+                        },
+                    };
                     counts[cell] += (len - nulls) as u64;
                 }
                 tally.blocks_skipped += 1;
@@ -869,6 +978,7 @@ impl DenseGrid {
 
 /// Hashed accumulator grid for one scan partition, keyed by packed dense
 /// codes (8 bits per dimension).
+#[derive(Clone)]
 struct HashedGrid {
     groups: FxHashMap<u64, Vec<Accumulator>>,
 }
@@ -1117,6 +1227,7 @@ impl CubeQuery {
             dims,
             agg_encodings,
             counts_only,
+            physical_rows: db.table(table_idx).row_count(),
         })
     }
 
@@ -1202,6 +1313,8 @@ impl CubeQuery {
             partitions_scanned: parts.partitions_scanned,
             partition_merges: parts.partition_merges,
             partition_parallelism: parts.partition_parallelism,
+            grids_patched: 0,
+            delta_rows_scanned: 0,
         };
         let groups = keys
             .into_iter()
@@ -1214,11 +1327,14 @@ impl CubeQuery {
             n_aggs: self.aggregates.len(),
             groups,
             stats,
+            visible_rows: n_rows as u64,
+            checkpoint: None,
         }
     }
 }
 
 /// One cube's scan state inside a (possibly fused) pass.
+#[derive(Clone)]
 enum MemberGrid {
     Dense(DenseGrid),
     Hashed(HashedGrid),
@@ -1273,6 +1389,11 @@ struct EncodedMember<'a> {
     /// (integer, order-insensitive). `Sum` is excluded deliberately:
     /// `v * n` is not the same f64 as `n` sequential additions.
     counts_only: bool,
+    /// Physical rows of the scanned table — the encodings cover all of
+    /// them, so `min(physical_rows - b·SCAN_BLOCK, SCAN_BLOCK)` is block
+    /// `b`'s stored length, against which a scan chunk detects that a
+    /// watermark left the block only partially visible.
+    physical_rows: usize,
 }
 
 impl EncodedMember<'_> {
@@ -1444,6 +1565,52 @@ fn scan_partition(
     PartitionGrids { grids, tallies }
 }
 
+/// Is `f`'s accumulator patchable — i.e. is folding appended rows onto a
+/// checkpointed prefix the exact fold a cold scan performs? `CountDistinct`
+/// and `Median` hold set/list state whose "patch" would be a full merge
+/// anyway; they recompute at each watermark instead. The scheduler bundles
+/// missing aggregates by this class so one recompute-class member cannot
+/// poison a whole bundle's checkpoint eligibility.
+pub fn patchable_function(f: AggFunction) -> bool {
+    matches!(
+        f,
+        AggFunction::Count
+            | AggFunction::Sum
+            | AggFunction::Avg
+            | AggFunction::Min
+            | AggFunction::Max
+    )
+}
+
+/// Aggregate sets eligible for [`ScanCheckpoint`] capture: every member
+/// must be [`patchable_function`]-class.
+fn patchable_aggregates(aggregates: &[(AggFunction, AggColumn)]) -> bool {
+    aggregates.iter().all(|&(f, _)| patchable_function(f))
+}
+
+/// The span-aligned checkpoint boundary of an `n_rows` scan: the largest
+/// multiple of the partition span ≤ `n_rows`. Partitions below it are
+/// row-for-row stable under appends; the (possibly partial) tail above it
+/// is rescanned by a patch. 0 disables checkpointing (span 0, or the whole
+/// relation is inside the first span).
+fn checkpoint_boundary(n_rows: usize, partition_blocks: usize) -> usize {
+    let span = partition_blocks.saturating_mul(crate::block::BLOCK_ROWS);
+    n_rows.checked_div(span).map_or(0, |spans| spans * span)
+}
+
+/// Clone every patchable member's fold state at the checkpoint boundary.
+fn capture_member_checkpoints(
+    cubes: &[&CubeQuery],
+    base: &PartitionGrids,
+    captured: &mut [Option<MemberGrid>],
+) {
+    for ((cube, grid), slot) in cubes.iter().zip(&base.grids).zip(captured.iter_mut()) {
+        if patchable_aggregates(&cube.aggregates) {
+            *slot = Some(grid.clone());
+        }
+    }
+}
+
 /// Fold one partition's grids into the base grids. The caller iterates
 /// partitions in **ascending partition order** — that left-fold is the
 /// determinism contract's merge order, shared by every execution path.
@@ -1512,12 +1679,30 @@ fn execute_members_on_in(
         .min((n_rows / options.parallel_row_threshold.max(1)).max(1))
         .min(partitions);
 
+    // Checkpoint capture: clone each patchable member's fold state the
+    // moment the fold crosses the span-aligned boundary, so a future probe
+    // at a newer watermark can resume from there instead of rescanning.
+    // Identity relations only — join outputs are not prefix-stable under
+    // appends (a new probe-side row splices tuples into existing output).
+    let boundary = checkpoint_boundary(n_rows, options.partition_blocks);
+    let capture = options.capture_checkpoints && relation.is_identity() && boundary > 0;
+    let mut captured: Vec<Option<MemberGrid>> = (0..cubes.len()).map(|_| None).collect();
+
     let base = if threads <= 1 {
         let mut iter = ranges.into_iter();
-        let mut base = scan_partition(cubes, &plans, arena, iter.next().expect("≥1 partition"));
+        let first = iter.next().expect("≥1 partition");
+        let mut folded = first.end;
+        let mut base = scan_partition(cubes, &plans, arena, first);
+        if capture && folded == boundary {
+            capture_member_checkpoints(cubes, &base, &mut captured);
+        }
         for range in iter {
+            folded = range.end;
             let part = scan_partition(cubes, &plans, arena, range);
             merge_partition(&mut base, part, arena);
+            if capture && folded == boundary {
+                capture_member_checkpoints(cubes, &base, &mut captured);
+            }
         }
         base
     } else {
@@ -1550,10 +1735,17 @@ fn execute_members_on_in(
         for (idx, part) in collected.into_iter().flatten() {
             slots[idx] = Some(part);
         }
-        let mut slot_iter = slots.into_iter();
-        let mut base = slot_iter.next().flatten().expect("partition 0 was scanned");
-        for part in slot_iter {
+        let mut slot_iter = slots.into_iter().enumerate();
+        let (_, first) = slot_iter.next().expect("≥1 partition");
+        let mut base = first.expect("partition 0 was scanned");
+        if capture && ranges[0].end == boundary {
+            capture_member_checkpoints(cubes, &base, &mut captured);
+        }
+        for (idx, part) in slot_iter {
             merge_partition(&mut base, part.expect("every partition scanned"), arena);
+            if capture && ranges[idx].end == boundary {
+                capture_member_checkpoints(cubes, &base, &mut captured);
+            }
         }
         base
     };
@@ -1565,8 +1757,20 @@ fn execute_members_on_in(
         .zip(&plans)
         .zip(grids)
         .zip(tallies)
-        .map(|(((cube, plan), grid), tally)| {
-            cube.finish_scan(grid, plan, n_rows, threads as u32, tally, meta, arena)
+        .zip(captured)
+        .map(|((((cube, plan), grid), tally), captured)| {
+            let mut result =
+                cube.finish_scan(grid, plan, n_rows, threads as u32, tally, meta, arena);
+            if let Some(grid) = captured {
+                result.checkpoint = Some(std::sync::Arc::new(ScanCheckpoint {
+                    cube: (*cube).clone(),
+                    rows: boundary,
+                    partition_blocks: options.partition_blocks,
+                    dense_cell_cap: options.dense_cell_cap,
+                    grid,
+                }));
+            }
+            result
         })
         .collect())
 }
@@ -1610,10 +1814,21 @@ pub(crate) fn merge_fused_partitions(
         .map(|cube| cube.scan_plan(db, relation, options.dense_cell_cap))
         .collect();
     let partitions = parts.len();
-    let mut iter = parts.into_iter();
-    let mut base = iter.next().expect("≥1 partition");
-    for part in iter {
+    let ranges = crate::block::partition_ranges(n_rows, options.partition_blocks);
+    debug_assert_eq!(ranges.len(), partitions, "parts must cover the relation");
+    let boundary = checkpoint_boundary(n_rows, options.partition_blocks);
+    let capture = options.capture_checkpoints && relation.is_identity() && boundary > 0;
+    let mut captured: Vec<Option<MemberGrid>> = (0..cubes.len()).map(|_| None).collect();
+    let mut iter = parts.into_iter().enumerate();
+    let (_, mut base) = iter.next().expect("≥1 partition");
+    if capture && ranges[0].end == boundary {
+        capture_member_checkpoints(cubes, &base, &mut captured);
+    }
+    for (idx, part) in iter {
         merge_partition(&mut base, part, arena);
+        if capture && ranges[idx].end == boundary {
+            capture_member_checkpoints(cubes, &base, &mut captured);
+        }
     }
     let meta = PartitionMeta::new(partitions, partition_parallelism);
     let PartitionGrids { grids, tallies } = base;
@@ -1622,10 +1837,136 @@ pub(crate) fn merge_fused_partitions(
         .zip(&plans)
         .zip(grids)
         .zip(tallies)
-        .map(|(((cube, plan), grid), tally)| {
-            cube.finish_scan(grid, plan, n_rows, 1, tally, meta, arena)
+        .zip(captured)
+        .map(|((((cube, plan), grid), tally), captured)| {
+            let mut result = cube.finish_scan(grid, plan, n_rows, 1, tally, meta, arena);
+            if let Some(grid) = captured {
+                result.checkpoint = Some(std::sync::Arc::new(ScanCheckpoint {
+                    cube: (*cube).clone(),
+                    rows: boundary,
+                    partition_blocks: options.partition_blocks,
+                    dense_cell_cap: options.dense_cell_cap,
+                    grid,
+                }));
+            }
+            result
         })
         .collect()
+}
+
+/// Re-execute a checkpointed scan at the database's **current** watermark
+/// by scanning only the delta: clone the checkpoint's grid (the fold of
+/// every partition below [`ScanCheckpoint::rows`]), scan the partitions
+/// covering `checkpoint.rows..visible` fresh, and fold them in ascending
+/// order. Because the fold resumes exactly where a cold scan would stand
+/// after its stable prefix, the patched result is bit-identical to a cold
+/// full scan at the same watermark — down to the last f64 ulp.
+///
+/// Stats describe the **patch work**: `rows_scanned` (and the
+/// `delta_rows_scanned` twin) count only the rescanned tail, block
+/// tallies only the delta's blocks, and `grids_patched` reads 1;
+/// [`CubeResult::visible_rows`] still stamps the full watermark. Falls
+/// back to a cold scan when the checkpoint no longer applies (shrunken
+/// relation, non-identity scope, or changed scan shape).
+pub fn execute_patch_in(
+    db: &Database,
+    checkpoint: &ScanCheckpoint,
+    options: &CubeOptions,
+    arena: Option<&GridArena>,
+) -> Result<CubeResult> {
+    let mut results = execute_patches_in(db, &[checkpoint], options, arena)?;
+    Ok(results.pop().expect("one member"))
+}
+
+/// [`execute_patch_in`] for several checkpoints sharing one table scope
+/// and one prefix shape (`ScanCheckpoint::fuse_identity`): the appended
+/// tail is scanned **once**, each row folded into every member's cloned
+/// prefix grid — the delta analogue of [`execute_fused_in`]. Without this,
+/// a wave whose N stale grids all resume from the same boundary would pay
+/// N tail scans for what is physically one.
+///
+/// Each member's result carries the single-patch stats (`grids_patched` =
+/// 1, `rows_scanned`/`delta_rows_scanned` = the shared tail) exactly as if
+/// patched solo; the wave layer charges tail rows once per pass, the same
+/// convention fused cold passes use. Falls back to one fused cold pass
+/// when the checkpoints no longer apply (shrunken relation, non-identity
+/// scope, or changed scan shape).
+pub fn execute_patches_in(
+    db: &Database,
+    checkpoints: &[&ScanCheckpoint],
+    options: &CubeOptions,
+    arena: Option<&GridArena>,
+) -> Result<Vec<CubeResult>> {
+    let Some(first) = checkpoints.first() else {
+        return Ok(Vec::new());
+    };
+    debug_assert!(
+        checkpoints
+            .iter()
+            .all(|cp| cp.fuse_identity() == first.fuse_identity()),
+        "fused patches must share one prefix shape"
+    );
+    let cubes: Vec<&CubeQuery> = checkpoints.iter().map(|cp| &cp.cube).collect();
+    let relation = JoinedRelation::for_tables(db, &cubes[0].tables_referenced())?;
+    let n_rows = relation.len();
+    if !relation.is_identity() || n_rows < first.rows || !first.compatible(options) {
+        return execute_fused_on_in(db, &relation, &cubes, options, arena);
+    }
+    let plans: Vec<ScanPlan<'_>> = cubes
+        .iter()
+        .map(|cube| cube.scan_plan(db, &relation, first.dense_cell_cap))
+        .collect();
+    let ranges = crate::block::partition_ranges(n_rows, first.partition_blocks);
+    let boundary = checkpoint_boundary(n_rows, first.partition_blocks);
+    let mut base = PartitionGrids {
+        grids: checkpoints.iter().map(|cp| cp.grid.clone()).collect(),
+        tallies: vec![BlockTally::default(); checkpoints.len()],
+    };
+    // The boundary may not have moved (append within the same span): the
+    // refreshed checkpoints are then the old ones, captured before any
+    // merge.
+    let mut captured: Vec<Option<MemberGrid>> = (0..cubes.len()).map(|_| None).collect();
+    if boundary == first.rows {
+        capture_member_checkpoints(&cubes, &base, &mut captured);
+    }
+    let mut delta_rows = 0u64;
+    let mut delta_partitions = 0usize;
+    for range in ranges.iter().filter(|r| r.end > first.rows) {
+        debug_assert!(range.start >= first.rows, "delta is span-aligned");
+        delta_rows += (range.end - range.start) as u64;
+        delta_partitions += 1;
+        let part = scan_partition(&cubes, &plans, arena, range.clone());
+        merge_partition(&mut base, part, arena);
+        if range.end == boundary {
+            capture_member_checkpoints(&cubes, &base, &mut captured);
+        }
+    }
+    let meta = PartitionMeta::new(delta_partitions, 1);
+    let PartitionGrids { grids, tallies } = base;
+    Ok(cubes
+        .iter()
+        .zip(&plans)
+        .zip(grids)
+        .zip(tallies)
+        .zip(captured)
+        .map(|((((cube, plan), grid), tally), captured)| {
+            let mut result =
+                cube.finish_scan(grid, plan, delta_rows as usize, 1, tally, meta, arena);
+            result.visible_rows = n_rows as u64;
+            result.stats.grids_patched = 1;
+            result.stats.delta_rows_scanned = delta_rows;
+            if let Some(grid) = captured {
+                result.checkpoint = Some(std::sync::Arc::new(ScanCheckpoint {
+                    cube: (*cube).clone(),
+                    rows: boundary,
+                    partition_blocks: first.partition_blocks,
+                    dense_cell_cap: first.dense_cell_cap,
+                    grid,
+                }));
+            }
+            result
+        })
+        .collect())
 }
 
 /// The sequential scan driver shared by solo executions (`threads <= 1`)
@@ -1806,6 +2147,17 @@ impl CubeResult {
     pub fn group_count(&self) -> usize {
         self.groups.len()
     }
+
+    /// Visible rows of the scanned relation when this result was computed
+    /// — the watermark stamp delta-aware caching matches on.
+    pub fn visible_rows(&self) -> u64 {
+        self.visible_rows
+    }
+
+    /// The resumable scan prefix captured by this execution, if any.
+    pub fn checkpoint(&self) -> Option<&std::sync::Arc<ScanCheckpoint>> {
+        self.checkpoint.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -1913,7 +2265,7 @@ mod tests {
                     threads: 4,
                     parallel_row_threshold: 1,
                     clamp_to_hardware: false,
-                    partition_blocks: crate::block::DEFAULT_PARTITION_BLOCKS,
+                    ..CubeOptions::default()
                 },
             ),
             (
@@ -2610,5 +2962,482 @@ mod tests {
             assert_eq!(fused_result.groups, solo.groups);
         }
         assert!(fused[0].stats.blocks_skipped > 0, "{:?}", fused[0].stats);
+    }
+
+    // -----------------------------------------------------------------------
+    // Watermark visibility and delta patching
+    // -----------------------------------------------------------------------
+
+    use crate::block::BLOCK_ROWS;
+    use crate::schema::ForeignKey;
+    use proptest::prelude::*;
+
+    /// One row of the synthetic append corpus: a deterministic function of
+    /// the row index, so appended batches continue the same distribution and
+    /// a naive oracle can recompute any aggregate from first principles.
+    fn wide_row(i: usize) -> Vec<Value> {
+        let cat = match i % 5 {
+            0 => Value::Null,
+            k => Value::Str(format!("c{k}")),
+        };
+        let val = if i.is_multiple_of(7) {
+            Value::Null
+        } else {
+            Value::Int((i % 101) as i64 - 13)
+        };
+        let score = if i.is_multiple_of(11) {
+            Value::Null
+        } else {
+            Value::Float(i as f64 * 0.37 + 0.1)
+        };
+        vec![cat, val, score]
+    }
+
+    fn wide_db(rows: usize) -> Database {
+        let mut cat = Vec::with_capacity(rows);
+        let mut val = Vec::with_capacity(rows);
+        let mut score = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let mut r = wide_row(i);
+            score.push(r.pop().unwrap());
+            val.push(r.pop().unwrap());
+            cat.push(r.pop().unwrap());
+        }
+        let t = Table::from_columns("events", vec![("cat", cat), ("val", val), ("score", score)])
+            .unwrap();
+        let mut db = Database::new("wide");
+        db.add_table(t);
+        db
+    }
+
+    /// A cube exercising every patch-class aggregate over the append corpus.
+    fn wide_cube(db: &Database) -> CubeQuery {
+        let cat = db.resolve("events", "cat").unwrap();
+        let val = db.resolve("events", "val").unwrap();
+        let score = db.resolve("events", "score").unwrap();
+        CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["c1".into(), "c3".into()]],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                (AggFunction::Count, AggColumn::Column(val)),
+                (AggFunction::Sum, AggColumn::Column(val)),
+                (AggFunction::Avg, AggColumn::Column(score)),
+                (AggFunction::Min, AggColumn::Column(val)),
+                (AggFunction::Max, AggColumn::Column(score)),
+            ],
+        }
+    }
+
+    /// Bit-exact fingerprint of a result's groups (f64s compared by bits).
+    fn grid_bits(r: &CubeResult) -> Vec<(u64, Vec<Option<u64>>)> {
+        let mut v: Vec<(u64, Vec<Option<u64>>)> = r
+            .groups
+            .iter()
+            .map(|(k, vals)| (k.0, vals.iter().map(|o| o.map(f64::to_bits)).collect()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn bulk_counts_clamp_to_a_partially_visible_tail_block() {
+        // `cat` is constant within each storage block, so every block has a
+        // provably-constant dimension cell and this count-only cube takes
+        // the bulk (zone-map) path — including over the partial tail.
+        let n = 2 * BLOCK_ROWS + 700;
+        let cat: Vec<Value> = (0..n)
+            .map(|i| Value::Str(format!("b{}", i / BLOCK_ROWS)))
+            .collect();
+        let val: Vec<Value> = (0..n)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                }
+            })
+            .collect();
+        let tag: Vec<Value> = (0..n)
+            .map(|i| match i % 3 {
+                0 => Value::Null,
+                k => Value::Str(format!("t{k}")),
+            })
+            .collect();
+        let t =
+            Table::from_columns("events", vec![("cat", cat), ("val", val), ("tag", tag)]).unwrap();
+        let mut base_db = Database::new("banded");
+        base_db.add_table(t);
+        let cat = base_db.resolve("events", "cat").unwrap();
+        let val = base_db.resolve("events", "val").unwrap();
+        let tag = base_db.resolve("events", "tag").unwrap();
+        let q = CubeQuery {
+            dims: vec![cat],
+            relevant: vec![vec!["b0".into()]],
+            aggregates: vec![
+                (AggFunction::Count, AggColumn::Star),
+                // Numeric agg encoding: partial-block nulls from the plain column.
+                (AggFunction::Count, AggColumn::Column(val)),
+                // Codes agg encoding: partial-block nulls from the bitmap/runs.
+                (AggFunction::Count, AggColumn::Column(tag)),
+            ],
+        };
+        for wm in [
+            1,
+            BLOCK_ROWS - 1,
+            BLOCK_ROWS,
+            BLOCK_ROWS + 1,
+            2 * BLOCK_ROWS - 1,
+            2 * BLOCK_ROWS,
+            2 * BLOCK_ROWS + 1,
+            n,
+        ] {
+            let mut db = base_db.clone();
+            db.table_mut(0).set_watermark(wm);
+            let sealed = q.execute(&db).unwrap();
+            // Every touched block is constant in `cat`, so the whole scan is
+            // bulk-applied from zone metadata plus prefix null counts.
+            let touched = wm.div_ceil(BLOCK_ROWS) as u64;
+            assert_eq!(sealed.stats.blocks_skipped, touched, "wm={wm}");
+            assert_eq!(sealed.stats.blocks_scanned, 0, "wm={wm}");
+            let mut plain_db = db.clone();
+            plain_db.unseal_tables();
+            let plain = q.execute(&plain_db).unwrap();
+            assert_eq!(grid_bits(&sealed), grid_bits(&plain), "wm={wm}");
+            // Naive oracle from the generator formulas.
+            let b0 = [DimSel::Literal(0)];
+            assert_eq!(
+                sealed.get_count(&b0, 0),
+                wm.min(BLOCK_ROWS) as f64,
+                "wm={wm}"
+            );
+            assert_eq!(
+                sealed.get_count(&b0, 1),
+                (0..wm.min(BLOCK_ROWS)).filter(|i| i % 7 != 0).count() as f64,
+                "wm={wm}"
+            );
+            let every = [DimSel::Any];
+            assert_eq!(
+                sealed.get_count(&every, 2),
+                (0..wm).filter(|i| i % 3 != 0).count() as f64,
+                "wm={wm}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_visibility_matches_a_truncated_rebuild() {
+        let n = 2 * BLOCK_ROWS + 421;
+        let full = wide_db(n);
+        let q = wide_cube(&full);
+        for wm in [
+            3,
+            BLOCK_ROWS - 1,
+            BLOCK_ROWS,
+            BLOCK_ROWS + 1,
+            2 * BLOCK_ROWS + 1,
+            n,
+        ] {
+            let mut db = full.clone();
+            db.table_mut(0).set_watermark(wm);
+            let visible = q.execute(&db).unwrap();
+            assert_eq!(visible.visible_rows(), wm as u64);
+            // Ground truth: a database physically truncated at the watermark.
+            let expect = q.execute(&wide_db(wm)).unwrap();
+            assert_eq!(grid_bits(&visible), grid_bits(&expect), "wm={wm}");
+            // The plain (unencoded) path clamps identically.
+            let mut plain_db = db.clone();
+            plain_db.unseal_tables();
+            let plain = q.execute(&plain_db).unwrap();
+            assert_eq!(grid_bits(&plain), grid_bits(&expect), "wm={wm}");
+        }
+    }
+
+    #[test]
+    fn patched_grids_are_bit_identical_to_cold_rescans() {
+        let n1 = 2 * BLOCK_ROWS + 300;
+        let mut db = wide_db(n1);
+        let q = wide_cube(&db);
+        let options = CubeOptions {
+            partition_blocks: 1,
+            ..CubeOptions::default()
+        };
+        let r1 = q.execute_with(&db, &options).unwrap();
+        let cp = r1
+            .checkpoint()
+            .expect("patch-class cube over an identity relation captures")
+            .clone();
+        assert_eq!(
+            cp.rows(),
+            2 * BLOCK_ROWS,
+            "checkpoint at the last span boundary"
+        );
+
+        let batch: Vec<Vec<Value>> = (n1..n1 + 500).map(wide_row).collect();
+        db.append_rows("events", &batch).unwrap();
+        let n2 = n1 + 500;
+
+        let cold = q.execute_with(&db, &options).unwrap();
+        let patched = execute_patch_in(&db, &cp, &options, None).unwrap();
+        assert_eq!(grid_bits(&patched), grid_bits(&cold));
+        assert_eq!(patched.visible_rows(), n2 as u64);
+        assert_eq!(patched.stats.grids_patched, 1);
+        assert_eq!(cold.stats.grids_patched, 0);
+        assert_eq!(
+            patched.stats.delta_rows_scanned,
+            (n2 - 2 * BLOCK_ROWS) as u64
+        );
+        assert!(patched.stats.rows_scanned < cold.stats.rows_scanned);
+
+        // Avg merges via (sum, count) parts: the patched value is the mean
+        // over ALL visible rows, not a mean of per-epoch means.
+        let c1 = [DimSel::Literal(0)];
+        let scores: Vec<f64> = (0..n2)
+            .filter(|&i| i % 5 == 1 && i % 11 != 0)
+            .map(|i| i as f64 * 0.37 + 0.1)
+            .collect();
+        let naive_avg = scores.iter().sum::<f64>() / scores.len() as f64;
+        let got = patched.get(&c1, 3).unwrap();
+        assert!((got - naive_avg).abs() <= 1e-9 * naive_avg.abs().max(1.0));
+
+        // The patched result carries a refreshed checkpoint: patch again.
+        let cp2 = patched
+            .checkpoint()
+            .expect("patched result re-checkpoints")
+            .clone();
+        assert_eq!(cp2.rows(), (n2 / BLOCK_ROWS) * BLOCK_ROWS);
+        let batch2: Vec<Vec<Value>> = (n2..n2 + 77).map(wide_row).collect();
+        db.append_rows("events", &batch2).unwrap();
+        let cold2 = q.execute_with(&db, &options).unwrap();
+        let patched2 = execute_patch_in(&db, &cp2, &options, None).unwrap();
+        assert_eq!(grid_bits(&patched2), grid_bits(&cold2));
+    }
+
+    #[test]
+    fn checkpoint_at_exact_span_boundary_scans_only_the_appended_rows() {
+        let n = 2 * BLOCK_ROWS;
+        let mut db = wide_db(n);
+        let q = wide_cube(&db);
+        let options = CubeOptions {
+            partition_blocks: 1,
+            ..CubeOptions::default()
+        };
+        let cp = q
+            .execute_with(&db, &options)
+            .unwrap()
+            .checkpoint()
+            .expect("exact-multiple relations checkpoint at n_rows")
+            .clone();
+        assert_eq!(cp.rows(), n);
+        let batch: Vec<Vec<Value>> = (n..n + 10).map(wide_row).collect();
+        db.append_rows("events", &batch).unwrap();
+        let cold = q.execute_with(&db, &options).unwrap();
+        let patched = execute_patch_in(&db, &cp, &options, None).unwrap();
+        assert_eq!(patched.stats.delta_rows_scanned, 10);
+        assert_eq!(grid_bits(&patched), grid_bits(&cold));
+    }
+
+    #[test]
+    fn recompute_class_aggregates_capture_no_checkpoint() {
+        let mut db = wide_db(2 * BLOCK_ROWS + 10);
+        let cat = db.resolve("events", "cat").unwrap();
+        let val = db.resolve("events", "val").unwrap();
+        let options = CubeOptions {
+            partition_blocks: 1,
+            ..CubeOptions::default()
+        };
+        for f in [AggFunction::CountDistinct, AggFunction::Median] {
+            let q = CubeQuery {
+                dims: vec![cat],
+                relevant: vec![vec!["c1".into()]],
+                aggregates: vec![
+                    (AggFunction::Count, AggColumn::Star),
+                    (f, AggColumn::Column(val)),
+                ],
+            };
+            let r = q.execute_with(&db, &options).unwrap();
+            assert!(
+                r.checkpoint().is_none(),
+                "{f:?} must force a full recompute on append"
+            );
+            // Appends stay correct via recompute: the cold re-scan agrees
+            // with a naive per-query execution at the new watermark.
+            let batch: Vec<Vec<Value>> = (0..64).map(|i| wide_row(i + 13)).collect();
+            db.append_rows("events", &batch).unwrap();
+            let r2 = q.execute_with(&db, &options).unwrap();
+            let naive = execute_query(
+                &db,
+                &SimpleAggregateQuery::new(
+                    f,
+                    AggColumn::Column(val),
+                    vec![Predicate::new(cat, "c1")],
+                ),
+            )
+            .unwrap();
+            assert_eq!(r2.get(&[DimSel::Literal(0)], 1), naive);
+        }
+    }
+
+    #[test]
+    fn join_relations_capture_no_checkpoint() {
+        // Join outputs are not prefix-stable under appends — a new row on
+        // the probe side splices tuples anywhere in the output order — so
+        // eligible-looking scans over joins must not checkpoint.
+        let n = 2 * BLOCK_ROWS + 50;
+        let players = Table::from_columns(
+            "players",
+            vec![
+                ("player_id", vec![Value::Int(0), Value::Int(1)]),
+                ("team", vec!["ravens".into(), "browns".into()]),
+            ],
+        )
+        .unwrap();
+        let susp = Table::from_columns(
+            "suspensions",
+            vec![
+                (
+                    "player_id",
+                    (0..n).map(|i| Value::Int((i % 2) as i64)).collect(),
+                ),
+                (
+                    "category",
+                    (0..n).map(|i| Value::Str(format!("k{}", i % 3))).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new("nfl");
+        let p = db.add_table(players);
+        let s = db.add_table(susp);
+        db.add_foreign_key(ForeignKey {
+            from_table: s,
+            from_column: 0,
+            to_table: p,
+            to_column: 0,
+        })
+        .unwrap();
+        let team = db.resolve("players", "team").unwrap();
+        let pid = db.resolve("suspensions", "player_id").unwrap();
+        let q = CubeQuery {
+            dims: vec![team],
+            relevant: vec![vec!["ravens".into()]],
+            // Aggregating a suspensions column forces the two-table join.
+            aggregates: vec![(AggFunction::Count, AggColumn::Column(pid))],
+        };
+        let options = CubeOptions {
+            partition_blocks: 1,
+            ..CubeOptions::default()
+        };
+        let r = q.execute_with(&db, &options).unwrap();
+        assert_eq!(r.visible_rows(), n as u64);
+        assert!(r.checkpoint().is_none(), "join scans must not checkpoint");
+    }
+
+    #[test]
+    fn checkpoint_eligibility_gates() {
+        // Below one span there is no stable prefix to checkpoint.
+        let small = wide_db(100);
+        let q = wide_cube(&small);
+        let opts1 = CubeOptions {
+            partition_blocks: 1,
+            ..CubeOptions::default()
+        };
+        assert!(q
+            .execute_with(&small, &opts1)
+            .unwrap()
+            .checkpoint()
+            .is_none());
+
+        let db = wide_db(3 * BLOCK_ROWS);
+        // Capture disabled by options.
+        let off = CubeOptions {
+            capture_checkpoints: false,
+            ..opts1
+        };
+        assert!(q.execute_with(&db, &off).unwrap().checkpoint().is_none());
+        // Partitioning disabled: one monolithic range, no span boundary.
+        let mono = CubeOptions {
+            partition_blocks: 0,
+            ..CubeOptions::default()
+        };
+        assert!(q.execute_with(&db, &mono).unwrap().checkpoint().is_none());
+        // Compatibility is keyed on the scan shape, not the worker count.
+        let r = q.execute_with(&db, &opts1).unwrap();
+        let cp = r.checkpoint().unwrap();
+        assert_eq!(cp.rows(), 3 * BLOCK_ROWS);
+        assert!(cp.compatible(&opts1));
+        assert!(cp.compatible(&CubeOptions {
+            threads: 8,
+            ..opts1
+        }));
+        assert!(!cp.compatible(&CubeOptions {
+            partition_blocks: 2,
+            ..opts1
+        }));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The tentpole invariant: after any sequence of appends, patching a
+        /// checkpointed grid forward is bit-identical to a cold full rescan
+        /// at the same watermark — at every worker count and span — and both
+        /// agree with a naive oracle recomputed from the row generator.
+        #[test]
+        fn incremental_matches_full_rescan(
+            base in 64usize..5000,
+            batches in prop::collection::vec(1usize..1200, 1..4),
+            span_sel in 0usize..2,
+            worker_sel in 0usize..4,
+        ) {
+            let span_blocks = [1usize, 64][span_sel];
+            let threads = [1usize, 2, 4, 8][worker_sel];
+            let options = CubeOptions {
+                partition_blocks: span_blocks,
+                threads,
+                parallel_row_threshold: 1,
+                clamp_to_hardware: false,
+                ..CubeOptions::default()
+            };
+            let mut db = wide_db(base);
+            let q = wide_cube(&db);
+            let mut current = q.execute_with(&db, &options).unwrap();
+            let mut rows_total = base;
+            for batch in batches {
+                let rows: Vec<Vec<Value>> =
+                    (rows_total..rows_total + batch).map(wide_row).collect();
+                rows_total += batch;
+                db.append_rows("events", &rows).unwrap();
+                let cold = q.execute_with(&db, &options).unwrap();
+                let patched = match current.checkpoint() {
+                    Some(cp) => {
+                        let p = execute_patch_in(&db, cp, &options, None).unwrap();
+                        prop_assert_eq!(p.stats.grids_patched, 1);
+                        // The delta never exceeds the appended rows plus one
+                        // (partially re-scanned) span.
+                        prop_assert!(
+                            (p.stats.delta_rows_scanned as usize)
+                                <= batch + span_blocks * BLOCK_ROWS,
+                            "delta {} for batch {} at span {}",
+                            p.stats.delta_rows_scanned, batch, span_blocks
+                        );
+                        p
+                    }
+                    // Below one span no checkpoint exists; re-verify cold.
+                    None => q.execute_with(&db, &options).unwrap(),
+                };
+                prop_assert_eq!(grid_bits(&patched), grid_bits(&cold));
+                // Naive oracle on the exact-integer aggregates of group c1.
+                let c1 = [DimSel::Literal(0)];
+                let count = (0..rows_total).filter(|i| i % 5 == 1).count();
+                prop_assert_eq!(patched.get_count(&c1, 0), count as f64);
+                let sum: i64 = (0..rows_total)
+                    .filter(|&i| i % 5 == 1 && i % 7 != 0)
+                    .map(|i| (i % 101) as i64 - 13)
+                    .sum();
+                prop_assert_eq!(patched.get(&c1, 2), Some(sum as f64));
+                current = patched;
+            }
+        }
     }
 }

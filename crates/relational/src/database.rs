@@ -28,6 +28,12 @@ pub struct Database {
     pub name: String,
     tables: Vec<Table>,
     foreign_keys: Vec<ForeignKey>,
+    /// Structural epoch: bumped by every mutation that can change what an
+    /// already-computed result *means* (adding tables or foreign keys,
+    /// dropping encodings). Cache keys embed it, so a structural mutation
+    /// hard-invalidates every resident grid. Row appends do **not** bump it
+    /// — they move the watermark instead and are patched incrementally.
+    version: u64,
 }
 
 impl Database {
@@ -36,7 +42,21 @@ impl Database {
             name: name.into(),
             tables: Vec::new(),
             foreign_keys: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// Structural epoch of this database (see the field docs).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total visible rows across tables — the database-wide watermark that
+    /// stamps cached grids. Two snapshots with equal `(version, watermark)`
+    /// over the same lineage see identical data.
+    pub fn watermark(&self) -> u64 {
+        self.tables.iter().map(|t| t.visible_rows() as u64).sum()
     }
 
     /// Add a table, returning its index. The table is sealed on the way in
@@ -46,16 +66,36 @@ impl Database {
         let mut table = table;
         table.seal();
         self.tables.push(table);
+        self.version += 1;
         self.tables.len() - 1
     }
 
     /// Drop every table's block encodings, forcing all scans onto the
     /// plain columnar path. For encoded≡plain A/B tests and benches only —
-    /// typically on a `clone()` of the sealed database.
+    /// typically on a `clone()` of the sealed database. Bumps the
+    /// structural version: results computed before the unseal must not be
+    /// served from cache afterwards.
     pub fn unseal_tables(&mut self) {
         for table in &mut self.tables {
             table.unseal();
         }
+        self.version += 1;
+    }
+
+    /// Append rows to the named table ([`Table::append_rows`]): the table
+    /// stays sealed, its watermark advances, and the structural version is
+    /// untouched — cached grids stamped at the old watermark stay valid for
+    /// their row range and are patched forward by scanning only the delta.
+    pub fn append_rows(&mut self, table: &str, rows: &[Vec<crate::value::Value>]) -> Result<usize> {
+        let idx = self
+            .table_index(table)
+            .ok_or_else(|| RelationalError::UnknownTable(table.to_string()))?;
+        self.tables[idx].append_rows(rows)
+    }
+
+    /// Mutable access to a table, for tests that pin watermarks mid-block.
+    pub fn table_mut(&mut self, idx: usize) -> &mut Table {
+        &mut self.tables[idx]
     }
 
     /// Declare a foreign key from `(from_table, from_column)` to the primary
@@ -77,6 +117,7 @@ impl Database {
         check(fk.from_table, fk.from_column)?;
         check(fk.to_table, fk.to_column)?;
         self.foreign_keys.push(fk);
+        self.version += 1;
         Ok(())
     }
 
@@ -298,5 +339,27 @@ mod tests {
     fn total_rows_sums_tables() {
         let db = two_table_db();
         assert_eq!(db.total_rows(), 5);
+    }
+
+    #[test]
+    fn structural_mutations_bump_version_appends_do_not() {
+        let mut db = two_table_db();
+        let v0 = db.version();
+        db.unseal_tables();
+        assert_eq!(db.version(), v0 + 1, "unseal is a structural mutation");
+        let w0 = db.watermark();
+        db.append_rows("suspensions", &[vec![Value::Int(2), "gambling".into()]])
+            .unwrap();
+        assert_eq!(db.version(), v0 + 1, "appends do not bump the version");
+        assert_eq!(db.watermark(), w0 + 1, "appends move the watermark");
+        assert!(db.append_rows("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn watermark_sums_visible_rows() {
+        let mut db = two_table_db();
+        assert_eq!(db.watermark(), 5);
+        db.table_mut(1).set_watermark(1);
+        assert_eq!(db.watermark(), 3);
     }
 }

@@ -110,16 +110,19 @@ enum Rows {
 impl JoinedRelation {
     /// Materialize the join described by `path`.
     pub fn materialize(db: &Database, path: &JoinPath) -> Result<JoinedRelation> {
+        // Relations materialize over *visible* rows only: a table's
+        // watermark pins which rows any scan of this relation can see, so
+        // snapshots taken before an append never observe the new rows.
         if path.tables.len() == 1 {
             return Ok(JoinedRelation {
                 tables: path.tables.clone(),
-                rows: Rows::Identity(db.table(path.tables[0]).row_count()),
+                rows: Rows::Identity(db.table(path.tables[0]).visible_rows()),
             });
         }
         // Start with the first table's rows, then hash-join one edge at a
         // time. `position[t]` is the tuple slot of table `t`.
         let mut position: HashMap<usize, usize> = HashMap::from([(path.tables[0], 0)]);
-        let mut tuples: Vec<Vec<u32>> = (0..db.table(path.tables[0]).row_count())
+        let mut tuples: Vec<Vec<u32>> = (0..db.table(path.tables[0]).visible_rows())
             .map(|r| vec![r as u32])
             .collect();
         for (i, fk) in path.edges.iter().enumerate() {
@@ -134,7 +137,7 @@ impl JoinedRelation {
             // Build hash table over the new table's join column.
             let new_col = db.table(new_table).column(new_c);
             let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
-            for row in 0..db.table(new_table).row_count() {
+            for row in 0..db.table(new_table).visible_rows() {
                 if let Some(code) = join_key(db, new_table, new_c, row) {
                     index.entry(code).or_default().push(row as u32);
                 }

@@ -27,6 +27,7 @@ use crate::query::{AggColumn, AggFunction, SimpleAggregateQuery};
 use crate::schedule::{run_requests, TaskBundling, WaveExec, WaveRequest};
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How one input query reads its result out of its cube.
 #[derive(Debug, Clone)]
@@ -172,7 +173,7 @@ impl MergePlan {
     }
 
     /// Execute without caching. Returns one result per input query.
-    pub fn execute(&self, db: &Database) -> Result<(Vec<Option<f64>>, MergeStats)> {
+    pub fn execute(&self, db: &Arc<Database>) -> Result<(Vec<Option<f64>>, MergeStats)> {
         self.execute_inner(db, None, 1)
     }
 
@@ -183,7 +184,7 @@ impl MergePlan {
     /// executing a duplicate cube.
     pub fn execute_cached(
         &self,
-        db: &Database,
+        db: &Arc<Database>,
         cache: &EvalCache,
     ) -> Result<(Vec<Option<f64>>, MergeStats)> {
         self.execute_inner(db, Some(cache), 1)
@@ -193,7 +194,7 @@ impl MergePlan {
     /// spread over up to `threads` scoped workers.
     pub fn execute_cached_with(
         &self,
-        db: &Database,
+        db: &Arc<Database>,
         cache: &EvalCache,
         threads: usize,
     ) -> Result<(Vec<Option<f64>>, MergeStats)> {
@@ -202,7 +203,7 @@ impl MergePlan {
 
     fn execute_inner(
         &self,
-        db: &Database,
+        db: &Arc<Database>,
         cache: Option<&EvalCache>,
         threads: usize,
     ) -> Result<(Vec<Option<f64>>, MergeStats)> {
@@ -282,7 +283,7 @@ mod tests {
     use crate::query::Predicate;
     use crate::table::Table;
 
-    fn nfl() -> Database {
+    fn nfl() -> Arc<Database> {
         let t = Table::from_columns(
             "nflsuspensions",
             vec![
@@ -324,7 +325,7 @@ mod tests {
         .unwrap();
         let mut db = Database::new("nfl");
         db.add_table(t);
-        db
+        Arc::new(db)
     }
 
     fn candidate_batch(db: &Database) -> Vec<SimpleAggregateQuery> {

@@ -88,6 +88,30 @@
 //! that will never fill — and re-raises on its own thread; remaining
 //! subtasks of the dead pass drain as no-ops.
 //!
+//! # Snapshot pinning & patch passes
+//!
+//! Every queued work item embeds the `Arc<Database>` snapshot its wave was
+//! planned against, and executes against exactly that snapshot — never
+//! against whatever database the executing worker happens to hold. A
+//! long-lived worker pool can therefore drain passes of documents pinned
+//! at *different* watermarks (a streaming service that appends rows
+//! between documents) without any pass reading rows its wave never
+//! claimed: the wave's cache stamps `(version, watermark)` and its scans
+//! are taken from the same pinned snapshot.
+//!
+//! When a wave's probe finds a **stale** resident grid whose cube captured
+//! a [`ScanCheckpoint`], the won flight carries it as a patch base and the
+//! miss executes as a **patch pass**
+//! ([`crate::cube::execute_patches_in`]): clone the checkpointed prefix
+//! folds, scan only the appended partitions, publish at the new watermark.
+//! Patch passes fuse with each other — same table scope, same checkpoint
+//! prefix shape — so a wave whose stale grids all resume from one boundary
+//! scans the appended tail once; they are never fused with cold scans and
+//! never exploded into partition subtasks (the delta is small by
+//! construction), and they publish through the same single-flight
+//! protocol, so concurrent re-verifies dedup patch work exactly like full
+//! scans.
+//!
 //! # Deadlock freedom
 //!
 //! The submit protocol is: probe the cache (claiming flights), submit every
@@ -104,8 +128,9 @@ use crate::cache::{
     CacheKey, CachedSlice, EvalCache, Flight, FlightGuard, FlightRequest, FlightWaiter,
 };
 use crate::cube::{
-    execute_fused_in, merge_fused_partitions, scan_fused_partition, validate_fused, CubeOptions,
-    CubeQuery, CubeResult, GridArena, PartitionGrids,
+    execute_fused_in, execute_patches_in, merge_fused_partitions, patchable_function,
+    scan_fused_partition, validate_fused, CubeOptions, CubeQuery, CubeResult, GridArena,
+    PartitionGrids, ScanCheckpoint,
 };
 use crate::database::{ColumnRef, Database};
 use crate::error::{RelationalError, Result};
@@ -138,6 +163,11 @@ pub struct CubeTask {
     /// `(aggregate position, function, guard)` per single-flight key this
     /// task won; empty when evaluation runs uncached.
     publish: Vec<(usize, AggFunction, FlightGuard)>,
+    /// A stale resident grid's checkpoint this task resumes from instead
+    /// of cold-scanning (`Some` makes this a patch pass: always a
+    /// singleton, never fused or exploded). The task's `cube` is the
+    /// checkpoint's cube, so publish positions index its aggregate set.
+    patch: Option<Arc<ScanCheckpoint>>,
     cell: Arc<TaskCell>,
 }
 
@@ -191,20 +221,37 @@ impl CubeTask {
             CubeTask {
                 cube,
                 publish,
+                patch: None,
                 cell: cell.clone(),
             },
             TaskHandle { cell },
         )
     }
 
-    /// Settle with a finished result: publish every won flight first.
-    fn complete(self, result: CubeResult) {
+    /// A patch pass: resume `checkpoint`'s fold over just the appended
+    /// rows instead of cold-scanning. `cube` must be the checkpoint's cube
+    /// (the patched result carries its aggregate set), and the guards'
+    /// positions index into it.
+    pub fn patched(
+        cube: CubeQuery,
+        publish: Vec<(usize, AggFunction, FlightGuard)>,
+        checkpoint: Arc<ScanCheckpoint>,
+    ) -> (CubeTask, TaskHandle) {
+        let (mut task, handle) = CubeTask::new(cube, publish);
+        task.patch = Some(checkpoint);
+        (task, handle)
+    }
+
+    /// Settle with a finished result: publish every won flight first,
+    /// stamped at `rows` — the snapshot watermark the wave probed at.
+    fn complete(self, result: CubeResult, rows: u64) {
         let result = Arc::new(result);
         for (pos, function, guard) in self.publish {
             guard.fulfill(crate::cache::CachedSlice::new(
                 result.clone(),
                 pos,
                 function,
+                rows,
             ));
         }
         *lock(&self.cell.state) = TaskState::Done(result);
@@ -232,6 +279,16 @@ pub struct ScanGroup {
     partition_blocks: usize,
 }
 
+/// The pass-formation key of one task: its table scope, plus — for patch
+/// tasks — the checkpoint's prefix shape ([`ScanCheckpoint::fuse_identity`]).
+/// Patches therefore fuse only with patches resuming from the very same
+/// boundary/span/cap, and never with cold members (a cold member fused
+/// into a patch pass would see a truncated relation; a mismatched patch
+/// would merge the wrong tail). Within those bounds patches fuse like any
+/// other task: a wave whose stale grids all resume from one boundary
+/// scans the appended tail once, not once per grid.
+type FusionKey = (Vec<usize>, Option<(usize, usize, usize)>);
+
 /// Partition `tasks` into fusion groups: `(table scope, member indices)`
 /// in first-seen scope order, members in submission order. With `fuse`
 /// off every task is its own singleton group (the unfused PR 3 shape).
@@ -240,15 +297,21 @@ pub struct ScanGroup {
 /// documented invariants cannot silently diverge between the test surface
 /// and the production path.
 fn fusion_partition(tasks: &[CubeTask], fuse: bool) -> Vec<(Vec<usize>, Vec<usize>)> {
-    let mut partition: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    let mut partition: Vec<(FusionKey, Vec<usize>)> = Vec::new();
     for (i, task) in tasks.iter().enumerate() {
-        let scope = task.cube.tables_referenced();
-        match partition.iter_mut().find(|(s, _)| fuse && *s == scope) {
+        let key = (
+            task.cube.tables_referenced(),
+            task.patch.as_ref().map(|cp| cp.fuse_identity()),
+        );
+        match partition.iter_mut().find(|(k, _)| fuse && *k == key) {
             Some((_, members)) => members.push(i),
-            None => partition.push((scope, vec![i])),
+            None => partition.push((key, vec![i])),
         }
     }
     partition
+        .into_iter()
+        .map(|((scope, _), members)| (scope, members))
+        .collect()
 }
 
 impl ScanGroup {
@@ -312,6 +375,7 @@ impl ScanGroup {
         db: &Database,
         arena: Option<&GridArena>,
     ) -> Option<Box<dyn std::any::Any + Send>> {
+        let rows = db.watermark();
         let mut valid: Vec<CubeTask> = Vec::with_capacity(self.members.len());
         for task in self.members {
             match task.cube.validate() {
@@ -326,6 +390,50 @@ impl ScanGroup {
             partition_blocks: self.partition_blocks,
             ..CubeOptions::default()
         };
+        if valid[0].patch.is_some() {
+            // Patch pass: resume every member's checkpointed fold over the
+            // appended partitions in one tail scan (falls back to a fused
+            // cold scan inside `execute_patches_in` if the checkpoints no
+            // longer apply). Fusion keyed the group by checkpoint prefix
+            // shape, so the members are homogeneous by construction.
+            debug_assert!(
+                valid.iter().all(|t| t.patch.is_some()),
+                "patch passes never mix with cold members"
+            );
+            let checkpoints: Vec<Arc<ScanCheckpoint>> = valid
+                .iter()
+                .map(|t| t.patch.clone().expect("checked above"))
+                .collect();
+            let refs: Vec<&ScanCheckpoint> = checkpoints.iter().map(Arc::as_ref).collect();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_patches_in(db, &refs, &options, arena)
+            }));
+            return match outcome {
+                Ok(Ok(results)) => {
+                    for (task, result) in valid.into_iter().zip(results) {
+                        task.complete(result, rows);
+                    }
+                    None
+                }
+                Ok(Err(e)) => {
+                    for task in valid {
+                        task.fail(e.clone());
+                    }
+                    None
+                }
+                Err(payload) => {
+                    let e = RelationalError::Execution("patch pass panicked mid-execution".into());
+                    for task in valid {
+                        task.fail(e.clone());
+                    }
+                    Some(payload)
+                }
+            };
+        }
+        debug_assert!(
+            valid.iter().all(|t| t.patch.is_none()),
+            "patch passes never mix with cold members"
+        );
         let cubes: Vec<&CubeQuery> = valid.iter().map(|t| &t.cube).collect();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_fused_in(db, &cubes, &options, arena)
@@ -333,7 +441,7 @@ impl ScanGroup {
         match outcome {
             Ok(Ok(results)) => {
                 for (task, result) in valid.into_iter().zip(results) {
-                    task.complete(result);
+                    task.complete(result, rows);
                 }
                 None
             }
@@ -355,9 +463,12 @@ impl ScanGroup {
 }
 
 /// One unit of queued scheduler work: a whole fused pass, or one
-/// partition subtask of an exploded pass.
+/// partition subtask of an exploded pass. Each item pins the database
+/// snapshot its wave was planned against, so a shared worker pool can
+/// drain passes of waves pinned at different watermarks without any pass
+/// reading rows its wave never claimed.
 enum WorkItem {
-    Pass(ScanGroup),
+    Pass { group: ScanGroup, db: Arc<Database> },
     Part { job: Arc<PartitionJob>, idx: usize },
 }
 
@@ -367,6 +478,9 @@ enum WorkItem {
 /// members immediately — no hung merge barrier) or the last successful
 /// one (ascending-order merge).
 struct PartitionJob {
+    /// The snapshot this pass's wave was planned against; every subtask
+    /// scans it, whatever database the stealing worker otherwise serves.
+    db: Arc<Database>,
     /// Owned clones of the member cubes, in member (task-submission)
     /// order; subtasks need them while the tasks sit in the mutex.
     cubes: Vec<CubeQuery>,
@@ -401,9 +515,9 @@ impl PartitionJob {
     fn run_subtask(
         self: &Arc<Self>,
         idx: usize,
-        db: &Database,
         arena: Option<&GridArena>,
     ) -> Option<Box<dyn std::any::Any + Send>> {
+        let db: &Database = &self.db;
         if lock(&self.state).failed {
             return None; // a sibling already failed the whole pass
         }
@@ -474,8 +588,9 @@ impl PartitionJob {
         }));
         match merged {
             Ok(results) => {
+                let rows = db.watermark();
                 for (task, result) in tasks.into_iter().zip(results) {
-                    task.complete(result);
+                    task.complete(result, rows);
                 }
                 None
             }
@@ -535,23 +650,31 @@ impl CubeScheduler {
         CubeScheduler::default()
     }
 
-    /// Enqueue a wave of fused scan groups and wake every worker.
-    pub fn submit(&self, groups: Vec<ScanGroup>) {
+    /// Enqueue a wave of fused scan groups, each pinned to `db` — the
+    /// snapshot the wave was planned (and its cache stamps taken) against
+    /// — and wake every worker.
+    pub fn submit(&self, db: &Arc<Database>, groups: Vec<ScanGroup>) {
         if groups.is_empty() {
             return;
         }
         {
             let mut state = lock(&self.state);
             debug_assert!(!state.closed, "submit after close");
-            state.queue.extend(groups.into_iter().map(WorkItem::Pass));
+            state
+                .queue
+                .extend(groups.into_iter().map(|group| WorkItem::Pass {
+                    group,
+                    db: db.clone(),
+                }));
         }
         self.cv.notify_all();
     }
 
-    /// Execute queued passes — anyone's, not just the caller's — until
-    /// every handle in `waiting` has settled. With no other workers this
-    /// is exact sequential execution by the caller.
-    pub fn drive(&self, db: &Database, arena: Option<&GridArena>, waiting: &[TaskHandle]) {
+    /// Execute queued passes — anyone's, not just the caller's, each
+    /// against its own pinned snapshot — until every handle in `waiting`
+    /// has settled. With no other workers this is exact sequential
+    /// execution by the caller.
+    pub fn drive(&self, arena: Option<&GridArena>, waiting: &[TaskHandle]) {
         loop {
             let item = {
                 let mut state = lock(&self.state);
@@ -570,14 +693,14 @@ impl CubeScheduler {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            self.run_item(item, db, arena);
+            self.run_item(item, arena);
         }
     }
 
     /// Helper loop for workers with no document of their own: execute
     /// passes until the scheduler is closed and drained.
-    pub fn run_worker(&self, db: &Database, arena: Option<&GridArena>) {
-        self.help_until(db, arena, || false);
+    pub fn run_worker(&self, arena: Option<&GridArena>) {
+        self.help_until(arena, || false);
     }
 
     /// Helper loop for an **open-ended** stream of waves: execute queued
@@ -593,7 +716,7 @@ impl CubeScheduler {
     /// in the intake queue. `recall` is evaluated under the scheduler
     /// lock, so a kick issued after a state change can never be lost
     /// between the predicate check and the wait.
-    pub fn help_until(&self, db: &Database, arena: Option<&GridArena>, recall: impl Fn() -> bool) {
+    pub fn help_until(&self, arena: Option<&GridArena>, recall: impl Fn() -> bool) {
         loop {
             let item = {
                 let mut state = lock(&self.state);
@@ -610,7 +733,7 @@ impl CubeScheduler {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            self.run_item(item, db, arena);
+            self.run_item(item, arena);
         }
     }
 
@@ -629,15 +752,15 @@ impl CubeScheduler {
         self.cv.notify_all();
     }
 
-    fn run_item(&self, item: WorkItem, db: &Database, arena: Option<&GridArena>) {
+    fn run_item(&self, item: WorkItem, arena: Option<&GridArena>) {
         let payload = match item {
-            WorkItem::Pass(group) => match self.try_fan_out(group, db) {
+            WorkItem::Pass { group, db } => match self.try_fan_out(group, &db) {
                 // Exploded: the subtasks are queued; this worker loops
                 // around and starts stealing them like everyone else.
                 None => None,
-                Some(group) => group.execute(db, arena),
+                Some(group) => group.execute(&db, arena),
             },
-            WorkItem::Part { job, idx } => job.run_subtask(idx, db, arena),
+            WorkItem::Part { job, idx } => job.run_subtask(idx, arena),
         };
         // Touch the scheduler lock before notifying so a driver cannot
         // check its handles, miss this completion, and sleep through the
@@ -658,7 +781,7 @@ impl CubeScheduler {
     /// Ineligible passes come back to run in-process — which partitions
     /// internally through the same driver, so eligibility affects only
     /// *who* scans, never any result or partition counter.
-    fn try_fan_out(&self, group: ScanGroup, db: &Database) -> Option<ScanGroup> {
+    fn try_fan_out(&self, group: ScanGroup, db: &Arc<Database>) -> Option<ScanGroup> {
         match Self::explode(group, db) {
             Err(group) => Some(group),
             Ok(parts) => {
@@ -681,12 +804,19 @@ impl CubeScheduler {
 
     /// Split one pass into its partition subtask items (ascending index
     /// order), or give the group back if it isn't eligible. Eligible
-    /// means: partitioning on, a single-table identity scope (subtasks
-    /// rebuild the relation for pennies; a materialized join would be
-    /// rebuilt once per subtask), valid members, and at least two
-    /// partitions.
-    fn explode(group: ScanGroup, db: &Database) -> std::result::Result<Vec<WorkItem>, ScanGroup> {
+    /// means: partitioning on, not a patch pass (the delta is small by
+    /// construction and must fold onto the checkpointed prefix
+    /// sequentially), a single-table identity scope (subtasks rebuild the
+    /// relation for pennies; a materialized join would be rebuilt once per
+    /// subtask), valid members, and at least two partitions.
+    fn explode(
+        group: ScanGroup,
+        db: &Arc<Database>,
+    ) -> std::result::Result<Vec<WorkItem>, ScanGroup> {
         if group.partition_blocks == 0 || group.members.is_empty() {
+            return Err(group);
+        }
+        if group.members.iter().any(|t| t.patch.is_some()) {
             return Err(group);
         }
         let scope = group.members[0].cube.tables_referenced();
@@ -711,6 +841,7 @@ impl CubeScheduler {
         }
         let slots = ranges.iter().map(|_| None).collect();
         let job = Arc::new(PartitionJob {
+            db: db.clone(),
             cubes: group.members.iter().map(|t| t.cube.clone()).collect(),
             scope,
             ranges,
@@ -738,7 +869,7 @@ impl CubeScheduler {
     /// and return the resulting work-item count. Only sound while the
     /// caller still owns the scheduler exclusively (no workers spawned
     /// yet): the queue is drained and rebuilt non-atomically.
-    fn fan_out_queued(&self, db: &Database) -> usize {
+    fn fan_out_queued(&self) -> usize {
         let items: Vec<WorkItem> = {
             let mut state = lock(&self.state);
             state.queue.drain(..).collect()
@@ -746,9 +877,9 @@ impl CubeScheduler {
         let mut out = VecDeque::with_capacity(items.len());
         for item in items {
             match item {
-                WorkItem::Pass(group) => match Self::explode(group, db) {
+                WorkItem::Pass { group, db } => match Self::explode(group, &db) {
                     Ok(parts) => out.extend(parts),
-                    Err(group) => out.push_back(WorkItem::Pass(group)),
+                    Err(group) => out.push_back(WorkItem::Pass { group, db }),
                 },
                 part => out.push_back(part),
             }
@@ -770,7 +901,7 @@ impl CubeScheduler {
 /// on the stack. Used by solo (non-batched) evaluation, where no
 /// long-lived scheduler exists.
 pub fn run_wave(
-    db: &Database,
+    db: &Arc<Database>,
     arena: Option<&GridArena>,
     groups: Vec<ScanGroup>,
     handles: &[TaskHandle],
@@ -780,25 +911,25 @@ pub fn run_wave(
         return;
     }
     let scheduler = CubeScheduler::new();
-    scheduler.submit(groups);
+    scheduler.submit(db, groups);
     // Pre-explode eligible passes into partition subtasks *before* closing
     // and sizing the pool: once the queue is closed, a helper that finds
     // it momentarily empty exits for good, so a single fused pass over a
     // large table must already be split when the helpers first look — and
     // the helper count must reflect subtasks, not whole passes.
-    let items = scheduler.fan_out_queued(db);
+    let items = scheduler.fan_out_queued();
     let helpers = threads.max(1).min(items.max(1)) - 1;
     scheduler.close();
     if helpers == 0 {
-        scheduler.drive(db, arena, handles);
+        scheduler.drive(arena, handles);
         return;
     }
     std::thread::scope(|scope| {
         for _ in 0..helpers {
             let scheduler = &scheduler;
-            scope.spawn(move || scheduler.run_worker(db, arena));
+            scope.spawn(move || scheduler.run_worker(arena));
         }
-        scheduler.drive(db, arena, handles);
+        scheduler.drive(arena, handles);
     });
 }
 
@@ -906,6 +1037,14 @@ pub struct WaveStats {
     /// Max distinct workers observed on any one partitioned pass — a
     /// gauge, the only counter here that may legitimately vary run to run.
     pub partition_parallelism: u32,
+    /// Cached grids patched forward from a checkpoint over just the
+    /// appended rows ([`crate::cube::execute_patch_in`]) instead of
+    /// cold-rescanning the corpus — one per patch pass.
+    pub grids_patched: u64,
+    /// Appended-tail rows scanned by those patch passes. The savings claim
+    /// of incremental re-verification is `delta_rows_scanned` versus the
+    /// full-corpus rows a cold rescan would have read.
+    pub delta_rows_scanned: u64,
 }
 
 /// One wave's finished slices: `slices[request][aggregate]`, aligned with
@@ -954,11 +1093,16 @@ enum Slot {
 /// the probe/bundle/wave/collect protocol; `core::evaluate` and
 /// `crate::merge` both consume it.
 pub fn run_requests(
-    db: &Database,
+    db: &Arc<Database>,
     exec: &WaveExec<'_>,
     requests: &[WaveRequest<'_>],
 ) -> Result<WaveOutcome> {
     let mut stats = WaveStats::default();
+    // The wave's snapshot stamps: keys embed the structural version (a
+    // mutation makes every older entry unreachable), probes and publishes
+    // match on the watermark exactly.
+    let version = db.version();
+    let rows = db.watermark();
 
     // ---- Phase 1: one atomic probe for the whole wave. No blocking here
     // — waits are consumed only after our tasks are submitted, so
@@ -980,7 +1124,7 @@ pub fn run_requests(
                 .map(|r| {
                     r.aggs
                         .iter()
-                        .map(|&(f, c)| CacheKey::new(f, c, r.dims.to_vec()))
+                        .map(|&(f, c)| CacheKey::new(f, c, r.dims.to_vec(), version))
                         .collect()
                 })
                 .collect();
@@ -990,6 +1134,7 @@ pub fn run_requests(
                 .map(|(r, keys)| FlightRequest {
                     keys,
                     needed: r.relevant,
+                    rows,
                 })
                 .collect();
             for (request_slots, flights) in slots
@@ -1030,15 +1175,65 @@ pub fn run_requests(
             stats.groups_fully_served += 1;
             continue;
         }
-        let mut bundles: Vec<(AggColumn, Vec<MissingAgg>)> = Vec::new();
+        // Bundles are keyed by (column, patch class): aggregates whose
+        // fold is resumable from a checkpoint (`patchable_function`) never
+        // share a cube with set/list-state aggregates (`CountDistinct`,
+        // `Median`), whose presence would make the whole cube ineligible
+        // for checkpoint capture. The split never changes pass formation —
+        // both bundles share the request's table scope, so fusion folds
+        // them into the same physical row pass.
+        let mut bundles: Vec<((AggColumn, bool), Vec<MissingAgg>)> = Vec::new();
+        // Guards that found a patch base become patch passes instead of
+        // cold-scan bundles, grouped by the checkpoint they resume from:
+        // keys whose stale slices share one underlying cube patch it once.
+        type PatchMember = (usize, usize, FlightGuard);
+        let mut patches: Vec<(Arc<ScanCheckpoint>, Vec<PatchMember>)> = Vec::new();
         for entry in request_missing {
+            let patched = entry.1.as_ref().and_then(|g| {
+                let cp = g.patch_base()?.clone();
+                let (f, c) = request.aggs[entry.0];
+                // The base came from a stale slice under this very key, so
+                // the position lookup always succeeds — but fall back to a
+                // cold bundle rather than trust that invariant blindly.
+                let pos = cp
+                    .cube()
+                    .aggregates
+                    .iter()
+                    .position(|&(ff, cc)| ff == f && cc == c)?;
+                Some((cp, pos))
+            });
+            if let Some((cp, pos)) = patched {
+                let guard = entry.1.expect("patch bases only come from guards");
+                match patches.iter_mut().find(|(c, _)| Arc::ptr_eq(c, &cp)) {
+                    Some((_, members)) => members.push((entry.0, pos, guard)),
+                    None => patches.push((cp, vec![(entry.0, pos, guard)])),
+                }
+                continue;
+            }
             let col = match exec.bundling {
                 TaskBundling::Wave => AggColumn::Star,
                 TaskBundling::Canonical => request.aggs[entry.0].1,
             };
-            match bundles.iter_mut().find(|(c, _)| *c == col) {
+            let class = (col, patchable_function(request.aggs[entry.0].0));
+            match bundles.iter_mut().find(|(c, _)| *c == class) {
                 Some((_, members)) => members.push(entry),
-                None => bundles.push((col, vec![entry])),
+                None => bundles.push((class, vec![entry])),
+            }
+        }
+        for (checkpoint, members) in patches {
+            let cube = checkpoint.cube().clone();
+            let mut publish = Vec::with_capacity(members.len());
+            let mut served: Vec<(usize, usize)> = Vec::with_capacity(members.len());
+            for (i, pos, guard) in members {
+                publish.push((pos, request.aggs[i].0, guard));
+                served.push((i, pos));
+            }
+            let (task, handle) = CubeTask::patched(cube, publish, checkpoint);
+            let task_idx = tasks.len();
+            tasks.push(task);
+            handles.push(handle);
+            for (i, pos) in served {
+                request_slots[i] = Some(Slot::FromTask(task_idx, pos));
             }
         }
         for (_, mut members) in bundles {
@@ -1072,8 +1267,8 @@ pub fn run_requests(
     }
     match exec.scheduler {
         Some(scheduler) if !groups.is_empty() => {
-            scheduler.submit(groups);
-            scheduler.drive(db, exec.arena, &handles);
+            scheduler.submit(db, groups);
+            scheduler.drive(exec.arena, &handles);
         }
         _ => run_wave(db, exec.arena, groups, &handles, exec.threads),
     }
@@ -1094,14 +1289,17 @@ pub fn run_requests(
         stats.partition_parallelism = stats
             .partition_parallelism
             .max(result.stats.partition_parallelism);
+        stats.grids_patched += result.stats.grids_patched;
         task_results.push(result);
     }
     for (_, members) in &pass_members {
         stats.scan_passes += 1;
         // Every member of a pass scans the same relation (and the same
-        // partitions of it); charge rows and partitions once per pass.
+        // partitions of it); charge rows and partitions — and for patch
+        // passes the shared appended tail — once per pass.
         stats.rows_scanned += task_results[members[0]].stats.rows_scanned;
         stats.partitions_scanned += task_results[members[0]].stats.partitions_scanned;
+        stats.delta_rows_scanned += task_results[members[0]].stats.delta_rows_scanned;
     }
     let mut resolved: Vec<Vec<CachedSlice>> = Vec::with_capacity(requests.len());
     for (request, request_slots) in requests.iter().zip(slots) {
@@ -1110,7 +1308,7 @@ pub fn run_requests(
             let slice = match slot.expect("slot filled") {
                 Slot::Ready(s) => s,
                 Slot::FromTask(task_idx, pos) => {
-                    CachedSlice::new(task_results[task_idx].clone(), pos, request.aggs[i].0)
+                    CachedSlice::new(task_results[task_idx].clone(), pos, request.aggs[i].0, rows)
                 }
                 Slot::Waiting(w) => resolve_wait(db, exec, request, i, w, &mut stats)?,
             };
@@ -1137,7 +1335,7 @@ pub const MAX_POISON_RETRIES: u64 = 8;
 /// on poison, re-probe (bounded by [`MAX_POISON_RETRIES`]) and compute
 /// inline if the retry wins the guard.
 fn resolve_wait(
-    db: &Database,
+    db: &Arc<Database>,
     exec: &WaveExec<'_>,
     request: &WaveRequest<'_>,
     agg_idx: usize,
@@ -1150,7 +1348,8 @@ fn resolve_wait(
             return Ok(slice);
         }
         let (f, c) = request.aggs[agg_idx];
-        let key = CacheKey::new(f, c, request.dims.to_vec());
+        let key = CacheKey::new(f, c, request.dims.to_vec(), db.version());
+        let rows = db.watermark();
         let cache = exec.cache.expect("waits only exist with a cache");
         retries += 1;
         stats.poison_retries += 1;
@@ -1161,7 +1360,7 @@ fn resolve_wait(
                  retry budget exhausted"
             )));
         }
-        match cache.flight(&key, request.relevant) {
+        match cache.flight(&key, request.relevant, rows) {
             Flight::Hit(s) => return Ok(s),
             Flight::Wait(w) => {
                 // Still deduped — just joining the taker-over's flight.
@@ -1174,12 +1373,33 @@ fn resolve_wait(
                 // after all, so move it back across the ledger before
                 // counting the execution.
                 stats.key_waits -= 1;
-                let cube = CubeQuery {
-                    dims: request.dims.to_vec(),
-                    relevant: request.relevant.to_vec(),
-                    aggregates: vec![request.aggs[agg_idx]],
+                // A retry won after an append may find a patch base the
+                // original probe did not; the inline takeover patches
+                // exactly like a first-probe win would.
+                let patched = guard.patch_base().and_then(|cp| {
+                    let pos = cp
+                        .cube()
+                        .aggregates
+                        .iter()
+                        .position(|&(ff, cc)| ff == f && cc == c)?;
+                    Some((cp.clone(), pos))
+                });
+                let (task, handle, pos) = match patched {
+                    Some((cp, pos)) => {
+                        let (task, handle) =
+                            CubeTask::patched(cp.cube().clone(), vec![(pos, f, guard)], cp);
+                        (task, handle, pos)
+                    }
+                    None => {
+                        let cube = CubeQuery {
+                            dims: request.dims.to_vec(),
+                            relevant: request.relevant.to_vec(),
+                            aggregates: vec![request.aggs[agg_idx]],
+                        };
+                        let (task, handle) = CubeTask::new(cube, vec![(0, f, guard)]);
+                        (task, handle, 0)
+                    }
                 };
-                let (task, handle) = CubeTask::new(cube, vec![(0, f, guard)]);
                 let mut groups = ScanGroup::singletons(vec![task]);
                 for group in &mut groups {
                     // Same span as the wave's own passes: the retried key's
@@ -1200,7 +1420,9 @@ fn resolve_wait(
                 stats.partition_parallelism = stats
                     .partition_parallelism
                     .max(result.stats.partition_parallelism);
-                return Ok(CachedSlice::new(result, 0, f));
+                stats.grids_patched += result.stats.grids_patched;
+                stats.delta_rows_scanned += result.stats.delta_rows_scanned;
+                return Ok(CachedSlice::new(result, pos, f, rows));
             }
         }
     }
@@ -1215,7 +1437,7 @@ mod tests {
     use crate::table::Table;
     use crate::value::Value;
 
-    fn db() -> Database {
+    fn db() -> Arc<Database> {
         let t = Table::from_columns(
             "t",
             vec![("cat", vec!["a".into(), "a".into(), "b".into(), "c".into()])],
@@ -1223,7 +1445,7 @@ mod tests {
         .unwrap();
         let mut db = Database::new("d");
         db.add_table(t);
-        db
+        Arc::new(db)
     }
 
     fn count_cube(db: &Database, literals: Vec<Value>) -> CubeQuery {
@@ -1275,13 +1497,14 @@ mod tests {
             AggFunction::Percentage,
             AggColumn::Star,
             vec![ColumnRef::new(0, 0)],
+            0,
         );
         let needed = vec![vec![Value::from("a")]];
-        let guard = match cache.flight(&key, &needed) {
+        let guard = match cache.flight(&key, &needed, db.watermark()) {
             Flight::Compute(g) => g,
             other => panic!("expected Compute, got {other:?}"),
         };
-        let waiter = match cache.flight(&key, &needed) {
+        let waiter = match cache.flight(&key, &needed, db.watermark()) {
             Flight::Wait(w) => w,
             other => panic!("expected Wait, got {other:?}"),
         };
@@ -1320,19 +1543,21 @@ mod tests {
         let t = Table::from_columns("t", vec![("cat", cats)]).unwrap();
         let mut db = Database::new("d");
         db.add_table(t);
+        let db = Arc::new(db);
 
         let cache = EvalCache::new();
         let key = CacheKey::new(
             AggFunction::Count,
             AggColumn::Star,
             vec![ColumnRef::new(0, 0)],
+            0,
         );
         let needed = vec![vec![Value::from("a")]];
-        let guard = match cache.flight(&key, &needed) {
+        let guard = match cache.flight(&key, &needed, db.watermark()) {
             Flight::Compute(g) => g,
             other => panic!("expected Compute, got {other:?}"),
         };
-        let waiter = match cache.flight(&key, &needed) {
+        let waiter = match cache.flight(&key, &needed, db.watermark()) {
             Flight::Wait(w) => w,
             other => panic!("expected Wait, got {other:?}"),
         };
@@ -1385,9 +1610,9 @@ mod tests {
         let (task, handle) = CubeTask::new(count_cube(&db, vec!["a".into()]), Vec::new());
         std::thread::scope(|scope| {
             let (scheduler, db) = (&scheduler, &db);
-            let worker = scope.spawn(move || scheduler.run_worker(db, None));
-            scheduler.submit(ScanGroup::singletons(vec![task]));
-            scheduler.drive(db, None, std::slice::from_ref(&handle));
+            let worker = scope.spawn(move || scheduler.run_worker(None));
+            scheduler.submit(db, ScanGroup::singletons(vec![task]));
+            scheduler.drive(None, std::slice::from_ref(&handle));
             scheduler.close();
             worker.join().unwrap();
         });
@@ -1410,13 +1635,13 @@ mod tests {
         let scheduler = CubeScheduler::new();
         let recall = AtomicBool::new(false);
         let (task, handle) = CubeTask::new(count_cube(&db, vec!["a".into()]), Vec::new());
-        scheduler.submit(ScanGroup::singletons(vec![task]));
+        scheduler.submit(&db, ScanGroup::singletons(vec![task]));
         std::thread::scope(|scope| {
-            let (scheduler, db, recall) = (&scheduler, &db, &recall);
-            let helper = scope
-                .spawn(move || scheduler.help_until(db, None, || recall.load(Ordering::Acquire)));
+            let (scheduler, recall) = (&scheduler, &recall);
+            let helper =
+                scope.spawn(move || scheduler.help_until(None, || recall.load(Ordering::Acquire)));
             // The queued pass is executed even though recall is false.
-            scheduler.drive(db, None, std::slice::from_ref(&handle));
+            scheduler.drive(None, std::slice::from_ref(&handle));
             assert!(handle.is_done());
             // The helper is now parked on an empty queue; recall it.
             recall.store(true, Ordering::Release);
@@ -1432,8 +1657,8 @@ mod tests {
         );
         // The scheduler was never closed: new submissions still run.
         let (task, handle) = CubeTask::new(count_cube(&db, vec!["b".into()]), Vec::new());
-        scheduler.submit(ScanGroup::singletons(vec![task]));
-        scheduler.drive(&db, None, std::slice::from_ref(&handle));
+        scheduler.submit(&db, ScanGroup::singletons(vec![task]));
+        scheduler.drive(None, std::slice::from_ref(&handle));
         assert!(handle.is_done());
     }
 
@@ -1444,14 +1669,13 @@ mod tests {
     #[test]
     fn help_until_kick_has_no_lost_wakeup() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let db = db();
         let scheduler = CubeScheduler::new();
         let epoch = AtomicUsize::new(0);
         for round in 1..=50usize {
             std::thread::scope(|scope| {
-                let (scheduler, db, epoch) = (&scheduler, &db, &epoch);
+                let (scheduler, epoch) = (&scheduler, &epoch);
                 let helper = scope.spawn(move || {
-                    scheduler.help_until(db, None, || epoch.load(Ordering::Acquire) >= round)
+                    scheduler.help_until(None, || epoch.load(Ordering::Acquire) >= round)
                 });
                 epoch.store(round, Ordering::Release);
                 scheduler.kick();
@@ -1515,6 +1739,69 @@ mod tests {
             second.slices[1][0].lookup(&[None]),
             first.slices[1][0].lookup(&[None])
         );
+    }
+
+    /// The delta-aware re-verify path end to end: a wave at a newer
+    /// watermark never hits the stale grid, wins the flight with a patch
+    /// base, executes ONE patch pass over just the appended partitions,
+    /// and publishes at the new stamp — with values identical to a cold
+    /// rescan of the whole table.
+    #[test]
+    fn run_requests_patches_stale_grids_after_appends() {
+        use crate::block::BLOCK_ROWS;
+        let n1 = 2 * BLOCK_ROWS + 100;
+        let cats: Vec<Value> = (0..n1).map(|i| ["a", "b"][i % 2].into()).collect();
+        let t = Table::from_columns("t", vec![("cat", cats)]).unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t);
+        let cat = db.resolve("t", "cat").unwrap();
+        let db1 = Arc::new(db);
+        let cache = EvalCache::new();
+        let dims = [cat];
+        let relevant = vec![vec![Value::from("a")]];
+        let aggs = [(AggFunction::Count, AggColumn::Star)];
+        let exec = WaveExec {
+            cache: Some(&cache),
+            arena: None,
+            scheduler: None,
+            threads: 1,
+            bundling: TaskBundling::Canonical,
+            fuse: true,
+            partition_blocks: 1,
+        };
+        let requests = [wave_request(&dims, &relevant, &aggs)];
+        let first = run_requests(&db1, &exec, &requests).unwrap();
+        assert_eq!(first.stats.grids_patched, 0);
+        assert_eq!(first.stats.rows_scanned, n1 as u64);
+        assert_eq!(
+            first.slices[0][0].lookup(&[Some("a".into())]),
+            Ok(Some((n1 / 2) as f64))
+        );
+
+        // Append a small batch; the next wave runs on a new snapshot.
+        let mut db2 = (*db1).clone();
+        let batch: Vec<Vec<Value>> = (0..50).map(|_| vec!["a".into()]).collect();
+        db2.append_rows("t", &batch).unwrap();
+        let db2 = Arc::new(db2);
+        let second = run_requests(&db2, &exec, &requests).unwrap();
+        assert_eq!(second.stats.key_hits, 0, "stale stamps never hit");
+        assert_eq!(second.stats.grids_patched, 1, "patched, not rescanned");
+        assert_eq!(second.stats.rows_scanned, second.stats.delta_rows_scanned);
+        assert!(
+            second.stats.delta_rows_scanned < n1 as u64 / 2,
+            "the patch scans only the appended tail ({} rows), not the corpus",
+            second.stats.delta_rows_scanned
+        );
+        assert_eq!(
+            second.slices[0][0].lookup(&[Some("a".into())]),
+            Ok(Some((n1 / 2 + 50) as f64)),
+            "patched value equals a cold rescan's"
+        );
+
+        // Same watermark again: the patched slice is a plain hit.
+        let third = run_requests(&db2, &exec, &requests).unwrap();
+        assert_eq!(third.stats.key_hits, 1);
+        assert_eq!(third.stats.tasks_executed, 0);
     }
 
     /// Unfused execution is the PR 3 shape: one pass per task, rows

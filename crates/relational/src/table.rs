@@ -12,8 +12,14 @@ pub struct Table {
     pub schema: TableSchema,
     columns: Vec<ColumnData>,
     row_count: usize,
+    /// Row-visibility watermark: scans see rows `0..watermark` only. Every
+    /// mutation path keeps `watermark == row_count` (appends publish
+    /// immediately); [`Table::set_watermark`] can pin visibility lower,
+    /// which is how a scan observes a partially-visible tail block.
+    watermark: usize,
     /// Block encodings built by [`Table::seal`]; `None` while the table is
-    /// still mutable (any [`Table::push_row`] invalidates them).
+    /// still mutable (any [`Table::push_row`] invalidates them —
+    /// [`Table::append_rows`] instead extends them in place).
     encodings: Option<Vec<ColumnEncoding>>,
 }
 
@@ -29,6 +35,7 @@ impl Table {
             schema,
             columns,
             row_count: 0,
+            watermark: 0,
             encodings: None,
         }
     }
@@ -94,6 +101,22 @@ impl Table {
         self.row_count
     }
 
+    /// Rows visible to scans: `min(watermark, row_count)`. Everything above
+    /// the watermark is physically present but invisible, which is what
+    /// lets a snapshot pinned at an older watermark ignore concurrent
+    /// appends.
+    #[inline]
+    pub fn visible_rows(&self) -> usize {
+        self.watermark.min(self.row_count)
+    }
+
+    /// Pin the visibility watermark (clamped to the physical row count).
+    /// Appends re-publish automatically; this exists so tests and snapshot
+    /// machinery can place the watermark mid-block.
+    pub fn set_watermark(&mut self, rows: usize) {
+        self.watermark = rows.min(self.row_count);
+    }
+
     pub fn column_count(&self) -> usize {
         self.columns.len()
     }
@@ -113,6 +136,46 @@ impl Table {
     /// stores NULL and is reported via the `Err` variant only when the value
     /// is entirely incompatible.
     pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
+        self.push_row_values(values)?;
+        self.watermark = self.row_count;
+        self.encodings = None;
+        Ok(())
+    }
+
+    /// Append rows while **staying sealed**: new storage blocks are encoded
+    /// for the tail instead of dropping the encodings, and the watermark
+    /// advances to publish the rows. Sealed history is never rewritten —
+    /// only the partial trailing block (if any) is re-encoded. All-or-
+    /// nothing: row shapes are validated before anything is stored.
+    ///
+    /// Returns the number of rows appended.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<usize> {
+        for row in rows {
+            if row.len() != self.columns.len() {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "row has {} values, table {} has {} columns",
+                    row.len(),
+                    self.schema.name,
+                    self.columns.len()
+                )));
+            }
+        }
+        let old_rows = self.row_count;
+        for row in rows {
+            self.push_row_values(row)?;
+        }
+        if let Some(encodings) = &mut self.encodings {
+            for (enc, col) in encodings.iter_mut().zip(&self.columns) {
+                enc.extend(col, old_rows);
+            }
+        }
+        self.watermark = self.row_count;
+        Ok(rows.len())
+    }
+
+    /// Push one row's cells and bump the row count; callers decide what
+    /// happens to the watermark and the encodings.
+    fn push_row_values(&mut self, values: &[Value]) -> Result<()> {
         if values.len() != self.columns.len() {
             return Err(RelationalError::InvalidSchema(format!(
                 "row has {} values, table {} has {} columns",
@@ -121,17 +184,15 @@ impl Table {
                 self.columns.len()
             )));
         }
-        for (i, (col, val)) in self.columns.iter_mut().zip(values).enumerate() {
+        for (col, val) in self.columns.iter_mut().zip(values) {
             if !col.push(val) {
                 // Incompatible cell (e.g. text in an int column): store NULL
                 // so the row stays rectangular. Type inference in the CSV
                 // loader avoids this path for well-formed files.
                 col.push(&Value::Null);
-                let _ = i;
             }
         }
         self.row_count += 1;
-        self.encodings = None;
         Ok(())
     }
 
@@ -220,6 +281,72 @@ mod tests {
         assert!(t.encodings().is_some());
         t.unseal();
         assert!(t.encodings().is_none());
+    }
+
+    #[test]
+    fn append_rows_stays_sealed_and_publishes() {
+        let mut t = sample();
+        assert_eq!(t.visible_rows(), 3);
+        let n = t
+            .append_rows(&[
+                vec!["x".into(), "2".into(), Value::Int(2015)],
+                vec!["y".into(), "4".into(), Value::Int(2016)],
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(t.visible_rows(), 5, "appends publish immediately");
+        let enc = t.encodings().expect("append must keep the table sealed");
+        assert_eq!(enc[0].block_count(), 1);
+        // The extended encodings match a from-scratch seal.
+        let mut cold = t.clone();
+        cold.unseal();
+        cold.seal();
+        for (a, b) in enc.iter().zip(cold.encodings().unwrap()) {
+            match (a, b) {
+                (
+                    ColumnEncoding::Codes { blocks: x, .. },
+                    ColumnEncoding::Codes { blocks: y, .. },
+                ) => {
+                    assert_eq!(x.len(), y.len());
+                    for (bx, by) in x.iter().zip(y) {
+                        let (mut dx, mut dy) = (Vec::new(), Vec::new());
+                        bx.decode_into(&mut dx);
+                        by.decode_into(&mut dy);
+                        assert_eq!(dx, dy);
+                    }
+                }
+                (ColumnEncoding::Numeric { zones: x }, ColumnEncoding::Numeric { zones: y }) => {
+                    assert_eq!(x, y)
+                }
+                _ => panic!("encoding kind changed across append"),
+            }
+        }
+    }
+
+    #[test]
+    fn append_rows_is_all_or_nothing_on_shape_errors() {
+        let mut t = sample();
+        let err = t.append_rows(&[
+            vec!["x".into(), "2".into(), Value::Int(2015)],
+            vec![Value::Int(1)],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t.row_count(), 3, "no partial append");
+        assert!(t.encodings().is_some());
+    }
+
+    #[test]
+    fn watermark_clamps_and_pins_visibility() {
+        let mut t = sample();
+        t.set_watermark(1);
+        assert_eq!(t.visible_rows(), 1);
+        assert_eq!(t.row_count(), 3, "physical rows unaffected");
+        t.set_watermark(100);
+        assert_eq!(t.visible_rows(), 3, "clamped to row_count");
+        t.push_row(&["x".into(), "1".into(), Value::Int(2015)])
+            .unwrap();
+        assert_eq!(t.visible_rows(), 4, "push_row republishes everything");
     }
 
     #[test]

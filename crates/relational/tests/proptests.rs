@@ -127,7 +127,7 @@ proptest! {
         rows in prop::collection::vec((0u8..3, 0u8..2, -50i64..50), 1..40),
         specs in prop::collection::vec(arb_query(), 1..12),
     ) {
-        let db = random_db(&rows);
+        let db = std::sync::Arc::new(random_db(&rows));
         let queries: Vec<SimpleAggregateQuery> = specs
             .into_iter()
             .filter_map(|s| materialize_query(&db, s))

@@ -621,7 +621,7 @@ fn report_json(id: u64, report: &VerificationReport) -> String {
         .collect();
     let stats = &report.stats;
     format!(
-        "{{\"id\":{id},\"status\":\"{}\",\"claims\":[{}],\"stats\":{{\"claims\":{},\"em_iterations\":{},\"candidates_evaluated\":{},\"rows_scanned\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{},\"partitions_scanned\":{},\"partition_merges\":{},\"partition_parallelism\":{}}},\"fingerprint\":\"{}\"}}",
+        "{{\"id\":{id},\"status\":\"{}\",\"claims\":[{}],\"stats\":{{\"claims\":{},\"em_iterations\":{},\"candidates_evaluated\":{},\"rows_scanned\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{},\"partitions_scanned\":{},\"partition_merges\":{},\"partition_parallelism\":{},\"grids_patched\":{},\"delta_rows_scanned\":{}}},\"fingerprint\":\"{}\"}}",
         protocol::status_name(report.status),
         claims.join(","),
         stats.claims,
@@ -635,6 +635,8 @@ fn report_json(id: u64, report: &VerificationReport) -> String {
         stats.partitions_scanned,
         stats.partition_merges,
         stats.partition_parallelism,
+        stats.grids_patched,
+        stats.delta_rows_scanned,
         json::escape(&report.content_fingerprint()),
     )
 }
@@ -654,7 +656,7 @@ fn stats_json(shared: &Arc<ServerShared>) -> String {
                 .map(|(lane, depth)| format!("{{\"lane\":{lane},\"depth\":{depth}}}"))
                 .collect();
             format!(
-                "\"{}\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\"timed_out\":{},\"cancelled\":{},\"partial\":{},\"respawns\":{},\"poison_retries\":{},\"queue_depth_high_water\":{},\"in_flight_high_water\":{},\"claims\":{},\"rows_scanned\":{},\"tasks_executed\":{},\"tasks_deduped\":{},\"singleflight_waits\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{},\"partitions_scanned\":{},\"partition_merges\":{},\"partition_parallelism\":{},\"queue_depth\":{},\"in_flight\":{},\"lanes\":[{}]}}",
+                "\"{}\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\"timed_out\":{},\"cancelled\":{},\"partial\":{},\"respawns\":{},\"poison_retries\":{},\"queue_depth_high_water\":{},\"in_flight_high_water\":{},\"claims\":{},\"rows_scanned\":{},\"tasks_executed\":{},\"tasks_deduped\":{},\"singleflight_waits\":{},\"scan_passes\":{},\"blocks_scanned\":{},\"blocks_skipped\":{},\"bytes_scanned\":{},\"partitions_scanned\":{},\"partition_merges\":{},\"partition_parallelism\":{},\"grids_patched\":{},\"delta_rows_scanned\":{},\"queue_depth\":{},\"in_flight\":{},\"lanes\":[{}]}}",
                 json::escape(name),
                 s.submitted,
                 s.completed,
@@ -679,6 +681,8 @@ fn stats_json(shared: &Arc<ServerShared>) -> String {
                 s.partitions_scanned,
                 s.partition_merges,
                 s.partition_parallelism,
+                s.grids_patched,
+                s.delta_rows_scanned,
                 service.queue_depth(),
                 service.in_flight(),
                 lanes.join(","),

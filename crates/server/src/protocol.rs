@@ -466,6 +466,8 @@ pub fn stats_ok(s: &WireStats) -> Vec<u8> {
         st.bytes_scanned,
         st.partitions_scanned,
         st.partition_merges,
+        st.grids_patched,
+        st.delta_rows_scanned,
     ] {
         wire::put_u64(&mut p, v);
     }
@@ -510,6 +512,8 @@ pub fn parse_stats_ok(mut buf: &[u8]) -> Result<WireStats, WireError> {
         bytes_scanned: wire::get_u64(buf)?,
         partitions_scanned: wire::get_u64(buf)?,
         partition_merges: wire::get_u64(buf)?,
+        grids_patched: wire::get_u64(buf)?,
+        delta_rows_scanned: wire::get_u64(buf)?,
         partition_parallelism: wire::get_u32(buf)?,
     };
     let queue_depth = wire::get_u64(buf)?;
@@ -677,6 +681,8 @@ mod tests {
                 partitions_scanned: 22,
                 partition_merges: 14,
                 partition_parallelism: 4,
+                grids_patched: 3,
+                delta_rows_scanned: 512,
                 ..StreamStats::default()
             },
             queue_depth: 1,

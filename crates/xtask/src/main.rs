@@ -761,6 +761,133 @@ fn partition_gate(args: &[String]) -> ExitCode {
     }
 }
 
+/// Judge the incremental re-verification variants of one pipeline
+/// benchmark file: after a ~1% append, every `append_*` variant must have
+/// patched at least one grid, scanned only a small tail
+/// (`delta_rows_scanned` under `max_fraction` of the cold full-corpus
+/// rows), produced reports bit-identical to a cold verification of the
+/// grown corpus (`append_fingerprints_match == 1`), and done identical
+/// patch work at every worker count. All checks are deterministic
+/// counters — a failure is a real delta-path regression, never runner
+/// noise.
+fn run_delta_gate(json: &str, max_fraction: f64) -> Result<Vec<String>, String> {
+    let objs = array_objects(json, "append_reverify");
+    if objs.is_empty() {
+        return Err("no \"append_reverify\" variants in the file".into());
+    }
+    let flag = |key: &str| -> Result<f64, String> {
+        number_field(json, key).ok_or_else(|| format!("no top-level \"{key}\" field in the file"))
+    };
+    let mut report = Vec::new();
+
+    // Correctness first: a fast patch that changes report bits is a stale
+    // read wearing a speedup costume.
+    if flag("append_fingerprints_match")? != 1.0 {
+        return Err(
+            "append_fingerprints_match != 1 — patched reports drifted from a cold \
+             verification of the grown corpus"
+                .into(),
+        );
+    }
+    report.push("patched reports bit-identical to cold verification of the grown corpus".into());
+    if flag("append_patch_work_equal")? != 1.0 {
+        return Err(
+            "append_patch_work_equal != 1 — patch work varied with the worker count".into(),
+        );
+    }
+
+    // Re-derive the counter equalities and the delta bound from the
+    // variants themselves, so the gate judges the recorded numbers, not
+    // just the emitter's flags.
+    let mut first: Option<(f64, f64)> = None;
+    for (i, obj) in objs.iter().enumerate() {
+        let name = string_field(obj, "name").unwrap_or_else(|| format!("variant #{i}"));
+        let field = |key: &str| -> Result<f64, String> {
+            number_field(obj, key).ok_or_else(|| format!("{name}: missing field \"{key}\""))
+        };
+        let delta = field("delta_rows_scanned")?;
+        let patched = field("grids_patched")?;
+        let cold = field("rows_scanned_cold")?;
+        if patched <= 0.0 {
+            return Err(format!(
+                "{name}: patched 0 grids — the re-verification fell back to cold rescans \
+                 (checkpoints never captured, or the cache dropped them)"
+            ));
+        }
+        if cold <= 0.0 {
+            return Err(format!("{name}: rows_scanned_cold is 0 — no cold baseline"));
+        }
+        let fraction = delta / cold;
+        if fraction >= max_fraction {
+            return Err(format!(
+                "{name}: delta_rows_scanned {delta:.0} is {:.1}% of the cold scan's \
+                 {cold:.0} rows — past the {:.1}% bound; the patch path is rescanning \
+                 instead of resuming",
+                fraction * 100.0,
+                max_fraction * 100.0
+            ));
+        }
+        match first {
+            None => first = Some((delta, patched)),
+            Some(f) if f != (delta, patched) => {
+                return Err(format!(
+                    "{name}: (delta_rows_scanned, grids_patched) = ({delta:.0}, {patched:.0}) \
+                     diverges from ({:.0}, {:.0}) — worker count leaked into the patch work",
+                    f.0, f.1
+                ));
+            }
+            Some(_) => {}
+        }
+        report.push(format!(
+            "{name}: {patched:.0} grids patched over {delta:.0} delta rows ({:.2}% of cold)",
+            fraction * 100.0
+        ));
+    }
+    Ok(report)
+}
+
+fn delta_gate(args: &[String]) -> ExitCode {
+    let mut file = String::from("BENCH_pipeline.current.json");
+    let mut max_fraction = 0.10f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--file" => file = it.next().cloned().expect("--file PATH"),
+            "--max-fraction" => {
+                max_fraction = it
+                    .next()
+                    .cloned()
+                    .expect("--max-fraction FRACTION")
+                    .parse()
+                    .expect("--max-fraction FRACTION")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let outcome = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {file}: {e}"))
+        .and_then(|json| run_delta_gate(&json, max_fraction));
+    match outcome {
+        Ok(report) => {
+            for line in &report {
+                println!("delta-gate ok: {line}");
+            }
+            println!(
+                "delta-gate: incremental re-verification patches instead of rescanning, \
+                 bit-identical at every worker count"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("delta-gate FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Scrape `Name = 0xNN,` declarations from the `pub enum Opcode` block of
 /// the protocol source. Only lines inside the enum body count, so helper
 /// constants elsewhere in the file can't satisfy (or confuse) the gate.
@@ -891,6 +1018,7 @@ fn main() -> ExitCode {
         Some("chaos-gate") => chaos_gate(&args[1..]),
         Some("skip-gate") => skip_gate(&args[1..]),
         Some("partition-gate") => partition_gate(&args[1..]),
+        Some("delta-gate") => delta_gate(&args[1..]),
         Some("docs-gate") => docs_gate(&args[1..]),
         _ => {
             eprintln!("usage: xtask bench-gate [--baseline PATH] [--current PATH] [--threshold FRACTION] [--metric NAME] [--variants a,b] [--normalize-to NAME]");
@@ -899,6 +1027,7 @@ fn main() -> ExitCode {
             eprintln!("       xtask chaos-gate [--file PATH]");
             eprintln!("       xtask skip-gate [--file PATH] [--selective NAME] [--encoded NAME] [--plain NAME] [--max-slowdown NUMBER]");
             eprintln!("       xtask partition-gate [--file PATH]");
+            eprintln!("       xtask delta-gate [--file PATH] [--max-fraction FRACTION]");
             eprintln!("       xtask docs-gate [--source PATH] [--docs PATH]");
             ExitCode::from(2)
         }
@@ -1454,6 +1583,63 @@ Some prose first.
         // A file without the partitioned family at all.
         let err = run_partition_gate(r#"{"variants": []}"#).unwrap_err();
         assert!(err.contains("partitioned"), "{err}");
+    }
+
+    fn delta_sample(
+        fingerprints_match: u8,
+        delta_4w: u64,
+        patched_2w: u64,
+        work_equal: u8,
+    ) -> String {
+        format!(
+            r#"{{
+  "docs": 8,
+  "append_reverify": [
+    {{"name": "append_1w", "workers": 1, "reverify_median_ns": 100, "reverify_docs_per_sec": 80.0, "delta_rows_scanned": 16176, "grids_patched": 26, "rows_scanned_reverify": 622176, "rows_scanned_cold": 606000}},
+    {{"name": "append_2w", "workers": 2, "reverify_median_ns": 90, "reverify_docs_per_sec": 88.0, "delta_rows_scanned": 16176, "grids_patched": {patched_2w}, "rows_scanned_reverify": 622176, "rows_scanned_cold": 606000}},
+    {{"name": "append_4w", "workers": 4, "reverify_median_ns": 80, "reverify_docs_per_sec": 100.0, "delta_rows_scanned": {delta_4w}, "grids_patched": 26, "rows_scanned_reverify": 622176, "rows_scanned_cold": 606000}}
+  ],
+  "append_corpus_rows": 202000,
+  "append_batch_rows": 2000,
+  "append_fingerprints_match": {fingerprints_match},
+  "append_patch_work_equal": {work_equal},
+  "append_delta_fraction": 0.0267
+}}"#
+        )
+    }
+
+    #[test]
+    fn delta_gate_passes_on_patched_counters() {
+        let report = run_delta_gate(&delta_sample(1, 16176, 26, 1), 0.10).unwrap();
+        assert_eq!(report.len(), 4, "{report:?}");
+        assert!(report[0].contains("bit-identical"), "{report:?}");
+        assert!(report[3].contains("append_4w"), "{report:?}");
+    }
+
+    #[test]
+    fn delta_gate_catches_every_violation() {
+        // Fingerprint drift vs a cold verification of the grown corpus.
+        let err = run_delta_gate(&delta_sample(0, 16176, 26, 1), 0.10).unwrap_err();
+        assert!(err.contains("append_fingerprints_match"), "{err}");
+        // Emitter flag reporting worker-dependent patch work.
+        let err = run_delta_gate(&delta_sample(1, 16176, 26, 0), 0.10).unwrap_err();
+        assert!(err.contains("append_patch_work_equal"), "{err}");
+        // A worker-count-dependent delta recorded in the variants, even
+        // with the emitter's flag claiming equality.
+        let err = run_delta_gate(&delta_sample(1, 17000, 26, 1), 0.10).unwrap_err();
+        assert!(err.contains("append_4w") && err.contains("leaked"), "{err}");
+        // Worker-count-dependent grids_patched.
+        let err = run_delta_gate(&delta_sample(1, 16176, 30, 1), 0.10).unwrap_err();
+        assert!(err.contains("append_2w") && err.contains("leaked"), "{err}");
+        // A variant that never patched — the delta path silently dead.
+        let err = run_delta_gate(&delta_sample(1, 16176, 0, 1), 0.10).unwrap_err();
+        assert!(err.contains("0 grids"), "{err}");
+        // The delta bound: a "patch" that rescans most of the corpus.
+        let err = run_delta_gate(&delta_sample(1, 16176, 26, 1), 0.01).unwrap_err();
+        assert!(err.contains("past the 1.0% bound"), "{err}");
+        // A file without the append family at all.
+        let err = run_delta_gate(r#"{"variants": []}"#, 0.10).unwrap_err();
+        assert!(err.contains("append_reverify"), "{err}");
     }
 
     #[test]
